@@ -1,0 +1,228 @@
+// Experiment E4: the paper's rule-based class filtering vs the classic
+// blocking families it surveys in §2 — cartesian, standard key blocking,
+// sorted neighbourhood, bi-gram indexing — on a mid-size corpus: candidate
+// count, reduction ratio, pairs completeness/quality, and end-to-end
+// linkage quality when the same linker consumes each candidate set.
+#include <iostream>
+#include <memory>
+#include <unordered_map>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "blocking/adaptive_sn.h"
+#include "blocking/bigram_indexing.h"
+#include "blocking/canopy.h"
+#include "blocking/metrics.h"
+#include "blocking/rule_blocker.h"
+#include "blocking/sorted_neighbourhood.h"
+#include "blocking/standard_blocking.h"
+#include "blocking/suffix_blocking.h"
+#include "core/classifier.h"
+#include "eval/report.h"
+#include "linking/evaluation.h"
+#include "linking/fellegi_sunter.h"
+#include "linking/linker.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace rulelink::bench {
+namespace {
+
+// Mid-size corpus: the quadratic baselines (cartesian) stay tractable.
+struct Fixture {
+  std::unique_ptr<datagen::Dataset> dataset;
+  std::vector<blocking::CandidatePair> gold;
+  std::unique_ptr<core::RuleSet> rules;
+  std::unique_ptr<core::RuleClassifier> classifier;
+  std::vector<std::unique_ptr<blocking::CandidateGenerator>> generators;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = [] {
+    auto* f = new Fixture;
+    datagen::DatasetConfig config = ScaledConfig(2000, 42);
+    auto dataset = datagen::DatasetGenerator(config).Generate();
+    RL_CHECK(dataset.ok()) << dataset.status();
+    f->dataset =
+        std::make_unique<datagen::Dataset>(std::move(dataset).value());
+    for (const auto& link : f->dataset->links) {
+      f->gold.push_back({link.external_index, link.catalog_index});
+    }
+    const core::TrainingSet ts = datagen::BuildTrainingSet(*f->dataset);
+    auto options = PaperLearnerOptions();
+    auto rules = core::RuleLearner(options).Learn(ts);
+    RL_CHECK(rules.ok()) << rules.status();
+    f->rules = std::make_unique<core::RuleSet>(std::move(rules).value());
+    f->classifier = std::make_unique<core::RuleClassifier>(
+        f->rules.get(), &PaperSegmenter());
+
+    const std::string pn = datagen::props::kPartNumber;
+    f->generators.push_back(std::make_unique<blocking::CartesianBlocker>());
+    f->generators.push_back(
+        std::make_unique<blocking::StandardBlocker>(pn, 5));
+    f->generators.push_back(
+        std::make_unique<blocking::SortedNeighbourhoodBlocker>(pn, 10));
+    f->generators.push_back(
+        std::make_unique<blocking::AdaptiveSortedNeighbourhoodBlocker>(
+            pn, 0.85));
+    f->generators.push_back(
+        std::make_unique<blocking::SuffixBlocker>(pn, 8));
+    f->generators.push_back(
+        std::make_unique<blocking::BigramBlocker>(pn, 0.9));
+    f->generators.push_back(
+        std::make_unique<blocking::CanopyBlocker>(pn, 0.5, 0.8));
+    f->generators.push_back(std::make_unique<blocking::RuleBlocker>(
+        f->classifier.get(), &f->dataset->ontology(),
+        &f->dataset->catalog_classes, 0.4,
+        /*compare_all_when_unclassified=*/true));
+    f->generators.push_back(std::make_unique<blocking::RuleBlocker>(
+        f->classifier.get(), &f->dataset->ontology(),
+        &f->dataset->catalog_classes, 0.4,
+        /*compare_all_when_unclassified=*/false));
+    return f;
+  }();
+  return *fixture;
+}
+
+void PrintComparison() {
+  Fixture& f = GetFixture();
+  std::cout << "=== E4: blocking methods comparison (external="
+            << f.dataset->external_items.size()
+            << ", local=" << f.dataset->catalog_items.size() << ") ===\n";
+  util::TextTable table({"method", "candidates", "RR", "PC", "PQ",
+                         "link P", "link R", "link F1", "comparisons"});
+  const linking::ItemMatcher matcher(
+      {{datagen::props::kPartNumber, datagen::props::kPartNumber,
+        linking::SimilarityMeasure::kJaroWinkler, 3.0},
+       {datagen::props::kManufacturer, datagen::props::kManufacturer,
+        linking::SimilarityMeasure::kExact, 1.0}});
+  const linking::Linker linker(&matcher, 0.92);
+  for (const auto& generator : f.generators) {
+    const auto candidates = generator->Generate(f.dataset->external_items,
+                                                f.dataset->catalog_items);
+    const auto quality = blocking::EvaluateBlocking(
+        candidates, f.gold, f.dataset->external_items.size(),
+        f.dataset->catalog_items.size());
+    linking::LinkerStats stats;
+    const auto links = linker.Run(f.dataset->external_items,
+                                  f.dataset->catalog_items, candidates,
+                                  &stats);
+    const auto linkage = linking::EvaluateLinks(links, f.gold);
+    table.AddRow({generator->name(), std::to_string(quality.candidate_pairs),
+                  util::FormatPercent(quality.reduction_ratio, 2),
+                  util::FormatPercent(quality.pairs_completeness),
+                  util::FormatPercent(quality.pairs_quality, 2),
+                  util::FormatPercent(linkage.precision),
+                  util::FormatPercent(linkage.recall),
+                  util::FormatPercent(linkage.f1),
+                  std::to_string(stats.comparisons)});
+  }
+  std::cout << table.ToText()
+            << "(RR = reduction ratio, PC = pairs completeness, PQ = pairs "
+               "quality)\n\n";
+}
+
+// E4b: with the candidate set fixed (standard blocking), compare the two
+// classical decision models: a weighted similarity threshold vs the
+// Fellegi-Sunter posterior (Winkler's lineage, the paper's ref [12]),
+// trained supervised on the expert links.
+void PrintDecisionModelComparison() {
+  Fixture& f = GetFixture();
+  const std::string pn = datagen::props::kPartNumber;
+  const std::string mfr = datagen::props::kManufacturer;
+  const auto candidates = blocking::StandardBlocker(pn, 5).Generate(
+      f.dataset->external_items, f.dataset->catalog_items);
+
+  std::cout << "=== E4b: decision models on the standard-blocked "
+               "candidates ===\n";
+  util::TextTable table({"decision model", "links", "P", "R", "F1"});
+
+  // Similarity threshold (the linker used everywhere else).
+  {
+    const linking::ItemMatcher matcher(
+        {{pn, pn, linking::SimilarityMeasure::kJaroWinkler, 3.0},
+         {mfr, mfr, linking::SimilarityMeasure::kExact, 1.0}});
+    const linking::Linker linker(&matcher, 0.92);
+    const auto links = linker.Run(f.dataset->external_items,
+                                  f.dataset->catalog_items, candidates);
+    const auto quality = linking::EvaluateLinks(links, f.gold);
+    table.AddRow({"Jaro-Winkler threshold 0.92",
+                  std::to_string(quality.emitted),
+                  util::FormatPercent(quality.precision),
+                  util::FormatPercent(quality.recall),
+                  util::FormatPercent(quality.f1)});
+  }
+  // Fellegi-Sunter posterior, best candidate per external item.
+  {
+    linking::FsOptions options;
+    options.attributes = {
+        {pn, pn, linking::SimilarityMeasure::kJaroWinkler, 0.92},
+        {mfr, mfr, linking::SimilarityMeasure::kExact, 1.0}};
+    auto model = linking::FellegiSunterModel::TrainSupervised(
+        f.dataset->external_items, f.dataset->catalog_items, f.gold,
+        options);
+    RL_CHECK(model.ok()) << model.status();
+    std::unordered_map<std::size_t, std::pair<std::size_t, double>> best;
+    for (const auto& pair : candidates) {
+      const double probability = model->MatchProbability(
+          f.dataset->external_items[pair.external_index],
+          f.dataset->catalog_items[pair.local_index]);
+      auto it = best.find(pair.external_index);
+      if (it == best.end() || probability > it->second.second) {
+        best[pair.external_index] = {pair.local_index, probability};
+      }
+    }
+    std::vector<linking::Link> links;
+    for (const auto& [external_index, choice] : best) {
+      if (choice.second >= 0.5) {
+        links.push_back(
+            linking::Link{external_index, choice.first, choice.second});
+      }
+    }
+    const auto quality = linking::EvaluateLinks(links, f.gold);
+    table.AddRow({"Fellegi-Sunter posterior >= 0.5",
+                  std::to_string(quality.emitted),
+                  util::FormatPercent(quality.precision),
+                  util::FormatPercent(quality.recall),
+                  util::FormatPercent(quality.f1)});
+  }
+  std::cout << table.ToText() << "\n";
+}
+
+void BM_Blocker(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const auto& generator = f.generators[static_cast<std::size_t>(
+      state.range(0))];
+  state.SetLabel(generator->name());
+  for (auto _ : state) {
+    const auto pairs = generator->Generate(f.dataset->external_items,
+                                           f.dataset->catalog_items);
+    benchmark::DoNotOptimize(pairs);
+  }
+}
+// The canopy blocker (index 6) is excluded from the timed loop: one run
+// takes seconds and its cost profile is already visible in the table.
+BENCHMARK(BM_Blocker)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(5)
+    ->Arg(7)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rulelink::bench
+
+int main(int argc, char** argv) {
+  rulelink::bench::PrintComparison();
+  rulelink::bench::PrintDecisionModelComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared fixtures for the benchmark binaries: a lazily-generated default
+// corpus (the paper-scale configuration) and smaller sweep configurations.
+// Benchmarks print the paper-style tables on first use and then time the
+// hot paths with google-benchmark.
+#ifndef RULELINK_BENCH_BENCH_COMMON_H_
+#define RULELINK_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+
+#include "core/learner.h"
+#include "core/training_set.h"
+#include "datagen/generator.h"
+#include "text/segmenter.h"
+#include "util/logging.h"
+
+namespace rulelink::bench {
+
+// The paper-scale corpus (30k catalog, 10 265 links, 566/226 ontology),
+// generated once per process.
+inline const datagen::Dataset& PaperDataset() {
+  static const datagen::Dataset* dataset = [] {
+    datagen::DatasetConfig config;
+    auto result = datagen::DatasetGenerator(config).Generate();
+    RL_CHECK(result.ok()) << result.status();
+    return new datagen::Dataset(std::move(result).value());
+  }();
+  return *dataset;
+}
+
+inline const core::TrainingSet& PaperTrainingSet() {
+  static const core::TrainingSet* ts =
+      new core::TrainingSet(datagen::BuildTrainingSet(PaperDataset()));
+  return *ts;
+}
+
+inline const text::SeparatorSegmenter& PaperSegmenter() {
+  static const text::SeparatorSegmenter* segmenter =
+      new text::SeparatorSegmenter();
+  return *segmenter;
+}
+
+inline core::LearnerOptions PaperLearnerOptions() {
+  core::LearnerOptions options;
+  options.support_threshold = 0.002;
+  options.segmenter = &PaperSegmenter();
+  options.properties = {datagen::props::kPartNumber};
+  return options;
+}
+
+// A scaled-down configuration for sweeps (size = number of links).
+inline datagen::DatasetConfig ScaledConfig(std::size_t num_links,
+                                           std::uint64_t seed = 42) {
+  datagen::DatasetConfig config;
+  config.seed = seed;
+  config.num_links = num_links;
+  config.catalog_size = num_links * 3;
+  // Scale tier sizes proportionally to keep the same class structure.
+  const double ratio =
+      static_cast<double>(num_links) / 10265.0;
+  config.signal_class_min_links = std::max(25.0, 200.0 * ratio);
+  config.signal_class_max_links = std::max(50.0, 520.0 * ratio);
+  config.frequent_class_min_links = std::max(4.0, 24.0 * ratio);
+  config.frequent_class_max_links = std::max(8.0, 34.0 * ratio);
+  config.tail_class_cap_links = std::max(2.0, 14.0 * ratio);
+  return config;
+}
+
+}  // namespace rulelink::bench
+
+#endif  // RULELINK_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,108 @@
+// Experiment E8 (ablation): robustness to provider noise. The paper's
+// part numbers pass through provider formatting (different separators)
+// and keying errors; this bench sweeps the typo rate and measures what
+// survives — the learnt rules' held-out precision/coverage, and the
+// pairs completeness of segment-exact rule blocking vs key-based
+// standard blocking. Rules only need ONE clean segment to fire, so they
+// degrade gracefully where whole-key blocking collapses.
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "blocking/metrics.h"
+#include "blocking/rule_blocker.h"
+#include "blocking/standard_blocking.h"
+#include "core/classifier.h"
+#include "eval/holdout.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace rulelink::bench {
+namespace {
+
+void PrintNoiseSweep() {
+  std::cout << "=== E8: robustness to provider typos ===\n";
+  util::TextTable table({"typo prob", "#rules", "holdout prec.",
+                         "holdout coverage", "rule-block PC",
+                         "standard-block PC"});
+  for (double typo : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    datagen::DatasetConfig config = ScaledConfig(2000, 1234);
+    config.provider_typo_prob = typo;
+    auto dataset = datagen::DatasetGenerator(config).Generate();
+    RL_CHECK(dataset.ok());
+    const core::TrainingSet ts = datagen::BuildTrainingSet(*dataset);
+
+    // Held-out rule quality.
+    eval::HoldoutOptions holdout;
+    holdout.segmenter = &PaperSegmenter();
+    holdout.support_threshold = 0.002;
+    holdout.properties = {datagen::props::kPartNumber};
+    auto generalization = eval::RunHoldout(ts, holdout);
+    RL_CHECK(generalization.ok());
+
+    // Blocking completeness.
+    auto options = PaperLearnerOptions();
+    auto rules = core::RuleLearner(options).Learn(ts);
+    RL_CHECK(rules.ok());
+    const core::RuleClassifier classifier(&*rules, &PaperSegmenter());
+    const blocking::RuleBlocker rule_blocker(
+        &classifier, &dataset->ontology(), &dataset->catalog_classes, 0.4,
+        /*compare_all_when_unclassified=*/true);
+    const blocking::StandardBlocker standard_blocker(
+        datagen::props::kPartNumber, 5);
+    std::vector<blocking::CandidatePair> gold;
+    for (const auto& link : dataset->links) {
+      gold.push_back({link.external_index, link.catalog_index});
+    }
+    const auto rule_quality = blocking::EvaluateBlocking(
+        rule_blocker.Generate(dataset->external_items,
+                              dataset->catalog_items),
+        gold, dataset->external_items.size(),
+        dataset->catalog_items.size());
+    const auto standard_quality = blocking::EvaluateBlocking(
+        standard_blocker.Generate(dataset->external_items,
+                                  dataset->catalog_items),
+        gold, dataset->external_items.size(),
+        dataset->catalog_items.size());
+
+    table.AddRow({util::FormatDouble(typo, 2),
+                  std::to_string(rules->size()),
+                  util::FormatPercent(generalization->precision),
+                  util::FormatPercent(generalization->coverage),
+                  util::FormatPercent(rule_quality.pairs_completeness),
+                  util::FormatPercent(standard_quality.pairs_completeness)});
+  }
+  std::cout << table.ToText()
+            << "(rule blocking falls back to compare-all for unclassified "
+               "items, so its PC floor is the typo-free share; standard "
+               "blocking loses every pair whose 5-char key prefix was "
+               "touched)\n\n";
+}
+
+void BM_GenerateCorpus(benchmark::State& state) {
+  datagen::DatasetConfig config = ScaledConfig(
+      static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto dataset = datagen::DatasetGenerator(config).Generate();
+    benchmark::DoNotOptimize(dataset);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GenerateCorpus)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(10265)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rulelink::bench
+
+int main(int argc, char** argv) {
+  rulelink::bench::PrintNoiseSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

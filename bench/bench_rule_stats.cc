@@ -1,0 +1,203 @@
+// Experiment E2 (§5 in-text statistics): segmentation and rule-mining
+// census — distinct segments, occurrences, selected occurrences, frequent
+// classes, rule count, classes with rules — next to the published values,
+// plus a support-threshold sweep showing how the rule count decays as th
+// grows. Benchmarks time the segmentation pass.
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/conjunctive.h"
+#include "eval/holdout.h"
+#include "eval/tuner.h"
+#include "eval/report.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace rulelink::bench {
+namespace {
+
+void PrintStatsReport() {
+  core::LearnStats stats;
+  auto rules =
+      core::RuleLearner(PaperLearnerOptions()).Learn(PaperTrainingSet(),
+                                                     &stats);
+  RL_CHECK(rules.ok());
+  std::cout << "=== E2: corpus statistics (paper section 5) ===\n"
+            << eval::FormatLearnStats(stats, /*with_paper_reference=*/true)
+            << "\n";
+}
+
+void PrintThresholdSweep() {
+  std::cout << "=== E2b: support threshold sweep ===\n";
+  util::TextTable table({"th", "freq. premises", "freq. classes", "#rules",
+                         "classes w/ rules"});
+  for (double th : {0.0005, 0.001, 0.002, 0.004, 0.008, 0.016}) {
+    auto options = PaperLearnerOptions();
+    options.support_threshold = th;
+    core::LearnStats stats;
+    auto rules = core::RuleLearner(options).Learn(PaperTrainingSet(), &stats);
+    RL_CHECK(rules.ok());
+    table.AddRow({util::FormatDouble(th, 4),
+                  std::to_string(stats.frequent_premises),
+                  std::to_string(stats.frequent_classes),
+                  std::to_string(stats.num_rules),
+                  std::to_string(stats.classes_with_rules)});
+  }
+  std::cout << table.ToText() << "\n";
+}
+
+void PrintSegmenterAblation() {
+  std::cout << "=== E2c: segmentation scheme ablation ===\n";
+  util::TextTable table({"segmenter", "distinct segs", "occurrences",
+                         "#rules", "conf=1 rules"});
+  const text::SeparatorSegmenter separator;
+  const text::NGramSegmenter tri(3);
+  const text::NGramSegmenter quad(4);
+  const text::AlphaDigitSegmenter alpha_digit;
+  const text::Segmenter* segmenters[] = {&separator, &tri, &quad,
+                                         &alpha_digit};
+  for (const text::Segmenter* segmenter : segmenters) {
+    auto options = PaperLearnerOptions();
+    options.segmenter = segmenter;
+    core::LearnStats stats;
+    auto rules = core::RuleLearner(options).Learn(PaperTrainingSet(), &stats);
+    RL_CHECK(rules.ok());
+    table.AddRow({segmenter->name(),
+                  std::to_string(stats.distinct_segments),
+                  std::to_string(stats.segment_occurrences),
+                  std::to_string(stats.num_rules),
+                  std::to_string(rules->WithMinConfidence(1.0).size())});
+  }
+  std::cout << table.ToText() << "\n";
+}
+
+void PrintHoldoutReport() {
+  std::cout << "=== E2d: held-out generalization (the paper evaluates on "
+               "TS itself; this is the train/test extension) ===\n";
+  util::TextTable table({"setup", "#rules", "coverage", "precision",
+                         "recall"});
+  for (const auto& [label, min_conf] :
+       {std::pair<const char*, double>{"80/20 split, all rules", 0.0},
+        std::pair<const char*, double>{"80/20 split, conf >= 0.8", 0.8},
+        std::pair<const char*, double>{"80/20 split, conf = 1.0", 1.0}}) {
+    eval::HoldoutOptions options;
+    options.segmenter = &PaperSegmenter();
+    options.support_threshold = 0.002;
+    options.min_confidence = min_conf;
+    options.properties = {datagen::props::kPartNumber};
+    auto result = eval::RunHoldout(PaperTrainingSet(), options);
+    RL_CHECK(result.ok()) << result.status();
+    table.AddRow({label, std::to_string(result->num_rules),
+                  util::FormatPercent(result->coverage),
+                  util::FormatPercent(result->precision),
+                  util::FormatPercent(result->recall)});
+  }
+  {
+    eval::HoldoutOptions options;
+    options.segmenter = &PaperSegmenter();
+    options.support_threshold = 0.002;
+    options.properties = {datagen::props::kPartNumber};
+    auto result = eval::RunCrossValidation(PaperTrainingSet(), options, 5);
+    RL_CHECK(result.ok()) << result.status();
+    table.AddRow({"5-fold cross-validation", std::to_string(result->num_rules),
+                  util::FormatPercent(result->coverage),
+                  util::FormatPercent(result->precision),
+                  util::FormatPercent(result->recall)});
+  }
+  std::cout << table.ToText() << "\n";
+}
+
+void PrintConjunctiveReport() {
+  std::cout << "=== E2e: conjunctive (2-premise, CBA-style) rules over "
+               "partNumber x manufacturerName ===\n";
+  util::TextTable table({"corpus", "1-premise", "2-premise",
+                         "2-premise conf=1"});
+  // affinity 0: the paper's setting — "almost all manufacturers provide
+  // products that belong to distinct classes", so pairs never beat their
+  // parents. affinity 0.8: a world where manufacturers specialize — the
+  // conjunction disambiguates polluted series segments.
+  for (double affinity : {0.0, 0.8}) {
+    datagen::DatasetConfig config;  // paper-scale defaults
+    config.manufacturer_affinity = affinity;
+    auto dataset = datagen::DatasetGenerator(config).Generate();
+    RL_CHECK(dataset.ok());
+    const core::TrainingSet ts = datagen::BuildTrainingSet(*dataset);
+    core::ConjunctiveLearnerOptions options;
+    options.support_threshold = 0.002;
+    options.segmenter = &PaperSegmenter();
+    auto rules = core::LearnConjunctiveRules(ts, options);
+    RL_CHECK(rules.ok()) << rules.status();
+    std::size_t pair_conf1 = 0;
+    for (const auto& rule : rules->rules()) {
+      pair_conf1 += rule.premises.size() == 2 && rule.confidence >= 1.0;
+    }
+    table.AddRow({"mfr affinity " + util::FormatDouble(affinity, 1),
+                  std::to_string(rules->CountWithPremises(1)),
+                  std::to_string(rules->CountWithPremises(2)),
+                  std::to_string(pair_conf1)});
+  }
+  std::cout << table.ToText()
+            << "(affinity 0 reproduces the paper's finding that the "
+               "manufacturer is non-predictive: no pair beats its parent; "
+               "with specialized manufacturers the conjunctions appear)\n\n";
+}
+
+void PrintTunerReport() {
+  std::cout << "=== E2f: threshold tuning by held-out F1 (the paper fixes "
+               "th = 0.002 by expert judgment) ===\n";
+  eval::TunerOptions options;
+  options.segmenter = &PaperSegmenter();
+  options.properties = {datagen::props::kPartNumber};
+  auto candidates = eval::TuneThresholds(PaperTrainingSet(), options);
+  RL_CHECK(candidates.ok()) << candidates.status();
+  util::TextTable table({"th", "min conf.", "F1", "precision", "recall",
+                         "coverage"});
+  for (std::size_t i = 0; i < 5 && i < candidates->size(); ++i) {
+    const auto& c = (*candidates)[i];
+    table.AddRow({util::FormatDouble(c.support_threshold, 4),
+                  util::FormatDouble(c.min_confidence, 1),
+                  util::FormatDouble(c.f_beta, 3),
+                  util::FormatPercent(c.holdout.precision),
+                  util::FormatPercent(c.holdout.recall),
+                  util::FormatPercent(c.holdout.coverage)});
+  }
+  std::cout << table.ToText()
+            << "(top 5 of " << candidates->size()
+            << " grid cells; the data-driven optimum lands at the same "
+               "order of magnitude as the expert's 0.002)\n\n";
+}
+
+void BM_SegmentTrainingSet(benchmark::State& state) {
+  const auto& ts = PaperTrainingSet();
+  const auto& segmenter = PaperSegmenter();
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const auto& example : ts.examples()) {
+      for (const auto& [property, value] : example.facts) {
+        total += segmenter.Segment(value).size();
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ts.size()));
+}
+BENCHMARK(BM_SegmentTrainingSet)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rulelink::bench
+
+int main(int argc, char** argv) {
+  rulelink::bench::PrintStatsReport();
+  rulelink::bench::PrintThresholdSweep();
+  rulelink::bench::PrintSegmenterAblation();
+  rulelink::bench::PrintConjunctiveReport();
+  rulelink::bench::PrintHoldoutReport();
+  rulelink::bench::PrintTunerReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Experiment "Table 1" (the paper's only table): learn classification
+// rules on the paper-scale corpus at th = 0.002, group them by confidence
+// band and report #rules / #decisions / precision / recall / lift next to
+// the published values. The google-benchmark section then times the two
+// hot paths behind the table: rule learning and per-item classification.
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/classifier.h"
+#include "eval/report.h"
+#include "eval/table1.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace rulelink::bench {
+namespace {
+
+const core::RuleSet& PaperRules() {
+  static const core::RuleSet* rules = [] {
+    auto result =
+        core::RuleLearner(PaperLearnerOptions()).Learn(PaperTrainingSet());
+    RL_CHECK(result.ok()) << result.status();
+    return new core::RuleSet(std::move(result).value());
+  }();
+  return *rules;
+}
+
+void PrintTable1Report() {
+  core::LearnStats stats;
+  auto rules =
+      core::RuleLearner(PaperLearnerOptions()).Learn(PaperTrainingSet(),
+                                                     &stats);
+  RL_CHECK(rules.ok());
+  const eval::Table1Evaluator evaluator(&*rules, &PaperSegmenter(), 0.002);
+  const auto result = evaluator.Evaluate(PaperTrainingSet());
+  std::cout << "=== Table 1: classification rule results (th = 0.002) ===\n"
+            << eval::FormatTable1(result, /*with_paper_reference=*/true)
+            << "classifiable items: " << result.classifiable_items
+            << " (paper: ~7266), frequent classes: "
+            << result.frequent_classes << " (paper: 68), undecided: "
+            << result.undecided_items << "\n\n";
+}
+
+// Calibration stability: the Table 1 shape must hold for ANY seed, not
+// just the published one.
+void PrintSeedStability() {
+  std::cout << "=== Table 1 stability across seeds ===\n";
+  util::TextTable table({"seed", "rules", "dec(conf=1)", "prec(last)",
+                         "recall(last)", "lift(conf=1)"});
+  for (std::uint64_t seed : {42ull, 7ull, 2026ull}) {
+    datagen::DatasetConfig config;
+    config.seed = seed;
+    auto dataset = datagen::DatasetGenerator(config).Generate();
+    RL_CHECK(dataset.ok());
+    const core::TrainingSet ts = datagen::BuildTrainingSet(*dataset);
+    auto rules = core::RuleLearner(PaperLearnerOptions()).Learn(ts);
+    RL_CHECK(rules.ok());
+    const eval::Table1Evaluator evaluator(&*rules, &PaperSegmenter(),
+                                          0.002);
+    const auto result = evaluator.Evaluate(ts);
+    table.AddRow(
+        {std::to_string(seed), std::to_string(rules->size()),
+         std::to_string(result.rows[0].decisions),
+         util::FormatPercent(result.rows.back().precision_cumulative),
+         util::FormatPercent(result.rows.back().recall_cumulative),
+         util::FormatDouble(result.rows[0].avg_lift, 0)});
+  }
+  std::cout << table.ToText() << "\n";
+}
+
+void BM_LearnRulesPaperScale(benchmark::State& state) {
+  const auto& ts = PaperTrainingSet();
+  const auto options = PaperLearnerOptions();
+  for (auto _ : state) {
+    auto rules = core::RuleLearner(options).Learn(ts);
+    benchmark::DoNotOptimize(rules);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ts.size()));
+}
+BENCHMARK(BM_LearnRulesPaperScale)->Unit(benchmark::kMillisecond);
+
+void BM_ClassifyItem(benchmark::State& state) {
+  const core::RuleClassifier classifier(&PaperRules(), &PaperSegmenter());
+  const auto& items = PaperDataset().external_items;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto predictions = classifier.Classify(items[i % items.size()]);
+    benchmark::DoNotOptimize(predictions);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassifyItem);
+
+void BM_EvaluateTable1(benchmark::State& state) {
+  const eval::Table1Evaluator evaluator(&PaperRules(), &PaperSegmenter(),
+                                        0.002);
+  for (auto _ : state) {
+    const auto result = evaluator.Evaluate(PaperTrainingSet());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EvaluateTable1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rulelink::bench
+
+int main(int argc, char** argv) {
+  rulelink::bench::PrintTable1Report();
+  rulelink::bench::PrintSeedStability();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Quickstart: the whole API on a tiny hand-written RDF corpus.
+//
+//  1. Parse a local catalog (Turtle) with its mini ontology.
+//  2. Parse external provider data and expert same-as links (N-Triples).
+//  3. Build the training set, learn classification rules, inspect them.
+//  4. Classify a brand-new external item and list the local candidates it
+//     should be compared with.
+#include <iostream>
+
+#include "core/classifier.h"
+#include "core/learner.h"
+#include "core/linking_space.h"
+#include "core/training_set.h"
+#include "ontology/instance_index.h"
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+#include "text/segmenter.h"
+
+namespace {
+
+// Local source S_L: a two-class ontology and a small typed catalog. The
+// part numbers of resistors carry the series segment "CRCW0805" or the
+// unit "ohm"; capacitors carry "T83".
+constexpr char kLocalTurtle[] = R"(
+@prefix rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl:  <http://www.w3.org/2002/07/owl#> .
+@prefix ex:   <http://example.org/onto#> .
+@prefix cat:  <http://example.org/catalog/> .
+@prefix s:    <http://example.org/schema#> .
+
+ex:Component a owl:Class ; rdfs:label "Component" .
+ex:Resistor a owl:Class ; rdfs:subClassOf ex:Component ;
+    rdfs:label "Fixed film resistor" .
+ex:Capacitor a owl:Class ; rdfs:subClassOf ex:Component ;
+    rdfs:label "Tantalum capacitor" .
+
+cat:r1 a ex:Resistor ; s:partNumber "CRCW0805-4K7-ohm" .
+cat:r2 a ex:Resistor ; s:partNumber "CRCW0805-10K-ohm" .
+cat:r3 a ex:Resistor ; s:partNumber "CRCW0805-220R-ohm" .
+cat:r4 a ex:Resistor ; s:partNumber "CRCW0805-1K0-ohm" .
+cat:c1 a ex:Capacitor ; s:partNumber "T83-106-16V" .
+cat:c2 a ex:Capacitor ; s:partNumber "T83-226-25V" .
+cat:c3 a ex:Capacitor ; s:partNumber "T83-476-10V" .
+)";
+
+// External source S_E: provider documents (schema unknown to S_L).
+constexpr char kExternalNTriples[] = R"(
+<http://provider.example/d1> <http://provider.example/schema#pn> "CRCW0805/4K7/ohm" .
+<http://provider.example/d2> <http://provider.example/schema#pn> "CRCW0805 10K ohm" .
+<http://provider.example/d3> <http://provider.example/schema#pn> "T83.106.16V" .
+<http://provider.example/d4> <http://provider.example/schema#pn> "T83-226-25V" .
+<http://provider.example/d5> <http://provider.example/schema#pn> "CRCW0805-220R-ohm" .
+<http://provider.example/d6> <http://provider.example/schema#pn> "T83-476-10V" .
+)";
+
+// Expert-validated same-as links (the training set TS).
+constexpr char kLinksNTriples[] = R"(
+<http://provider.example/d1> <http://www.w3.org/2002/07/owl#sameAs> <http://example.org/catalog/r1> .
+<http://provider.example/d2> <http://www.w3.org/2002/07/owl#sameAs> <http://example.org/catalog/r2> .
+<http://provider.example/d3> <http://www.w3.org/2002/07/owl#sameAs> <http://example.org/catalog/c1> .
+<http://provider.example/d4> <http://www.w3.org/2002/07/owl#sameAs> <http://example.org/catalog/c2> .
+<http://provider.example/d5> <http://www.w3.org/2002/07/owl#sameAs> <http://example.org/catalog/r3> .
+<http://provider.example/d6> <http://www.w3.org/2002/07/owl#sameAs> <http://example.org/catalog/c3> .
+)";
+
+}  // namespace
+
+int main() {
+  using namespace rulelink;
+
+  // 1. Parse everything.
+  rdf::Graph local, external, links;
+  if (auto s = rdf::ParseTurtle(kLocalTurtle, &local); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  if (auto s = rdf::ParseNTriples(kExternalNTriples, &external); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  if (auto s = rdf::ParseNTriples(kLinksNTriples, &links); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  // 2. Ontology + instance index over the local source.
+  auto onto_or = ontology::Ontology::FromGraph(local);
+  if (!onto_or.ok()) {
+    std::cerr << onto_or.status() << "\n";
+    return 1;
+  }
+  const ontology::Ontology& onto = *onto_or;
+  const auto index = ontology::InstanceIndex::Build(local, onto);
+
+  // 3. Training set + rule learning.
+  std::size_t skipped = 0;
+  auto ts_or = core::TrainingSet::FromGraphs(external, links, index, &skipped);
+  if (!ts_or.ok()) {
+    std::cerr << ts_or.status() << "\n";
+    return 1;
+  }
+  const core::TrainingSet& ts = *ts_or;
+  std::cout << "Training set: " << ts.size() << " links (" << skipped
+            << " skipped)\n";
+
+  const text::SeparatorSegmenter segmenter;
+  core::LearnerOptions options;
+  options.support_threshold = 0.2;  // tiny corpus, generous threshold
+  options.segmenter = &segmenter;
+  auto rules_or = core::RuleLearner(options).Learn(ts);
+  if (!rules_or.ok()) {
+    std::cerr << rules_or.status() << "\n";
+    return 1;
+  }
+  const core::RuleSet& rules = *rules_or;
+
+  std::cout << "\nLearned " << rules.size() << " classification rules:\n";
+  for (const auto& rule : rules.rules()) {
+    std::cout << "  " << core::RuleToString(rule, rules.properties(), onto)
+              << "  [support=" << rule.support
+              << " confidence=" << rule.confidence << " lift=" << rule.lift
+              << "]\n";
+  }
+
+  // 4. Classify a brand-new provider item and reduce its linking space.
+  core::Item fresh;
+  fresh.iri = "http://provider.example/new-item";
+  fresh.facts.push_back(core::PropertyValue{
+      "http://provider.example/schema#pn", "T83_686_35V"});
+
+  const core::RuleClassifier classifier(&rules, &segmenter);
+  const core::LinkingSpaceAnalyzer analyzer(&classifier, &index);
+  std::cout << "\nNew item with partNumber \"T83_686_35V\" is predicted as:\n";
+  for (const auto& prediction : classifier.Classify(fresh)) {
+    std::cout << "  " << onto.label(prediction.cls)
+              << " (confidence=" << prediction.confidence << ")\n";
+  }
+  std::cout << "It only needs to be compared with "
+            << analyzer.SubspaceSize(fresh, 0.0,
+                                     core::UnclassifiedPolicy::kCompareAll)
+            << " of " << index.instances().size() << " catalog items:\n";
+  for (rdf::TermId candidate : analyzer.Candidates(fresh, 0.0)) {
+    std::cout << "  " << index.IriOf(candidate) << "\n";
+  }
+  return 0;
+}

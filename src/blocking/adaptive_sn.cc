@@ -1,0 +1,78 @@
+#include "blocking/adaptive_sn.h"
+
+#include <algorithm>
+
+#include "text/similarity.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rulelink::blocking {
+
+AdaptiveSortedNeighbourhoodBlocker::AdaptiveSortedNeighbourhoodBlocker(
+    std::string property, double boundary_similarity, std::size_t max_block)
+    : property_(std::move(property)),
+      boundary_similarity_(boundary_similarity),
+      max_block_(max_block) {
+  RL_CHECK(boundary_similarity_ > 0.0 && boundary_similarity_ <= 1.0);
+  RL_CHECK(max_block_ >= 2);
+}
+
+std::vector<CandidatePair> AdaptiveSortedNeighbourhoodBlocker::Generate(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local) const {
+  struct Entry {
+    std::string key;
+    bool is_external;
+    std::size_t index;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(external.size() + local.size());
+  for (std::size_t e = 0; e < external.size(); ++e) {
+    std::string key = BlockingKey(external[e], property_, 0);
+    if (!key.empty()) entries.push_back(Entry{std::move(key), true, e});
+  }
+  for (std::size_t l = 0; l < local.size(); ++l) {
+    std::string key = BlockingKey(local[l], property_, 0);
+    if (!key.empty()) entries.push_back(Entry{std::move(key), false, l});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              if (a.is_external != b.is_external) return a.is_external;
+              return a.index < b.index;
+            });
+
+  std::vector<CandidatePair> pairs;
+  std::size_t block_start = 0;
+  const auto emit_block = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!entries[i].is_external) continue;
+      for (std::size_t j = begin; j < end; ++j) {
+        if (entries[j].is_external) continue;
+        pairs.push_back(
+            CandidatePair{entries[i].index, entries[j].index});
+      }
+    }
+  };
+  for (std::size_t i = 1; i <= entries.size(); ++i) {
+    const bool boundary =
+        i == entries.size() ||
+        i - block_start >= max_block_ ||
+        text::JaroWinklerSimilarity(entries[i - 1].key, entries[i].key) <
+            boundary_similarity_;
+    if (boundary) {
+      emit_block(block_start, i);
+      block_start = i;
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+std::string AdaptiveSortedNeighbourhoodBlocker::name() const {
+  return "adaptive-sn(" + property_ + ",b=" +
+         util::FormatDouble(boundary_similarity_, 2) + ")";
+}
+
+}  // namespace rulelink::blocking

@@ -1,0 +1,40 @@
+// Adaptive Sorted Neighbourhood (Yan, Lee, Kan & Giles 2007 — the paper's
+// reference [13]): instead of a fixed window, the sorted list is cut into
+// variable-size blocks wherever two consecutive sorting keys fall below a
+// similarity threshold; each adaptive block is compared exhaustively
+// (cross-source pairs only). Dense key regions grow the block, sparse
+// regions shrink it — the fixed-window failure mode the adaptive variant
+// exists to fix.
+#ifndef RULELINK_BLOCKING_ADAPTIVE_SN_H_
+#define RULELINK_BLOCKING_ADAPTIVE_SN_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+
+namespace rulelink::blocking {
+
+class AdaptiveSortedNeighbourhoodBlocker : public CandidateGenerator {
+ public:
+  // Consecutive sorted records stay in one block while the Jaro-Winkler
+  // similarity of their keys is >= `boundary_similarity`. `max_block`
+  // caps degenerate blocks (identical keys repeated thousands of times).
+  AdaptiveSortedNeighbourhoodBlocker(std::string property,
+                                     double boundary_similarity,
+                                     std::size_t max_block = 1000);
+
+  std::vector<CandidatePair> Generate(
+      const std::vector<core::Item>& external,
+      const std::vector<core::Item>& local) const override;
+  std::string name() const override;
+
+ private:
+  std::string property_;
+  double boundary_similarity_;
+  std::size_t max_block_;
+};
+
+}  // namespace rulelink::blocking
+
+#endif  // RULELINK_BLOCKING_ADAPTIVE_SN_H_

@@ -1,0 +1,88 @@
+#include "blocking/bigram_indexing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "text/similarity.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rulelink::blocking {
+
+BigramBlocker::BigramBlocker(std::string property, double threshold,
+                             std::size_t max_sublists_per_record)
+    : property_(std::move(property)),
+      threshold_(threshold),
+      max_sublists_(max_sublists_per_record) {
+  RL_CHECK(threshold_ > 0.0 && threshold_ <= 1.0)
+      << "bigram threshold must be in (0, 1]";
+  RL_CHECK(max_sublists_ > 0);
+}
+
+std::vector<std::string> BigramBlocker::SublistKeys(
+    const std::string& value) const {
+  std::vector<std::string> bigrams = text::CharacterBigrams(value);
+  if (bigrams.empty()) return {};
+  std::sort(bigrams.begin(), bigrams.end());
+  bigrams.erase(std::unique(bigrams.begin(), bigrams.end()), bigrams.end());
+
+  const std::size_t n = bigrams.size();
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(threshold_ * static_cast<double>(n))));
+
+  // Enumerate C(n, k) combinations in lexicographic order, capped.
+  std::vector<std::string> keys;
+  std::vector<std::size_t> combo(k);
+  for (std::size_t i = 0; i < k; ++i) combo[i] = i;
+  for (;;) {
+    std::string key;
+    for (std::size_t i : combo) key += bigrams[i];
+    keys.push_back(std::move(key));
+    if (keys.size() >= max_sublists_) break;
+    // Next combination.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (combo[i] != i + n - k) break;
+      if (i == 0) return keys;  // exhausted
+    }
+    if (combo[i] == i + n - k) return keys;
+    ++combo[i];
+    for (std::size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+  }
+  return keys;
+}
+
+std::vector<CandidatePair> BigramBlocker::Generate(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local) const {
+  std::unordered_map<std::string, std::vector<std::size_t>> index;
+  for (std::size_t l = 0; l < local.size(); ++l) {
+    const std::string value = BlockingKey(local[l], property_, 0);
+    if (value.empty()) continue;
+    for (std::string& key : SublistKeys(value)) {
+      index[std::move(key)].push_back(l);
+    }
+  }
+  std::set<CandidatePair> pairs;
+  for (std::size_t e = 0; e < external.size(); ++e) {
+    const std::string value = BlockingKey(external[e], property_, 0);
+    if (value.empty()) continue;
+    for (const std::string& key : SublistKeys(value)) {
+      auto it = index.find(key);
+      if (it == index.end()) continue;
+      for (std::size_t l : it->second) pairs.insert(CandidatePair{e, l});
+    }
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+std::string BigramBlocker::name() const {
+  return "bigram(" + property_ + ",t=" + util::FormatDouble(threshold_, 2) +
+         ")";
+}
+
+}  // namespace rulelink::blocking

@@ -1,0 +1,42 @@
+// Bi-gram indexing (Baxter, Christen & Churches 2003, cited in §2): the
+// blocking key value is converted into its character bigram list; sub-lists
+// of length ceil(threshold * len) over the sorted bigram list are generated
+// and inserted into an inverted index, so records sharing any sub-list key
+// become candidates. Lower thresholds tolerate more typos but create more
+// keys.
+#ifndef RULELINK_BLOCKING_BIGRAM_INDEXING_H_
+#define RULELINK_BLOCKING_BIGRAM_INDEXING_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+
+namespace rulelink::blocking {
+
+class BigramBlocker : public CandidateGenerator {
+ public:
+  // `threshold` in (0, 1]: the fraction of a record's bigrams a sub-list
+  // must keep. `max_sublists_per_record` caps the combinatorial explosion
+  // for long values (the canonical algorithm enumerates all C(n, k)
+  // combinations); the cap keeps the lexicographically first combinations.
+  BigramBlocker(std::string property, double threshold,
+                std::size_t max_sublists_per_record = 256);
+
+  std::vector<CandidatePair> Generate(
+      const std::vector<core::Item>& external,
+      const std::vector<core::Item>& local) const override;
+  std::string name() const override;
+
+  // Exposed for tests: the sub-list index keys of one key value.
+  std::vector<std::string> SublistKeys(const std::string& value) const;
+
+ private:
+  std::string property_;
+  double threshold_;
+  std::size_t max_sublists_;
+};
+
+}  // namespace rulelink::blocking
+
+#endif  // RULELINK_BLOCKING_BIGRAM_INDEXING_H_

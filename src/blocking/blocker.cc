@@ -1,0 +1,34 @@
+#include "blocking/blocker.h"
+
+#include "util/string_util.h"
+
+namespace rulelink::blocking {
+
+std::vector<CandidatePair> CartesianBlocker::Generate(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local) const {
+  std::vector<CandidatePair> pairs;
+  pairs.reserve(external.size() * local.size());
+  for (std::size_t e = 0; e < external.size(); ++e) {
+    for (std::size_t l = 0; l < local.size(); ++l) {
+      pairs.push_back(CandidatePair{e, l});
+    }
+  }
+  return pairs;
+}
+
+std::string BlockingKey(const core::Item& item, const std::string& property,
+                        std::size_t prefix_length) {
+  for (const auto& pv : item.facts) {
+    if (pv.property == property) {
+      std::string key = util::AsciiToLower(pv.value);
+      if (prefix_length > 0 && key.size() > prefix_length) {
+        key.resize(prefix_length);
+      }
+      return key;
+    }
+  }
+  return "";
+}
+
+}  // namespace rulelink::blocking

@@ -1,0 +1,61 @@
+// Candidate-pair generation interface shared by the classic blocking
+// baselines the paper surveys (§2) and by the rule-based class filter the
+// paper proposes. A generator sees an external and a local item list and
+// proposes the (external, local) index pairs a linker should compare.
+#ifndef RULELINK_BLOCKING_BLOCKER_H_
+#define RULELINK_BLOCKING_BLOCKER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/item.h"
+
+namespace rulelink::blocking {
+
+struct CandidatePair {
+  std::size_t external_index = 0;
+  std::size_t local_index = 0;
+
+  friend bool operator==(const CandidatePair& a, const CandidatePair& b) {
+    return a.external_index == b.external_index &&
+           a.local_index == b.local_index;
+  }
+  friend bool operator<(const CandidatePair& a, const CandidatePair& b) {
+    if (a.external_index != b.external_index) {
+      return a.external_index < b.external_index;
+    }
+    return a.local_index < b.local_index;
+  }
+};
+
+class CandidateGenerator {
+ public:
+  virtual ~CandidateGenerator() = default;
+
+  // Proposes candidate pairs. Pairs are deduplicated and sorted.
+  virtual std::vector<CandidatePair> Generate(
+      const std::vector<core::Item>& external,
+      const std::vector<core::Item>& local) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// The naive |S_E| x |S_L| space (§3): every pair is a candidate.
+class CartesianBlocker : public CandidateGenerator {
+ public:
+  std::vector<CandidatePair> Generate(
+      const std::vector<core::Item>& external,
+      const std::vector<core::Item>& local) const override;
+  std::string name() const override { return "cartesian"; }
+};
+
+// Extracts the blocking key of an item: the first value of `property`,
+// optionally truncated to `prefix_length` characters (0 = whole value),
+// ASCII-lowercased. Shared by the key-based blockers.
+std::string BlockingKey(const core::Item& item, const std::string& property,
+                        std::size_t prefix_length);
+
+}  // namespace rulelink::blocking
+
+#endif  // RULELINK_BLOCKING_BLOCKER_H_

@@ -1,0 +1,99 @@
+#include "blocking/canopy.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/similarity.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace rulelink::blocking {
+
+CanopyBlocker::CanopyBlocker(std::string property, double loose_threshold,
+                             double tight_threshold, std::uint64_t seed)
+    : property_(std::move(property)),
+      loose_(loose_threshold),
+      tight_(tight_threshold),
+      seed_(seed) {
+  RL_CHECK(loose_ <= tight_)
+      << "canopy loose threshold must not exceed the tight threshold";
+  RL_CHECK(loose_ > 0.0 && tight_ <= 1.0);
+}
+
+std::vector<CandidatePair> CanopyBlocker::Generate(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local) const {
+  struct Record {
+    bool is_external;
+    std::size_t index;
+    std::vector<std::string> tokens;  // character bigrams of the key
+  };
+  std::vector<Record> records;
+  records.reserve(external.size() + local.size());
+  text::TfIdfCosine tfidf;
+  const auto add = [&](const std::vector<core::Item>& items,
+                       bool is_external) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const std::string key = BlockingKey(items[i], property_, 0);
+      if (key.empty()) continue;
+      Record record{is_external, i, text::CharacterBigrams(key)};
+      tfidf.AddDocument(record.tokens);
+      records.push_back(std::move(record));
+    }
+  };
+  add(external, true);
+  add(local, false);
+  tfidf.Finalize();
+
+  std::vector<bool> in_pool(records.size(), true);
+  std::size_t remaining = records.size();
+  util::Rng rng(seed_);
+  std::set<CandidatePair> pairs;
+
+  while (remaining > 0) {
+    // Deterministic seed pick: a uniformly random pool member.
+    std::size_t nth = rng.UniformUint64(remaining);
+    std::size_t seed_index = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (!in_pool[i]) continue;
+      if (nth-- == 0) {
+        seed_index = i;
+        break;
+      }
+    }
+    const Record& center = records[seed_index];
+    std::vector<std::size_t> canopy;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      // Canonical canopy clustering: every record within the loose
+      // threshold joins the canopy (tight-retired records included);
+      // retirement only removes records from the CENTER pool.
+      const double sim = tfidf.Similarity(center.tokens, records[i].tokens);
+      if (sim >= loose_) {
+        canopy.push_back(i);
+        if (sim >= tight_ && in_pool[i]) {
+          in_pool[i] = false;
+          --remaining;
+        }
+      }
+    }
+    if (in_pool[seed_index]) {  // always retire the seed itself
+      in_pool[seed_index] = false;
+      --remaining;
+    }
+    for (std::size_t a : canopy) {
+      for (std::size_t b : canopy) {
+        if (!records[a].is_external || records[b].is_external) continue;
+        pairs.insert(CandidatePair{records[a].index, records[b].index});
+      }
+    }
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+std::string CanopyBlocker::name() const {
+  return "canopy(" + property_ + ",loose=" + util::FormatDouble(loose_, 2) +
+         ",tight=" + util::FormatDouble(tight_, 2) + ")";
+}
+
+}  // namespace rulelink::blocking

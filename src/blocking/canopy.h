@@ -1,0 +1,38 @@
+// Canopy clustering blocker (McCallum, Nigam & Ungar): records are grouped
+// into overlapping canopies using a cheap TF-IDF cosine over character
+// bigrams; only intra-canopy cross-source pairs become candidates. The
+// classic alternative to key-based blocking when no clean key exists.
+#ifndef RULELINK_BLOCKING_CANOPY_H_
+#define RULELINK_BLOCKING_CANOPY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+
+namespace rulelink::blocking {
+
+class CanopyBlocker : public CandidateGenerator {
+ public:
+  // loose <= tight is required (cosine similarities: a record within
+  // `tight` of the canopy seed is removed from the pool; within `loose`
+  // it joins the canopy). `seed` drives the deterministic seed choice.
+  CanopyBlocker(std::string property, double loose_threshold,
+                double tight_threshold, std::uint64_t seed = 42);
+
+  std::vector<CandidatePair> Generate(
+      const std::vector<core::Item>& external,
+      const std::vector<core::Item>& local) const override;
+  std::string name() const override;
+
+ private:
+  std::string property_;
+  double loose_;
+  double tight_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rulelink::blocking
+
+#endif  // RULELINK_BLOCKING_CANOPY_H_

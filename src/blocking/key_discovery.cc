@@ -1,0 +1,60 @@
+#include "blocking/key_discovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rulelink::blocking {
+
+std::vector<PropertyKeyness> DiscoverKeys(
+    const std::vector<core::Item>& items) {
+  struct Tally {
+    std::size_t items_with_value = 0;
+    std::unordered_set<std::string> values;
+  };
+  std::unordered_map<std::string, Tally> tallies;
+  for (const core::Item& item : items) {
+    std::unordered_set<std::string> seen_properties;
+    for (const core::PropertyValue& pv : item.facts) {
+      Tally& tally = tallies[pv.property];
+      if (seen_properties.insert(pv.property).second) {
+        ++tally.items_with_value;
+      }
+      tally.values.insert(pv.value);
+    }
+  }
+
+  std::vector<PropertyKeyness> out;
+  out.reserve(tallies.size());
+  const double total = static_cast<double>(items.size());
+  for (auto& [property, tally] : tallies) {
+    PropertyKeyness keyness;
+    keyness.property = property;
+    keyness.items_with_value = tally.items_with_value;
+    keyness.distinct_values = tally.values.size();
+    if (tally.items_with_value > 0) {
+      keyness.uniqueness =
+          static_cast<double>(keyness.distinct_values) /
+          static_cast<double>(tally.items_with_value);
+    }
+    if (total > 0) {
+      keyness.coverage =
+          static_cast<double>(tally.items_with_value) / total;
+    }
+    keyness.score = keyness.uniqueness * keyness.coverage;
+    out.push_back(std::move(keyness));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PropertyKeyness& a, const PropertyKeyness& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.property < b.property;
+            });
+  return out;
+}
+
+std::string BestKeyProperty(const std::vector<core::Item>& items) {
+  const auto ranked = DiscoverKeys(items);
+  return ranked.empty() ? std::string() : ranked.front().property;
+}
+
+}  // namespace rulelink::blocking

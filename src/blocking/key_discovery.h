@@ -1,0 +1,37 @@
+// Key discovery: the approaches the paper contrasts with (§1-§2) rely on
+// key constraints to partition the data; when no key is declared, a
+// near-key can be mined. This module ranks the data-type properties of an
+// item collection by "keyness" (uniqueness x coverage), both to feed the
+// classic key-based blockers and to sanity-check the expert's property
+// choice for rule learning (the part number scores ~1.0; the manufacturer
+// — which the paper explicitly rejects as non-predictive — scores low).
+#ifndef RULELINK_BLOCKING_KEY_DISCOVERY_H_
+#define RULELINK_BLOCKING_KEY_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/item.h"
+
+namespace rulelink::blocking {
+
+struct PropertyKeyness {
+  std::string property;
+  std::size_t items_with_value = 0;  // items having >= 1 value
+  std::size_t distinct_values = 0;
+  double uniqueness = 0.0;  // distinct_values / items_with_value
+  double coverage = 0.0;    // items_with_value / total items
+  double score = 0.0;       // uniqueness * coverage
+};
+
+// Ranks every property appearing in `items`, best key first. Ties break
+// by property name for determinism.
+std::vector<PropertyKeyness> DiscoverKeys(
+    const std::vector<core::Item>& items);
+
+// The best-scoring property, or empty when `items` carries no facts.
+std::string BestKeyProperty(const std::vector<core::Item>& items);
+
+}  // namespace rulelink::blocking
+
+#endif  // RULELINK_BLOCKING_KEY_DISCOVERY_H_

@@ -1,0 +1,40 @@
+#include "blocking/metrics.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rulelink::blocking {
+
+BlockingQuality EvaluateBlocking(const std::vector<CandidatePair>& candidates,
+                                 const std::vector<CandidatePair>& gold,
+                                 std::size_t num_external,
+                                 std::size_t num_local) {
+  BlockingQuality quality;
+  quality.total_pairs = static_cast<std::uint64_t>(num_external) *
+                        static_cast<std::uint64_t>(num_local);
+  const std::set<CandidatePair> candidate_set(candidates.begin(),
+                                              candidates.end());
+  const std::set<CandidatePair> gold_set(gold.begin(), gold.end());
+  quality.candidate_pairs = candidate_set.size();
+  quality.true_matches = gold_set.size();
+  for (const CandidatePair& pair : gold_set) {
+    if (candidate_set.count(pair) > 0) ++quality.matches_found;
+  }
+  if (quality.total_pairs > 0) {
+    quality.reduction_ratio =
+        1.0 - static_cast<double>(quality.candidate_pairs) /
+                  static_cast<double>(quality.total_pairs);
+  }
+  if (quality.true_matches > 0) {
+    quality.pairs_completeness =
+        static_cast<double>(quality.matches_found) /
+        static_cast<double>(quality.true_matches);
+  }
+  if (quality.candidate_pairs > 0) {
+    quality.pairs_quality = static_cast<double>(quality.matches_found) /
+                            static_cast<double>(quality.candidate_pairs);
+  }
+  return quality;
+}
+
+}  // namespace rulelink::blocking

@@ -1,0 +1,36 @@
+// Blocking quality metrics (Christen's standard trio): reduction ratio,
+// pairs completeness, pairs quality — measured against a gold standard of
+// true matching pairs.
+#ifndef RULELINK_BLOCKING_METRICS_H_
+#define RULELINK_BLOCKING_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blocking/blocker.h"
+
+namespace rulelink::blocking {
+
+struct BlockingQuality {
+  std::uint64_t total_pairs = 0;      // |S_E| * |S_L|
+  std::size_t candidate_pairs = 0;
+  std::size_t true_matches = 0;       // gold size
+  std::size_t matches_found = 0;      // gold pairs among the candidates
+  // 1 - candidates / total: how much comparison work is saved.
+  double reduction_ratio = 0.0;
+  // matches_found / true_matches: recall of the match set.
+  double pairs_completeness = 0.0;
+  // matches_found / candidates: precision of the candidate set.
+  double pairs_quality = 0.0;
+};
+
+// `candidates` need not be sorted; `gold` lists the true (external, local)
+// matches. Duplicate candidates are counted once.
+BlockingQuality EvaluateBlocking(const std::vector<CandidatePair>& candidates,
+                                 const std::vector<CandidatePair>& gold,
+                                 std::size_t num_external,
+                                 std::size_t num_local);
+
+}  // namespace rulelink::blocking
+
+#endif  // RULELINK_BLOCKING_METRICS_H_

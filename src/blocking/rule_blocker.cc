@@ -1,0 +1,84 @@
+#include "blocking/rule_blocker.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rulelink::blocking {
+
+RuleBlocker::RuleBlocker(const core::RuleClassifier* classifier,
+                         const ontology::Ontology* onto,
+                         const std::vector<ontology::ClassId>* local_classes,
+                         double min_confidence,
+                         bool compare_all_when_unclassified)
+    : classifier_(classifier),
+      onto_(onto),
+      local_classes_(local_classes),
+      min_confidence_(min_confidence),
+      compare_all_when_unclassified_(compare_all_when_unclassified) {
+  RL_CHECK(classifier_ != nullptr);
+  RL_CHECK(onto_ != nullptr);
+  RL_CHECK(local_classes_ != nullptr);
+}
+
+std::vector<CandidatePair> RuleBlocker::Generate(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local) const {
+  RL_CHECK(local_classes_->size() == local.size())
+      << "local_classes must parallel the local item list";
+
+  // Class -> local item indexes (direct assertion).
+  std::unordered_map<ontology::ClassId, std::vector<std::size_t>> extents;
+  for (std::size_t l = 0; l < local.size(); ++l) {
+    const ontology::ClassId c = (*local_classes_)[l];
+    if (c != ontology::kInvalidClassId) extents[c].push_back(l);
+  }
+
+  std::vector<CandidatePair> pairs;
+  std::vector<bool> in_subspace(local.size(), false);
+  for (std::size_t e = 0; e < external.size(); ++e) {
+    const auto predictions =
+        classifier_->Classify(external[e], min_confidence_);
+    if (predictions.empty()) {
+      if (compare_all_when_unclassified_) {
+        for (std::size_t l = 0; l < local.size(); ++l) {
+          pairs.push_back(CandidatePair{e, l});
+        }
+      }
+      continue;
+    }
+    std::vector<std::size_t> touched;
+    const auto absorb = [&](ontology::ClassId c) {
+      auto it = extents.find(c);
+      if (it == extents.end()) return;
+      for (std::size_t l : it->second) {
+        if (!in_subspace[l]) {
+          in_subspace[l] = true;
+          touched.push_back(l);
+        }
+      }
+    };
+    for (const core::ClassPrediction& prediction : predictions) {
+      absorb(prediction.cls);
+      for (ontology::ClassId d : onto_->Descendants(prediction.cls)) {
+        absorb(d);
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (std::size_t l : touched) {
+      pairs.push_back(CandidatePair{e, l});
+      in_subspace[l] = false;  // reset for the next external item
+    }
+  }
+  return pairs;
+}
+
+std::string RuleBlocker::name() const {
+  return "rule-classifier(minconf=" +
+         util::FormatDouble(min_confidence_, 2) +
+         (compare_all_when_unclassified_ ? ",fallback=all)" : ",fallback=skip)");
+}
+
+}  // namespace rulelink::blocking

@@ -1,0 +1,79 @@
+#include "blocking/scheme_selector.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "blocking/bigram_indexing.h"
+#include "blocking/sorted_neighbourhood.h"
+#include "blocking/standard_blocking.h"
+#include "blocking/suffix_blocking.h"
+
+namespace rulelink::blocking {
+
+std::vector<SchemeScore> RankSchemes(
+    const std::vector<const CandidateGenerator*>& generators,
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local,
+    const std::vector<CandidatePair>& gold,
+    const SchemeSelectorOptions& options) {
+  // Sample prefix of each side; remap the gold pairs into the sample.
+  const std::size_t e_count =
+      options.sample_limit == 0
+          ? external.size()
+          : std::min(options.sample_limit, external.size());
+  const std::size_t l_count =
+      options.sample_limit == 0 ? local.size()
+                                : std::min(options.sample_limit, local.size());
+  const std::vector<core::Item> e_sample(external.begin(),
+                                         external.begin() + e_count);
+  const std::vector<core::Item> l_sample(local.begin(),
+                                         local.begin() + l_count);
+  std::vector<CandidatePair> gold_sample;
+  for (const CandidatePair& pair : gold) {
+    if (pair.external_index < e_count && pair.local_index < l_count) {
+      gold_sample.push_back(pair);
+    }
+  }
+
+  const double beta2 = options.beta * options.beta;
+  std::vector<SchemeScore> scores;
+  scores.reserve(generators.size());
+  for (const CandidateGenerator* generator : generators) {
+    SchemeScore entry;
+    entry.name = generator->name();
+    entry.quality = EvaluateBlocking(generator->Generate(e_sample, l_sample),
+                                     gold_sample, e_count, l_count);
+    // F-beta with completeness in the recall slot and reduction in the
+    // precision slot: beta > 1 favors completeness.
+    const double pc = entry.quality.pairs_completeness;
+    const double rr = entry.quality.reduction_ratio;
+    entry.score = (beta2 * rr + pc > 0.0)
+                      ? (1.0 + beta2) * rr * pc / (beta2 * rr + pc)
+                      : 0.0;
+    scores.push_back(std::move(entry));
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const SchemeScore& a, const SchemeScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.name < b.name;
+            });
+  return scores;
+}
+
+std::vector<std::unique_ptr<CandidateGenerator>> DefaultSchemePortfolio(
+    const std::string& property) {
+  std::vector<std::unique_ptr<CandidateGenerator>> portfolio;
+  for (std::size_t prefix : {3u, 5u, 8u}) {
+    portfolio.push_back(
+        std::make_unique<StandardBlocker>(property, prefix));
+  }
+  for (std::size_t window : {5u, 10u, 20u}) {
+    portfolio.push_back(
+        std::make_unique<SortedNeighbourhoodBlocker>(property, window));
+  }
+  portfolio.push_back(std::make_unique<BigramBlocker>(property, 0.9));
+  portfolio.push_back(std::make_unique<SuffixBlocker>(property, 6));
+  return portfolio;
+}
+
+}  // namespace rulelink::blocking

@@ -1,0 +1,53 @@
+// Supervised blocking-scheme selection: given the expert's validated
+// links (the same TS the rule learner uses), evaluate a portfolio of
+// candidate blocking schemes on a sample and rank them by an
+// F-measure-style combination of pairs completeness and reduction ratio.
+// This automates the "identified (subset of) attributes" the classic
+// blocking methods of §2 presuppose.
+#ifndef RULELINK_BLOCKING_SCHEME_SELECTOR_H_
+#define RULELINK_BLOCKING_SCHEME_SELECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+#include "blocking/metrics.h"
+
+namespace rulelink::blocking {
+
+struct SchemeScore {
+  std::string name;
+  BlockingQuality quality;
+  // Harmonic mean of pairs completeness and reduction ratio (beta = 1);
+  // the standard scalarization for blocking-scheme learning.
+  double score = 0.0;
+};
+
+struct SchemeSelectorOptions {
+  // Cap on sampled items per side; 0 = use everything.
+  std::size_t sample_limit = 1000;
+  // Weight of completeness vs reduction in the F-measure (beta > 1 favors
+  // completeness).
+  double beta = 1.0;
+};
+
+// Evaluates every generator against the gold matches restricted to the
+// sample and returns them ranked, best first. Generators are borrowed.
+std::vector<SchemeScore> RankSchemes(
+    const std::vector<const CandidateGenerator*>& generators,
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local,
+    const std::vector<CandidatePair>& gold,
+    const SchemeSelectorOptions& options = SchemeSelectorOptions());
+
+// Builds the default candidate portfolio over `property`: standard
+// blocking with several prefix lengths, sorted neighbourhood with several
+// windows, bi-gram indexing, and suffix blocking. The returned generators
+// own their configuration.
+std::vector<std::unique_ptr<CandidateGenerator>> DefaultSchemePortfolio(
+    const std::string& property);
+
+}  // namespace rulelink::blocking
+
+#endif  // RULELINK_BLOCKING_SCHEME_SELECTOR_H_

@@ -1,0 +1,72 @@
+#include "blocking/sorted_neighbourhood.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace rulelink::blocking {
+
+SortedNeighbourhoodBlocker::SortedNeighbourhoodBlocker(
+    std::string property, std::size_t window_size)
+    : property_(std::move(property)), window_size_(window_size) {
+  RL_CHECK(window_size_ >= 2) << "window must span at least 2 records";
+}
+
+std::vector<CandidatePair> SortedNeighbourhoodBlocker::Generate(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local) const {
+  struct Entry {
+    std::string key;
+    bool is_external;
+    std::size_t index;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(external.size() + local.size());
+  for (std::size_t e = 0; e < external.size(); ++e) {
+    std::string key = BlockingKey(external[e], property_, 0);
+    if (!key.empty()) entries.push_back(Entry{std::move(key), true, e});
+  }
+  for (std::size_t l = 0; l < local.size(); ++l) {
+    std::string key = BlockingKey(local[l], property_, 0);
+    if (!key.empty()) entries.push_back(Entry{std::move(key), false, l});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              if (a.is_external != b.is_external) return a.is_external;
+              return a.index < b.index;
+            });
+
+  std::set<CandidatePair> pairs;
+  const auto add_pair = [&pairs](const Entry& a, const Entry& b) {
+    if (a.is_external == b.is_external) return;
+    const Entry& ext = a.is_external ? a : b;
+    const Entry& loc = a.is_external ? b : a;
+    pairs.insert(CandidatePair{ext.index, loc.index});
+  };
+  if (entries.size() >= 2) {
+    const std::size_t window = std::min(window_size_, entries.size());
+    // First window: all pairs inside it.
+    for (std::size_t i = 0; i < window; ++i) {
+      for (std::size_t j = i + 1; j < window; ++j) {
+        add_pair(entries[i], entries[j]);
+      }
+    }
+    // Each slide adds one record; pair it with the rest of its window.
+    for (std::size_t start = 1; start + window <= entries.size(); ++start) {
+      const Entry& last = entries[start + window - 1];
+      for (std::size_t i = start; i + 1 < start + window; ++i) {
+        add_pair(entries[i], last);
+      }
+    }
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+std::string SortedNeighbourhoodBlocker::name() const {
+  return "sorted-neighbourhood(" + property_ + ",w=" +
+         std::to_string(window_size_) + ")";
+}
+
+}  // namespace rulelink::blocking

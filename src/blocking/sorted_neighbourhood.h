@@ -1,0 +1,33 @@
+// Sorted Neighbourhood (Hernández & Stolfo; adaptive variant surveyed by
+// Yan et al. 2007, cited in §2): both sources are merged, sorted by a
+// sorting key, and a fixed-size window slides over the sorted list; every
+// cross-source pair inside the window is a candidate.
+#ifndef RULELINK_BLOCKING_SORTED_NEIGHBOURHOOD_H_
+#define RULELINK_BLOCKING_SORTED_NEIGHBOURHOOD_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+
+namespace rulelink::blocking {
+
+class SortedNeighbourhoodBlocker : public CandidateGenerator {
+ public:
+  // Sorts on the full (lowercased) value of `property`; `window_size` is
+  // the number of consecutive sorted records in one window (>= 2).
+  SortedNeighbourhoodBlocker(std::string property, std::size_t window_size);
+
+  std::vector<CandidatePair> Generate(
+      const std::vector<core::Item>& external,
+      const std::vector<core::Item>& local) const override;
+  std::string name() const override;
+
+ private:
+  std::string property_;
+  std::size_t window_size_;
+};
+
+}  // namespace rulelink::blocking
+
+#endif  // RULELINK_BLOCKING_SORTED_NEIGHBOURHOOD_H_

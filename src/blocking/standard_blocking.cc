@@ -1,0 +1,36 @@
+#include "blocking/standard_blocking.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rulelink::blocking {
+
+StandardBlocker::StandardBlocker(std::string property,
+                                 std::size_t prefix_length)
+    : property_(std::move(property)), prefix_length_(prefix_length) {}
+
+std::vector<CandidatePair> StandardBlocker::Generate(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local) const {
+  std::unordered_map<std::string, std::vector<std::size_t>> local_blocks;
+  for (std::size_t l = 0; l < local.size(); ++l) {
+    std::string key = BlockingKey(local[l], property_, prefix_length_);
+    if (!key.empty()) local_blocks[std::move(key)].push_back(l);
+  }
+  std::vector<CandidatePair> pairs;
+  for (std::size_t e = 0; e < external.size(); ++e) {
+    const std::string key = BlockingKey(external[e], property_, prefix_length_);
+    if (key.empty()) continue;
+    auto it = local_blocks.find(key);
+    if (it == local_blocks.end()) continue;
+    for (std::size_t l : it->second) pairs.push_back(CandidatePair{e, l});
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::string StandardBlocker::name() const {
+  return "standard(" + property_ + "," + std::to_string(prefix_length_) + ")";
+}
+
+}  // namespace rulelink::blocking

@@ -1,0 +1,32 @@
+// Standard key blocking (Jaro 1989, as recalled in §2): items sharing the
+// same blocking key — e.g. the first five characters of a name — fall in
+// the same block, and only intra-block cross-source pairs are compared.
+#ifndef RULELINK_BLOCKING_STANDARD_BLOCKING_H_
+#define RULELINK_BLOCKING_STANDARD_BLOCKING_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+
+namespace rulelink::blocking {
+
+class StandardBlocker : public CandidateGenerator {
+ public:
+  // Blocks on the first `prefix_length` characters (0 = full value) of
+  // `property`. Items with an empty key are never candidates.
+  StandardBlocker(std::string property, std::size_t prefix_length);
+
+  std::vector<CandidatePair> Generate(
+      const std::vector<core::Item>& external,
+      const std::vector<core::Item>& local) const override;
+  std::string name() const override;
+
+ private:
+  std::string property_;
+  std::size_t prefix_length_;
+};
+
+}  // namespace rulelink::blocking
+
+#endif  // RULELINK_BLOCKING_STANDARD_BLOCKING_H_

@@ -1,0 +1,68 @@
+#include "blocking/suffix_blocking.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace rulelink::blocking {
+namespace {
+
+struct SuffixBlock {
+  std::vector<std::size_t> external;
+  std::vector<std::size_t> local;
+};
+
+}  // namespace
+
+SuffixBlocker::SuffixBlocker(std::string property,
+                             std::size_t min_suffix_length,
+                             std::size_t max_block_size)
+    : property_(std::move(property)),
+      min_suffix_length_(min_suffix_length),
+      max_block_size_(max_block_size) {
+  RL_CHECK(min_suffix_length_ > 0);
+  RL_CHECK(max_block_size_ >= 2);
+}
+
+std::vector<CandidatePair> SuffixBlocker::Generate(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local) const {
+  std::unordered_map<std::string, SuffixBlock> blocks;
+  const auto add = [&](const std::vector<core::Item>& items,
+                       bool is_external) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const std::string key = BlockingKey(items[i], property_, 0);
+      if (key.size() < min_suffix_length_) continue;
+      for (std::size_t start = 0;
+           start + min_suffix_length_ <= key.size(); ++start) {
+        SuffixBlock& block = blocks[key.substr(start)];
+        (is_external ? block.external : block.local).push_back(i);
+      }
+    }
+  };
+  add(external, true);
+  add(local, false);
+
+  std::set<CandidatePair> pairs;
+  for (const auto& [suffix, block] : blocks) {
+    if (block.external.size() + block.local.size() > max_block_size_) {
+      continue;  // non-discriminating suffix
+    }
+    for (std::size_t e : block.external) {
+      for (std::size_t l : block.local) {
+        pairs.insert(CandidatePair{e, l});
+      }
+    }
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+std::string SuffixBlocker::name() const {
+  return "suffix(" + property_ + ",min=" +
+         std::to_string(min_suffix_length_) + ",max-block=" +
+         std::to_string(max_block_size_) + ")";
+}
+
+}  // namespace rulelink::blocking

@@ -1,0 +1,35 @@
+// Suffix-array blocking (Aizawa & Oyama 2005): every suffix of the
+// blocking key no shorter than `min_suffix_length` indexes the record;
+// records sharing a suffix become candidates. Suffixes shared by more
+// than `max_block_size` records are dropped as non-discriminating. Robust
+// to prefix noise (e.g. manufacturer prefixes glued in front of a shared
+// part-number core) where prefix-based standard blocking fails.
+#ifndef RULELINK_BLOCKING_SUFFIX_BLOCKING_H_
+#define RULELINK_BLOCKING_SUFFIX_BLOCKING_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+
+namespace rulelink::blocking {
+
+class SuffixBlocker : public CandidateGenerator {
+ public:
+  SuffixBlocker(std::string property, std::size_t min_suffix_length,
+                std::size_t max_block_size = 50);
+
+  std::vector<CandidatePair> Generate(
+      const std::vector<core::Item>& external,
+      const std::vector<core::Item>& local) const override;
+  std::string name() const override;
+
+ private:
+  std::string property_;
+  std::size_t min_suffix_length_;
+  std::size_t max_block_size_;
+};
+
+}  // namespace rulelink::blocking
+
+#endif  // RULELINK_BLOCKING_SUFFIX_BLOCKING_H_

@@ -1,0 +1,78 @@
+#include "core/classifier.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace rulelink::core {
+
+RuleClassifier::RuleClassifier(const RuleSet* rules,
+                               const text::Segmenter* segmenter)
+    : rules_(rules), segmenter_(segmenter) {
+  RL_CHECK(rules_ != nullptr);
+  RL_CHECK(segmenter_ != nullptr);
+}
+
+std::vector<ClassPrediction> RuleClassifier::Classify(
+    const Item& item, double min_confidence) const {
+  // Distinct (property, segment) premises the item satisfies.
+  std::unordered_set<std::pair<PropertyId, std::string>, util::PairHash>
+      premises;
+  for (const auto& pv : item.facts) {
+    const PropertyId property = rules_->properties().Find(pv.property);
+    if (property == kInvalidPropertyId) continue;
+    for (std::string& seg : segmenter_->Segment(pv.value)) {
+      premises.emplace(property, std::move(seg));
+    }
+  }
+
+  // Fire rules; keep only the best rule per predicted class so identical
+  // subspaces are not ranked twice.
+  std::unordered_map<ontology::ClassId, ClassPrediction> best_per_class;
+  const auto& all_rules = rules_->rules();
+  for (const auto& premise : premises) {
+    for (std::size_t rule_index :
+         rules_->RulesFor(premise.first, premise.second)) {
+      const ClassificationRule& rule = all_rules[rule_index];
+      if (rule.confidence < min_confidence) continue;
+      ClassPrediction prediction{rule.cls, rule.confidence, rule.lift,
+                                 rule_index};
+      auto [it, inserted] = best_per_class.try_emplace(rule.cls, prediction);
+      if (!inserted) {
+        const ClassPrediction& cur = it->second;
+        if (prediction.confidence > cur.confidence ||
+            (prediction.confidence == cur.confidence &&
+             prediction.lift > cur.lift)) {
+          it->second = prediction;
+        }
+      }
+    }
+  }
+
+  std::vector<ClassPrediction> predictions;
+  predictions.reserve(best_per_class.size());
+  for (const auto& [cls, prediction] : best_per_class) {
+    predictions.push_back(prediction);
+  }
+  std::sort(predictions.begin(), predictions.end(),
+            [](const ClassPrediction& a, const ClassPrediction& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.lift != b.lift) return a.lift > b.lift;
+              return a.cls < b.cls;
+            });
+  return predictions;
+}
+
+ontology::ClassId RuleClassifier::PredictClass(const Item& item,
+                                               double min_confidence) const {
+  const auto predictions = Classify(item, min_confidence);
+  return predictions.empty() ? ontology::kInvalidClassId
+                             : predictions.front().cls;
+}
+
+}  // namespace rulelink::core

@@ -1,0 +1,48 @@
+// Rule application (§4.4): classifying an external item into candidate
+// local classes, producing the ordered list of data-linking subspaces.
+#ifndef RULELINK_CORE_CLASSIFIER_H_
+#define RULELINK_CORE_CLASSIFIER_H_
+
+#include <vector>
+
+#include "core/item.h"
+#include "core/rule.h"
+#include "text/segmenter.h"
+
+namespace rulelink::core {
+
+// One predicted class for an item, i.e. one data-linking subspace d_ik.
+struct ClassPrediction {
+  ontology::ClassId cls = ontology::kInvalidClassId;
+  double confidence = 0.0;
+  double lift = 0.0;
+  std::size_t rule_index = 0;  // index into the RuleSet's rules()
+};
+
+class RuleClassifier {
+ public:
+  // Both pointers are borrowed and must outlive the classifier.
+  RuleClassifier(const RuleSet* rules, const text::Segmenter* segmenter);
+
+  // All class predictions for `item`, ordered by the paper's ranking:
+  // confidence first, lift second (higher lift = smaller subspace first).
+  // When two rules predict the same class (identical subspaces), only the
+  // better rule's prediction is kept (§4.4, last paragraph).
+  // Predictions below `min_confidence` are dropped.
+  std::vector<ClassPrediction> Classify(const Item& item,
+                                        double min_confidence = 0.0) const;
+
+  // The top-ranked predicted class, or kInvalidClassId when no rule fires.
+  ontology::ClassId PredictClass(const Item& item,
+                                 double min_confidence = 0.0) const;
+
+  const RuleSet& rules() const { return *rules_; }
+
+ private:
+  const RuleSet* rules_;
+  const text::Segmenter* segmenter_;
+};
+
+}  // namespace rulelink::core
+
+#endif  // RULELINK_CORE_CLASSIFIER_H_

@@ -1,0 +1,105 @@
+// Conjunctive (multi-premise) classification rules — the CBA lineage the
+// paper builds on (§2 cites Liu, Hsu & Ma's "Integrating classification
+// and association rule mining"). A single segment can be ambiguous while
+// a conjunction is decisive:
+//
+//   pn(X,Y) ∧ subseg(Y,"ohm") ∧ mfr(X,Z) ∧ subseg(Z,"Voltron") ⇒ c(X)
+//
+// The learner first mines the paper's 1-premise rules, then extends
+// frequent premise pairs into 2-premise rules, keeping a pair rule only
+// when it is frequent and beats the best parent rule's confidence for the
+// same conclusion by a configurable margin — otherwise the simpler rule
+// wins (Occam).
+#ifndef RULELINK_CORE_CONJUNCTIVE_H_
+#define RULELINK_CORE_CONJUNCTIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/item.h"
+#include "core/measures.h"
+#include "core/training_set.h"
+#include "ontology/ontology.h"
+#include "text/segmenter.h"
+#include "util/status.h"
+
+namespace rulelink::core {
+
+struct ConjunctivePremise {
+  PropertyId property = kInvalidPropertyId;
+  std::string segment;
+
+  friend bool operator==(const ConjunctivePremise& a,
+                         const ConjunctivePremise& b) {
+    return a.property == b.property && a.segment == b.segment;
+  }
+  friend bool operator<(const ConjunctivePremise& a,
+                        const ConjunctivePremise& b) {
+    if (a.property != b.property) return a.property < b.property;
+    return a.segment < b.segment;
+  }
+};
+
+struct ConjunctiveRule {
+  std::vector<ConjunctivePremise> premises;  // sorted; size 1 or 2
+  ontology::ClassId cls = ontology::kInvalidClassId;
+  RuleCounts counts;
+  double support = 0.0;
+  double confidence = 0.0;
+  double lift = 0.0;
+
+  void ComputeMeasures();
+};
+
+std::string ConjunctiveRuleToString(const ConjunctiveRule& rule,
+                                    const PropertyCatalog& properties,
+                                    const ontology::Ontology& onto);
+
+struct ConjunctiveLearnerOptions {
+  double support_threshold = 0.002;
+  // A 2-premise rule must beat the best same-conclusion parent rule's
+  // confidence by at least this much to be emitted.
+  double min_confidence_gain = 0.05;
+  const text::Segmenter* segmenter = nullptr;
+  std::vector<std::string> properties;  // empty = all
+  // Per-example cap on frequent premises considered for pairing; keeps
+  // the pair space quadratic only in a small constant.
+  std::size_t max_premises_per_example = 16;
+};
+
+class ConjunctiveRuleSet {
+ public:
+  ConjunctiveRuleSet() = default;
+  ConjunctiveRuleSet(std::vector<ConjunctiveRule> rules,
+                     PropertyCatalog properties);
+
+  const std::vector<ConjunctiveRule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+  const PropertyCatalog& properties() const { return properties_; }
+
+  // Predictions for `item`: rules whose every premise holds, best rule
+  // per class, ordered by (confidence, lift). Ties favor the rule with
+  // more premises (more specific evidence).
+  struct Prediction {
+    ontology::ClassId cls = ontology::kInvalidClassId;
+    double confidence = 0.0;
+    double lift = 0.0;
+    std::size_t rule_index = 0;
+  };
+  std::vector<Prediction> Classify(const Item& item,
+                                   const text::Segmenter& segmenter,
+                                   double min_confidence = 0.0) const;
+
+  std::size_t CountWithPremises(std::size_t n) const;
+
+ private:
+  std::vector<ConjunctiveRule> rules_;
+  PropertyCatalog properties_;
+};
+
+util::Result<ConjunctiveRuleSet> LearnConjunctiveRules(
+    const TrainingSet& ts, const ConjunctiveLearnerOptions& options);
+
+}  // namespace rulelink::core
+
+#endif  // RULELINK_CORE_CONJUNCTIVE_H_

@@ -1,0 +1,120 @@
+#include "core/generalizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace rulelink::core {
+namespace {
+
+using PremiseKey = std::pair<PropertyId, std::string>;
+
+// Ancestor-or-self classes of an example's most-specific classes, capped at
+// `max_levels_up` levels above any asserted class.
+std::vector<ontology::ClassId> WidenedClasses(
+    const ontology::Ontology& onto,
+    const std::vector<ontology::ClassId>& asserted,
+    std::size_t max_levels_up) {
+  std::unordered_set<ontology::ClassId> out;
+  for (ontology::ClassId c : asserted) {
+    out.insert(c);
+    const std::size_t base_depth = onto.Depth(c);
+    for (ontology::ClassId a : onto.Ancestors(c)) {
+      const std::size_t levels = base_depth - onto.Depth(a);
+      if (levels <= max_levels_up) out.insert(a);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+}  // namespace
+
+util::Result<RuleSet> LearnGeneralizedRules(
+    const TrainingSet& ts, const GeneralizerOptions& options) {
+  if (options.segmenter == nullptr) {
+    return util::InvalidArgumentError("GeneralizerOptions.segmenter is null");
+  }
+  if (!(options.support_threshold > 0.0) ||
+      options.support_threshold >= 1.0) {
+    return util::InvalidArgumentError("support threshold must be in (0, 1)");
+  }
+  if (ts.size() == 0) {
+    return util::InvalidArgumentError("empty training set");
+  }
+  const ontology::Ontology& onto = ts.ontology();
+  const double total = static_cast<double>(ts.size());
+  const auto is_frequent = [&](std::size_t count) {
+    return static_cast<double>(count) > options.support_threshold * total;
+  };
+
+  // Per-example premises and widened class sets (materialized once).
+  std::vector<std::vector<PremiseKey>> example_premises(ts.size());
+  std::vector<std::vector<ontology::ClassId>> example_classes(ts.size());
+  std::unordered_map<PremiseKey, std::size_t, util::PairHash> premise_count;
+  std::unordered_map<ontology::ClassId, std::size_t> widened_class_count;
+
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const TrainingExample& example = ts.examples()[i];
+    std::unordered_set<PremiseKey, util::PairHash> premises;
+    for (const auto& [property, value] : example.facts) {
+      for (std::string& seg : options.segmenter->Segment(value)) {
+        premises.emplace(property, std::move(seg));
+      }
+    }
+    example_premises[i].assign(premises.begin(), premises.end());
+    for (const PremiseKey& key : example_premises[i]) ++premise_count[key];
+
+    example_classes[i] =
+        WidenedClasses(onto, example.classes, options.max_levels_up);
+    for (ontology::ClassId c : example_classes[i]) ++widened_class_count[c];
+  }
+
+  // Joint counts restricted to frequent premises.
+  std::unordered_map<PremiseKey,
+                     std::unordered_map<ontology::ClassId, std::size_t>,
+                     util::PairHash>
+      joint;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    for (const PremiseKey& key : example_premises[i]) {
+      auto it = premise_count.find(key);
+      if (it == premise_count.end() || !is_frequent(it->second)) continue;
+      auto& per_class = joint[key];
+      for (ontology::ClassId c : example_classes[i]) ++per_class[c];
+    }
+  }
+
+  // Per premise: qualifying conclusions, reduced to the most specific.
+  std::vector<ClassificationRule> rules;
+  for (const auto& [key, per_class] : joint) {
+    std::vector<ontology::ClassId> qualifying;
+    std::unordered_map<ontology::ClassId, ClassificationRule> drafts;
+    for (const auto& [cls, joint_count] : per_class) {
+      if (!is_frequent(joint_count)) continue;
+      ClassificationRule rule;
+      rule.property = key.first;
+      rule.segment = key.second;
+      rule.cls = cls;
+      rule.counts.premise_count = premise_count.at(key);
+      rule.counts.class_count = widened_class_count.at(cls);
+      rule.counts.joint_count = joint_count;
+      rule.counts.total = ts.size();
+      rule.ComputeMeasures();
+      if (rule.confidence < options.min_confidence) continue;
+      if (rule.lift <= options.min_lift) continue;
+      qualifying.push_back(cls);
+      drafts.emplace(cls, std::move(rule));
+    }
+    // Most specific qualifying conclusions only: a leaf that already
+    // reaches the confidence bar suppresses its (also qualifying)
+    // ancestors, which would only enlarge the subspace.
+    for (ontology::ClassId cls : onto.MostSpecific(qualifying)) {
+      rules.push_back(drafts.at(cls));
+    }
+  }
+
+  return RuleSet(std::move(rules), ts.properties());
+}
+
+}  // namespace rulelink::core

@@ -1,0 +1,51 @@
+// Rule generalization over the class hierarchy — the paper's future work
+// (§6): "study how the learnt classification rules can be used to infer
+// more general rules by exploiting the semantics of the subsumption
+// between classes of the ontology."
+//
+// The idea: a segment may be too ambiguous to pin a leaf class (rules fail
+// the confidence bar) while perfectly identifying a common superclass —
+// e.g. "ohm" may spread over several resistor leaves but always lands
+// under Resistor. Generalization recomputes rule counts with class
+// membership widened to "belongs to c or any subclass of c" and emits, per
+// premise, the most specific ancestors that reach the confidence target.
+#ifndef RULELINK_CORE_GENERALIZER_H_
+#define RULELINK_CORE_GENERALIZER_H_
+
+#include "core/rule.h"
+#include "core/training_set.h"
+#include "text/segmenter.h"
+#include "util/status.h"
+
+namespace rulelink::core {
+
+struct GeneralizerOptions {
+  // Support threshold th, as in the base learner.
+  double support_threshold = 0.002;
+  // A generalized rule is emitted only at or above this confidence.
+  double min_confidence = 0.9;
+  // How many subsumption levels above a leaf conclusion may be climbed.
+  // 0 = leaves only (degenerates to the base learner's conclusions).
+  std::size_t max_levels_up = 3;
+  // Rules with lift <= min_lift are dropped. The paper reads lift > 1 as
+  // "the premise positively signals the class"; without this guard,
+  // climbing far enough always reaches a near-root class whose widened
+  // membership makes any segment a confidence-1 — but useless — rule.
+  double min_lift = 1.0;
+  // Segmentation scheme; must match the base learner's for the comparison
+  // benches to be meaningful.
+  const text::Segmenter* segmenter = nullptr;
+};
+
+// Learns generalized rules directly from the training set. For each
+// frequent premise (p,a), candidate conclusions are the ancestors (within
+// max_levels_up) of the classes co-occurring with the premise; counts use
+// subsumption-widened class membership. Per premise, only conclusions that
+// reach min_confidence and are most specific among those are kept, so a
+// leaf rule that already qualifies suppresses its ancestors.
+util::Result<RuleSet> LearnGeneralizedRules(const TrainingSet& ts,
+                                            const GeneralizerOptions& options);
+
+}  // namespace rulelink::core
+
+#endif  // RULELINK_CORE_GENERALIZER_H_

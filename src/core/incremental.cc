@@ -1,0 +1,123 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rulelink::core {
+
+IncrementalRuleLearner::IncrementalRuleLearner(
+    const ontology::Ontology* onto, const text::Segmenter* segmenter,
+    std::vector<std::string> properties)
+    : onto_(onto),
+      segmenter_(segmenter),
+      selected_properties_(std::move(properties)) {
+  RL_CHECK(onto_ != nullptr);
+  RL_CHECK(segmenter_ != nullptr);
+}
+
+void IncrementalRuleLearner::AddExample(
+    const Item& external, const std::vector<ontology::ClassId>& classes) {
+  ++num_examples_;
+
+  // Distinct (property, segment) premises of this example.
+  std::unordered_set<PremiseKey, util::PairHash> premises;
+  for (const PropertyValue& pv : external.facts) {
+    if (!selected_properties_.empty() &&
+        std::find(selected_properties_.begin(), selected_properties_.end(),
+                  pv.property) == selected_properties_.end()) {
+      continue;
+    }
+    const PropertyId property = properties_.Intern(pv.property);
+    for (std::string& seg : segmenter_->Segment(pv.value)) {
+      ++total_occurrences_;
+      distinct_segments_.insert(seg);
+      // Raw occurrences are tracked per premise as well, so the selected-
+      // occurrence statistic matches the batch learner.
+      premises.emplace(property, std::move(seg));
+    }
+  }
+  // Second tally for occurrences per premise (the set above deduplicated).
+  for (const PropertyValue& pv : external.facts) {
+    if (!selected_properties_.empty() &&
+        std::find(selected_properties_.begin(), selected_properties_.end(),
+                  pv.property) == selected_properties_.end()) {
+      continue;
+    }
+    const PropertyId property = properties_.Intern(pv.property);
+    for (const std::string& seg : segmenter_->Segment(pv.value)) {
+      ++premises_[{property, seg}].occurrences;
+    }
+  }
+
+  const std::vector<ontology::ClassId> most_specific =
+      onto_->MostSpecific(classes);
+  for (ontology::ClassId c : most_specific) ++class_counts_[c];
+
+  for (const PremiseKey& key : premises) {
+    PremiseStat& stat = premises_[key];
+    ++stat.example_count;
+    for (ontology::ClassId c : most_specific) ++stat.joint[c];
+  }
+}
+
+util::Result<RuleSet> IncrementalRuleLearner::BuildRules(
+    double support_threshold, double min_confidence,
+    LearnStats* stats) const {
+  if (!(support_threshold > 0.0) || support_threshold >= 1.0) {
+    return util::InvalidArgumentError("support threshold must be in (0, 1)");
+  }
+  if (num_examples_ == 0) {
+    return util::InvalidArgumentError("no examples ingested");
+  }
+  const double total = static_cast<double>(num_examples_);
+  const auto is_frequent = [&](std::size_t count) {
+    return static_cast<double>(count) > support_threshold * total;
+  };
+
+  std::unordered_map<ontology::ClassId, std::size_t> frequent_classes;
+  for (const auto& [cls, count] : class_counts_) {
+    if (is_frequent(count)) frequent_classes.emplace(cls, count);
+  }
+
+  std::vector<ClassificationRule> rules;
+  std::unordered_set<ontology::ClassId> conclusion_classes;
+  std::size_t frequent_premises = 0;
+  std::size_t selected_occurrences = 0;
+  for (const auto& [key, stat] : premises_) {
+    if (!is_frequent(stat.example_count)) continue;
+    ++frequent_premises;
+    selected_occurrences += stat.occurrences;
+    for (const auto& [cls, joint] : stat.joint) {
+      if (!is_frequent(joint)) continue;
+      auto freq_it = frequent_classes.find(cls);
+      if (freq_it == frequent_classes.end()) continue;
+      ClassificationRule rule;
+      rule.property = key.first;
+      rule.segment = key.second;
+      rule.cls = cls;
+      rule.counts.premise_count = stat.example_count;
+      rule.counts.class_count = freq_it->second;
+      rule.counts.joint_count = joint;
+      rule.counts.total = num_examples_;
+      rule.ComputeMeasures();
+      if (rule.confidence < min_confidence) continue;
+      conclusion_classes.insert(cls);
+      rules.push_back(std::move(rule));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->num_examples = num_examples_;
+    stats->distinct_segments = distinct_segments_.size();
+    stats->segment_occurrences = total_occurrences_;
+    stats->selected_segment_occurrences = selected_occurrences;
+    stats->frequent_premises = frequent_premises;
+    stats->frequent_classes = frequent_classes.size();
+    stats->num_rules = rules.size();
+    stats->classes_with_rules = conclusion_classes.size();
+  }
+  return RuleSet(std::move(rules), properties_);
+}
+
+}  // namespace rulelink::core

@@ -1,0 +1,72 @@
+// Incremental rule learning: the expert validates links in batches (§3's
+// workflow is inherently incremental — every new provider file adds
+// reconciliations), so the learner should not re-scan all of TS each time.
+// IncrementalRuleLearner maintains the contingency counts online; building
+// the rule set at any point is a pass over the (much smaller) count tables
+// and yields exactly what the batch RuleLearner would produce on the same
+// examples.
+#ifndef RULELINK_CORE_INCREMENTAL_H_
+#define RULELINK_CORE_INCREMENTAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/item.h"
+#include "core/learner.h"
+#include "core/rule.h"
+#include "ontology/ontology.h"
+#include "text/segmenter.h"
+#include "util/hash.h"
+
+namespace rulelink::core {
+
+class IncrementalRuleLearner {
+ public:
+  // `onto` and `segmenter` are borrowed and must outlive the learner.
+  // `properties` is the expert's P; empty = all properties.
+  IncrementalRuleLearner(const ontology::Ontology* onto,
+                         const text::Segmenter* segmenter,
+                         std::vector<std::string> properties = {});
+
+  // Ingests one validated link: the external item's facts plus the local
+  // item's classes (reduced to most-specific internally). O(#segments).
+  void AddExample(const Item& external,
+                  const std::vector<ontology::ClassId>& classes);
+
+  // Number of examples ingested so far.
+  std::size_t size() const { return num_examples_; }
+
+  // Materializes the rules at the current counts. Equivalent to running
+  // the batch RuleLearner with the same options over all ingested
+  // examples. Fails if no examples were ingested or the threshold is
+  // outside (0, 1).
+  util::Result<RuleSet> BuildRules(double support_threshold,
+                                   double min_confidence = 0.0,
+                                   LearnStats* stats = nullptr) const;
+
+ private:
+  using PremiseKey = std::pair<PropertyId, std::string>;
+
+  struct PremiseStat {
+    std::size_t example_count = 0;
+    std::size_t occurrences = 0;
+    std::unordered_map<ontology::ClassId, std::size_t> joint;
+  };
+
+  const ontology::Ontology* onto_;
+  const text::Segmenter* segmenter_;
+  std::vector<std::string> selected_properties_;
+
+  PropertyCatalog properties_;
+  std::size_t num_examples_ = 0;
+  std::unordered_map<PremiseKey, PremiseStat, util::PairHash> premises_;
+  std::unordered_map<ontology::ClassId, std::size_t> class_counts_;
+  std::unordered_set<std::string> distinct_segments_;
+  std::size_t total_occurrences_ = 0;
+};
+
+}  // namespace rulelink::core
+
+#endif  // RULELINK_CORE_INCREMENTAL_H_

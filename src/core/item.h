@@ -1,0 +1,37 @@
+// Plain description of a data item as the learner and classifier see it:
+// an identifier plus (data-type property, literal value) facts. External
+// items carry no class information — that is what the rules predict.
+#ifndef RULELINK_CORE_ITEM_H_
+#define RULELINK_CORE_ITEM_H_
+
+#include <string>
+#include <vector>
+
+namespace rulelink::core {
+
+struct PropertyValue {
+  std::string property;  // property IRI (or short name in tests)
+  std::string value;     // literal lexical form
+
+  friend bool operator==(const PropertyValue& a, const PropertyValue& b) {
+    return a.property == b.property && a.value == b.value;
+  }
+};
+
+struct Item {
+  std::string iri;
+  std::vector<PropertyValue> facts;
+
+  // All values of `property` on this item.
+  std::vector<std::string> ValuesOf(const std::string& property) const {
+    std::vector<std::string> out;
+    for (const auto& pv : facts) {
+      if (pv.property == property) out.push_back(pv.value);
+    }
+    return out;
+  }
+};
+
+}  // namespace rulelink::core
+
+#endif  // RULELINK_CORE_ITEM_H_

@@ -1,0 +1,180 @@
+#include "core/learner.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace rulelink::core {
+namespace {
+
+using PremiseKey = std::pair<PropertyId, std::string>;
+
+struct PremiseStat {
+  std::size_t example_count = 0;  // distinct examples whose value contains a
+  std::size_t occurrences = 0;    // raw segment occurrences
+};
+
+}  // namespace
+
+RuleLearner::RuleLearner(LearnerOptions options)
+    : options_(std::move(options)) {}
+
+util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
+                                         LearnStats* stats) const {
+  if (options_.segmenter == nullptr) {
+    return util::InvalidArgumentError("LearnerOptions.segmenter is null");
+  }
+  if (!(options_.support_threshold > 0.0) ||
+      options_.support_threshold >= 1.0) {
+    return util::InvalidArgumentError(
+        "support threshold must be in (0, 1)");
+  }
+  if (ts.size() == 0) {
+    return util::InvalidArgumentError("empty training set");
+  }
+
+  const double total = static_cast<double>(ts.size());
+  // Strict '>' per the paper: count/|TS| > th  <=>  count > th*|TS|.
+  const auto is_frequent = [&](std::size_t count) {
+    return static_cast<double>(count) > options_.support_threshold * total;
+  };
+
+  // Property selection P: empty means all.
+  std::unordered_set<PropertyId> selected_properties;
+  for (const std::string& name : options_.properties) {
+    const PropertyId id = ts.properties().Find(name);
+    if (id != kInvalidPropertyId) selected_properties.insert(id);
+  }
+  if (!options_.properties.empty() && selected_properties.empty()) {
+    return util::InvalidArgumentError(
+        "none of the selected properties occur in the training set");
+  }
+  const auto property_selected = [&](PropertyId p) {
+    return options_.properties.empty() || selected_properties.count(p) > 0;
+  };
+
+  // ---- Pass 1: premise frequencies and segment statistics. ----
+  std::unordered_map<PremiseKey, PremiseStat, util::PairHash> premise_stats;
+  std::unordered_set<std::string> distinct_segment_strings;
+  std::size_t total_occurrences = 0;
+
+  // Reused per-example scratch: which (p, segment) pairs this example has.
+  std::unordered_set<PremiseKey, util::PairHash> example_premises;
+
+  const auto collect_example_premises =
+      [&](const TrainingExample& example,
+          std::unordered_set<PremiseKey, util::PairHash>* out,
+          bool count_occurrences) {
+        out->clear();
+        for (const auto& [property, value] : example.facts) {
+          if (!property_selected(property)) continue;
+          for (std::string& seg : options_.segmenter->Segment(value)) {
+            if (count_occurrences) {
+              ++total_occurrences;
+              distinct_segment_strings.insert(seg);
+            }
+            out->emplace(property, std::move(seg));
+          }
+        }
+      };
+
+  for (const TrainingExample& example : ts.examples()) {
+    collect_example_premises(example, &example_premises,
+                             /*count_occurrences=*/true);
+    for (const PremiseKey& key : example_premises) {
+      ++premise_stats[key].example_count;
+    }
+  }
+  // Raw occurrence counts per premise (for the "selected occurrences"
+  // statistic) need a second tally because example_premises deduplicates.
+  for (const TrainingExample& example : ts.examples()) {
+    for (const auto& [property, value] : example.facts) {
+      if (!property_selected(property)) continue;
+      for (const std::string& seg : options_.segmenter->Segment(value)) {
+        auto it = premise_stats.find({property, seg});
+        if (it != premise_stats.end()) ++it->second.occurrences;
+      }
+    }
+  }
+
+  // Frequent premises.
+  std::unordered_map<PremiseKey, std::size_t, util::PairHash>
+      frequent_premise_count;
+  std::size_t selected_occurrences = 0;
+  for (const auto& [key, stat] : premise_stats) {
+    if (is_frequent(stat.example_count)) {
+      frequent_premise_count.emplace(key, stat.example_count);
+      selected_occurrences += stat.occurrences;
+    }
+  }
+
+  // ---- Class frequencies (most-specific classes only, already reduced by
+  // TrainingSet). ----
+  std::unordered_map<ontology::ClassId, std::size_t> class_count;
+  for (const TrainingExample& example : ts.examples()) {
+    for (ontology::ClassId c : example.classes) ++class_count[c];
+  }
+  std::unordered_map<ontology::ClassId, std::size_t> frequent_class_count;
+  for (const auto& [cls, count] : class_count) {
+    if (is_frequent(count)) frequent_class_count.emplace(cls, count);
+  }
+
+  // ---- Pass 2: joint counts for frequent premises x frequent classes. ----
+  std::unordered_map<PremiseKey, std::unordered_map<ontology::ClassId,
+                                                    std::size_t>,
+                     util::PairHash>
+      joint_count;
+  for (const TrainingExample& example : ts.examples()) {
+    collect_example_premises(example, &example_premises,
+                             /*count_occurrences=*/false);
+    for (const PremiseKey& key : example_premises) {
+      if (frequent_premise_count.find(key) == frequent_premise_count.end()) {
+        continue;
+      }
+      auto& per_class = joint_count[key];
+      for (ontology::ClassId c : example.classes) {
+        if (frequent_class_count.find(c) != frequent_class_count.end()) {
+          ++per_class[c];
+        }
+      }
+    }
+  }
+
+  // ---- Rule construction. ----
+  std::vector<ClassificationRule> rules;
+  std::unordered_set<ontology::ClassId> conclusion_classes;
+  for (const auto& [key, per_class] : joint_count) {
+    for (const auto& [cls, joint] : per_class) {
+      if (!is_frequent(joint)) continue;
+      ClassificationRule rule;
+      rule.property = key.first;
+      rule.segment = key.second;
+      rule.cls = cls;
+      rule.counts.premise_count = frequent_premise_count.at(key);
+      rule.counts.class_count = frequent_class_count.at(cls);
+      rule.counts.joint_count = joint;
+      rule.counts.total = ts.size();
+      rule.ComputeMeasures();
+      if (rule.confidence < options_.min_confidence) continue;
+      conclusion_classes.insert(cls);
+      rules.push_back(std::move(rule));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->num_examples = ts.size();
+    stats->distinct_segments = distinct_segment_strings.size();
+    stats->segment_occurrences = total_occurrences;
+    stats->selected_segment_occurrences = selected_occurrences;
+    stats->frequent_premises = frequent_premise_count.size();
+    stats->frequent_classes = frequent_class_count.size();
+    stats->num_rules = rules.size();
+    stats->classes_with_rules = conclusion_classes.size();
+  }
+
+  return RuleSet(std::move(rules), ts.properties());
+}
+
+}  // namespace rulelink::core

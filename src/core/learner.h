@@ -1,0 +1,72 @@
+// The rule learning algorithm (Algorithm 1, §4.3): frequent-conjunction
+// mining of p(X,Y) ∧ subsegment(Y,a) ⇒ c(X) rules over the training set.
+//
+// Counting semantics (one "count" = one training example / same-as link):
+//   * premise_count(p,a) counts examples whose external item has SOME value
+//     of p containing segment a (distinct per example, as the logical
+//     reading of the premise requires);
+//   * class_count(c) counts examples whose local item belongs to the
+//     most-specific class c;
+//   * joint_count(p,a,c) counts examples satisfying both.
+// A conjunction is frequent when count / |TS| > th (strict, matching the
+// paper's "frequency greater than th").
+#ifndef RULELINK_CORE_LEARNER_H_
+#define RULELINK_CORE_LEARNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rule.h"
+#include "core/training_set.h"
+#include "text/segmenter.h"
+#include "util/status.h"
+
+namespace rulelink::core {
+
+struct LearnerOptions {
+  // Support threshold th (relative to |TS|). The paper uses 0.002.
+  double support_threshold = 0.002;
+
+  // Segmentation scheme (borrowed pointer, must outlive Learn()).
+  const text::Segmenter* segmenter = nullptr;
+
+  // The expert-selected property set P (property IRIs). Empty = all
+  // properties present in the training facts, as Algorithm 1 allows.
+  std::vector<std::string> properties;
+
+  // Optional post-filter: drop rules below this confidence. 0 keeps all.
+  double min_confidence = 0.0;
+};
+
+// Corpus statistics reported by the learner; these are the §5 in-text
+// numbers (7842 distinct segments, 26077 occurrences, 7058 selected
+// occurrences, 68 frequent classes, 144 rules, 16 classes with rules).
+struct LearnStats {
+  std::size_t num_examples = 0;
+  std::size_t distinct_segments = 0;        // distinct segment strings
+  std::size_t segment_occurrences = 0;      // total occurrences emitted
+  std::size_t selected_segment_occurrences = 0;  // occurrences of frequent premises
+  std::size_t frequent_premises = 0;        // (p,a) pairs above th
+  std::size_t frequent_classes = 0;         // classes above th
+  std::size_t num_rules = 0;
+  std::size_t classes_with_rules = 0;       // distinct rule conclusions
+};
+
+class RuleLearner {
+ public:
+  explicit RuleLearner(LearnerOptions options);
+
+  // Mines the rule set. Fails on an empty training set, a missing
+  // segmenter, or a threshold outside (0, 1).
+  util::Result<RuleSet> Learn(const TrainingSet& ts,
+                              LearnStats* stats = nullptr) const;
+
+  const LearnerOptions& options() const { return options_; }
+
+ private:
+  LearnerOptions options_;
+};
+
+}  // namespace rulelink::core
+
+#endif  // RULELINK_CORE_LEARNER_H_

@@ -1,0 +1,95 @@
+#include "core/linking_space.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace rulelink::core {
+
+LinkingSpaceAnalyzer::LinkingSpaceAnalyzer(
+    const RuleClassifier* classifier,
+    const ontology::InstanceIndex* local_index)
+    : classifier_(classifier), local_index_(local_index) {
+  RL_CHECK(classifier_ != nullptr);
+  RL_CHECK(local_index_ != nullptr);
+}
+
+std::vector<rdf::TermId> LinkingSpaceAnalyzer::Candidates(
+    const Item& item, double min_confidence) const {
+  std::vector<rdf::TermId> out;
+  std::unordered_set<rdf::TermId> seen;
+  for (const ClassPrediction& prediction :
+       classifier_->Classify(item, min_confidence)) {
+    for (rdf::TermId instance :
+         local_index_->TransitiveExtent(prediction.cls)) {
+      if (seen.insert(instance).second) out.push_back(instance);
+    }
+  }
+  return out;
+}
+
+std::size_t LinkingSpaceAnalyzer::SubspaceSize(
+    const Item& item, double min_confidence,
+    UnclassifiedPolicy policy) const {
+  const auto predictions = classifier_->Classify(item, min_confidence);
+  if (predictions.empty()) {
+    return policy == UnclassifiedPolicy::kCompareAll
+               ? local_index_->instances().size()
+               : 0;
+  }
+  std::unordered_set<rdf::TermId> subspace;
+  for (const ClassPrediction& prediction : predictions) {
+    for (rdf::TermId instance :
+         local_index_->TransitiveExtent(prediction.cls)) {
+      subspace.insert(instance);
+    }
+  }
+  return subspace.size();
+}
+
+LinkingSpaceReport LinkingSpaceAnalyzer::Analyze(
+    const std::vector<Item>& external, double min_confidence,
+    UnclassifiedPolicy policy) const {
+  LinkingSpaceReport report;
+  report.num_external_items = external.size();
+  report.local_size = local_index_->instances().size();
+  report.naive_pairs = static_cast<std::uint64_t>(external.size()) *
+                       static_cast<std::uint64_t>(report.local_size);
+
+  double fraction_sum = 0.0;
+  for (const Item& item : external) {
+    const auto predictions = classifier_->Classify(item, min_confidence);
+    if (predictions.empty()) {
+      ++report.unclassified_items;
+      if (policy == UnclassifiedPolicy::kCompareAll) {
+        report.reduced_pairs += report.local_size;
+      }
+      continue;
+    }
+    ++report.classified_items;
+    std::unordered_set<rdf::TermId> subspace;
+    for (const ClassPrediction& prediction : predictions) {
+      for (rdf::TermId instance :
+           local_index_->TransitiveExtent(prediction.cls)) {
+        subspace.insert(instance);
+      }
+    }
+    report.reduced_pairs += subspace.size();
+    if (report.local_size > 0) {
+      fraction_sum += static_cast<double>(subspace.size()) /
+                      static_cast<double>(report.local_size);
+    }
+  }
+  if (report.naive_pairs > 0) {
+    report.reduction_ratio =
+        1.0 - static_cast<double>(report.reduced_pairs) /
+                  static_cast<double>(report.naive_pairs);
+  }
+  if (report.classified_items > 0) {
+    report.mean_subspace_fraction =
+        fraction_sum / static_cast<double>(report.classified_items);
+  }
+  return report;
+}
+
+}  // namespace rulelink::core

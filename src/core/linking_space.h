@@ -1,0 +1,68 @@
+// Linking-space accounting: how much of the naive |S_E| x |S_L| comparison
+// space the learnt rules prune away (§3, §4.4, and the lift discussion in
+// §5). The subspace of an external item is the union of the (transitive)
+// extents of its predicted classes.
+#ifndef RULELINK_CORE_LINKING_SPACE_H_
+#define RULELINK_CORE_LINKING_SPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/item.h"
+#include "ontology/instance_index.h"
+
+namespace rulelink::core {
+
+// What to do with external items no rule fires on.
+enum class UnclassifiedPolicy {
+  kCompareAll,  // fall back to comparing against the whole local source
+  kSkip,        // leave them for a later (manual) pass: zero pairs now
+};
+
+struct LinkingSpaceReport {
+  std::size_t num_external_items = 0;
+  std::size_t local_size = 0;  // |S_L|
+  std::uint64_t naive_pairs = 0;    // |S_E| * |S_L|
+  std::uint64_t reduced_pairs = 0;  // sum of per-item subspace sizes
+  std::size_t classified_items = 0;
+  std::size_t unclassified_items = 0;
+  // 1 - reduced / naive (0 when naive is empty).
+  double reduction_ratio = 0.0;
+  // Mean over classified items of |subspace| / |S_L|; its inverse is the
+  // per-item space division factor the paper derives from the lift.
+  double mean_subspace_fraction = 0.0;
+};
+
+class LinkingSpaceAnalyzer {
+ public:
+  // Borrowed pointers; must outlive the analyzer. `local_index` provides
+  // class extents over the local source; |S_L| is taken as the number of
+  // typed local instances.
+  LinkingSpaceAnalyzer(const RuleClassifier* classifier,
+                       const ontology::InstanceIndex* local_index);
+
+  // Size of the data-linking subspace of a single item: the number of
+  // distinct local instances in the union of predicted class extents.
+  // Returns |S_L| or 0 for unclassified items, depending on `policy`.
+  std::size_t SubspaceSize(const Item& item, double min_confidence,
+                           UnclassifiedPolicy policy) const;
+
+  // The candidate local instances themselves, deduplicated, ordered by the
+  // prediction ranking (instances of better-ranked classes first).
+  std::vector<rdf::TermId> Candidates(const Item& item,
+                                      double min_confidence) const;
+
+  // Aggregates over a whole external source.
+  LinkingSpaceReport Analyze(const std::vector<Item>& external,
+                             double min_confidence,
+                             UnclassifiedPolicy policy) const;
+
+ private:
+  const RuleClassifier* classifier_;
+  const ontology::InstanceIndex* local_index_;
+};
+
+}  // namespace rulelink::core
+
+#endif  // RULELINK_CORE_LINKING_SPACE_H_

@@ -1,0 +1,53 @@
+#include "core/measures.h"
+
+namespace rulelink::core {
+
+double Support(const RuleCounts& c) {
+  if (c.total == 0) return 0.0;
+  return static_cast<double>(c.joint_count) / static_cast<double>(c.total);
+}
+
+double Confidence(const RuleCounts& c) {
+  if (c.premise_count == 0) return 0.0;
+  return static_cast<double>(c.joint_count) /
+         static_cast<double>(c.premise_count);
+}
+
+double Lift(const RuleCounts& c) {
+  if (c.class_count == 0 || c.total == 0) return 0.0;
+  const double prior =
+      static_cast<double>(c.class_count) / static_cast<double>(c.total);
+  return Confidence(c) / prior;
+}
+
+double Coverage(const RuleCounts& c) {
+  if (c.total == 0) return 0.0;
+  return static_cast<double>(c.premise_count) /
+         static_cast<double>(c.total);
+}
+
+double Specificity(const RuleCounts& c) {
+  const std::size_t not_class = c.total - c.class_count;
+  if (not_class == 0) return 0.0;
+  // ¬premise ∧ ¬class = total - premise - class + joint
+  const std::size_t tn =
+      c.total - c.premise_count - c.class_count + c.joint_count;
+  return static_cast<double>(tn) / static_cast<double>(not_class);
+}
+
+double Conviction(const RuleCounts& c) {
+  if (c.total == 0) return 0.0;
+  const double prior =
+      static_cast<double>(c.class_count) / static_cast<double>(c.total);
+  const double confidence = Confidence(c);
+  if (confidence >= 1.0) return kMaxConviction;
+  return (1.0 - prior) / (1.0 - confidence);
+}
+
+bool CountsAreConsistent(const RuleCounts& c) {
+  return c.joint_count <= c.premise_count &&
+         c.joint_count <= c.class_count && c.premise_count <= c.total &&
+         c.class_count <= c.total;
+}
+
+}  // namespace rulelink::core

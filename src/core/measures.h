@@ -1,0 +1,55 @@
+// Quality measures for classification rules (§4.2 of the paper). All
+// measures are derived from the contingency counts of a rule over the
+// training set TS:
+//   premise_count  = |{X : p(X,Y) ∧ subsegment(Y,a)}|
+//   class_count    = |{X : c(X)}|
+//   joint_count    = |{X : p(X,Y) ∧ subsegment(Y,a) ∧ c(X)}|
+//   total          = |TS|
+#ifndef RULELINK_CORE_MEASURES_H_
+#define RULELINK_CORE_MEASURES_H_
+
+#include <cstddef>
+
+namespace rulelink::core {
+
+struct RuleCounts {
+  std::size_t premise_count = 0;
+  std::size_t class_count = 0;
+  std::size_t joint_count = 0;
+  std::size_t total = 0;
+};
+
+// support(R) = joint / total. Rule representativeness.
+double Support(const RuleCounts& counts);
+
+// confidence(R) = joint / premise. Rule precision irrespective of class
+// proximity in the ontology. 0 when the premise never fires.
+double Confidence(const RuleCounts& counts);
+
+// lift(R) = confidence / (class_count / total). Deviation from premise ⊥
+// conclusion independence; > 1 means the segment positively signals the
+// class. The paper reads lift as a linking-space reduction factor: a lift
+// of k shrinks the candidate space of a confidence-1 rule by ~k.
+double Lift(const RuleCounts& counts);
+
+// --- Additional measures from the quality-measures literature the paper
+// cites (Guillet & Hamilton 2007), provided as extensions. ---
+
+// coverage(R) = premise / total: how often the rule fires at all.
+double Coverage(const RuleCounts& counts);
+
+// specificity(R) = |¬premise ∧ ¬class| / |¬class|: true-negative rate.
+double Specificity(const RuleCounts& counts);
+
+// conviction(R) = (1 - prior) / (1 - confidence); +inf for confidence 1
+// is clamped to kMaxConviction.
+double Conviction(const RuleCounts& counts);
+inline constexpr double kMaxConviction = 1e9;
+
+// Validity check: counts are mutually consistent (joint <= premise,
+// joint <= class_count, premise <= total, class_count <= total).
+bool CountsAreConsistent(const RuleCounts& counts);
+
+}  // namespace rulelink::core
+
+#endif  // RULELINK_CORE_MEASURES_H_

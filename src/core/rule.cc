@@ -1,0 +1,66 @@
+#include "core/rule.h"
+
+#include <algorithm>
+
+namespace rulelink::core {
+
+void ClassificationRule::ComputeMeasures() {
+  support = Support(counts);
+  confidence = Confidence(counts);
+  lift = Lift(counts);
+}
+
+bool ClassificationRule::BetterThan(const ClassificationRule& a,
+                                    const ClassificationRule& b) {
+  if (a.confidence != b.confidence) return a.confidence > b.confidence;
+  if (a.lift != b.lift) return a.lift > b.lift;
+  if (a.property != b.property) return a.property < b.property;
+  if (a.segment != b.segment) return a.segment < b.segment;
+  return a.cls < b.cls;
+}
+
+std::string RuleToString(const ClassificationRule& rule,
+                         const PropertyCatalog& properties,
+                         const ontology::Ontology& onto) {
+  const std::string& prop = properties.name(rule.property);
+  const std::string cls = onto.label(rule.cls).empty()
+                              ? onto.iri(rule.cls)
+                              : onto.label(rule.cls);
+  return prop + "(X,Y) ∧ subsegment(Y,\"" + rule.segment + "\") ⇒ " + cls +
+         "(X)";
+}
+
+RuleSet::RuleSet(std::vector<ClassificationRule> rules,
+                 PropertyCatalog properties)
+    : rules_(std::move(rules)), properties_(std::move(properties)) {
+  std::sort(rules_.begin(), rules_.end(), ClassificationRule::BetterThan);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    by_premise_[{rules_[i].property, rules_[i].segment}].push_back(i);
+  }
+}
+
+const std::vector<std::size_t>& RuleSet::RulesFor(
+    PropertyId property, const std::string& segment) const {
+  auto it = by_premise_.find({property, segment});
+  return it == by_premise_.end() ? empty_ : it->second;
+}
+
+std::vector<const ClassificationRule*> RuleSet::WithMinConfidence(
+    double threshold) const {
+  std::vector<const ClassificationRule*> out;
+  for (const auto& rule : rules_) {
+    if (rule.confidence >= threshold) out.push_back(&rule);
+  }
+  return out;
+}
+
+std::vector<const ClassificationRule*> RuleSet::InConfidenceBand(
+    double lo, double hi) const {
+  std::vector<const ClassificationRule*> out;
+  for (const auto& rule : rules_) {
+    if (rule.confidence >= lo && rule.confidence < hi) out.push_back(&rule);
+  }
+  return out;
+}
+
+}  // namespace rulelink::core

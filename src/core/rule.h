@@ -1,0 +1,81 @@
+// Value-based classification rules (§4.1):
+//     p(X,Y) ∧ subsegment(Y,a) ⇒ c(X)
+// and the RuleSet container with the ordering the paper prescribes
+// (confidence first, lift as tie-break).
+#ifndef RULELINK_CORE_RULE_H_
+#define RULELINK_CORE_RULE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/measures.h"
+#include "core/training_set.h"
+#include "ontology/ontology.h"
+#include "util/hash.h"
+
+namespace rulelink::core {
+
+struct ClassificationRule {
+  PropertyId property = kInvalidPropertyId;  // p
+  std::string segment;                       // a
+  ontology::ClassId cls = ontology::kInvalidClassId;  // c
+
+  RuleCounts counts;
+  double support = 0.0;
+  double confidence = 0.0;
+  double lift = 0.0;
+
+  // Fills support/confidence/lift from `counts`.
+  void ComputeMeasures();
+
+  // Ordering used everywhere: confidence desc, then lift desc (higher lift
+  // = smaller class = smaller subspace first), then deterministic
+  // tie-breaks (property, segment, class).
+  static bool BetterThan(const ClassificationRule& a,
+                         const ClassificationRule& b);
+};
+
+// Renders "partNumber(X,Y) ∧ subsegment(Y,\"ohm\") ⇒ FixedFilmResistor(X)".
+std::string RuleToString(const ClassificationRule& rule,
+                         const PropertyCatalog& properties,
+                         const ontology::Ontology& onto);
+
+class RuleSet {
+ public:
+  RuleSet() = default;
+  RuleSet(std::vector<ClassificationRule> rules, PropertyCatalog properties);
+
+  const std::vector<ClassificationRule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+
+  const PropertyCatalog& properties() const { return properties_; }
+
+  // Rules whose premise is exactly (property, segment), best first. Empty
+  // when no rule mentions that pair.
+  const std::vector<std::size_t>& RulesFor(PropertyId property,
+                                           const std::string& segment) const;
+
+  // Rules with confidence >= threshold, best first.
+  std::vector<const ClassificationRule*> WithMinConfidence(
+      double threshold) const;
+
+  // Rules with confidence in [lo, hi), best first; hi > 1.0 admits
+  // confidence-1 rules.
+  std::vector<const ClassificationRule*> InConfidenceBand(double lo,
+                                                          double hi) const;
+
+ private:
+  using PremiseKey = std::pair<PropertyId, std::string>;
+
+  std::vector<ClassificationRule> rules_;  // kept sorted, best first
+  PropertyCatalog properties_;
+  std::unordered_map<PremiseKey, std::vector<std::size_t>, util::PairHash>
+      by_premise_;
+  std::vector<std::size_t> empty_;
+};
+
+}  // namespace rulelink::core
+
+#endif  // RULELINK_CORE_RULE_H_

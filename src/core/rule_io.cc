@@ -1,0 +1,146 @@
+#include "core/rule_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/measures.h"
+#include "util/string_util.h"
+
+namespace rulelink::core {
+namespace {
+
+// Segments may contain anything but tabs/newlines; escape those plus the
+// escape character itself.
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+util::Result<std::string> UnescapeField(std::string_view s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      return util::InvalidArgumentError("dangling escape");
+    }
+    switch (s[++i]) {
+      case '\\': out.push_back('\\'); break;
+      case 't': out.push_back('\t'); break;
+      case 'n': out.push_back('\n'); break;
+      default:
+        return util::InvalidArgumentError("unknown escape");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string WriteRules(const RuleSet& rules,
+                       const ontology::Ontology& onto) {
+  std::ostringstream os;
+  os << "# rulelink classification rules v1\n"
+     << "# property\tsegment\tclass\tpremise\tclass_count\tjoint\ttotal\n";
+  for (const ClassificationRule& rule : rules.rules()) {
+    os << EscapeField(rules.properties().name(rule.property)) << '\t'
+       << EscapeField(rule.segment) << '\t'
+       << EscapeField(onto.iri(rule.cls)) << '\t'
+       << rule.counts.premise_count << '\t' << rule.counts.class_count
+       << '\t' << rule.counts.joint_count << '\t' << rule.counts.total
+       << '\n';
+  }
+  return os.str();
+}
+
+util::Status WriteRulesToFile(const RuleSet& rules,
+                              const ontology::Ontology& onto,
+                              const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::NotFoundError("cannot open for writing: " + path);
+  out << WriteRules(rules, onto);
+  if (!out) return util::DataLossError("write failed: " + path);
+  return util::OkStatus();
+}
+
+util::Result<RuleSet> ReadRules(const std::string& content,
+                                const ontology::Ontology& onto) {
+  PropertyCatalog properties;
+  std::vector<ClassificationRule> rules;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    ++line_no;
+    const std::string_view raw(content.data() + start, end - start);
+    start = end + 1;
+    const std::string_view line = util::StripAsciiWhitespace(raw);
+    if (line.empty() || line[0] == '#') {
+      if (end == content.size()) break;
+      continue;
+    }
+    const auto error = [&](const std::string& what) {
+      return util::InvalidArgumentError(
+          "rule file line " + std::to_string(line_no) + ": " + what);
+    };
+    const auto fields = util::Split(line, '\t');
+    if (fields.size() != 7) {
+      return error("expected 7 tab-separated fields, got " +
+                   std::to_string(fields.size()));
+    }
+    auto property = UnescapeField(fields[0]);
+    auto segment = UnescapeField(fields[1]);
+    auto class_iri = UnescapeField(fields[2]);
+    if (!property.ok() || !segment.ok() || !class_iri.ok()) {
+      return error("bad escape sequence");
+    }
+    unsigned long long counts[4];
+    for (int k = 0; k < 4; ++k) {
+      if (!util::ParseUint64(fields[static_cast<std::size_t>(3 + k)],
+                             &counts[k])) {
+        return error("bad count field");
+      }
+    }
+    const ontology::ClassId cls = onto.FindByIri(*class_iri);
+    if (cls == ontology::kInvalidClassId) {
+      return error("unknown class IRI " + *class_iri);
+    }
+    ClassificationRule rule;
+    rule.property = properties.Intern(*property);
+    rule.segment = std::move(segment).value();
+    rule.cls = cls;
+    rule.counts.premise_count = static_cast<std::size_t>(counts[0]);
+    rule.counts.class_count = static_cast<std::size_t>(counts[1]);
+    rule.counts.joint_count = static_cast<std::size_t>(counts[2]);
+    rule.counts.total = static_cast<std::size_t>(counts[3]);
+    if (!CountsAreConsistent(rule.counts)) {
+      return error("inconsistent rule counts");
+    }
+    rule.ComputeMeasures();
+    rules.push_back(std::move(rule));
+    if (end == content.size()) break;
+  }
+  return RuleSet(std::move(rules), std::move(properties));
+}
+
+util::Result<RuleSet> ReadRulesFromFile(const std::string& path,
+                                        const ontology::Ontology& onto) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::NotFoundError("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadRules(buf.str(), onto);
+}
+
+}  // namespace rulelink::core

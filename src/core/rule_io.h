@@ -1,0 +1,35 @@
+// Persistence for learnt rule sets: a line-oriented TSV format so a rule
+// base learnt once from the expert links can be shipped with the catalog
+// and reloaded when new provider documents arrive (§3's workflow).
+//
+// Format (tab-separated, '#' comments, one rule per line):
+//   property-IRI  segment  class-IRI  premise  class_count  joint  total
+// Measures are recomputed on load, so files stay minimal and consistent.
+#ifndef RULELINK_CORE_RULE_IO_H_
+#define RULELINK_CORE_RULE_IO_H_
+
+#include <string>
+
+#include "core/rule.h"
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace rulelink::core {
+
+// Serializes the rule set. Class ids are written as IRIs via `onto`.
+std::string WriteRules(const RuleSet& rules, const ontology::Ontology& onto);
+util::Status WriteRulesToFile(const RuleSet& rules,
+                              const ontology::Ontology& onto,
+                              const std::string& path);
+
+// Parses a rule file. Class IRIs must resolve in `onto`; unknown IRIs,
+// malformed lines, or inconsistent counts produce InvalidArgument with the
+// line number.
+util::Result<RuleSet> ReadRules(const std::string& content,
+                                const ontology::Ontology& onto);
+util::Result<RuleSet> ReadRulesFromFile(const std::string& path,
+                                        const ontology::Ontology& onto);
+
+}  // namespace rulelink::core
+
+#endif  // RULELINK_CORE_RULE_IO_H_

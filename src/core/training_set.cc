@@ -1,0 +1,90 @@
+#include "core/training_set.h"
+
+#include "rdf/vocab.h"
+
+namespace rulelink::core {
+
+PropertyId PropertyCatalog::Intern(const std::string& property) {
+  auto it = name_to_id_.find(property);
+  if (it != name_to_id_.end()) return it->second;
+  const PropertyId id = static_cast<PropertyId>(names_.size());
+  names_.push_back(property);
+  name_to_id_.emplace(property, id);
+  return id;
+}
+
+PropertyId PropertyCatalog::Find(const std::string& property) const {
+  auto it = name_to_id_.find(property);
+  return it == name_to_id_.end() ? kInvalidPropertyId : it->second;
+}
+
+void TrainingSet::AddExample(const Item& external,
+                             const std::string& local_iri,
+                             const std::vector<ontology::ClassId>& classes) {
+  TrainingExample example;
+  example.external_iri = external.iri;
+  example.local_iri = local_iri;
+  example.facts.reserve(external.facts.size());
+  for (const auto& pv : external.facts) {
+    example.facts.emplace_back(properties_.Intern(pv.property), pv.value);
+  }
+  example.classes = onto_->MostSpecific(classes);
+  examples_.push_back(std::move(example));
+}
+
+util::Result<TrainingSet> TrainingSet::FromGraphs(
+    const rdf::Graph& external, const rdf::Graph& links,
+    const ontology::InstanceIndex& local_index, std::size_t* skipped) {
+  TrainingSet ts(local_index.ontology());
+  std::size_t skipped_count = 0;
+
+  const auto& link_dict = links.dict();
+  const rdf::TermId sameas_id = link_dict.FindIri(rdf::vocab::kOwlSameAs);
+  if (sameas_id == rdf::kInvalidTermId) {
+    return util::InvalidArgumentError(
+        "link graph contains no owl:sameAs triples");
+  }
+
+  const auto& ext_dict = external.dict();
+  for (const rdf::Triple& link : links.Match(rdf::TriplePattern{
+           rdf::kInvalidTermId, sameas_id, rdf::kInvalidTermId})) {
+    const rdf::Term& ext_term = link_dict.term(link.subject);
+    const rdf::Term& local_term = link_dict.term(link.object);
+    if (!ext_term.is_iri() || !local_term.is_iri()) {
+      ++skipped_count;
+      continue;
+    }
+
+    // External facts: every data-type (literal-valued) property.
+    Item item;
+    item.iri = ext_term.lexical();
+    const rdf::TermId ext_subject = ext_dict.FindIri(item.iri);
+    if (ext_subject != rdf::kInvalidTermId) {
+      external.ForEachMatch(
+          rdf::TriplePattern{ext_subject, rdf::kInvalidTermId,
+                             rdf::kInvalidTermId},
+          [&](const rdf::Triple& t) {
+            const rdf::Term& obj = ext_dict.term(t.object);
+            if (obj.is_literal()) {
+              item.facts.push_back(PropertyValue{
+                  ext_dict.term(t.predicate).lexical(), obj.lexical()});
+            }
+            return true;
+          });
+    }
+
+    // Local classes, resolved by IRI through the index's source graph.
+    const std::vector<ontology::ClassId>& classes =
+        local_index.ClassesOfIri(local_term.lexical());
+
+    if (item.facts.empty() || classes.empty()) {
+      ++skipped_count;
+      continue;
+    }
+    ts.AddExample(item, local_term.lexical(), classes);
+  }
+  if (skipped != nullptr) *skipped = skipped_count;
+  return ts;
+}
+
+}  // namespace rulelink::core

@@ -1,0 +1,87 @@
+// The training set TS: expert-validated same-as links between external and
+// local items, flattened into learning examples. Each example carries the
+// external item's property facts (the rule premises range over these) and
+// the local item's most-specific ontology classes (the rule conclusions).
+#ifndef RULELINK_CORE_TRAINING_SET_H_
+#define RULELINK_CORE_TRAINING_SET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/item.h"
+#include "ontology/instance_index.h"
+#include "ontology/ontology.h"
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rulelink::core {
+
+// Dense id for a property IRI, local to a TrainingSet / RuleSet.
+using PropertyId = std::uint32_t;
+inline constexpr PropertyId kInvalidPropertyId = 0xFFFFFFFFu;
+
+// Interns property IRIs. Copyable so a RuleSet can own a snapshot.
+class PropertyCatalog {
+ public:
+  PropertyId Intern(const std::string& property);
+  PropertyId Find(const std::string& property) const;
+  const std::string& name(PropertyId id) const { return names_[id]; }
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, PropertyId> name_to_id_;
+};
+
+// One same-as link flattened for learning.
+struct TrainingExample {
+  std::string external_iri;
+  std::string local_iri;
+  // (property, value) facts of the external item (TSE in the paper).
+  std::vector<std::pair<PropertyId, std::string>> facts;
+  // Most-specific classes of the local item in O_L.
+  std::vector<ontology::ClassId> classes;
+};
+
+class TrainingSet {
+ public:
+  // `onto` must outlive the TrainingSet.
+  explicit TrainingSet(const ontology::Ontology& onto) : onto_(&onto) {}
+
+  TrainingSet(const TrainingSet&) = delete;
+  TrainingSet& operator=(const TrainingSet&) = delete;
+  TrainingSet(TrainingSet&&) = default;
+  TrainingSet& operator=(TrainingSet&&) = default;
+
+  // Adds one validated link. `external` supplies the facts; `classes` are
+  // the local item's classes (reduced to most-specific internally).
+  void AddExample(const Item& external, const std::string& local_iri,
+                  const std::vector<ontology::ClassId>& classes);
+
+  // Builds a TrainingSet from RDF sources: for every owl:sameAs triple in
+  // `links` (external item as subject, local item as object), reads the
+  // external item's data-type property facts from `external` and the local
+  // item's classes from `local_index`. Links whose external item has no
+  // facts or whose local item is untyped are skipped (counted in
+  // *skipped when non-null).
+  static util::Result<TrainingSet> FromGraphs(
+      const rdf::Graph& external, const rdf::Graph& links,
+      const ontology::InstanceIndex& local_index, std::size_t* skipped);
+
+  const std::vector<TrainingExample>& examples() const { return examples_; }
+  std::size_t size() const { return examples_.size(); }
+
+  const ontology::Ontology& ontology() const { return *onto_; }
+  const PropertyCatalog& properties() const { return properties_; }
+  PropertyCatalog& mutable_properties() { return properties_; }
+
+ private:
+  const ontology::Ontology* onto_;
+  PropertyCatalog properties_;
+  std::vector<TrainingExample> examples_;
+};
+
+}  // namespace rulelink::core
+
+#endif  // RULELINK_CORE_TRAINING_SET_H_

@@ -1,0 +1,68 @@
+#include "datagen/dataset.h"
+
+#include "rdf/vocab.h"
+#include "util/logging.h"
+
+namespace rulelink::datagen {
+
+core::TrainingSet BuildTrainingSet(const Dataset& dataset) {
+  core::TrainingSet ts(dataset.ontology());
+  for (const GoldLink& link : dataset.links) {
+    RL_CHECK(link.external_index < dataset.external_items.size());
+    RL_CHECK(link.catalog_index < dataset.catalog_items.size());
+    const core::Item& external = dataset.external_items[link.external_index];
+    const core::Item& catalog = dataset.catalog_items[link.catalog_index];
+    ts.AddExample(external, catalog.iri,
+                  {dataset.catalog_classes[link.catalog_index]});
+  }
+  return ts;
+}
+
+rdf::Graph BuildLocalGraph(const Dataset& dataset) {
+  rdf::Graph graph;
+  const auto& onto = dataset.ontology();
+  // Taxonomy triples.
+  for (ontology::ClassId c = 0; c < onto.num_classes(); ++c) {
+    graph.InsertIri(onto.iri(c), rdf::vocab::kRdfType,
+                    rdf::vocab::kOwlClass);
+    if (!onto.label(c).empty()) {
+      graph.InsertLiteralTriple(onto.iri(c), rdf::vocab::kRdfsLabel,
+                                onto.label(c));
+    }
+    for (ontology::ClassId p : onto.Parents(c)) {
+      graph.InsertIri(onto.iri(c), rdf::vocab::kRdfsSubClassOf, onto.iri(p));
+    }
+  }
+  // Catalog instances.
+  for (std::size_t i = 0; i < dataset.catalog_items.size(); ++i) {
+    const core::Item& item = dataset.catalog_items[i];
+    graph.InsertIri(item.iri, rdf::vocab::kRdfType,
+                    onto.iri(dataset.catalog_classes[i]));
+    for (const core::PropertyValue& pv : item.facts) {
+      graph.InsertLiteralTriple(item.iri, pv.property, pv.value);
+    }
+  }
+  return graph;
+}
+
+rdf::Graph BuildExternalGraph(const Dataset& dataset) {
+  rdf::Graph graph;
+  for (const core::Item& item : dataset.external_items) {
+    for (const core::PropertyValue& pv : item.facts) {
+      graph.InsertLiteralTriple(item.iri, pv.property, pv.value);
+    }
+  }
+  return graph;
+}
+
+rdf::Graph BuildLinksGraph(const Dataset& dataset) {
+  rdf::Graph graph;
+  for (const GoldLink& link : dataset.links) {
+    graph.InsertIri(dataset.external_items[link.external_index].iri,
+                    rdf::vocab::kOwlSameAs,
+                    dataset.catalog_items[link.catalog_index].iri);
+  }
+  return graph;
+}
+
+}  // namespace rulelink::datagen

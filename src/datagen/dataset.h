@@ -1,0 +1,59 @@
+// The generated corpus: local catalog, provider documents, gold links, and
+// helpers that project it into the representations the rest of the library
+// consumes (TrainingSet, RDF graphs, item lists for blockers).
+#ifndef RULELINK_DATAGEN_DATASET_H_
+#define RULELINK_DATAGEN_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/item.h"
+#include "core/training_set.h"
+#include "datagen/config.h"
+#include "datagen/ontology_gen.h"
+#include "rdf/graph.h"
+
+namespace rulelink::datagen {
+
+struct GoldLink {
+  std::size_t external_index = 0;  // into Dataset::external_items
+  std::size_t catalog_index = 0;   // into Dataset::catalog_items
+};
+
+struct Dataset {
+  DatasetConfig config;
+  GeneratedOntology taxonomy;
+
+  // Local source S_L.
+  std::vector<core::Item> catalog_items;
+  std::vector<ontology::ClassId> catalog_classes;  // parallel, leaf classes
+
+  // External source S_E: one provider document per expert link.
+  std::vector<core::Item> external_items;
+  std::vector<GoldLink> links;  // external i -> catalog index (expert TS)
+
+  // Leaf classes that carry class-specific series segments (ground truth
+  // of the generator, used by tests and ablation benches).
+  std::vector<ontology::ClassId> signal_classes;
+
+  const ontology::Ontology& ontology() const { return taxonomy.ontology; }
+};
+
+// Flattens the gold links into a core::TrainingSet (facts from the
+// external item, classes from the catalog side). This is the direct path;
+// integration tests also exercise the RDF path below.
+core::TrainingSet BuildTrainingSet(const Dataset& dataset);
+
+// RDF projections of the corpus, for the end-to-end RDF pipeline:
+//   local graph:   catalog items with rdf:type, partNumber, label;
+//                  plus the full class taxonomy (owl:Class/subClassOf).
+//   external graph: provider documents with partNumber/manufacturerName.
+//   links graph:   owl:sameAs triples of the training links.
+rdf::Graph BuildLocalGraph(const Dataset& dataset);
+rdf::Graph BuildExternalGraph(const Dataset& dataset);
+rdf::Graph BuildLinksGraph(const Dataset& dataset);
+
+}  // namespace rulelink::datagen
+
+#endif  // RULELINK_DATAGEN_DATASET_H_

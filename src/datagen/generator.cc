@@ -1,0 +1,342 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "datagen/typo.h"
+#include "util/logging.h"
+
+namespace rulelink::datagen {
+namespace {
+
+constexpr const char* kSeparators[] = {"-", ".", " ", "/", "_"};
+
+constexpr const char* kNoiseTokens[] = {"ROHS", "TR", "REEL", "SMD",
+                                        "LF",   "BULK", "CUT", "AMMO"};
+
+constexpr const char* kMfrPrefixes[] = {"Vol", "Tek", "Micro", "Omni",
+                                        "Dura", "Elec", "Nova", "Penta",
+                                        "Quadra", "Stella"};
+constexpr const char* kMfrSuffixes[] = {"tron", "tec", "dyne", "corp",
+                                        "chip", "wave", "flux", "core"};
+
+// The pseudo-series pool shared by non-signal classes. Bounded so its
+// tokens repeat a little (matching the paper's distinct/occurrence ratio)
+// but spread class-blindly, so they never become rules.
+constexpr std::size_t kPseudoSeriesPoolSize = 2000;
+
+// A series-style code: 2-4 uppercase letters followed by 2-4 digits,
+// e.g. "CRCW0805" or "T83".
+std::string MakeSeriesCode(util::Rng* rng) {
+  static constexpr char kLetters[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  static constexpr char kDigits[] = "0123456789";
+  std::string code;
+  const std::size_t letters = 1 + rng->UniformUint64(4);   // 1-4
+  const std::size_t digits = 2 + rng->UniformUint64(3);    // 2-4
+  for (std::size_t i = 0; i < letters; ++i) {
+    code.push_back(kLetters[rng->UniformUint64(26)]);
+  }
+  for (std::size_t i = 0; i < digits; ++i) {
+    code.push_back(kDigits[rng->UniformUint64(10)]);
+  }
+  return code;
+}
+
+std::string RenderPartNumber(const std::vector<std::string>& tokens,
+                             const std::string& separator) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += separator;
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<Dataset> DatasetGenerator::Generate() const {
+  const DatasetConfig& cfg = config_;
+  if (cfg.num_links > cfg.catalog_size) {
+    return util::InvalidArgumentError(
+        "num_links cannot exceed catalog_size");
+  }
+  if (cfg.pure_fraction + cfg.high_purity_fraction +
+          cfg.mid_purity_fraction >
+      1.0 + 1e-9) {
+    return util::InvalidArgumentError("purity fractions must sum to <= 1");
+  }
+  util::Rng rng(cfg.seed);
+
+  Dataset dataset;
+  dataset.config = cfg;
+  RL_ASSIGN_OR_RETURN(dataset.taxonomy,
+                      GenerateOntology(cfg.num_classes, cfg.num_leaves, &rng));
+  const auto& taxonomy = dataset.taxonomy;
+  const auto& onto = taxonomy.ontology;
+  const std::vector<ontology::ClassId>& leaves = taxonomy.leaves;
+  RL_CHECK(!leaves.empty());
+
+  // --- Class popularity: three tiers of expected TS link counts. ---
+  const std::size_t num_signal =
+      std::min(cfg.num_signal_classes, leaves.size());
+  const std::size_t num_other_frequent = std::min(
+      cfg.num_other_frequent_classes, leaves.size() - num_signal);
+  std::vector<std::size_t> tier_order(leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) tier_order[i] = i;
+  rng.Shuffle(&tier_order);
+
+  std::vector<double> leaf_weight(leaves.size(), 0.0);  // expected TS links
+  double allocated = 0.0;
+  for (std::size_t k = 0; k < num_signal; ++k) {
+    const double w = cfg.signal_class_min_links +
+                     (cfg.signal_class_max_links - cfg.signal_class_min_links) *
+                         rng.UniformDouble();
+    leaf_weight[tier_order[k]] = w;
+    allocated += w;
+  }
+  for (std::size_t k = num_signal; k < num_signal + num_other_frequent; ++k) {
+    const double w =
+        cfg.frequent_class_min_links +
+        (cfg.frequent_class_max_links - cfg.frequent_class_min_links) *
+            rng.UniformDouble();
+    leaf_weight[tier_order[k]] = w;
+    allocated += w;
+  }
+  // Tier C absorbs the remaining link mass, jittered, capped below the
+  // support threshold so tail classes stay infrequent.
+  const std::size_t num_tail = leaves.size() - num_signal -
+                               num_other_frequent;
+  if (num_tail > 0) {
+    const double tail_mass = std::max(
+        0.0, static_cast<double>(cfg.num_links) - allocated);
+    const double mean = tail_mass / static_cast<double>(num_tail);
+    for (std::size_t k = num_signal + num_other_frequent;
+         k < leaves.size(); ++k) {
+      const double w = std::min(cfg.tail_class_cap_links,
+                                mean * (0.5 + rng.UniformDouble()));
+      leaf_weight[tier_order[k]] = std::max(0.25, w);
+    }
+  }
+
+  // --- Signal classes, their target confidences and series tokens. ---
+  // Tier-A classes sorted by size (largest first): purity is assigned by
+  // size, largest = purest (see DatasetConfig).
+  std::vector<std::size_t> signal_ranks(
+      tier_order.begin(), tier_order.begin() + num_signal);
+  std::sort(signal_ranks.begin(), signal_ranks.end(),
+            [&](std::size_t a, std::size_t b) {
+              return leaf_weight[a] > leaf_weight[b];
+            });
+  const std::size_t num_frequent_signal = signal_ranks.size();
+  // Tail signal classes: series codes too rare to clear the threshold.
+  {
+    const std::size_t extra = static_cast<std::size_t>(
+        cfg.tail_signal_fraction * static_cast<double>(num_tail));
+    for (std::size_t k = 0; k < extra; ++k) {
+      signal_ranks.push_back(
+          tier_order[num_signal + num_other_frequent + k]);
+    }
+  }
+
+  std::unordered_map<ontology::ClassId, double> target_confidence;
+  std::unordered_map<ontology::ClassId, std::vector<std::string>> series;
+  std::unordered_set<std::string> used_codes;
+  // Pollution plan: class -> expected number of foreign TS items that must
+  // carry one of its tokens so the token confidence lands at q.
+  std::vector<ontology::ClassId> pollution_classes;
+  std::vector<double> pollution_weights;
+  double total_pollution = 0.0;
+
+  for (std::size_t k = 0; k < signal_ranks.size(); ++k) {
+    const std::size_t rank = signal_ranks[k];
+    const ontology::ClassId cls = leaves[rank];
+    dataset.signal_classes.push_back(cls);
+    // Target confidence by size position (tier-A classes are pre-sorted
+    // largest first); tail signal classes (k >= num_frequent_signal) draw
+    // a uniform position instead — they stay below the threshold anyway.
+    const double position =
+        k < num_frequent_signal
+            ? (static_cast<double>(k) + 0.5) /
+                  static_cast<double>(num_frequent_signal)
+            : rng.UniformDouble();
+    double q;
+    if (position < cfg.pure_fraction) {
+      q = 1.0;
+    } else if (position < cfg.pure_fraction + cfg.high_purity_fraction) {
+      q = 0.86 + 0.11 * rng.UniformDouble();
+    } else if (position < cfg.pure_fraction + cfg.high_purity_fraction +
+                              cfg.mid_purity_fraction) {
+      q = 0.66 + 0.18 * rng.UniformDouble();
+    } else {
+      q = 0.46 + 0.18 * rng.UniformDouble();
+    }
+    target_confidence[cls] = q;
+    // Series tokens, globally unique.
+    const std::size_t span =
+        cfg.max_series_per_class >= cfg.min_series_per_class
+            ? cfg.max_series_per_class - cfg.min_series_per_class + 1
+            : 1;
+    const std::size_t count =
+        cfg.min_series_per_class + rng.UniformUint64(span);
+    auto& codes = series[cls];
+    while (codes.size() < count) {
+      std::string code = MakeSeriesCode(&rng);
+      if (used_codes.insert(code).second) codes.push_back(std::move(code));
+    }
+    if (q < 1.0) {
+      const double expected_links = leaf_weight[rank];
+      const double own_emissions =
+          expected_links * cfg.series_in_partnumber_prob;
+      const double pollution = own_emissions * (1.0 / q - 1.0);
+      pollution_classes.push_back(cls);
+      pollution_weights.push_back(pollution);
+      total_pollution += pollution;
+    }
+  }
+  // Per-catalog-item probability of carrying a polluted token. Links are a
+  // uniform catalog sample, so a links-level rate applies catalog-wide.
+  const double pollution_prob =
+      cfg.num_links > 0
+          ? std::min(0.9, total_pollution / static_cast<double>(cfg.num_links))
+          : 0.0;
+
+  // --- Pools. ---
+  std::vector<std::string> manufacturers;
+  {
+    std::unordered_set<std::string> seen;
+    while (manufacturers.size() < cfg.num_manufacturers) {
+      std::string name =
+          std::string(kMfrPrefixes[rng.UniformUint64(std::size(kMfrPrefixes))]) +
+          kMfrSuffixes[rng.UniformUint64(std::size(kMfrSuffixes))];
+      if (manufacturers.size() >= std::size(kMfrPrefixes) *
+                                      std::size(kMfrSuffixes)) {
+        name += std::to_string(manufacturers.size());
+      }
+      if (seen.insert(name).second) manufacturers.push_back(std::move(name));
+    }
+  }
+  std::vector<std::string> serial_pool;
+  serial_pool.reserve(cfg.serial_pool_size);
+  {
+    std::unordered_set<std::string> seen;
+    while (serial_pool.size() < cfg.serial_pool_size) {
+      std::string s = rng.AlnumString(4 + rng.UniformUint64(3));
+      if (seen.insert(s).second) serial_pool.push_back(std::move(s));
+    }
+  }
+  std::vector<std::string> pseudo_pool;
+  pseudo_pool.reserve(kPseudoSeriesPoolSize);
+  {
+    std::unordered_set<std::string> seen;
+    while (pseudo_pool.size() < kPseudoSeriesPoolSize) {
+      std::string s = MakeSeriesCode(&rng);
+      if (used_codes.count(s) > 0) continue;  // never collide with signal
+      if (seen.insert(s).second) pseudo_pool.push_back(std::move(s));
+    }
+  }
+
+  // Family units lookup: family ClassId -> units.
+  std::unordered_map<ontology::ClassId, const std::vector<std::string>*>
+      units_of_family;
+  for (std::size_t f = 0; f < taxonomy.families.size(); ++f) {
+    units_of_family[taxonomy.families[f]] = &taxonomy.family_units[f];
+  }
+
+  // --- Catalog. ---
+  dataset.catalog_items.reserve(cfg.catalog_size);
+  dataset.catalog_classes.reserve(cfg.catalog_size);
+  std::vector<std::vector<std::string>> product_tokens(cfg.catalog_size);
+  std::vector<std::string> product_separator(cfg.catalog_size);
+  std::vector<std::size_t> product_mfr(cfg.catalog_size);
+
+  for (std::size_t i = 0; i < cfg.catalog_size; ++i) {
+    const ontology::ClassId leaf = leaves[rng.WeightedIndex(leaf_weight)];
+    std::vector<std::string>& tokens = product_tokens[i];
+
+    auto series_it = series.find(leaf);
+    if (series_it != series.end()) {
+      if (rng.Bernoulli(cfg.series_in_partnumber_prob)) {
+        tokens.push_back(rng.Pick(series_it->second));
+      }
+    } else {
+      tokens.push_back(rng.Pick(pseudo_pool));
+    }
+    // Pollution: a foreign class's series token rides along, calibrated so
+    // each impure token's confidence lands at its class's target q.
+    if (!pollution_classes.empty() && rng.Bernoulli(pollution_prob)) {
+      const ontology::ClassId polluter =
+          pollution_classes[rng.WeightedIndex(pollution_weights)];
+      if (polluter != leaf) {
+        tokens.push_back(rng.Pick(series.at(polluter)));
+      }
+    }
+    tokens.push_back(rng.Pick(serial_pool));
+    if (rng.Bernoulli(cfg.second_serial_prob)) {
+      tokens.push_back(rng.Pick(serial_pool));
+    }
+    const ontology::ClassId family = taxonomy.family_of[leaf];
+    auto units_it = units_of_family.find(family);
+    if (units_it != units_of_family.end() &&
+        rng.Bernoulli(cfg.unit_token_prob)) {
+      tokens.push_back(rng.Pick(*units_it->second));
+    }
+    if (rng.Bernoulli(cfg.shared_noise_token_prob)) {
+      tokens.push_back(
+          kNoiseTokens[rng.UniformUint64(std::size(kNoiseTokens))]);
+    }
+
+    product_separator[i] =
+        kSeparators[rng.UniformUint64(std::size(kSeparators))];
+    if (cfg.manufacturer_affinity > 0.0 &&
+        rng.Bernoulli(cfg.manufacturer_affinity)) {
+      // Class-preferred manufacturer: deterministic per class.
+      product_mfr[i] = static_cast<std::size_t>(leaf) % manufacturers.size();
+    } else {
+      product_mfr[i] = rng.UniformUint64(manufacturers.size());
+    }
+
+    core::Item item;
+    item.iri = std::string(ns::kCatalog) + "P" + std::to_string(i);
+    item.facts.push_back(core::PropertyValue{
+        props::kPartNumber, RenderPartNumber(tokens, product_separator[i])});
+    item.facts.push_back(core::PropertyValue{
+        props::kManufacturer, manufacturers[product_mfr[i]]});
+    item.facts.push_back(core::PropertyValue{
+        props::kLabel,
+        manufacturers[product_mfr[i]] + " " + onto.label(leaf)});
+    dataset.catalog_items.push_back(std::move(item));
+    dataset.catalog_classes.push_back(leaf);
+  }
+
+  // --- Expert links and provider documents. ---
+  std::vector<std::size_t> catalog_order(cfg.catalog_size);
+  for (std::size_t i = 0; i < cfg.catalog_size; ++i) catalog_order[i] = i;
+  rng.Shuffle(&catalog_order);
+  dataset.external_items.reserve(cfg.num_links);
+  dataset.links.reserve(cfg.num_links);
+  for (std::size_t j = 0; j < cfg.num_links; ++j) {
+    const std::size_t cat = catalog_order[j];
+    std::vector<std::string> tokens = product_tokens[cat];
+    if (!tokens.empty() && rng.Bernoulli(cfg.provider_typo_prob)) {
+      const std::size_t t = rng.UniformUint64(tokens.size());
+      tokens[t] = ApplyTypo(tokens[t], &rng);
+    }
+    std::string separator = product_separator[cat];
+    if (rng.Bernoulli(cfg.provider_reformat_prob)) {
+      separator = kSeparators[rng.UniformUint64(std::size(kSeparators))];
+    }
+    core::Item item;
+    item.iri = std::string(ns::kProvider) + "D" + std::to_string(j);
+    item.facts.push_back(core::PropertyValue{
+        props::kPartNumber, RenderPartNumber(tokens, separator)});
+    item.facts.push_back(core::PropertyValue{
+        props::kManufacturer, manufacturers[product_mfr[cat]]});
+    dataset.external_items.push_back(std::move(item));
+    dataset.links.push_back(GoldLink{j, cat});
+  }
+
+  return dataset;
+}
+
+}  // namespace rulelink::datagen

@@ -1,0 +1,38 @@
+// The workload generator: builds the full synthetic corpus described in
+// DESIGN.md §2 (ontology, catalog, provider documents, expert links) from
+// a DatasetConfig, deterministically from the seed.
+//
+// Signal model. Leaf classes are Zipf-popular. The mid-popularity ranks
+// are "signal classes": each owns 3-4 series tokens ("CRCW0805", "T83")
+// that appear in most of its part numbers. Each signal class has a target
+// confidence q: for q < 1 its tokens are polluted — products of other
+// classes occasionally carry one of them, at a rate calibrated so the
+// learnt token -> class rule confidence lands at q in expectation. This is
+// what spreads the learnt rules across Table 1's confidence bands.
+// Family-level unit tokens ("ohm", "63V") and global packaging tokens
+// ("ROHS", "TR") add the weak and class-blind segments; a serial drawn
+// from a bounded pool supplies the long tail of infrequent segments.
+#ifndef RULELINK_DATAGEN_GENERATOR_H_
+#define RULELINK_DATAGEN_GENERATOR_H_
+
+#include "datagen/config.h"
+#include "datagen/dataset.h"
+#include "util/status.h"
+
+namespace rulelink::datagen {
+
+class DatasetGenerator {
+ public:
+  explicit DatasetGenerator(DatasetConfig config) : config_(config) {}
+
+  // Generates the corpus. Fails on infeasible configuration (bad taxonomy
+  // shape, num_links > catalog_size, empty pools).
+  util::Result<Dataset> Generate() const;
+
+ private:
+  DatasetConfig config_;
+};
+
+}  // namespace rulelink::datagen
+
+#endif  // RULELINK_DATAGEN_GENERATOR_H_

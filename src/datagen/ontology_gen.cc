@@ -1,0 +1,173 @@
+#include "datagen/ontology_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "datagen/config.h"
+#include "util/logging.h"
+
+namespace rulelink::datagen {
+namespace {
+
+constexpr const char* kFamilyNames[] = {
+    "Resistor",      "Capacitor",   "Inductor",   "Diode",
+    "Transistor",    "Connector",   "Relay",      "Switch",
+    "Crystal",       "Fuse",        "Transformer","Sensor",
+    "Potentiometer", "Thermistor",  "Varistor",   "Oscillator",
+    "Filter",        "Amplifier",   "Display",    "Regulator",
+    "Converter",     "Memory",      "Microcontroller", "Antenna",
+};
+
+constexpr const char* kQualifiers[] = {
+    "Fixed",     "Variable",  "Ceramic",    "Tantalum",  "Film",
+    "Electrolytic", "Power",  "Signal",     "HighVoltage", "Precision",
+    "SMD",       "ThroughHole", "Axial",    "Radial",    "Miniature",
+    "Industrial", "Automotive", "RF",       "Digital",   "Analog",
+    "LowNoise",  "HighSpeed", "Shielded",   "Sealed",    "Rugged",
+};
+
+// Family-specific measure units ("ohm" belongs to resistors the way the
+// paper's §4 examples suggest): each family owns one of these exclusively.
+constexpr const char* kUnitTokens[] = {
+    "ohm", "kohm", "Mohm", "pF",  "nF",  "uF",  "mF",  "uH",
+    "mH",  "H",    "mW",   "1W",  "5W",  "MHz", "kHz", "GHz",
+    "ppm", "mA",   "uA",   "dB",  "lm",  "mT",  "kPa", "rpm",
+};
+
+// Shared electrical ratings that cut across families; these stay ambiguous
+// segments and never generalize cleanly.
+constexpr const char* kSharedUnitTokens[] = {
+    "16V", "25V", "63V", "100V", "250V", "5V", "12V",
+};
+
+}  // namespace
+
+util::Result<GeneratedOntology> GenerateOntology(std::size_t num_classes,
+                                                 std::size_t num_leaves,
+                                                 util::Rng* rng) {
+  if (num_leaves < 2 || num_leaves >= num_classes) {
+    return util::InvalidArgumentError(
+        "need 2 <= num_leaves < num_classes");
+  }
+  const std::size_t num_internal = num_classes - num_leaves;
+  if (num_internal < 2) {
+    return util::InvalidArgumentError(
+        "need at least a root and one family (num_classes - num_leaves >= "
+        "2)");
+  }
+
+  // --- Internal skeleton: node 0 is the root; the first few internal
+  // nodes become depth-1 families; the rest attach to random internal
+  // parents below the root so families keep subtrees. The family count
+  // scales with the taxonomy so small ontologies do not end up with more
+  // childless internal classes than leaves.
+  const std::size_t num_families = std::min(
+      std::min<std::size_t>(std::size(kFamilyNames), num_internal - 1),
+      std::max<std::size_t>(3, num_internal / 4));
+  std::vector<std::size_t> parent(num_internal, 0);
+  std::vector<std::size_t> child_count(num_internal, 0);
+  for (std::size_t i = 1; i < num_internal; ++i) {
+    if (i <= num_families) {
+      parent[i] = 0;  // family under the root
+    } else {
+      // Attach below a random non-root internal node to grow depth.
+      parent[i] = 1 + rng->UniformUint64(i - 1);
+    }
+    ++child_count[parent[i]];
+  }
+
+  // Leaves: first cover childless internal nodes, then spread the rest.
+  std::vector<std::size_t> leaf_parent;
+  leaf_parent.reserve(num_leaves);
+  for (std::size_t i = 1; i < num_internal; ++i) {
+    if (child_count[i] == 0) leaf_parent.push_back(i);
+  }
+  if (leaf_parent.size() > num_leaves) {
+    return util::InvalidArgumentError(
+        "infeasible taxonomy shape: more childless internal classes than "
+        "leaves; increase num_leaves or num_classes");
+  }
+  while (leaf_parent.size() < num_leaves) {
+    // Bias toward deeper parents (avoid piling every leaf on the root).
+    const std::size_t p = 1 + rng->UniformUint64(num_internal - 1);
+    leaf_parent.push_back(p);
+  }
+  rng->Shuffle(&leaf_parent);
+
+  // --- Materialize the ontology. ---
+  GeneratedOntology out;
+  auto& onto = out.ontology;
+  std::unordered_set<std::string> used_labels;
+  const auto unique_label = [&](std::string base) {
+    std::string label = base;
+    std::size_t n = 2;
+    while (!used_labels.insert(label).second) {
+      label = base + " " + std::to_string(n++);
+    }
+    return label;
+  };
+
+  std::vector<ontology::ClassId> internal_ids(num_internal);
+  for (std::size_t i = 0; i < num_internal; ++i) {
+    std::string label;
+    if (i == 0) {
+      label = "ElectronicComponent";
+    } else if (i <= num_families) {
+      label = kFamilyNames[i - 1];
+    } else {
+      const std::size_t family_hint = rng->UniformUint64(num_families);
+      label = unique_label(
+          std::string(kQualifiers[rng->UniformUint64(std::size(kQualifiers))]) +
+          " " + kFamilyNames[family_hint] + " Group");
+    }
+    internal_ids[i] =
+        onto.AddClass(std::string(ns::kOntology) + "C" + std::to_string(i),
+                      label);
+  }
+  for (std::size_t i = 1; i < num_internal; ++i) {
+    RL_CHECK_OK(onto.AddSubClassOf(internal_ids[i], internal_ids[parent[i]]));
+  }
+  std::vector<ontology::ClassId> leaf_ids(num_leaves);
+  for (std::size_t i = 0; i < num_leaves; ++i) {
+    const std::string label = unique_label(
+        std::string(kQualifiers[rng->UniformUint64(std::size(kQualifiers))]) +
+        " " +
+        kFamilyNames[rng->UniformUint64(std::size(kFamilyNames))]);
+    leaf_ids[i] = onto.AddClass(
+        std::string(ns::kOntology) + "L" + std::to_string(i), label);
+    RL_CHECK_OK(onto.AddSubClassOf(leaf_ids[i], internal_ids[leaf_parent[i]]));
+  }
+  RL_RETURN_IF_ERROR(onto.Finalize());
+
+  // --- Derived structure. ---
+  out.leaves = onto.Leaves();
+  // Family of each class: walk parents until a depth-1 class.
+  out.family_of.assign(onto.num_classes(), ontology::kInvalidClassId);
+  for (ontology::ClassId c = 0; c < onto.num_classes(); ++c) {
+    ontology::ClassId cur = c;
+    while (onto.Depth(cur) > 1) {
+      RL_CHECK(!onto.Parents(cur).empty());
+      cur = onto.Parents(cur).front();
+    }
+    out.family_of[c] = onto.Depth(cur) == 1 ? cur : c;
+  }
+  for (std::size_t i = 1; i <= num_families; ++i) {
+    out.families.push_back(internal_ids[i]);
+  }
+  // Family unit vocabularies: one exclusive measure unit per family (the
+  // family-level generalization signal of E6) plus 1-2 shared rating
+  // tokens that stay ambiguous across families.
+  out.family_units.resize(out.families.size());
+  for (std::size_t f = 0; f < out.families.size(); ++f) {
+    out.family_units[f].push_back(
+        kUnitTokens[f % std::size(kUnitTokens)]);
+    const std::size_t shared = 1 + rng->UniformUint64(2);
+    for (std::size_t k = 0; k < shared; ++k) {
+      out.family_units[f].push_back(kSharedUnitTokens[rng->UniformUint64(
+          std::size(kSharedUnitTokens))]);
+    }
+  }
+  return out;
+}
+
+}  // namespace rulelink::datagen

@@ -1,0 +1,37 @@
+// Generates a synthetic electronic-components taxonomy with an exact
+// class/leaf count (paper: 566 classes, 226 of them leaves), realistic
+// family labels, and per-family measure-unit vocabularies.
+#ifndef RULELINK_DATAGEN_ONTOLOGY_GEN_H_
+#define RULELINK_DATAGEN_ONTOLOGY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rulelink::datagen {
+
+struct GeneratedOntology {
+  ontology::Ontology ontology;
+  std::vector<ontology::ClassId> leaves;          // the paper's 226
+  // Index of the depth-1 family ancestor of each class (by ClassId), used
+  // to attach family-level unit vocabularies.
+  std::vector<ontology::ClassId> family_of;
+  std::vector<ontology::ClassId> families;        // depth-1 classes
+  // Unit tokens of each family, parallel to `families`.
+  std::vector<std::vector<std::string>> family_units;
+};
+
+// Builds a rooted tree with exactly `num_classes` classes of which exactly
+// `num_leaves` are leaves (requires 2 <= num_leaves < num_classes and at
+// least one internal class per ~8 leaves of headroom; infeasible shapes
+// return InvalidArgument).
+util::Result<GeneratedOntology> GenerateOntology(std::size_t num_classes,
+                                                 std::size_t num_leaves,
+                                                 util::Rng* rng);
+
+}  // namespace rulelink::datagen
+
+#endif  // RULELINK_DATAGEN_ONTOLOGY_GEN_H_

@@ -1,0 +1,44 @@
+#include "datagen/typo.h"
+
+namespace rulelink::datagen {
+namespace {
+constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+char RandomChar(util::Rng* rng) {
+  return kAlphabet[rng->UniformUint64(sizeof(kAlphabet) - 1)];
+}
+}  // namespace
+
+std::string ApplyTypo(const std::string& s, util::Rng* rng) {
+  std::string out = s;
+  if (out.empty()) {
+    out.push_back(RandomChar(rng));
+    return out;
+  }
+  const std::uint64_t kind =
+      out.size() >= 2 ? rng->UniformUint64(4) : rng->UniformUint64(2);
+  const std::size_t pos = rng->UniformUint64(out.size());
+  switch (kind) {
+    case 0: {  // substitution (force a change)
+      char c = RandomChar(rng);
+      while (c == out[pos]) c = RandomChar(rng);
+      out[pos] = c;
+      break;
+    }
+    case 1:  // insertion
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                 RandomChar(rng));
+      break;
+    case 2:  // deletion
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+      break;
+    case 3: {  // adjacent transposition
+      const std::size_t i = pos + 1 < out.size() ? pos : pos - 1;
+      std::swap(out[i], out[i + 1]);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rulelink::datagen

@@ -1,0 +1,20 @@
+// Typographic noise channel used when rendering provider documents: real
+// provider files contain keying errors, which is what makes the linking
+// step (and fuzzy blocking baselines) non-trivial.
+#ifndef RULELINK_DATAGEN_TYPO_H_
+#define RULELINK_DATAGEN_TYPO_H_
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace rulelink::datagen {
+
+// Applies exactly one random edit to `s` (substitution, deletion,
+// insertion, or adjacent transposition of an alphanumeric character).
+// Strings of length < 2 only receive substitutions/insertions.
+std::string ApplyTypo(const std::string& s, util::Rng* rng);
+
+}  // namespace rulelink::datagen
+
+#endif  // RULELINK_DATAGEN_TYPO_H_

@@ -1,0 +1,137 @@
+#include "eval/holdout.h"
+
+#include <algorithm>
+
+#include "core/classifier.h"
+#include "util/rng.h"
+
+namespace rulelink::eval {
+namespace {
+
+core::Item ItemFromExample(const core::TrainingExample& example,
+                           const core::PropertyCatalog& properties) {
+  core::Item item;
+  item.iri = example.external_iri;
+  for (const auto& [property, value] : example.facts) {
+    item.facts.push_back(
+        core::PropertyValue{properties.name(property), value});
+  }
+  return item;
+}
+
+// Evaluates rules learnt on the `train` index set against the `test` set.
+util::Result<HoldoutResult> EvaluateSplit(
+    const core::TrainingSet& ts, const std::vector<std::size_t>& train,
+    const std::vector<std::size_t>& test, const HoldoutOptions& options) {
+  if (train.empty() || test.empty()) {
+    return util::InvalidArgumentError("degenerate holdout split");
+  }
+  core::TrainingSet train_ts(ts.ontology());
+  for (std::size_t i : train) {
+    const core::TrainingExample& example = ts.examples()[i];
+    train_ts.AddExample(ItemFromExample(example, ts.properties()),
+                        example.local_iri, example.classes);
+  }
+
+  core::LearnerOptions learner_options;
+  learner_options.support_threshold = options.support_threshold;
+  learner_options.segmenter = options.segmenter;
+  learner_options.properties = options.properties;
+  auto rules = core::RuleLearner(learner_options).Learn(train_ts);
+  if (!rules.ok()) return rules.status();
+
+  HoldoutResult result;
+  result.train_size = train.size();
+  result.test_size = test.size();
+  result.num_rules = rules->size();
+
+  const core::RuleClassifier classifier(&*rules, options.segmenter);
+  for (std::size_t i : test) {
+    const core::TrainingExample& example = ts.examples()[i];
+    const auto predictions = classifier.Classify(
+        ItemFromExample(example, ts.properties()), options.min_confidence);
+    if (predictions.empty()) continue;
+    ++result.decided;
+    const ontology::ClassId top = predictions.front().cls;
+    if (std::find(example.classes.begin(), example.classes.end(), top) !=
+        example.classes.end()) {
+      ++result.correct;
+    }
+  }
+  if (result.decided > 0) {
+    result.precision = static_cast<double>(result.correct) /
+                       static_cast<double>(result.decided);
+  }
+  result.coverage = static_cast<double>(result.decided) /
+                    static_cast<double>(result.test_size);
+  result.recall = static_cast<double>(result.correct) /
+                  static_cast<double>(result.test_size);
+  return result;
+}
+
+}  // namespace
+
+util::Result<HoldoutResult> RunHoldout(const core::TrainingSet& ts,
+                                       const HoldoutOptions& options) {
+  if (options.segmenter == nullptr) {
+    return util::InvalidArgumentError("HoldoutOptions.segmenter is null");
+  }
+  if (!(options.test_fraction > 0.0) || options.test_fraction >= 1.0) {
+    return util::InvalidArgumentError("test_fraction must be in (0, 1)");
+  }
+  std::vector<std::size_t> order(ts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  util::Rng rng(options.seed);
+  rng.Shuffle(&order);
+  const std::size_t test_count = static_cast<std::size_t>(
+      options.test_fraction * static_cast<double>(ts.size()));
+  const std::vector<std::size_t> test(order.begin(),
+                                      order.begin() + test_count);
+  const std::vector<std::size_t> train(order.begin() + test_count,
+                                       order.end());
+  return EvaluateSplit(ts, train, test, options);
+}
+
+util::Result<HoldoutResult> RunCrossValidation(
+    const core::TrainingSet& ts, const HoldoutOptions& options,
+    std::size_t folds) {
+  if (options.segmenter == nullptr) {
+    return util::InvalidArgumentError("HoldoutOptions.segmenter is null");
+  }
+  if (folds < 2 || folds > ts.size()) {
+    return util::InvalidArgumentError("need 2 <= folds <= |TS|");
+  }
+  std::vector<std::size_t> order(ts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  util::Rng rng(options.seed);
+  rng.Shuffle(&order);
+
+  HoldoutResult aggregate;
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    std::vector<std::size_t> train, test;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      (i % folds == fold ? test : train).push_back(order[i]);
+    }
+    auto result = EvaluateSplit(ts, train, test, options);
+    if (!result.ok()) return result.status();
+    aggregate.train_size += result->train_size;
+    aggregate.test_size += result->test_size;
+    aggregate.num_rules += result->num_rules;
+    aggregate.decided += result->decided;
+    aggregate.correct += result->correct;
+  }
+  aggregate.num_rules /= folds;  // mean rule count
+  if (aggregate.decided > 0) {
+    aggregate.precision = static_cast<double>(aggregate.correct) /
+                          static_cast<double>(aggregate.decided);
+  }
+  if (aggregate.test_size > 0) {
+    aggregate.coverage = static_cast<double>(aggregate.decided) /
+                         static_cast<double>(aggregate.test_size);
+    aggregate.recall = static_cast<double>(aggregate.correct) /
+                       static_cast<double>(aggregate.test_size);
+  }
+  return aggregate;
+}
+
+}  // namespace rulelink::eval

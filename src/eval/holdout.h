@@ -1,0 +1,51 @@
+// Held-out evaluation: the paper measures precision/recall on the training
+// set itself (§5); the obvious methodological extension is to split TS,
+// learn on one part and classify the other, measuring true generalization
+// to unseen linked items. Used by the ablation benches and available to
+// library users for threshold tuning.
+#ifndef RULELINK_EVAL_HOLDOUT_H_
+#define RULELINK_EVAL_HOLDOUT_H_
+
+#include <vector>
+
+#include "core/learner.h"
+#include "core/training_set.h"
+#include "text/segmenter.h"
+#include "util/status.h"
+
+namespace rulelink::eval {
+
+struct HoldoutOptions {
+  double test_fraction = 0.2;   // in (0, 1)
+  std::uint64_t seed = 42;      // split shuffling
+  double support_threshold = 0.002;
+  double min_confidence = 0.0;  // decision floor at classification time
+  const text::Segmenter* segmenter = nullptr;
+  std::vector<std::string> properties;
+};
+
+struct HoldoutResult {
+  std::size_t train_size = 0;
+  std::size_t test_size = 0;
+  std::size_t num_rules = 0;
+  std::size_t decided = 0;   // test items with at least one prediction
+  std::size_t correct = 0;   // decided items whose top class is true
+  double precision = 0.0;    // correct / decided
+  double coverage = 0.0;     // decided / test_size
+  double recall = 0.0;       // correct / test_size
+};
+
+// Splits `ts` (deterministically from the seed), learns rules on the train
+// part with the given threshold, and classifies the held-out part. Fails
+// on degenerate splits (empty train or test side) or learner errors.
+util::Result<HoldoutResult> RunHoldout(const core::TrainingSet& ts,
+                                       const HoldoutOptions& options);
+
+// K-fold cross-validation: averages RunHoldout over k disjoint folds.
+util::Result<HoldoutResult> RunCrossValidation(const core::TrainingSet& ts,
+                                               const HoldoutOptions& options,
+                                               std::size_t folds);
+
+}  // namespace rulelink::eval
+
+#endif  // RULELINK_EVAL_HOLDOUT_H_

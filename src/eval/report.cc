@@ -1,0 +1,63 @@
+#include "eval/report.h"
+
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace rulelink::eval {
+
+std::string FormatLearnStats(const core::LearnStats& stats,
+                             bool with_paper_reference) {
+  util::TextTable table(
+      with_paper_reference
+          ? std::vector<std::string>{"statistic", "measured", "paper"}
+          : std::vector<std::string>{"statistic", "measured"});
+  const auto add = [&](const std::string& name, std::size_t value,
+                       const std::string& paper) {
+    std::vector<std::string> row = {name, std::to_string(value)};
+    if (with_paper_reference) row.push_back(paper);
+    table.AddRow(std::move(row));
+  };
+  add("training links |TS|", stats.num_examples, "10265");
+  add("distinct segments", stats.distinct_segments, "7842");
+  add("segment occurrences", stats.segment_occurrences, "26077");
+  add("selected segment occurrences", stats.selected_segment_occurrences,
+      "7058");
+  add("frequent (p,segment) premises", stats.frequent_premises, "-");
+  add("frequent classes", stats.frequent_classes, "68");
+  add("classification rules", stats.num_rules, "144");
+  add("classes with rules", stats.classes_with_rules, "16");
+  return table.ToText();
+}
+
+std::string FormatLinkingSpace(const core::LinkingSpaceReport& report) {
+  util::TextTable table({"metric", "value"});
+  table.AddRow({"external items", std::to_string(report.num_external_items)});
+  table.AddRow({"local items |S_L|", std::to_string(report.local_size)});
+  table.AddRow({"naive pairs", std::to_string(report.naive_pairs)});
+  table.AddRow({"reduced pairs", std::to_string(report.reduced_pairs)});
+  table.AddRow({"classified items", std::to_string(report.classified_items)});
+  table.AddRow(
+      {"unclassified items", std::to_string(report.unclassified_items)});
+  table.AddRow(
+      {"reduction ratio", util::FormatPercent(report.reduction_ratio)});
+  table.AddRow({"mean subspace fraction",
+                util::FormatPercent(report.mean_subspace_fraction, 2)});
+  if (report.mean_subspace_fraction > 0.0) {
+    table.AddRow({"mean space division factor",
+                  util::FormatDouble(1.0 / report.mean_subspace_fraction, 1) +
+                      "x"});
+  }
+  return table.ToText();
+}
+
+std::string FormatBlockingQuality(const std::string& method,
+                                  const blocking::BlockingQuality& quality,
+                                  double seconds) {
+  return method + ": candidates=" + std::to_string(quality.candidate_pairs) +
+         " RR=" + util::FormatPercent(quality.reduction_ratio, 2) +
+         " PC=" + util::FormatPercent(quality.pairs_completeness) +
+         " PQ=" + util::FormatPercent(quality.pairs_quality, 2) +
+         " time=" + util::FormatDouble(seconds, 3) + "s";
+}
+
+}  // namespace rulelink::eval

@@ -1,0 +1,29 @@
+// Shared report formatting for examples and benchmark harnesses: the §5
+// corpus statistics next to the paper's published values, and linking-
+// space / blocking summaries.
+#ifndef RULELINK_EVAL_REPORT_H_
+#define RULELINK_EVAL_REPORT_H_
+
+#include <string>
+
+#include "blocking/metrics.h"
+#include "core/learner.h"
+#include "core/linking_space.h"
+
+namespace rulelink::eval {
+
+// Learner statistics vs the paper's in-text numbers (E2 in DESIGN.md).
+std::string FormatLearnStats(const core::LearnStats& stats,
+                             bool with_paper_reference);
+
+// Linking-space reduction summary (E3).
+std::string FormatLinkingSpace(const core::LinkingSpaceReport& report);
+
+// One blocking-quality line for comparison tables (E4).
+std::string FormatBlockingQuality(const std::string& method,
+                                  const blocking::BlockingQuality& quality,
+                                  double seconds);
+
+}  // namespace rulelink::eval
+
+#endif  // RULELINK_EVAL_REPORT_H_

@@ -1,0 +1,53 @@
+#include "eval/tuner.h"
+
+#include <algorithm>
+
+namespace rulelink::eval {
+
+util::Result<std::vector<TunerCandidate>> TuneThresholds(
+    const core::TrainingSet& ts, const TunerOptions& options) {
+  if (options.segmenter == nullptr) {
+    return util::InvalidArgumentError("TunerOptions.segmenter is null");
+  }
+  if (options.support_thresholds.empty() ||
+      options.confidence_floors.empty()) {
+    return util::InvalidArgumentError("empty tuning grid");
+  }
+  const double beta2 = options.beta * options.beta;
+
+  std::vector<TunerCandidate> candidates;
+  for (double th : options.support_thresholds) {
+    for (double floor : options.confidence_floors) {
+      HoldoutOptions holdout;
+      holdout.test_fraction = options.test_fraction;
+      holdout.seed = options.seed;  // same split for every cell
+      holdout.support_threshold = th;
+      holdout.min_confidence = floor;
+      holdout.segmenter = options.segmenter;
+      holdout.properties = options.properties;
+      auto result = RunHoldout(ts, holdout);
+      if (!result.ok()) return result.status();
+
+      TunerCandidate candidate;
+      candidate.support_threshold = th;
+      candidate.min_confidence = floor;
+      candidate.holdout = *result;
+      const double p = result->precision;
+      const double r = result->recall;
+      candidate.f_beta =
+          (p + r > 0.0) ? (1.0 + beta2) * p * r / (beta2 * p + r) : 0.0;
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const TunerCandidate& a, const TunerCandidate& b) {
+              if (a.f_beta != b.f_beta) return a.f_beta > b.f_beta;
+              if (a.support_threshold != b.support_threshold) {
+                return a.support_threshold < b.support_threshold;
+              }
+              return a.min_confidence < b.min_confidence;
+            });
+  return candidates;
+}
+
+}  // namespace rulelink::eval

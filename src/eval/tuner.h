@@ -1,0 +1,42 @@
+// Hyper-parameter tuning on held-out data: sweeps the support threshold
+// and the decision-confidence floor, scoring each configuration by
+// F-beta of held-out precision and recall. The paper fixes th = 0.002 by
+// expert judgment; the tuner recovers a comparable setting from the data
+// alone.
+#ifndef RULELINK_EVAL_TUNER_H_
+#define RULELINK_EVAL_TUNER_H_
+
+#include <vector>
+
+#include "eval/holdout.h"
+
+namespace rulelink::eval {
+
+struct TunerCandidate {
+  double support_threshold = 0.0;
+  double min_confidence = 0.0;
+  HoldoutResult holdout;
+  double f_beta = 0.0;
+};
+
+struct TunerOptions {
+  std::vector<double> support_thresholds = {0.0005, 0.001, 0.002, 0.004,
+                                            0.008};
+  std::vector<double> confidence_floors = {0.0, 0.4, 0.6, 0.8, 1.0};
+  // beta > 1 weights recall; < 1 weights precision.
+  double beta = 1.0;
+  double test_fraction = 0.2;
+  std::uint64_t seed = 42;
+  const text::Segmenter* segmenter = nullptr;
+  std::vector<std::string> properties;
+};
+
+// Evaluates the full grid on one fixed holdout split and returns the
+// candidates ranked by F-beta, best first. Fails on learner errors or a
+// missing segmenter.
+util::Result<std::vector<TunerCandidate>> TuneThresholds(
+    const core::TrainingSet& ts, const TunerOptions& options);
+
+}  // namespace rulelink::eval
+
+#endif  // RULELINK_EVAL_TUNER_H_

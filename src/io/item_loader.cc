@@ -1,0 +1,67 @@
+#include "io/item_loader.h"
+
+#include <unordered_set>
+
+namespace rulelink::io {
+
+util::Result<std::vector<core::Item>> ItemsFromCsv(
+    const CsvTable& table, const ItemCsvMapping& mapping) {
+  const std::size_t id_index = table.ColumnIndex(mapping.id_column);
+  if (id_index == CsvTable::npos) {
+    return util::InvalidArgumentError("CSV has no id column '" +
+                                      mapping.id_column + "'");
+  }
+
+  // Resolve the (column index, property IRI) pairs.
+  std::vector<std::pair<std::size_t, std::string>> columns;
+  if (!mapping.columns.empty()) {
+    for (const auto& [column, property] : mapping.columns) {
+      const std::size_t index = table.ColumnIndex(column);
+      if (index == CsvTable::npos) {
+        return util::InvalidArgumentError("CSV has no column '" + column +
+                                          "'");
+      }
+      columns.emplace_back(index, property);
+    }
+  } else {
+    for (std::size_t i = 0; i < table.header.size(); ++i) {
+      if (i == id_index) continue;
+      columns.emplace_back(i, mapping.property_prefix + table.header[i]);
+    }
+  }
+
+  std::vector<core::Item> items;
+  items.reserve(table.rows.size());
+  std::unordered_set<std::string> seen_ids;
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    if (id_index >= row.size() || row[id_index].empty()) {
+      return util::InvalidArgumentError(
+          "CSV row " + std::to_string(r + 2) + ": empty id");
+    }
+    if (!seen_ids.insert(row[id_index]).second) {
+      return util::InvalidArgumentError(
+          "CSV row " + std::to_string(r + 2) + ": duplicate id '" +
+          row[id_index] + "'");
+    }
+    core::Item item;
+    item.iri = mapping.iri_prefix + row[id_index];
+    for (const auto& [index, property] : columns) {
+      if (index >= row.size()) continue;
+      if (mapping.skip_empty_values && row[index].empty()) continue;
+      item.facts.push_back(core::PropertyValue{property, row[index]});
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+util::Result<std::vector<core::Item>> LoadItemsFromCsv(
+    std::string_view content, const ItemCsvMapping& mapping,
+    const CsvOptions& options) {
+  auto table = ParseCsv(content, options);
+  if (!table.ok()) return table.status();
+  return ItemsFromCsv(*table, mapping);
+}
+
+}  // namespace rulelink::io

@@ -1,0 +1,42 @@
+// Loading core::Items from tabular provider files: one CSV row per item,
+// one designated id column, every other mapped column becomes a
+// (property, value) fact — the exact shape of the paper's provider
+// documents (part-number + manufacturer name per product).
+#ifndef RULELINK_IO_ITEM_LOADER_H_
+#define RULELINK_IO_ITEM_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/item.h"
+#include "io/csv.h"
+#include "util/status.h"
+
+namespace rulelink::io {
+
+struct ItemCsvMapping {
+  // Column holding the item identifier; combined with `iri_prefix` to form
+  // the item IRI.
+  std::string id_column;
+  std::string iri_prefix;
+  // column name -> property IRI. Empty = map every non-id column to a
+  // property named "<property_prefix><column>".
+  std::vector<std::pair<std::string, std::string>> columns;
+  std::string property_prefix;
+  // Skip facts with empty values (default) instead of emitting them.
+  bool skip_empty_values = true;
+};
+
+// Converts a parsed CSV table into items. Fails when the id column (or a
+// mapped column) is missing, or when an id value is empty or duplicated.
+util::Result<std::vector<core::Item>> ItemsFromCsv(
+    const CsvTable& table, const ItemCsvMapping& mapping);
+
+// Convenience: parse + convert.
+util::Result<std::vector<core::Item>> LoadItemsFromCsv(
+    std::string_view content, const ItemCsvMapping& mapping,
+    const CsvOptions& options = CsvOptions());
+
+}  // namespace rulelink::io
+
+#endif  // RULELINK_IO_ITEM_LOADER_H_

@@ -1,0 +1,46 @@
+#include "linking/dedup.h"
+
+#include <set>
+
+#include "util/union_find.h"
+
+namespace rulelink::linking {
+
+DedupResult Deduplicate(const std::vector<core::Item>& items,
+                        const blocking::CandidateGenerator& blocker,
+                        const ItemMatcher& matcher, double threshold) {
+  DedupResult result;
+  result.representative.resize(items.size());
+
+  // Run the blocker source-vs-itself and keep each unordered pair once.
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  for (const blocking::CandidatePair& pair :
+       blocker.Generate(items, items)) {
+    if (pair.external_index == pair.local_index) continue;
+    const auto lo = std::min(pair.external_index, pair.local_index);
+    const auto hi = std::max(pair.external_index, pair.local_index);
+    pairs.emplace(lo, hi);
+  }
+
+  util::UnionFind clusters(items.size());
+  for (const auto& [a, b] : pairs) {
+    ++result.comparisons;
+    if (matcher.Score(items[a], items[b]) >= threshold) {
+      clusters.Union(a, b);
+    }
+  }
+
+  // Representative = smallest member of each cluster.
+  for (const auto& group : clusters.Groups(/*min_size=*/1)) {
+    for (std::size_t member : group) {
+      result.representative[member] = group.front();
+    }
+    if (group.size() >= 2) result.duplicate_clusters.push_back(group);
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (result.representative[i] == i) result.survivors.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace rulelink::linking

@@ -1,0 +1,39 @@
+// Within-source deduplication: §3's task statement is to integrate
+// external data "by guarantying the Unique Name Assumption — hence we
+// have to detect and eliminate redundant new data". Provider files
+// routinely list the same product twice (re-deliveries, packaging
+// variants); this module clusters near-duplicates inside ONE source and
+// picks a representative per cluster before linking starts.
+#ifndef RULELINK_LINKING_DEDUP_H_
+#define RULELINK_LINKING_DEDUP_H_
+
+#include <vector>
+
+#include "blocking/blocker.h"
+#include "core/item.h"
+#include "linking/matcher.h"
+
+namespace rulelink::linking {
+
+struct DedupResult {
+  // Clusters of item indexes (size >= 2 only), sorted.
+  std::vector<std::vector<std::size_t>> duplicate_clusters;
+  // One representative per item: representative[i] == i for unique items
+  // and cluster representatives (the smallest index of the cluster).
+  std::vector<std::size_t> representative;
+  // Indexes of the representative items, in order — the deduplicated
+  // source.
+  std::vector<std::size_t> survivors;
+  std::size_t comparisons = 0;
+};
+
+// Scores candidate intra-source pairs with `matcher` (via the given
+// blocker run source-vs-itself; self-pairs are ignored) and clusters the
+// pairs scoring >= threshold with union-find.
+DedupResult Deduplicate(const std::vector<core::Item>& items,
+                        const blocking::CandidateGenerator& blocker,
+                        const ItemMatcher& matcher, double threshold);
+
+}  // namespace rulelink::linking
+
+#endif  // RULELINK_LINKING_DEDUP_H_

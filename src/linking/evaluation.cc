@@ -1,0 +1,36 @@
+#include "linking/evaluation.h"
+
+#include <set>
+
+namespace rulelink::linking {
+
+LinkageQuality EvaluateLinks(
+    const std::vector<Link>& links,
+    const std::vector<blocking::CandidatePair>& gold) {
+  LinkageQuality quality;
+  const std::set<blocking::CandidatePair> gold_set(gold.begin(), gold.end());
+  quality.gold = gold_set.size();
+  quality.emitted = links.size();
+  for (const Link& link : links) {
+    if (gold_set.count(
+            blocking::CandidatePair{link.external_index, link.local_index}) >
+        0) {
+      ++quality.correct;
+    }
+  }
+  if (quality.emitted > 0) {
+    quality.precision = static_cast<double>(quality.correct) /
+                        static_cast<double>(quality.emitted);
+  }
+  if (quality.gold > 0) {
+    quality.recall = static_cast<double>(quality.correct) /
+                     static_cast<double>(quality.gold);
+  }
+  if (quality.precision + quality.recall > 0.0) {
+    quality.f1 = 2.0 * quality.precision * quality.recall /
+                 (quality.precision + quality.recall);
+  }
+  return quality;
+}
+
+}  // namespace rulelink::linking

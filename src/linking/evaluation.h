@@ -1,0 +1,27 @@
+// End-to-end linkage evaluation against a gold standard of true matches.
+#ifndef RULELINK_LINKING_EVALUATION_H_
+#define RULELINK_LINKING_EVALUATION_H_
+
+#include <vector>
+
+#include "blocking/blocker.h"
+#include "linking/linker.h"
+
+namespace rulelink::linking {
+
+struct LinkageQuality {
+  std::size_t emitted = 0;
+  std::size_t correct = 0;
+  std::size_t gold = 0;
+  double precision = 0.0;  // correct / emitted
+  double recall = 0.0;     // correct / gold
+  double f1 = 0.0;
+};
+
+// `gold` lists the true (external, local) matches.
+LinkageQuality EvaluateLinks(const std::vector<Link>& links,
+                             const std::vector<blocking::CandidatePair>& gold);
+
+}  // namespace rulelink::linking
+
+#endif  // RULELINK_LINKING_EVALUATION_H_

@@ -1,0 +1,264 @@
+#include "linking/fellegi_sunter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rulelink::linking {
+namespace {
+
+double Clamp(double p, double floor) {
+  return std::min(1.0 - floor, std::max(floor, p));
+}
+
+util::Status ValidateOptions(const FsOptions& options) {
+  if (options.attributes.empty()) {
+    return util::InvalidArgumentError("FsOptions.attributes is empty");
+  }
+  if (options.attributes.size() > 63) {
+    return util::InvalidArgumentError("at most 63 attributes supported");
+  }
+  for (const FsAttribute& attribute : options.attributes) {
+    if (attribute.agree_threshold <= 0.0 ||
+        attribute.agree_threshold > 1.0) {
+      return util::InvalidArgumentError(
+          "agree_threshold must be in (0, 1]");
+    }
+  }
+  return util::OkStatus();
+}
+
+bool Agrees(const FsAttribute& attribute, const core::Item& external,
+            const core::Item& local) {
+  const auto ext_values = external.ValuesOf(attribute.external_property);
+  const auto local_values = local.ValuesOf(attribute.local_property);
+  for (const std::string& ev : ext_values) {
+    for (const std::string& lv : local_values) {
+      if (ComputeSimilarity(attribute.measure, ev, lv) >=
+          attribute.agree_threshold) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::uint64_t PatternOf(const std::vector<FsAttribute>& attributes,
+                        const core::Item& external,
+                        const core::Item& local) {
+  std::uint64_t pattern = 0;
+  for (std::size_t k = 0; k < attributes.size(); ++k) {
+    if (Agrees(attributes[k], external, local)) {
+      pattern |= std::uint64_t{1} << k;
+    }
+  }
+  return pattern;
+}
+
+}  // namespace
+
+FellegiSunterModel::FellegiSunterModel(std::vector<FsAttribute> attributes,
+                                       std::vector<double> m,
+                                       std::vector<double> u, double p)
+    : attributes_(std::move(attributes)),
+      m_(std::move(m)),
+      u_(std::move(u)),
+      p_(p) {}
+
+util::Result<FellegiSunterModel> FellegiSunterModel::TrainSupervised(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local,
+    const std::vector<blocking::CandidatePair>& gold,
+    const FsOptions& options) {
+  RL_RETURN_IF_ERROR(ValidateOptions(options));
+  if (gold.empty()) {
+    return util::InvalidArgumentError("no gold pairs to train on");
+  }
+  if (external.empty() || local.empty()) {
+    return util::InvalidArgumentError("empty item lists");
+  }
+  const std::size_t k_count = options.attributes.size();
+
+  // m: agreement share among the gold matches.
+  std::vector<double> m(k_count, 0.0);
+  for (const blocking::CandidatePair& pair : gold) {
+    RL_CHECK(pair.external_index < external.size());
+    RL_CHECK(pair.local_index < local.size());
+    for (std::size_t k = 0; k < k_count; ++k) {
+      m[k] += Agrees(options.attributes[k], external[pair.external_index],
+                     local[pair.local_index]);
+    }
+  }
+  for (double& value : m) {
+    value = Clamp(value / static_cast<double>(gold.size()),
+                  options.probability_floor);
+  }
+
+  // u: agreement share among sampled non-matching pairs.
+  std::set<blocking::CandidatePair> gold_set(gold.begin(), gold.end());
+  util::Rng rng(options.seed);
+  const std::size_t negatives =
+      std::max<std::size_t>(1, options.negatives_per_match * gold.size());
+  std::vector<double> u(k_count, 0.0);
+  std::size_t drawn = 0;
+  std::size_t attempts = 0;
+  while (drawn < negatives && attempts < negatives * 20) {
+    ++attempts;
+    const blocking::CandidatePair pair{
+        static_cast<std::size_t>(rng.UniformUint64(external.size())),
+        static_cast<std::size_t>(rng.UniformUint64(local.size()))};
+    if (gold_set.count(pair) > 0) continue;
+    for (std::size_t k = 0; k < k_count; ++k) {
+      u[k] += Agrees(options.attributes[k], external[pair.external_index],
+                     local[pair.local_index]);
+    }
+    ++drawn;
+  }
+  if (drawn == 0) {
+    return util::FailedPreconditionError(
+        "could not sample any non-matching pair");
+  }
+  for (double& value : u) {
+    value = Clamp(value / static_cast<double>(drawn),
+                  options.probability_floor);
+  }
+
+  const double p =
+      Clamp(static_cast<double>(gold.size()) /
+                (static_cast<double>(gold.size()) + static_cast<double>(drawn)),
+            options.probability_floor);
+  return FellegiSunterModel(options.attributes, std::move(m), std::move(u),
+                            p);
+}
+
+util::Result<FellegiSunterModel> FellegiSunterModel::TrainEm(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local,
+    const std::vector<blocking::CandidatePair>& candidates,
+    const FsOptions& options) {
+  RL_RETURN_IF_ERROR(ValidateOptions(options));
+  if (candidates.empty()) {
+    return util::InvalidArgumentError("no candidate pairs for EM");
+  }
+  const std::size_t k_count = options.attributes.size();
+
+  // Collapse candidates into agreement-pattern counts: EM is then linear
+  // in the number of DISTINCT patterns (<= 2^k, usually tiny).
+  std::unordered_map<std::uint64_t, double> pattern_count;
+  for (const blocking::CandidatePair& pair : candidates) {
+    RL_CHECK(pair.external_index < external.size());
+    RL_CHECK(pair.local_index < local.size());
+    pattern_count[PatternOf(options.attributes,
+                            external[pair.external_index],
+                            local[pair.local_index])] += 1.0;
+  }
+  const double total = static_cast<double>(candidates.size());
+
+  // Initialization: optimistic m, pessimistic u.
+  std::vector<double> m(k_count, 0.9);
+  std::vector<double> u(k_count, 0.1);
+  double p = Clamp(options.em_initial_match_share,
+                   options.probability_floor);
+
+  for (std::size_t iteration = 0; iteration < options.em_iterations;
+       ++iteration) {
+    // E-step: responsibility of the match class per pattern.
+    double match_mass = 0.0;
+    std::vector<double> m_numerator(k_count, 0.0);
+    std::vector<double> u_numerator(k_count, 0.0);
+    double nonmatch_mass = 0.0;
+    for (const auto& [pattern, count] : pattern_count) {
+      double match_likelihood = p;
+      double nonmatch_likelihood = 1.0 - p;
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const bool agree = (pattern >> k) & 1;
+        match_likelihood *= agree ? m[k] : 1.0 - m[k];
+        nonmatch_likelihood *= agree ? u[k] : 1.0 - u[k];
+      }
+      const double denom = match_likelihood + nonmatch_likelihood;
+      const double g = denom > 0.0 ? match_likelihood / denom : 0.0;
+      match_mass += g * count;
+      nonmatch_mass += (1.0 - g) * count;
+      for (std::size_t k = 0; k < k_count; ++k) {
+        if ((pattern >> k) & 1) {
+          m_numerator[k] += g * count;
+          u_numerator[k] += (1.0 - g) * count;
+        }
+      }
+    }
+    // M-step.
+    p = Clamp(match_mass / total, options.probability_floor);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      m[k] = Clamp(match_mass > 0.0 ? m_numerator[k] / match_mass : 0.5,
+                   options.probability_floor);
+      u[k] = Clamp(
+          nonmatch_mass > 0.0 ? u_numerator[k] / nonmatch_mass : 0.5,
+          options.probability_floor);
+    }
+  }
+  // Canonical orientation: the "match" class is the one that agrees more;
+  // EM may converge with the labels swapped.
+  double m_sum = 0.0, u_sum = 0.0;
+  for (std::size_t k = 0; k < k_count; ++k) {
+    m_sum += m[k];
+    u_sum += u[k];
+  }
+  if (m_sum < u_sum) {
+    std::swap(m, u);
+    p = 1.0 - p;
+  }
+  return FellegiSunterModel(options.attributes, std::move(m), std::move(u),
+                            p);
+}
+
+std::vector<bool> FellegiSunterModel::AgreementVector(
+    const core::Item& external, const core::Item& local) const {
+  std::vector<bool> agreement(attributes_.size());
+  for (std::size_t k = 0; k < attributes_.size(); ++k) {
+    agreement[k] = Agrees(attributes_[k], external, local);
+  }
+  return agreement;
+}
+
+double FellegiSunterModel::MatchWeight(const core::Item& external,
+                                       const core::Item& local) const {
+  double weight = 0.0;
+  for (std::size_t k = 0; k < attributes_.size(); ++k) {
+    const bool agree = Agrees(attributes_[k], external, local);
+    weight += agree ? std::log2(m_[k] / u_[k])
+                    : std::log2((1.0 - m_[k]) / (1.0 - u_[k]));
+  }
+  return weight;
+}
+
+double FellegiSunterModel::MatchProbability(const core::Item& external,
+                                            const core::Item& local) const {
+  // Posterior from the prior p and the likelihood ratio 2^W.
+  const double ratio = std::exp2(MatchWeight(external, local));
+  const double odds = ratio * p_ / (1.0 - p_);
+  return odds / (1.0 + odds);
+}
+
+double FellegiSunterModel::MaxWeight() const {
+  double weight = 0.0;
+  for (std::size_t k = 0; k < attributes_.size(); ++k) {
+    weight += std::max(std::log2(m_[k] / u_[k]),
+                       std::log2((1.0 - m_[k]) / (1.0 - u_[k])));
+  }
+  return weight;
+}
+
+double FellegiSunterModel::MinWeight() const {
+  double weight = 0.0;
+  for (std::size_t k = 0; k < attributes_.size(); ++k) {
+    weight += std::min(std::log2(m_[k] / u_[k]),
+                       std::log2((1.0 - m_[k]) / (1.0 - u_[k])));
+  }
+  return weight;
+}
+
+}  // namespace rulelink::linking

@@ -1,0 +1,117 @@
+#include "linking/fusion.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+
+namespace rulelink::linking {
+
+const char* ConflictPolicyName(ConflictPolicy policy) {
+  switch (policy) {
+    case ConflictPolicy::kPreferLocal: return "prefer-local";
+    case ConflictPolicy::kPreferExternal: return "prefer-external";
+    case ConflictPolicy::kLongestValue: return "longest-value";
+    case ConflictPolicy::kUnion: return "union";
+  }
+  return "?";
+}
+
+namespace {
+
+// Property -> ordered distinct values.
+std::map<std::string, std::vector<std::string>> FactsByProperty(
+    const core::Item& item) {
+  std::map<std::string, std::vector<std::string>> by_property;
+  for (const core::PropertyValue& pv : item.facts) {
+    auto& values = by_property[pv.property];
+    if (std::find(values.begin(), values.end(), pv.value) == values.end()) {
+      values.push_back(pv.value);
+    }
+  }
+  return by_property;
+}
+
+}  // namespace
+
+std::vector<FusedItem> FuseLinks(const std::vector<core::Item>& external,
+                                 const std::vector<core::Item>& local,
+                                 const std::vector<Link>& links,
+                                 ConflictPolicy policy) {
+  std::vector<FusedItem> fused;
+  fused.reserve(links.size());
+  for (const Link& link : links) {
+    RL_CHECK(link.external_index < external.size());
+    RL_CHECK(link.local_index < local.size());
+    const core::Item& ext = external[link.external_index];
+    const core::Item& loc = local[link.local_index];
+
+    FusedItem out;
+    out.iri = loc.iri;
+    out.sources = {loc.iri, ext.iri};
+
+    auto local_facts = FactsByProperty(loc);
+    auto external_facts = FactsByProperty(ext);
+    std::set<std::string> properties;
+    for (const auto& [property, values] : local_facts) {
+      properties.insert(property);
+    }
+    for (const auto& [property, values] : external_facts) {
+      properties.insert(property);
+    }
+
+    for (const std::string& property : properties) {
+      const auto local_it = local_facts.find(property);
+      const auto external_it = external_facts.find(property);
+      const bool on_local = local_it != local_facts.end();
+      const bool on_external = external_it != external_facts.end();
+
+      std::vector<std::string> chosen;
+      if (on_local && !on_external) {
+        chosen = local_it->second;
+      } else if (!on_local && on_external) {
+        chosen = external_it->second;
+      } else if (local_it->second == external_it->second) {
+        chosen = local_it->second;
+      } else {
+        switch (policy) {
+          case ConflictPolicy::kPreferLocal:
+            chosen = local_it->second;
+            break;
+          case ConflictPolicy::kPreferExternal:
+            chosen = external_it->second;
+            break;
+          case ConflictPolicy::kLongestValue: {
+            const auto longest = [](const std::vector<std::string>& values) {
+              std::size_t n = 0;
+              for (const auto& v : values) n = std::max(n, v.size());
+              return n;
+            };
+            chosen = longest(external_it->second) > longest(local_it->second)
+                         ? external_it->second
+                         : local_it->second;
+            break;
+          }
+          case ConflictPolicy::kUnion: {
+            chosen = local_it->second;
+            for (const std::string& v : external_it->second) {
+              if (std::find(chosen.begin(), chosen.end(), v) ==
+                  chosen.end()) {
+                chosen.push_back(v);
+              }
+            }
+            break;
+          }
+        }
+      }
+      for (std::string& value : chosen) {
+        out.facts.push_back(core::PropertyValue{property, std::move(value)});
+      }
+    }
+    fused.push_back(std::move(out));
+  }
+  return fused;
+}
+
+}  // namespace rulelink::linking

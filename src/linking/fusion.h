@@ -1,0 +1,44 @@
+// Data fusion (§1: "proceed to a data fusion step where one data item is
+// built using all the data items that represent the same real world
+// object"): merges each linked external/local pair into one consolidated
+// item under a configurable conflict-resolution policy.
+#ifndef RULELINK_LINKING_FUSION_H_
+#define RULELINK_LINKING_FUSION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/item.h"
+#include "linking/linker.h"
+
+namespace rulelink::linking {
+
+enum class ConflictPolicy {
+  kPreferLocal,     // catalog wins on conflicting properties
+  kPreferExternal,  // provider wins
+  kLongestValue,    // keep the longer value per property
+  kUnion,           // keep every distinct value
+};
+
+const char* ConflictPolicyName(ConflictPolicy policy);
+
+struct FusedItem {
+  // The canonical identifier: the local item's IRI (the catalog is the
+  // authority under the UNA of §3).
+  std::string iri;
+  std::vector<core::PropertyValue> facts;
+  // Provenance: the IRIs the item was fused from (local first).
+  std::vector<std::string> sources;
+};
+
+// Fuses every link. Properties present on only one side are always kept;
+// the policy only arbitrates properties present on both with different
+// value sets. Duplicate (property, value) facts are emitted once.
+std::vector<FusedItem> FuseLinks(const std::vector<core::Item>& external,
+                                 const std::vector<core::Item>& local,
+                                 const std::vector<Link>& links,
+                                 ConflictPolicy policy);
+
+}  // namespace rulelink::linking
+
+#endif  // RULELINK_LINKING_FUSION_H_

@@ -1,0 +1,72 @@
+#include "linking/linker.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace rulelink::linking {
+
+Linker::Linker(const ItemMatcher* matcher, double threshold,
+               Strategy strategy)
+    : matcher_(matcher), threshold_(threshold), strategy_(strategy) {
+  RL_CHECK(matcher_ != nullptr);
+  RL_CHECK(threshold_ >= 0.0 && threshold_ <= 1.0);
+}
+
+std::vector<Link> Linker::Run(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local,
+    const std::vector<blocking::CandidatePair>& candidates,
+    LinkerStats* stats) const {
+  const std::set<blocking::CandidatePair> unique(candidates.begin(),
+                                                 candidates.end());
+  std::size_t comparisons = 0;
+  std::vector<Link> links;
+
+  if (strategy_ == Strategy::kAllAboveThreshold) {
+    for (const auto& pair : unique) {
+      RL_DCHECK(pair.external_index < external.size());
+      RL_DCHECK(pair.local_index < local.size());
+      const double score = matcher_->Score(external[pair.external_index],
+                                           local[pair.local_index]);
+      ++comparisons;
+      if (score >= threshold_) {
+        links.push_back(Link{pair.external_index, pair.local_index, score});
+      }
+    }
+  } else {
+    std::unordered_map<std::size_t, Link> best;
+    for (const auto& pair : unique) {
+      RL_DCHECK(pair.external_index < external.size());
+      RL_DCHECK(pair.local_index < local.size());
+      const double score = matcher_->Score(external[pair.external_index],
+                                           local[pair.local_index]);
+      ++comparisons;
+      if (score < threshold_) continue;
+      auto [it, inserted] = best.try_emplace(
+          pair.external_index,
+          Link{pair.external_index, pair.local_index, score});
+      if (!inserted && score > it->second.score) {
+        it->second = Link{pair.external_index, pair.local_index, score};
+      }
+    }
+    links.reserve(best.size());
+    for (const auto& [external_index, link] : best) links.push_back(link);
+  }
+
+  std::sort(links.begin(), links.end(), [](const Link& a, const Link& b) {
+    if (a.external_index != b.external_index) {
+      return a.external_index < b.external_index;
+    }
+    return a.local_index < b.local_index;
+  });
+  if (stats != nullptr) {
+    stats->comparisons = comparisons;
+    stats->links_emitted = links.size();
+  }
+  return links;
+}
+
+}  // namespace rulelink::linking

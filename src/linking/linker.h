@@ -1,0 +1,58 @@
+// The linker consumes candidate pairs (from any CandidateGenerator) and
+// decides same-as links. Under the Unique Name Assumption of §3 each
+// external item links to at most one local item, so the default strategy
+// keeps the best-scoring local candidate above the decision threshold.
+#ifndef RULELINK_LINKING_LINKER_H_
+#define RULELINK_LINKING_LINKER_H_
+
+#include <vector>
+
+#include "blocking/blocker.h"
+#include "core/item.h"
+#include "linking/matcher.h"
+
+namespace rulelink::linking {
+
+struct Link {
+  std::size_t external_index = 0;
+  std::size_t local_index = 0;
+  double score = 0.0;
+
+  friend bool operator==(const Link& a, const Link& b) {
+    return a.external_index == b.external_index &&
+           a.local_index == b.local_index;
+  }
+};
+
+struct LinkerStats {
+  std::size_t comparisons = 0;       // pairs actually scored
+  std::size_t links_emitted = 0;
+};
+
+class Linker {
+ public:
+  enum class Strategy {
+    kBestPerExternal,  // UNA: argmax candidate above threshold
+    kAllAboveThreshold,
+  };
+
+  // `matcher` is borrowed and must outlive the linker.
+  Linker(const ItemMatcher* matcher, double threshold,
+         Strategy strategy = Strategy::kBestPerExternal);
+
+  // Scores the given candidate pairs and emits links. Candidates may be
+  // unsorted and may contain duplicates (scored once).
+  std::vector<Link> Run(const std::vector<core::Item>& external,
+                        const std::vector<core::Item>& local,
+                        const std::vector<blocking::CandidatePair>& candidates,
+                        LinkerStats* stats = nullptr) const;
+
+ private:
+  const ItemMatcher* matcher_;
+  double threshold_;
+  Strategy strategy_;
+};
+
+}  // namespace rulelink::linking
+
+#endif  // RULELINK_LINKING_LINKER_H_

@@ -1,0 +1,74 @@
+#include "linking/matcher.h"
+
+#include <algorithm>
+
+#include "text/similarity.h"
+#include "util/logging.h"
+
+namespace rulelink::linking {
+
+double ComputeSimilarity(SimilarityMeasure measure, std::string_view a,
+                         std::string_view b) {
+  switch (measure) {
+    case SimilarityMeasure::kExact:
+      return a == b ? 1.0 : 0.0;
+    case SimilarityMeasure::kLevenshtein:
+      return text::LevenshteinSimilarity(a, b);
+    case SimilarityMeasure::kJaro:
+      return text::JaroSimilarity(a, b);
+    case SimilarityMeasure::kJaroWinkler:
+      return text::JaroWinklerSimilarity(a, b);
+    case SimilarityMeasure::kJaccardTokens:
+      return text::JaccardTokenSimilarity(a, b);
+    case SimilarityMeasure::kDiceBigram:
+      return text::DiceBigramSimilarity(a, b);
+    case SimilarityMeasure::kMongeElkan:
+      // Symmetrized.
+      return 0.5 * (text::MongeElkanSimilarity(a, b) +
+                    text::MongeElkanSimilarity(b, a));
+  }
+  return 0.0;
+}
+
+const char* SimilarityMeasureName(SimilarityMeasure measure) {
+  switch (measure) {
+    case SimilarityMeasure::kExact: return "exact";
+    case SimilarityMeasure::kLevenshtein: return "levenshtein";
+    case SimilarityMeasure::kJaro: return "jaro";
+    case SimilarityMeasure::kJaroWinkler: return "jaro-winkler";
+    case SimilarityMeasure::kJaccardTokens: return "jaccard-tokens";
+    case SimilarityMeasure::kDiceBigram: return "dice-bigram";
+    case SimilarityMeasure::kMongeElkan: return "monge-elkan";
+  }
+  return "?";
+}
+
+ItemMatcher::ItemMatcher(std::vector<AttributeRule> rules)
+    : rules_(std::move(rules)) {
+  RL_CHECK(!rules_.empty()) << "ItemMatcher needs at least one rule";
+  for (const AttributeRule& rule : rules_) {
+    RL_CHECK(rule.weight > 0.0) << "attribute weights must be positive";
+  }
+}
+
+double ItemMatcher::Score(const core::Item& external,
+                          const core::Item& local) const {
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (const AttributeRule& rule : rules_) {
+    const auto ext_values = external.ValuesOf(rule.external_property);
+    const auto local_values = local.ValuesOf(rule.local_property);
+    if (ext_values.empty() || local_values.empty()) continue;
+    double best = 0.0;
+    for (const std::string& ev : ext_values) {
+      for (const std::string& lv : local_values) {
+        best = std::max(best, ComputeSimilarity(rule.measure, ev, lv));
+      }
+    }
+    weighted_sum += rule.weight * best;
+    weight_total += rule.weight;
+  }
+  return weight_total > 0.0 ? weighted_sum / weight_total : 0.0;
+}
+
+}  // namespace rulelink::linking

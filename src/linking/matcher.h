@@ -1,0 +1,58 @@
+// Pairwise item matching: weighted combination of per-attribute string
+// similarities. This is the expensive comparison step the paper's rules
+// exist to avoid running on the full cartesian space.
+#ifndef RULELINK_LINKING_MATCHER_H_
+#define RULELINK_LINKING_MATCHER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/item.h"
+
+namespace rulelink::linking {
+
+enum class SimilarityMeasure {
+  kExact,
+  kLevenshtein,
+  kJaro,
+  kJaroWinkler,
+  kJaccardTokens,
+  kDiceBigram,
+  kMongeElkan,
+};
+
+// Dispatches to the text:: similarity functions; kExact returns 1.0 on
+// equality and 0.0 otherwise.
+double ComputeSimilarity(SimilarityMeasure measure, std::string_view a,
+                         std::string_view b);
+
+const char* SimilarityMeasureName(SimilarityMeasure measure);
+
+// One attribute comparison: which property to read on each side, which
+// measure to apply, and its weight in the aggregate.
+struct AttributeRule {
+  std::string external_property;
+  std::string local_property;
+  SimilarityMeasure measure = SimilarityMeasure::kJaroWinkler;
+  double weight = 1.0;
+};
+
+class ItemMatcher {
+ public:
+  explicit ItemMatcher(std::vector<AttributeRule> rules);
+
+  // Weighted mean over attribute rules of the best value-pair similarity.
+  // Rules whose property is missing on either side are skipped and the
+  // weights renormalized; if every rule is skipped the score is 0.
+  double Score(const core::Item& external, const core::Item& local) const;
+
+  const std::vector<AttributeRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<AttributeRule> rules_;
+};
+
+}  // namespace rulelink::linking
+
+#endif  // RULELINK_LINKING_MATCHER_H_

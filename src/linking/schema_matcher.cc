@@ -1,0 +1,84 @@
+#include "linking/schema_matcher.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace rulelink::linking {
+namespace {
+
+using TokenSets = std::map<std::string, std::unordered_set<std::string>>;
+
+TokenSets CollectTokens(const std::vector<core::Item>& items,
+                        const SchemaMatcherOptions& options) {
+  TokenSets sets;
+  const std::size_t limit =
+      options.sample_limit == 0 ? items.size()
+                                : std::min(options.sample_limit, items.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    for (const core::PropertyValue& pv : items[i].facts) {
+      auto& tokens = sets[pv.property];
+      if (options.tokenize) {
+        for (std::string_view piece :
+             util::SplitAny(pv.value, " \t-._/:;,")) {
+          tokens.insert(util::AsciiToLower(piece));
+        }
+      } else {
+        tokens.insert(util::AsciiToLower(pv.value));
+      }
+    }
+  }
+  return sets;
+}
+
+double Jaccard(const std::unordered_set<std::string>& a,
+               const std::unordered_set<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::size_t inter = 0;
+  const auto& smaller = a.size() <= b.size() ? a : b;
+  const auto& larger = a.size() <= b.size() ? b : a;
+  for (const std::string& token : smaller) {
+    inter += larger.count(token);
+  }
+  return static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size() - inter);
+}
+
+}  // namespace
+
+std::vector<PropertyAlignment> MatchSchemas(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local,
+    const SchemaMatcherOptions& options) {
+  const TokenSets external_tokens = CollectTokens(external, options);
+  const TokenSets local_tokens = CollectTokens(local, options);
+
+  std::vector<PropertyAlignment> alignments;
+  for (const auto& [ext_property, ext_set] : external_tokens) {
+    PropertyAlignment best;
+    best.external_property = ext_property;
+    for (const auto& [local_property, local_set] : local_tokens) {
+      const double similarity = Jaccard(ext_set, local_set);
+      if (similarity > best.similarity) {
+        best.local_property = local_property;
+        best.similarity = similarity;
+      }
+    }
+    if (!best.local_property.empty() &&
+        best.similarity >= options.min_similarity) {
+      alignments.push_back(std::move(best));
+    }
+  }
+  std::sort(alignments.begin(), alignments.end(),
+            [](const PropertyAlignment& a, const PropertyAlignment& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.external_property < b.external_property;
+            });
+  return alignments;
+}
+
+}  // namespace rulelink::linking

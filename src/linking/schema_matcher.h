@@ -1,0 +1,45 @@
+// Instance-based schema matching: when the external source's property
+// names are unknown (§3's core premise), align them to local properties
+// by comparing their VALUE distributions. A provider's "pn" column maps
+// to the catalog's partNumber because their token sets overlap, whatever
+// the properties are called. The output feeds ItemMatcher attribute rules
+// and the key-based blockers.
+#ifndef RULELINK_LINKING_SCHEMA_MATCHER_H_
+#define RULELINK_LINKING_SCHEMA_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/item.h"
+
+namespace rulelink::linking {
+
+struct PropertyAlignment {
+  std::string external_property;
+  std::string local_property;
+  // Jaccard overlap of the two properties' value-token sets, in [0, 1].
+  double similarity = 0.0;
+};
+
+struct SchemaMatcherOptions {
+  // Alignments below this similarity are dropped.
+  double min_similarity = 0.05;
+  // Values are tokenized into segments on non-alphanumerics before
+  // comparison when true; compared as whole values otherwise.
+  bool tokenize = true;
+  // Cap on sampled items per side (schema matching needs a sketch, not
+  // the full corpus). 0 = no cap.
+  std::size_t sample_limit = 2000;
+};
+
+// Computes the best local property for each external property (injective
+// on neither side: two external properties may map to the same local
+// one). Results are sorted by similarity, best first.
+std::vector<PropertyAlignment> MatchSchemas(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local,
+    const SchemaMatcherOptions& options = SchemaMatcherOptions());
+
+}  // namespace rulelink::linking
+
+#endif  // RULELINK_LINKING_SCHEMA_MATCHER_H_

@@ -1,0 +1,81 @@
+#include "ontology/instance_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "rdf/vocab.h"
+
+namespace rulelink::ontology {
+
+InstanceIndex InstanceIndex::Build(const rdf::Graph& data,
+                                   const Ontology& onto) {
+  InstanceIndex index(data, onto);
+  const auto& dict = data.dict();
+  const rdf::TermId type_id = dict.FindIri(rdf::vocab::kRdfType);
+  if (type_id == rdf::kInvalidTermId) return index;
+
+  for (const rdf::Triple& t : data.Match(
+           rdf::TriplePattern{rdf::kInvalidTermId, type_id,
+                              rdf::kInvalidTermId})) {
+    const rdf::Term& obj = dict.term(t.object);
+    if (!obj.is_iri()) continue;
+    const ClassId c = onto.FindByIri(obj.lexical());
+    if (c == kInvalidClassId) continue;
+    auto [it, inserted] = index.instance_classes_.try_emplace(t.subject);
+    if (inserted) index.instances_.push_back(t.subject);
+    auto& classes = it->second;
+    if (std::find(classes.begin(), classes.end(), c) == classes.end()) {
+      classes.push_back(c);
+      index.class_instances_[c].push_back(t.subject);
+    }
+  }
+  // Reduce multi-typed instances to their most specific classes.
+  for (auto& [instance, classes] : index.instance_classes_) {
+    if (classes.size() > 1) {
+      classes = onto.MostSpecific(classes);
+    }
+  }
+  return index;
+}
+
+const std::vector<ClassId>& InstanceIndex::ClassesOf(
+    rdf::TermId instance) const {
+  auto it = instance_classes_.find(instance);
+  return it == instance_classes_.end() ? empty_classes_ : it->second;
+}
+
+const std::vector<ClassId>& InstanceIndex::ClassesOfIri(
+    const std::string& iri) const {
+  const rdf::TermId id = data_->dict().FindIri(iri);
+  if (id == rdf::kInvalidTermId) return empty_classes_;
+  return ClassesOf(id);
+}
+
+const std::string& InstanceIndex::IriOf(rdf::TermId instance) const {
+  return data_->dict().term(instance).lexical();
+}
+
+const std::vector<rdf::TermId>& InstanceIndex::DirectExtent(
+    ClassId c) const {
+  auto it = class_instances_.find(c);
+  return it == class_instances_.end() ? empty_instances_ : it->second;
+}
+
+std::vector<rdf::TermId> InstanceIndex::TransitiveExtent(ClassId c) const {
+  std::unordered_set<rdf::TermId> seen;
+  std::vector<rdf::TermId> out;
+  const auto absorb = [&](const std::vector<rdf::TermId>& instances) {
+    for (rdf::TermId i : instances) {
+      if (seen.insert(i).second) out.push_back(i);
+    }
+  };
+  absorb(DirectExtent(c));
+  for (ClassId d : onto_->Descendants(c)) absorb(DirectExtent(d));
+  return out;
+}
+
+std::size_t InstanceIndex::TransitiveExtentSize(ClassId c) const {
+  return TransitiveExtent(c).size();
+}
+
+}  // namespace rulelink::ontology

@@ -1,0 +1,64 @@
+// Index from instances to their ontology classes and back (class extents),
+// built from rdf:type triples of a data graph. Used by the learner to read
+// local class memberships and by the linking-space accounting to size class
+// extents.
+#ifndef RULELINK_ONTOLOGY_INSTANCE_INDEX_H_
+#define RULELINK_ONTOLOGY_INSTANCE_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rulelink::ontology {
+
+class InstanceIndex {
+ public:
+  // Scans `data` for (instance, rdf:type, C) triples where C is a class of
+  // `onto`. Unknown types are ignored. `onto` must outlive the index.
+  static InstanceIndex Build(const rdf::Graph& data, const Ontology& onto);
+
+  // Most-specific asserted classes of `instance` (empty when untyped).
+  const std::vector<ClassId>& ClassesOf(rdf::TermId instance) const;
+
+  // As above, resolving the instance by IRI through the source graph's
+  // dictionary (empty when the IRI is unknown or untyped).
+  const std::vector<ClassId>& ClassesOfIri(const std::string& iri) const;
+
+  // IRI of a typed instance id.
+  const std::string& IriOf(rdf::TermId instance) const;
+
+  // Instances directly asserted into `c` (not descendants).
+  const std::vector<rdf::TermId>& DirectExtent(ClassId c) const;
+
+  // Instances of `c` or any descendant, deduplicated.
+  std::vector<rdf::TermId> TransitiveExtent(ClassId c) const;
+
+  std::size_t DirectExtentSize(ClassId c) const {
+    return DirectExtent(c).size();
+  }
+  std::size_t TransitiveExtentSize(ClassId c) const;
+
+  // All typed instances, in first-seen order.
+  const std::vector<rdf::TermId>& instances() const { return instances_; }
+
+  const Ontology& ontology() const { return *onto_; }
+
+ private:
+  InstanceIndex(const rdf::Graph& data, const Ontology& onto)
+      : data_(&data), onto_(&onto) {}
+
+  const rdf::Graph* data_;
+  const Ontology* onto_;
+  std::vector<rdf::TermId> instances_;
+  std::unordered_map<rdf::TermId, std::vector<ClassId>> instance_classes_;
+  std::unordered_map<ClassId, std::vector<rdf::TermId>> class_instances_;
+  std::vector<ClassId> empty_classes_;
+  std::vector<rdf::TermId> empty_instances_;
+};
+
+}  // namespace rulelink::ontology
+
+#endif  // RULELINK_ONTOLOGY_INSTANCE_INDEX_H_

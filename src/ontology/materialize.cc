@@ -1,0 +1,45 @@
+#include "ontology/materialize.h"
+
+#include <vector>
+
+#include "rdf/vocab.h"
+
+namespace rulelink::ontology {
+
+std::size_t MaterializeTypes(const Ontology& onto, rdf::Graph* graph) {
+  auto& dict = graph->dict();
+  const rdf::TermId type_id = dict.FindIri(rdf::vocab::kRdfType);
+  if (type_id == rdf::kInvalidTermId) return 0;
+
+  // Collect asserted type triples first: inserting while iterating the
+  // match results would grow the posting lists under the scan.
+  struct Assertion {
+    rdf::TermId instance;
+    ClassId cls;
+  };
+  std::vector<Assertion> assertions;
+  graph->ForEachMatch(
+      rdf::TriplePattern{rdf::kInvalidTermId, type_id, rdf::kInvalidTermId},
+      [&](const rdf::Triple& t) {
+        const rdf::Term& obj = dict.term(t.object);
+        if (obj.is_iri()) {
+          const ClassId c = onto.FindByIri(obj.lexical());
+          if (c != kInvalidClassId) {
+            assertions.push_back(Assertion{t.subject, c});
+          }
+        }
+        return true;
+      });
+
+  std::size_t added = 0;
+  for (const Assertion& assertion : assertions) {
+    for (ClassId ancestor : onto.Ancestors(assertion.cls)) {
+      const rdf::TermId ancestor_id = dict.InternIri(onto.iri(ancestor));
+      added += graph->Insert(
+          rdf::Triple{assertion.instance, type_id, ancestor_id});
+    }
+  }
+  return added;
+}
+
+}  // namespace rulelink::ontology

@@ -1,0 +1,23 @@
+// RDFS-style type materialization: adds the rdf:type triples entailed by
+// rdfs:subClassOf (an instance of a class is an instance of every
+// superclass). After materialization, plain graph pattern matching — and
+// the SPARQL engine — see transitive class extents without reasoning.
+#ifndef RULELINK_ONTOLOGY_MATERIALIZE_H_
+#define RULELINK_ONTOLOGY_MATERIALIZE_H_
+
+#include <cstddef>
+
+#include "ontology/ontology.h"
+#include "rdf/graph.h"
+
+namespace rulelink::ontology {
+
+// Inserts every entailed (instance, rdf:type, superclass) triple into
+// `graph`. Instances typed with classes unknown to `onto` are left
+// untouched. Returns the number of triples added (duplicates are not
+// re-added). The graph's existing triples are never modified.
+std::size_t MaterializeTypes(const Ontology& onto, rdf::Graph* graph);
+
+}  // namespace rulelink::ontology
+
+#endif  // RULELINK_ONTOLOGY_MATERIALIZE_H_

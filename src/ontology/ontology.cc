@@ -1,0 +1,262 @@
+#include "ontology/ontology.h"
+
+#include <algorithm>
+
+#include "rdf/vocab.h"
+#include "util/logging.h"
+
+namespace rulelink::ontology {
+namespace {
+
+std::uint64_t PackPair(ClassId a, ClassId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+ClassId Ontology::AddClass(const std::string& iri, const std::string& label) {
+  RL_CHECK(!finalized_) << "AddClass after Finalize";
+  auto it = iri_to_id_.find(iri);
+  if (it != iri_to_id_.end()) {
+    if (!label.empty() && classes_[it->second].label.empty()) {
+      classes_[it->second].label = label;
+    }
+    return it->second;
+  }
+  const ClassId id = static_cast<ClassId>(classes_.size());
+  ClassInfo info;
+  info.iri = iri;
+  info.label = label;
+  classes_.push_back(std::move(info));
+  iri_to_id_.emplace(iri, id);
+  return id;
+}
+
+util::Status Ontology::AddSubClassOf(ClassId child, ClassId parent) {
+  if (child >= classes_.size() || parent >= classes_.size()) {
+    return util::InvalidArgumentError("unknown class id");
+  }
+  if (child == parent) {
+    return util::OkStatus();  // reflexive assertion carries no information
+  }
+  auto& parents = classes_[child].parents;
+  if (std::find(parents.begin(), parents.end(), parent) == parents.end()) {
+    parents.push_back(parent);
+    classes_[parent].children.push_back(child);
+  }
+  return util::OkStatus();
+}
+
+util::Status Ontology::AddDisjointWith(ClassId a, ClassId b) {
+  if (a >= classes_.size() || b >= classes_.size()) {
+    return util::InvalidArgumentError("unknown class id");
+  }
+  if (a == b) {
+    return util::InvalidArgumentError("a class cannot be disjoint with itself");
+  }
+  disjoint_pairs_.insert(PackPair(a, b));
+  return util::OkStatus();
+}
+
+util::Status Ontology::Finalize() {
+  // Topological order by Kahn's algorithm over parent edges (parents must
+  // come first so depths and ancestor sets can be propagated).
+  std::vector<std::size_t> unresolved_parents(classes_.size());
+  std::vector<ClassId> queue;
+  for (ClassId c = 0; c < classes_.size(); ++c) {
+    unresolved_parents[c] = classes_[c].parents.size();
+    if (unresolved_parents[c] == 0) queue.push_back(c);
+  }
+  std::size_t processed = 0;
+  while (!queue.empty()) {
+    const ClassId c = queue.back();
+    queue.pop_back();
+    ++processed;
+    auto& info = classes_[c];
+    // depth and ancestors from parents (already processed).
+    info.depth = 0;
+    info.ancestors.clear();
+    for (ClassId p : info.parents) {
+      info.depth = std::max(info.depth, classes_[p].depth + 1);
+      info.ancestors.push_back(p);
+      info.ancestors.insert(info.ancestors.end(),
+                            classes_[p].ancestors.begin(),
+                            classes_[p].ancestors.end());
+    }
+    std::sort(info.ancestors.begin(), info.ancestors.end());
+    info.ancestors.erase(
+        std::unique(info.ancestors.begin(), info.ancestors.end()),
+        info.ancestors.end());
+    for (ClassId child : info.children) {
+      if (--unresolved_parents[child] == 0) queue.push_back(child);
+    }
+  }
+  if (processed != classes_.size()) {
+    return util::FailedPreconditionError(
+        "subClassOf graph contains a cycle (" +
+        std::to_string(classes_.size() - processed) +
+        " classes unreachable from roots)");
+  }
+  finalized_ = true;
+  return util::OkStatus();
+}
+
+util::Result<Ontology> Ontology::FromGraph(const rdf::Graph& graph) {
+  Ontology onto;
+  const auto& dict = graph.dict();
+  const rdf::TermId type_id = dict.FindIri(rdf::vocab::kRdfType);
+  const rdf::TermId owl_class_id = dict.FindIri(rdf::vocab::kOwlClass);
+  const rdf::TermId subclass_id = dict.FindIri(rdf::vocab::kRdfsSubClassOf);
+  const rdf::TermId label_id = dict.FindIri(rdf::vocab::kRdfsLabel);
+  const rdf::TermId disjoint_id = dict.FindIri(rdf::vocab::kOwlDisjointWith);
+
+  const auto class_of_term = [&](rdf::TermId id) -> ClassId {
+    const rdf::Term& t = dict.term(id);
+    if (!t.is_iri()) return kInvalidClassId;
+    return onto.AddClass(t.lexical());
+  };
+
+  // Declared classes.
+  if (type_id != rdf::kInvalidTermId && owl_class_id != rdf::kInvalidTermId) {
+    for (rdf::TermId s : graph.Subjects(type_id, owl_class_id)) {
+      class_of_term(s);
+    }
+  }
+  // Subclass edges imply both endpoints are classes.
+  if (subclass_id != rdf::kInvalidTermId) {
+    for (const rdf::Triple& t :
+         graph.Match(rdf::TriplePattern{rdf::kInvalidTermId, subclass_id,
+                                        rdf::kInvalidTermId})) {
+      const ClassId child = class_of_term(t.subject);
+      const ClassId parent = class_of_term(t.object);
+      if (child == kInvalidClassId || parent == kInvalidClassId) continue;
+      RL_RETURN_IF_ERROR(onto.AddSubClassOf(child, parent));
+    }
+  }
+  // Labels for known classes.
+  if (label_id != rdf::kInvalidTermId) {
+    for (ClassId c = 0; c < onto.classes_.size(); ++c) {
+      const rdf::TermId subject = dict.FindIri(onto.classes_[c].iri);
+      if (subject == rdf::kInvalidTermId) continue;
+      const rdf::TermId obj = graph.FirstObject(subject, label_id);
+      if (obj != rdf::kInvalidTermId && dict.term(obj).is_literal()) {
+        onto.classes_[c].label = dict.term(obj).lexical();
+      }
+    }
+  }
+  // Disjointness.
+  if (disjoint_id != rdf::kInvalidTermId) {
+    for (const rdf::Triple& t :
+         graph.Match(rdf::TriplePattern{rdf::kInvalidTermId, disjoint_id,
+                                        rdf::kInvalidTermId})) {
+      const ClassId a = class_of_term(t.subject);
+      const ClassId b = class_of_term(t.object);
+      if (a == kInvalidClassId || b == kInvalidClassId || a == b) continue;
+      RL_RETURN_IF_ERROR(onto.AddDisjointWith(a, b));
+    }
+  }
+  RL_RETURN_IF_ERROR(onto.Finalize());
+  return onto;
+}
+
+ClassId Ontology::FindByIri(const std::string& iri) const {
+  auto it = iri_to_id_.find(iri);
+  return it == iri_to_id_.end() ? kInvalidClassId : it->second;
+}
+
+bool Ontology::HasAncestor(ClassId c, ClassId candidate) const {
+  const auto& anc = classes_[c].ancestors;
+  return std::binary_search(anc.begin(), anc.end(), candidate);
+}
+
+bool Ontology::IsSubClassOf(ClassId sub, ClassId super) const {
+  RL_DCHECK(finalized_);
+  if (sub == super) return true;
+  return HasAncestor(sub, super);
+}
+
+std::vector<ClassId> Ontology::Ancestors(ClassId c) const {
+  RL_DCHECK(finalized_);
+  return classes_[c].ancestors;
+}
+
+std::vector<ClassId> Ontology::Descendants(ClassId c) const {
+  RL_DCHECK(finalized_);
+  std::vector<ClassId> out;
+  std::vector<ClassId> stack(classes_[c].children);
+  std::unordered_set<ClassId> seen(stack.begin(), stack.end());
+  while (!stack.empty()) {
+    const ClassId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    for (ClassId child : classes_[cur].children) {
+      if (seen.insert(child).second) stack.push_back(child);
+    }
+  }
+  return out;
+}
+
+std::vector<ClassId> Ontology::Leaves() const {
+  std::vector<ClassId> out;
+  for (ClassId c = 0; c < classes_.size(); ++c) {
+    if (IsLeaf(c)) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<ClassId> Ontology::Roots() const {
+  std::vector<ClassId> out;
+  for (ClassId c = 0; c < classes_.size(); ++c) {
+    if (IsRoot(c)) out.push_back(c);
+  }
+  return out;
+}
+
+std::size_t Ontology::MaxDepth() const {
+  std::size_t depth = 0;
+  for (const auto& info : classes_) depth = std::max(depth, info.depth);
+  return depth;
+}
+
+bool Ontology::AreDisjoint(ClassId a, ClassId b) const {
+  return disjoint_pairs_.count(PackPair(a, b)) > 0;
+}
+
+std::vector<ClassId> Ontology::MostSpecific(
+    const std::vector<ClassId>& classes) const {
+  RL_DCHECK(finalized_);
+  std::vector<ClassId> out;
+  for (ClassId c : classes) {
+    bool has_subclass_in_set = false;
+    for (ClassId other : classes) {
+      if (other != c && IsSubClassOf(other, c)) {
+        has_subclass_in_set = true;
+        break;
+      }
+    }
+    if (!has_subclass_in_set &&
+        std::find(out.begin(), out.end(), c) == out.end()) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<ClassId> Ontology::LeastCommonAncestors(ClassId a,
+                                                    ClassId b) const {
+  RL_DCHECK(finalized_);
+  // Common ancestors-or-self.
+  std::vector<ClassId> common;
+  std::vector<ClassId> a_set = classes_[a].ancestors;
+  a_set.push_back(a);
+  std::sort(a_set.begin(), a_set.end());
+  std::vector<ClassId> b_set = classes_[b].ancestors;
+  b_set.push_back(b);
+  std::sort(b_set.begin(), b_set.end());
+  std::set_intersection(a_set.begin(), a_set.end(), b_set.begin(),
+                        b_set.end(), std::back_inserter(common));
+  return MostSpecific(common);
+}
+
+}  // namespace rulelink::ontology

@@ -1,0 +1,118 @@
+// OWL-lite class taxonomy: named classes, rdfs:subClassOf edges (a DAG),
+// labels, and owl:disjointWith axioms. Supports the queries the paper's
+// learner needs: most-specific (leaf) classes, subsumption checks, and the
+// class generalization used by the future-work extension (§6).
+#ifndef RULELINK_ONTOLOGY_ONTOLOGY_H_
+#define RULELINK_ONTOLOGY_ONTOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rulelink::ontology {
+
+using ClassId = std::uint32_t;
+inline constexpr ClassId kInvalidClassId = 0xFFFFFFFFu;
+
+class Ontology {
+ public:
+  Ontology() = default;
+
+  Ontology(const Ontology&) = delete;
+  Ontology& operator=(const Ontology&) = delete;
+  Ontology(Ontology&&) = default;
+  Ontology& operator=(Ontology&&) = default;
+
+  // --- Construction -------------------------------------------------------
+
+  // Adds (or returns the existing) class for `iri`.
+  ClassId AddClass(const std::string& iri, const std::string& label = "");
+
+  // Declares child ⊑ parent. Both must already exist.
+  util::Status AddSubClassOf(ClassId child, ClassId parent);
+
+  // Declares a ⊥ b (and symmetrically b ⊥ a).
+  util::Status AddDisjointWith(ClassId a, ClassId b);
+
+  // Validates acyclicity and precomputes depths and transitive ancestor
+  // sets. Must be called before any query; fails on a subclass cycle.
+  util::Status Finalize();
+
+  // Loads classes from an RDF graph: subjects of `rdf:type owl:Class`
+  // triples and both endpoints of `rdfs:subClassOf`, plus labels and
+  // disjointness. Finalizes before returning.
+  static util::Result<Ontology> FromGraph(const rdf::Graph& graph);
+
+  // --- Queries (require Finalize) -----------------------------------------
+
+  std::size_t num_classes() const { return classes_.size(); }
+  bool finalized() const { return finalized_; }
+
+  const std::string& iri(ClassId c) const { return classes_[c].iri; }
+  const std::string& label(ClassId c) const { return classes_[c].label; }
+  ClassId FindByIri(const std::string& iri) const;
+
+  // Direct taxonomy edges.
+  const std::vector<ClassId>& Parents(ClassId c) const {
+    return classes_[c].parents;
+  }
+  const std::vector<ClassId>& Children(ClassId c) const {
+    return classes_[c].children;
+  }
+
+  // Reflexive-transitive subsumption: IsSubClassOf(c, c) is true.
+  bool IsSubClassOf(ClassId sub, ClassId super) const;
+
+  // Strict ancestors (excludes c), in no particular order.
+  std::vector<ClassId> Ancestors(ClassId c) const;
+  // Strict descendants (excludes c).
+  std::vector<ClassId> Descendants(ClassId c) const;
+
+  bool IsLeaf(ClassId c) const { return classes_[c].children.empty(); }
+  bool IsRoot(ClassId c) const { return classes_[c].parents.empty(); }
+  std::vector<ClassId> Leaves() const;
+  std::vector<ClassId> Roots() const;
+
+  // Longest path from a root; roots have depth 0.
+  std::size_t Depth(ClassId c) const { return classes_[c].depth; }
+  std::size_t MaxDepth() const;
+
+  // Explicitly declared (not inferred) disjointness.
+  bool AreDisjoint(ClassId a, ClassId b) const;
+
+  // Of the given classes, keeps only those with no strict subclass also in
+  // the set — the "most specific classes" the paper's support counting is
+  // restricted to.
+  std::vector<ClassId> MostSpecific(const std::vector<ClassId>& classes) const;
+
+  // Least common ancestors of a and b: ancestors-or-self of both, minimal
+  // w.r.t. subsumption. Used by rule generalization.
+  std::vector<ClassId> LeastCommonAncestors(ClassId a, ClassId b) const;
+
+ private:
+  struct ClassInfo {
+    std::string iri;
+    std::string label;
+    std::vector<ClassId> parents;
+    std::vector<ClassId> children;
+    std::size_t depth = 0;
+    // Sorted strict-ancestor ids, precomputed at Finalize.
+    std::vector<ClassId> ancestors;
+  };
+
+  bool HasAncestor(ClassId c, ClassId candidate) const;
+
+  std::vector<ClassInfo> classes_;
+  std::unordered_map<std::string, ClassId> iri_to_id_;
+  std::unordered_set<std::uint64_t> disjoint_pairs_;  // (min,max) packed
+  bool finalized_ = false;
+};
+
+}  // namespace rulelink::ontology
+
+#endif  // RULELINK_ONTOLOGY_ONTOLOGY_H_

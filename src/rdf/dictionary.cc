@@ -1,0 +1,51 @@
+#include "rdf/dictionary.h"
+
+#include "util/logging.h"
+
+namespace rulelink::rdf {
+
+TermDictionary::TermDictionary() {
+  terms_.emplace_back();  // reserve id 0 as invalid
+}
+
+TermId TermDictionary::Intern(const Term& term) {
+  auto it = term_to_id_.find(term);
+  if (it != term_to_id_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  term_to_id_.emplace(term, id);
+  return id;
+}
+
+TermId TermDictionary::Intern(Term&& term) {
+  auto it = term_to_id_.find(term);
+  if (it != term_to_id_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  term_to_id_.emplace(term, id);
+  terms_.push_back(std::move(term));
+  return id;
+}
+
+TermId TermDictionary::InternIri(std::string iri) {
+  return Intern(Term::Iri(std::move(iri)));
+}
+
+TermId TermDictionary::InternLiteral(std::string lexical) {
+  return Intern(Term::Literal(std::move(lexical)));
+}
+
+TermId TermDictionary::Find(const Term& term) const {
+  auto it = term_to_id_.find(term);
+  return it == term_to_id_.end() ? kInvalidTermId : it->second;
+}
+
+TermId TermDictionary::FindIri(const std::string& iri) const {
+  return Find(Term::Iri(iri));
+}
+
+const Term& TermDictionary::term(TermId id) const {
+  RL_CHECK(Contains(id)) << "invalid TermId " << id;
+  return terms_[id];
+}
+
+}  // namespace rulelink::rdf

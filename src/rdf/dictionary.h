@@ -1,0 +1,53 @@
+// Term interning: maps Term values to dense 32-bit TermIds and back. All
+// triple storage and all counting in the rule learner operate on ids, so
+// string comparisons happen exactly once per distinct term.
+#ifndef RULELINK_RDF_DICTIONARY_H_
+#define RULELINK_RDF_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rulelink::rdf {
+
+class TermDictionary {
+ public:
+  TermDictionary();
+
+  TermDictionary(const TermDictionary&) = delete;
+  TermDictionary& operator=(const TermDictionary&) = delete;
+  TermDictionary(TermDictionary&&) = default;
+  TermDictionary& operator=(TermDictionary&&) = default;
+
+  // Returns the id of `term`, interning it on first sight.
+  TermId Intern(const Term& term);
+  TermId Intern(Term&& term);
+
+  // Convenience interners.
+  TermId InternIri(std::string iri);
+  TermId InternLiteral(std::string lexical);
+
+  // Returns the id of `term` or kInvalidTermId when never interned.
+  TermId Find(const Term& term) const;
+  TermId FindIri(const std::string& iri) const;
+
+  // Id -> term. `id` must be a valid id returned by this dictionary.
+  const Term& term(TermId id) const;
+
+  bool Contains(TermId id) const {
+    return id != kInvalidTermId && id < terms_.size();
+  }
+
+  // Number of interned terms (excluding the reserved invalid slot).
+  std::size_t size() const { return terms_.size() - 1; }
+
+ private:
+  std::vector<Term> terms_;                      // index = TermId
+  std::unordered_map<Term, TermId> term_to_id_;
+};
+
+}  // namespace rulelink::rdf
+
+#endif  // RULELINK_RDF_DICTIONARY_H_

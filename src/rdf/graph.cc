@@ -1,0 +1,166 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+
+namespace rulelink::rdf {
+
+bool Graph::Insert(const Triple& triple) {
+  if (triple.subject == kInvalidTermId ||
+      triple.predicate == kInvalidTermId ||
+      triple.object == kInvalidTermId) {
+    return false;
+  }
+  if (!triple_set_.insert(triple).second) return false;
+  const auto idx = static_cast<std::uint32_t>(triples_.size());
+  triples_.push_back(triple);
+  by_subject_[triple.subject].push_back(idx);
+  by_predicate_[triple.predicate].push_back(idx);
+  by_object_[triple.object].push_back(idx);
+  return true;
+}
+
+bool Graph::Insert(const Term& s, const Term& p, const Term& o) {
+  return Insert(Triple{dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)});
+}
+
+bool Graph::InsertIri(const std::string& s, const std::string& p,
+                      const std::string& o) {
+  return Insert(Triple{dict_.InternIri(s), dict_.InternIri(p),
+                       dict_.InternIri(o)});
+}
+
+bool Graph::InsertLiteralTriple(const std::string& s, const std::string& p,
+                                const std::string& literal) {
+  return Insert(Triple{dict_.InternIri(s), dict_.InternIri(p),
+                       dict_.InternLiteral(literal)});
+}
+
+bool Graph::Contains(const Triple& triple) const {
+  return triple_set_.count(triple) > 0;
+}
+
+const Graph::PostingList* Graph::SubjectPostings(TermId id) const {
+  auto it = by_subject_.find(id);
+  return it == by_subject_.end() ? nullptr : &it->second;
+}
+const Graph::PostingList* Graph::PredicatePostings(TermId id) const {
+  auto it = by_predicate_.find(id);
+  return it == by_predicate_.end() ? nullptr : &it->second;
+}
+const Graph::PostingList* Graph::ObjectPostings(TermId id) const {
+  auto it = by_object_.find(id);
+  return it == by_object_.end() ? nullptr : &it->second;
+}
+
+const Graph::PostingList* Graph::ChoosePostings(const TriplePattern& pattern,
+                                                bool* miss) const {
+  *miss = false;
+  const PostingList* best = nullptr;
+  const auto consider = [&](TermId bound, const PostingList* list) {
+    if (bound == kInvalidTermId) return;
+    if (list == nullptr) {
+      *miss = true;
+      return;
+    }
+    if (best == nullptr || list->size() < best->size()) best = list;
+  };
+  consider(pattern.subject, SubjectPostings(pattern.subject));
+  if (*miss) return nullptr;
+  consider(pattern.predicate, PredicatePostings(pattern.predicate));
+  if (*miss) return nullptr;
+  consider(pattern.object, ObjectPostings(pattern.object));
+  if (*miss) return nullptr;
+  return best;
+}
+
+void Graph::ForEachMatch(const TriplePattern& pattern,
+                         const std::function<bool(const Triple&)>& fn) const {
+  bool miss = false;
+  const PostingList* postings = ChoosePostings(pattern, &miss);
+  if (miss) return;
+  if (postings != nullptr) {
+    for (std::uint32_t idx : *postings) {
+      const Triple& t = triples_[idx];
+      if (Matches(t, pattern) && !fn(t)) return;
+    }
+    return;
+  }
+  for (const Triple& t : triples_) {  // fully unbound: scan
+    if (Matches(t, pattern) && !fn(t)) return;
+  }
+}
+
+std::vector<Triple> Graph::Match(const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  ForEachMatch(pattern, [&](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+std::size_t Graph::EstimateMatches(const TriplePattern& pattern) const {
+  bool miss = false;
+  const PostingList* postings = ChoosePostings(pattern, &miss);
+  if (miss) return 0;
+  return postings == nullptr ? triples_.size() : postings->size();
+}
+
+std::size_t Graph::CountMatches(const TriplePattern& pattern) const {
+  std::size_t n = 0;
+  ForEachMatch(pattern, [&](const Triple&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+std::vector<TermId> Graph::Objects(TermId subject, TermId predicate) const {
+  std::vector<TermId> out;
+  ForEachMatch(TriplePattern{subject, predicate, kInvalidTermId},
+               [&](const Triple& t) {
+                 out.push_back(t.object);
+                 return true;
+               });
+  return out;
+}
+
+std::vector<TermId> Graph::Subjects(TermId predicate, TermId object) const {
+  std::vector<TermId> out;
+  ForEachMatch(TriplePattern{kInvalidTermId, predicate, object},
+               [&](const Triple& t) {
+                 out.push_back(t.subject);
+                 return true;
+               });
+  return out;
+}
+
+TermId Graph::FirstObject(TermId subject, TermId predicate) const {
+  TermId found = kInvalidTermId;
+  ForEachMatch(TriplePattern{subject, predicate, kInvalidTermId},
+               [&](const Triple& t) {
+                 found = t.object;
+                 return false;
+               });
+  return found;
+}
+
+std::vector<TermId> Graph::DistinctSubjects() const {
+  std::vector<TermId> out;
+  std::unordered_set<TermId> seen;
+  for (const Triple& t : triples_) {
+    if (seen.insert(t.subject).second) out.push_back(t.subject);
+  }
+  return out;
+}
+
+std::vector<TermId> Graph::DistinctPredicates() const {
+  std::vector<TermId> out;
+  std::unordered_set<TermId> seen;
+  for (const Triple& t : triples_) {
+    if (seen.insert(t.predicate).second) out.push_back(t.predicate);
+  }
+  return out;
+}
+
+}  // namespace rulelink::rdf

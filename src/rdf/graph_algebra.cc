@@ -1,0 +1,69 @@
+#include "rdf/graph_algebra.h"
+
+namespace rulelink::rdf {
+namespace {
+
+// Maps a triple of `from` into `to`'s id space without interning new
+// terms; any miss means the triple cannot exist in `to`.
+bool MapTriple(const Graph& from, const Triple& t, const Graph& to,
+               Triple* mapped) {
+  mapped->subject = to.dict().Find(from.dict().term(t.subject));
+  mapped->predicate = to.dict().Find(from.dict().term(t.predicate));
+  mapped->object = to.dict().Find(from.dict().term(t.object));
+  return mapped->subject != kInvalidTermId &&
+         mapped->predicate != kInvalidTermId &&
+         mapped->object != kInvalidTermId;
+}
+
+void CopyAll(const Graph& from, Graph* to) {
+  for (const Triple& t : from.triples()) {
+    to->Insert(from.dict().term(t.subject), from.dict().term(t.predicate),
+               from.dict().term(t.object));
+  }
+}
+
+}  // namespace
+
+Graph Union(const Graph& a, const Graph& b) {
+  Graph out;
+  CopyAll(a, &out);
+  CopyAll(b, &out);
+  return out;
+}
+
+Graph Difference(const Graph& a, const Graph& b) {
+  Graph out;
+  for (const Triple& t : a.triples()) {
+    Triple mapped;
+    if (MapTriple(a, t, b, &mapped) && b.Contains(mapped)) continue;
+    out.Insert(a.dict().term(t.subject), a.dict().term(t.predicate),
+               a.dict().term(t.object));
+  }
+  return out;
+}
+
+Graph Intersection(const Graph& a, const Graph& b) {
+  Graph out;
+  for (const Triple& t : a.triples()) {
+    Triple mapped;
+    if (MapTriple(a, t, b, &mapped) && b.Contains(mapped)) {
+      out.Insert(a.dict().term(t.subject), a.dict().term(t.predicate),
+                 a.dict().term(t.object));
+    }
+  }
+  return out;
+}
+
+bool IsSubgraphOf(const Graph& a, const Graph& b) {
+  for (const Triple& t : a.triples()) {
+    Triple mapped;
+    if (!MapTriple(a, t, b, &mapped) || !b.Contains(mapped)) return false;
+  }
+  return true;
+}
+
+bool Isomorphic(const Graph& a, const Graph& b) {
+  return a.size() == b.size() && IsSubgraphOf(a, b);
+}
+
+}  // namespace rulelink::rdf

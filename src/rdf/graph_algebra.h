@@ -1,0 +1,30 @@
+// Set algebra over graphs: union, difference, intersection by triple
+// value. The operational use case is diffing provider deliveries — what
+// triples did the new file add or retract relative to the previous one —
+// and merging multiple deliveries before learning.
+#ifndef RULELINK_RDF_GRAPH_ALGEBRA_H_
+#define RULELINK_RDF_GRAPH_ALGEBRA_H_
+
+#include "rdf/graph.h"
+
+namespace rulelink::rdf {
+
+// Triples present in `a` or `b` (terms re-interned into the result).
+Graph Union(const Graph& a, const Graph& b);
+
+// Triples of `a` that are not in `b`.
+Graph Difference(const Graph& a, const Graph& b);
+
+// Triples present in both.
+Graph Intersection(const Graph& a, const Graph& b);
+
+// True when both graphs hold exactly the same triple set (dictionaries
+// may differ).
+bool Isomorphic(const Graph& a, const Graph& b);
+
+// True when every triple of `a` is in `b`.
+bool IsSubgraphOf(const Graph& a, const Graph& b);
+
+}  // namespace rulelink::rdf
+
+#endif  // RULELINK_RDF_GRAPH_ALGEBRA_H_

@@ -1,0 +1,123 @@
+#include "rdf/nquads.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "rdf/ntriples.h"
+#include "util/string_util.h"
+
+namespace rulelink::rdf {
+
+const Graph* Dataset::FindGraph(const std::string& iri) const {
+  auto it = graphs_.find(iri);
+  return it == graphs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Dataset::GraphNames() const {
+  std::vector<std::string> names;
+  names.reserve(graphs_.size());
+  for (const auto& [name, graph] : graphs_) names.push_back(name);
+  return names;
+}
+
+std::size_t Dataset::TotalTriples() const {
+  std::size_t total = 0;
+  for (const auto& [name, graph] : graphs_) total += graph.size();
+  return total;
+}
+
+Graph Dataset::Merged() const {
+  Graph merged;
+  for (const auto& [name, graph] : graphs_) {
+    const auto& dict = graph.dict();
+    for (const Triple& t : graph.triples()) {
+      merged.Insert(dict.term(t.subject), dict.term(t.predicate),
+                    dict.term(t.object));
+    }
+  }
+  return merged;
+}
+
+util::Status ParseNQuads(std::string_view content, Dataset* dataset) {
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string_view::npos) end = content.size();
+    ++line_no;
+    std::string_view raw = content.substr(start, end - start);
+    start = end + 1;
+    std::string_view line = util::StripAsciiWhitespace(raw);
+    const auto error = [&](const std::string& what) {
+      return util::InvalidArgumentError(
+          "N-Quads line " + std::to_string(line_no) + ": " + what);
+    };
+    if (line.empty() || line[0] == '#') {
+      if (end == content.size()) break;
+      continue;
+    }
+
+    // Subject, predicate, object, then an optional graph IRI before '.'.
+    Term terms[3];
+    for (int k = 0; k < 3; ++k) {
+      std::size_t consumed = 0;
+      auto term = ParseLeadingTerm(line, &consumed);
+      if (!term.ok()) return error(term.status().message());
+      terms[k] = std::move(term).value();
+      line = util::StripAsciiWhitespace(line.substr(consumed));
+    }
+    if (terms[0].is_literal()) return error("literal in subject position");
+    if (!terms[1].is_iri()) return error("predicate must be an IRI");
+
+    std::string graph_name;
+    if (!line.empty() && line[0] != '.') {
+      std::size_t consumed = 0;
+      auto graph_term = ParseLeadingTerm(line, &consumed);
+      if (!graph_term.ok()) return error(graph_term.status().message());
+      if (!graph_term.value().is_iri()) {
+        return error("graph label must be an IRI");
+      }
+      graph_name = graph_term.value().lexical();
+      line = util::StripAsciiWhitespace(line.substr(consumed));
+    }
+    if (line.empty() || line[0] != '.') {
+      return error("missing terminating '.'");
+    }
+    line = util::StripAsciiWhitespace(line.substr(1));
+    if (!line.empty() && line[0] != '#') {
+      return error("trailing characters after '.'");
+    }
+
+    Graph& graph = graph_name.empty() ? dataset->DefaultGraph()
+                                      : dataset->NamedGraph(graph_name);
+    graph.Insert(terms[0], terms[1], terms[2]);
+    if (end == content.size()) break;
+  }
+  return util::OkStatus();
+}
+
+util::Status ParseNQuadsFile(const std::string& path, Dataset* dataset) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::NotFoundError("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseNQuads(buf.str(), dataset);
+}
+
+std::string WriteNQuads(const Dataset& dataset) {
+  std::ostringstream os;
+  for (const std::string& name : dataset.GraphNames()) {
+    const Graph* graph = dataset.FindGraph(name);
+    const auto& dict = graph->dict();
+    const std::string label =
+        name.empty() ? "" : " " + Term::Iri(name).ToNTriples();
+    for (const Triple& t : graph->triples()) {
+      os << dict.term(t.subject).ToNTriples() << " "
+         << dict.term(t.predicate).ToNTriples() << " "
+         << dict.term(t.object).ToNTriples() << label << " .\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace rulelink::rdf

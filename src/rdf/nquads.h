@@ -1,0 +1,64 @@
+// N-Quads support: a Dataset keyed by named graph, used to keep the
+// provenance §3 calls for ("linked pairs of data items are stored with
+// their provenance information") — e.g. one named graph per provider
+// delivery, each holding its owl:sameAs links.
+#ifndef RULELINK_RDF_NQUADS_H_
+#define RULELINK_RDF_NQUADS_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rulelink::rdf {
+
+// A collection of graphs: the default graph under the empty name, named
+// graphs under their IRI. Each graph owns its dictionary; cross-graph
+// work goes through Terms.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  Graph& DefaultGraph() { return graphs_[""]; }
+  // Creates the named graph on first access.
+  Graph& NamedGraph(const std::string& iri) { return graphs_[iri]; }
+
+  // nullptr when the graph does not exist.
+  const Graph* FindGraph(const std::string& iri) const;
+  bool HasGraph(const std::string& iri) const {
+    return graphs_.count(iri) > 0;
+  }
+
+  // Graph names in sorted order ("" first when the default graph exists).
+  std::vector<std::string> GraphNames() const;
+
+  std::size_t TotalTriples() const;
+
+  // Merges every graph (default + named) into one graph, re-interning
+  // terms. Provenance is lost; useful to feed merged links to consumers
+  // that take a single graph.
+  Graph Merged() const;
+
+ private:
+  std::map<std::string, Graph> graphs_;
+};
+
+// Parses N-Quads: like N-Triples with an optional fourth position (IRI of
+// the named graph) before the final '.'.
+util::Status ParseNQuads(std::string_view content, Dataset* dataset);
+util::Status ParseNQuadsFile(const std::string& path, Dataset* dataset);
+
+// Serializes the dataset as N-Quads (default-graph triples without a
+// graph label), deterministically.
+std::string WriteNQuads(const Dataset& dataset);
+
+}  // namespace rulelink::rdf
+
+#endif  // RULELINK_RDF_NQUADS_H_

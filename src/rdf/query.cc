@@ -1,0 +1,252 @@
+#include "rdf/query.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace rulelink::rdf {
+
+QueryTerm QueryTerm::Constant(Term term) {
+  QueryTerm qt;
+  qt.is_variable_ = false;
+  qt.term_ = std::move(term);
+  return qt;
+}
+
+QueryTerm QueryTerm::Variable(std::string name) {
+  QueryTerm qt;
+  qt.is_variable_ = true;
+  qt.name_ = std::move(name);
+  return qt;
+}
+
+Query& Query::Add(QueryTerm subject, QueryTerm predicate, QueryTerm object) {
+  patterns_.push_back(QueryPattern{std::move(subject), std::move(predicate),
+                                   std::move(object)});
+  return *this;
+}
+
+Query& Query::Filter(std::string variable,
+                     std::function<bool(const Term&)> f) {
+  filters_.push_back(QueryFilter{std::move(variable), std::move(f)});
+  return *this;
+}
+
+Query& Query::NotEqual(std::string a, std::string b) {
+  not_equal_.emplace_back(std::move(a), std::move(b));
+  return *this;
+}
+
+Query& Query::Distinct(bool distinct) {
+  distinct_ = distinct;
+  return *this;
+}
+
+Query& Query::Limit(std::size_t limit) {
+  limit_ = limit;
+  return *this;
+}
+
+std::vector<std::string> Query::Variables() const {
+  std::vector<std::string> names;
+  std::unordered_set<std::string> seen;
+  const auto visit = [&](const QueryTerm& qt) {
+    if (qt.is_variable() && seen.insert(qt.name()).second) {
+      names.push_back(qt.name());
+    }
+  };
+  for (const QueryPattern& p : patterns_) {
+    visit(p.subject);
+    visit(p.predicate);
+    visit(p.object);
+  }
+  return names;
+}
+
+namespace {
+
+// Evaluation state shared across the backtracking recursion.
+class Evaluator {
+ public:
+  Evaluator(const Graph& graph, const Query& query)
+      : graph_(graph), query_(query) {}
+
+  util::Result<std::vector<Bindings>> Run() {
+    if (query_.patterns().empty()) {
+      return util::InvalidArgumentError("query has no patterns");
+    }
+    // Validate filters against mentioned variables.
+    {
+      const auto variables = query_.Variables();
+      const std::unordered_set<std::string> known(variables.begin(),
+                                                  variables.end());
+      for (const QueryFilter& f : query_.filters()) {
+        if (known.count(f.variable) == 0) {
+          return util::InvalidArgumentError(
+              "filter over unknown variable ?" + f.variable);
+        }
+      }
+      for (const auto& [a, b] : query_.not_equal()) {
+        if (known.count(a) == 0 || known.count(b) == 0) {
+          return util::InvalidArgumentError(
+              "!= filter over unknown variable");
+        }
+      }
+    }
+    // Resolve constants. A constant absent from the dictionary means the
+    // pattern can never match.
+    resolved_.resize(query_.patterns().size());
+    for (std::size_t i = 0; i < query_.patterns().size(); ++i) {
+      const QueryPattern& p = query_.patterns()[i];
+      for (const QueryTerm* qt : {&p.subject, &p.predicate, &p.object}) {
+        if (!qt->is_variable()) {
+          const TermId id = graph_.dict().Find(qt->term());
+          if (id == kInvalidTermId) return std::vector<Bindings>{};
+          resolved_[i].push_back(id);
+        } else {
+          resolved_[i].push_back(kInvalidTermId);
+        }
+      }
+    }
+    used_.assign(query_.patterns().size(), false);
+    Solve();
+    return std::move(rows_);
+  }
+
+ private:
+  bool LimitReached() const {
+    return query_.limit() > 0 && rows_.size() >= query_.limit();
+  }
+
+  // Builds the concrete TriplePattern for pattern i under current
+  // bindings; positions bound to variables without a value stay unbound.
+  TriplePattern Concretize(std::size_t i) const {
+    const QueryPattern& p = query_.patterns()[i];
+    TriplePattern out;
+    const QueryTerm* terms[3] = {&p.subject, &p.predicate, &p.object};
+    TermId* slots[3] = {&out.subject, &out.predicate, &out.object};
+    for (int k = 0; k < 3; ++k) {
+      if (!terms[k]->is_variable()) {
+        *slots[k] = resolved_[i][static_cast<std::size_t>(k)];
+      } else {
+        auto it = bindings_.find(terms[k]->name());
+        *slots[k] = it == bindings_.end() ? kInvalidTermId : it->second;
+      }
+    }
+    return out;
+  }
+
+  // Chooses the unused pattern with the most bound positions (constants or
+  // already-bound variables); ties break by the smallest posting-list
+  // estimate, so the join starts from the most selective pattern.
+  std::size_t PickNext() const {
+    std::size_t best = query_.patterns().size();
+    int best_bound = -1;
+    std::size_t best_estimate = 0;
+    for (std::size_t i = 0; i < query_.patterns().size(); ++i) {
+      if (used_[i]) continue;
+      const TriplePattern concrete = Concretize(i);
+      const int bound = (concrete.subject != kInvalidTermId) +
+                        (concrete.predicate != kInvalidTermId) +
+                        (concrete.object != kInvalidTermId);
+      const std::size_t estimate = graph_.EstimateMatches(concrete);
+      if (bound > best_bound ||
+          (bound == best_bound && estimate < best_estimate)) {
+        best = i;
+        best_bound = bound;
+        best_estimate = estimate;
+      }
+    }
+    return best;
+  }
+
+  // Checks filters whose variable is `name`.
+  bool PassesFilters(const std::string& name, TermId id) const {
+    for (const QueryFilter& f : query_.filters()) {
+      if (f.variable == name && !f.predicate(graph_.dict().term(id))) {
+        return false;
+      }
+    }
+    // Inequality constraints that became fully bound with this binding.
+    for (const auto& [a, b] : query_.not_equal()) {
+      if (a != name && b != name) continue;
+      const std::string& other = a == name ? b : a;
+      auto it = bindings_.find(other);
+      if (it != bindings_.end() && it->second == id) return false;
+    }
+    return true;
+  }
+
+  void Solve() {
+    if (LimitReached()) return;
+    if (std::all_of(used_.begin(), used_.end(), [](bool u) { return u; })) {
+      Emit();
+      return;
+    }
+    const std::size_t i = PickNext();
+    used_[i] = true;
+    const QueryPattern& p = query_.patterns()[i];
+    const TriplePattern concrete = Concretize(i);
+
+    graph_.ForEachMatch(concrete, [&](const Triple& t) {
+      // Bind the variable positions, honoring repeated variables within
+      // one pattern (?x ?p ?x).
+      std::vector<std::string> newly_bound;
+      const QueryTerm* terms[3] = {&p.subject, &p.predicate, &p.object};
+      const TermId values[3] = {t.subject, t.predicate, t.object};
+      bool ok = true;
+      for (int k = 0; k < 3 && ok; ++k) {
+        if (!terms[k]->is_variable()) continue;
+        const std::string& name = terms[k]->name();
+        auto it = bindings_.find(name);
+        if (it != bindings_.end()) {
+          ok = it->second == values[k];
+          continue;
+        }
+        if (!PassesFilters(name, values[k])) {
+          ok = false;
+          continue;
+        }
+        bindings_.emplace(name, values[k]);
+        newly_bound.push_back(name);
+      }
+      if (ok) Solve();
+      for (const std::string& name : newly_bound) bindings_.erase(name);
+      return !LimitReached();
+    });
+    used_[i] = false;
+  }
+
+  void Emit() {
+    if (query_.distinct()) {
+      std::vector<std::pair<std::string, TermId>> key(bindings_.begin(),
+                                                      bindings_.end());
+      std::sort(key.begin(), key.end());
+      if (!seen_.insert(key).second) return;
+    }
+    rows_.push_back(bindings_);
+  }
+
+  const Graph& graph_;
+  const Query& query_;
+  std::vector<std::vector<TermId>> resolved_;
+  std::vector<bool> used_;
+  Bindings bindings_;
+  std::vector<Bindings> rows_;
+  std::set<std::vector<std::pair<std::string, TermId>>> seen_;
+};
+
+}  // namespace
+
+util::Result<std::vector<Bindings>> Evaluate(const Graph& graph,
+                                             const Query& query) {
+  return Evaluator(graph, query).Run();
+}
+
+util::Result<std::size_t> Count(const Graph& graph, const Query& query) {
+  auto rows = Evaluate(graph, query);
+  if (!rows.ok()) return rows.status();
+  return rows->size();
+}
+
+}  // namespace rulelink::rdf

@@ -1,0 +1,114 @@
+// A small conjunctive (basic-graph-pattern) query engine over rdf::Graph —
+// the SPARQL subset a data-linking pipeline actually needs: BGP joins with
+// named variables, optional DISTINCT, LIMIT, and simple value filters.
+//
+//   Query query;
+//   query.Add(Var("item"), Iri(rdf::vocab::kRdfType), Var("class"));
+//   query.Add(Var("item"), Iri("...#partNumber"), Var("pn"));
+//   auto rows = Evaluate(graph, query);   // each row binds item/class/pn
+//
+// Evaluation is backtracking join in pattern order with greedy
+// most-selective-first reordering; bindings are TermIds into the graph's
+// dictionary.
+#ifndef RULELINK_RDF_QUERY_H_
+#define RULELINK_RDF_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rulelink::rdf {
+
+// A query atom position: a constant term, or a named variable.
+class QueryTerm {
+ public:
+  // Constant positions.
+  static QueryTerm Constant(Term term);
+  // Variable positions; names are case-sensitive, without the '?'.
+  static QueryTerm Variable(std::string name);
+
+  bool is_variable() const { return is_variable_; }
+  const Term& term() const { return term_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  bool is_variable_ = false;
+  Term term_;
+  std::string name_;
+};
+
+// Convenience constructors mirroring SPARQL syntax.
+inline QueryTerm Var(std::string name) {
+  return QueryTerm::Variable(std::move(name));
+}
+inline QueryTerm Iri(std::string iri) {
+  return QueryTerm::Constant(Term::Iri(std::move(iri)));
+}
+inline QueryTerm Lit(std::string lexical) {
+  return QueryTerm::Constant(Term::Literal(std::move(lexical)));
+}
+
+struct QueryPattern {
+  QueryTerm subject;
+  QueryTerm predicate;
+  QueryTerm object;
+};
+
+// A value filter applied to one variable once it is bound; returns true to
+// keep the binding. Filters see the bound Term.
+struct QueryFilter {
+  std::string variable;
+  std::function<bool(const Term&)> predicate;
+};
+
+class Query {
+ public:
+  Query& Add(QueryTerm subject, QueryTerm predicate, QueryTerm object);
+  Query& Filter(std::string variable, std::function<bool(const Term&)> f);
+  // Requires the two variables to bind to DIFFERENT terms (SPARQL's
+  // FILTER(?a != ?b)); checked as soon as both are bound.
+  Query& NotEqual(std::string a, std::string b);
+  Query& Distinct(bool distinct = true);
+  Query& Limit(std::size_t limit);
+
+  const std::vector<QueryPattern>& patterns() const { return patterns_; }
+  const std::vector<QueryFilter>& filters() const { return filters_; }
+  const std::vector<std::pair<std::string, std::string>>& not_equal()
+      const {
+    return not_equal_;
+  }
+  bool distinct() const { return distinct_; }
+  std::size_t limit() const { return limit_; }
+
+  // Variable names in first-appearance order (the result row layout).
+  std::vector<std::string> Variables() const;
+
+ private:
+  std::vector<QueryPattern> patterns_;
+  std::vector<QueryFilter> filters_;
+  std::vector<std::pair<std::string, std::string>> not_equal_;
+  bool distinct_ = false;
+  std::size_t limit_ = 0;  // 0 = unlimited
+};
+
+// One result row: variable name -> bound term id.
+using Bindings = std::unordered_map<std::string, TermId>;
+
+// Evaluates the query. Fails on an empty pattern list, a filter over a
+// variable that no pattern mentions, or a pattern with no variable or
+// constant (impossible by construction).
+util::Result<std::vector<Bindings>> Evaluate(const Graph& graph,
+                                             const Query& query);
+
+// Number of result rows without materializing them (still applies
+// DISTINCT/LIMIT semantics).
+util::Result<std::size_t> Count(const Graph& graph, const Query& query);
+
+}  // namespace rulelink::rdf
+
+#endif  // RULELINK_RDF_QUERY_H_

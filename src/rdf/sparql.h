@@ -1,0 +1,45 @@
+// Text front-end for the BGP query engine: parses the SPARQL subset the
+// engine evaluates —
+//
+//   PREFIX ex: <http://example.org/>
+//   SELECT DISTINCT ?item ?class WHERE {
+//     ?item a ?class .
+//     ?item ex:partNumber ?pn .
+//   } LIMIT 10
+//
+// Supported: PREFIX declarations, SELECT with a variable list or '*',
+// DISTINCT, WHERE with triple patterns (IRIs, prefixed names, literals
+// with @lang / ^^datatype, variables, 'a'), FILTER regex(?v, "pat"[, "i"])
+// and FILTER (?a != ?b), and LIMIT. Everything else (OPTIONAL, UNION,
+// general FILTER expressions, property paths) is rejected with a clear
+// error; arbitrary programmatic filters remain available on rdf::Query.
+#ifndef RULELINK_RDF_SPARQL_H_
+#define RULELINK_RDF_SPARQL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/query.h"
+#include "util/status.h"
+
+namespace rulelink::rdf {
+
+struct ParsedSparql {
+  Query query;
+  // Projection: the SELECT list in order; empty means '*' (all variables
+  // in first-appearance order).
+  std::vector<std::string> projection;
+};
+
+util::Result<ParsedSparql> ParseSparql(std::string_view text);
+
+// Convenience: parse and evaluate in one go, projecting the SELECT list.
+// Each row holds the lexical forms (N-Triples serialization for IRIs and
+// blank nodes, plain lexical for literals) of the projected variables.
+util::Result<std::vector<std::vector<std::string>>> RunSparql(
+    const Graph& graph, std::string_view text);
+
+}  // namespace rulelink::rdf
+
+#endif  // RULELINK_RDF_SPARQL_H_

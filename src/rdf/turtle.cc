@@ -1,0 +1,418 @@
+#include "rdf/turtle.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace rulelink::rdf {
+namespace {
+
+// Token kinds produced by the lexer.
+enum class TokKind {
+  kEof,
+  kIri,          // <...> (unexpanded)
+  kPrefixedName, // pfx:local or :local
+  kLiteral,      // "..." with suffix fields
+  kBlank,        // _:label
+  kA,            // keyword 'a'
+  kDot,
+  kSemicolon,
+  kComma,
+  kPrefixDecl,   // @prefix or PREFIX
+  kBaseDecl,     // @base or BASE
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;      // IRI body, prefixed name, literal lexical, label
+  std::string language;  // literal @lang
+  std::string datatype;  // literal ^^ datatype (raw: <iri> body or pfx:local)
+  bool datatype_prefixed = false;
+  std::size_t line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view content) : content_(content) {}
+
+  util::Result<Token> Next() {
+    SkipWhitespaceAndComments();
+    Token tok;
+    tok.line = line_;
+    if (AtEnd()) {
+      tok.kind = TokKind::kEof;
+      return tok;
+    }
+    const char c = Peek();
+    if (c == '.') {
+      ++pos_;
+      tok.kind = TokKind::kDot;
+      return tok;
+    }
+    if (c == ';') {
+      ++pos_;
+      tok.kind = TokKind::kSemicolon;
+      return tok;
+    }
+    if (c == ',') {
+      ++pos_;
+      tok.kind = TokKind::kComma;
+      return tok;
+    }
+    if (c == '<') return LexIri(&tok);
+    if (c == '"' || c == '\'') return LexLiteral(&tok);
+    if (c == '_') return LexBlank(&tok);
+    if (c == '@') return LexAtKeyword(&tok);
+    if (c == '[' || c == '(') {
+      return Error("blank node property lists and collections are not "
+                   "supported by this Turtle subset");
+    }
+    return LexNameOrKeyword(&tok);
+  }
+
+  std::size_t line() const { return line_; }
+
+ private:
+  bool AtEnd() const { return pos_ >= content_.size(); }
+  char Peek() const { return content_[pos_]; }
+
+  util::Status Error(const std::string& what) const {
+    return util::InvalidArgumentError("Turtle line " + std::to_string(line_) +
+                                      ": " + what);
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  util::Result<Token> LexIri(Token* tok) {
+    const std::size_t close = content_.find('>', pos_ + 1);
+    if (close == std::string_view::npos) return Error("unterminated IRI");
+    tok->kind = TokKind::kIri;
+    tok->text = std::string(content_.substr(pos_ + 1, close - pos_ - 1));
+    pos_ = close + 1;
+    return *tok;
+  }
+
+  util::Result<Token> LexLiteral(Token* tok) {
+    const char quote = Peek();
+    std::size_t i = pos_ + 1;
+    std::string body;
+    bool closed = false;
+    while (i < content_.size()) {
+      const char c = content_[i];
+      if (c == '\\') {
+        if (i + 1 >= content_.size()) return Error("dangling escape");
+        const char e = content_[i + 1];
+        switch (e) {
+          case 't': body.push_back('\t'); break;
+          case 'n': body.push_back('\n'); break;
+          case 'r': body.push_back('\r'); break;
+          case '"': body.push_back('"'); break;
+          case '\'': body.push_back('\''); break;
+          case '\\': body.push_back('\\'); break;
+          default:
+            return Error(std::string("unknown escape \\") + e);
+        }
+        i += 2;
+        continue;
+      }
+      if (c == quote) {
+        closed = true;
+        ++i;
+        break;
+      }
+      if (c == '\n') ++line_;
+      body.push_back(c);
+      ++i;
+    }
+    if (!closed) return Error("unterminated literal");
+    pos_ = i;
+    tok->kind = TokKind::kLiteral;
+    tok->text = std::move(body);
+    // Optional @lang / ^^datatype.
+    if (!AtEnd() && Peek() == '@') {
+      std::size_t end = pos_ + 1;
+      while (end < content_.size() && (util::IsAsciiAlnum(content_[end]) ||
+                                       content_[end] == '-')) {
+        ++end;
+      }
+      tok->language = std::string(content_.substr(pos_ + 1, end - pos_ - 1));
+      if (tok->language.empty()) return Error("empty language tag");
+      pos_ = end;
+    } else if (pos_ + 1 < content_.size() && Peek() == '^' &&
+               content_[pos_ + 1] == '^') {
+      pos_ += 2;
+      if (AtEnd()) return Error("missing datatype");
+      if (Peek() == '<') {
+        const std::size_t close = content_.find('>', pos_ + 1);
+        if (close == std::string_view::npos) {
+          return Error("unterminated datatype IRI");
+        }
+        tok->datatype = std::string(content_.substr(pos_ + 1, close - pos_ - 1));
+        pos_ = close + 1;
+      } else {
+        std::size_t end = pos_;
+        while (end < content_.size() && !IsNameBreak(content_[end])) ++end;
+        tok->datatype = std::string(content_.substr(pos_, end - pos_));
+        tok->datatype_prefixed = true;
+        if (tok->datatype.find(':') == std::string::npos) {
+          return Error("datatype must be an IRI or prefixed name");
+        }
+        pos_ = end;
+      }
+    }
+    return *tok;
+  }
+
+  util::Result<Token> LexBlank(Token* tok) {
+    if (pos_ + 1 >= content_.size() || content_[pos_ + 1] != ':') {
+      return Error("expected _: blank node");
+    }
+    std::size_t end = pos_ + 2;
+    while (end < content_.size() && !IsNameBreak(content_[end])) ++end;
+    tok->kind = TokKind::kBlank;
+    tok->text = std::string(content_.substr(pos_ + 2, end - pos_ - 2));
+    if (tok->text.empty()) return Error("empty blank node label");
+    pos_ = end;
+    return *tok;
+  }
+
+  util::Result<Token> LexAtKeyword(Token* tok) {
+    std::size_t end = pos_ + 1;
+    while (end < content_.size() && util::IsAsciiAlpha(content_[end])) ++end;
+    const auto kw = content_.substr(pos_ + 1, end - pos_ - 1);
+    pos_ = end;
+    if (kw == "prefix") {
+      tok->kind = TokKind::kPrefixDecl;
+      return *tok;
+    }
+    if (kw == "base") {
+      tok->kind = TokKind::kBaseDecl;
+      return *tok;
+    }
+    return Error("unknown @-keyword: @" + std::string(kw));
+  }
+
+  util::Result<Token> LexNameOrKeyword(Token* tok) {
+    std::size_t end = pos_;
+    while (end < content_.size() && !IsNameBreak(content_[end])) ++end;
+    auto word = content_.substr(pos_, end - pos_);
+    pos_ = end;
+    if (word == "a") {
+      tok->kind = TokKind::kA;
+      return *tok;
+    }
+    if (word == "PREFIX") {
+      tok->kind = TokKind::kPrefixDecl;
+      return *tok;
+    }
+    if (word == "BASE") {
+      tok->kind = TokKind::kBaseDecl;
+      return *tok;
+    }
+    if (word.find(':') != std::string_view::npos) {
+      tok->kind = TokKind::kPrefixedName;
+      tok->text = std::string(word);
+      return *tok;
+    }
+    return Error("unexpected token: " + std::string(word));
+  }
+
+  static bool IsNameBreak(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';' ||
+           c == ',' || c == '#' || c == '"' || c == '<' ||
+           c == '(' || c == ')' || c == '[' || c == ']';
+  }
+
+  std::string_view content_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view content, Graph* graph)
+      : lexer_(content), graph_(graph) {}
+
+  util::Status Run() {
+    RL_RETURN_IF_ERROR(Advance());
+    while (tok_.kind != TokKind::kEof) {
+      if (tok_.kind == TokKind::kPrefixDecl) {
+        RL_RETURN_IF_ERROR(ParsePrefixDecl());
+      } else if (tok_.kind == TokKind::kBaseDecl) {
+        RL_RETURN_IF_ERROR(ParseBaseDecl());
+      } else {
+        RL_RETURN_IF_ERROR(ParseStatement());
+      }
+    }
+    return util::OkStatus();
+  }
+
+ private:
+  util::Status Advance() {
+    auto t = lexer_.Next();
+    if (!t.ok()) return t.status();
+    tok_ = std::move(t).value();
+    return util::OkStatus();
+  }
+
+  util::Status Error(const std::string& what) const {
+    return util::InvalidArgumentError(
+        "Turtle line " + std::to_string(tok_.line) + ": " + what);
+  }
+
+  util::Status ExpectDot() {
+    if (tok_.kind != TokKind::kDot) return Error("expected '.'");
+    return Advance();
+  }
+
+  util::Status ParsePrefixDecl() {
+    RL_RETURN_IF_ERROR(Advance());  // past @prefix
+    if (tok_.kind != TokKind::kPrefixedName ||
+        tok_.text.back() != ':') {
+      return Error("expected prefix name ending in ':'");
+    }
+    const std::string prefix = tok_.text.substr(0, tok_.text.size() - 1);
+    RL_RETURN_IF_ERROR(Advance());
+    if (tok_.kind != TokKind::kIri) return Error("expected namespace IRI");
+    prefixes_[prefix] = ResolveIri(tok_.text);
+    RL_RETURN_IF_ERROR(Advance());
+    // SPARQL-style PREFIX has no dot; @prefix requires one.
+    if (tok_.kind == TokKind::kDot) RL_RETURN_IF_ERROR(Advance());
+    return util::OkStatus();
+  }
+
+  util::Status ParseBaseDecl() {
+    RL_RETURN_IF_ERROR(Advance());
+    if (tok_.kind != TokKind::kIri) return Error("expected base IRI");
+    base_ = tok_.text;
+    RL_RETURN_IF_ERROR(Advance());
+    if (tok_.kind == TokKind::kDot) RL_RETURN_IF_ERROR(Advance());
+    return util::OkStatus();
+  }
+
+  std::string ResolveIri(const std::string& raw) const {
+    // Resolve relative IRIs against @base when one is set. We only handle
+    // the simple concatenation case (no ../ normalization).
+    if (base_.empty() || raw.find("://") != std::string::npos) return raw;
+    return base_ + raw;
+  }
+
+  util::Result<Term> ExpandPrefixedName(const std::string& pname) const {
+    const std::size_t colon = pname.find(':');
+    const std::string prefix = pname.substr(0, colon);
+    const std::string local = pname.substr(colon + 1);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return util::InvalidArgumentError("undeclared prefix '" + prefix + ":'");
+    }
+    return Term::Iri(it->second + local);
+  }
+
+  util::Result<Term> TokenToTerm(const Token& tok) const {
+    switch (tok.kind) {
+      case TokKind::kIri:
+        return Term::Iri(ResolveIri(tok.text));
+      case TokKind::kPrefixedName:
+        return ExpandPrefixedName(tok.text);
+      case TokKind::kBlank:
+        return Term::BlankNode(tok.text);
+      case TokKind::kLiteral: {
+        if (!tok.language.empty()) {
+          return Term::LangLiteral(tok.text, tok.language);
+        }
+        if (!tok.datatype.empty()) {
+          if (tok.datatype_prefixed) {
+            auto dt = ExpandPrefixedName(tok.datatype);
+            if (!dt.ok()) return dt.status();
+            return Term::TypedLiteral(tok.text, dt.value().lexical());
+          }
+          return Term::TypedLiteral(tok.text, ResolveIri(tok.datatype));
+        }
+        return Term::Literal(tok.text);
+      }
+      default:
+        return util::InvalidArgumentError("expected an RDF term");
+    }
+  }
+
+  util::Status ParseStatement() {
+    auto subject = TokenToTerm(tok_);
+    if (!subject.ok()) return Error(subject.status().message());
+    if (subject.value().is_literal()) {
+      return Error("literal in subject position");
+    }
+    RL_RETURN_IF_ERROR(Advance());
+
+    for (;;) {  // predicate list
+      Term predicate;
+      if (tok_.kind == TokKind::kA) {
+        predicate = Term::Iri(
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+      } else {
+        auto p = TokenToTerm(tok_);
+        if (!p.ok()) return Error(p.status().message());
+        if (!p.value().is_iri()) return Error("predicate must be an IRI");
+        predicate = std::move(p).value();
+      }
+      RL_RETURN_IF_ERROR(Advance());
+
+      for (;;) {  // object list
+        auto object = TokenToTerm(tok_);
+        if (!object.ok()) return Error(object.status().message());
+        graph_->Insert(subject.value(), predicate, object.value());
+        RL_RETURN_IF_ERROR(Advance());
+        if (tok_.kind == TokKind::kComma) {
+          RL_RETURN_IF_ERROR(Advance());
+          continue;
+        }
+        break;
+      }
+      if (tok_.kind == TokKind::kSemicolon) {
+        RL_RETURN_IF_ERROR(Advance());
+        // Allow trailing ';' before '.'
+        if (tok_.kind == TokKind::kDot) break;
+        continue;
+      }
+      break;
+    }
+    return ExpectDot();
+  }
+
+  Lexer lexer_;
+  Graph* graph_;
+  Token tok_;
+  std::unordered_map<std::string, std::string> prefixes_;
+  std::string base_;
+};
+
+}  // namespace
+
+util::Status ParseTurtle(std::string_view content, Graph* graph) {
+  return Parser(content, graph).Run();
+}
+
+util::Status ParseTurtleFile(const std::string& path, Graph* graph) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::NotFoundError("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTurtle(buf.str(), graph);
+}
+
+}  // namespace rulelink::rdf

@@ -1,0 +1,22 @@
+// Turtle-subset parser. Supported syntax: @prefix / PREFIX declarations,
+// @base / BASE, prefixed names, the 'a' keyword, predicate lists (';'),
+// object lists (','), IRIs, blank node labels, and literals with @lang or
+// ^^datatype (IRI or prefixed). Blank node property lists '[...]' and
+// collections '(...)' are not supported and produce a clear error.
+#ifndef RULELINK_RDF_TURTLE_H_
+#define RULELINK_RDF_TURTLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rulelink::rdf {
+
+util::Status ParseTurtle(std::string_view content, Graph* graph);
+util::Status ParseTurtleFile(const std::string& path, Graph* graph);
+
+}  // namespace rulelink::rdf
+
+#endif  // RULELINK_RDF_TURTLE_H_

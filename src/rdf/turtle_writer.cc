@@ -1,0 +1,150 @@
+#include "rdf/turtle_writer.h"
+
+#include <set>
+#include <sstream>
+
+#include "rdf/vocab.h"
+#include "util/string_util.h"
+
+namespace rulelink::rdf {
+namespace {
+
+// A local name is safe for prefixed-name syntax when it is non-empty
+// alphanumeric/underscore/dash (a conservative subset of PN_LOCAL).
+bool SafeLocalName(std::string_view local) {
+  if (local.empty()) return false;
+  for (char c : local) {
+    if (!util::IsAsciiAlnum(c) && c != '_' && c != '-') return false;
+  }
+  return true;
+}
+
+class Writer {
+ public:
+  Writer(const Graph& graph, const TurtleWriterOptions& options)
+      : graph_(graph), options_(options) {
+    prefixes_ = options.prefixes;
+    prefixes_.emplace_back("rdf", vocab::kRdfNs);
+    prefixes_.emplace_back("rdfs", vocab::kRdfsNs);
+    prefixes_.emplace_back("owl", vocab::kOwlNs);
+    prefixes_.emplace_back("xsd", vocab::kXsdNs);
+  }
+
+  std::string Run() {
+    std::ostringstream os;
+    for (const auto& [prefix, ns] : prefixes_) {
+      if (used_prefix_.count(prefix) == 0 && !PrefixUsed(ns)) continue;
+      os << "@prefix " << prefix << ": <" << ns << "> .\n";
+    }
+    os << "\n";
+
+    // Group triples by subject in first-seen order.
+    std::vector<TermId> subjects = graph_.DistinctSubjects();
+    for (TermId subject : subjects) {
+      // predicate -> objects, preserving insertion order.
+      std::vector<std::pair<TermId, std::vector<TermId>>> predicates;
+      graph_.ForEachMatch(
+          TriplePattern{subject, kInvalidTermId, kInvalidTermId},
+          [&](const Triple& t) {
+            for (auto& [predicate, objects] : predicates) {
+              if (predicate == t.predicate) {
+                objects.push_back(t.object);
+                return true;
+              }
+            }
+            predicates.push_back({t.predicate, {t.object}});
+            return true;
+          });
+
+      if (!options_.group) {
+        for (const auto& [predicate, objects] : predicates) {
+          for (TermId object : objects) {
+            os << RenderTerm(subject) << " " << RenderPredicate(predicate)
+               << " " << RenderTerm(object) << " .\n";
+          }
+        }
+        continue;
+      }
+      os << RenderTerm(subject) << " ";
+      for (std::size_t p = 0; p < predicates.size(); ++p) {
+        if (p > 0) os << " ;\n    ";
+        os << RenderPredicate(predicates[p].first) << " ";
+        const auto& objects = predicates[p].second;
+        for (std::size_t o = 0; o < objects.size(); ++o) {
+          if (o > 0) os << " , ";
+          os << RenderTerm(objects[o]);
+        }
+      }
+      os << " .\n";
+    }
+    return os.str();
+  }
+
+ private:
+  bool PrefixUsed(const std::string& ns) const {
+    // Pre-scan: any IRI in the graph starting with ns and compactable.
+    for (const Triple& t : graph_.triples()) {
+      for (TermId id : {t.subject, t.predicate, t.object}) {
+        const Term& term = graph_.dict().term(id);
+        if (term.is_iri() && util::StartsWith(term.lexical(), ns) &&
+            SafeLocalName(
+                std::string_view(term.lexical()).substr(ns.size()))) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  std::string Compact(const std::string& iri) {
+    for (const auto& [prefix, ns] : prefixes_) {
+      if (util::StartsWith(iri, ns) &&
+          SafeLocalName(std::string_view(iri).substr(ns.size()))) {
+        used_prefix_.insert(prefix);
+        return prefix + ":" + iri.substr(ns.size());
+      }
+    }
+    return "<" + iri + ">";
+  }
+
+  std::string RenderPredicate(TermId id) {
+    const Term& term = graph_.dict().term(id);
+    if (term.is_iri() && term.lexical() == vocab::kRdfType) return "a";
+    return RenderTerm(id);
+  }
+
+  std::string RenderTerm(TermId id) {
+    const Term& term = graph_.dict().term(id);
+    switch (term.kind()) {
+      case TermKind::kIri:
+        return Compact(term.lexical());
+      case TermKind::kBlankNode:
+        return "_:" + term.lexical();
+      case TermKind::kLiteral: {
+        std::string out =
+            "\"" + EscapeNTriplesString(term.lexical()) + "\"";
+        if (!term.language().empty()) {
+          out += "@" + term.language();
+        } else if (!term.datatype().empty()) {
+          out += "^^" + Compact(term.datatype());
+        }
+        return out;
+      }
+    }
+    return "";
+  }
+
+  const Graph& graph_;
+  const TurtleWriterOptions& options_;
+  std::vector<std::pair<std::string, std::string>> prefixes_;
+  std::set<std::string> used_prefix_;
+};
+
+}  // namespace
+
+std::string WriteTurtle(const Graph& graph,
+                        const TurtleWriterOptions& options) {
+  return Writer(graph, options).Run();
+}
+
+}  // namespace rulelink::rdf

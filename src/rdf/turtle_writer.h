@@ -1,0 +1,30 @@
+// Turtle serialization with prefix compaction and subject/predicate
+// grouping — the human-readable counterpart of the N-Triples writer,
+// producing output the Turtle-subset parser round-trips.
+#ifndef RULELINK_RDF_TURTLE_WRITER_H_
+#define RULELINK_RDF_TURTLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rulelink::rdf {
+
+struct TurtleWriterOptions {
+  // Prefix declarations to emit and compact with, as (prefix, namespace)
+  // pairs; rdf/rdfs/owl/xsd are always available.
+  std::vector<std::pair<std::string, std::string>> prefixes;
+  // Group consecutive predicates of one subject with ';' and objects of
+  // one predicate with ','.
+  bool group = true;
+};
+
+// Serializes the graph as Turtle, deterministically (subjects in
+// first-seen order, predicates/objects in insertion order).
+std::string WriteTurtle(const Graph& graph,
+                        const TurtleWriterOptions& options = {});
+
+}  // namespace rulelink::rdf
+
+#endif  // RULELINK_RDF_TURTLE_WRITER_H_

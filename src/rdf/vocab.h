@@ -1,0 +1,42 @@
+// Well-known RDF/RDFS/OWL/XSD vocabulary IRIs used throughout the library.
+#ifndef RULELINK_RDF_VOCAB_H_
+#define RULELINK_RDF_VOCAB_H_
+
+namespace rulelink::rdf::vocab {
+
+inline constexpr char kRdfNs[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+inline constexpr char kRdfsNs[] = "http://www.w3.org/2000/01/rdf-schema#";
+inline constexpr char kOwlNs[] = "http://www.w3.org/2002/07/owl#";
+inline constexpr char kXsdNs[] = "http://www.w3.org/2001/XMLSchema#";
+
+inline constexpr char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr char kRdfsSubClassOf[] =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr char kRdfsLabel[] =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+inline constexpr char kRdfsComment[] =
+    "http://www.w3.org/2000/01/rdf-schema#comment";
+inline constexpr char kRdfsDomain[] =
+    "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr char kRdfsRange[] =
+    "http://www.w3.org/2000/01/rdf-schema#range";
+inline constexpr char kOwlClass[] = "http://www.w3.org/2002/07/owl#Class";
+inline constexpr char kOwlThing[] = "http://www.w3.org/2002/07/owl#Thing";
+inline constexpr char kOwlSameAs[] = "http://www.w3.org/2002/07/owl#sameAs";
+inline constexpr char kOwlDisjointWith[] =
+    "http://www.w3.org/2002/07/owl#disjointWith";
+inline constexpr char kOwlDatatypeProperty[] =
+    "http://www.w3.org/2002/07/owl#DatatypeProperty";
+inline constexpr char kOwlObjectProperty[] =
+    "http://www.w3.org/2002/07/owl#ObjectProperty";
+inline constexpr char kXsdString[] =
+    "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr char kXsdInteger[] =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr char kXsdDouble[] =
+    "http://www.w3.org/2001/XMLSchema#double";
+
+}  // namespace rulelink::rdf::vocab
+
+#endif  // RULELINK_RDF_VOCAB_H_

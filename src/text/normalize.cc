@@ -1,0 +1,38 @@
+#include "text/normalize.h"
+
+#include "util/string_util.h"
+
+namespace rulelink::text {
+
+std::string Normalize(std::string_view input,
+                      const NormalizeOptions& options) {
+  std::string_view view = input;
+  if (options.strip_whitespace) {
+    view = util::StripAsciiWhitespace(view);
+  }
+  std::string out;
+  out.reserve(view.size());
+  bool pending_space = false;
+  for (char c : view) {
+    const bool is_space = c == ' ' || c == '\t' || c == '\n' || c == '\r';
+    if (options.collapse_spaces && is_space) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    if (options.lowercase && c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string NormalizeDefault(std::string_view input) {
+  return Normalize(input, NormalizeOptions{});
+}
+
+}  // namespace rulelink::text

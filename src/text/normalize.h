@@ -1,0 +1,27 @@
+// Value normalization applied before segmentation and similarity
+// computation. The paper's pipeline lower-cases nothing explicitly; we make
+// normalization an explicit, configurable step.
+#ifndef RULELINK_TEXT_NORMALIZE_H_
+#define RULELINK_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace rulelink::text {
+
+struct NormalizeOptions {
+  bool lowercase = false;        // ASCII lowercase
+  bool strip_whitespace = true;  // trim leading/trailing whitespace
+  bool collapse_spaces = true;   // runs of internal whitespace -> one ' '
+};
+
+// Applies `options` to `input` and returns the normalized copy.
+std::string Normalize(std::string_view input, const NormalizeOptions& options);
+
+// Default normalization used by the rule learner: trim + collapse, case
+// preserved (part-numbers are case-significant).
+std::string NormalizeDefault(std::string_view input);
+
+}  // namespace rulelink::text
+
+#endif  // RULELINK_TEXT_NORMALIZE_H_

@@ -1,0 +1,144 @@
+#include "text/phonetic.h"
+
+#include "util/string_util.h"
+
+namespace rulelink::text {
+namespace {
+
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'b': case 'f': case 'p': case 'v':
+      return '1';
+    case 'c': case 'g': case 'j': case 'k':
+    case 'q': case 's': case 'x': case 'z':
+      return '2';
+    case 'd': case 't':
+      return '3';
+    case 'l':
+      return '4';
+    case 'm': case 'n':
+      return '5';
+    case 'r':
+      return '6';
+    default:
+      return '0';  // vowels and h/w/y
+  }
+}
+
+char ToLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+char ToUpper(char c) {
+  return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+}
+
+bool IsVowel(char c) {
+  c = ToLower(c);
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view name) {
+  // Keep alphabetic characters only.
+  std::string letters;
+  for (char c : name) {
+    if (util::IsAsciiAlpha(c)) letters.push_back(ToLower(c));
+  }
+  if (letters.empty()) return "";
+
+  std::string code;
+  code.push_back(ToUpper(letters[0]));
+  char previous_digit = SoundexDigit(letters[0]);
+  for (std::size_t i = 1; i < letters.size() && code.size() < 4; ++i) {
+    const char c = letters[i];
+    const char digit = SoundexDigit(c);
+    if (digit != '0' && digit != previous_digit) {
+      code.push_back(digit);
+    }
+    // 'h' and 'w' are transparent: they do not reset the previous digit.
+    if (c != 'h' && c != 'w') previous_digit = digit;
+  }
+  while (code.size() < 4) code.push_back('0');
+  return code;
+}
+
+std::string Nysiis(std::string_view name) {
+  std::string s;
+  for (char c : name) {
+    if (util::IsAsciiAlpha(c)) s.push_back(ToUpper(c));
+  }
+  if (s.empty()) return "";
+
+  // Leading transformations.
+  const auto replace_prefix = [&](std::string_view from,
+                                  std::string_view to) {
+    if (s.rfind(from, 0) == 0) {
+      s = std::string(to) + s.substr(from.size());
+    }
+  };
+  replace_prefix("MAC", "MCC");
+  replace_prefix("KN", "NN");
+  replace_prefix("K", "C");
+  replace_prefix("PH", "FF");
+  replace_prefix("PF", "FF");
+  replace_prefix("SCH", "SSS");
+  // Trailing transformations.
+  const auto replace_suffix = [&](std::string_view from,
+                                  std::string_view to) {
+    if (s.size() >= from.size() &&
+        s.compare(s.size() - from.size(), from.size(), from) == 0) {
+      s = s.substr(0, s.size() - from.size()) + std::string(to);
+    }
+  };
+  replace_suffix("EE", "Y");
+  replace_suffix("IE", "Y");
+  for (const char* suffix : {"DT", "RT", "RD", "NT", "ND"}) {
+    replace_suffix(suffix, "D");
+  }
+
+  std::string key;
+  key.push_back(s[0]);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    char c = s[i];
+    // Body transformations on the current window.
+    if (c == 'E' && i + 1 < s.size() && s[i + 1] == 'V') {
+      s[i + 1] = 'F';
+      c = 'A';
+    } else if (IsVowel(c)) {
+      c = 'A';
+    } else if (c == 'Q') {
+      c = 'G';
+    } else if (c == 'Z') {
+      c = 'S';
+    } else if (c == 'M') {
+      c = 'N';
+    } else if (c == 'K') {
+      c = i + 1 < s.size() && s[i + 1] == 'N' ? 'N' : 'C';
+    } else if (c == 'S' && s.compare(i, 3, "SCH") == 0) {
+      s[i + 1] = 'S';
+      s[i + 2] = 'S';
+    } else if (c == 'P' && i + 1 < s.size() && s[i + 1] == 'H') {
+      s[i + 1] = 'F';
+      c = 'F';
+    } else if (c == 'H' &&
+               (!IsVowel(s[i - 1]) ||
+                (i + 1 < s.size() && !IsVowel(s[i + 1])))) {
+      c = s[i - 1];
+    } else if (c == 'W' && IsVowel(s[i - 1])) {
+      c = s[i - 1];
+    }
+    if (c != key.back()) key.push_back(c);
+    s[i] = c;
+  }
+  // Trailing cleanup: drop S, convert AY -> Y, drop trailing A.
+  if (key.size() > 1 && key.back() == 'S') key.pop_back();
+  if (key.size() >= 2 && key.compare(key.size() - 2, 2, "AY") == 0) {
+    key = key.substr(0, key.size() - 2) + "Y";
+  }
+  if (key.size() > 1 && key.back() == 'A') key.pop_back();
+  if (key.size() > 6) key.resize(6);
+  return key;
+}
+
+}  // namespace rulelink::text

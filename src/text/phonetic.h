@@ -1,0 +1,25 @@
+// Phonetic encodings for name-valued attributes: Soundex (the census
+// classic behind Jaro's original blocking keys) and a refined NYSIIS
+// variant. Phonetic codes serve as blocking keys robust to spelling
+// variation — the record-linkage counterpart of the paper's segment
+// rules for part numbers.
+#ifndef RULELINK_TEXT_PHONETIC_H_
+#define RULELINK_TEXT_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace rulelink::text {
+
+// American Soundex: first letter + 3 digits ("Robert" -> "R163").
+// Non-alphabetic characters are skipped; an empty/non-alpha input yields
+// an empty code.
+std::string Soundex(std::string_view name);
+
+// NYSIIS (New York State Identification and Intelligence System), the
+// common simplified variant; returns an uppercase code of length <= 6.
+std::string Nysiis(std::string_view name);
+
+}  // namespace rulelink::text
+
+#endif  // RULELINK_TEXT_PHONETIC_H_

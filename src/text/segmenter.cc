@@ -1,0 +1,97 @@
+#include "text/segmenter.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rulelink::text {
+
+SeparatorSegmenter::SeparatorSegmenter(std::string separators)
+    : separators_(std::move(separators)) {}
+
+bool SeparatorSegmenter::IsSeparator(char c) const {
+  if (separators_.empty()) return !util::IsAsciiAlnum(c);
+  return separators_.find(c) != std::string::npos;
+}
+
+std::vector<std::string> SeparatorSegmenter::Segment(
+    std::string_view value) const {
+  std::vector<std::string> segments;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= value.size(); ++i) {
+    if (i == value.size() || IsSeparator(value[i])) {
+      if (i > start) segments.emplace_back(value.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return segments;
+}
+
+NGramSegmenter::NGramSegmenter(std::size_t n) : n_(n) {
+  RL_CHECK(n > 0) << "n-gram size must be positive";
+}
+
+std::vector<std::string> NGramSegmenter::Segment(
+    std::string_view value) const {
+  std::vector<std::string> segments;
+  if (value.empty()) return segments;
+  if (value.size() <= n_) {
+    segments.emplace_back(value);
+    return segments;
+  }
+  segments.reserve(value.size() - n_ + 1);
+  for (std::size_t i = 0; i + n_ <= value.size(); ++i) {
+    segments.emplace_back(value.substr(i, n_));
+  }
+  return segments;
+}
+
+std::string NGramSegmenter::name() const {
+  return "ngram(" + std::to_string(n_) + ")";
+}
+
+std::vector<std::string> AlphaDigitSegmenter::Segment(
+    std::string_view value) const {
+  const SeparatorSegmenter outer;
+  std::vector<std::string> segments;
+  for (const std::string& token : outer.Segment(value)) {
+    std::size_t start = 0;
+    for (std::size_t i = 1; i <= token.size(); ++i) {
+      const bool boundary =
+          i == token.size() ||
+          util::IsAsciiDigit(token[i]) != util::IsAsciiDigit(token[i - 1]);
+      if (boundary) {
+        segments.push_back(token.substr(start, i - start));
+        start = i;
+      }
+    }
+  }
+  return segments;
+}
+
+PrefixEnrichedSegmenter::PrefixEnrichedSegmenter(
+    std::unique_ptr<Segmenter> base, std::size_t min_prefix)
+    : base_(std::move(base)), min_prefix_(min_prefix) {
+  RL_CHECK(base_ != nullptr);
+  RL_CHECK(min_prefix_ > 0);
+}
+
+std::vector<std::string> PrefixEnrichedSegmenter::Segment(
+    std::string_view value) const {
+  std::vector<std::string> segments = base_->Segment(value);
+  const std::size_t original = segments.size();
+  for (std::size_t i = 0; i < original; ++i) {
+    // Copy: push_back below may reallocate and invalidate references into
+    // the vector.
+    const std::string seg = segments[i];
+    for (std::size_t len = min_prefix_; len < seg.size(); ++len) {
+      segments.push_back(seg.substr(0, len));
+    }
+  }
+  return segments;
+}
+
+std::string PrefixEnrichedSegmenter::name() const {
+  return base_->name() + "+prefix(" + std::to_string(min_prefix_) + ")";
+}
+
+}  // namespace rulelink::text

@@ -1,0 +1,91 @@
+// Value segmentation: how a property value is split into the segments `a`
+// that appear in classification rules p(X,Y) ∧ subsegment(Y,a) ⇒ c(X).
+// The paper lets a domain expert choose the scheme — separation characters
+// or n-grams — so the scheme is an interface with several implementations.
+#ifndef RULELINK_TEXT_SEGMENTER_H_
+#define RULELINK_TEXT_SEGMENTER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rulelink::text {
+
+class Segmenter {
+ public:
+  virtual ~Segmenter() = default;
+
+  // Splits `value` into segments. May return duplicates if a segment occurs
+  // several times in the value; callers that need per-item distinct
+  // semantics (the learner's support counting) deduplicate themselves.
+  virtual std::vector<std::string> Segment(std::string_view value) const = 0;
+
+  // Human-readable scheme name for reports ("separator", "ngram(3)", ...).
+  virtual std::string name() const = 0;
+};
+
+// Splits on every character outside [A-Za-z0-9] — the scheme the paper's
+// expert chose for part-numbers ("space, '-', '.', ...."). An explicit
+// separator set may be supplied instead.
+class SeparatorSegmenter : public Segmenter {
+ public:
+  // Default: any non-alphanumeric character separates.
+  SeparatorSegmenter() = default;
+  // Explicit separator set, e.g. ":-; ".
+  explicit SeparatorSegmenter(std::string separators);
+
+  std::vector<std::string> Segment(std::string_view value) const override;
+  std::string name() const override { return "separator"; }
+
+ private:
+  bool IsSeparator(char c) const;
+
+  std::string separators_;  // empty => any non-alphanumeric
+};
+
+// Character n-grams of fixed size n (the paper's alternative scheme).
+// Values shorter than n produce the whole value as a single segment.
+class NGramSegmenter : public Segmenter {
+ public:
+  explicit NGramSegmenter(std::size_t n);
+
+  std::vector<std::string> Segment(std::string_view value) const override;
+  std::string name() const override;
+
+  std::size_t n() const { return n_; }
+
+ private:
+  std::size_t n_;
+};
+
+// Separator split followed by alpha/digit boundary split: "CRCW0805" ->
+// {"CRCW", "0805"}, "63V" -> {"63", "V"}. Used as an ablation: it trades
+// segment specificity for recall.
+class AlphaDigitSegmenter : public Segmenter {
+ public:
+  AlphaDigitSegmenter() = default;
+
+  std::vector<std::string> Segment(std::string_view value) const override;
+  std::string name() const override { return "alpha-digit"; }
+};
+
+// Composite: applies a primary segmenter and additionally emits every
+// prefix of each segment no shorter than `min_prefix` (classic blocking
+// key family). Used for ablations.
+class PrefixEnrichedSegmenter : public Segmenter {
+ public:
+  PrefixEnrichedSegmenter(std::unique_ptr<Segmenter> base,
+                          std::size_t min_prefix);
+
+  std::vector<std::string> Segment(std::string_view value) const override;
+  std::string name() const override;
+
+ private:
+  std::unique_ptr<Segmenter> base_;
+  std::size_t min_prefix_;
+};
+
+}  // namespace rulelink::text
+
+#endif  // RULELINK_TEXT_SEGMENTER_H_

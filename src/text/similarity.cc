@@ -1,0 +1,247 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rulelink::text {
+
+std::size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  // Single-row dynamic program over the shorter string.
+  std::vector<std::size_t> row(a.size() + 1);
+  for (std::size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (std::size_t j = 1; j <= b.size(); ++j) {
+    std::size_t prev_diag = row[0];
+    row[0] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      const std::size_t insert_or_delete = std::min(row[i], row[i - 1]) + 1;
+      const std::size_t substitute =
+          prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[i];
+      row[i] = std::min(insert_or_delete, substitute);
+    }
+  }
+  return row[a.size()];
+}
+
+std::size_t DamerauLevenshteinDistance(std::string_view a,
+                                       std::string_view b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::vector<std::size_t>> d(n + 1,
+                                          std::vector<std::size_t>(m + 1));
+  for (std::size_t i = 0; i <= n; ++i) d[i][0] = i;
+  for (std::size_t j = 0; j <= m; ++j) d[0][j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1,
+                          d[i - 1][j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        d[i][j] = std::min(d[i][j], d[i - 2][j - 2] + 1);
+      }
+    }
+  }
+  return d[n][m];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const std::size_t match_window =
+      std::max<std::size_t>(1, std::max(a.size(), b.size()) / 2) - 1;
+
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::size_t lo = i > match_window ? i - match_window : 0;
+    const std::size_t hi = std::min(b.size(), i + match_window + 1);
+    for (std::size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  std::size_t transpositions = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  const double jaro = JaroSimilarity(a, b);
+  std::size_t prefix = 0;
+  const std::size_t max_prefix = std::min<std::size_t>(
+      4, std::min(a.size(), b.size()));
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+double JaccardTokenSimilarity(std::string_view a, std::string_view b) {
+  const auto ta = util::SplitAny(a, " \t\n\r");
+  const auto tb = util::SplitAny(b, " \t\n\r");
+  if (ta.empty() && tb.empty()) return 1.0;
+  std::unordered_map<std::string, int> seen;
+  for (const auto& t : ta) seen[std::string(t)] |= 1;
+  for (const auto& t : tb) seen[std::string(t)] |= 2;
+  std::size_t inter = 0;
+  for (const auto& [token, mask] : seen) {
+    if (mask == 3) ++inter;
+  }
+  return static_cast<double>(inter) / static_cast<double>(seen.size());
+}
+
+std::vector<std::string> CharacterBigrams(std::string_view s) {
+  std::vector<std::string> grams;
+  if (s.size() < 2) {
+    if (!s.empty()) grams.emplace_back(s);
+    return grams;
+  }
+  grams.reserve(s.size() - 1);
+  for (std::size_t i = 0; i + 2 <= s.size(); ++i) {
+    grams.emplace_back(s.substr(i, 2));
+  }
+  return grams;
+}
+
+double DiceBigramSimilarity(std::string_view a, std::string_view b) {
+  const auto ga = CharacterBigrams(a);
+  const auto gb = CharacterBigrams(b);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  std::unordered_map<std::string, std::size_t> counts;
+  for (const auto& g : ga) ++counts[g];
+  std::size_t overlap = 0;
+  for (const auto& g : gb) {
+    auto it = counts.find(g);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++overlap;
+    }
+  }
+  return 2.0 * static_cast<double>(overlap) /
+         static_cast<double>(ga.size() + gb.size());
+}
+
+double NGramOverlapSimilarity(std::string_view a, std::string_view b,
+                              std::size_t n) {
+  RL_CHECK(n > 0);
+  const auto grams = [n](std::string_view s) {
+    std::vector<std::string> out;
+    if (s.size() < n) {
+      if (!s.empty()) out.emplace_back(s);
+      return out;
+    }
+    for (std::size_t i = 0; i + n <= s.size(); ++i) {
+      out.emplace_back(s.substr(i, n));
+    }
+    return out;
+  };
+  const auto ga = grams(a);
+  const auto gb = grams(b);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  std::unordered_map<std::string, std::size_t> counts;
+  for (const auto& g : ga) ++counts[g];
+  std::size_t overlap = 0;
+  for (const auto& g : gb) {
+    auto it = counts.find(g);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      ++overlap;
+    }
+  }
+  return static_cast<double>(overlap) /
+         static_cast<double>(std::min(ga.size(), gb.size()));
+}
+
+double MongeElkanSimilarity(std::string_view a, std::string_view b) {
+  const auto ta = util::SplitAny(a, " \t\n\r");
+  const auto tb = util::SplitAny(b, " \t\n\r");
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& x : ta) {
+    double best = 0.0;
+    for (const auto& y : tb) {
+      best = std::max(best, JaroWinklerSimilarity(x, y));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(ta.size());
+}
+
+void TfIdfCosine::AddDocument(const std::vector<std::string>& tokens) {
+  RL_CHECK(!finalized_) << "AddDocument after Finalize";
+  ++num_documents_;
+  std::unordered_map<std::string, bool> seen;
+  for (const auto& t : tokens) {
+    if (!seen.emplace(t, true).second) continue;
+    ++document_frequency_[t];
+  }
+}
+
+void TfIdfCosine::Finalize() { finalized_ = true; }
+
+double TfIdfCosine::Idf(const std::string& token) const {
+  auto it = document_frequency_.find(token);
+  const double df = it == document_frequency_.end()
+                        ? 0.0
+                        : static_cast<double>(it->second);
+  // Smoothed IDF; unseen tokens get the maximum weight.
+  return std::log((1.0 + static_cast<double>(num_documents_)) / (1.0 + df)) +
+         1.0;
+}
+
+double TfIdfCosine::Similarity(const std::vector<std::string>& a,
+                               const std::vector<std::string>& b) const {
+  RL_CHECK(finalized_) << "Similarity before Finalize";
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const auto vectorize = [this](const std::vector<std::string>& tokens) {
+    std::unordered_map<std::string, double> v;
+    for (const auto& t : tokens) v[t] += 1.0;
+    double norm = 0.0;
+    for (auto& [token, tf] : v) {
+      tf *= Idf(token);
+      norm += tf * tf;
+    }
+    return std::make_pair(std::move(v), std::sqrt(norm));
+  };
+  const auto [va, na] = vectorize(a);
+  const auto [vb, nb] = vectorize(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double dot = 0.0;
+  for (const auto& [token, wa] : va) {
+    auto it = vb.find(token);
+    if (it != vb.end()) dot += wa * it->second;
+  }
+  return dot / (na * nb);
+}
+
+}  // namespace rulelink::text

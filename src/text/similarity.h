@@ -1,0 +1,78 @@
+// String similarity measures used by the linker and the blocking baselines.
+// All functions return a similarity in [0, 1] (1 = identical) unless the
+// name says "Distance".
+#ifndef RULELINK_TEXT_SIMILARITY_H_
+#define RULELINK_TEXT_SIMILARITY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rulelink::text {
+
+// Levenshtein edit distance (insert/delete/substitute, unit costs).
+std::size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+// Damerau-Levenshtein (adds adjacent transposition), restricted variant.
+std::size_t DamerauLevenshteinDistance(std::string_view a,
+                                       std::string_view b);
+
+// 1 - distance / max(|a|, |b|); 1.0 for two empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+// Jaro similarity as defined by Jaro (1989).
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+// Jaro-Winkler with the standard prefix scale 0.1 and max prefix 4.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+// Jaccard similarity over whitespace tokens.
+double JaccardTokenSimilarity(std::string_view a, std::string_view b);
+
+// Dice coefficient over character bigrams (multiset semantics).
+double DiceBigramSimilarity(std::string_view a, std::string_view b);
+
+// Overlap coefficient over character n-grams.
+double NGramOverlapSimilarity(std::string_view a, std::string_view b,
+                              std::size_t n);
+
+// Monge-Elkan: mean over tokens of `a` of the best Jaro-Winkler match in
+// `b`'s tokens. Asymmetric; callers usually average both directions.
+double MongeElkanSimilarity(std::string_view a, std::string_view b);
+
+// Returns the character bigrams of `s` ("ab","bc",...); a string of length
+// < 2 yields the string itself. Shared by Dice and the bi-gram blocker.
+std::vector<std::string> CharacterBigrams(std::string_view s);
+
+// TF-IDF cosine similarity over a token corpus. Build once over the local
+// source, then score pairs.
+class TfIdfCosine {
+ public:
+  TfIdfCosine() = default;
+
+  // Adds one document (its token multiset) to the corpus statistics.
+  void AddDocument(const std::vector<std::string>& tokens);
+
+  // Finalizes IDF weights; must be called after all AddDocument calls and
+  // before Similarity.
+  void Finalize();
+
+  // Cosine similarity of the TF-IDF vectors of the two token multisets.
+  double Similarity(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) const;
+
+  std::size_t num_documents() const { return num_documents_; }
+
+ private:
+  double Idf(const std::string& token) const;
+
+  std::unordered_map<std::string, std::size_t> document_frequency_;
+  std::size_t num_documents_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace rulelink::text
+
+#endif  // RULELINK_TEXT_SIMILARITY_H_

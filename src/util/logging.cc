@@ -1,0 +1,45 @@
+#include "util/logging.h"
+
+namespace rulelink::util {
+namespace {
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+LogSeverity& MinSeverityRef() {
+  static LogSeverity min_severity = LogSeverity::kWarning;
+  return min_severity;
+}
+
+}  // namespace
+
+LogSeverity MinLogSeverity() { return MinSeverityRef(); }
+void SetMinLogSeverity(LogSeverity severity) { MinSeverityRef() = severity; }
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityName(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace rulelink::util

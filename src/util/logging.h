@@ -1,0 +1,68 @@
+// Minimal logging and check macros. RL_CHECK aborts on violated invariants
+// in all build modes; RL_DCHECK only in debug builds.
+#ifndef RULELINK_UTIL_LOGGING_H_
+#define RULELINK_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rulelink::util {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Returns/sets the minimum severity that is emitted to stderr. Defaults to
+// kWarning so library internals stay quiet in benchmarks.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+// Internal: accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the ostream produced by RL_LOG so RL_CHECK can be used as a
+// statement with optional trailing '<<' message.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace rulelink::util
+
+#define RL_LOG(severity)                                        \
+  ::rulelink::util::LogMessage(                                 \
+      ::rulelink::util::LogSeverity::k##severity, __FILE__, __LINE__) \
+      .stream()
+
+#define RL_CHECK(cond)                                          \
+  (cond) ? (void)0                                              \
+         : ::rulelink::util::LogMessageVoidify() &              \
+               RL_LOG(Fatal) << "Check failed: " #cond " "
+
+#define RL_CHECK_OK(expr)                                        \
+  do {                                                           \
+    const ::rulelink::util::Status rl_check_status__ = (expr);   \
+    RL_CHECK(rl_check_status__.ok()) << rl_check_status__;       \
+  } while (false)
+
+#ifndef NDEBUG
+#define RL_DCHECK(cond) RL_CHECK(cond)
+#else
+#define RL_DCHECK(cond) \
+  while (false) RL_CHECK(cond)
+#endif
+
+#endif  // RULELINK_UTIL_LOGGING_H_

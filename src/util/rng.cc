@@ -1,0 +1,127 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rulelink::util {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformUint64(std::uint64_t bound) {
+  RL_DCHECK(bound > 0);
+  // Rejection sampling: draw until the value falls below the largest
+  // multiple of `bound` representable in 64 bits.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  RL_DCHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(NextUint64());  // full range
+  return lo + static_cast<std::int64_t>(UniformUint64(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = UniformDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  RL_DCHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    RL_DCHECK(w >= 0.0);
+    total += w;
+  }
+  RL_CHECK(total > 0.0) << "WeightedIndex requires a positive weight sum";
+  double x = UniformDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric fallback
+}
+
+std::string Rng::AlnumString(std::size_t length) {
+  static constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[UniformUint64(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  RL_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::Sample(Rng* rng) const {
+  const double x = rng->UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), x);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(std::size_t rank) const {
+  RL_DCHECK(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace rulelink::util

@@ -1,0 +1,141 @@
+// Lightweight error-handling primitives (no exceptions), modeled on
+// absl::Status / absl::StatusOr. Library code returns Status for fallible
+// operations and Result<T> when a value is produced.
+#ifndef RULELINK_UTIL_STATUS_H_
+#define RULELINK_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace rulelink::util {
+
+// Canonical error space, a compact subset of the gRPC/absl codes that the
+// library actually needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kDataLoss = 8,
+};
+
+// Returns the canonical spelling of `code`, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeToString(StatusCode code);
+
+// A Status is either OK or carries an error code plus a human-readable
+// message. Copyable and cheap for the OK case.
+class Status {
+ public:
+  // OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Factory helpers, mirroring absl naming.
+inline Status OkStatus() { return Status(); }
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status DataLossError(std::string message);
+
+// Result<T> is a value-or-error union. Access to the value when holding an
+// error aborts in debug builds (assert), so callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = InternalError("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when holding an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace rulelink::util
+
+// Propagates a non-OK status out of the enclosing function.
+#define RL_RETURN_IF_ERROR(expr)                    \
+  do {                                              \
+    ::rulelink::util::Status rl_status__ = (expr);  \
+    if (!rl_status__.ok()) return rl_status__;      \
+  } while (false)
+
+// Evaluates a Result<T> expression, propagating the error or binding the
+// value: RL_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define RL_ASSIGN_OR_RETURN(lhs, expr)              \
+  RL_ASSIGN_OR_RETURN_IMPL_(                        \
+      RL_STATUS_CONCAT_(rl_result__, __LINE__), lhs, expr)
+
+#define RL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)   \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define RL_STATUS_CONCAT_(a, b) RL_STATUS_CONCAT_IMPL_(a, b)
+#define RL_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // RULELINK_UTIL_STATUS_H_

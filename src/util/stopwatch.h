@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for coarse timing in examples and the eval harness
+// (micro-benchmarks use google-benchmark instead).
+#ifndef RULELINK_UTIL_STOPWATCH_H_
+#define RULELINK_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace rulelink::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rulelink::util
+
+#endif  // RULELINK_UTIL_STOPWATCH_H_

@@ -1,0 +1,104 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace rulelink::util {
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void AppendPadded(std::string* out, const std::string& s, std::size_t width) {
+  out->append(s);
+  for (std::size_t i = s.size(); i < width; ++i) out->push_back(' ');
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::vector<std::size_t> TextTable::ColumnWidths() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string TextTable::ToText() const {
+  const auto widths = ColumnWidths();
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    AppendPadded(&out, header_[c], widths[c]);
+    if (c + 1 < header_.size()) out.append("  ");
+  }
+  out.push_back('\n');
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      AppendPadded(&out, row[c], widths[c]);
+      if (c + 1 < row.size()) out.append("  ");
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string TextTable::ToMarkdown() const {
+  std::string out = "|";
+  for (const auto& h : header_) out += " " + h + " |";
+  out += "\n|";
+  for (std::size_t c = 0; c < header_.size(); ++c) out += "---|";
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    out += "|";
+    for (const auto& field : row) out += " " + field + " |";
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) out.push_back(',');
+    out += CsvEscape(header_[c]);
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out.push_back(',');
+      out += CsvEscape(row[c]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace rulelink::util

@@ -1,0 +1,37 @@
+// Small text-table builder used by the evaluation harness and benchmarks to
+// print paper-style tables (plain aligned text, Markdown, or CSV).
+#ifndef RULELINK_UTIL_TABLE_H_
+#define RULELINK_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace rulelink::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends one row; the row is padded or truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  // Aligned plain-text rendering with a header separator.
+  std::string ToText() const;
+  // GitHub-flavored Markdown.
+  std::string ToMarkdown() const;
+  // RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::size_t> ColumnWidths() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rulelink::util
+
+#endif  // RULELINK_UTIL_TABLE_H_

@@ -1,0 +1,26 @@
+#include "util/union_find.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rulelink::util {
+
+std::vector<std::vector<std::size_t>> UnionFind::Groups(
+    std::size_t min_size) {
+  std::map<std::size_t, std::vector<std::size_t>> by_root;
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    by_root[Find(i)].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> groups;
+  for (auto& [root, members] : by_root) {
+    if (members.size() >= min_size) {
+      std::sort(members.begin(), members.end());
+      groups.push_back(std::move(members));
+    }
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return groups;
+}
+
+}  // namespace rulelink::util

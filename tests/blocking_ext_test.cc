@@ -1,0 +1,166 @@
+// Tests for the extended blocking family: adaptive sorted neighbourhood,
+// suffix blocking, and key discovery.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "blocking/adaptive_sn.h"
+#include "blocking/key_discovery.h"
+#include "blocking/suffix_blocking.h"
+
+namespace rulelink::blocking {
+namespace {
+
+core::Item MakeItem(const std::string& iri, const std::string& pn) {
+  core::Item item;
+  item.iri = iri;
+  item.facts.push_back(core::PropertyValue{"pn", pn});
+  return item;
+}
+
+TEST(AdaptiveSnTest, SimilarNeighboursShareABlock) {
+  const std::vector<core::Item> external = {MakeItem("e0", "crcw0805a")};
+  const std::vector<core::Item> local = {
+      MakeItem("l0", "crcw0805b"),   // adjacent and similar
+      MakeItem("l1", "zzz999")};     // sorted far away
+  const AdaptiveSortedNeighbourhoodBlocker blocker("pn", 0.85);
+  const auto pairs = blocker.Generate(external, local);
+  const std::set<CandidatePair> got(pairs.begin(), pairs.end());
+  EXPECT_TRUE(got.count(CandidatePair{0, 0}));
+  EXPECT_FALSE(got.count(CandidatePair{0, 1}));
+}
+
+TEST(AdaptiveSnTest, DissimilarBoundaryCutsTheBlock) {
+  // Three keys sorted as: aaa1(e) aaa2(l) qqq9(l). JW(aaa1, aaa2) = 0.883
+  // keeps the first two together at boundary 0.85; JW(aaa2, qqq9) = 0
+  // cuts before the third.
+  const std::vector<core::Item> external = {MakeItem("e0", "aaa1")};
+  const std::vector<core::Item> local = {MakeItem("l0", "aaa2"),
+                                         MakeItem("l1", "qqq9")};
+  const auto pairs = AdaptiveSortedNeighbourhoodBlocker("pn", 0.85)
+                         .Generate(external, local);
+  const std::set<CandidatePair> got(pairs.begin(), pairs.end());
+  EXPECT_TRUE(got.count(CandidatePair{0, 0}));
+  EXPECT_FALSE(got.count(CandidatePair{0, 1}));
+}
+
+TEST(AdaptiveSnTest, IndependentBlocksPairIndependently) {
+  // Sorted keys: aab(e) abb(l) mma(e) mmb(l) — two similarity islands.
+  const std::vector<core::Item> external = {MakeItem("e0", "aab"),
+                                            MakeItem("e1", "mma")};
+  const std::vector<core::Item> local = {MakeItem("l0", "abb"),
+                                         MakeItem("l1", "mmb")};
+  const auto pairs = AdaptiveSortedNeighbourhoodBlocker("pn", 0.5)
+                         .Generate(external, local);
+  const std::set<CandidatePair> got(pairs.begin(), pairs.end());
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_TRUE(got.count(CandidatePair{0, 0}));
+  EXPECT_TRUE(got.count(CandidatePair{1, 1}));
+}
+
+TEST(AdaptiveSnTest, MaxBlockCapsDegenerateRuns) {
+  std::vector<core::Item> external, local;
+  for (int i = 0; i < 30; ++i) {
+    external.push_back(MakeItem("e" + std::to_string(i), "same"));
+    local.push_back(MakeItem("l" + std::to_string(i), "same"));
+  }
+  const auto capped = AdaptiveSortedNeighbourhoodBlocker("pn", 0.5, 10)
+                          .Generate(external, local);
+  const auto uncapped = AdaptiveSortedNeighbourhoodBlocker("pn", 0.5, 1000)
+                            .Generate(external, local);
+  EXPECT_LT(capped.size(), uncapped.size());
+  EXPECT_EQ(uncapped.size(), 900u);  // full 30x30
+}
+
+TEST(SuffixBlockerTest, SharedSuffixPairs) {
+  // Provider glues a manufacturer prefix in front of the catalog's core
+  // part number: prefix blocking fails, suffix blocking succeeds.
+  const std::vector<core::Item> external = {
+      MakeItem("e0", "VOLTRON-CRCW0805")};
+  const std::vector<core::Item> local = {MakeItem("l0", "CRCW0805"),
+                                         MakeItem("l1", "T83106")};
+  const SuffixBlocker blocker("pn", 6);
+  const auto pairs = blocker.Generate(external, local);
+  const std::set<CandidatePair> got(pairs.begin(), pairs.end());
+  EXPECT_TRUE(got.count(CandidatePair{0, 0}));
+  EXPECT_FALSE(got.count(CandidatePair{0, 1}));
+}
+
+TEST(SuffixBlockerTest, ShortKeysProduceNothing) {
+  const SuffixBlocker blocker("pn", 6);
+  EXPECT_TRUE(blocker
+                  .Generate({MakeItem("e0", "abc")},
+                            {MakeItem("l0", "abc")})
+                  .empty());
+}
+
+TEST(SuffixBlockerTest, CommonSuffixesAreDropped) {
+  // Every key ends in "-rohs" (> max_block records share the suffix), so
+  // that suffix must not explode the candidate set.
+  std::vector<core::Item> external, local;
+  for (int i = 0; i < 10; ++i) {
+    external.push_back(
+        MakeItem("e" + std::to_string(i),
+                 "AAA" + std::to_string(i * 1000 + 111) + "-rohs"));
+    local.push_back(
+        MakeItem("l" + std::to_string(i),
+                 "BBB" + std::to_string(i * 1000 + 222) + "-rohs"));
+  }
+  const SuffixBlocker blocker("pn", 5, /*max_block_size=*/6);
+  const auto pairs = blocker.Generate(external, local);
+  // "-rohs" is ubiquitous and dropped; distinct serial cores don't match.
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(SuffixBlockerTest, IdenticalKeysPair) {
+  const SuffixBlocker blocker("pn", 4);
+  const auto pairs = blocker.Generate({MakeItem("e0", "abcdef")},
+                                      {MakeItem("l0", "abcdef")});
+  ASSERT_EQ(pairs.size(), 1u);
+}
+
+TEST(KeyDiscoveryTest, RanksUniqueCoveringPropertyFirst) {
+  std::vector<core::Item> items;
+  for (int i = 0; i < 20; ++i) {
+    core::Item item;
+    item.iri = "i" + std::to_string(i);
+    item.facts.push_back({"pn", "PN" + std::to_string(i)});  // unique
+    item.facts.push_back({"mfr", i % 2 ? "Volt" : "Tek"});   // 2 values
+    if (i < 10) item.facts.push_back({"note", "N" + std::to_string(i)});
+    items.push_back(std::move(item));
+  }
+  const auto ranked = DiscoverKeys(items);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].property, "pn");
+  EXPECT_DOUBLE_EQ(ranked[0].uniqueness, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[0].coverage, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[0].score, 1.0);
+  // "note" is unique but only half-covering; "mfr" covers but repeats.
+  EXPECT_EQ(ranked[1].property, "note");
+  EXPECT_DOUBLE_EQ(ranked[1].score, 0.5);
+  EXPECT_EQ(ranked[2].property, "mfr");
+  EXPECT_DOUBLE_EQ(ranked[2].uniqueness, 0.1);
+  EXPECT_EQ(BestKeyProperty(items), "pn");
+}
+
+TEST(KeyDiscoveryTest, MultiValuedPropertiesCountItemsOnce) {
+  std::vector<core::Item> items;
+  core::Item item;
+  item.iri = "i";
+  item.facts.push_back({"alias", "a"});
+  item.facts.push_back({"alias", "b"});
+  items.push_back(item);
+  const auto ranked = DiscoverKeys(items);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].items_with_value, 1u);
+  EXPECT_EQ(ranked[0].distinct_values, 2u);
+  EXPECT_DOUBLE_EQ(ranked[0].uniqueness, 2.0);  // >1 flags multi-valued
+}
+
+TEST(KeyDiscoveryTest, EmptyInput) {
+  EXPECT_TRUE(DiscoverKeys({}).empty());
+  EXPECT_TRUE(BestKeyProperty({}).empty());
+}
+
+}  // namespace
+}  // namespace rulelink::blocking

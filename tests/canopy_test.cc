@@ -1,0 +1,89 @@
+#include "blocking/canopy.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rulelink::blocking {
+namespace {
+
+core::Item MakeItem(const std::string& iri, const std::string& pn) {
+  core::Item item;
+  item.iri = iri;
+  item.facts.push_back(core::PropertyValue{"pn", pn});
+  return item;
+}
+
+TEST(CanopyTest, IdenticalValuesAlwaysPair) {
+  const CanopyBlocker blocker("pn", 0.3, 0.8);
+  const auto pairs = blocker.Generate({MakeItem("e0", "CRCW0805-10K")},
+                                      {MakeItem("l0", "CRCW0805-10K")});
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (CandidatePair{0, 0}));
+}
+
+TEST(CanopyTest, SimilarValuesSameCanopy) {
+  const std::vector<core::Item> external = {MakeItem("e0", "CRCW0805-10K")};
+  const std::vector<core::Item> local = {
+      MakeItem("l0", "CRCW0805-22K"),      // shares most bigrams
+      MakeItem("l1", "zzz-qqq-www-xyz")};  // shares none
+  const CanopyBlocker blocker("pn", 0.3, 0.9);
+  const auto pairs = blocker.Generate(external, local);
+  const std::set<CandidatePair> got(pairs.begin(), pairs.end());
+  EXPECT_TRUE(got.count(CandidatePair{0, 0}));
+  EXPECT_FALSE(got.count(CandidatePair{0, 1}));
+}
+
+TEST(CanopyTest, DeterministicAcrossRuns) {
+  std::vector<core::Item> external, local;
+  for (int i = 0; i < 30; ++i) {
+    external.push_back(
+        MakeItem("e" + std::to_string(i), "KEY" + std::to_string(i * 7)));
+    local.push_back(
+        MakeItem("l" + std::to_string(i), "KEY" + std::to_string(i * 7)));
+  }
+  const CanopyBlocker blocker("pn", 0.4, 0.8, 99);
+  const auto a = blocker.Generate(external, local);
+  const auto b = blocker.Generate(external, local);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CanopyTest, LooseThresholdWidensCanopies) {
+  std::vector<core::Item> external, local;
+  for (int i = 0; i < 20; ++i) {
+    external.push_back(
+        MakeItem("e" + std::to_string(i), "SER" + std::to_string(i) + "A"));
+    local.push_back(
+        MakeItem("l" + std::to_string(i), "SER" + std::to_string(i) + "B"));
+  }
+  const auto tight = CanopyBlocker("pn", 0.8, 0.9).Generate(external, local);
+  const auto loose = CanopyBlocker("pn", 0.2, 0.9).Generate(external, local);
+  EXPECT_LE(tight.size(), loose.size());
+}
+
+TEST(CanopyTest, EmptyKeysAreSkipped) {
+  const CanopyBlocker blocker("pn", 0.3, 0.8);
+  std::vector<core::Item> external = {MakeItem("e0", "")};
+  std::vector<core::Item> local = {MakeItem("l0", "x")};
+  EXPECT_TRUE(blocker.Generate(external, local).empty());
+}
+
+TEST(CanopyTest, EveryRecordEventuallyRetired) {
+  // Termination check on a pathological pool where nothing is similar:
+  // each record must become its own canopy and the loop must end.
+  std::vector<core::Item> external, local;
+  const char* keys[] = {"aaaa", "bbbb", "cccc", "dddd", "eeee"};
+  for (int i = 0; i < 5; ++i) {
+    external.push_back(MakeItem("e" + std::to_string(i), keys[i]));
+  }
+  for (int i = 0; i < 5; ++i) {
+    local.push_back(MakeItem("l" + std::to_string(i),
+                             std::string(keys[i]) + "zz"));
+  }
+  const CanopyBlocker blocker("pn", 0.99, 0.99);
+  const auto pairs = blocker.Generate(external, local);
+  EXPECT_TRUE(pairs.empty());
+}
+
+}  // namespace
+}  // namespace rulelink::blocking

@@ -1,0 +1,178 @@
+#include "core/conjunctive.h"
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "text/segmenter.h"
+#include "util/logging.h"
+
+namespace rulelink::core {
+namespace {
+
+// Corpus where single segments are ambiguous but pairs are decisive:
+//   class A: pn contains X and mfr contains M1  (4 examples)
+//   class B: pn contains X and mfr contains M2  (4 examples)
+//   class C: pn contains Z                      (4 examples)
+// "X" alone is 50/50 between A and B; X ∧ M1 ⇒ A with confidence 1.
+// M1/M2 alone are also diluted: two C examples carry M1, two carry M2.
+class ConjunctiveTest : public ::testing::Test {
+ protected:
+  ConjunctiveTest() {
+    a_ = onto_.AddClass("ex:A", "A");
+    b_ = onto_.AddClass("ex:B", "B");
+    c_ = onto_.AddClass("ex:C", "C");
+    RL_CHECK_OK(onto_.Finalize());
+    ts_ = std::make_unique<TrainingSet>(onto_);
+    for (int i = 0; i < 4; ++i) Add("X-S" + std::to_string(i), "M1", a_);
+    for (int i = 0; i < 4; ++i) Add("X-T" + std::to_string(i), "M2", b_);
+    Add("Z-U0", "M1", c_);
+    Add("Z-U1", "M1", c_);
+    Add("Z-U2", "M2", c_);
+    Add("Z-U3", "M2", c_);
+  }
+
+  void Add(const std::string& pn, const std::string& mfr,
+           ontology::ClassId cls) {
+    Item item;
+    item.iri = "ext:" + std::to_string(ts_->size());
+    item.facts.push_back(PropertyValue{"pn", pn});
+    item.facts.push_back(PropertyValue{"mfr", mfr});
+    ts_->AddExample(item, "local:" + std::to_string(ts_->size()), {cls});
+  }
+
+  ConjunctiveLearnerOptions Options(double gain = 0.05) {
+    ConjunctiveLearnerOptions options;
+    options.support_threshold = 0.1;
+    options.min_confidence_gain = gain;
+    options.segmenter = &segmenter_;
+    return options;
+  }
+
+  const ConjunctiveRule* Find(const ConjunctiveRuleSet& rules,
+                              std::vector<std::string> segments,
+                              ontology::ClassId cls) {
+    std::sort(segments.begin(), segments.end());
+    for (const auto& rule : rules.rules()) {
+      if (rule.cls != cls || rule.premises.size() != segments.size()) {
+        continue;
+      }
+      std::vector<std::string> got;
+      for (const auto& p : rule.premises) got.push_back(p.segment);
+      std::sort(got.begin(), got.end());
+      if (got == segments) return &rule;
+    }
+    return nullptr;
+  }
+
+  ontology::Ontology onto_;
+  ontology::ClassId a_, b_, c_;
+  std::unique_ptr<TrainingSet> ts_;
+  text::SeparatorSegmenter segmenter_;
+};
+
+TEST_F(ConjunctiveTest, PairRuleResolvesAmbiguity) {
+  auto rules = LearnConjunctiveRules(*ts_, Options());
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  const ConjunctiveRule* pair = Find(*rules, {"X", "M1"}, a_);
+  ASSERT_NE(pair, nullptr);
+  EXPECT_DOUBLE_EQ(pair->confidence, 1.0);
+  EXPECT_EQ(pair->counts.premise_count, 4u);
+  EXPECT_EQ(pair->counts.joint_count, 4u);
+
+  // The ambiguous single rule is still there, at confidence 0.5.
+  const ConjunctiveRule* single = Find(*rules, {"X"}, a_);
+  ASSERT_NE(single, nullptr);
+  EXPECT_DOUBLE_EQ(single->confidence, 0.5);
+}
+
+TEST_F(ConjunctiveTest, GainGateSuppressesUselessPairs) {
+  // X ∧ S0 ⇒ A has confidence 1 but support 1/12 < th: never emitted.
+  // Z ∧ M1 ⇒ C (confidence 0.5... actually 2/2 = 1.0) — Z alone already
+  // gives C with confidence 1, so the pair adds no gain and is dropped.
+  auto rules = LearnConjunctiveRules(*ts_, Options());
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(Find(*rules, {"Z", "M1"}, c_), nullptr);
+  EXPECT_NE(Find(*rules, {"Z"}, c_), nullptr);
+}
+
+TEST_F(ConjunctiveTest, ClassifierPrefersDecisivePair) {
+  auto rules = LearnConjunctiveRules(*ts_, Options());
+  ASSERT_TRUE(rules.ok());
+  Item item;
+  item.iri = "ext:new";
+  item.facts.push_back(PropertyValue{"pn", "X-999"});
+  item.facts.push_back(PropertyValue{"mfr", "M1"});
+  const auto predictions = rules->Classify(item, segmenter_);
+  ASSERT_FALSE(predictions.empty());
+  EXPECT_EQ(predictions.front().cls, a_);
+  EXPECT_DOUBLE_EQ(predictions.front().confidence, 1.0);
+  // The fired rule is the 2-premise one.
+  EXPECT_EQ(rules->rules()[predictions.front().rule_index].premises.size(),
+            2u);
+}
+
+TEST_F(ConjunctiveTest, ClassifierWithOnlyOnePremiseHeldFallsBack) {
+  auto rules = LearnConjunctiveRules(*ts_, Options());
+  ASSERT_TRUE(rules.ok());
+  Item item;
+  item.iri = "ext:new";
+  item.facts.push_back(PropertyValue{"pn", "X-1000"});  // no mfr fact
+  const auto predictions = rules->Classify(item, segmenter_);
+  ASSERT_FALSE(predictions.empty());
+  // Only the ambiguous single rules fire: confidence 0.5.
+  EXPECT_DOUBLE_EQ(predictions.front().confidence, 0.5);
+}
+
+TEST_F(ConjunctiveTest, MinConfidenceFilterInClassify) {
+  auto rules = LearnConjunctiveRules(*ts_, Options());
+  ASSERT_TRUE(rules.ok());
+  Item item;
+  item.iri = "ext:new";
+  item.facts.push_back(PropertyValue{"pn", "X-1"});
+  EXPECT_TRUE(rules->Classify(item, segmenter_, 0.9).empty());
+}
+
+TEST_F(ConjunctiveTest, PremiseCountCensus) {
+  auto rules = LearnConjunctiveRules(*ts_, Options());
+  ASSERT_TRUE(rules.ok());
+  EXPECT_GT(rules->CountWithPremises(1), 0u);
+  EXPECT_GT(rules->CountWithPremises(2), 0u);
+  EXPECT_EQ(rules->CountWithPremises(1) + rules->CountWithPremises(2),
+            rules->size());
+}
+
+TEST_F(ConjunctiveTest, HigherGainDropsMorePairs) {
+  auto low = LearnConjunctiveRules(*ts_, Options(0.05));
+  auto high = LearnConjunctiveRules(*ts_, Options(0.95));
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GE(low->CountWithPremises(2), high->CountWithPremises(2));
+}
+
+TEST_F(ConjunctiveTest, RuleToString) {
+  auto rules = LearnConjunctiveRules(*ts_, Options());
+  ASSERT_TRUE(rules.ok());
+  const ConjunctiveRule* pair = Find(*rules, {"X", "M1"}, a_);
+  ASSERT_NE(pair, nullptr);
+  const std::string s =
+      ConjunctiveRuleToString(*pair, rules->properties(), onto_);
+  EXPECT_NE(s.find("subsegment"), std::string::npos);
+  EXPECT_NE(s.find("⇒ A(X)"), std::string::npos);
+  EXPECT_NE(s.find("∧"), std::string::npos);
+}
+
+TEST_F(ConjunctiveTest, Errors) {
+  ConjunctiveLearnerOptions options;  // null segmenter
+  EXPECT_FALSE(LearnConjunctiveRules(*ts_, options).ok());
+  options.segmenter = &segmenter_;
+  options.support_threshold = 0.0;
+  EXPECT_FALSE(LearnConjunctiveRules(*ts_, options).ok());
+  TrainingSet empty(onto_);
+  options.support_threshold = 0.1;
+  EXPECT_FALSE(LearnConjunctiveRules(empty, options).ok());
+}
+
+}  // namespace
+}  // namespace rulelink::core

@@ -1,0 +1,244 @@
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "datagen/dataset.h"
+#include "datagen/generator.h"
+#include "datagen/ontology_gen.h"
+#include "datagen/typo.h"
+#include "rdf/vocab.h"
+#include "text/similarity.h"
+#include "util/rng.h"
+
+namespace rulelink::datagen {
+namespace {
+
+DatasetConfig SmallConfig(std::uint64_t seed = 7) {
+  DatasetConfig config;
+  config.seed = seed;
+  config.num_classes = 60;
+  config.num_leaves = 25;
+  config.catalog_size = 1200;
+  config.num_links = 500;
+  config.num_signal_classes = 6;
+  config.num_other_frequent_classes = 8;
+  config.signal_class_min_links = 30;
+  config.signal_class_max_links = 60;
+  config.frequent_class_min_links = 8;
+  config.frequent_class_max_links = 12;
+  config.tail_class_cap_links = 5;
+  return config;
+}
+
+TEST(OntologyGenTest, ExactClassAndLeafCounts) {
+  util::Rng rng(1);
+  auto result = GenerateOntology(566, 226, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->ontology.num_classes(), 566u);
+  EXPECT_EQ(result->leaves.size(), 226u);
+  EXPECT_EQ(result->ontology.Leaves().size(), 226u);
+}
+
+TEST(OntologyGenTest, SingleRoot) {
+  util::Rng rng(2);
+  auto result = GenerateOntology(100, 40, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ontology.Roots().size(), 1u);
+}
+
+TEST(OntologyGenTest, EveryClassHasFamilyAssignment) {
+  util::Rng rng(3);
+  auto result = GenerateOntology(100, 40, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->family_of.size(), result->ontology.num_classes());
+  for (ontology::ClassId c = 0; c < result->ontology.num_classes(); ++c) {
+    EXPECT_NE(result->family_of[c], ontology::kInvalidClassId);
+  }
+}
+
+TEST(OntologyGenTest, FamiliesHaveUnits) {
+  util::Rng rng(4);
+  auto result = GenerateOntology(100, 40, &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->families.empty());
+  ASSERT_EQ(result->family_units.size(), result->families.size());
+  for (const auto& units : result->family_units) {
+    EXPECT_GE(units.size(), 2u);
+  }
+}
+
+TEST(OntologyGenTest, LabelsAreUnique) {
+  util::Rng rng(5);
+  auto result = GenerateOntology(300, 120, &rng);
+  ASSERT_TRUE(result.ok());
+  std::set<std::string> labels;
+  for (ontology::ClassId c = 0; c < result->ontology.num_classes(); ++c) {
+    EXPECT_TRUE(labels.insert(result->ontology.label(c)).second)
+        << "duplicate label " << result->ontology.label(c);
+  }
+}
+
+TEST(OntologyGenTest, RejectsInfeasibleShapes) {
+  util::Rng rng(6);
+  EXPECT_FALSE(GenerateOntology(10, 10, &rng).ok());   // leaves == classes
+  EXPECT_FALSE(GenerateOntology(10, 1, &rng).ok());    // too few leaves
+  EXPECT_FALSE(GenerateOntology(5, 4, &rng).ok());     // no room for families
+}
+
+TEST(TypoTest, ProducesSmallEdit) {
+  util::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const std::string original = "CRCW0805";
+    const std::string mutated = ApplyTypo(original, &rng);
+    EXPECT_NE(mutated, original);
+    EXPECT_LE(text::DamerauLevenshteinDistance(original, mutated), 2u);
+  }
+}
+
+TEST(TypoTest, HandlesTinyStrings) {
+  util::Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(ApplyTypo("", &rng).empty());
+    const std::string one = ApplyTypo("A", &rng);
+    EXPECT_GE(one.size(), 1u);
+  }
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() {
+    auto result = DatasetGenerator(SmallConfig()).Generate();
+    RL_CHECK(result.ok()) << result.status();
+    dataset_ = std::make_unique<Dataset>(std::move(result).value());
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+};
+
+TEST_F(GeneratorTest, SizesMatchConfig) {
+  EXPECT_EQ(dataset_->catalog_items.size(), 1200u);
+  EXPECT_EQ(dataset_->catalog_classes.size(), 1200u);
+  EXPECT_EQ(dataset_->external_items.size(), 500u);
+  EXPECT_EQ(dataset_->links.size(), 500u);
+  EXPECT_EQ(dataset_->ontology().num_classes(), 60u);
+}
+
+TEST_F(GeneratorTest, AllCatalogClassesAreLeaves) {
+  for (ontology::ClassId c : dataset_->catalog_classes) {
+    EXPECT_TRUE(dataset_->ontology().IsLeaf(c));
+  }
+}
+
+TEST_F(GeneratorTest, LinksReferenceDistinctCatalogItems) {
+  std::unordered_set<std::size_t> seen;
+  for (const GoldLink& link : dataset_->links) {
+    EXPECT_LT(link.catalog_index, dataset_->catalog_items.size());
+    EXPECT_TRUE(seen.insert(link.catalog_index).second)
+        << "catalog item linked twice (UNA violation)";
+  }
+}
+
+TEST_F(GeneratorTest, ExternalItemsHavePartNumberAndManufacturer) {
+  for (const core::Item& item : dataset_->external_items) {
+    EXPECT_FALSE(item.ValuesOf(props::kPartNumber).empty());
+    EXPECT_FALSE(item.ValuesOf(props::kManufacturer).empty());
+  }
+}
+
+TEST_F(GeneratorTest, ManufacturerPreservedAcrossLink) {
+  for (const GoldLink& link : dataset_->links) {
+    const auto ext =
+        dataset_->external_items[link.external_index].ValuesOf(
+            props::kManufacturer);
+    const auto cat =
+        dataset_->catalog_items[link.catalog_index].ValuesOf(
+            props::kManufacturer);
+    ASSERT_FALSE(ext.empty());
+    ASSERT_FALSE(cat.empty());
+    EXPECT_EQ(ext[0], cat[0]);
+  }
+}
+
+TEST_F(GeneratorTest, SignalClassCountMatchesConfig) {
+  // 6 frequent signal classes plus the tail fraction.
+  EXPECT_GE(dataset_->signal_classes.size(), 6u);
+}
+
+TEST_F(GeneratorTest, DeterministicForSameSeed) {
+  auto again = DatasetGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->catalog_items.size(), dataset_->catalog_items.size());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(again->catalog_items[i].facts[0].value,
+              dataset_->catalog_items[i].facts[0].value);
+  }
+  ASSERT_EQ(again->external_items.size(), dataset_->external_items.size());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(again->external_items[i].facts[0].value,
+              dataset_->external_items[i].facts[0].value);
+  }
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDiffer) {
+  auto other = DatasetGenerator(SmallConfig(99)).Generate();
+  ASSERT_TRUE(other.ok());
+  int differing = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    differing += other->catalog_items[i].facts[0].value !=
+                 dataset_->catalog_items[i].facts[0].value;
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST_F(GeneratorTest, ConfigValidation) {
+  DatasetConfig bad = SmallConfig();
+  bad.num_links = bad.catalog_size + 1;
+  EXPECT_FALSE(DatasetGenerator(bad).Generate().ok());
+
+  bad = SmallConfig();
+  bad.pure_fraction = 0.9;
+  bad.high_purity_fraction = 0.9;
+  EXPECT_FALSE(DatasetGenerator(bad).Generate().ok());
+}
+
+TEST_F(GeneratorTest, BuildTrainingSetFlattensLinks) {
+  const core::TrainingSet ts = BuildTrainingSet(*dataset_);
+  EXPECT_EQ(ts.size(), dataset_->links.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const auto& example = ts.examples()[i];
+    ASSERT_EQ(example.classes.size(), 1u);
+    EXPECT_EQ(example.classes[0],
+              dataset_->catalog_classes[dataset_->links[i].catalog_index]);
+    EXPECT_FALSE(example.facts.empty());
+  }
+}
+
+TEST_F(GeneratorTest, RdfProjectionsAreConsistent) {
+  const rdf::Graph local = BuildLocalGraph(*dataset_);
+  const rdf::Graph external = BuildExternalGraph(*dataset_);
+  const rdf::Graph links = BuildLinksGraph(*dataset_);
+
+  EXPECT_GT(local.size(), dataset_->catalog_items.size());
+  EXPECT_GT(external.size(), 0u);
+  EXPECT_EQ(links.CountMatches(rdf::TriplePattern{}),
+            dataset_->links.size());
+
+  // Every catalog item is typed in the local graph.
+  const rdf::TermId type_id =
+      local.dict().FindIri(rdf::vocab::kRdfType);
+  ASSERT_NE(type_id, rdf::kInvalidTermId);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const rdf::TermId subject =
+        local.dict().FindIri(dataset_->catalog_items[i].iri);
+    ASSERT_NE(subject, rdf::kInvalidTermId);
+    EXPECT_NE(local.FirstObject(subject, type_id), rdf::kInvalidTermId);
+  }
+}
+
+}  // namespace
+}  // namespace rulelink::datagen

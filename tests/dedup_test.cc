@@ -1,0 +1,109 @@
+#include "linking/dedup.h"
+
+#include <gtest/gtest.h>
+
+#include "blocking/standard_blocking.h"
+#include "util/union_find.h"
+
+namespace rulelink::linking {
+namespace {
+
+core::Item MakeItem(const std::string& iri, const std::string& pn) {
+  core::Item item;
+  item.iri = iri;
+  item.facts.push_back(core::PropertyValue{"pn", pn});
+  return item;
+}
+
+TEST(UnionFindTest, BasicOperations) {
+  util::UnionFind uf(5);
+  EXPECT_FALSE(uf.Connected(0, 1));
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(0, 1));  // already joined
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_TRUE(uf.Connected(0, 2));  // transitivity
+  EXPECT_EQ(uf.SetSize(0), 3u);
+  EXPECT_EQ(uf.SetSize(3), 1u);
+}
+
+TEST(UnionFindTest, Groups) {
+  util::UnionFind uf(6);
+  uf.Union(0, 2);
+  uf.Union(2, 4);
+  uf.Union(1, 5);
+  const auto all = uf.Groups(1);
+  ASSERT_EQ(all.size(), 3u);  // {0,2,4}, {1,5}, {3}
+  EXPECT_EQ(all[0], (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(all[1], (std::vector<std::size_t>{1, 5}));
+  EXPECT_EQ(all[2], (std::vector<std::size_t>{3}));
+  EXPECT_EQ(uf.Groups(2).size(), 2u);
+  EXPECT_EQ(uf.Groups(3).size(), 1u);
+}
+
+class DedupTest : public ::testing::Test {
+ protected:
+  DedupTest()
+      : blocker_("pn", 4),
+        matcher_({{"pn", "pn", SimilarityMeasure::kJaroWinkler, 1.0}}) {
+    // Items 0 and 2 are near-duplicates; 1 and 3 are unique; 4 duplicates
+    // 0 exactly (a transitive chain 0-2, 0-4).
+    items_ = {MakeItem("d0", "CRCW0805-10K"), MakeItem("d1", "T83-106"),
+              MakeItem("d2", "CRCW0805-10k"), MakeItem("d3", "ZZZ-999"),
+              MakeItem("d4", "CRCW0805-10K")};
+  }
+
+  blocking::StandardBlocker blocker_;
+  ItemMatcher matcher_;
+  std::vector<core::Item> items_;
+};
+
+TEST_F(DedupTest, ClustersNearDuplicates) {
+  const DedupResult result = Deduplicate(items_, blocker_, matcher_, 0.95);
+  ASSERT_EQ(result.duplicate_clusters.size(), 1u);
+  EXPECT_EQ(result.duplicate_clusters[0],
+            (std::vector<std::size_t>{0, 2, 4}));
+}
+
+TEST_F(DedupTest, RepresentativesAndSurvivors) {
+  const DedupResult result = Deduplicate(items_, blocker_, matcher_, 0.95);
+  EXPECT_EQ(result.representative[0], 0u);
+  EXPECT_EQ(result.representative[2], 0u);
+  EXPECT_EQ(result.representative[4], 0u);
+  EXPECT_EQ(result.representative[1], 1u);
+  EXPECT_EQ(result.representative[3], 3u);
+  EXPECT_EQ(result.survivors, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST_F(DedupTest, ThresholdOneKeepsOnlyExactDuplicates) {
+  const DedupResult result = Deduplicate(items_, blocker_, matcher_, 1.0);
+  ASSERT_EQ(result.duplicate_clusters.size(), 1u);
+  // Only the bit-identical pair {0, 4} survives the 1.0 threshold.
+  EXPECT_EQ(result.duplicate_clusters[0],
+            (std::vector<std::size_t>{0, 4}));
+  EXPECT_EQ(result.survivors.size(), 4u);
+}
+
+TEST_F(DedupTest, NoDuplicatesFound) {
+  const std::vector<core::Item> unique = {MakeItem("a", "AAAA-1"),
+                                          MakeItem("b", "BBBB-2")};
+  const DedupResult result = Deduplicate(unique, blocker_, matcher_, 0.9);
+  EXPECT_TRUE(result.duplicate_clusters.empty());
+  EXPECT_EQ(result.survivors.size(), 2u);
+}
+
+TEST_F(DedupTest, SelfPairsIgnored) {
+  const std::vector<core::Item> one = {MakeItem("solo", "CRCW0805")};
+  const DedupResult result = Deduplicate(one, blocker_, matcher_, 0.0);
+  EXPECT_TRUE(result.duplicate_clusters.empty());
+  EXPECT_EQ(result.comparisons, 0u);
+}
+
+TEST_F(DedupTest, ComparisonsBoundedByBlocking) {
+  const DedupResult result = Deduplicate(items_, blocker_, matcher_, 0.95);
+  // Only the "crcw" block produces intra-source pairs: C(3,2) = 3.
+  EXPECT_EQ(result.comparisons, 3u);
+}
+
+}  // namespace
+}  // namespace rulelink::linking

@@ -1,0 +1,168 @@
+#include "linking/fellegi_sunter.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rulelink::linking {
+namespace {
+
+// Synthetic two-attribute corpus with known agreement statistics:
+// matching pairs agree on pn ~always and on mfr often; random pairs agree
+// on pn ~never and on mfr with probability ~1/4 (4 manufacturers).
+class FellegiSunterTest : public ::testing::Test {
+ protected:
+  FellegiSunterTest() {
+    util::Rng rng(5);
+    const char* mfrs[] = {"Voltron", "Tekdyne", "Omnicorp", "Novachip"};
+    for (int i = 0; i < 200; ++i) {
+      const std::string pn = "PN" + std::to_string(i) + "X" +
+                             rng.AlnumString(4);
+      const std::string mfr = mfrs[rng.UniformUint64(4)];
+      core::Item ext;
+      ext.iri = "e" + std::to_string(i);
+      ext.facts.push_back({"pn", pn});
+      // 10% manufacturer disagreement among true matches.
+      ext.facts.push_back(
+          {"mfr", rng.Bernoulli(0.9) ? mfr : mfrs[rng.UniformUint64(4)]});
+      core::Item loc;
+      loc.iri = "l" + std::to_string(i);
+      loc.facts.push_back({"pn", pn});
+      loc.facts.push_back({"mfr", mfr});
+      external_.push_back(std::move(ext));
+      local_.push_back(std::move(loc));
+      gold_.push_back({static_cast<std::size_t>(i),
+                       static_cast<std::size_t>(i)});
+    }
+  }
+
+  FsOptions Options() const {
+    FsOptions options;
+    options.attributes = {
+        {"pn", "pn", SimilarityMeasure::kJaroWinkler, 0.95},
+        {"mfr", "mfr", SimilarityMeasure::kExact, 1.0},
+    };
+    return options;
+  }
+
+  std::vector<core::Item> external_, local_;
+  std::vector<blocking::CandidatePair> gold_;
+};
+
+TEST_F(FellegiSunterTest, SupervisedEstimatesMatchTheGenerator) {
+  auto model = FellegiSunterModel::TrainSupervised(external_, local_,
+                                                   gold_, Options());
+  ASSERT_TRUE(model.ok()) << model.status();
+  // pn: matches agree ~always, random pairs ~never.
+  EXPECT_GT(model->m()[0], 0.95);
+  EXPECT_LT(model->u()[0], 0.05);
+  // mfr: matches agree ~92.5% (0.9 + 0.1/4), random pairs ~25%.
+  EXPECT_NEAR(model->m()[1], 0.925, 0.06);
+  EXPECT_NEAR(model->u()[1], 0.25, 0.08);
+}
+
+TEST_F(FellegiSunterTest, WeightsSeparateMatchesFromNonMatches) {
+  auto model = FellegiSunterModel::TrainSupervised(external_, local_,
+                                                   gold_, Options());
+  ASSERT_TRUE(model.ok());
+  double min_match_weight = 1e9;
+  for (int i = 0; i < 50; ++i) {
+    min_match_weight = std::min(
+        min_match_weight, model->MatchWeight(external_[i], local_[i]));
+  }
+  double max_nonmatch_weight = -1e9;
+  for (int i = 0; i < 50; ++i) {
+    max_nonmatch_weight =
+        std::max(max_nonmatch_weight,
+                 model->MatchWeight(external_[i], local_[(i + 7) % 200]));
+  }
+  // pn agreement alone dominates: every match outweighs every non-match.
+  EXPECT_GT(min_match_weight, max_nonmatch_weight);
+  EXPECT_GT(min_match_weight, 0.0);
+  EXPECT_LT(max_nonmatch_weight, 0.0);
+}
+
+TEST_F(FellegiSunterTest, PosteriorProbabilitiesAreCalibratedAtExtremes) {
+  auto model = FellegiSunterModel::TrainSupervised(external_, local_,
+                                                   gold_, Options());
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->MatchProbability(external_[3], local_[3]), 0.95);
+  EXPECT_LT(model->MatchProbability(external_[3], local_[99]), 0.05);
+}
+
+TEST_F(FellegiSunterTest, WeightBoundsBracketEveryPair) {
+  auto model = FellegiSunterModel::TrainSupervised(external_, local_,
+                                                   gold_, Options());
+  ASSERT_TRUE(model.ok());
+  for (int i = 0; i < 20; ++i) {
+    const double w = model->MatchWeight(external_[i], local_[(i * 3) % 200]);
+    EXPECT_LE(w, model->MaxWeight() + 1e-9);
+    EXPECT_GE(w, model->MinWeight() - 1e-9);
+  }
+}
+
+TEST_F(FellegiSunterTest, EmRecoversStructureUnsupervised) {
+  // Candidates: all 200 matches + 800 random non-matches, unlabeled.
+  std::vector<blocking::CandidatePair> candidates = gold_;
+  util::Rng rng(11);
+  while (candidates.size() < 1000) {
+    const std::size_t e = rng.UniformUint64(200);
+    const std::size_t l = rng.UniformUint64(200);
+    if (e != l) candidates.push_back({e, l});
+  }
+  auto model = FellegiSunterModel::TrainEm(external_, local_, candidates,
+                                           Options());
+  ASSERT_TRUE(model.ok()) << model.status();
+  // The match class's pn agreement dwarfs the non-match class's.
+  EXPECT_GT(model->m()[0], 0.8);
+  EXPECT_LT(model->u()[0], 0.1);
+  // Match share ~200/1000.
+  EXPECT_NEAR(model->match_share(), 0.2, 0.08);
+  // And the fitted model still separates pairs.
+  EXPECT_GT(model->MatchWeight(external_[0], local_[0]),
+            model->MatchWeight(external_[0], local_[5]));
+}
+
+TEST_F(FellegiSunterTest, AgreementVector) {
+  auto model = FellegiSunterModel::TrainSupervised(external_, local_,
+                                                   gold_, Options());
+  ASSERT_TRUE(model.ok());
+  const auto self = model->AgreementVector(external_[0], local_[0]);
+  ASSERT_EQ(self.size(), 2u);
+  EXPECT_TRUE(self[0]);  // same part number
+  const auto cross = model->AgreementVector(external_[0], local_[1]);
+  EXPECT_FALSE(cross[0]);
+}
+
+TEST_F(FellegiSunterTest, ErrorHandling) {
+  FsOptions bad;  // no attributes
+  EXPECT_FALSE(
+      FellegiSunterModel::TrainSupervised(external_, local_, gold_, bad)
+          .ok());
+  EXPECT_FALSE(
+      FellegiSunterModel::TrainSupervised(external_, local_, {}, Options())
+          .ok());
+  EXPECT_FALSE(
+      FellegiSunterModel::TrainEm(external_, local_, {}, Options()).ok());
+  FsOptions bad_threshold = Options();
+  bad_threshold.attributes[0].agree_threshold = 0.0;
+  EXPECT_FALSE(FellegiSunterModel::TrainSupervised(external_, local_,
+                                                   gold_, bad_threshold)
+                   .ok());
+}
+
+TEST_F(FellegiSunterTest, DeterministicAcrossRuns) {
+  auto a = FellegiSunterModel::TrainSupervised(external_, local_, gold_,
+                                               Options());
+  auto b = FellegiSunterModel::TrainSupervised(external_, local_, gold_,
+                                               Options());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->m(), b->m());
+  EXPECT_EQ(a->u(), b->u());
+}
+
+}  // namespace
+}  // namespace rulelink::linking

@@ -1,0 +1,127 @@
+#include "linking/fusion.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace rulelink::linking {
+namespace {
+
+core::Item MakeItem(const std::string& iri,
+                    std::vector<core::PropertyValue> facts) {
+  core::Item item;
+  item.iri = iri;
+  item.facts = std::move(facts);
+  return item;
+}
+
+std::vector<std::string> ValuesOf(const FusedItem& fused,
+                                  const std::string& property) {
+  std::vector<std::string> out;
+  for (const auto& pv : fused.facts) {
+    if (pv.property == property) out.push_back(pv.value);
+  }
+  return out;
+}
+
+class FusionTest : public ::testing::Test {
+ protected:
+  FusionTest() {
+    external_ = {MakeItem("ext:0", {{"pn", "CRCW-0805-EXT"},
+                                    {"mfr", "Voltron"},
+                                    {"datasheet", "http://ds/1"}})};
+    local_ = {MakeItem("cat:0", {{"pn", "CRCW0805"},
+                                 {"mfr", "Voltron"},
+                                 {"label", "resistor"}})};
+    links_ = {Link{0, 0, 0.97}};
+  }
+
+  std::vector<core::Item> external_, local_;
+  std::vector<Link> links_;
+};
+
+TEST_F(FusionTest, CanonicalIriAndProvenance) {
+  const auto fused =
+      FuseLinks(external_, local_, links_, ConflictPolicy::kPreferLocal);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0].iri, "cat:0");
+  ASSERT_EQ(fused[0].sources.size(), 2u);
+  EXPECT_EQ(fused[0].sources[0], "cat:0");
+  EXPECT_EQ(fused[0].sources[1], "ext:0");
+}
+
+TEST_F(FusionTest, OneSidedPropertiesAlwaysKept) {
+  const auto fused =
+      FuseLinks(external_, local_, links_, ConflictPolicy::kPreferLocal);
+  EXPECT_EQ(ValuesOf(fused[0], "datasheet"),
+            std::vector<std::string>{"http://ds/1"});
+  EXPECT_EQ(ValuesOf(fused[0], "label"),
+            std::vector<std::string>{"resistor"});
+}
+
+TEST_F(FusionTest, AgreementIsNotAConflict) {
+  const auto fused =
+      FuseLinks(external_, local_, links_, ConflictPolicy::kPreferExternal);
+  EXPECT_EQ(ValuesOf(fused[0], "mfr"), std::vector<std::string>{"Voltron"});
+}
+
+TEST_F(FusionTest, PreferLocalWinsConflicts) {
+  const auto fused =
+      FuseLinks(external_, local_, links_, ConflictPolicy::kPreferLocal);
+  EXPECT_EQ(ValuesOf(fused[0], "pn"), std::vector<std::string>{"CRCW0805"});
+}
+
+TEST_F(FusionTest, PreferExternalWinsConflicts) {
+  const auto fused =
+      FuseLinks(external_, local_, links_, ConflictPolicy::kPreferExternal);
+  EXPECT_EQ(ValuesOf(fused[0], "pn"),
+            std::vector<std::string>{"CRCW-0805-EXT"});
+}
+
+TEST_F(FusionTest, LongestValueWins) {
+  const auto fused =
+      FuseLinks(external_, local_, links_, ConflictPolicy::kLongestValue);
+  EXPECT_EQ(ValuesOf(fused[0], "pn"),
+            std::vector<std::string>{"CRCW-0805-EXT"});
+}
+
+TEST_F(FusionTest, UnionKeepsBothSides) {
+  const auto fused =
+      FuseLinks(external_, local_, links_, ConflictPolicy::kUnion);
+  const auto values = ValuesOf(fused[0], "pn");
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], "CRCW0805");  // local first
+  EXPECT_EQ(values[1], "CRCW-0805-EXT");
+}
+
+TEST_F(FusionTest, DuplicateFactsEmittedOnce) {
+  external_[0].facts.push_back({"mfr", "Voltron"});  // duplicate value
+  const auto fused =
+      FuseLinks(external_, local_, links_, ConflictPolicy::kUnion);
+  EXPECT_EQ(ValuesOf(fused[0], "mfr").size(), 1u);
+}
+
+TEST_F(FusionTest, EmptyLinksYieldNothing) {
+  EXPECT_TRUE(
+      FuseLinks(external_, local_, {}, ConflictPolicy::kUnion).empty());
+}
+
+TEST_F(FusionTest, MultipleLinksFuseIndependently) {
+  external_.push_back(MakeItem("ext:1", {{"pn", "T83"}}));
+  local_.push_back(MakeItem("cat:1", {{"pn", "T83-X"}}));
+  links_.push_back(Link{1, 1, 0.9});
+  const auto fused =
+      FuseLinks(external_, local_, links_, ConflictPolicy::kPreferLocal);
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_EQ(fused[1].iri, "cat:1");
+  EXPECT_EQ(ValuesOf(fused[1], "pn"), std::vector<std::string>{"T83-X"});
+}
+
+TEST(ConflictPolicyTest, Names) {
+  EXPECT_STREQ(ConflictPolicyName(ConflictPolicy::kPreferLocal),
+               "prefer-local");
+  EXPECT_STREQ(ConflictPolicyName(ConflictPolicy::kUnion), "union");
+}
+
+}  // namespace
+}  // namespace rulelink::linking

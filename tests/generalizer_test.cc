@@ -1,0 +1,148 @@
+#include "core/generalizer.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "text/segmenter.h"
+#include "util/logging.h"
+
+namespace rulelink::core {
+namespace {
+
+// Taxonomy: Root -> Resistor -> {FilmR, WireR}; Root -> Capacitor.
+// Segment "ohm" appears on every resistor (both leaves) but on no
+// capacitor: at leaf level its confidence is ~0.5 per leaf, while at
+// Resistor level it is 1.0 — exactly the paper's §6 generalization case.
+class GeneralizerTest : public ::testing::Test {
+ protected:
+  GeneralizerTest() {
+    root_ = onto_.AddClass("ex:Root", "Root");
+    resistor_ = onto_.AddClass("ex:Resistor", "Resistor");
+    film_ = onto_.AddClass("ex:FilmR", "Film resistor");
+    wire_ = onto_.AddClass("ex:WireR", "Wirewound resistor");
+    cap_ = onto_.AddClass("ex:Cap", "Capacitor");
+    RL_CHECK_OK(onto_.AddSubClassOf(resistor_, root_));
+    RL_CHECK_OK(onto_.AddSubClassOf(film_, resistor_));
+    RL_CHECK_OK(onto_.AddSubClassOf(wire_, resistor_));
+    RL_CHECK_OK(onto_.AddSubClassOf(cap_, root_));
+    RL_CHECK_OK(onto_.Finalize());
+    ts_ = std::make_unique<TrainingSet>(onto_);
+
+    // 4 film + 4 wire resistors, all with "ohm"; film also carry "F77",
+    // 4 capacitors with "uF".
+    for (int i = 0; i < 4; ++i) {
+      AddExample("ohm-F77-S" + std::to_string(i), film_);
+    }
+    for (int i = 0; i < 4; ++i) {
+      AddExample("ohm-W-S" + std::to_string(i), wire_);
+    }
+    for (int i = 0; i < 4; ++i) {
+      AddExample("uF-S" + std::to_string(i), cap_);
+    }
+  }
+
+  void AddExample(const std::string& pn, ontology::ClassId cls) {
+    Item item;
+    item.iri = "ext:" + std::to_string(ts_->size());
+    item.facts.push_back(PropertyValue{"pn", pn});
+    ts_->AddExample(item, "local:" + std::to_string(ts_->size()), {cls});
+  }
+
+  const ClassificationRule* FindRule(const RuleSet& rules,
+                                     const std::string& segment,
+                                     ontology::ClassId cls) {
+    for (const auto& rule : rules.rules()) {
+      if (rule.segment == segment && rule.cls == cls) return &rule;
+    }
+    return nullptr;
+  }
+
+  GeneralizerOptions Options(double min_confidence,
+                             std::size_t levels = 3) {
+    GeneralizerOptions options;
+    options.support_threshold = 0.1;
+    options.min_confidence = min_confidence;
+    options.max_levels_up = levels;
+    options.segmenter = &segmenter_;
+    return options;
+  }
+
+  ontology::Ontology onto_;
+  ontology::ClassId root_, resistor_, film_, wire_, cap_;
+  std::unique_ptr<TrainingSet> ts_;
+  text::SeparatorSegmenter segmenter_;
+};
+
+TEST_F(GeneralizerTest, GeneralizesAmbiguousSegmentToParent) {
+  auto rules = LearnGeneralizedRules(*ts_, Options(0.9));
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  // "ohm" cannot reach 0.9 on either leaf (0.5 each) but is perfect on
+  // Resistor.
+  EXPECT_EQ(FindRule(*rules, "ohm", film_), nullptr);
+  EXPECT_EQ(FindRule(*rules, "ohm", wire_), nullptr);
+  const ClassificationRule* ohm = FindRule(*rules, "ohm", resistor_);
+  ASSERT_NE(ohm, nullptr);
+  EXPECT_DOUBLE_EQ(ohm->confidence, 1.0);
+  EXPECT_EQ(ohm->counts.premise_count, 8u);
+  EXPECT_EQ(ohm->counts.class_count, 8u);   // widened membership
+  EXPECT_EQ(ohm->counts.joint_count, 8u);
+}
+
+TEST_F(GeneralizerTest, LeafRuleSuppressesItsAncestors) {
+  auto rules = LearnGeneralizedRules(*ts_, Options(0.9));
+  ASSERT_TRUE(rules.ok());
+  // "F77" is perfect on the FilmR leaf already; Resistor/Root rules for it
+  // must be suppressed as less specific.
+  EXPECT_NE(FindRule(*rules, "F77", film_), nullptr);
+  EXPECT_EQ(FindRule(*rules, "F77", resistor_), nullptr);
+  EXPECT_EQ(FindRule(*rules, "F77", root_), nullptr);
+}
+
+TEST_F(GeneralizerTest, MaxLevelsUpLimitsClimb) {
+  // With 0 levels the generalizer can only use leaf conclusions: "ohm"
+  // finds no home at 0.9 confidence.
+  auto rules = LearnGeneralizedRules(*ts_, Options(0.9, 0));
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(FindRule(*rules, "ohm", resistor_), nullptr);
+  EXPECT_EQ(FindRule(*rules, "ohm", film_), nullptr);
+}
+
+TEST_F(GeneralizerTest, GeneralizedLiftUsesWidenedPrior) {
+  auto rules = LearnGeneralizedRules(*ts_, Options(0.9));
+  ASSERT_TRUE(rules.ok());
+  const ClassificationRule* ohm = FindRule(*rules, "ohm", resistor_);
+  ASSERT_NE(ohm, nullptr);
+  // prior(Resistor) = 8/12 -> lift = 1 / (8/12) = 1.5.
+  EXPECT_NEAR(ohm->lift, 1.5, 1e-9);
+}
+
+TEST_F(GeneralizerTest, UfStaysOnLeaf) {
+  auto rules = LearnGeneralizedRules(*ts_, Options(0.9));
+  ASSERT_TRUE(rules.ok());
+  EXPECT_NE(FindRule(*rules, "uF", cap_), nullptr);
+}
+
+TEST_F(GeneralizerTest, ErrorHandling) {
+  GeneralizerOptions options;  // no segmenter
+  EXPECT_FALSE(LearnGeneralizedRules(*ts_, options).ok());
+  options.segmenter = &segmenter_;
+  options.support_threshold = 0.0;
+  EXPECT_FALSE(LearnGeneralizedRules(*ts_, options).ok());
+  options.support_threshold = 0.1;
+  TrainingSet empty(onto_);
+  EXPECT_FALSE(LearnGeneralizedRules(empty, options).ok());
+}
+
+TEST_F(GeneralizerTest, LowConfidenceTargetKeepsLeaves) {
+  // With a 0.4 bar the leaf "ohm" rules qualify directly and, being more
+  // specific, suppress the Resistor generalization.
+  auto rules = LearnGeneralizedRules(*ts_, Options(0.4));
+  ASSERT_TRUE(rules.ok());
+  EXPECT_NE(FindRule(*rules, "ohm", film_), nullptr);
+  EXPECT_NE(FindRule(*rules, "ohm", wire_), nullptr);
+  EXPECT_EQ(FindRule(*rules, "ohm", resistor_), nullptr);
+}
+
+}  // namespace
+}  // namespace rulelink::core

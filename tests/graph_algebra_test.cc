@@ -1,0 +1,95 @@
+#include "rdf/graph_algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/ntriples.h"
+
+namespace rulelink::rdf {
+namespace {
+
+Graph Parse(const char* ntriples) {
+  Graph g;
+  const auto status = ParseNTriples(ntriples, &g);
+  EXPECT_TRUE(status.ok()) << status;
+  return g;
+}
+
+class GraphAlgebraTest : public ::testing::Test {
+ protected:
+  GraphAlgebraTest()
+      : a_(Parse("<http://s> <http://p> <http://x> .\n"
+                 "<http://s> <http://p> \"shared\" .\n"
+                 "<http://s> <http://q> <http://y> .\n")),
+        b_(Parse("<http://s> <http://p> \"shared\" .\n"
+                 "<http://s> <http://q> <http://z> .\n")) {}
+
+  Graph a_, b_;
+};
+
+TEST_F(GraphAlgebraTest, Union) {
+  const Graph u = Union(a_, b_);
+  EXPECT_EQ(u.size(), 4u);  // 3 + 2 - 1 shared
+  EXPECT_TRUE(IsSubgraphOf(a_, u));
+  EXPECT_TRUE(IsSubgraphOf(b_, u));
+}
+
+TEST_F(GraphAlgebraTest, Difference) {
+  const Graph d = Difference(a_, b_);
+  EXPECT_EQ(d.size(), 2u);
+  // The shared literal triple is gone.
+  EXPECT_EQ(d.dict().Find(Term::Literal("shared")), kInvalidTermId);
+}
+
+TEST_F(GraphAlgebraTest, DifferenceIsAsymmetric) {
+  EXPECT_EQ(Difference(a_, b_).size(), 2u);
+  EXPECT_EQ(Difference(b_, a_).size(), 1u);
+}
+
+TEST_F(GraphAlgebraTest, Intersection) {
+  const Graph i = Intersection(a_, b_);
+  ASSERT_EQ(i.size(), 1u);
+  EXPECT_NE(i.dict().Find(Term::Literal("shared")), kInvalidTermId);
+  // Intersection commutes (as a triple set).
+  EXPECT_TRUE(Isomorphic(i, Intersection(b_, a_)));
+}
+
+TEST_F(GraphAlgebraTest, IsomorphismIgnoresDictionaryIds) {
+  // Same triples inserted in a different order intern different ids.
+  const Graph c = Parse(
+      "<http://s> <http://q> <http://y> .\n"
+      "<http://s> <http://p> \"shared\" .\n"
+      "<http://s> <http://p> <http://x> .\n");
+  EXPECT_TRUE(Isomorphic(a_, c));
+  EXPECT_FALSE(Isomorphic(a_, b_));
+}
+
+TEST_F(GraphAlgebraTest, SubgraphChecks) {
+  EXPECT_TRUE(IsSubgraphOf(Intersection(a_, b_), a_));
+  EXPECT_TRUE(IsSubgraphOf(Intersection(a_, b_), b_));
+  EXPECT_FALSE(IsSubgraphOf(a_, b_));
+  Graph empty;
+  EXPECT_TRUE(IsSubgraphOf(empty, a_));
+  EXPECT_TRUE(Isomorphic(empty, empty));
+}
+
+TEST_F(GraphAlgebraTest, DeliveryDiffScenario) {
+  // Yesterday's delivery vs today's: what changed?
+  const Graph yesterday = Parse(
+      "<http://p/d1> <http://s/pn> \"CRCW-1\" .\n"
+      "<http://p/d2> <http://s/pn> \"T83-9\" .\n");
+  const Graph today = Parse(
+      "<http://p/d1> <http://s/pn> \"CRCW-1\" .\n"
+      "<http://p/d2> <http://s/pn> \"T83-9b\" .\n"  // corrected value
+      "<http://p/d3> <http://s/pn> \"NEW-7\" .\n");
+  const Graph added = Difference(today, yesterday);
+  const Graph retracted = Difference(yesterday, today);
+  EXPECT_EQ(added.size(), 2u);      // corrected + new
+  EXPECT_EQ(retracted.size(), 1u);  // the old wrong value
+  EXPECT_TRUE(
+      Isomorphic(Union(Difference(today, yesterday),
+                       Intersection(today, yesterday)),
+                 today));
+}
+
+}  // namespace
+}  // namespace rulelink::rdf

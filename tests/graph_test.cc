@@ -1,0 +1,180 @@
+#include "rdf/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+
+namespace rulelink::rdf {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_.InsertIri("s1", "p1", "o1");
+    graph_.InsertIri("s1", "p1", "o2");
+    graph_.InsertIri("s1", "p2", "o1");
+    graph_.InsertIri("s2", "p1", "o1");
+    graph_.InsertLiteralTriple("s2", "p3", "a literal");
+  }
+
+  TermId Id(const std::string& iri) const {
+    return graph_.dict().FindIri(iri);
+  }
+
+  Graph graph_;
+};
+
+TEST_F(GraphTest, SizeAndDeduplication) {
+  EXPECT_EQ(graph_.size(), 5u);
+  EXPECT_FALSE(graph_.InsertIri("s1", "p1", "o1"));  // duplicate
+  EXPECT_EQ(graph_.size(), 5u);
+  EXPECT_TRUE(graph_.InsertIri("s3", "p1", "o1"));
+  EXPECT_EQ(graph_.size(), 6u);
+}
+
+TEST_F(GraphTest, ContainsAfterInsert) {
+  EXPECT_TRUE(graph_.Contains(Triple{Id("s1"), Id("p1"), Id("o1")}));
+  EXPECT_FALSE(graph_.Contains(Triple{Id("s2"), Id("p2"), Id("o1")}));
+}
+
+TEST_F(GraphTest, InsertRejectsInvalidIds) {
+  EXPECT_FALSE(graph_.Insert(Triple{kInvalidTermId, Id("p1"), Id("o1")}));
+  EXPECT_FALSE(graph_.Insert(Triple{Id("s1"), kInvalidTermId, Id("o1")}));
+  EXPECT_FALSE(graph_.Insert(Triple{Id("s1"), Id("p1"), kInvalidTermId}));
+}
+
+TEST_F(GraphTest, MatchBySubject) {
+  const auto matches =
+      graph_.Match(TriplePattern{Id("s1"), kInvalidTermId, kInvalidTermId});
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST_F(GraphTest, MatchByPredicate) {
+  const auto matches =
+      graph_.Match(TriplePattern{kInvalidTermId, Id("p1"), kInvalidTermId});
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST_F(GraphTest, MatchByObject) {
+  const auto matches =
+      graph_.Match(TriplePattern{kInvalidTermId, kInvalidTermId, Id("o1")});
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST_F(GraphTest, MatchBySubjectAndPredicate) {
+  const auto matches =
+      graph_.Match(TriplePattern{Id("s1"), Id("p1"), kInvalidTermId});
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST_F(GraphTest, MatchFullyBound) {
+  EXPECT_EQ(graph_.Match(TriplePattern{Id("s1"), Id("p1"), Id("o2")}).size(),
+            1u);
+  EXPECT_EQ(graph_.Match(TriplePattern{Id("s2"), Id("p2"), Id("o2")}).size(),
+            0u);
+}
+
+TEST_F(GraphTest, MatchUnboundScansAll) {
+  EXPECT_EQ(graph_.Match(TriplePattern{}).size(), graph_.size());
+}
+
+TEST_F(GraphTest, MatchUnknownTermYieldsNothing) {
+  // An id never interned cannot match anything.
+  EXPECT_EQ(
+      graph_.Match(TriplePattern{999999, kInvalidTermId, kInvalidTermId})
+          .size(),
+      0u);
+}
+
+TEST_F(GraphTest, EstimateMatchesIsAnUpperBound) {
+  const TriplePattern patterns[] = {
+      {},
+      {Id("s1"), kInvalidTermId, kInvalidTermId},
+      {kInvalidTermId, Id("p1"), kInvalidTermId},
+      {Id("s1"), Id("p1"), Id("o1")},
+      {Id("s2"), Id("p2"), kInvalidTermId},  // no matches
+  };
+  for (const auto& p : patterns) {
+    EXPECT_GE(graph_.EstimateMatches(p), graph_.CountMatches(p));
+  }
+  // Fully unbound: estimate is the graph size.
+  EXPECT_EQ(graph_.EstimateMatches(TriplePattern{}), graph_.size());
+  // Unknown bound term: estimate 0.
+  EXPECT_EQ(graph_.EstimateMatches(
+                TriplePattern{999999, kInvalidTermId, kInvalidTermId}),
+            0u);
+}
+
+TEST_F(GraphTest, CountMatchesAgreesWithMatch) {
+  const TriplePattern patterns[] = {
+      {},
+      {Id("s1"), kInvalidTermId, kInvalidTermId},
+      {kInvalidTermId, Id("p1"), kInvalidTermId},
+      {Id("s1"), Id("p1"), Id("o1")},
+  };
+  for (const auto& p : patterns) {
+    EXPECT_EQ(graph_.CountMatches(p), graph_.Match(p).size());
+  }
+}
+
+TEST_F(GraphTest, ForEachMatchEarlyStop) {
+  int calls = 0;
+  graph_.ForEachMatch(TriplePattern{}, [&](const Triple&) {
+    ++calls;
+    return calls < 2;
+  });
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(GraphTest, ObjectsAndSubjects) {
+  const auto objects = graph_.Objects(Id("s1"), Id("p1"));
+  EXPECT_EQ(objects.size(), 2u);
+  const auto subjects = graph_.Subjects(Id("p1"), Id("o1"));
+  EXPECT_EQ(subjects.size(), 2u);
+}
+
+TEST_F(GraphTest, FirstObject) {
+  EXPECT_EQ(graph_.FirstObject(Id("s1"), Id("p2")), Id("o1"));
+  EXPECT_EQ(graph_.FirstObject(Id("s1"), Id("p3")), kInvalidTermId);
+}
+
+TEST_F(GraphTest, DistinctSubjectsAndPredicates) {
+  EXPECT_EQ(graph_.DistinctSubjects().size(), 2u);
+  EXPECT_EQ(graph_.DistinctPredicates().size(), 3u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  TermDictionary dict;
+  const TermId a = dict.Intern(Term::Iri("x"));
+  const TermId b = dict.Intern(Term::Iri("x"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, kInvalidTermId);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, DistinctTermsGetDistinctIds) {
+  TermDictionary dict;
+  const TermId iri = dict.Intern(Term::Iri("x"));
+  const TermId lit = dict.Intern(Term::Literal("x"));
+  const TermId blank = dict.Intern(Term::BlankNode("x"));
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(lit, blank);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, RoundTrip) {
+  TermDictionary dict;
+  const Term original = Term::LangLiteral("hello", "en");
+  const TermId id = dict.Intern(original);
+  EXPECT_EQ(dict.term(id), original);
+}
+
+TEST(DictionaryTest, FindOnMissingTerm) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.Find(Term::Iri("nope")), kInvalidTermId);
+  EXPECT_EQ(dict.FindIri("nope"), kInvalidTermId);
+  EXPECT_FALSE(dict.Contains(kInvalidTermId));
+}
+
+}  // namespace
+}  // namespace rulelink::rdf

@@ -1,0 +1,132 @@
+#include "eval/holdout.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "util/logging.h"
+
+namespace rulelink::eval {
+namespace {
+
+class HoldoutTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::DatasetConfig config;
+    config.seed = 11;
+    config.num_classes = 60;
+    config.num_leaves = 25;
+    config.catalog_size = 2400;
+    config.num_links = 800;
+    config.num_signal_classes = 6;
+    config.num_other_frequent_classes = 8;
+    config.signal_class_min_links = 40;
+    config.signal_class_max_links = 80;
+    config.frequent_class_min_links = 10;
+    config.frequent_class_max_links = 16;
+    config.tail_class_cap_links = 6;
+    auto dataset = datagen::DatasetGenerator(config).Generate();
+    RL_CHECK(dataset.ok()) << dataset.status();
+    dataset_ = new datagen::Dataset(std::move(dataset).value());
+    ts_ = new core::TrainingSet(datagen::BuildTrainingSet(*dataset_));
+  }
+
+  static void TearDownTestSuite() {
+    delete ts_;
+    delete dataset_;
+    ts_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  HoldoutOptions Options() const {
+    HoldoutOptions options;
+    options.segmenter = &segmenter_;
+    options.support_threshold = 0.01;
+    return options;
+  }
+
+  static datagen::Dataset* dataset_;
+  static core::TrainingSet* ts_;
+  text::SeparatorSegmenter segmenter_;
+};
+
+datagen::Dataset* HoldoutTest::dataset_ = nullptr;
+core::TrainingSet* HoldoutTest::ts_ = nullptr;
+
+TEST_F(HoldoutTest, SplitSizesAreCorrect) {
+  auto result = RunHoldout(*ts_, Options());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->test_size, 160u);  // 20% of 800
+  EXPECT_EQ(result->train_size, 640u);
+  EXPECT_EQ(result->train_size + result->test_size, ts_->size());
+}
+
+TEST_F(HoldoutTest, RulesGeneralizeToHeldOutItems) {
+  auto result = RunHoldout(*ts_, Options());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->num_rules, 0u);
+  EXPECT_GT(result->decided, 0u);
+  // The generator's signal is real: held-out precision must be well above
+  // the ~4% majority-class baseline.
+  EXPECT_GT(result->precision, 0.5);
+  EXPECT_GT(result->recall, 0.1);
+  EXPECT_LE(result->recall, result->coverage);
+}
+
+TEST_F(HoldoutTest, DeterministicForSameSeed) {
+  auto a = RunHoldout(*ts_, Options());
+  auto b = RunHoldout(*ts_, Options());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->decided, b->decided);
+  EXPECT_EQ(a->correct, b->correct);
+  EXPECT_EQ(a->num_rules, b->num_rules);
+}
+
+TEST_F(HoldoutTest, DifferentSeedsChangeSplit) {
+  auto a = RunHoldout(*ts_, Options());
+  HoldoutOptions other = Options();
+  other.seed = 777;
+  auto b = RunHoldout(*ts_, other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same sizes, (almost surely) different outcomes.
+  EXPECT_EQ(a->test_size, b->test_size);
+}
+
+TEST_F(HoldoutTest, MinConfidenceLowersCoverageRaisesPrecision) {
+  auto loose = RunHoldout(*ts_, Options());
+  HoldoutOptions strict_options = Options();
+  strict_options.min_confidence = 0.95;
+  auto strict = RunHoldout(*ts_, strict_options);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(strict.ok());
+  EXPECT_LE(strict->coverage, loose->coverage);
+  EXPECT_GE(strict->precision, loose->precision - 0.05);
+}
+
+TEST_F(HoldoutTest, CrossValidationCoversEveryItemOnce) {
+  auto result = RunCrossValidation(*ts_, Options(), 5);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->test_size, ts_->size());
+  EXPECT_GT(result->precision, 0.5);
+}
+
+TEST_F(HoldoutTest, ErrorHandling) {
+  HoldoutOptions bad = Options();
+  bad.segmenter = nullptr;
+  EXPECT_FALSE(RunHoldout(*ts_, bad).ok());
+
+  bad = Options();
+  bad.test_fraction = 0.0;
+  EXPECT_FALSE(RunHoldout(*ts_, bad).ok());
+  bad.test_fraction = 1.0;
+  EXPECT_FALSE(RunHoldout(*ts_, bad).ok());
+
+  EXPECT_FALSE(RunCrossValidation(*ts_, Options(), 1).ok());
+  EXPECT_FALSE(RunCrossValidation(*ts_, Options(), ts_->size() + 1).ok());
+}
+
+}  // namespace
+}  // namespace rulelink::eval

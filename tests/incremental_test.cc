@@ -1,0 +1,188 @@
+#include "core/incremental.h"
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/learner.h"
+#include "datagen/generator.h"
+#include "util/logging.h"
+
+namespace rulelink::core {
+namespace {
+
+class IncrementalTest : public ::testing::Test {
+ protected:
+  IncrementalTest() {
+    root_ = onto_.AddClass("ex:Root");
+    a_ = onto_.AddClass("ex:A");
+    b_ = onto_.AddClass("ex:B");
+    RL_CHECK_OK(onto_.AddSubClassOf(a_, root_));
+    RL_CHECK_OK(onto_.AddSubClassOf(b_, root_));
+    RL_CHECK_OK(onto_.Finalize());
+  }
+
+  static Item MakeItem(const std::string& pn) {
+    Item item;
+    item.iri = "ext:x";
+    item.facts.push_back(PropertyValue{"pn", pn});
+    return item;
+  }
+
+  ontology::Ontology onto_;
+  ontology::ClassId root_, a_, b_;
+  text::SeparatorSegmenter segmenter_;
+};
+
+TEST_F(IncrementalTest, MatchesBatchLearnerExactly) {
+  // Build the same corpus both ways.
+  const std::vector<std::pair<std::string, ontology::ClassId>> corpus = {
+      {"AAA-1", a_}, {"AAA-2", a_}, {"AAA-MIX-3", a_}, {"MIX-4", b_},
+      {"BB-5", b_},  {"BB-MIX-6", b_},
+  };
+  TrainingSet ts(onto_);
+  IncrementalRuleLearner incremental(&onto_, &segmenter_);
+  for (const auto& [pn, cls] : corpus) {
+    ts.AddExample(MakeItem(pn), "local:x", {cls});
+    incremental.AddExample(MakeItem(pn), {cls});
+  }
+
+  LearnerOptions options;
+  options.support_threshold = 0.15;
+  options.segmenter = &segmenter_;
+  auto batch = RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(batch.ok());
+  auto online = incremental.BuildRules(0.15);
+  ASSERT_TRUE(online.ok()) << online.status();
+
+  using Key = std::tuple<std::string, std::string, ontology::ClassId,
+                         std::size_t, std::size_t, std::size_t>;
+  const auto keys = [](const RuleSet& rules) {
+    std::set<Key> out;
+    for (const auto& rule : rules.rules()) {
+      out.insert({rules.properties().name(rule.property), rule.segment,
+                  rule.cls, rule.counts.premise_count,
+                  rule.counts.joint_count, rule.counts.class_count});
+    }
+    return out;
+  };
+  EXPECT_EQ(keys(*batch), keys(*online));
+}
+
+TEST_F(IncrementalTest, MatchesBatchOnGeneratedCorpus) {
+  datagen::DatasetConfig config;
+  config.seed = 5;
+  config.num_classes = 60;
+  config.num_leaves = 25;
+  config.catalog_size = 900;
+  config.num_links = 400;
+  config.num_signal_classes = 5;
+  config.num_other_frequent_classes = 6;
+  config.signal_class_min_links = 25;
+  config.signal_class_max_links = 50;
+  config.frequent_class_min_links = 6;
+  config.frequent_class_max_links = 10;
+  config.tail_class_cap_links = 4;
+  auto dataset = datagen::DatasetGenerator(config).Generate();
+  ASSERT_TRUE(dataset.ok());
+  const TrainingSet ts = datagen::BuildTrainingSet(*dataset);
+
+  IncrementalRuleLearner incremental(&dataset->ontology(), &segmenter_);
+  for (const auto& example : ts.examples()) {
+    Item item;
+    item.iri = example.external_iri;
+    for (const auto& [property, value] : example.facts) {
+      item.facts.push_back(
+          PropertyValue{ts.properties().name(property), value});
+    }
+    incremental.AddExample(item, example.classes);
+  }
+
+  LearnerOptions options;
+  options.support_threshold = 0.01;
+  options.segmenter = &segmenter_;
+  auto batch = RuleLearner(options).Learn(ts);
+  LearnStats batch_stats;
+  batch = RuleLearner(options).Learn(ts, &batch_stats);
+  ASSERT_TRUE(batch.ok());
+  LearnStats online_stats;
+  auto online = incremental.BuildRules(0.01, 0.0, &online_stats);
+  ASSERT_TRUE(online.ok());
+
+  EXPECT_EQ(batch->size(), online->size());
+  EXPECT_EQ(batch_stats.distinct_segments, online_stats.distinct_segments);
+  EXPECT_EQ(batch_stats.segment_occurrences,
+            online_stats.segment_occurrences);
+  EXPECT_EQ(batch_stats.selected_segment_occurrences,
+            online_stats.selected_segment_occurrences);
+  EXPECT_EQ(batch_stats.frequent_premises, online_stats.frequent_premises);
+  EXPECT_EQ(batch_stats.frequent_classes, online_stats.frequent_classes);
+  EXPECT_EQ(batch_stats.classes_with_rules,
+            online_stats.classes_with_rules);
+}
+
+TEST_F(IncrementalTest, RulesAppearAsSupportGrows) {
+  IncrementalRuleLearner learner(&onto_, &segmenter_);
+  // One example: "SIG" supported by 1/1 -> frequency 1.0 > th.
+  learner.AddExample(MakeItem("SIG"), {a_});
+  auto rules = learner.BuildRules(0.5);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->size(), 1u);
+
+  // Add 3 unrelated examples: SIG frequency drops to 0.25 < 0.5.
+  for (int i = 0; i < 3; ++i) {
+    learner.AddExample(MakeItem("OTHER" + std::to_string(i)), {b_});
+  }
+  rules = learner.BuildRules(0.5);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+
+  // Add more SIG examples: the rule comes back.
+  for (int i = 0; i < 4; ++i) {
+    learner.AddExample(MakeItem("SIG-" + std::to_string(10 + i)), {a_});
+  }
+  rules = learner.BuildRules(0.5);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 1u);
+  EXPECT_EQ(rules->rules()[0].segment, "SIG");
+  EXPECT_EQ(rules->rules()[0].counts.premise_count, 5u);
+  EXPECT_EQ(rules->rules()[0].counts.total, 8u);
+}
+
+TEST_F(IncrementalTest, MostSpecificReductionApplied) {
+  IncrementalRuleLearner learner(&onto_, &segmenter_);
+  learner.AddExample(MakeItem("X"), {root_, a_});
+  learner.AddExample(MakeItem("X"), {a_});
+  auto rules = learner.BuildRules(0.4);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->size(), 1u);
+  EXPECT_EQ(rules->rules()[0].cls, a_);  // not Root
+  EXPECT_EQ(rules->rules()[0].counts.class_count, 2u);
+}
+
+TEST_F(IncrementalTest, PropertySelection) {
+  IncrementalRuleLearner learner(&onto_, &segmenter_, {"pn"});
+  Item item = MakeItem("SIG-1");
+  item.facts.push_back(PropertyValue{"mfr", "ACME"});
+  learner.AddExample(item, {a_});
+  learner.AddExample(MakeItem("SIG-2"), {a_});
+  auto rules = learner.BuildRules(0.4);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : rules->rules()) {
+    EXPECT_NE(rule.segment, "ACME");
+  }
+}
+
+TEST_F(IncrementalTest, Errors) {
+  IncrementalRuleLearner learner(&onto_, &segmenter_);
+  EXPECT_FALSE(learner.BuildRules(0.5).ok());  // no examples
+  learner.AddExample(MakeItem("X"), {a_});
+  EXPECT_FALSE(learner.BuildRules(0.0).ok());
+  EXPECT_FALSE(learner.BuildRules(1.0).ok());
+  EXPECT_TRUE(learner.BuildRules(0.5).ok());
+}
+
+}  // namespace
+}  // namespace rulelink::core

@@ -1,0 +1,111 @@
+#include "ontology/instance_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "rdf/turtle.h"
+
+namespace rulelink::ontology {
+namespace {
+
+class InstanceIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto status = rdf::ParseTurtle(
+        "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+        "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n"
+        "@prefix ex: <http://e/> .\n"
+        "ex:Passive a owl:Class .\n"
+        "ex:R rdfs:subClassOf ex:Passive .\n"
+        "ex:C rdfs:subClassOf ex:Passive .\n"
+        "ex:i1 a ex:R .\n"
+        "ex:i2 a ex:R .\n"
+        "ex:i3 a ex:C .\n"
+        "ex:i4 a ex:Passive .\n"
+        // i5 is typed with both a class and its superclass: only the most
+        // specific must remain.
+        "ex:i5 a ex:R ; a ex:Passive .\n"
+        // i6 is typed with an unknown class: ignored entirely.
+        "ex:i6 a ex:Unknown .\n",
+        &graph_);
+    ASSERT_TRUE(status.ok()) << status;
+    auto onto_or = Ontology::FromGraph(graph_);
+    ASSERT_TRUE(onto_or.ok());
+    onto_ = std::move(onto_or).value();
+  }
+
+  rdf::Graph graph_;
+  Ontology onto_;
+};
+
+TEST_F(InstanceIndexTest, CountsTypedInstances) {
+  const auto index = InstanceIndex::Build(graph_, onto_);
+  EXPECT_EQ(index.instances().size(), 5u);  // i1..i5 (i6 unknown class)
+}
+
+TEST_F(InstanceIndexTest, ClassesOfIri) {
+  const auto index = InstanceIndex::Build(graph_, onto_);
+  const ClassId r = onto_.FindByIri("http://e/R");
+  const auto& classes = index.ClassesOfIri("http://e/i1");
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], r);
+  EXPECT_TRUE(index.ClassesOfIri("http://e/i6").empty());
+  EXPECT_TRUE(index.ClassesOfIri("http://e/never-seen").empty());
+}
+
+TEST_F(InstanceIndexTest, MultiTypedReducedToMostSpecific) {
+  const auto index = InstanceIndex::Build(graph_, onto_);
+  const ClassId r = onto_.FindByIri("http://e/R");
+  const auto& classes = index.ClassesOfIri("http://e/i5");
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], r);
+}
+
+TEST_F(InstanceIndexTest, DirectExtent) {
+  const auto index = InstanceIndex::Build(graph_, onto_);
+  const ClassId r = onto_.FindByIri("http://e/R");
+  const ClassId passive = onto_.FindByIri("http://e/Passive");
+  EXPECT_EQ(index.DirectExtentSize(r), 3u);        // i1, i2, i5
+  // Direct extent of Passive: i4 plus i5's (pre-reduction) assertion.
+  EXPECT_EQ(index.DirectExtentSize(passive), 2u);
+}
+
+TEST_F(InstanceIndexTest, TransitiveExtentIncludesDescendants) {
+  const auto index = InstanceIndex::Build(graph_, onto_);
+  const ClassId passive = onto_.FindByIri("http://e/Passive");
+  const auto extent = index.TransitiveExtent(passive);
+  EXPECT_EQ(extent.size(), 5u);  // all typed instances, deduplicated
+}
+
+TEST_F(InstanceIndexTest, TransitiveExtentOfLeafEqualsDirect) {
+  const auto index = InstanceIndex::Build(graph_, onto_);
+  const ClassId c = onto_.FindByIri("http://e/C");
+  EXPECT_EQ(index.TransitiveExtentSize(c), index.DirectExtentSize(c));
+}
+
+TEST_F(InstanceIndexTest, UnknownClassHasEmptyExtent) {
+  const auto index = InstanceIndex::Build(graph_, onto_);
+  const ClassId r = onto_.FindByIri("http://e/R");
+  (void)r;
+  // A class id with no instances.
+  Ontology fresh;
+  const ClassId lonely = fresh.AddClass("x");
+  ASSERT_TRUE(fresh.Finalize().ok());
+  rdf::Graph empty;
+  const auto empty_index = InstanceIndex::Build(empty, fresh);
+  EXPECT_TRUE(empty_index.DirectExtent(lonely).empty());
+  EXPECT_TRUE(empty_index.instances().empty());
+}
+
+TEST_F(InstanceIndexTest, IriOfRoundTrip) {
+  const auto index = InstanceIndex::Build(graph_, onto_);
+  for (rdf::TermId instance : index.instances()) {
+    EXPECT_FALSE(index.IriOf(instance).empty());
+    EXPECT_EQ(&index.ClassesOfIri(index.IriOf(instance)),
+              &index.ClassesOf(instance));
+  }
+}
+
+}  // namespace
+}  // namespace rulelink::ontology

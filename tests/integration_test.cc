@@ -1,0 +1,283 @@
+// End-to-end integration tests: the full RDF-path pipeline on a small
+// synthetic corpus — RDF projection, ontology loading, instance indexing,
+// training-set construction from owl:sameAs links, rule learning,
+// classification, linking-space reduction, and the blocking/linking stack
+// on top — with cross-representation consistency checks.
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "blocking/metrics.h"
+#include "blocking/rule_blocker.h"
+#include "core/classifier.h"
+#include "core/learner.h"
+#include "core/linking_space.h"
+#include "datagen/generator.h"
+#include "eval/table1.h"
+#include "linking/evaluation.h"
+#include "linking/linker.h"
+#include "ontology/instance_index.h"
+#include "text/segmenter.h"
+#include "util/logging.h"
+
+namespace rulelink {
+namespace {
+
+datagen::DatasetConfig TestConfig() {
+  datagen::DatasetConfig config;
+  config.seed = 17;
+  config.num_classes = 80;
+  config.num_leaves = 32;
+  config.catalog_size = 2500;
+  config.num_links = 1000;
+  config.num_signal_classes = 8;
+  config.num_other_frequent_classes = 10;
+  config.signal_class_min_links = 50;
+  config.signal_class_max_links = 90;
+  config.frequent_class_min_links = 12;
+  config.frequent_class_max_links = 20;
+  config.tail_class_cap_links = 8;
+  return config;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto dataset_or = datagen::DatasetGenerator(TestConfig()).Generate();
+    RL_CHECK(dataset_or.ok()) << dataset_or.status();
+    dataset_ = new datagen::Dataset(std::move(dataset_or).value());
+    local_graph_ = new rdf::Graph(datagen::BuildLocalGraph(*dataset_));
+    external_graph_ = new rdf::Graph(datagen::BuildExternalGraph(*dataset_));
+    links_graph_ = new rdf::Graph(datagen::BuildLinksGraph(*dataset_));
+  }
+
+  static void TearDownTestSuite() {
+    delete links_graph_;
+    delete external_graph_;
+    delete local_graph_;
+    delete dataset_;
+    links_graph_ = nullptr;
+    external_graph_ = nullptr;
+    local_graph_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static datagen::Dataset* dataset_;
+  static rdf::Graph* local_graph_;
+  static rdf::Graph* external_graph_;
+  static rdf::Graph* links_graph_;
+};
+
+datagen::Dataset* IntegrationTest::dataset_ = nullptr;
+rdf::Graph* IntegrationTest::local_graph_ = nullptr;
+rdf::Graph* IntegrationTest::external_graph_ = nullptr;
+rdf::Graph* IntegrationTest::links_graph_ = nullptr;
+
+TEST_F(IntegrationTest, OntologyRoundTripsThroughRdf) {
+  auto onto_or = ontology::Ontology::FromGraph(*local_graph_);
+  ASSERT_TRUE(onto_or.ok()) << onto_or.status();
+  EXPECT_EQ(onto_or->num_classes(), dataset_->ontology().num_classes());
+  EXPECT_EQ(onto_or->Leaves().size(),
+            dataset_->ontology().Leaves().size());
+  EXPECT_EQ(onto_or->MaxDepth(), dataset_->ontology().MaxDepth());
+}
+
+TEST_F(IntegrationTest, TrainingSetsAgreeAcrossRepresentations) {
+  // Direct path.
+  const core::TrainingSet direct = datagen::BuildTrainingSet(*dataset_);
+  // RDF path.
+  auto onto_or = ontology::Ontology::FromGraph(*local_graph_);
+  ASSERT_TRUE(onto_or.ok());
+  const auto index =
+      ontology::InstanceIndex::Build(*local_graph_, *onto_or);
+  std::size_t skipped = 0;
+  auto rdf_ts = core::TrainingSet::FromGraphs(*external_graph_,
+                                              *links_graph_, index, &skipped);
+  ASSERT_TRUE(rdf_ts.ok()) << rdf_ts.status();
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(rdf_ts->size(), direct.size());
+
+  // Same rules learnt on both (modulo class-id renaming, so compare by
+  // (segment, class IRI, counts)).
+  const text::SeparatorSegmenter segmenter;
+  core::LearnerOptions options;
+  options.support_threshold = 0.01;
+  options.segmenter = &segmenter;
+  options.properties = {datagen::props::kPartNumber};
+  auto direct_rules = core::RuleLearner(options).Learn(direct);
+  auto rdf_rules = core::RuleLearner(options).Learn(*rdf_ts);
+  ASSERT_TRUE(direct_rules.ok());
+  ASSERT_TRUE(rdf_rules.ok());
+  ASSERT_EQ(direct_rules->size(), rdf_rules->size());
+
+  std::set<std::tuple<std::string, std::string, std::size_t, std::size_t>>
+      direct_set, rdf_set;
+  for (const auto& rule : direct_rules->rules()) {
+    direct_set.insert({rule.segment, dataset_->ontology().iri(rule.cls),
+                       rule.counts.premise_count, rule.counts.joint_count});
+  }
+  for (const auto& rule : rdf_rules->rules()) {
+    rdf_set.insert({rule.segment, onto_or->iri(rule.cls),
+                    rule.counts.premise_count, rule.counts.joint_count});
+  }
+  EXPECT_EQ(direct_set, rdf_set);
+}
+
+TEST_F(IntegrationTest, ConfidenceOneRulesArePerfectOnTrainingSet) {
+  const core::TrainingSet ts = datagen::BuildTrainingSet(*dataset_);
+  const text::SeparatorSegmenter segmenter;
+  core::LearnerOptions options;
+  options.support_threshold = 0.01;
+  options.segmenter = &segmenter;
+  auto rules = core::RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_GT(rules->size(), 0u);
+
+  const core::RuleClassifier classifier(&*rules, &segmenter);
+  std::size_t checked = 0;
+  for (const auto& example : ts.examples()) {
+    core::Item item;
+    item.iri = example.external_iri;
+    for (const auto& [property, value] : example.facts) {
+      item.facts.push_back(
+          core::PropertyValue{ts.properties().name(property), value});
+    }
+    for (const auto& prediction : classifier.Classify(item, 1.0)) {
+      // A confidence-1 rule can never misclassify a training item.
+      EXPECT_NE(std::find(example.classes.begin(), example.classes.end(),
+                          prediction.cls),
+                example.classes.end());
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(IntegrationTest, RuleBlockerNeverMissesWhatItPromises) {
+  // Pairs produced by the rule blocker at min_confidence=1.0 must connect
+  // each classified external item only to local items of the predicted
+  // classes, and every gold match it finds must agree with the gold class.
+  const core::TrainingSet ts = datagen::BuildTrainingSet(*dataset_);
+  const text::SeparatorSegmenter segmenter;
+  core::LearnerOptions options;
+  options.support_threshold = 0.01;
+  options.segmenter = &segmenter;
+  options.properties = {datagen::props::kPartNumber};
+  auto rules = core::RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(rules.ok());
+  const core::RuleClassifier classifier(&*rules, &segmenter);
+  const blocking::RuleBlocker blocker(&classifier, &dataset_->ontology(),
+                                      &dataset_->catalog_classes, 1.0);
+  const auto pairs =
+      blocker.Generate(dataset_->external_items, dataset_->catalog_items);
+
+  std::vector<blocking::CandidatePair> gold;
+  for (const auto& link : dataset_->links) {
+    gold.push_back({link.external_index, link.catalog_index});
+  }
+  const auto quality = blocking::EvaluateBlocking(
+      pairs, gold, dataset_->external_items.size(),
+      dataset_->catalog_items.size());
+  // Candidate pairs only within predicted classes: massive reduction.
+  EXPECT_GT(quality.reduction_ratio, 0.8);
+  // At confidence 1 every proposed gold pair is genuinely reachable; the
+  // found matches must be a decent share of the signal-class links.
+  EXPECT_GT(quality.matches_found, 0u);
+}
+
+TEST_F(IntegrationTest, LinkingSpaceReductionIsReal) {
+  const core::TrainingSet ts = datagen::BuildTrainingSet(*dataset_);
+  const text::SeparatorSegmenter segmenter;
+  core::LearnerOptions options;
+  options.support_threshold = 0.01;
+  options.segmenter = &segmenter;
+  auto rules = core::RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(rules.ok());
+
+  auto onto_or = ontology::Ontology::FromGraph(*local_graph_);
+  ASSERT_TRUE(onto_or.ok());
+  const auto index =
+      ontology::InstanceIndex::Build(*local_graph_, *onto_or);
+
+  // The RDF-path ontology has its own class ids; relearn on the RDF ts so
+  // ids line up with the index.
+  std::size_t skipped = 0;
+  auto rdf_ts = core::TrainingSet::FromGraphs(*external_graph_,
+                                              *links_graph_, index, &skipped);
+  ASSERT_TRUE(rdf_ts.ok());
+  auto rdf_rules = core::RuleLearner(options).Learn(*rdf_ts);
+  ASSERT_TRUE(rdf_rules.ok());
+
+  const core::RuleClassifier classifier(&*rdf_rules, &segmenter);
+  const core::LinkingSpaceAnalyzer analyzer(&classifier, &index);
+  const auto report = analyzer.Analyze(dataset_->external_items, 0.4,
+                                       core::UnclassifiedPolicy::kSkip);
+  EXPECT_GT(report.classified_items, 0u);
+  EXPECT_LT(report.reduced_pairs, report.naive_pairs);
+  EXPECT_GT(report.reduction_ratio, 0.5);
+  // Subspaces are never larger than the local source.
+  EXPECT_LE(report.mean_subspace_fraction, 1.0);
+}
+
+TEST_F(IntegrationTest, EndToEndLinkageThroughRuleBlocking) {
+  const core::TrainingSet ts = datagen::BuildTrainingSet(*dataset_);
+  const text::SeparatorSegmenter segmenter;
+  core::LearnerOptions options;
+  options.support_threshold = 0.01;
+  options.segmenter = &segmenter;
+  options.properties = {datagen::props::kPartNumber};
+  auto rules = core::RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(rules.ok());
+  const core::RuleClassifier classifier(&*rules, &segmenter);
+  const blocking::RuleBlocker blocker(&classifier, &dataset_->ontology(),
+                                      &dataset_->catalog_classes, 0.4);
+  const auto candidates =
+      blocker.Generate(dataset_->external_items, dataset_->catalog_items);
+
+  const linking::ItemMatcher matcher(
+      {{datagen::props::kPartNumber, datagen::props::kPartNumber,
+        linking::SimilarityMeasure::kJaroWinkler, 3.0},
+       {datagen::props::kManufacturer, datagen::props::kManufacturer,
+        linking::SimilarityMeasure::kExact, 1.0}});
+  const linking::Linker linker(&matcher, 0.9);
+  const auto links = linker.Run(dataset_->external_items,
+                                dataset_->catalog_items, candidates);
+
+  std::vector<blocking::CandidatePair> gold;
+  for (const auto& link : dataset_->links) {
+    gold.push_back({link.external_index, link.catalog_index});
+  }
+  const auto quality = linking::EvaluateLinks(links, gold);
+  // The linker compares only within predicted classes, so precision must
+  // be high; recall is bounded by the rules' coverage.
+  EXPECT_GT(quality.precision, 0.9);
+  EXPECT_GT(quality.recall, 0.1);
+}
+
+TEST_F(IntegrationTest, Table1ShapeHoldsOnSmallCorpus) {
+  const core::TrainingSet ts = datagen::BuildTrainingSet(*dataset_);
+  const text::SeparatorSegmenter segmenter;
+  core::LearnerOptions options;
+  options.support_threshold = 0.01;
+  options.segmenter = &segmenter;
+  auto rules = core::RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(rules.ok());
+  const eval::Table1Evaluator evaluator(&*rules, &segmenter, 0.01);
+  const auto result = evaluator.Evaluate(ts);
+  ASSERT_EQ(result.rows.size(), 4u);
+  // Confidence-1 decisions are perfect.
+  EXPECT_DOUBLE_EQ(result.rows[0].precision_band, 1.0);
+  // Cumulative precision decreases, cumulative recall increases.
+  for (std::size_t b = 1; b < result.rows.size(); ++b) {
+    EXPECT_LE(result.rows[b].precision_cumulative,
+              result.rows[b - 1].precision_cumulative + 1e-12);
+    EXPECT_GE(result.rows[b].recall_cumulative,
+              result.rows[b - 1].recall_cumulative - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace rulelink

@@ -1,0 +1,266 @@
+#include "core/learner.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "text/segmenter.h"
+#include "util/logging.h"
+
+namespace rulelink::core {
+namespace {
+
+// Fixture with a hand-built corpus whose counts are easy to verify:
+// 10 examples; classes A (6 examples), B (4 examples).
+//   - segment "AAA" appears in all 6 A-examples and nowhere else.
+//   - segment "MIX" appears in 3 A-examples and 3 B-examples.
+//   - segment "BB"  appears in 2 B-examples.
+//   - serial segments S0..S9 are unique per example.
+class LearnerTest : public ::testing::Test {
+ protected:
+  LearnerTest() {
+    root_ = onto_.AddClass("ex:Root", "Root");
+    a_ = onto_.AddClass("ex:A", "A");
+    b_ = onto_.AddClass("ex:B", "B");
+    RL_CHECK_OK(onto_.AddSubClassOf(a_, root_));
+    RL_CHECK_OK(onto_.AddSubClassOf(b_, root_));
+    RL_CHECK_OK(onto_.Finalize());
+    ts_ = std::make_unique<TrainingSet>(onto_);
+
+    const char* values[10] = {
+        "AAA-S0",     "AAA-S1",     "AAA-S2",      "AAA-MIX-S3",
+        "AAA-MIX-S4", "AAA-MIX-S5",                      // class A
+        "MIX-S6",     "MIX-S7",     "BB-S8",       "BB-MIX-S9",  // class B
+    };
+    for (int i = 0; i < 10; ++i) {
+      Item item;
+      item.iri = "ext:i" + std::to_string(i);
+      item.facts.push_back(PropertyValue{"pn", values[i]});
+      ts_->AddExample(item, "local:l" + std::to_string(i),
+                      {i < 6 ? a_ : b_});
+    }
+  }
+
+  RuleSet Learn(double threshold, LearnStats* stats = nullptr) {
+    LearnerOptions options;
+    options.support_threshold = threshold;
+    options.segmenter = &segmenter_;
+    auto result = RuleLearner(options).Learn(*ts_, stats);
+    RL_CHECK(result.ok()) << result.status();
+    return std::move(result).value();
+  }
+
+  const ClassificationRule* FindRule(const RuleSet& rules,
+                                     const std::string& segment,
+                                     ontology::ClassId cls) {
+    for (const auto& rule : rules.rules()) {
+      if (rule.segment == segment && rule.cls == cls) return &rule;
+    }
+    return nullptr;
+  }
+
+  ontology::Ontology onto_;
+  ontology::ClassId root_, a_, b_;
+  std::unique_ptr<TrainingSet> ts_;
+  text::SeparatorSegmenter segmenter_;
+};
+
+TEST_F(LearnerTest, ExactCountsForPureSegment) {
+  const RuleSet rules = Learn(0.15);  // threshold count: > 1.5 examples
+  const ClassificationRule* aaa = FindRule(rules, "AAA", a_);
+  ASSERT_NE(aaa, nullptr);
+  EXPECT_EQ(aaa->counts.premise_count, 6u);
+  EXPECT_EQ(aaa->counts.class_count, 6u);
+  EXPECT_EQ(aaa->counts.joint_count, 6u);
+  EXPECT_EQ(aaa->counts.total, 10u);
+  EXPECT_DOUBLE_EQ(aaa->support, 0.6);
+  EXPECT_DOUBLE_EQ(aaa->confidence, 1.0);
+  EXPECT_DOUBLE_EQ(aaa->lift, 1.0 / 0.6);
+}
+
+TEST_F(LearnerTest, AmbiguousSegmentYieldsTwoRules) {
+  const RuleSet rules = Learn(0.15);
+  const ClassificationRule* mix_a = FindRule(rules, "MIX", a_);
+  const ClassificationRule* mix_b = FindRule(rules, "MIX", b_);
+  ASSERT_NE(mix_a, nullptr);
+  ASSERT_NE(mix_b, nullptr);
+  EXPECT_EQ(mix_a->counts.premise_count, 6u);
+  EXPECT_EQ(mix_a->counts.joint_count, 3u);
+  EXPECT_DOUBLE_EQ(mix_a->confidence, 0.5);
+  EXPECT_DOUBLE_EQ(mix_b->confidence, 0.5);
+  // lift(MIX -> B) = 0.5 / 0.4 > lift(MIX -> A) = 0.5 / 0.6.
+  EXPECT_GT(mix_b->lift, mix_a->lift);
+}
+
+TEST_F(LearnerTest, ThresholdPrunesInfrequentConjunctions) {
+  // "BB" occurs twice (0.2): kept at th=0.15, dropped at th=0.25.
+  EXPECT_NE(FindRule(Learn(0.15), "BB", b_), nullptr);
+  EXPECT_EQ(FindRule(Learn(0.25), "BB", b_), nullptr);
+}
+
+TEST_F(LearnerTest, ThresholdIsStrict) {
+  // "BB" has frequency exactly 0.2; the paper's "> th" must drop it at 0.2.
+  EXPECT_EQ(FindRule(Learn(0.2), "BB", b_), nullptr);
+}
+
+TEST_F(LearnerTest, SerialsNeverBecomeRules) {
+  const RuleSet rules = Learn(0.15);
+  for (const auto& rule : rules.rules()) {
+    EXPECT_NE(rule.segment.substr(0, 1), "S") << rule.segment;
+  }
+}
+
+TEST_F(LearnerTest, StatsAreExact) {
+  LearnStats stats;
+  Learn(0.15, &stats);
+  EXPECT_EQ(stats.num_examples, 10u);
+  // Distinct segments: AAA, MIX, BB, S0..S9 = 13.
+  EXPECT_EQ(stats.distinct_segments, 13u);
+  // Occurrences: 6 AAA + 6 MIX + 2 BB + 10 serials = 24.
+  EXPECT_EQ(stats.segment_occurrences, 24u);
+  // Frequent premises: AAA (6), MIX (6), BB (2).
+  EXPECT_EQ(stats.frequent_premises, 3u);
+  // Occurrences of the frequent premises: 6 + 6 + 2.
+  EXPECT_EQ(stats.selected_segment_occurrences, 14u);
+  EXPECT_EQ(stats.frequent_classes, 2u);
+  // Rules: AAA->A, MIX->A, MIX->B, BB->B.
+  EXPECT_EQ(stats.num_rules, 4u);
+  EXPECT_EQ(stats.classes_with_rules, 2u);
+}
+
+TEST_F(LearnerTest, MinConfidenceFilter) {
+  LearnerOptions options;
+  options.support_threshold = 0.15;
+  options.segmenter = &segmenter_;
+  options.min_confidence = 0.6;
+  auto rules = RuleLearner(options).Learn(*ts_);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : rules->rules()) {
+    EXPECT_GE(rule.confidence, 0.6);
+  }
+  // The 0.5-confidence MIX rules must be gone; the confidence-1 rules
+  // (AAA -> A and BB -> B) remain.
+  EXPECT_EQ(rules->size(), 2u);
+}
+
+TEST_F(LearnerTest, DuplicateSegmentInOneValueCountsOnce) {
+  TrainingSet ts(onto_);
+  Item item;
+  item.iri = "ext:dup";
+  item.facts.push_back(PropertyValue{"pn", "X-X-X"});
+  ts.AddExample(item, "local:dup", {a_});
+  Item other;
+  other.iri = "ext:other";
+  other.facts.push_back(PropertyValue{"pn", "X-Y"});
+  ts.AddExample(other, "local:other", {a_});
+
+  LearnerOptions options;
+  options.support_threshold = 0.4;
+  options.segmenter = &segmenter_;
+  auto rules = RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(rules.ok());
+  const ClassificationRule* x = nullptr;
+  for (const auto& rule : rules->rules()) {
+    if (rule.segment == "X") x = &rule;
+  }
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->counts.premise_count, 2u);  // two examples, not four
+}
+
+TEST_F(LearnerTest, MultiValuedPropertyCountsOncePerExample) {
+  TrainingSet ts(onto_);
+  Item item;
+  item.iri = "ext:multi";
+  item.facts.push_back(PropertyValue{"pn", "X-1"});
+  item.facts.push_back(PropertyValue{"pn", "X-2"});  // same property twice
+  ts.AddExample(item, "local:multi", {a_});
+  Item pad;
+  pad.iri = "ext:pad";
+  pad.facts.push_back(PropertyValue{"pn", "X-3"});
+  ts.AddExample(pad, "local:pad", {a_});
+
+  LearnerOptions options;
+  options.support_threshold = 0.4;
+  options.segmenter = &segmenter_;
+  auto rules = RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : rules->rules()) {
+    if (rule.segment == "X") {
+      EXPECT_EQ(rule.counts.premise_count, 2u);
+    }
+  }
+}
+
+TEST_F(LearnerTest, PropertySelectionRestrictsP) {
+  TrainingSet ts(onto_);
+  for (int i = 0; i < 4; ++i) {
+    Item item;
+    item.iri = "ext:i" + std::to_string(i);
+    item.facts.push_back(PropertyValue{"pn", "SIG-" + std::to_string(i)});
+    item.facts.push_back(PropertyValue{"mfr", "ACME"});
+    ts.AddExample(item, "local:l" + std::to_string(i), {a_});
+  }
+  LearnerOptions options;
+  options.support_threshold = 0.5;
+  options.segmenter = &segmenter_;
+  options.properties = {"pn"};
+  auto rules = RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(rules.ok());
+  // "ACME" would be a perfect premise but lives on an unselected property.
+  for (const auto& rule : rules->rules()) {
+    EXPECT_NE(rule.segment, "ACME");
+    EXPECT_EQ(rules->properties().name(rule.property), "pn");
+  }
+  // Without selection, the manufacturer rule appears.
+  options.properties.clear();
+  auto all = RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(all.ok());
+  bool saw_acme = false;
+  for (const auto& rule : all->rules()) saw_acme |= rule.segment == "ACME";
+  EXPECT_TRUE(saw_acme);
+}
+
+TEST_F(LearnerTest, ErrorOnEmptyTrainingSet) {
+  TrainingSet empty(onto_);
+  LearnerOptions options;
+  options.support_threshold = 0.1;
+  options.segmenter = &segmenter_;
+  EXPECT_FALSE(RuleLearner(options).Learn(empty).ok());
+}
+
+TEST_F(LearnerTest, ErrorOnMissingSegmenter) {
+  LearnerOptions options;
+  options.support_threshold = 0.1;
+  EXPECT_FALSE(RuleLearner(options).Learn(*ts_).ok());
+}
+
+TEST_F(LearnerTest, ErrorOnBadThreshold) {
+  LearnerOptions options;
+  options.segmenter = &segmenter_;
+  options.support_threshold = 0.0;
+  EXPECT_FALSE(RuleLearner(options).Learn(*ts_).ok());
+  options.support_threshold = 1.0;
+  EXPECT_FALSE(RuleLearner(options).Learn(*ts_).ok());
+  options.support_threshold = -0.5;
+  EXPECT_FALSE(RuleLearner(options).Learn(*ts_).ok());
+}
+
+TEST_F(LearnerTest, ErrorOnUnknownSelectedProperties) {
+  LearnerOptions options;
+  options.support_threshold = 0.1;
+  options.segmenter = &segmenter_;
+  options.properties = {"no-such-property"};
+  EXPECT_FALSE(RuleLearner(options).Learn(*ts_).ok());
+}
+
+TEST_F(LearnerTest, AllRuleCountsAreConsistent) {
+  const RuleSet rules = Learn(0.05);
+  for (const auto& rule : rules.rules()) {
+    EXPECT_TRUE(CountsAreConsistent(rule.counts));
+    EXPECT_GT(rule.support, 0.05);  // strict threshold respected
+  }
+}
+
+}  // namespace
+}  // namespace rulelink::core

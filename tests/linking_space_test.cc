@@ -1,0 +1,152 @@
+#include "core/linking_space.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "rdf/turtle.h"
+#include "text/segmenter.h"
+#include "util/logging.h"
+
+namespace rulelink::core {
+namespace {
+
+ClassificationRule MakeRule(PropertyId property, const std::string& segment,
+                            ontology::ClassId cls, double confidence_num,
+                            double confidence_den) {
+  ClassificationRule rule;
+  rule.property = property;
+  rule.segment = segment;
+  rule.cls = cls;
+  rule.counts = RuleCounts{static_cast<std::size_t>(confidence_den),
+                           10, static_cast<std::size_t>(confidence_num),
+                           100};
+  rule.ComputeMeasures();
+  return rule;
+}
+
+// Local source: class A {l1,l2}, class B {l3}, subclass A1 of A {l4}.
+class LinkingSpaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(rdf::ParseTurtle(
+                    "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+                    "@prefix ex: <http://e/> .\n"
+                    "ex:A rdfs:subClassOf ex:Root .\n"
+                    "ex:B rdfs:subClassOf ex:Root .\n"
+                    "ex:A1 rdfs:subClassOf ex:A .\n"
+                    "ex:l1 a ex:A .\n"
+                    "ex:l2 a ex:A .\n"
+                    "ex:l3 a ex:B .\n"
+                    "ex:l4 a ex:A1 .\n",
+                    &local_)
+                    .ok());
+    auto onto_or = ontology::Ontology::FromGraph(local_);
+    ASSERT_TRUE(onto_or.ok());
+    onto_ = std::move(onto_or).value();
+    index_ = std::make_unique<ontology::InstanceIndex>(
+        ontology::InstanceIndex::Build(local_, onto_));
+
+    properties_.Intern("pn");
+    std::vector<ClassificationRule> rules;
+    rules.push_back(MakeRule(0, "AAA", onto_.FindByIri("http://e/A"), 10, 10));
+    rules.push_back(MakeRule(0, "BBB", onto_.FindByIri("http://e/B"), 8, 10));
+    set_ = std::make_unique<RuleSet>(std::move(rules), properties_);
+    classifier_ = std::make_unique<RuleClassifier>(set_.get(), &segmenter_);
+    analyzer_ = std::make_unique<LinkingSpaceAnalyzer>(classifier_.get(),
+                                                       index_.get());
+  }
+
+  Item MakeItem(const std::string& pn) {
+    Item item;
+    item.iri = "ext:x";
+    item.facts.push_back(PropertyValue{"pn", pn});
+    return item;
+  }
+
+  rdf::Graph local_;
+  ontology::Ontology onto_;
+  std::unique_ptr<ontology::InstanceIndex> index_;
+  PropertyCatalog properties_;
+  std::unique_ptr<RuleSet> set_;
+  text::SeparatorSegmenter segmenter_;
+  std::unique_ptr<RuleClassifier> classifier_;
+  std::unique_ptr<LinkingSpaceAnalyzer> analyzer_;
+};
+
+TEST_F(LinkingSpaceTest, SubspaceIncludesSubclassInstances) {
+  // Class A's transitive extent: l1, l2 and A1's l4.
+  EXPECT_EQ(analyzer_->SubspaceSize(MakeItem("AAA-1"), 0.0,
+                                    UnclassifiedPolicy::kSkip),
+            3u);
+}
+
+TEST_F(LinkingSpaceTest, SubspaceOfLeafClass) {
+  EXPECT_EQ(analyzer_->SubspaceSize(MakeItem("BBB-1"), 0.0,
+                                    UnclassifiedPolicy::kSkip),
+            1u);
+}
+
+TEST_F(LinkingSpaceTest, UnionOfTwoPredictions) {
+  EXPECT_EQ(analyzer_->SubspaceSize(MakeItem("AAA-BBB"), 0.0,
+                                    UnclassifiedPolicy::kSkip),
+            4u);
+}
+
+TEST_F(LinkingSpaceTest, UnclassifiedPolicies) {
+  const Item unknown = MakeItem("ZZZ");
+  EXPECT_EQ(analyzer_->SubspaceSize(unknown, 0.0,
+                                    UnclassifiedPolicy::kSkip),
+            0u);
+  EXPECT_EQ(analyzer_->SubspaceSize(unknown, 0.0,
+                                    UnclassifiedPolicy::kCompareAll),
+            4u);  // whole local source
+}
+
+TEST_F(LinkingSpaceTest, MinConfidenceChangesSubspace) {
+  // BBB rule has confidence 0.8; at min_confidence 0.9 it no longer fires.
+  EXPECT_EQ(analyzer_->SubspaceSize(MakeItem("AAA-BBB"), 0.9,
+                                    UnclassifiedPolicy::kSkip),
+            3u);
+}
+
+TEST_F(LinkingSpaceTest, CandidatesAreRankedAndDeduplicated) {
+  const auto candidates = analyzer_->Candidates(MakeItem("BBB-AAA"), 0.0);
+  ASSERT_EQ(candidates.size(), 4u);
+  // AAA rule (confidence 1) outranks BBB (0.8): A's instances come first.
+  EXPECT_EQ(index_->IriOf(candidates[0]), "http://e/l1");
+}
+
+TEST_F(LinkingSpaceTest, AnalyzeAggregates) {
+  const std::vector<Item> external = {MakeItem("AAA-1"), MakeItem("BBB-2"),
+                                      MakeItem("ZZZ-3")};
+  const auto report = analyzer_->Analyze(external, 0.0,
+                                         UnclassifiedPolicy::kSkip);
+  EXPECT_EQ(report.num_external_items, 3u);
+  EXPECT_EQ(report.local_size, 4u);
+  EXPECT_EQ(report.naive_pairs, 12u);
+  EXPECT_EQ(report.reduced_pairs, 3u + 1u);  // A-subspace + B-subspace
+  EXPECT_EQ(report.classified_items, 2u);
+  EXPECT_EQ(report.unclassified_items, 1u);
+  EXPECT_NEAR(report.reduction_ratio, 1.0 - 4.0 / 12.0, 1e-12);
+  EXPECT_NEAR(report.mean_subspace_fraction, (3.0 / 4 + 1.0 / 4) / 2, 1e-12);
+}
+
+TEST_F(LinkingSpaceTest, AnalyzeCompareAllPolicy) {
+  const std::vector<Item> external = {MakeItem("ZZZ")};
+  const auto report = analyzer_->Analyze(external, 0.0,
+                                         UnclassifiedPolicy::kCompareAll);
+  EXPECT_EQ(report.reduced_pairs, 4u);
+  EXPECT_NEAR(report.reduction_ratio, 0.0, 1e-12);
+}
+
+TEST_F(LinkingSpaceTest, EmptyExternalSource) {
+  const auto report =
+      analyzer_->Analyze({}, 0.0, UnclassifiedPolicy::kSkip);
+  EXPECT_EQ(report.naive_pairs, 0u);
+  EXPECT_DOUBLE_EQ(report.reduction_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_subspace_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace rulelink::core

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "linking/evaluation.h"
+#include "linking/linker.h"
+#include "linking/matcher.h"
+
+namespace rulelink::linking {
+namespace {
+
+core::Item MakeItem(const std::string& iri, const std::string& pn,
+                    const std::string& mfr = "") {
+  core::Item item;
+  item.iri = iri;
+  item.facts.push_back(core::PropertyValue{"pn", pn});
+  if (!mfr.empty()) {
+    item.facts.push_back(core::PropertyValue{"mfr", mfr});
+  }
+  return item;
+}
+
+TEST(ComputeSimilarityTest, DispatchesAllMeasures) {
+  EXPECT_DOUBLE_EQ(
+      ComputeSimilarity(SimilarityMeasure::kExact, "a", "a"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ComputeSimilarity(SimilarityMeasure::kExact, "a", "b"), 0.0);
+  for (SimilarityMeasure m :
+       {SimilarityMeasure::kLevenshtein, SimilarityMeasure::kJaro,
+        SimilarityMeasure::kJaroWinkler, SimilarityMeasure::kJaccardTokens,
+        SimilarityMeasure::kDiceBigram, SimilarityMeasure::kMongeElkan}) {
+    EXPECT_DOUBLE_EQ(ComputeSimilarity(m, "same", "same"), 1.0)
+        << SimilarityMeasureName(m);
+    // Multi-token inputs so the token-based measures see partial overlap.
+    const double s =
+        ComputeSimilarity(m, "CRCW0805 10K ohm", "CRCW0806 10K ohm");
+    EXPECT_GT(s, 0.0) << SimilarityMeasureName(m);
+    EXPECT_LT(s, 1.0) << SimilarityMeasureName(m);
+  }
+}
+
+TEST(ItemMatcherTest, SingleAttributeScore) {
+  const ItemMatcher matcher({{"pn", "pn", SimilarityMeasure::kExact, 1.0}});
+  EXPECT_DOUBLE_EQ(
+      matcher.Score(MakeItem("e", "X-1"), MakeItem("l", "X-1")), 1.0);
+  EXPECT_DOUBLE_EQ(
+      matcher.Score(MakeItem("e", "X-1"), MakeItem("l", "Y-2")), 0.0);
+}
+
+TEST(ItemMatcherTest, WeightedAggregation) {
+  const ItemMatcher matcher({
+      {"pn", "pn", SimilarityMeasure::kExact, 3.0},
+      {"mfr", "mfr", SimilarityMeasure::kExact, 1.0},
+  });
+  // pn matches, mfr does not: (3*1 + 1*0) / 4.
+  EXPECT_DOUBLE_EQ(matcher.Score(MakeItem("e", "X", "ACME"),
+                                 MakeItem("l", "X", "OTHER")),
+                   0.75);
+}
+
+TEST(ItemMatcherTest, MissingAttributeRenormalizes) {
+  const ItemMatcher matcher({
+      {"pn", "pn", SimilarityMeasure::kExact, 3.0},
+      {"mfr", "mfr", SimilarityMeasure::kExact, 1.0},
+  });
+  // mfr missing on one side: only pn counts.
+  EXPECT_DOUBLE_EQ(
+      matcher.Score(MakeItem("e", "X", "ACME"), MakeItem("l", "X")), 1.0);
+  // Everything missing: zero.
+  core::Item empty;
+  empty.iri = "e";
+  EXPECT_DOUBLE_EQ(matcher.Score(empty, MakeItem("l", "X")), 0.0);
+}
+
+TEST(ItemMatcherTest, BestValuePairWins) {
+  core::Item multi;
+  multi.iri = "e";
+  multi.facts.push_back(core::PropertyValue{"pn", "WRONG"});
+  multi.facts.push_back(core::PropertyValue{"pn", "X-1"});
+  const ItemMatcher matcher({{"pn", "pn", SimilarityMeasure::kExact, 1.0}});
+  EXPECT_DOUBLE_EQ(matcher.Score(multi, MakeItem("l", "X-1")), 1.0);
+}
+
+TEST(ItemMatcherTest, CrossPropertyMapping) {
+  core::Item external;
+  external.iri = "e";
+  external.facts.push_back(
+      core::PropertyValue{"provider:pn", "X-1"});
+  const ItemMatcher matcher(
+      {{"provider:pn", "pn", SimilarityMeasure::kExact, 1.0}});
+  EXPECT_DOUBLE_EQ(matcher.Score(external, MakeItem("l", "X-1")), 1.0);
+}
+
+class LinkerTest : public ::testing::Test {
+ protected:
+  LinkerTest()
+      : matcher_({{"pn", "pn", SimilarityMeasure::kJaroWinkler, 1.0}}) {
+    external_ = {MakeItem("e0", "CRCW0805-10K"), MakeItem("e1", "T83-106")};
+    local_ = {MakeItem("l0", "CRCW0805-10K"), MakeItem("l1", "CRCW0805-22K"),
+              MakeItem("l2", "T83-106"), MakeItem("l3", "unrelated-zzz")};
+    for (std::size_t e = 0; e < external_.size(); ++e) {
+      for (std::size_t l = 0; l < local_.size(); ++l) {
+        all_pairs_.push_back(blocking::CandidatePair{e, l});
+      }
+    }
+  }
+
+  ItemMatcher matcher_;
+  std::vector<core::Item> external_, local_;
+  std::vector<blocking::CandidatePair> all_pairs_;
+};
+
+TEST_F(LinkerTest, BestPerExternalKeepsArgmax) {
+  const Linker linker(&matcher_, 0.9);
+  LinkerStats stats;
+  const auto links = linker.Run(external_, local_, all_pairs_, &stats);
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0].external_index, 0u);
+  EXPECT_EQ(links[0].local_index, 0u);
+  EXPECT_DOUBLE_EQ(links[0].score, 1.0);
+  EXPECT_EQ(links[1].external_index, 1u);
+  EXPECT_EQ(links[1].local_index, 2u);
+  EXPECT_EQ(stats.comparisons, 8u);
+  EXPECT_EQ(stats.links_emitted, 2u);
+}
+
+TEST_F(LinkerTest, ThresholdSuppressesWeakLinks) {
+  const Linker strict(&matcher_, 1.0);
+  const std::vector<blocking::CandidatePair> only_weak = {{0, 3}};
+  EXPECT_TRUE(strict.Run(external_, local_, only_weak, nullptr).empty());
+}
+
+TEST_F(LinkerTest, AllAboveThresholdStrategy) {
+  const Linker linker(&matcher_, 0.9, Linker::Strategy::kAllAboveThreshold);
+  const auto links = linker.Run(external_, local_, all_pairs_, nullptr);
+  // e0 matches l0 perfectly and l1 very closely (same long prefix).
+  EXPECT_GE(links.size(), 3u);
+}
+
+TEST_F(LinkerTest, DuplicateCandidatesScoredOnce) {
+  std::vector<blocking::CandidatePair> duplicated = {{0, 0}, {0, 0}, {0, 0}};
+  const Linker linker(&matcher_, 0.5);
+  LinkerStats stats;
+  linker.Run(external_, local_, duplicated, &stats);
+  EXPECT_EQ(stats.comparisons, 1u);
+}
+
+TEST_F(LinkerTest, NoCandidatesNoLinks) {
+  const Linker linker(&matcher_, 0.5);
+  LinkerStats stats;
+  EXPECT_TRUE(linker.Run(external_, local_, {}, &stats).empty());
+  EXPECT_EQ(stats.comparisons, 0u);
+}
+
+TEST(EvaluationTest, PerfectLinkage) {
+  const std::vector<Link> links = {{0, 0, 1.0}, {1, 1, 0.95}};
+  const std::vector<blocking::CandidatePair> gold = {{0, 0}, {1, 1}};
+  const auto q = EvaluateLinks(links, gold);
+  EXPECT_EQ(q.correct, 2u);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+}
+
+TEST(EvaluationTest, PartialLinkage) {
+  const std::vector<Link> links = {{0, 0, 1.0}, {1, 3, 0.9}};
+  const std::vector<blocking::CandidatePair> gold = {{0, 0}, {1, 1}, {2, 2}};
+  const auto q = EvaluateLinks(links, gold);
+  EXPECT_EQ(q.correct, 1u);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_NEAR(q.recall, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q.f1, 2 * 0.5 * (1.0 / 3) / (0.5 + 1.0 / 3), 1e-12);
+}
+
+TEST(EvaluationTest, EmptyCases) {
+  const auto q = EvaluateLinks({}, {});
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace rulelink::linking

@@ -1,0 +1,49 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace rulelink::util {
+namespace {
+
+TEST(LoggingTest, MinSeverityRoundTrip) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, BelowThresholdLogsAreSuppressed) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  ::testing::internal::CaptureStderr();
+  RL_LOG(Info) << "invisible";
+  RL_LOG(Warning) << "also invisible";
+  RL_LOG(Error) << "visible";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  SetMinLogSeverity(original);
+  EXPECT_EQ(err.find("invisible"), std::string::npos);
+  EXPECT_NE(err.find("visible"), std::string::npos);
+  EXPECT_NE(err.find("[E "), std::string::npos);
+  EXPECT_NE(err.find("logging_test.cc"), std::string::npos);
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  RL_CHECK(1 + 1 == 2) << "never evaluated";
+  RL_CHECK_OK(OkStatus());
+  RL_DCHECK(true);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(RL_CHECK(false) << "boom message",
+               "Check failed: false.*boom message");
+}
+
+TEST(LoggingDeathTest, CheckOkFailureAborts) {
+  EXPECT_DEATH(RL_CHECK_OK(InternalError("bad state")), "bad state");
+}
+
+}  // namespace
+}  // namespace rulelink::util

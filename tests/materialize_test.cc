@@ -1,0 +1,77 @@
+#include "ontology/materialize.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/turtle.h"
+#include "rdf/vocab.h"
+
+namespace rulelink::ontology {
+namespace {
+
+class MaterializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto status = rdf::ParseTurtle(
+        "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+        "@prefix ex: <http://e/> .\n"
+        "ex:B rdfs:subClassOf ex:A .\n"
+        "ex:C rdfs:subClassOf ex:B .\n"
+        "ex:i1 a ex:C .\n"
+        "ex:i2 a ex:B .\n"
+        "ex:i3 a ex:Unknown .\n",
+        &graph_);
+    ASSERT_TRUE(status.ok()) << status;
+    auto onto_or = Ontology::FromGraph(graph_);
+    ASSERT_TRUE(onto_or.ok());
+    onto_ = std::move(onto_or).value();
+  }
+
+  std::size_t TypeCount(const std::string& instance,
+                        const std::string& cls) {
+    const rdf::TermId s = graph_.dict().FindIri(instance);
+    const rdf::TermId p = graph_.dict().FindIri(rdf::vocab::kRdfType);
+    const rdf::TermId o = graph_.dict().FindIri(cls);
+    if (s == rdf::kInvalidTermId || o == rdf::kInvalidTermId) return 0;
+    return graph_.CountMatches(rdf::TriplePattern{s, p, o});
+  }
+
+  rdf::Graph graph_;
+  Ontology onto_;
+};
+
+TEST_F(MaterializeTest, AddsEntailedTypes) {
+  // i1: C -> +B +A; i2: B -> +A. Unknown class: nothing.
+  const std::size_t added = MaterializeTypes(onto_, &graph_);
+  EXPECT_EQ(added, 3u);
+  EXPECT_EQ(TypeCount("http://e/i1", "http://e/B"), 1u);
+  EXPECT_EQ(TypeCount("http://e/i1", "http://e/A"), 1u);
+  EXPECT_EQ(TypeCount("http://e/i2", "http://e/A"), 1u);
+  EXPECT_EQ(TypeCount("http://e/i3", "http://e/A"), 0u);
+}
+
+TEST_F(MaterializeTest, Idempotent) {
+  MaterializeTypes(onto_, &graph_);
+  const std::size_t size = graph_.size();
+  EXPECT_EQ(MaterializeTypes(onto_, &graph_), 0u);
+  EXPECT_EQ(graph_.size(), size);
+}
+
+TEST_F(MaterializeTest, PlainMatchingSeesTransitiveExtent) {
+  MaterializeTypes(onto_, &graph_);
+  const rdf::TermId type_id =
+      graph_.dict().FindIri(rdf::vocab::kRdfType);
+  const rdf::TermId a_id = graph_.dict().FindIri("http://e/A");
+  // Both i1 and i2 are now direct instances of A.
+  EXPECT_EQ(graph_.CountMatches(
+                rdf::TriplePattern{rdf::kInvalidTermId, type_id, a_id}),
+            2u);
+}
+
+TEST_F(MaterializeTest, GraphWithoutTypesIsNoOp) {
+  rdf::Graph empty;
+  empty.InsertIri("http://s", "http://p", "http://o");
+  EXPECT_EQ(MaterializeTypes(onto_, &empty), 0u);
+}
+
+}  // namespace
+}  // namespace rulelink::ontology

@@ -1,0 +1,122 @@
+#include "rdf/nquads.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/vocab.h"
+
+namespace rulelink::rdf {
+namespace {
+
+TEST(NQuadsTest, DefaultAndNamedGraphs) {
+  Dataset dataset;
+  const auto status = ParseNQuads(
+      "<http://a> <http://p> <http://b> .\n"
+      "<http://a> <http://p> <http://c> <http://g1> .\n"
+      "<http://a> <http://p> <http://d> <http://g2> .\n"
+      "<http://a> <http://q> <http://e> <http://g1> .\n",
+      &dataset);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(dataset.TotalTriples(), 4u);
+  ASSERT_TRUE(dataset.HasGraph(""));
+  ASSERT_TRUE(dataset.HasGraph("http://g1"));
+  ASSERT_TRUE(dataset.HasGraph("http://g2"));
+  EXPECT_EQ(dataset.FindGraph("")->size(), 1u);
+  EXPECT_EQ(dataset.FindGraph("http://g1")->size(), 2u);
+  EXPECT_EQ(dataset.FindGraph("http://g2")->size(), 1u);
+  EXPECT_EQ(dataset.FindGraph("http://nope"), nullptr);
+}
+
+TEST(NQuadsTest, LiteralObjectsWithGraph) {
+  Dataset dataset;
+  const auto status = ParseNQuads(
+      "<http://a> <http://p> \"v1\"@en <http://g> .\n"
+      "<http://a> <http://p> \"42\"^^<http://dt> <http://g> .\n",
+      &dataset);
+  ASSERT_TRUE(status.ok()) << status;
+  const Graph* g = dataset.FindGraph("http://g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_NE(g->dict().Find(Term::LangLiteral("v1", "en")), kInvalidTermId);
+  EXPECT_NE(g->dict().Find(Term::TypedLiteral("42", "http://dt")),
+            kInvalidTermId);
+}
+
+TEST(NQuadsTest, ProvenanceScenario) {
+  // One named graph per provider delivery of validated links (§3).
+  Dataset dataset;
+  const auto status = ParseNQuads(
+      "<http://p/d1> <http://www.w3.org/2002/07/owl#sameAs> <http://c/1> "
+      "<http://deliveries/2026-01> .\n"
+      "<http://p/d2> <http://www.w3.org/2002/07/owl#sameAs> <http://c/2> "
+      "<http://deliveries/2026-02> .\n",
+      &dataset);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(dataset.GraphNames().size(), 2u);
+  // Merging drops provenance but yields the full training link set.
+  const Graph merged = dataset.Merged();
+  EXPECT_EQ(merged.size(), 2u);
+  const TermId sameas = merged.dict().FindIri(vocab::kOwlSameAs);
+  EXPECT_EQ(merged.CountMatches(
+                TriplePattern{kInvalidTermId, sameas, kInvalidTermId}),
+            2u);
+}
+
+TEST(NQuadsTest, RoundTrip) {
+  Dataset dataset;
+  dataset.DefaultGraph().InsertIri("http://s", "http://p", "http://o");
+  dataset.NamedGraph("http://g").Insert(
+      Term::Iri("http://s"), Term::Iri("http://p"),
+      Term::Literal("with \"quotes\" and\nnewline"));
+  const std::string serialized = WriteNQuads(dataset);
+
+  Dataset parsed;
+  ASSERT_TRUE(ParseNQuads(serialized, &parsed).ok());
+  EXPECT_EQ(parsed.TotalTriples(), 2u);
+  EXPECT_EQ(parsed.FindGraph("")->size(), 1u);
+  ASSERT_NE(parsed.FindGraph("http://g"), nullptr);
+  EXPECT_NE(parsed.FindGraph("http://g")->dict().Find(
+                Term::Literal("with \"quotes\" and\nnewline")),
+            kInvalidTermId);
+}
+
+TEST(NQuadsTest, NTriplesContentIsValidNQuads) {
+  Dataset dataset;
+  ASSERT_TRUE(ParseNQuads(
+                  "# comment\n"
+                  "<http://a> <http://p> \"plain\" .\n",
+                  &dataset)
+                  .ok());
+  EXPECT_EQ(dataset.FindGraph("")->size(), 1u);
+}
+
+TEST(NQuadsTest, Errors) {
+  Dataset dataset;
+  // Literal graph label.
+  EXPECT_FALSE(
+      ParseNQuads("<http://a> <http://p> <http://b> \"g\" .\n", &dataset)
+          .ok());
+  // Blank-node graph labels are IRIs-only in this implementation.
+  EXPECT_FALSE(
+      ParseNQuads("<http://a> <http://p> <http://b> _:g .\n", &dataset)
+          .ok());
+  // Missing dot.
+  EXPECT_FALSE(
+      ParseNQuads("<http://a> <http://p> <http://b> <http://g>\n", &dataset)
+          .ok());
+  // Trailing garbage.
+  EXPECT_FALSE(ParseNQuads(
+                   "<http://a> <http://p> <http://b> <http://g> . x\n",
+                   &dataset)
+                   .ok());
+  // Literal subject.
+  EXPECT_FALSE(
+      ParseNQuads("\"s\" <http://p> <http://b> .\n", &dataset).ok());
+}
+
+TEST(NQuadsTest, MissingFile) {
+  Dataset dataset;
+  EXPECT_EQ(ParseNQuadsFile("/nonexistent.nq", &dataset).code(),
+            util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rulelink::rdf

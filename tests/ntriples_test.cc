@@ -1,0 +1,165 @@
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+namespace rulelink::rdf {
+namespace {
+
+TEST(NTriplesParseTest, BasicTriples) {
+  Graph g;
+  const auto status = ParseNTriples(
+      "<http://a> <http://p> <http://b> .\n"
+      "<http://a> <http://p> \"literal\" .\n",
+      &g);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(NTriplesParseTest, CommentsAndBlankLines) {
+  Graph g;
+  const auto status = ParseNTriples(
+      "# a comment\n"
+      "\n"
+      "   \n"
+      "<http://a> <http://p> <http://b> . # trailing comment\n",
+      &g);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(NTriplesParseTest, LangAndTypedLiterals) {
+  Graph g;
+  const auto status = ParseNTriples(
+      "<http://a> <http://p> \"chat\"@fr .\n"
+      "<http://a> <http://q> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+      &g);
+  ASSERT_TRUE(status.ok()) << status;
+  const TermId lang = g.dict().Find(Term::LangLiteral("chat", "fr"));
+  EXPECT_NE(lang, kInvalidTermId);
+  const TermId typed = g.dict().Find(Term::TypedLiteral(
+      "42", "http://www.w3.org/2001/XMLSchema#integer"));
+  EXPECT_NE(typed, kInvalidTermId);
+}
+
+TEST(NTriplesParseTest, BlankNodes) {
+  Graph g;
+  const auto status =
+      ParseNTriples("_:b0 <http://p> _:b1 .\n", &g);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(g.dict().Find(Term::BlankNode("b0")), kInvalidTermId);
+  EXPECT_NE(g.dict().Find(Term::BlankNode("b1")), kInvalidTermId);
+}
+
+TEST(NTriplesParseTest, EscapesInLiterals) {
+  Graph g;
+  const auto status = ParseNTriples(
+      "<http://a> <http://p> \"line1\\nline2\\t\\\"q\\\" \\\\\" .\n", &g);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(g.dict().Find(Term::Literal("line1\nline2\t\"q\" \\")),
+            kInvalidTermId);
+}
+
+TEST(NTriplesParseTest, UnicodeEscapes) {
+  Graph g;
+  const auto status = ParseNTriples(
+      "<http://a> <http://p> \"caf\\u00E9\" .\n", &g);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(g.dict().Find(Term::Literal("caf\xC3\xA9")), kInvalidTermId);
+}
+
+TEST(NTriplesParseTest, NoTrailingNewline) {
+  Graph g;
+  ASSERT_TRUE(ParseNTriples("<http://a> <http://p> <http://b> .", &g).ok());
+  EXPECT_EQ(g.size(), 1u);
+}
+
+struct BadInput {
+  const char* name;
+  const char* content;
+};
+
+class NTriplesErrorTest : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(NTriplesErrorTest, RejectsMalformedInput) {
+  Graph g;
+  const auto status = ParseNTriples(GetParam().content, &g);
+  EXPECT_FALSE(status.ok()) << GetParam().name;
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, NTriplesErrorTest,
+    ::testing::Values(
+        BadInput{"missing_dot", "<http://a> <http://p> <http://b>\n"},
+        BadInput{"literal_subject", "\"x\" <http://p> <http://b> .\n"},
+        BadInput{"literal_predicate", "<http://a> \"p\" <http://b> .\n"},
+        BadInput{"blank_predicate", "<http://a> _:p <http://b> .\n"},
+        BadInput{"unterminated_iri", "<http://a <http://p> <http://b> .\n"},
+        BadInput{"unterminated_literal",
+                 "<http://a> <http://p> \"oops .\n"},
+        BadInput{"garbage_after_dot",
+                 "<http://a> <http://p> <http://b> . junk\n"},
+        BadInput{"missing_object", "<http://a> <http://p> .\n"},
+        BadInput{"bad_escape", "<http://a> <http://p> \"\\x\" .\n"},
+        BadInput{"bad_unicode_escape",
+                 "<http://a> <http://p> \"\\u00G9\" .\n"},
+        BadInput{"empty_blank_label", "_: <http://p> <http://b> .\n"}),
+    [](const ::testing::TestParamInfo<BadInput>& info) {
+      return info.param.name;
+    });
+
+TEST(NTriplesErrorTest, ErrorMentionsLineNumber) {
+  Graph g;
+  const auto status = ParseNTriples(
+      "<http://a> <http://p> <http://b> .\n"
+      "broken line\n",
+      &g);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos)
+      << status.message();
+}
+
+TEST(NTriplesRoundTripTest, WriteThenParseIsIdentity) {
+  Graph g;
+  g.InsertIri("http://s", "http://p", "http://o");
+  g.Insert(Term::Iri("http://s"), Term::Iri("http://p"),
+           Term::LangLiteral("héllo \"world\"\n", "en-GB"));
+  g.Insert(Term::BlankNode("x"), Term::Iri("http://p"),
+           Term::TypedLiteral("3.14", "http://www.w3.org/2001/XMLSchema#double"));
+
+  const std::string serialized = WriteNTriples(g);
+  Graph g2;
+  ASSERT_TRUE(ParseNTriples(serialized, &g2).ok());
+  ASSERT_EQ(g2.size(), g.size());
+  // Same triples term-by-term.
+  for (const Triple& t : g.triples()) {
+    const Triple mapped{
+        g2.dict().Find(g.dict().term(t.subject)),
+        g2.dict().Find(g.dict().term(t.predicate)),
+        g2.dict().Find(g.dict().term(t.object)),
+    };
+    EXPECT_TRUE(g2.Contains(mapped));
+  }
+}
+
+TEST(NTriplesFileTest, MissingFileIsNotFound) {
+  Graph g;
+  const auto status = ParseNTriplesFile("/nonexistent/file.nt", &g);
+  EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+}
+
+TEST(ParseTermTest, SingleTerms) {
+  auto iri = ParseNTriplesTerm("<http://x>");
+  ASSERT_TRUE(iri.ok());
+  EXPECT_EQ(iri.value(), Term::Iri("http://x"));
+
+  auto lit = ParseNTriplesTerm("\"v\"@en");
+  ASSERT_TRUE(lit.ok());
+  EXPECT_EQ(lit.value(), Term::LangLiteral("v", "en"));
+
+  EXPECT_FALSE(ParseNTriplesTerm("<http://x> extra").ok());
+  EXPECT_FALSE(ParseNTriplesTerm("").ok());
+}
+
+}  // namespace
+}  // namespace rulelink::rdf

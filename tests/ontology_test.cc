@@ -1,0 +1,230 @@
+#include "ontology/ontology.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "rdf/turtle.h"
+
+namespace rulelink::ontology {
+namespace {
+
+// Diamond-ish taxonomy:
+//        Thing
+//       |      |
+//   Device    Passive
+//     |      |     |
+//   Sensor   R     C
+//             |   |
+//          (RC is sub of both R and C)
+class OntologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    thing_ = onto_.AddClass("ex:Thing", "Thing");
+    device_ = onto_.AddClass("ex:Device", "Device");
+    passive_ = onto_.AddClass("ex:Passive", "Passive");
+    sensor_ = onto_.AddClass("ex:Sensor", "Sensor");
+    r_ = onto_.AddClass("ex:R", "Resistor");
+    c_ = onto_.AddClass("ex:C", "Capacitor");
+    rc_ = onto_.AddClass("ex:RC", "RC Network");
+    ASSERT_TRUE(onto_.AddSubClassOf(device_, thing_).ok());
+    ASSERT_TRUE(onto_.AddSubClassOf(passive_, thing_).ok());
+    ASSERT_TRUE(onto_.AddSubClassOf(sensor_, device_).ok());
+    ASSERT_TRUE(onto_.AddSubClassOf(r_, passive_).ok());
+    ASSERT_TRUE(onto_.AddSubClassOf(c_, passive_).ok());
+    ASSERT_TRUE(onto_.AddSubClassOf(rc_, r_).ok());
+    ASSERT_TRUE(onto_.AddSubClassOf(rc_, c_).ok());
+    ASSERT_TRUE(onto_.AddDisjointWith(device_, passive_).ok());
+    ASSERT_TRUE(onto_.Finalize().ok());
+  }
+
+  Ontology onto_;
+  ClassId thing_, device_, passive_, sensor_, r_, c_, rc_;
+};
+
+TEST_F(OntologyTest, AddClassIsIdempotent) {
+  Ontology o;
+  const ClassId a = o.AddClass("x", "first label");
+  const ClassId b = o.AddClass("x", "ignored");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(o.num_classes(), 1u);
+  EXPECT_EQ(o.label(a), "first label");
+}
+
+TEST_F(OntologyTest, LabelBackfill) {
+  Ontology o;
+  const ClassId a = o.AddClass("x");
+  o.AddClass("x", "late label");
+  EXPECT_EQ(o.label(a), "late label");
+}
+
+TEST_F(OntologyTest, FindByIri) {
+  EXPECT_EQ(onto_.FindByIri("ex:Sensor"), sensor_);
+  EXPECT_EQ(onto_.FindByIri("ex:Nope"), kInvalidClassId);
+}
+
+TEST_F(OntologyTest, SubsumptionIsReflexive) {
+  for (ClassId c = 0; c < onto_.num_classes(); ++c) {
+    EXPECT_TRUE(onto_.IsSubClassOf(c, c));
+  }
+}
+
+TEST_F(OntologyTest, SubsumptionIsTransitive) {
+  EXPECT_TRUE(onto_.IsSubClassOf(sensor_, thing_));
+  EXPECT_TRUE(onto_.IsSubClassOf(rc_, thing_));
+  EXPECT_TRUE(onto_.IsSubClassOf(rc_, passive_));
+}
+
+TEST_F(OntologyTest, SubsumptionThroughBothDiamondArms) {
+  EXPECT_TRUE(onto_.IsSubClassOf(rc_, r_));
+  EXPECT_TRUE(onto_.IsSubClassOf(rc_, c_));
+}
+
+TEST_F(OntologyTest, SubsumptionIsDirectional) {
+  EXPECT_FALSE(onto_.IsSubClassOf(thing_, sensor_));
+  EXPECT_FALSE(onto_.IsSubClassOf(r_, c_));
+  EXPECT_FALSE(onto_.IsSubClassOf(sensor_, passive_));
+}
+
+TEST_F(OntologyTest, AncestorsAreStrict) {
+  const auto anc = onto_.Ancestors(rc_);
+  EXPECT_EQ(anc.size(), 4u);  // r, c, passive, thing
+  EXPECT_EQ(std::count(anc.begin(), anc.end(), rc_), 0);
+}
+
+TEST_F(OntologyTest, DescendantsAreStrict) {
+  const auto desc = onto_.Descendants(passive_);
+  EXPECT_EQ(desc.size(), 3u);  // r, c, rc
+  const auto all = onto_.Descendants(thing_);
+  EXPECT_EQ(all.size(), 6u);
+}
+
+TEST_F(OntologyTest, DescendantsOfLeafIsEmpty) {
+  EXPECT_TRUE(onto_.Descendants(sensor_).empty());
+}
+
+TEST_F(OntologyTest, LeavesAndRoots) {
+  const auto leaves = onto_.Leaves();
+  EXPECT_EQ(leaves.size(), 2u);  // sensor, rc
+  EXPECT_TRUE(std::count(leaves.begin(), leaves.end(), sensor_));
+  EXPECT_TRUE(std::count(leaves.begin(), leaves.end(), rc_));
+  const auto roots = onto_.Roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], thing_);
+}
+
+TEST_F(OntologyTest, DepthIsLongestPath) {
+  EXPECT_EQ(onto_.Depth(thing_), 0u);
+  EXPECT_EQ(onto_.Depth(passive_), 1u);
+  EXPECT_EQ(onto_.Depth(rc_), 3u);
+  EXPECT_EQ(onto_.MaxDepth(), 3u);
+}
+
+TEST_F(OntologyTest, Disjointness) {
+  EXPECT_TRUE(onto_.AreDisjoint(device_, passive_));
+  EXPECT_TRUE(onto_.AreDisjoint(passive_, device_));  // symmetric
+  EXPECT_FALSE(onto_.AreDisjoint(r_, c_));
+}
+
+TEST_F(OntologyTest, MostSpecificFiltersAncestors) {
+  const auto ms = onto_.MostSpecific({thing_, passive_, r_, rc_});
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(ms[0], rc_);
+}
+
+TEST_F(OntologyTest, MostSpecificKeepsIncomparables) {
+  const auto ms = onto_.MostSpecific({sensor_, r_, thing_});
+  EXPECT_EQ(ms.size(), 2u);
+}
+
+TEST_F(OntologyTest, MostSpecificDeduplicates) {
+  const auto ms = onto_.MostSpecific({r_, r_, r_});
+  ASSERT_EQ(ms.size(), 1u);
+}
+
+TEST_F(OntologyTest, LeastCommonAncestors) {
+  const auto lca_rc = onto_.LeastCommonAncestors(r_, c_);
+  ASSERT_EQ(lca_rc.size(), 1u);
+  EXPECT_EQ(lca_rc[0], passive_);
+
+  const auto lca_cross = onto_.LeastCommonAncestors(sensor_, r_);
+  ASSERT_EQ(lca_cross.size(), 1u);
+  EXPECT_EQ(lca_cross[0], thing_);
+
+  // LCA with itself is itself.
+  const auto lca_self = onto_.LeastCommonAncestors(r_, r_);
+  ASSERT_EQ(lca_self.size(), 1u);
+  EXPECT_EQ(lca_self[0], r_);
+
+  // LCA of a class and its ancestor is the ancestor.
+  const auto lca_anc = onto_.LeastCommonAncestors(rc_, passive_);
+  ASSERT_EQ(lca_anc.size(), 1u);
+  EXPECT_EQ(lca_anc[0], passive_);
+}
+
+TEST(OntologyCycleTest, FinalizeRejectsCycles) {
+  Ontology o;
+  const ClassId a = o.AddClass("a");
+  const ClassId b = o.AddClass("b");
+  const ClassId c = o.AddClass("c");
+  ASSERT_TRUE(o.AddSubClassOf(a, b).ok());
+  ASSERT_TRUE(o.AddSubClassOf(b, c).ok());
+  ASSERT_TRUE(o.AddSubClassOf(c, a).ok());
+  const auto status = o.Finalize();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(OntologyCycleTest, SelfLoopIsIgnored) {
+  Ontology o;
+  const ClassId a = o.AddClass("a");
+  ASSERT_TRUE(o.AddSubClassOf(a, a).ok());  // no-op
+  EXPECT_TRUE(o.Finalize().ok());
+  EXPECT_TRUE(o.IsRoot(a));
+}
+
+TEST(OntologyErrorTest, UnknownIdsRejected) {
+  Ontology o;
+  const ClassId a = o.AddClass("a");
+  EXPECT_FALSE(o.AddSubClassOf(a, 99).ok());
+  EXPECT_FALSE(o.AddSubClassOf(99, a).ok());
+  EXPECT_FALSE(o.AddDisjointWith(a, 99).ok());
+  EXPECT_FALSE(o.AddDisjointWith(a, a).ok());
+}
+
+TEST(OntologyFromGraphTest, LoadsClassesEdgesLabelsDisjointness) {
+  rdf::Graph g;
+  const auto status = rdf::ParseTurtle(
+      "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+      "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n"
+      "@prefix ex: <http://e/> .\n"
+      "ex:A a owl:Class ; rdfs:label \"Alpha\" .\n"
+      "ex:B a owl:Class ; rdfs:subClassOf ex:A .\n"
+      "ex:C rdfs:subClassOf ex:A ; owl:disjointWith ex:B .\n",
+      &g);
+  ASSERT_TRUE(status.ok()) << status;
+  auto onto_or = Ontology::FromGraph(g);
+  ASSERT_TRUE(onto_or.ok()) << onto_or.status();
+  const Ontology& o = *onto_or;
+  EXPECT_EQ(o.num_classes(), 3u);
+  const ClassId a = o.FindByIri("http://e/A");
+  const ClassId b = o.FindByIri("http://e/B");
+  const ClassId c = o.FindByIri("http://e/C");
+  ASSERT_NE(a, kInvalidClassId);
+  ASSERT_NE(b, kInvalidClassId);
+  ASSERT_NE(c, kInvalidClassId);
+  EXPECT_EQ(o.label(a), "Alpha");
+  EXPECT_TRUE(o.IsSubClassOf(b, a));
+  EXPECT_TRUE(o.IsSubClassOf(c, a));
+  EXPECT_TRUE(o.AreDisjoint(b, c));
+}
+
+TEST(OntologyFromGraphTest, EmptyGraphYieldsEmptyOntology) {
+  rdf::Graph g;
+  auto onto_or = Ontology::FromGraph(g);
+  ASSERT_TRUE(onto_or.ok());
+  EXPECT_EQ(onto_or.value().num_classes(), 0u);
+}
+
+}  // namespace
+}  // namespace rulelink::ontology

@@ -1,0 +1,86 @@
+#include "text/phonetic.h"
+
+#include <gtest/gtest.h>
+
+namespace rulelink::text {
+namespace {
+
+TEST(SoundexTest, ClassicVectors) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");  // h is transparent
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, CaseAndPunctuationInsensitive) {
+  EXPECT_EQ(Soundex("ROBERT"), Soundex("robert"));
+  EXPECT_EQ(Soundex("O'Brien"), Soundex("OBrien"));
+  EXPECT_EQ(Soundex("Smith-Jones"), Soundex("SmithJones"));
+}
+
+TEST(SoundexTest, PadsShortCodes) {
+  EXPECT_EQ(Soundex("Lee"), "L000");
+  EXPECT_EQ(Soundex("A"), "A000");
+}
+
+TEST(SoundexTest, EmptyAndNonAlpha) {
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("12345"), "");
+  EXPECT_EQ(Soundex("---"), "");
+}
+
+TEST(SoundexTest, SimilarNamesCollide) {
+  // The blocking property: spelling variants share a code.
+  EXPECT_EQ(Soundex("Smith"), Soundex("Smyth"));
+  EXPECT_EQ(Soundex("Jackson"), Soundex("Jaxon"));
+  // Same-sounding names with different first letters keep distinct codes
+  // (Soundex's known first-letter weakness).
+  EXPECT_NE(Soundex("Catherine"), Soundex("Katherine"));
+}
+
+TEST(SoundexTest, DifferentNamesDiverge) {
+  EXPECT_NE(Soundex("Washington"), Soundex("Lee"));
+  EXPECT_NE(Soundex("Garcia"), Soundex("Martinez"));
+}
+
+TEST(NysiisTest, BasicProperties) {
+  // Uppercase, bounded length, deterministic.
+  const std::string code = Nysiis("Macintosh");
+  EXPECT_LE(code.size(), 6u);
+  for (char c : code) {
+    EXPECT_TRUE(c >= 'A' && c <= 'Z') << code;
+  }
+  EXPECT_EQ(Nysiis("Macintosh"), Nysiis("macintosh"));
+  EXPECT_EQ(Nysiis(""), "");
+  EXPECT_EQ(Nysiis("99"), "");
+}
+
+TEST(NysiisTest, SpellingVariantsCollide) {
+  EXPECT_EQ(Nysiis("Stevenson"), Nysiis("Stephenson"));
+  EXPECT_EQ(Nysiis("Knight"), Nysiis("Night"));
+  EXPECT_EQ(Nysiis("Lawson"), Nysiis("Lawsen"));
+  // Unlike Soundex, canonical NYSIIS keeps 'Y' distinct from vowels, so
+  // Smith and Smyth deliberately diverge (SNAT vs SNYT).
+  EXPECT_NE(Nysiis("Smith"), Nysiis("Smyth"));
+}
+
+TEST(NysiisTest, DistinctNamesDiverge) {
+  EXPECT_NE(Nysiis("Washington"), Nysiis("Jefferson"));
+  EXPECT_NE(Nysiis("Brown"), Nysiis("Green"));
+}
+
+TEST(NysiisTest, NoAdjacentDuplicatesInCode) {
+  for (const char* name :
+       {"Mississippi", "Bennett", "Harrell", "Schaeffer", "Lloyd"}) {
+    const std::string code = Nysiis(name);
+    for (std::size_t i = 1; i < code.size(); ++i) {
+      EXPECT_NE(code[i], code[i - 1]) << name << " -> " << code;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rulelink::text

@@ -1,0 +1,211 @@
+// Randomized property tests: invariants that must hold on ANY corpus the
+// generator can produce, swept across seeds. These catch interactions the
+// hand-built unit corpora cannot.
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "core/incremental.h"
+#include "core/learner.h"
+#include "core/rule_io.h"
+#include "datagen/generator.h"
+#include "eval/table1.h"
+#include "text/segmenter.h"
+#include "util/logging.h"
+
+namespace rulelink {
+namespace {
+
+datagen::DatasetConfig PropertyConfig(std::uint64_t seed) {
+  datagen::DatasetConfig config;
+  config.seed = seed;
+  config.num_classes = 70;
+  config.num_leaves = 28;
+  config.catalog_size = 1500;
+  config.num_links = 600;
+  config.num_signal_classes = 6;
+  config.num_other_frequent_classes = 8;
+  config.signal_class_min_links = 30;
+  config.signal_class_max_links = 60;
+  config.frequent_class_min_links = 8;
+  config.frequent_class_max_links = 14;
+  config.tail_class_cap_links = 5;
+  return config;
+}
+
+class CorpusProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  CorpusProperty() {
+    auto dataset = datagen::DatasetGenerator(PropertyConfig(GetParam()))
+                       .Generate();
+    RL_CHECK(dataset.ok()) << dataset.status();
+    dataset_ = std::make_unique<datagen::Dataset>(std::move(dataset).value());
+    ts_ = std::make_unique<core::TrainingSet>(
+        datagen::BuildTrainingSet(*dataset_));
+  }
+
+  core::RuleSet Learn(double threshold) {
+    core::LearnerOptions options;
+    options.support_threshold = threshold;
+    options.segmenter = &segmenter_;
+    auto rules = core::RuleLearner(options).Learn(*ts_);
+    RL_CHECK(rules.ok()) << rules.status();
+    return std::move(rules).value();
+  }
+
+  core::Item ItemOf(const core::TrainingExample& example) const {
+    core::Item item;
+    item.iri = example.external_iri;
+    for (const auto& [property, value] : example.facts) {
+      item.facts.push_back(
+          core::PropertyValue{ts_->properties().name(property), value});
+    }
+    return item;
+  }
+
+  std::unique_ptr<datagen::Dataset> dataset_;
+  std::unique_ptr<core::TrainingSet> ts_;
+  text::SeparatorSegmenter segmenter_;
+};
+
+TEST_P(CorpusProperty, LearnerInvariants) {
+  const double th = 0.01;
+  const core::RuleSet rules = Learn(th);
+  ASSERT_GT(rules.size(), 0u);
+  const double total = static_cast<double>(ts_->size());
+  for (const auto& rule : rules.rules()) {
+    EXPECT_TRUE(CountsAreConsistent(rule.counts));
+    // Strict threshold on every counted conjunction.
+    EXPECT_GT(rule.counts.joint_count, th * total);
+    EXPECT_GT(rule.counts.premise_count, th * total);
+    EXPECT_GT(rule.counts.class_count, th * total);
+    // Measure ranges and relations.
+    EXPECT_GT(rule.confidence, 0.0);
+    EXPECT_LE(rule.confidence, 1.0);
+    EXPECT_GT(rule.lift, 0.0);
+    EXPECT_LE(rule.support, rule.confidence + 1e-12);
+    // Lift cross-check against the definition.
+    const double prior = static_cast<double>(rule.counts.class_count) / total;
+    EXPECT_NEAR(rule.lift, rule.confidence / prior, 1e-9);
+  }
+  // Sorted best-first.
+  for (std::size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_FALSE(core::ClassificationRule::BetterThan(rules.rules()[i],
+                                                      rules.rules()[i - 1]));
+  }
+}
+
+TEST_P(CorpusProperty, ConfidenceOneRulesArePerfectOnTs) {
+  const core::RuleSet rules = Learn(0.01);
+  const core::RuleClassifier classifier(&rules, &segmenter_);
+  for (const auto& example : ts_->examples()) {
+    for (const auto& prediction :
+         classifier.Classify(ItemOf(example), 1.0)) {
+      EXPECT_NE(std::find(example.classes.begin(), example.classes.end(),
+                          prediction.cls),
+                example.classes.end());
+    }
+  }
+}
+
+TEST_P(CorpusProperty, ClassifierIsDeterministicAndOrdered) {
+  const core::RuleSet rules = Learn(0.01);
+  const core::RuleClassifier classifier(&rules, &segmenter_);
+  for (std::size_t i = 0; i < 50 && i < ts_->size(); ++i) {
+    const core::Item item = ItemOf(ts_->examples()[i]);
+    const auto a = classifier.Classify(item);
+    const auto b = classifier.Classify(item);
+    ASSERT_EQ(a.size(), b.size());
+    std::set<ontology::ClassId> seen;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].cls, b[k].cls);
+      EXPECT_EQ(a[k].rule_index, b[k].rule_index);
+      EXPECT_TRUE(seen.insert(a[k].cls).second) << "duplicate subspace";
+      if (k > 0) {
+        EXPECT_LE(a[k].confidence, a[k - 1].confidence + 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(CorpusProperty, IncrementalMatchesBatch) {
+  core::IncrementalRuleLearner incremental(&dataset_->ontology(),
+                                           &segmenter_);
+  for (const auto& example : ts_->examples()) {
+    incremental.AddExample(ItemOf(example), example.classes);
+  }
+  auto online = incremental.BuildRules(0.01);
+  ASSERT_TRUE(online.ok());
+  const core::RuleSet batch = Learn(0.01);
+  ASSERT_EQ(online->size(), batch.size());
+  // Rule-by-rule equality modulo ordering of equal-measure rules.
+  using Key = std::tuple<std::string, ontology::ClassId, std::size_t,
+                         std::size_t>;
+  std::set<Key> a, b;
+  for (const auto& rule : online->rules()) {
+    a.insert({rule.segment, rule.cls, rule.counts.premise_count,
+              rule.counts.joint_count});
+  }
+  for (const auto& rule : batch.rules()) {
+    b.insert({rule.segment, rule.cls, rule.counts.premise_count,
+              rule.counts.joint_count});
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(CorpusProperty, RuleIoRoundTripsLearnedRules) {
+  const core::RuleSet rules = Learn(0.01);
+  const std::string serialized =
+      core::WriteRules(rules, dataset_->ontology());
+  auto loaded = core::ReadRules(serialized, dataset_->ontology());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(loaded->rules()[i].segment, rules.rules()[i].segment);
+    EXPECT_EQ(loaded->rules()[i].cls, rules.rules()[i].cls);
+    EXPECT_DOUBLE_EQ(loaded->rules()[i].confidence,
+                     rules.rules()[i].confidence);
+  }
+}
+
+TEST_P(CorpusProperty, Table1ColumnsAreMonotone) {
+  const core::RuleSet rules = Learn(0.01);
+  const eval::Table1Evaluator evaluator(&rules, &segmenter_, 0.01);
+  const auto result = evaluator.Evaluate(*ts_);
+  std::size_t decided = 0;
+  for (std::size_t b = 0; b < result.rows.size(); ++b) {
+    const auto& row = result.rows[b];
+    EXPECT_GE(row.correct, 0u);
+    EXPECT_LE(row.correct, row.decisions);
+    decided += row.decisions;
+    if (b > 0) {
+      EXPECT_LE(row.precision_cumulative,
+                result.rows[b - 1].precision_cumulative + 1e-12);
+      EXPECT_GE(row.recall_cumulative,
+                result.rows[b - 1].recall_cumulative - 1e-12);
+    }
+  }
+  EXPECT_EQ(decided + result.undecided_items, ts_->size());
+  if (result.rows[0].decisions > 0) {
+    EXPECT_DOUBLE_EQ(result.rows[0].precision_band, 1.0);
+  }
+}
+
+TEST_P(CorpusProperty, GoldLinksAreWellFormed) {
+  std::set<std::size_t> seen;
+  for (const auto& link : dataset_->links) {
+    EXPECT_LT(link.external_index, dataset_->external_items.size());
+    EXPECT_LT(link.catalog_index, dataset_->catalog_items.size());
+    EXPECT_TRUE(seen.insert(link.catalog_index).second);
+  }
+  EXPECT_EQ(dataset_->links.size(), dataset_->external_items.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusProperty,
+                         ::testing::Values(1, 7, 42, 99, 12345, 777777));
+
+}  // namespace
+}  // namespace rulelink

@@ -1,0 +1,67 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace rulelink::eval {
+namespace {
+
+TEST(FormatLearnStatsTest, IncludesEveryStatistic) {
+  core::LearnStats stats;
+  stats.num_examples = 10265;
+  stats.distinct_segments = 7842;
+  stats.segment_occurrences = 26077;
+  stats.selected_segment_occurrences = 7058;
+  stats.frequent_premises = 108;
+  stats.frequent_classes = 68;
+  stats.num_rules = 144;
+  stats.classes_with_rules = 16;
+  const std::string out = FormatLearnStats(stats, true);
+  for (const char* expected :
+       {"10265", "7842", "26077", "7058", "108", "68", "144", "16"}) {
+    EXPECT_NE(out.find(expected), std::string::npos) << expected;
+  }
+  EXPECT_NE(out.find("paper"), std::string::npos);
+  // Without the reference column there is no "paper" header.
+  EXPECT_EQ(FormatLearnStats(stats, false).find("paper"),
+            std::string::npos);
+}
+
+TEST(FormatLinkingSpaceTest, ReportsReductionAndDivisionFactor) {
+  core::LinkingSpaceReport report;
+  report.num_external_items = 100;
+  report.local_size = 1000;
+  report.naive_pairs = 100000;
+  report.reduced_pairs = 5000;
+  report.classified_items = 80;
+  report.unclassified_items = 20;
+  report.reduction_ratio = 0.95;
+  report.mean_subspace_fraction = 0.05;
+  const std::string out = FormatLinkingSpace(report);
+  EXPECT_NE(out.find("95.0%"), std::string::npos);
+  EXPECT_NE(out.find("20.0x"), std::string::npos);  // 1 / 0.05
+  EXPECT_NE(out.find("100000"), std::string::npos);
+}
+
+TEST(FormatLinkingSpaceTest, OmitsDivisionFactorWhenUnclassifiedOnly) {
+  core::LinkingSpaceReport report;  // mean_subspace_fraction = 0
+  const std::string out = FormatLinkingSpace(report);
+  EXPECT_EQ(out.find("division factor"), std::string::npos);
+}
+
+TEST(FormatBlockingQualityTest, OneLineSummary) {
+  blocking::BlockingQuality quality;
+  quality.candidate_pairs = 1234;
+  quality.reduction_ratio = 0.9987;
+  quality.pairs_completeness = 0.931;
+  quality.pairs_quality = 0.0452;
+  const std::string out =
+      FormatBlockingQuality("standard(pn,5)", quality, 0.125);
+  EXPECT_NE(out.find("standard(pn,5)"), std::string::npos);
+  EXPECT_NE(out.find("candidates=1234"), std::string::npos);
+  EXPECT_NE(out.find("RR=99.87%"), std::string::npos);
+  EXPECT_NE(out.find("PC=93.1%"), std::string::npos);
+  EXPECT_NE(out.find("time=0.125s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rulelink::eval

@@ -1,0 +1,170 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rulelink::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformUint64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformUint64CoversRange) {
+  Rng rng(7);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 5000; ++i) ++hits[rng.UniformUint64(5)];
+  for (int h : hits) EXPECT_GT(h, 800);  // expected 1000 each
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) heads += rng.Bernoulli(0.3);
+  EXPECT_NEAR(heads / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(19);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 20000; ++i) ++hits[rng.WeightedIndex(weights)];
+  EXPECT_EQ(hits[2], 0);  // zero weight never drawn
+  EXPECT_NEAR(hits[0] / 20000.0, 0.1, 0.02);
+  EXPECT_NEAR(hits[1] / 20000.0, 0.3, 0.02);
+  EXPECT_NEAR(hits[3] / 20000.0, 0.6, 0.02);
+}
+
+TEST(RngTest, AlnumStringHasRequestedLengthAndAlphabet) {
+  Rng rng(23);
+  const std::string s = rng.AlnumString(32);
+  EXPECT_EQ(s.size(), 32u);
+  for (char c : s) {
+    EXPECT_TRUE((c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) << c;
+  }
+  EXPECT_TRUE(rng.AlnumString(0).empty());
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  const ZipfSampler zipf(100, 1.1);
+  double total = 0;
+  for (std::size_t r = 0; r < zipf.size(); ++r) {
+    total += zipf.Probability(r);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, HeadIsHeavier) {
+  const ZipfSampler zipf(50, 1.0);
+  EXPECT_GT(zipf.Probability(0), zipf.Probability(1));
+  EXPECT_GT(zipf.Probability(1), zipf.Probability(10));
+  EXPECT_GT(zipf.Probability(10), zipf.Probability(49));
+}
+
+TEST(ZipfTest, SampleMatchesHeadProbability) {
+  Rng rng(31);
+  const ZipfSampler zipf(20, 1.0);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) head += zipf.Sample(&rng) == 0;
+  EXPECT_NEAR(head / static_cast<double>(n), zipf.Probability(0), 0.02);
+}
+
+// Property sweep: rejection sampling must be unbiased for awkward bounds.
+class RngBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundSweep, UniformUint64MeanIsCentered) {
+  Rng rng(GetParam() * 977 + 1);
+  const std::uint64_t bound = GetParam();
+  double sum = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.UniformUint64(bound));
+  }
+  const double expected = (static_cast<double>(bound) - 1.0) / 2.0;
+  EXPECT_NEAR(sum / n, expected, std::max(0.5, expected * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(1, 2, 3, 7, 10, 100, 1000,
+                                           1ull << 33));
+
+}  // namespace
+}  // namespace rulelink::util

@@ -1,0 +1,114 @@
+#include "blocking/rule_blocker.h"
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "text/segmenter.h"
+#include "util/logging.h"
+
+namespace rulelink::blocking {
+namespace {
+
+class RuleBlockerTest : public ::testing::Test {
+ protected:
+  RuleBlockerTest() {
+    root_ = onto_.AddClass("ex:Root");
+    a_ = onto_.AddClass("ex:A");
+    a1_ = onto_.AddClass("ex:A1");
+    b_ = onto_.AddClass("ex:B");
+    RL_CHECK_OK(onto_.AddSubClassOf(a_, root_));
+    RL_CHECK_OK(onto_.AddSubClassOf(a1_, a_));
+    RL_CHECK_OK(onto_.AddSubClassOf(b_, root_));
+    RL_CHECK_OK(onto_.Finalize());
+
+    properties_.Intern("pn");
+    std::vector<core::ClassificationRule> rules;
+    core::ClassificationRule ra;
+    ra.property = 0;
+    ra.segment = "AAA";
+    ra.cls = a_;
+    ra.counts = core::RuleCounts{10, 10, 10, 100};
+    ra.ComputeMeasures();
+    rules.push_back(ra);
+    core::ClassificationRule rb = ra;
+    rb.segment = "BBB";
+    rb.cls = b_;
+    rb.counts = core::RuleCounts{10, 12, 8, 100};  // confidence 0.8
+    rb.ComputeMeasures();
+    rules.push_back(rb);
+    set_ = std::make_unique<core::RuleSet>(std::move(rules), properties_);
+    classifier_ =
+        std::make_unique<core::RuleClassifier>(set_.get(), &segmenter_);
+
+    // Local items: l0:A, l1:A1, l2:B, l3 untyped.
+    local_ = {MakeItem("l0", "x"), MakeItem("l1", "x"), MakeItem("l2", "x"),
+              MakeItem("l3", "x")};
+    local_classes_ = {a_, a1_, b_, ontology::kInvalidClassId};
+  }
+
+  static core::Item MakeItem(const std::string& iri, const std::string& pn) {
+    core::Item item;
+    item.iri = iri;
+    item.facts.push_back(core::PropertyValue{"pn", pn});
+    return item;
+  }
+
+  ontology::Ontology onto_;
+  ontology::ClassId root_, a_, a1_, b_;
+  core::PropertyCatalog properties_;
+  std::unique_ptr<core::RuleSet> set_;
+  text::SeparatorSegmenter segmenter_;
+  std::unique_ptr<core::RuleClassifier> classifier_;
+  std::vector<core::Item> local_;
+  std::vector<ontology::ClassId> local_classes_;
+};
+
+TEST_F(RuleBlockerTest, CandidatesAreClassSubsumedInstances) {
+  const RuleBlocker blocker(classifier_.get(), &onto_, &local_classes_);
+  const auto pairs = blocker.Generate({MakeItem("e0", "AAA-1")}, local_);
+  // Class A covers l0 and (via A1) l1, but not l2 or l3.
+  const std::set<CandidatePair> got(pairs.begin(), pairs.end());
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_TRUE(got.count(CandidatePair{0, 0}));
+  EXPECT_TRUE(got.count(CandidatePair{0, 1}));
+}
+
+TEST_F(RuleBlockerTest, UnclassifiedSkippedByDefault) {
+  const RuleBlocker blocker(classifier_.get(), &onto_, &local_classes_);
+  EXPECT_TRUE(blocker.Generate({MakeItem("e0", "ZZZ")}, local_).empty());
+}
+
+TEST_F(RuleBlockerTest, UnclassifiedCompareAllFallback) {
+  const RuleBlocker blocker(classifier_.get(), &onto_, &local_classes_, 0.0,
+                            /*compare_all_when_unclassified=*/true);
+  EXPECT_EQ(blocker.Generate({MakeItem("e0", "ZZZ")}, local_).size(), 4u);
+}
+
+TEST_F(RuleBlockerTest, MinConfidenceProunesLowRules) {
+  const RuleBlocker blocker(classifier_.get(), &onto_, &local_classes_,
+                            /*min_confidence=*/0.9);
+  // BBB's rule has confidence 0.8, below the bar.
+  EXPECT_TRUE(blocker.Generate({MakeItem("e0", "BBB-1")}, local_).empty());
+}
+
+TEST_F(RuleBlockerTest, MultipleExternalItemsIndependent) {
+  const RuleBlocker blocker(classifier_.get(), &onto_, &local_classes_);
+  const auto pairs = blocker.Generate(
+      {MakeItem("e0", "AAA-1"), MakeItem("e1", "BBB-2")}, local_);
+  const std::set<CandidatePair> got(pairs.begin(), pairs.end());
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_TRUE(got.count(CandidatePair{1, 2}));  // e1 -> B -> l2
+  EXPECT_FALSE(got.count(CandidatePair{1, 0}));
+}
+
+TEST_F(RuleBlockerTest, UnionWhenBothRulesFire) {
+  const RuleBlocker blocker(classifier_.get(), &onto_, &local_classes_);
+  const auto pairs =
+      blocker.Generate({MakeItem("e0", "AAA-BBB")}, local_);
+  EXPECT_EQ(pairs.size(), 3u);  // l0, l1, l2 deduplicated
+}
+
+}  // namespace
+}  // namespace rulelink::blocking

@@ -1,0 +1,126 @@
+#include "core/rule_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace rulelink::core {
+namespace {
+
+class RuleIoTest : public ::testing::Test {
+ protected:
+  RuleIoTest() {
+    a_ = onto_.AddClass("http://e/A", "A");
+    b_ = onto_.AddClass("http://e/B", "B");
+    RL_CHECK_OK(onto_.Finalize());
+
+    PropertyCatalog properties;
+    properties.Intern("http://s/pn");
+    properties.Intern("http://s/label");
+    std::vector<ClassificationRule> rules;
+    rules.push_back(Make(0, "CRCW0805", a_, 40, 50, 40, 1000));
+    rules.push_back(Make(0, "with\ttab and \\slash", b_, 30, 60, 24, 1000));
+    rules.push_back(Make(1, "ohm", a_, 100, 50, 45, 1000));
+    set_ = std::make_unique<RuleSet>(std::move(rules), properties);
+  }
+
+  static ClassificationRule Make(PropertyId property,
+                                 const std::string& segment,
+                                 ontology::ClassId cls, std::size_t premise,
+                                 std::size_t class_count, std::size_t joint,
+                                 std::size_t total) {
+    ClassificationRule rule;
+    rule.property = property;
+    rule.segment = segment;
+    rule.cls = cls;
+    rule.counts = RuleCounts{premise, class_count, joint, total};
+    rule.ComputeMeasures();
+    return rule;
+  }
+
+  ontology::Ontology onto_;
+  ontology::ClassId a_, b_;
+  std::unique_ptr<RuleSet> set_;
+};
+
+TEST_F(RuleIoTest, RoundTripPreservesEverything) {
+  const std::string serialized = WriteRules(*set_, onto_);
+  auto loaded = ReadRules(serialized, onto_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), set_->size());
+  for (std::size_t i = 0; i < set_->size(); ++i) {
+    const ClassificationRule& original = set_->rules()[i];
+    const ClassificationRule& copy = loaded->rules()[i];
+    EXPECT_EQ(loaded->properties().name(copy.property),
+              set_->properties().name(original.property));
+    EXPECT_EQ(copy.segment, original.segment);
+    EXPECT_EQ(copy.cls, original.cls);
+    EXPECT_EQ(copy.counts.premise_count, original.counts.premise_count);
+    EXPECT_DOUBLE_EQ(copy.confidence, original.confidence);
+    EXPECT_DOUBLE_EQ(copy.lift, original.lift);
+    EXPECT_DOUBLE_EQ(copy.support, original.support);
+  }
+}
+
+TEST_F(RuleIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/rules_io_test.tsv";
+  ASSERT_TRUE(WriteRulesToFile(*set_, onto_, path).ok());
+  auto loaded = ReadRulesFromFile(path, onto_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), set_->size());
+  std::remove(path.c_str());
+}
+
+TEST_F(RuleIoTest, CommentsAndBlankLinesIgnored) {
+  auto loaded = ReadRules(
+      "# comment\n\n"
+      "http://s/pn\tT83\thttp://e/A\t10\t20\t10\t100\n",
+      onto_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded->rules()[0].confidence, 1.0);
+}
+
+TEST_F(RuleIoTest, RejectsUnknownClass) {
+  auto loaded = ReadRules(
+      "http://s/pn\tT83\thttp://e/Nope\t10\t20\t10\t100\n", onto_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("unknown class"),
+            std::string::npos);
+}
+
+TEST_F(RuleIoTest, RejectsWrongFieldCount) {
+  auto loaded = ReadRules("http://s/pn\tT83\thttp://e/A\t10\n", onto_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 1"), std::string::npos);
+}
+
+TEST_F(RuleIoTest, RejectsBadCounts) {
+  EXPECT_FALSE(ReadRules(
+                   "http://s/pn\tT83\thttp://e/A\tten\t20\t10\t100\n", onto_)
+                   .ok());
+  // joint > premise is inconsistent.
+  EXPECT_FALSE(ReadRules(
+                   "http://s/pn\tT83\thttp://e/A\t5\t20\t10\t100\n", onto_)
+                   .ok());
+}
+
+TEST_F(RuleIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadRulesFromFile("/nonexistent/rules.tsv", onto_)
+                .status()
+                .code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST_F(RuleIoTest, EmptyContentYieldsEmptyRuleSet) {
+  auto loaded = ReadRules("", onto_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace rulelink::core

@@ -1,0 +1,145 @@
+#include "core/rule.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace rulelink::core {
+namespace {
+
+ClassificationRule MakeRule(PropertyId property, const std::string& segment,
+                            ontology::ClassId cls, std::size_t premise,
+                            std::size_t class_count, std::size_t joint,
+                            std::size_t total) {
+  ClassificationRule rule;
+  rule.property = property;
+  rule.segment = segment;
+  rule.cls = cls;
+  rule.counts = RuleCounts{premise, class_count, joint, total};
+  rule.ComputeMeasures();
+  return rule;
+}
+
+class RuleSetTest : public ::testing::Test {
+ protected:
+  RuleSetTest() {
+    properties_.Intern("pn");  // PropertyId 0
+    std::vector<ClassificationRule> rules;
+    // conf 1.0, lift 10.
+    rules.push_back(MakeRule(0, "PURE", 1, 10, 10, 10, 100));
+    // conf 1.0, lift 5 (bigger class) -- same confidence, lower lift.
+    rules.push_back(MakeRule(0, "PURE2", 2, 20, 20, 20, 100));
+    // conf 0.5 on segment MIX, two conclusions.
+    rules.push_back(MakeRule(0, "MIX", 1, 20, 10, 10, 100));
+    rules.push_back(MakeRule(0, "MIX", 2, 20, 20, 10, 100));
+    // conf 0.7.
+    rules.push_back(MakeRule(0, "MID", 3, 10, 30, 7, 100));
+    set_ = std::make_unique<RuleSet>(std::move(rules), properties_);
+  }
+
+  PropertyCatalog properties_;
+  std::unique_ptr<RuleSet> set_;
+};
+
+TEST_F(RuleSetTest, SortedBestFirst) {
+  const auto& rules = set_->rules();
+  ASSERT_EQ(rules.size(), 5u);
+  for (std::size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_FALSE(ClassificationRule::BetterThan(rules[i], rules[i - 1]));
+  }
+  EXPECT_DOUBLE_EQ(rules[0].confidence, 1.0);
+  EXPECT_EQ(rules[0].segment, "PURE");  // lift 10 beats lift 5
+  EXPECT_EQ(rules[1].segment, "PURE2");
+}
+
+TEST_F(RuleSetTest, RulesForPremise) {
+  const auto& mix = set_->RulesFor(0, "MIX");
+  ASSERT_EQ(mix.size(), 2u);
+  // Indexes point into the sorted rule vector.
+  for (std::size_t idx : mix) {
+    EXPECT_EQ(set_->rules()[idx].segment, "MIX");
+  }
+  EXPECT_TRUE(set_->RulesFor(0, "NOPE").empty());
+  EXPECT_TRUE(set_->RulesFor(7, "MIX").empty());
+}
+
+TEST_F(RuleSetTest, WithMinConfidence) {
+  EXPECT_EQ(set_->WithMinConfidence(0.0).size(), 5u);
+  EXPECT_EQ(set_->WithMinConfidence(0.6).size(), 3u);
+  EXPECT_EQ(set_->WithMinConfidence(1.0).size(), 2u);
+  EXPECT_TRUE(set_->WithMinConfidence(1.1).empty());
+}
+
+TEST_F(RuleSetTest, InConfidenceBand) {
+  EXPECT_EQ(set_->InConfidenceBand(1.0, 2.0).size(), 2u);
+  EXPECT_EQ(set_->InConfidenceBand(0.6, 1.0).size(), 1u);
+  EXPECT_EQ(set_->InConfidenceBand(0.4, 0.6).size(), 2u);
+  EXPECT_TRUE(set_->InConfidenceBand(0.0, 0.4).empty());
+}
+
+TEST_F(RuleSetTest, BandsPartitionRules) {
+  const double bounds[] = {1.0, 0.8, 0.6, 0.4, 0.0};
+  std::size_t covered = 0;
+  for (int b = 0; b + 1 <= 4; ++b) {
+    covered += set_->InConfidenceBand(bounds[b], b == 0 ? 2.0 : bounds[b - 1])
+                   .size();
+  }
+  EXPECT_EQ(covered, set_->size());
+}
+
+TEST(RuleOrderingTest, ConfidenceDominatesLift) {
+  const auto high_conf = MakeRule(0, "A", 1, 10, 50, 9, 100);   // conf .9
+  const auto high_lift = MakeRule(0, "B", 2, 10, 5, 5, 100);    // conf .5, lift 10
+  EXPECT_TRUE(ClassificationRule::BetterThan(high_conf, high_lift));
+}
+
+TEST(RuleOrderingTest, LiftBreaksConfidenceTies) {
+  const auto small_class = MakeRule(0, "A", 1, 10, 10, 10, 100);  // lift 10
+  const auto big_class = MakeRule(0, "B", 2, 50, 50, 50, 100);    // lift 2
+  EXPECT_DOUBLE_EQ(small_class.confidence, big_class.confidence);
+  // Higher lift = smaller subspace first (§4.4).
+  EXPECT_TRUE(ClassificationRule::BetterThan(small_class, big_class));
+}
+
+TEST(RuleOrderingTest, DeterministicFinalTieBreak) {
+  const auto a = MakeRule(0, "A", 1, 10, 10, 10, 100);
+  const auto b = MakeRule(0, "B", 1, 10, 10, 10, 100);
+  EXPECT_TRUE(ClassificationRule::BetterThan(a, b) ||
+              ClassificationRule::BetterThan(b, a));
+  EXPECT_FALSE(ClassificationRule::BetterThan(a, a));
+}
+
+TEST(RuleToStringTest, RendersPaperSyntax) {
+  ontology::Ontology onto;
+  const auto cls = onto.AddClass("ex:FFR", "Fixed film resistance");
+  RL_CHECK_OK(onto.Finalize());
+  PropertyCatalog properties;
+  properties.Intern("partNumber");
+  const auto rule = MakeRule(0, "ohm", cls, 10, 10, 10, 100);
+  const std::string s = RuleToString(rule, properties, onto);
+  EXPECT_NE(s.find("partNumber(X,Y)"), std::string::npos);
+  EXPECT_NE(s.find("subsegment(Y,\"ohm\")"), std::string::npos);
+  EXPECT_NE(s.find("Fixed film resistance(X)"), std::string::npos);
+}
+
+TEST(PropertyCatalogTest, InternAndFind) {
+  PropertyCatalog catalog;
+  const PropertyId a = catalog.Intern("pn");
+  EXPECT_EQ(catalog.Intern("pn"), a);
+  EXPECT_EQ(catalog.Find("pn"), a);
+  EXPECT_EQ(catalog.Find("other"), kInvalidPropertyId);
+  EXPECT_EQ(catalog.name(a), "pn");
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(EmptyRuleSetTest, AllQueriesAreEmpty) {
+  RuleSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.WithMinConfidence(0.0).empty());
+  EXPECT_TRUE(empty.RulesFor(0, "x").empty());
+}
+
+}  // namespace
+}  // namespace rulelink::core

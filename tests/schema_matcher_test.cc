@@ -1,0 +1,104 @@
+#include "linking/schema_matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace rulelink::linking {
+namespace {
+
+core::Item MakeItem(const std::string& iri,
+                    std::vector<core::PropertyValue> facts) {
+  core::Item item;
+  item.iri = iri;
+  item.facts = std::move(facts);
+  return item;
+}
+
+class SchemaMatcherTest : public ::testing::Test {
+ protected:
+  SchemaMatcherTest() {
+    // Provider uses "pn"/"maker"; catalog uses "partNumber"/"manufacturer".
+    for (int i = 0; i < 10; ++i) {
+      const std::string serial = "S" + std::to_string(i * 37);
+      external_.push_back(MakeItem(
+          "e" + std::to_string(i),
+          {{"pn", "CRCW0805-" + serial}, {"maker", "Voltron"}}));
+      local_.push_back(MakeItem(
+          "l" + std::to_string(i),
+          {{"partNumber", "CRCW0805-" + serial},
+           {"manufacturer", "Voltron"},
+           {"stock", std::to_string(1000 + i)}}));
+    }
+  }
+
+  std::vector<core::Item> external_, local_;
+};
+
+TEST_F(SchemaMatcherTest, AlignsByValueOverlap) {
+  const auto alignments = MatchSchemas(external_, local_);
+  ASSERT_EQ(alignments.size(), 2u);
+  // Both alignments found with high similarity.
+  for (const auto& alignment : alignments) {
+    if (alignment.external_property == "pn") {
+      EXPECT_EQ(alignment.local_property, "partNumber");
+      EXPECT_GT(alignment.similarity, 0.9);
+    } else {
+      EXPECT_EQ(alignment.external_property, "maker");
+      EXPECT_EQ(alignment.local_property, "manufacturer");
+      EXPECT_GT(alignment.similarity, 0.9);
+    }
+  }
+}
+
+TEST_F(SchemaMatcherTest, SortedBySimilarity) {
+  const auto alignments = MatchSchemas(external_, local_);
+  for (std::size_t i = 1; i < alignments.size(); ++i) {
+    EXPECT_GE(alignments[i - 1].similarity, alignments[i].similarity);
+  }
+}
+
+TEST_F(SchemaMatcherTest, MinSimilarityDropsWeakAlignments) {
+  // An external property with no local counterpart.
+  external_[0].facts.push_back({"internal-code", "zzz-qqq-987654"});
+  SchemaMatcherOptions options;
+  options.min_similarity = 0.2;
+  const auto alignments = MatchSchemas(external_, local_, options);
+  for (const auto& alignment : alignments) {
+    EXPECT_NE(alignment.external_property, "internal-code");
+  }
+}
+
+TEST_F(SchemaMatcherTest, WholeValueModeIsStricter) {
+  // Provider renders the same part numbers with different separators:
+  // token mode still aligns, whole-value mode does not.
+  std::vector<core::Item> reformatted;
+  for (int i = 0; i < 10; ++i) {
+    reformatted.push_back(MakeItem(
+        "e" + std::to_string(i),
+        {{"pn", "CRCW0805/S" + std::to_string(i * 37)}}));
+  }
+  SchemaMatcherOptions tokens;
+  tokens.tokenize = true;
+  const auto with_tokens = MatchSchemas(reformatted, local_, tokens);
+  ASSERT_FALSE(with_tokens.empty());
+  EXPECT_EQ(with_tokens[0].local_property, "partNumber");
+
+  SchemaMatcherOptions whole;
+  whole.tokenize = false;
+  whole.min_similarity = 0.5;
+  EXPECT_TRUE(MatchSchemas(reformatted, local_, whole).empty());
+}
+
+TEST_F(SchemaMatcherTest, EmptyInputs) {
+  EXPECT_TRUE(MatchSchemas({}, local_).empty());
+  EXPECT_TRUE(MatchSchemas(external_, {}).empty());
+}
+
+TEST_F(SchemaMatcherTest, SampleLimitStillFindsAlignment) {
+  SchemaMatcherOptions options;
+  options.sample_limit = 3;
+  const auto alignments = MatchSchemas(external_, local_, options);
+  ASSERT_FALSE(alignments.empty());
+}
+
+}  // namespace
+}  // namespace rulelink::linking

@@ -1,0 +1,123 @@
+#include "blocking/scheme_selector.h"
+
+#include <gtest/gtest.h>
+
+#include "blocking/standard_blocking.h"
+
+namespace rulelink::blocking {
+namespace {
+
+// Corpus where a 4-char prefix key is clean (every gold pair shares it)
+// but a full-value key fails (provider values differ in their suffix).
+class SchemeSelectorTest : public ::testing::Test {
+ protected:
+  SchemeSelectorTest() {
+    for (int i = 0; i < 30; ++i) {
+      const std::string core_pn =
+          "PN" + std::string(1, static_cast<char>('A' + i % 26)) +
+          std::to_string(100 + i);
+      core::Item external;
+      external.iri = "e" + std::to_string(i);
+      external.facts.push_back({"pn", core_pn + "-prov"});
+      external_.push_back(std::move(external));
+      core::Item local;
+      local.iri = "l" + std::to_string(i);
+      local.facts.push_back({"pn", core_pn + "-cat"});
+      local_.push_back(std::move(local));
+      gold_.push_back({static_cast<std::size_t>(i),
+                       static_cast<std::size_t>(i)});
+    }
+  }
+
+  std::vector<core::Item> external_, local_;
+  std::vector<CandidatePair> gold_;
+};
+
+TEST_F(SchemeSelectorTest, RanksCleanKeyAboveBrokenKey) {
+  const StandardBlocker prefix5("pn", 5);   // shared core prefix: works
+  const StandardBlocker whole("pn", 0);     // full value: never matches
+  const auto scores =
+      RankSchemes({&prefix5, &whole}, external_, local_, gold_);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_EQ(scores[0].name, prefix5.name());
+  EXPECT_GT(scores[0].score, scores[1].score);
+  EXPECT_DOUBLE_EQ(scores[0].quality.pairs_completeness, 1.0);
+  EXPECT_DOUBLE_EQ(scores[1].quality.pairs_completeness, 0.0);
+}
+
+TEST_F(SchemeSelectorTest, ScoreIsFMeasureOfPcAndRr) {
+  const StandardBlocker prefix5("pn", 5);
+  const auto scores = RankSchemes({&prefix5}, external_, local_, gold_);
+  ASSERT_EQ(scores.size(), 1u);
+  const double pc = scores[0].quality.pairs_completeness;
+  const double rr = scores[0].quality.reduction_ratio;
+  EXPECT_NEAR(scores[0].score, 2 * pc * rr / (pc + rr), 1e-12);
+}
+
+TEST_F(SchemeSelectorTest, SampleLimitRestrictsEvaluation) {
+  SchemeSelectorOptions options;
+  options.sample_limit = 10;
+  const StandardBlocker prefix5("pn", 5);
+  const auto scores =
+      RankSchemes({&prefix5}, external_, local_, gold_, options);
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].quality.true_matches, 10u);
+  EXPECT_EQ(scores[0].quality.total_pairs, 100u);
+}
+
+// Fixed-output generator for controlled quality profiles.
+class FakeGenerator : public CandidateGenerator {
+ public:
+  FakeGenerator(std::string name, std::vector<CandidatePair> pairs)
+      : name_(std::move(name)), pairs_(std::move(pairs)) {}
+  std::vector<CandidatePair> Generate(
+      const std::vector<core::Item>&,
+      const std::vector<core::Item>&) const override {
+    return pairs_;
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<CandidatePair> pairs_;
+};
+
+TEST_F(SchemeSelectorTest, BetaFlipsTheWinner) {
+  // loose: all 30 gold pairs + 420 junk pairs (PC 1, RR ~0.5).
+  std::vector<CandidatePair> loose_pairs = gold_;
+  for (std::size_t e = 0; e < 30 && loose_pairs.size() < 450; ++e) {
+    for (std::size_t l = 0; l < 30 && loose_pairs.size() < 450; ++l) {
+      if (e != l) loose_pairs.push_back({e, l});
+    }
+  }
+  const FakeGenerator loose("loose", loose_pairs);
+  // tight: 15 gold pairs only (PC 0.5, RR ~0.98).
+  const FakeGenerator tight(
+      "tight", std::vector<CandidatePair>(gold_.begin(), gold_.begin() + 15));
+
+  SchemeSelectorOptions completeness_weighted;
+  completeness_weighted.beta = 4.0;
+  auto scores = RankSchemes({&tight, &loose}, external_, local_, gold_,
+                            completeness_weighted);
+  EXPECT_EQ(scores[0].name, "loose");
+
+  SchemeSelectorOptions reduction_weighted;
+  reduction_weighted.beta = 0.25;
+  scores = RankSchemes({&tight, &loose}, external_, local_, gold_,
+                       reduction_weighted);
+  EXPECT_EQ(scores[0].name, "tight");
+}
+
+TEST_F(SchemeSelectorTest, DefaultPortfolioIsNonTrivial) {
+  const auto portfolio = DefaultSchemePortfolio("pn");
+  ASSERT_GE(portfolio.size(), 6u);
+  std::vector<const CandidateGenerator*> raw;
+  for (const auto& generator : portfolio) raw.push_back(generator.get());
+  const auto scores = RankSchemes(raw, external_, local_, gold_);
+  ASSERT_EQ(scores.size(), portfolio.size());
+  // Something in the default portfolio must find every match here.
+  EXPECT_DOUBLE_EQ(scores[0].quality.pairs_completeness, 1.0);
+}
+
+}  // namespace
+}  // namespace rulelink::blocking

@@ -1,0 +1,116 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace rulelink::util {
+namespace {
+
+TEST(SplitAnyTest, SplitsOnAnySeparator) {
+  const auto pieces = SplitAny("a-b.c d", "-. ");
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+  EXPECT_EQ(pieces[3], "d");
+}
+
+TEST(SplitAnyTest, DropsEmptyPieces) {
+  const auto pieces = SplitAny("--a--b--", "-");
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+}
+
+TEST(SplitAnyTest, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(SplitAny("", "-").empty());
+  EXPECT_TRUE(SplitAny("---", "-").empty());
+}
+
+TEST(SplitAnyTest, NoSeparatorsYieldsWhole) {
+  const auto pieces = SplitAny("abc", "-");
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "abc");
+}
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  const auto pieces = Split("a,,b", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[1], "");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join(std::vector<std::string>{"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+  EXPECT_EQ(Join(std::vector<std::string>{"solo"}, ","), "solo");
+}
+
+TEST(StripTest, StripsWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace(" \t "), "");
+}
+
+TEST(CaseTest, AsciiConversionsAreLocaleIndependent) {
+  EXPECT_EQ(AsciiToLower("CRCW0805-Ohm"), "crcw0805-ohm");
+  EXPECT_EQ(AsciiToUpper("crcw0805-ohm"), "CRCW0805-OHM");
+}
+
+TEST(AffixTest, StartsAndEndsWith) {
+  EXPECT_TRUE(StartsWith("CRCW0805", "CRCW"));
+  EXPECT_FALSE(StartsWith("CR", "CRCW"));
+  EXPECT_TRUE(EndsWith("file.nt", ".nt"));
+  EXPECT_FALSE(EndsWith("nt", ".nt"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(CharClassTest, AlnumDigitsAlpha) {
+  EXPECT_TRUE(IsAsciiAlnum('a'));
+  EXPECT_TRUE(IsAsciiAlnum('Z'));
+  EXPECT_TRUE(IsAsciiAlnum('5'));
+  EXPECT_FALSE(IsAsciiAlnum('-'));
+  EXPECT_FALSE(IsAsciiAlnum(' '));
+  EXPECT_TRUE(IsAsciiDigit('0'));
+  EXPECT_FALSE(IsAsciiDigit('a'));
+  EXPECT_TRUE(IsAsciiAlpha('q'));
+  EXPECT_FALSE(IsAsciiAlpha('9'));
+}
+
+TEST(ReplaceAllTest, ReplacesEveryOccurrence) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // no overlap rescan
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");   // empty pattern: no-op
+  EXPECT_EQ(ReplaceAll("", "a", "b"), "");
+}
+
+TEST(FormatTest, Doubles) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(FormatPercent(0.969), "96.9%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.12345, 2), "12.35%");
+}
+
+TEST(ParseUint64Test, ParsesValidNumbers) {
+  unsigned long long v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0ull);
+  EXPECT_TRUE(ParseUint64("10265", &v));
+  EXPECT_EQ(v, 10265ull);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));  // 2^64-1
+  EXPECT_EQ(v, 18446744073709551615ull);
+}
+
+TEST(ParseUint64Test, RejectsInvalid) {
+  unsigned long long v = 0;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12a", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // 2^64 overflows
+}
+
+}  // namespace
+}  // namespace rulelink::util

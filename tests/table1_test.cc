@@ -1,0 +1,135 @@
+#include "eval/table1.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "text/segmenter.h"
+#include "util/logging.h"
+
+namespace rulelink::eval {
+namespace {
+
+using core::ClassificationRule;
+using core::PropertyCatalog;
+using core::RuleCounts;
+using core::RuleSet;
+
+ClassificationRule MakeRule(const std::string& segment,
+                            ontology::ClassId cls, std::size_t premise,
+                            std::size_t class_count, std::size_t joint,
+                            std::size_t total) {
+  ClassificationRule rule;
+  rule.property = 0;
+  rule.segment = segment;
+  rule.cls = cls;
+  rule.counts = RuleCounts{premise, class_count, joint, total};
+  rule.ComputeMeasures();
+  return rule;
+}
+
+// Controlled corpus: class A (6 items, segment AAA pure), class B (4 items,
+// segment BBB at confidence 0.8 because one C item also carries BBB),
+// class C (2 items, infrequent at th = 0.25).
+class Table1Test : public ::testing::Test {
+ protected:
+  Table1Test() {
+    a_ = onto_.AddClass("ex:A");
+    b_ = onto_.AddClass("ex:B");
+    c_ = onto_.AddClass("ex:C");
+    RL_CHECK_OK(onto_.Finalize());
+    ts_ = std::make_unique<core::TrainingSet>(onto_);
+    // 6 x A with AAA.
+    for (int i = 0; i < 6; ++i) Add("AAA-S" + std::to_string(i), a_);
+    // 4 x B with BBB.
+    for (int i = 0; i < 4; ++i) Add("BBB-T" + std::to_string(i), b_);
+    // 2 x C, one of which also carries BBB (diluting the BBB rule).
+    Add("BBB-U0", c_);
+    Add("PLAIN-U1", c_);
+
+    PropertyCatalog properties;
+    properties.Intern("pn");
+    std::vector<ClassificationRule> rules;
+    rules.push_back(MakeRule("AAA", a_, 6, 6, 6, 12));   // conf 1
+    rules.push_back(MakeRule("BBB", b_, 5, 4, 4, 12));   // conf 0.8
+    set_ = std::make_unique<RuleSet>(std::move(rules), properties);
+  }
+
+  void Add(const std::string& pn, ontology::ClassId cls) {
+    core::Item item;
+    item.iri = "ext:" + std::to_string(ts_->size());
+    item.facts.push_back(core::PropertyValue{"pn", pn});
+    ts_->AddExample(item, "local:" + std::to_string(ts_->size()), {cls});
+  }
+
+  ontology::Ontology onto_;
+  ontology::ClassId a_, b_, c_;
+  std::unique_ptr<core::TrainingSet> ts_;
+  std::unique_ptr<RuleSet> set_;
+  text::SeparatorSegmenter segmenter_;
+};
+
+TEST_F(Table1Test, BandRuleCensus) {
+  const Table1Evaluator evaluator(set_.get(), &segmenter_, 0.25);
+  const auto result = evaluator.Evaluate(*ts_);
+  ASSERT_EQ(result.rows.size(), 4u);
+  EXPECT_EQ(result.rows[0].num_rules, 1u);  // conf 1
+  EXPECT_EQ(result.rows[1].num_rules, 1u);  // conf 0.8
+  EXPECT_EQ(result.rows[2].num_rules, 0u);
+  EXPECT_EQ(result.rows[3].num_rules, 0u);
+}
+
+TEST_F(Table1Test, DecisionsAttributedToBestBand) {
+  const Table1Evaluator evaluator(set_.get(), &segmenter_, 0.25);
+  const auto result = evaluator.Evaluate(*ts_);
+  EXPECT_EQ(result.rows[0].decisions, 6u);  // the AAA items
+  EXPECT_EQ(result.rows[1].decisions, 5u);  // 4 B + the BBB-carrying C
+  EXPECT_EQ(result.undecided_items, 1u);    // PLAIN-U1
+}
+
+TEST_F(Table1Test, CumulativePrecisionAndRecall) {
+  const Table1Evaluator evaluator(set_.get(), &segmenter_, 0.25);
+  const auto result = evaluator.Evaluate(*ts_);
+  // Frequent classes at th=0.25 (count > 3): A (6) and B (4).
+  EXPECT_EQ(result.frequent_classes, 2u);
+  EXPECT_EQ(result.classifiable_items, 10u);
+
+  // Band 0: 6/6 correct.
+  EXPECT_DOUBLE_EQ(result.rows[0].precision_band, 1.0);
+  EXPECT_DOUBLE_EQ(result.rows[0].precision_cumulative, 1.0);
+  EXPECT_DOUBLE_EQ(result.rows[0].recall_cumulative, 0.6);
+  // Band 1: 4 of 5 decisions correct (the C item is wrong).
+  EXPECT_DOUBLE_EQ(result.rows[1].precision_band, 0.8);
+  EXPECT_DOUBLE_EQ(result.rows[1].precision_cumulative, 10.0 / 11.0);
+  EXPECT_DOUBLE_EQ(result.rows[1].recall_cumulative, 1.0);
+  // Later bands inherit the cumulative values.
+  EXPECT_DOUBLE_EQ(result.rows[3].recall_cumulative, 1.0);
+}
+
+TEST_F(Table1Test, AvgLiftPerBand) {
+  const Table1Evaluator evaluator(set_.get(), &segmenter_, 0.25);
+  const auto result = evaluator.Evaluate(*ts_);
+  EXPECT_NEAR(result.rows[0].avg_lift, 2.0, 1e-9);        // 1/(6/12)
+  EXPECT_NEAR(result.rows[1].avg_lift, 0.8 / (4.0 / 12.0), 1e-9);
+}
+
+TEST_F(Table1Test, CustomBands) {
+  const Table1Evaluator evaluator(set_.get(), &segmenter_, 0.25);
+  const auto result = evaluator.Evaluate(*ts_, {0.9, 0.5});
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0].num_rules, 1u);  // conf 1 in [0.9, inf)
+  EXPECT_EQ(result.rows[1].num_rules, 1u);  // conf 0.8 in [0.5, 0.9)
+}
+
+TEST_F(Table1Test, FormatIncludesPaperReference) {
+  const Table1Evaluator evaluator(set_.get(), &segmenter_, 0.25);
+  const auto result = evaluator.Evaluate(*ts_);
+  const std::string with = FormatTable1(result, true);
+  EXPECT_NE(with.find("(paper)"), std::string::npos);
+  EXPECT_NE(with.find("2107"), std::string::npos);
+  const std::string without = FormatTable1(result, false);
+  EXPECT_EQ(without.find("2107"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rulelink::eval

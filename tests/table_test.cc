@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace rulelink::util {
+namespace {
+
+TextTable MakeSample() {
+  TextTable t({"name", "count"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  return t;
+}
+
+TEST(TextTableTest, Shape) {
+  const TextTable t = MakeSample();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(TextTableTest, TextAlignsColumns) {
+  const std::string text = MakeSample().ToText();
+  EXPECT_NE(text.find("name   count"), std::string::npos);
+  EXPECT_NE(text.find("alpha  1"), std::string::npos);
+  EXPECT_NE(text.find("beta   22"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowIsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("only,,"), std::string::npos);
+}
+
+TEST(TextTableTest, MarkdownHasHeaderSeparator) {
+  const std::string md = MakeSample().ToMarkdown();
+  EXPECT_NE(md.find("| name | count |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| alpha | 1 |"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCharacters) {
+  TextTable t({"field"});
+  t.AddRow({"has,comma"});
+  t.AddRow({"has\"quote"});
+  t.AddRow({"plain"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("plain\n"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableStillRendersHeader) {
+  TextTable t({"x"});
+  EXPECT_NE(t.ToText().find("x"), std::string::npos);
+  EXPECT_EQ(t.ToCsv(), "x\n");
+}
+
+}  // namespace
+}  // namespace rulelink::util

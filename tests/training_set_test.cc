@@ -1,0 +1,150 @@
+#include "core/training_set.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+#include "util/logging.h"
+
+namespace rulelink::core {
+namespace {
+
+class TrainingSetTest : public ::testing::Test {
+ protected:
+  TrainingSetTest() {
+    root_ = onto_.AddClass("ex:Root");
+    a_ = onto_.AddClass("ex:A");
+    b_ = onto_.AddClass("ex:B");
+    RL_CHECK_OK(onto_.AddSubClassOf(a_, root_));
+    RL_CHECK_OK(onto_.AddSubClassOf(b_, root_));
+    RL_CHECK_OK(onto_.Finalize());
+  }
+
+  ontology::Ontology onto_;
+  ontology::ClassId root_, a_, b_;
+};
+
+TEST_F(TrainingSetTest, AddExampleInternsProperties) {
+  TrainingSet ts(onto_);
+  Item item;
+  item.iri = "ext:1";
+  item.facts.push_back(PropertyValue{"pn", "X-1"});
+  item.facts.push_back(PropertyValue{"mfr", "ACME"});
+  ts.AddExample(item, "local:1", {a_});
+
+  ASSERT_EQ(ts.size(), 1u);
+  const TrainingExample& example = ts.examples()[0];
+  EXPECT_EQ(example.external_iri, "ext:1");
+  EXPECT_EQ(example.local_iri, "local:1");
+  ASSERT_EQ(example.facts.size(), 2u);
+  EXPECT_EQ(ts.properties().name(example.facts[0].first), "pn");
+  EXPECT_EQ(ts.properties().name(example.facts[1].first), "mfr");
+  EXPECT_EQ(example.facts[0].second, "X-1");
+}
+
+TEST_F(TrainingSetTest, ClassesReducedToMostSpecific) {
+  TrainingSet ts(onto_);
+  Item item;
+  item.iri = "ext:1";
+  item.facts.push_back(PropertyValue{"pn", "X"});
+  ts.AddExample(item, "local:1", {root_, a_});
+  ASSERT_EQ(ts.examples()[0].classes.size(), 1u);
+  EXPECT_EQ(ts.examples()[0].classes[0], a_);
+}
+
+TEST_F(TrainingSetTest, SharedPropertyIdsAcrossExamples) {
+  TrainingSet ts(onto_);
+  for (int i = 0; i < 3; ++i) {
+    Item item;
+    item.iri = "ext:" + std::to_string(i);
+    item.facts.push_back(PropertyValue{"pn", "V" + std::to_string(i)});
+    ts.AddExample(item, "local:" + std::to_string(i), {a_});
+  }
+  EXPECT_EQ(ts.properties().size(), 1u);
+  EXPECT_EQ(ts.examples()[0].facts[0].first,
+            ts.examples()[2].facts[0].first);
+}
+
+class FromGraphsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(rdf::ParseTurtle(
+                    "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n"
+                    "@prefix ex: <http://e/> .\n"
+                    "ex:A rdfs:subClassOf ex:Root .\n"
+                    "ex:B rdfs:subClassOf ex:Root .\n"
+                    "ex:l1 a ex:A .\n"
+                    "ex:l2 a ex:B .\n"
+                    "ex:l3 a ex:A .\n",
+                    &local_)
+                    .ok());
+    auto onto_or = ontology::Ontology::FromGraph(local_);
+    ASSERT_TRUE(onto_or.ok());
+    onto_ = std::move(onto_or).value();
+    index_ = std::make_unique<ontology::InstanceIndex>(
+        ontology::InstanceIndex::Build(local_, onto_));
+
+    ASSERT_TRUE(
+        rdf::ParseNTriples(
+            "<http://p/d1> <http://p/pn> \"T83-1\" .\n"
+            "<http://p/d2> <http://p/pn> \"T83-2\" .\n"
+            // d3 has only an IRI-valued fact: no literal facts -> skipped.
+            "<http://p/d3> <http://p/rel> <http://p/other> .\n",
+            &external_)
+            .ok());
+  }
+
+  rdf::Graph local_, external_, links_;
+  ontology::Ontology onto_;
+  std::unique_ptr<ontology::InstanceIndex> index_;
+};
+
+TEST_F(FromGraphsTest, BuildsExamplesFromSameAsLinks) {
+  ASSERT_TRUE(rdf::ParseNTriples(
+                  "<http://p/d1> <http://www.w3.org/2002/07/owl#sameAs> "
+                  "<http://e/l1> .\n"
+                  "<http://p/d2> <http://www.w3.org/2002/07/owl#sameAs> "
+                  "<http://e/l2> .\n",
+                  &links_)
+                  .ok());
+  std::size_t skipped = 0;
+  auto ts = TrainingSet::FromGraphs(external_, links_, *index_, &skipped);
+  ASSERT_TRUE(ts.ok()) << ts.status();
+  EXPECT_EQ(ts->size(), 2u);
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(ts->examples()[0].facts.size(), 1u);
+  EXPECT_EQ(ts->examples()[0].facts[0].second, "T83-1");
+  ASSERT_EQ(ts->examples()[0].classes.size(), 1u);
+  EXPECT_EQ(onto_.iri(ts->examples()[0].classes[0]), "http://e/A");
+}
+
+TEST_F(FromGraphsTest, SkipsLinksWithoutFactsOrClasses) {
+  ASSERT_TRUE(rdf::ParseNTriples(
+                  // d3 has no literal facts.
+                  "<http://p/d3> <http://www.w3.org/2002/07/owl#sameAs> "
+                  "<http://e/l1> .\n"
+                  // l-untyped is not a typed instance.
+                  "<http://p/d1> <http://www.w3.org/2002/07/owl#sameAs> "
+                  "<http://e/l-untyped> .\n"
+                  // good link, to keep the set non-empty.
+                  "<http://p/d2> <http://www.w3.org/2002/07/owl#sameAs> "
+                  "<http://e/l3> .\n",
+                  &links_)
+                  .ok());
+  std::size_t skipped = 0;
+  auto ts = TrainingSet::FromGraphs(external_, links_, *index_, &skipped);
+  ASSERT_TRUE(ts.ok()) << ts.status();
+  EXPECT_EQ(ts->size(), 1u);
+  EXPECT_EQ(skipped, 2u);
+}
+
+TEST_F(FromGraphsTest, ErrorWhenNoSameAsTriples) {
+  rdf::Graph empty_links;
+  auto ts = TrainingSet::FromGraphs(external_, empty_links, *index_, nullptr);
+  EXPECT_FALSE(ts.ok());
+}
+
+}  // namespace
+}  // namespace rulelink::core

@@ -1,0 +1,114 @@
+#include "eval/tuner.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "util/logging.h"
+
+namespace rulelink::eval {
+namespace {
+
+class TunerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::DatasetConfig config;
+    config.seed = 31;
+    config.num_classes = 60;
+    config.num_leaves = 25;
+    config.catalog_size = 1800;
+    config.num_links = 600;
+    config.num_signal_classes = 5;
+    config.num_other_frequent_classes = 7;
+    config.signal_class_min_links = 35;
+    config.signal_class_max_links = 70;
+    config.frequent_class_min_links = 8;
+    config.frequent_class_max_links = 14;
+    config.tail_class_cap_links = 5;
+    auto dataset = datagen::DatasetGenerator(config).Generate();
+    RL_CHECK(dataset.ok());
+    dataset_ = new datagen::Dataset(std::move(dataset).value());
+    ts_ = new core::TrainingSet(datagen::BuildTrainingSet(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete ts_;
+    delete dataset_;
+    ts_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  TunerOptions Options() const {
+    TunerOptions options;
+    options.segmenter = &segmenter_;
+    options.support_thresholds = {0.005, 0.01, 0.05};
+    options.confidence_floors = {0.0, 0.8};
+    return options;
+  }
+
+  static datagen::Dataset* dataset_;
+  static core::TrainingSet* ts_;
+  text::SeparatorSegmenter segmenter_;
+};
+
+datagen::Dataset* TunerTest::dataset_ = nullptr;
+core::TrainingSet* TunerTest::ts_ = nullptr;
+
+TEST_F(TunerTest, EvaluatesFullGridRankedByFBeta) {
+  auto candidates = TuneThresholds(*ts_, Options());
+  ASSERT_TRUE(candidates.ok()) << candidates.status();
+  EXPECT_EQ(candidates->size(), 6u);  // 3 thresholds x 2 floors
+  for (std::size_t i = 1; i < candidates->size(); ++i) {
+    EXPECT_GE((*candidates)[i - 1].f_beta, (*candidates)[i].f_beta);
+  }
+  // The best configuration must actually decide something.
+  EXPECT_GT(candidates->front().holdout.decided, 0u);
+  EXPECT_GT(candidates->front().f_beta, 0.0);
+}
+
+TEST_F(TunerTest, ExtremeThresholdLosesToModerate) {
+  TunerOptions options = Options();
+  options.support_thresholds = {0.01, 0.4};  // 0.4: nothing is frequent
+  auto candidates = TuneThresholds(*ts_, options);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_DOUBLE_EQ(candidates->front().support_threshold, 0.01);
+  // The starved configuration scores zero.
+  EXPECT_DOUBLE_EQ(candidates->back().f_beta, 0.0);
+}
+
+TEST_F(TunerTest, BetaShiftsTheWinner) {
+  // Precision-weighted tuning should prefer a configuration with a
+  // confidence floor at least as high as the recall-weighted winner's.
+  TunerOptions precision_weighted = Options();
+  precision_weighted.beta = 0.25;
+  TunerOptions recall_weighted = Options();
+  recall_weighted.beta = 4.0;
+  auto p = TuneThresholds(*ts_, precision_weighted);
+  auto r = TuneThresholds(*ts_, recall_weighted);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(p->front().holdout.precision, r->front().holdout.precision);
+  EXPECT_LE(p->front().holdout.recall, r->front().holdout.recall + 1e-12);
+}
+
+TEST_F(TunerTest, DeterministicSplitAcrossCells) {
+  auto a = TuneThresholds(*ts_, Options());
+  auto b = TuneThresholds(*ts_, Options());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].holdout.correct, (*b)[i].holdout.correct);
+  }
+}
+
+TEST_F(TunerTest, Errors) {
+  TunerOptions bad = Options();
+  bad.segmenter = nullptr;
+  EXPECT_FALSE(TuneThresholds(*ts_, bad).ok());
+  bad = Options();
+  bad.support_thresholds.clear();
+  EXPECT_FALSE(TuneThresholds(*ts_, bad).ok());
+}
+
+}  // namespace
+}  // namespace rulelink::eval

@@ -1,0 +1,105 @@
+#include "rdf/turtle_writer.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "rdf/graph_algebra.h"
+#include "rdf/turtle.h"
+#include "rdf/vocab.h"
+
+namespace rulelink::rdf {
+namespace {
+
+TEST(TurtleWriterTest, CompactsKnownPrefixes) {
+  Graph g;
+  g.InsertIri("http://e/a", vocab::kRdfType, vocab::kOwlClass);
+  TurtleWriterOptions options;
+  options.prefixes = {{"ex", "http://e/"}};
+  const std::string out = WriteTurtle(g, options);
+  EXPECT_NE(out.find("@prefix ex: <http://e/> ."), std::string::npos);
+  EXPECT_NE(out.find("ex:a a owl:Class ."), std::string::npos);
+}
+
+TEST(TurtleWriterTest, RdfTypeBecomesA) {
+  Graph g;
+  g.InsertIri("http://e/a", vocab::kRdfType, "http://e/C");
+  const std::string out = WriteTurtle(g);
+  EXPECT_NE(out.find(" a "), std::string::npos);
+  EXPECT_EQ(out.find("rdf-syntax-ns#type"), std::string::npos);
+}
+
+TEST(TurtleWriterTest, GroupsPredicatesAndObjects) {
+  Graph g;
+  g.InsertLiteralTriple("http://e/a", "http://e/p", "v1");
+  g.InsertLiteralTriple("http://e/a", "http://e/p", "v2");
+  g.InsertLiteralTriple("http://e/a", "http://e/q", "w");
+  const std::string out = WriteTurtle(g);
+  EXPECT_NE(out.find("\"v1\" , \"v2\""), std::string::npos);
+  EXPECT_NE(out.find(";"), std::string::npos);
+  // Exactly one statement terminator for the grouped subject.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '.'),
+            1 + 0);  // no prefixes used -> 1 dot
+}
+
+TEST(TurtleWriterTest, UngroupedModeEmitsOneTriplePerLine) {
+  Graph g;
+  g.InsertLiteralTriple("http://e/a", "http://e/p", "v1");
+  g.InsertLiteralTriple("http://e/a", "http://e/q", "v2");
+  TurtleWriterOptions options;
+  options.group = false;
+  const std::string out = WriteTurtle(g, options);
+  EXPECT_EQ(out.find(";"), std::string::npos);
+}
+
+TEST(TurtleWriterTest, LiteralsWithLangAndDatatype) {
+  Graph g;
+  g.Insert(Term::Iri("http://e/a"), Term::Iri("http://e/p"),
+           Term::LangLiteral("bonjour", "fr"));
+  g.Insert(Term::Iri("http://e/a"), Term::Iri("http://e/q"),
+           Term::TypedLiteral("42", std::string(vocab::kXsdNs) + "integer"));
+  const std::string out = WriteTurtle(g);
+  EXPECT_NE(out.find("\"bonjour\"@fr"), std::string::npos);
+  EXPECT_NE(out.find("\"42\"^^xsd:integer"), std::string::npos);
+}
+
+TEST(TurtleWriterTest, UnsafeLocalNamesStayAngleBracketed) {
+  Graph g;
+  g.InsertIri("http://e/has/slash", "http://e/p", "http://e/ok");
+  TurtleWriterOptions options;
+  options.prefixes = {{"ex", "http://e/"}};
+  const std::string out = WriteTurtle(g, options);
+  EXPECT_NE(out.find("<http://e/has/slash>"), std::string::npos);
+  EXPECT_NE(out.find("ex:ok"), std::string::npos);
+}
+
+TEST(TurtleWriterTest, RoundTripsThroughTheParser) {
+  Graph g;
+  g.InsertIri("http://e/a", vocab::kRdfType, vocab::kOwlClass);
+  g.InsertIri("http://e/b", vocab::kRdfsSubClassOf, "http://e/a");
+  g.InsertLiteralTriple("http://e/b", vocab::kRdfsLabel, "B class");
+  g.Insert(Term::Iri("http://e/i"), Term::Iri("http://e/pn"),
+           Term::Literal("CRCW0805 \"quoted\"\nline"));
+  g.Insert(Term::BlankNode("x"), Term::Iri("http://e/p"),
+           Term::LangLiteral("v", "en"));
+
+  TurtleWriterOptions options;
+  options.prefixes = {{"ex", "http://e/"}};
+  const std::string serialized = WriteTurtle(g, options);
+
+  Graph parsed;
+  const auto status = ParseTurtle(serialized, &parsed);
+  ASSERT_TRUE(status.ok()) << status << "\n" << serialized;
+  EXPECT_TRUE(Isomorphic(g, parsed)) << serialized;
+}
+
+TEST(TurtleWriterTest, EmptyGraph) {
+  Graph g;
+  const std::string out = WriteTurtle(g);
+  Graph parsed;
+  EXPECT_TRUE(ParseTurtle(out, &parsed).ok());
+  EXPECT_TRUE(parsed.empty());
+}
+
+}  // namespace
+}  // namespace rulelink::rdf

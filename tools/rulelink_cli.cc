@@ -1,0 +1,372 @@
+// rulelink — command-line front end for the library.
+//
+//   rulelink learn    --local cat.ttl --external prov.nt --links ts.nt
+//                     [--threshold 0.002] [--property IRI]... --out rules.tsv
+//   rulelink classify --local cat.ttl --rules rules.tsv
+//                     (--external prov.nt | --external-csv prov.csv
+//                      --id-column sku [--property-prefix P])
+//                     [--min-confidence 0.4] [--candidates]
+//   rulelink evaluate --local cat.ttl --external prov.nt --links ts.nt
+//                     [--threshold 0.002] [--property IRI]...
+//
+// Local files ending in .ttl are parsed as Turtle, everything else as
+// N-Triples. The local file must contain the ontology (owl:Class /
+// rdfs:subClassOf) and the typed catalog instances.
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/learner.h"
+#include "core/linking_space.h"
+#include "blocking/key_discovery.h"
+#include "blocking/standard_blocking.h"
+#include "core/rule_io.h"
+#include "core/training_set.h"
+#include "eval/report.h"
+#include "eval/table1.h"
+#include "io/item_loader.h"
+#include "linking/dedup.h"
+#include "ontology/instance_index.h"
+#include "rdf/ntriples.h"
+#include "rdf/sparql.h"
+#include "rdf/turtle.h"
+#include "text/segmenter.h"
+#include "util/string_util.h"
+
+namespace {
+
+using rulelink::util::Status;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> properties;  // repeatable --property
+};
+
+void PrintUsage() {
+  std::cerr <<
+      "usage: rulelink <learn|classify|evaluate|query> [options]\n"
+      "  learn     --local F --external F --links F --out F\n"
+      "            [--threshold 0.002] [--property IRI]...\n"
+      "  classify  --local F --rules F (--external F | --external-csv F\n"
+      "            --id-column NAME [--property-prefix P])\n"
+      "            [--min-confidence X] [--candidates]\n"
+      "  evaluate  --local F --external F --links F [--threshold 0.002]\n"
+      "            [--property IRI]...\n"
+      "  query     --data F --sparql 'SELECT ... WHERE { ... }'\n"
+      "  dedup     (--external F | --external-csv F --id-column NAME)\n"
+      "            [--key-property IRI] [--similarity 0.95]\n";
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) return false;
+    flag = flag.substr(2);
+    if (flag == "candidates") {
+      args->options[flag] = "true";
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    const std::string value = argv[++i];
+    if (flag == "property") {
+      args->properties.push_back(value);
+    } else {
+      args->options[flag] = value;
+    }
+  }
+  return true;
+}
+
+std::string Opt(const Args& args, const std::string& key,
+                const std::string& fallback = "") {
+  auto it = args.options.find(key);
+  return it == args.options.end() ? fallback : it->second;
+}
+
+Status LoadExternalItems(const Args& args,
+                         std::vector<rulelink::core::Item>* items);
+
+Status LoadRdf(const std::string& path, rulelink::rdf::Graph* graph) {
+  if (rulelink::util::EndsWith(path, ".ttl")) {
+    return rulelink::rdf::ParseTurtleFile(path, graph);
+  }
+  return rulelink::rdf::ParseNTriplesFile(path, graph);
+}
+
+// Extracts items (with literal facts) from an RDF graph.
+std::vector<rulelink::core::Item> ItemsFromGraph(
+    const rulelink::rdf::Graph& graph) {
+  std::vector<rulelink::core::Item> items;
+  const auto& dict = graph.dict();
+  for (rulelink::rdf::TermId subject : graph.DistinctSubjects()) {
+    rulelink::core::Item item;
+    item.iri = dict.term(subject).lexical();
+    graph.ForEachMatch(
+        rulelink::rdf::TriplePattern{subject, rulelink::rdf::kInvalidTermId,
+                                     rulelink::rdf::kInvalidTermId},
+        [&](const rulelink::rdf::Triple& t) {
+          const auto& object = dict.term(t.object);
+          if (object.is_literal()) {
+            item.facts.push_back(rulelink::core::PropertyValue{
+                dict.term(t.predicate).lexical(), object.lexical()});
+          }
+          return true;
+        });
+    if (!item.facts.empty()) items.push_back(std::move(item));
+  }
+  return items;
+}
+
+int RunLearn(const Args& args) {
+  rulelink::rdf::Graph local, external, links;
+  for (const auto& [key, graph] :
+       std::initializer_list<std::pair<const char*, rulelink::rdf::Graph*>>{
+           {"local", &local}, {"external", &external}, {"links", &links}}) {
+    const std::string path = Opt(args, key);
+    if (path.empty()) {
+      std::cerr << "missing --" << key << "\n";
+      return 2;
+    }
+    if (auto s = LoadRdf(path, graph); !s.ok()) {
+      std::cerr << path << ": " << s << "\n";
+      return 1;
+    }
+  }
+  auto onto = rulelink::ontology::Ontology::FromGraph(local);
+  if (!onto.ok()) {
+    std::cerr << "ontology: " << onto.status() << "\n";
+    return 1;
+  }
+  const auto index =
+      rulelink::ontology::InstanceIndex::Build(local, *onto);
+  std::size_t skipped = 0;
+  auto ts = rulelink::core::TrainingSet::FromGraphs(external, links, index,
+                                                    &skipped);
+  if (!ts.ok()) {
+    std::cerr << "training set: " << ts.status() << "\n";
+    return 1;
+  }
+  std::cerr << "training set: " << ts->size() << " links (" << skipped
+            << " skipped)\n";
+
+  const rulelink::text::SeparatorSegmenter segmenter;
+  rulelink::core::LearnerOptions options;
+  options.support_threshold =
+      std::stod(Opt(args, "threshold", "0.002"));
+  options.segmenter = &segmenter;
+  options.properties = args.properties;
+  rulelink::core::LearnStats stats;
+  auto rules = rulelink::core::RuleLearner(options).Learn(*ts, &stats);
+  if (!rules.ok()) {
+    std::cerr << "learner: " << rules.status() << "\n";
+    return 1;
+  }
+  std::cerr << rulelink::eval::FormatLearnStats(stats, false);
+
+  const std::string out = Opt(args, "out");
+  if (out.empty()) {
+    std::cout << rulelink::core::WriteRules(*rules, *onto);
+  } else if (auto s = rulelink::core::WriteRulesToFile(*rules, *onto, out);
+             !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  } else {
+    std::cerr << "wrote " << rules->size() << " rules to " << out << "\n";
+  }
+  return 0;
+}
+
+int RunClassify(const Args& args) {
+  rulelink::rdf::Graph local;
+  if (auto s = LoadRdf(Opt(args, "local"), &local); !s.ok()) {
+    std::cerr << "local: " << s << "\n";
+    return 1;
+  }
+  auto onto = rulelink::ontology::Ontology::FromGraph(local);
+  if (!onto.ok()) {
+    std::cerr << "ontology: " << onto.status() << "\n";
+    return 1;
+  }
+  auto rules =
+      rulelink::core::ReadRulesFromFile(Opt(args, "rules"), *onto);
+  if (!rules.ok()) {
+    std::cerr << "rules: " << rules.status() << "\n";
+    return 1;
+  }
+
+  std::vector<rulelink::core::Item> items;
+  if (auto s = LoadExternalItems(args, &items); !s.ok()) {
+    std::cerr << "external: " << s << "\n";
+    return 1;
+  }
+
+  const double min_confidence =
+      std::stod(Opt(args, "min-confidence", "0"));
+  const bool with_candidates = Opt(args, "candidates") == "true";
+  const rulelink::text::SeparatorSegmenter segmenter;
+  const rulelink::core::RuleClassifier classifier(&*rules, &segmenter);
+  const auto index = rulelink::ontology::InstanceIndex::Build(local, *onto);
+  const rulelink::core::LinkingSpaceAnalyzer analyzer(&classifier, &index);
+
+  for (const auto& item : items) {
+    const auto predictions = classifier.Classify(item, min_confidence);
+    std::cout << item.iri << "\t";
+    if (predictions.empty()) {
+      std::cout << "(unclassified)\n";
+      continue;
+    }
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+      if (i) std::cout << " ";
+      std::cout << onto->iri(predictions[i].cls) << "@"
+                << rulelink::util::FormatDouble(predictions[i].confidence, 3);
+    }
+    if (with_candidates) {
+      std::cout << "\tcandidates="
+                << analyzer.SubspaceSize(
+                       item, min_confidence,
+                       rulelink::core::UnclassifiedPolicy::kSkip);
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int RunEvaluate(const Args& args) {
+  rulelink::rdf::Graph local, external, links;
+  for (const auto& [key, graph] :
+       std::initializer_list<std::pair<const char*, rulelink::rdf::Graph*>>{
+           {"local", &local}, {"external", &external}, {"links", &links}}) {
+    if (auto s = LoadRdf(Opt(args, key), graph); !s.ok()) {
+      std::cerr << key << ": " << s << "\n";
+      return 1;
+    }
+  }
+  auto onto = rulelink::ontology::Ontology::FromGraph(local);
+  if (!onto.ok()) {
+    std::cerr << onto.status() << "\n";
+    return 1;
+  }
+  const auto index = rulelink::ontology::InstanceIndex::Build(local, *onto);
+  auto ts = rulelink::core::TrainingSet::FromGraphs(external, links, index,
+                                                    nullptr);
+  if (!ts.ok()) {
+    std::cerr << ts.status() << "\n";
+    return 1;
+  }
+  const double threshold = std::stod(Opt(args, "threshold", "0.002"));
+  const rulelink::text::SeparatorSegmenter segmenter;
+  rulelink::core::LearnerOptions options;
+  options.support_threshold = threshold;
+  options.segmenter = &segmenter;
+  options.properties = args.properties;
+  rulelink::core::LearnStats stats;
+  auto rules = rulelink::core::RuleLearner(options).Learn(*ts, &stats);
+  if (!rules.ok()) {
+    std::cerr << rules.status() << "\n";
+    return 1;
+  }
+  std::cout << rulelink::eval::FormatLearnStats(stats, true) << "\n";
+  const rulelink::eval::Table1Evaluator evaluator(&*rules, &segmenter,
+                                                  threshold);
+  std::cout << rulelink::eval::FormatTable1(evaluator.Evaluate(*ts), true);
+  return 0;
+}
+
+Status LoadExternalItems(const Args& args,
+                         std::vector<rulelink::core::Item>* items) {
+  if (!Opt(args, "external-csv").empty()) {
+    rulelink::io::ItemCsvMapping mapping;
+    mapping.id_column = Opt(args, "id-column", "id");
+    mapping.iri_prefix = "urn:csv:";
+    mapping.property_prefix = Opt(args, "property-prefix", "");
+    auto table = rulelink::io::ParseCsvFile(Opt(args, "external-csv"));
+    if (!table.ok()) return table.status();
+    auto loaded = rulelink::io::ItemsFromCsv(*table, mapping);
+    if (!loaded.ok()) return loaded.status();
+    *items = std::move(loaded).value();
+    return rulelink::util::OkStatus();
+  }
+  rulelink::rdf::Graph external;
+  RL_RETURN_IF_ERROR(LoadRdf(Opt(args, "external"), &external));
+  *items = ItemsFromGraph(external);
+  return rulelink::util::OkStatus();
+}
+
+int RunDedup(const Args& args) {
+  std::vector<rulelink::core::Item> items;
+  if (auto s = LoadExternalItems(args, &items); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::string key = Opt(args, "key-property");
+  if (key.empty()) {
+    key = rulelink::blocking::BestKeyProperty(items);
+    if (key.empty()) {
+      std::cerr << "no property to dedup on\n";
+      return 1;
+    }
+    std::cerr << "using discovered key property: " << key << "\n";
+  }
+  const double threshold = std::stod(Opt(args, "similarity", "0.95"));
+  const rulelink::blocking::StandardBlocker blocker(key, 5);
+  const rulelink::linking::ItemMatcher matcher(
+      {{key, key, rulelink::linking::SimilarityMeasure::kJaroWinkler, 1.0}});
+  const auto result =
+      rulelink::linking::Deduplicate(items, blocker, matcher, threshold);
+  for (const auto& cluster : result.duplicate_clusters) {
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (i) std::cout << "\t";
+      std::cout << items[cluster[i]].iri;
+    }
+    std::cout << "\n";
+  }
+  std::cerr << result.duplicate_clusters.size() << " duplicate cluster(s), "
+            << result.survivors.size() << " of " << items.size()
+            << " items survive (" << result.comparisons
+            << " comparisons)\n";
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  rulelink::rdf::Graph data;
+  if (auto s = LoadRdf(Opt(args, "data"), &data); !s.ok()) {
+    std::cerr << "data: " << s << "\n";
+    return 1;
+  }
+  auto rows = rulelink::rdf::RunSparql(data, Opt(args, "sparql"));
+  if (!rows.ok()) {
+    std::cerr << rows.status() << "\n";
+    return 1;
+  }
+  for (const auto& row : *rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) std::cout << "\t";
+      std::cout << row[i];
+    }
+    std::cout << "\n";
+  }
+  std::cerr << rows->size() << " rows\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+  if (args.command == "learn") return RunLearn(args);
+  if (args.command == "classify") return RunClassify(args);
+  if (args.command == "evaluate") return RunEvaluate(args);
+  if (args.command == "query") return RunQuery(args);
+  if (args.command == "dedup") return RunDedup(args);
+  PrintUsage();
+  return 2;
+}
