@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rule_stats.dir/bench_rule_stats.cc.o"
+  "CMakeFiles/bench_rule_stats.dir/bench_rule_stats.cc.o.d"
+  "bench_rule_stats"
+  "bench_rule_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_configuration.dir/auto_configuration.cpp.o"
+  "CMakeFiles/auto_configuration.dir/auto_configuration.cpp.o.d"
+  "auto_configuration"
+  "auto_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/electronic_catalog.dir/electronic_catalog.cpp.o"
+  "CMakeFiles/electronic_catalog.dir/electronic_catalog.cpp.o.d"
+  "electronic_catalog"
+  "electronic_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/electronic_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_toponyms.dir/geo_toponyms.cpp.o"
+  "CMakeFiles/geo_toponyms.dir/geo_toponyms.cpp.o.d"
+  "geo_toponyms"
+  "geo_toponyms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_toponyms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provider_ingestion.dir/provider_ingestion.cpp.o"
+  "CMakeFiles/provider_ingestion.dir/provider_ingestion.cpp.o.d"
+  "provider_ingestion"
+  "provider_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provider_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

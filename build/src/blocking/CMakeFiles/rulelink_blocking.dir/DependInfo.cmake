@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocking/adaptive_sn.cc" "src/blocking/CMakeFiles/rulelink_blocking.dir/adaptive_sn.cc.o" "gcc" "src/blocking/CMakeFiles/rulelink_blocking.dir/adaptive_sn.cc.o.d"
+  "/root/repo/src/blocking/bigram_indexing.cc" "src/blocking/CMakeFiles/rulelink_blocking.dir/bigram_indexing.cc.o" "gcc" "src/blocking/CMakeFiles/rulelink_blocking.dir/bigram_indexing.cc.o.d"
+  "/root/repo/src/blocking/blocker.cc" "src/blocking/CMakeFiles/rulelink_blocking.dir/blocker.cc.o" "gcc" "src/blocking/CMakeFiles/rulelink_blocking.dir/blocker.cc.o.d"
+  "/root/repo/src/blocking/canopy.cc" "src/blocking/CMakeFiles/rulelink_blocking.dir/canopy.cc.o" "gcc" "src/blocking/CMakeFiles/rulelink_blocking.dir/canopy.cc.o.d"
+  "/root/repo/src/blocking/key_discovery.cc" "src/blocking/CMakeFiles/rulelink_blocking.dir/key_discovery.cc.o" "gcc" "src/blocking/CMakeFiles/rulelink_blocking.dir/key_discovery.cc.o.d"
+  "/root/repo/src/blocking/metrics.cc" "src/blocking/CMakeFiles/rulelink_blocking.dir/metrics.cc.o" "gcc" "src/blocking/CMakeFiles/rulelink_blocking.dir/metrics.cc.o.d"
+  "/root/repo/src/blocking/rule_blocker.cc" "src/blocking/CMakeFiles/rulelink_blocking.dir/rule_blocker.cc.o" "gcc" "src/blocking/CMakeFiles/rulelink_blocking.dir/rule_blocker.cc.o.d"
+  "/root/repo/src/blocking/scheme_selector.cc" "src/blocking/CMakeFiles/rulelink_blocking.dir/scheme_selector.cc.o" "gcc" "src/blocking/CMakeFiles/rulelink_blocking.dir/scheme_selector.cc.o.d"
+  "/root/repo/src/blocking/sorted_neighbourhood.cc" "src/blocking/CMakeFiles/rulelink_blocking.dir/sorted_neighbourhood.cc.o" "gcc" "src/blocking/CMakeFiles/rulelink_blocking.dir/sorted_neighbourhood.cc.o.d"
+  "/root/repo/src/blocking/standard_blocking.cc" "src/blocking/CMakeFiles/rulelink_blocking.dir/standard_blocking.cc.o" "gcc" "src/blocking/CMakeFiles/rulelink_blocking.dir/standard_blocking.cc.o.d"
+  "/root/repo/src/blocking/suffix_blocking.cc" "src/blocking/CMakeFiles/rulelink_blocking.dir/suffix_blocking.cc.o" "gcc" "src/blocking/CMakeFiles/rulelink_blocking.dir/suffix_blocking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rulelink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rulelink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rulelink_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/rulelink_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rulelink_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulelink_blocking.dir/adaptive_sn.cc.o"
+  "CMakeFiles/rulelink_blocking.dir/adaptive_sn.cc.o.d"
+  "CMakeFiles/rulelink_blocking.dir/bigram_indexing.cc.o"
+  "CMakeFiles/rulelink_blocking.dir/bigram_indexing.cc.o.d"
+  "CMakeFiles/rulelink_blocking.dir/blocker.cc.o"
+  "CMakeFiles/rulelink_blocking.dir/blocker.cc.o.d"
+  "CMakeFiles/rulelink_blocking.dir/canopy.cc.o"
+  "CMakeFiles/rulelink_blocking.dir/canopy.cc.o.d"
+  "CMakeFiles/rulelink_blocking.dir/key_discovery.cc.o"
+  "CMakeFiles/rulelink_blocking.dir/key_discovery.cc.o.d"
+  "CMakeFiles/rulelink_blocking.dir/metrics.cc.o"
+  "CMakeFiles/rulelink_blocking.dir/metrics.cc.o.d"
+  "CMakeFiles/rulelink_blocking.dir/rule_blocker.cc.o"
+  "CMakeFiles/rulelink_blocking.dir/rule_blocker.cc.o.d"
+  "CMakeFiles/rulelink_blocking.dir/scheme_selector.cc.o"
+  "CMakeFiles/rulelink_blocking.dir/scheme_selector.cc.o.d"
+  "CMakeFiles/rulelink_blocking.dir/sorted_neighbourhood.cc.o"
+  "CMakeFiles/rulelink_blocking.dir/sorted_neighbourhood.cc.o.d"
+  "CMakeFiles/rulelink_blocking.dir/standard_blocking.cc.o"
+  "CMakeFiles/rulelink_blocking.dir/standard_blocking.cc.o.d"
+  "CMakeFiles/rulelink_blocking.dir/suffix_blocking.cc.o"
+  "CMakeFiles/rulelink_blocking.dir/suffix_blocking.cc.o.d"
+  "librulelink_blocking.a"
+  "librulelink_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulelink_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/rulelink_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/rulelink_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/conjunctive.cc" "src/core/CMakeFiles/rulelink_core.dir/conjunctive.cc.o" "gcc" "src/core/CMakeFiles/rulelink_core.dir/conjunctive.cc.o.d"
+  "/root/repo/src/core/generalizer.cc" "src/core/CMakeFiles/rulelink_core.dir/generalizer.cc.o" "gcc" "src/core/CMakeFiles/rulelink_core.dir/generalizer.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/core/CMakeFiles/rulelink_core.dir/incremental.cc.o" "gcc" "src/core/CMakeFiles/rulelink_core.dir/incremental.cc.o.d"
+  "/root/repo/src/core/learner.cc" "src/core/CMakeFiles/rulelink_core.dir/learner.cc.o" "gcc" "src/core/CMakeFiles/rulelink_core.dir/learner.cc.o.d"
+  "/root/repo/src/core/linking_space.cc" "src/core/CMakeFiles/rulelink_core.dir/linking_space.cc.o" "gcc" "src/core/CMakeFiles/rulelink_core.dir/linking_space.cc.o.d"
+  "/root/repo/src/core/measures.cc" "src/core/CMakeFiles/rulelink_core.dir/measures.cc.o" "gcc" "src/core/CMakeFiles/rulelink_core.dir/measures.cc.o.d"
+  "/root/repo/src/core/rule.cc" "src/core/CMakeFiles/rulelink_core.dir/rule.cc.o" "gcc" "src/core/CMakeFiles/rulelink_core.dir/rule.cc.o.d"
+  "/root/repo/src/core/rule_io.cc" "src/core/CMakeFiles/rulelink_core.dir/rule_io.cc.o" "gcc" "src/core/CMakeFiles/rulelink_core.dir/rule_io.cc.o.d"
+  "/root/repo/src/core/training_set.cc" "src/core/CMakeFiles/rulelink_core.dir/training_set.cc.o" "gcc" "src/core/CMakeFiles/rulelink_core.dir/training_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ontology/CMakeFiles/rulelink_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rulelink_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rulelink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rulelink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

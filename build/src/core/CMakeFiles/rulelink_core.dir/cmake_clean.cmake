@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulelink_core.dir/classifier.cc.o"
+  "CMakeFiles/rulelink_core.dir/classifier.cc.o.d"
+  "CMakeFiles/rulelink_core.dir/conjunctive.cc.o"
+  "CMakeFiles/rulelink_core.dir/conjunctive.cc.o.d"
+  "CMakeFiles/rulelink_core.dir/generalizer.cc.o"
+  "CMakeFiles/rulelink_core.dir/generalizer.cc.o.d"
+  "CMakeFiles/rulelink_core.dir/incremental.cc.o"
+  "CMakeFiles/rulelink_core.dir/incremental.cc.o.d"
+  "CMakeFiles/rulelink_core.dir/learner.cc.o"
+  "CMakeFiles/rulelink_core.dir/learner.cc.o.d"
+  "CMakeFiles/rulelink_core.dir/linking_space.cc.o"
+  "CMakeFiles/rulelink_core.dir/linking_space.cc.o.d"
+  "CMakeFiles/rulelink_core.dir/measures.cc.o"
+  "CMakeFiles/rulelink_core.dir/measures.cc.o.d"
+  "CMakeFiles/rulelink_core.dir/rule.cc.o"
+  "CMakeFiles/rulelink_core.dir/rule.cc.o.d"
+  "CMakeFiles/rulelink_core.dir/rule_io.cc.o"
+  "CMakeFiles/rulelink_core.dir/rule_io.cc.o.d"
+  "CMakeFiles/rulelink_core.dir/training_set.cc.o"
+  "CMakeFiles/rulelink_core.dir/training_set.cc.o.d"
+  "librulelink_core.a"
+  "librulelink_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulelink_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dataset.cc" "src/datagen/CMakeFiles/rulelink_datagen.dir/dataset.cc.o" "gcc" "src/datagen/CMakeFiles/rulelink_datagen.dir/dataset.cc.o.d"
+  "/root/repo/src/datagen/generator.cc" "src/datagen/CMakeFiles/rulelink_datagen.dir/generator.cc.o" "gcc" "src/datagen/CMakeFiles/rulelink_datagen.dir/generator.cc.o.d"
+  "/root/repo/src/datagen/ontology_gen.cc" "src/datagen/CMakeFiles/rulelink_datagen.dir/ontology_gen.cc.o" "gcc" "src/datagen/CMakeFiles/rulelink_datagen.dir/ontology_gen.cc.o.d"
+  "/root/repo/src/datagen/typo.cc" "src/datagen/CMakeFiles/rulelink_datagen.dir/typo.cc.o" "gcc" "src/datagen/CMakeFiles/rulelink_datagen.dir/typo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rulelink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/rulelink_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rulelink_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rulelink_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rulelink_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

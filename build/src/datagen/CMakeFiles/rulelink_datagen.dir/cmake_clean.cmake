@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulelink_datagen.dir/dataset.cc.o"
+  "CMakeFiles/rulelink_datagen.dir/dataset.cc.o.d"
+  "CMakeFiles/rulelink_datagen.dir/generator.cc.o"
+  "CMakeFiles/rulelink_datagen.dir/generator.cc.o.d"
+  "CMakeFiles/rulelink_datagen.dir/ontology_gen.cc.o"
+  "CMakeFiles/rulelink_datagen.dir/ontology_gen.cc.o.d"
+  "CMakeFiles/rulelink_datagen.dir/typo.cc.o"
+  "CMakeFiles/rulelink_datagen.dir/typo.cc.o.d"
+  "librulelink_datagen.a"
+  "librulelink_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulelink_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

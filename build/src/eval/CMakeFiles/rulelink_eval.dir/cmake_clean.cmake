@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulelink_eval.dir/holdout.cc.o"
+  "CMakeFiles/rulelink_eval.dir/holdout.cc.o.d"
+  "CMakeFiles/rulelink_eval.dir/report.cc.o"
+  "CMakeFiles/rulelink_eval.dir/report.cc.o.d"
+  "CMakeFiles/rulelink_eval.dir/table1.cc.o"
+  "CMakeFiles/rulelink_eval.dir/table1.cc.o.d"
+  "CMakeFiles/rulelink_eval.dir/tuner.cc.o"
+  "CMakeFiles/rulelink_eval.dir/tuner.cc.o.d"
+  "librulelink_eval.a"
+  "librulelink_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulelink_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulelink_io.dir/csv.cc.o"
+  "CMakeFiles/rulelink_io.dir/csv.cc.o.d"
+  "CMakeFiles/rulelink_io.dir/item_loader.cc.o"
+  "CMakeFiles/rulelink_io.dir/item_loader.cc.o.d"
+  "librulelink_io.a"
+  "librulelink_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulelink_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linking/dedup.cc" "src/linking/CMakeFiles/rulelink_linking.dir/dedup.cc.o" "gcc" "src/linking/CMakeFiles/rulelink_linking.dir/dedup.cc.o.d"
+  "/root/repo/src/linking/evaluation.cc" "src/linking/CMakeFiles/rulelink_linking.dir/evaluation.cc.o" "gcc" "src/linking/CMakeFiles/rulelink_linking.dir/evaluation.cc.o.d"
+  "/root/repo/src/linking/fellegi_sunter.cc" "src/linking/CMakeFiles/rulelink_linking.dir/fellegi_sunter.cc.o" "gcc" "src/linking/CMakeFiles/rulelink_linking.dir/fellegi_sunter.cc.o.d"
+  "/root/repo/src/linking/fusion.cc" "src/linking/CMakeFiles/rulelink_linking.dir/fusion.cc.o" "gcc" "src/linking/CMakeFiles/rulelink_linking.dir/fusion.cc.o.d"
+  "/root/repo/src/linking/linker.cc" "src/linking/CMakeFiles/rulelink_linking.dir/linker.cc.o" "gcc" "src/linking/CMakeFiles/rulelink_linking.dir/linker.cc.o.d"
+  "/root/repo/src/linking/matcher.cc" "src/linking/CMakeFiles/rulelink_linking.dir/matcher.cc.o" "gcc" "src/linking/CMakeFiles/rulelink_linking.dir/matcher.cc.o.d"
+  "/root/repo/src/linking/schema_matcher.cc" "src/linking/CMakeFiles/rulelink_linking.dir/schema_matcher.cc.o" "gcc" "src/linking/CMakeFiles/rulelink_linking.dir/schema_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blocking/CMakeFiles/rulelink_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rulelink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rulelink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rulelink_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/rulelink_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rulelink_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulelink_linking.dir/dedup.cc.o"
+  "CMakeFiles/rulelink_linking.dir/dedup.cc.o.d"
+  "CMakeFiles/rulelink_linking.dir/evaluation.cc.o"
+  "CMakeFiles/rulelink_linking.dir/evaluation.cc.o.d"
+  "CMakeFiles/rulelink_linking.dir/fellegi_sunter.cc.o"
+  "CMakeFiles/rulelink_linking.dir/fellegi_sunter.cc.o.d"
+  "CMakeFiles/rulelink_linking.dir/fusion.cc.o"
+  "CMakeFiles/rulelink_linking.dir/fusion.cc.o.d"
+  "CMakeFiles/rulelink_linking.dir/linker.cc.o"
+  "CMakeFiles/rulelink_linking.dir/linker.cc.o.d"
+  "CMakeFiles/rulelink_linking.dir/matcher.cc.o"
+  "CMakeFiles/rulelink_linking.dir/matcher.cc.o.d"
+  "CMakeFiles/rulelink_linking.dir/schema_matcher.cc.o"
+  "CMakeFiles/rulelink_linking.dir/schema_matcher.cc.o.d"
+  "librulelink_linking.a"
+  "librulelink_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulelink_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ontology/instance_index.cc" "src/ontology/CMakeFiles/rulelink_ontology.dir/instance_index.cc.o" "gcc" "src/ontology/CMakeFiles/rulelink_ontology.dir/instance_index.cc.o.d"
+  "/root/repo/src/ontology/materialize.cc" "src/ontology/CMakeFiles/rulelink_ontology.dir/materialize.cc.o" "gcc" "src/ontology/CMakeFiles/rulelink_ontology.dir/materialize.cc.o.d"
+  "/root/repo/src/ontology/ontology.cc" "src/ontology/CMakeFiles/rulelink_ontology.dir/ontology.cc.o" "gcc" "src/ontology/CMakeFiles/rulelink_ontology.dir/ontology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/rulelink_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rulelink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulelink_ontology.dir/instance_index.cc.o"
+  "CMakeFiles/rulelink_ontology.dir/instance_index.cc.o.d"
+  "CMakeFiles/rulelink_ontology.dir/materialize.cc.o"
+  "CMakeFiles/rulelink_ontology.dir/materialize.cc.o.d"
+  "CMakeFiles/rulelink_ontology.dir/ontology.cc.o"
+  "CMakeFiles/rulelink_ontology.dir/ontology.cc.o.d"
+  "librulelink_ontology.a"
+  "librulelink_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulelink_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

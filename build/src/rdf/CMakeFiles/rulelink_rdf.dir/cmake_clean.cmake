@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulelink_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/rulelink_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/rulelink_rdf.dir/graph.cc.o"
+  "CMakeFiles/rulelink_rdf.dir/graph.cc.o.d"
+  "CMakeFiles/rulelink_rdf.dir/graph_algebra.cc.o"
+  "CMakeFiles/rulelink_rdf.dir/graph_algebra.cc.o.d"
+  "CMakeFiles/rulelink_rdf.dir/nquads.cc.o"
+  "CMakeFiles/rulelink_rdf.dir/nquads.cc.o.d"
+  "CMakeFiles/rulelink_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/rulelink_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/rulelink_rdf.dir/query.cc.o"
+  "CMakeFiles/rulelink_rdf.dir/query.cc.o.d"
+  "CMakeFiles/rulelink_rdf.dir/sparql.cc.o"
+  "CMakeFiles/rulelink_rdf.dir/sparql.cc.o.d"
+  "CMakeFiles/rulelink_rdf.dir/term.cc.o"
+  "CMakeFiles/rulelink_rdf.dir/term.cc.o.d"
+  "CMakeFiles/rulelink_rdf.dir/turtle.cc.o"
+  "CMakeFiles/rulelink_rdf.dir/turtle.cc.o.d"
+  "CMakeFiles/rulelink_rdf.dir/turtle_writer.cc.o"
+  "CMakeFiles/rulelink_rdf.dir/turtle_writer.cc.o.d"
+  "librulelink_rdf.a"
+  "librulelink_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulelink_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulelink_text.dir/normalize.cc.o"
+  "CMakeFiles/rulelink_text.dir/normalize.cc.o.d"
+  "CMakeFiles/rulelink_text.dir/phonetic.cc.o"
+  "CMakeFiles/rulelink_text.dir/phonetic.cc.o.d"
+  "CMakeFiles/rulelink_text.dir/segmenter.cc.o"
+  "CMakeFiles/rulelink_text.dir/segmenter.cc.o.d"
+  "CMakeFiles/rulelink_text.dir/similarity.cc.o"
+  "CMakeFiles/rulelink_text.dir/similarity.cc.o.d"
+  "librulelink_text.a"
+  "librulelink_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulelink_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulelink_util.dir/logging.cc.o"
+  "CMakeFiles/rulelink_util.dir/logging.cc.o.d"
+  "CMakeFiles/rulelink_util.dir/rng.cc.o"
+  "CMakeFiles/rulelink_util.dir/rng.cc.o.d"
+  "CMakeFiles/rulelink_util.dir/status.cc.o"
+  "CMakeFiles/rulelink_util.dir/status.cc.o.d"
+  "CMakeFiles/rulelink_util.dir/string_util.cc.o"
+  "CMakeFiles/rulelink_util.dir/string_util.cc.o.d"
+  "CMakeFiles/rulelink_util.dir/table.cc.o"
+  "CMakeFiles/rulelink_util.dir/table.cc.o.d"
+  "CMakeFiles/rulelink_util.dir/union_find.cc.o"
+  "CMakeFiles/rulelink_util.dir/union_find.cc.o.d"
+  "librulelink_util.a"
+  "librulelink_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulelink_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librulelink_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_ext_test.dir/blocking_ext_test.cc.o"
+  "CMakeFiles/blocking_ext_test.dir/blocking_ext_test.cc.o.d"
+  "blocking_ext_test"
+  "blocking_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

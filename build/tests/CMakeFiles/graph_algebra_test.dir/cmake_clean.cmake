@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_algebra_test.dir/graph_algebra_test.cc.o"
+  "CMakeFiles/graph_algebra_test.dir/graph_algebra_test.cc.o.d"
+  "graph_algebra_test"
+  "graph_algebra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

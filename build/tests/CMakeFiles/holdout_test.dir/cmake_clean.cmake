@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holdout_test.dir/holdout_test.cc.o"
+  "CMakeFiles/holdout_test.dir/holdout_test.cc.o.d"
+  "holdout_test"
+  "holdout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holdout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

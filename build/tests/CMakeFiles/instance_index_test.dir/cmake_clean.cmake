@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_index_test.dir/instance_index_test.cc.o"
+  "CMakeFiles/instance_index_test.dir/instance_index_test.cc.o.d"
+  "instance_index_test"
+  "instance_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nquads_test.dir/nquads_test.cc.o"
+  "CMakeFiles/nquads_test.dir/nquads_test.cc.o.d"
+  "nquads_test"
+  "nquads_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nquads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

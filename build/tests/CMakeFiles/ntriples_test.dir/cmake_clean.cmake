@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntriples_test.dir/ntriples_test.cc.o"
+  "CMakeFiles/ntriples_test.dir/ntriples_test.cc.o.d"
+  "ntriples_test"
+  "ntriples_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntriples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

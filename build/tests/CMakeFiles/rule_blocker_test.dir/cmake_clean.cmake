@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_blocker_test.dir/rule_blocker_test.cc.o"
+  "CMakeFiles/rule_blocker_test.dir/rule_blocker_test.cc.o.d"
+  "rule_blocker_test"
+  "rule_blocker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_blocker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

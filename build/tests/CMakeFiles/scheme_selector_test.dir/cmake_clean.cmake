@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_selector_test.dir/scheme_selector_test.cc.o"
+  "CMakeFiles/scheme_selector_test.dir/scheme_selector_test.cc.o.d"
+  "scheme_selector_test"
+  "scheme_selector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

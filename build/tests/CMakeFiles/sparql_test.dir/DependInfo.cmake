@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sparql_test.cc" "tests/CMakeFiles/sparql_test.dir/sparql_test.cc.o" "gcc" "tests/CMakeFiles/sparql_test.dir/sparql_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/rulelink_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/rulelink_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/linking/CMakeFiles/rulelink_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/rulelink_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rulelink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/rulelink_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rulelink_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rulelink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rulelink_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rulelink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

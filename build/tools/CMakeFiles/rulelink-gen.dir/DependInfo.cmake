@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/gen_dataset.cc" "tools/CMakeFiles/rulelink-gen.dir/gen_dataset.cc.o" "gcc" "tools/CMakeFiles/rulelink-gen.dir/gen_dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/rulelink_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rulelink_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/rulelink_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rulelink_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rulelink_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rulelink_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

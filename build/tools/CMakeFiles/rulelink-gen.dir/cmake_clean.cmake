@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulelink-gen.dir/gen_dataset.cc.o"
+  "CMakeFiles/rulelink-gen.dir/gen_dataset.cc.o.d"
+  "rulelink-gen"
+  "rulelink-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulelink-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulelink.dir/rulelink_cli.cc.o"
+  "CMakeFiles/rulelink.dir/rulelink_cli.cc.o.d"
+  "rulelink"
+  "rulelink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulelink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
