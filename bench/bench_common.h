@@ -5,15 +5,57 @@
 #ifndef RULELINK_BENCH_BENCH_COMMON_H_
 #define RULELINK_BENCH_BENCH_COMMON_H_
 
+#include <cstddef>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/learner.h"
 #include "core/training_set.h"
 #include "datagen/generator.h"
 #include "text/segmenter.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace rulelink::bench {
+
+// One measured point of a thread-count sweep.
+struct ThreadSweepPoint {
+  std::size_t num_threads = 0;
+  double millis = 0.0;
+};
+
+// Records a thread-count speedup trajectory as BENCH_<name>.json in the
+// working directory (git-ignored), so successive runs on different
+// hardware can be compared: {"bench": ..., "hardware_concurrency": ...,
+// "points": [{"threads": t, "ms": m, "speedup_vs_1": s}, ...]}.
+inline void WriteThreadSweepJson(const std::string& bench_name,
+                                 const std::string& workload,
+                                 const std::vector<ThreadSweepPoint>& points) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) return;
+  double serial_ms = 0.0;
+  for (const ThreadSweepPoint& p : points) {
+    if (p.num_threads == 1) serial_ms = p.millis;
+  }
+  out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"workload\": \""
+      << workload << "\",\n  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ThreadSweepPoint& p = points[i];
+    out << "    {\"threads\": " << p.num_threads << ", \"ms\": "
+        << util::FormatDouble(p.millis, 3);
+    if (serial_ms > 0.0 && p.millis > 0.0) {
+      out << ", \"speedup_vs_1\": "
+          << util::FormatDouble(serial_ms / p.millis, 3);
+    }
+    out << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
 
 // The paper-scale corpus (30k catalog, 10 265 links, 566/226 ontology),
 // generated once per process.

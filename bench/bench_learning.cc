@@ -132,6 +132,49 @@ void PrintIncrementalReport() {
   std::cout << table.ToText() << "\n";
 }
 
+// Thread-count sweep over the paper-scale corpus: the speedup trajectory
+// of the sharded counting passes, recorded to BENCH_learning.json. On a
+// single-core host the parallel points only measure the sharding/merge
+// overhead; the trajectory becomes a speedup curve on multi-core hardware.
+void PrintThreadSweepReport() {
+  std::cout << "=== E5c: learner thread-count sweep (|TS| = "
+            << PaperTrainingSet().size() << ", hardware_concurrency = "
+            << std::thread::hardware_concurrency() << ") ===\n";
+  util::TextTable table(
+      {"threads", "learn time (ms)", "speedup vs 1", "#rules"});
+  std::vector<ThreadSweepPoint> points;
+  double serial_ms = 0.0;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    auto options = PaperLearnerOptions();
+    options.num_threads = threads;
+    const core::RuleLearner learner(options);
+    core::LearnStats stats;
+    // Warm-up, then best-of-3 to de-noise the report.
+    auto warm = learner.Learn(PaperTrainingSet(), &stats);
+    RL_CHECK(warm.ok());
+    double best_ms = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      util::Stopwatch timer;
+      auto rules = learner.Learn(PaperTrainingSet());
+      const double ms = timer.ElapsedMillis();
+      RL_CHECK(rules.ok());
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    if (threads == 1) serial_ms = best_ms;
+    points.push_back({threads, best_ms});
+    table.AddRow({std::to_string(threads), util::FormatDouble(best_ms, 1),
+                  serial_ms > 0.0
+                      ? util::FormatDouble(serial_ms / best_ms, 2) + "x"
+                      : "-",
+                  std::to_string(stats.num_rules)});
+  }
+  WriteThreadSweepJson("learning", "Learn on the paper-scale corpus",
+                       points);
+  std::cout << table.ToText()
+            << "(identical rules at every thread count; trajectory written "
+               "to BENCH_learning.json)\n\n";
+}
+
 void BM_IncrementalAddExample(benchmark::State& state) {
   const auto& dataset = PaperDataset();
   const auto& ts = PaperTrainingSet();
@@ -190,12 +233,33 @@ BENCHMARK(BM_LearnThresholdSweep)
     ->Arg(1600)  // th = 0.016
     ->Unit(benchmark::kMillisecond);
 
+// The thread-count axis: Learn on the paper corpus at 1/2/4/8 workers.
+void BM_LearnThreads(benchmark::State& state) {
+  auto options = PaperLearnerOptions();
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  const core::RuleLearner learner(options);
+  for (auto _ : state) {
+    auto rules = learner.Learn(PaperTrainingSet());
+    benchmark::DoNotOptimize(rules);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(PaperTrainingSet().size()));
+}
+BENCHMARK(BM_LearnThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace rulelink::bench
 
 int main(int argc, char** argv) {
   rulelink::bench::PrintScalingReport();
   rulelink::bench::PrintIncrementalReport();
+  rulelink::bench::PrintThreadSweepReport();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

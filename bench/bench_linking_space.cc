@@ -13,6 +13,7 @@
 #include "core/linking_space.h"
 #include "eval/report.h"
 #include "ontology/instance_index.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -107,6 +108,50 @@ void PrintLiftVsSubspace() {
   std::cout << table.ToText() << "\n";
 }
 
+// Thread-count sweep over the candidate-scoring / rule-application path:
+// Analyze classifies every external item and unions its subspace extents.
+// Recorded to BENCH_linking_space.json (see bench_learning for caveats on
+// single-core hosts).
+void PrintThreadSweepReport() {
+  Fixture& f = GetFixture();
+  std::cout << "=== E3c: linking-space thread-count sweep (|S_E| = "
+            << f.dataset->external_items.size()
+            << ", hardware_concurrency = "
+            << std::thread::hardware_concurrency() << ") ===\n";
+  util::TextTable table({"threads", "analyze time (ms)", "speedup vs 1"});
+  std::vector<ThreadSweepPoint> points;
+  double serial_ms = 0.0;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    // Warm-up, then best-of-3.
+    auto warm = f.analyzer->Analyze(f.dataset->external_items, 0.4,
+                                    core::UnclassifiedPolicy::kCompareAll,
+                                    threads);
+    benchmark::DoNotOptimize(warm);
+    double best_ms = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      util::Stopwatch timer;
+      const auto report = f.analyzer->Analyze(
+          f.dataset->external_items, 0.4,
+          core::UnclassifiedPolicy::kCompareAll, threads);
+      const double ms = timer.ElapsedMillis();
+      benchmark::DoNotOptimize(report);
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    if (threads == 1) serial_ms = best_ms;
+    points.push_back({threads, best_ms});
+    table.AddRow({std::to_string(threads), util::FormatDouble(best_ms, 1),
+                  serial_ms > 0.0
+                      ? util::FormatDouble(serial_ms / best_ms, 2) + "x"
+                      : "-"});
+  }
+  WriteThreadSweepJson("linking_space",
+                       "Analyze the full external source at conf >= 0.4",
+                       points);
+  std::cout << table.ToText()
+            << "(identical reports at every thread count; trajectory "
+               "written to BENCH_linking_space.json)\n\n";
+}
+
 void BM_AnalyzeLinkingSpace(benchmark::State& state) {
   Fixture& f = GetFixture();
   const double min_conf = static_cast<double>(state.range(0)) / 10.0;
@@ -139,12 +184,34 @@ void BM_SubspaceCandidates(benchmark::State& state) {
 }
 BENCHMARK(BM_SubspaceCandidates);
 
+// The thread-count axis of the rule-application / scoring path.
+void BM_AnalyzeThreads(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto report = f.analyzer->Analyze(
+        f.dataset->external_items, 0.4,
+        core::UnclassifiedPolicy::kCompareAll, threads);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(f.dataset->external_items.size()));
+}
+BENCHMARK(BM_AnalyzeThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace rulelink::bench
 
 int main(int argc, char** argv) {
   rulelink::bench::PrintConfidenceFloorSweep();
   rulelink::bench::PrintLiftVsSubspace();
+  rulelink::bench::PrintThreadSweepReport();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

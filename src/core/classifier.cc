@@ -6,6 +6,7 @@
 
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace rulelink::core {
 
@@ -68,11 +69,40 @@ std::vector<ClassPrediction> RuleClassifier::Classify(
   return predictions;
 }
 
+std::vector<std::vector<ClassPrediction>> RuleClassifier::ClassifyBatch(
+    const std::vector<Item>& items, double min_confidence,
+    std::size_t num_threads) const {
+  std::vector<std::vector<ClassPrediction>> results(items.size());
+  util::ParallelFor(
+      num_threads, items.size(),
+      [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = Classify(items[i], min_confidence);
+        }
+      });
+  return results;
+}
+
 ontology::ClassId RuleClassifier::PredictClass(const Item& item,
                                                double min_confidence) const {
   const auto predictions = Classify(item, min_confidence);
   return predictions.empty() ? ontology::kInvalidClassId
                              : predictions.front().cls;
+}
+
+std::vector<ontology::ClassId> RuleClassifier::PredictClassBatch(
+    const std::vector<Item>& items, double min_confidence,
+    std::size_t num_threads) const {
+  std::vector<ontology::ClassId> results(items.size(),
+                                         ontology::kInvalidClassId);
+  util::ParallelFor(
+      num_threads, items.size(),
+      [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = PredictClass(items[i], min_confidence);
+        }
+      });
+  return results;
 }
 
 }  // namespace rulelink::core

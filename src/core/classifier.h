@@ -32,9 +32,23 @@ class RuleClassifier {
   std::vector<ClassPrediction> Classify(const Item& item,
                                         double min_confidence = 0.0) const;
 
+  // Classifies a batch of items, partitioning them across `num_threads`
+  // workers (0 = hardware concurrency, 1 = serial). Items are independent,
+  // so result[i] is exactly Classify(items[i], min_confidence) at every
+  // thread count. Classify() is const and touches only the borrowed
+  // RuleSet/Segmenter, both read-only, so concurrent calls are safe.
+  std::vector<std::vector<ClassPrediction>> ClassifyBatch(
+      const std::vector<Item>& items, double min_confidence = 0.0,
+      std::size_t num_threads = 0) const;
+
   // The top-ranked predicted class, or kInvalidClassId when no rule fires.
   ontology::ClassId PredictClass(const Item& item,
                                  double min_confidence = 0.0) const;
+
+  // Batch variant of PredictClass, parallelized like ClassifyBatch.
+  std::vector<ontology::ClassId> PredictClassBatch(
+      const std::vector<Item>& items, double min_confidence = 0.0,
+      std::size_t num_threads = 0) const;
 
   const RuleSet& rules() const { return *rules_; }
 

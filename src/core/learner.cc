@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "util/hash.h"
+#include "util/thread_pool.h"
 
 namespace rulelink::core {
 namespace {
@@ -15,6 +18,20 @@ struct PremiseStat {
   std::size_t example_count = 0;  // distinct examples whose value contains a
   std::size_t occurrences = 0;    // raw segment occurrences
 };
+
+// Per-worker accumulators of the counting passes. Each worker owns one
+// shard and only ever writes to it; shards are merged additively on the
+// calling thread, in chunk order, so every count (and therefore every
+// rule, measure and statistic) is independent of the thread count.
+struct PremiseShard {
+  std::unordered_map<PremiseKey, PremiseStat, util::PairHash> premise_stats;
+  std::unordered_set<std::string> distinct_segments;
+  std::size_t total_occurrences = 0;
+};
+
+using ClassCountMap = std::unordered_map<ontology::ClassId, std::size_t>;
+using JointCountMap =
+    std::unordered_map<PremiseKey, ClassCountMap, util::PairHash>;
 
 }  // namespace
 
@@ -55,49 +72,89 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
     return options_.properties.empty() || selected_properties.count(p) > 0;
   };
 
-  // ---- Pass 1: premise frequencies and segment statistics. ----
-  std::unordered_map<PremiseKey, PremiseStat, util::PairHash> premise_stats;
-  std::unordered_set<std::string> distinct_segment_strings;
-  std::size_t total_occurrences = 0;
+  const auto& examples = ts.examples();
+  const std::size_t num_examples = examples.size();
+  const std::size_t num_shards =
+      util::ParallelChunks(options_.num_threads, num_examples);
 
-  // Reused per-example scratch: which (p, segment) pairs this example has.
-  std::unordered_set<PremiseKey, util::PairHash> example_premises;
-
+  // Gathers the distinct (p, segment) premises of one example into `out`.
   const auto collect_example_premises =
       [&](const TrainingExample& example,
-          std::unordered_set<PremiseKey, util::PairHash>* out,
-          bool count_occurrences) {
+          std::unordered_set<PremiseKey, util::PairHash>* out) {
         out->clear();
         for (const auto& [property, value] : example.facts) {
           if (!property_selected(property)) continue;
           for (std::string& seg : options_.segmenter->Segment(value)) {
-            if (count_occurrences) {
-              ++total_occurrences;
-              distinct_segment_strings.insert(seg);
-            }
             out->emplace(property, std::move(seg));
           }
         }
       };
 
-  for (const TrainingExample& example : ts.examples()) {
-    collect_example_premises(example, &example_premises,
-                             /*count_occurrences=*/true);
-    for (const PremiseKey& key : example_premises) {
-      ++premise_stats[key].example_count;
+  // ---- Pass 1: premise frequencies and segment statistics, sharded over
+  // contiguous example ranges. ----
+  std::vector<PremiseShard> shards(num_shards);
+  util::ParallelFor(
+      options_.num_threads, num_examples,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        PremiseShard& shard = shards[chunk];
+        // Reused per-example scratch: which (p, segment) pairs it has.
+        std::unordered_set<PremiseKey, util::PairHash> example_premises;
+        for (std::size_t i = begin; i < end; ++i) {
+          example_premises.clear();
+          for (const auto& [property, value] : examples[i].facts) {
+            if (!property_selected(property)) continue;
+            for (std::string& seg : options_.segmenter->Segment(value)) {
+              ++shard.total_occurrences;
+              shard.distinct_segments.insert(seg);
+              example_premises.emplace(property, std::move(seg));
+            }
+          }
+          for (const PremiseKey& key : example_premises) {
+            ++shard.premise_stats[key].example_count;
+          }
+        }
+      });
+
+  std::unordered_map<PremiseKey, PremiseStat, util::PairHash> premise_stats =
+      std::move(shards[0].premise_stats);
+  std::unordered_set<std::string> distinct_segment_strings =
+      std::move(shards[0].distinct_segments);
+  std::size_t total_occurrences = shards[0].total_occurrences;
+  for (std::size_t s = 1; s < num_shards; ++s) {
+    for (auto& [key, stat] : shards[s].premise_stats) {
+      PremiseStat& merged = premise_stats[key];
+      merged.example_count += stat.example_count;
+      merged.occurrences += stat.occurrences;
     }
+    distinct_segment_strings.merge(shards[s].distinct_segments);
+    total_occurrences += shards[s].total_occurrences;
   }
+  shards.clear();
+
   // Raw occurrence counts per premise (for the "selected occurrences"
   // statistic) need a second tally because example_premises deduplicates.
-  for (const TrainingExample& example : ts.examples()) {
-    for (const auto& [property, value] : example.facts) {
-      if (!property_selected(property)) continue;
-      for (const std::string& seg : options_.segmenter->Segment(value)) {
-        auto it = premise_stats.find({property, seg});
-        if (it != premise_stats.end()) ++it->second.occurrences;
-      }
+  std::vector<std::unordered_map<PremiseKey, std::size_t, util::PairHash>>
+      occurrence_shards(num_shards);
+  util::ParallelFor(
+      options_.num_threads, num_examples,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        auto& occurrences = occurrence_shards[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          for (const auto& [property, value] : examples[i].facts) {
+            if (!property_selected(property)) continue;
+            for (std::string& seg : options_.segmenter->Segment(value)) {
+              ++occurrences[PremiseKey(property, std::move(seg))];
+            }
+          }
+        }
+      });
+  for (auto& occurrences : occurrence_shards) {
+    for (const auto& [key, count] : occurrences) {
+      auto it = premise_stats.find(key);
+      if (it != premise_stats.end()) it->second.occurrences += count;
     }
   }
+  occurrence_shards.clear();
 
   // Frequent premises.
   std::unordered_map<PremiseKey, std::size_t, util::PairHash>
@@ -112,37 +169,64 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
 
   // ---- Class frequencies (most-specific classes only, already reduced by
   // TrainingSet). ----
-  std::unordered_map<ontology::ClassId, std::size_t> class_count;
-  for (const TrainingExample& example : ts.examples()) {
-    for (ontology::ClassId c : example.classes) ++class_count[c];
+  std::vector<ClassCountMap> class_shards(num_shards);
+  util::ParallelFor(
+      options_.num_threads, num_examples,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        ClassCountMap& counts = class_shards[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          for (ontology::ClassId c : examples[i].classes) ++counts[c];
+        }
+      });
+  ClassCountMap class_count = std::move(class_shards[0]);
+  for (std::size_t s = 1; s < num_shards; ++s) {
+    for (const auto& [cls, count] : class_shards[s]) {
+      class_count[cls] += count;
+    }
   }
-  std::unordered_map<ontology::ClassId, std::size_t> frequent_class_count;
+  class_shards.clear();
+
+  ClassCountMap frequent_class_count;
   for (const auto& [cls, count] : class_count) {
     if (is_frequent(count)) frequent_class_count.emplace(cls, count);
   }
 
   // ---- Pass 2: joint counts for frequent premises x frequent classes. ----
-  std::unordered_map<PremiseKey, std::unordered_map<ontology::ClassId,
-                                                    std::size_t>,
-                     util::PairHash>
-      joint_count;
-  for (const TrainingExample& example : ts.examples()) {
-    collect_example_premises(example, &example_premises,
-                             /*count_occurrences=*/false);
-    for (const PremiseKey& key : example_premises) {
-      if (frequent_premise_count.find(key) == frequent_premise_count.end()) {
-        continue;
-      }
-      auto& per_class = joint_count[key];
-      for (ontology::ClassId c : example.classes) {
-        if (frequent_class_count.find(c) != frequent_class_count.end()) {
-          ++per_class[c];
+  std::vector<JointCountMap> joint_shards(num_shards);
+  util::ParallelFor(
+      options_.num_threads, num_examples,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        JointCountMap& joint = joint_shards[chunk];
+        std::unordered_set<PremiseKey, util::PairHash> example_premises;
+        for (std::size_t i = begin; i < end; ++i) {
+          collect_example_premises(examples[i], &example_premises);
+          for (const PremiseKey& key : example_premises) {
+            if (frequent_premise_count.find(key) ==
+                frequent_premise_count.end()) {
+              continue;
+            }
+            auto& per_class = joint[key];
+            for (ontology::ClassId c : examples[i].classes) {
+              if (frequent_class_count.find(c) !=
+                  frequent_class_count.end()) {
+                ++per_class[c];
+              }
+            }
+          }
         }
-      }
+      });
+  JointCountMap joint_count = std::move(joint_shards[0]);
+  for (std::size_t s = 1; s < num_shards; ++s) {
+    for (auto& [key, per_class] : joint_shards[s]) {
+      ClassCountMap& merged = joint_count[key];
+      for (const auto& [cls, count] : per_class) merged[cls] += count;
     }
   }
+  joint_shards.clear();
 
-  // ---- Rule construction. ----
+  // ---- Rule construction. ---- (Serial: the rule count is tiny compared
+  // to the counting passes, and RuleSet's total order makes the final
+  // ordering independent of map iteration order anyway.)
   std::vector<ClassificationRule> rules;
   std::unordered_set<ontology::ClassId> conclusion_classes;
   for (const auto& [key, per_class] : joint_count) {

@@ -36,6 +36,13 @@ struct LearnerOptions {
 
   // Optional post-filter: drop rules below this confidence. 0 keeps all.
   double min_confidence = 0.0;
+
+  // Worker threads for the counting passes. 0 = hardware concurrency,
+  // 1 = the serial code path (no pool). Every thread count produces
+  // byte-identical rules, ordering and statistics: counting is sharded
+  // over contiguous example ranges into per-worker maps that are merged
+  // additively, and the RuleSet ordering is a total order.
+  std::size_t num_threads = 0;
 };
 
 // Corpus statistics reported by the learner; these are the §5 in-text

@@ -1,8 +1,10 @@
 #include "core/linking_space.h"
 
+#include <limits>
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace rulelink::core {
 
@@ -49,17 +51,40 @@ std::size_t LinkingSpaceAnalyzer::SubspaceSize(
 
 LinkingSpaceReport LinkingSpaceAnalyzer::Analyze(
     const std::vector<Item>& external, double min_confidence,
-    UnclassifiedPolicy policy) const {
+    UnclassifiedPolicy policy, std::size_t num_threads) const {
   LinkingSpaceReport report;
   report.num_external_items = external.size();
   report.local_size = local_index_->instances().size();
   report.naive_pairs = static_cast<std::uint64_t>(external.size()) *
                        static_cast<std::uint64_t>(report.local_size);
 
+  // Parallel map: per-item subspace sizes. kNotClassified marks items no
+  // rule fired on; the serial reduction below then applies the policy and
+  // accumulates doubles in item order (bit-identical at any thread count).
+  constexpr std::size_t kNotClassified =
+      std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> subspace_sizes(external.size(), kNotClassified);
+  util::ParallelFor(
+      num_threads, external.size(),
+      [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto predictions =
+              classifier_->Classify(external[i], min_confidence);
+          if (predictions.empty()) continue;
+          std::unordered_set<rdf::TermId> subspace;
+          for (const ClassPrediction& prediction : predictions) {
+            for (rdf::TermId instance :
+                 local_index_->TransitiveExtent(prediction.cls)) {
+              subspace.insert(instance);
+            }
+          }
+          subspace_sizes[i] = subspace.size();
+        }
+      });
+
   double fraction_sum = 0.0;
-  for (const Item& item : external) {
-    const auto predictions = classifier_->Classify(item, min_confidence);
-    if (predictions.empty()) {
+  for (std::size_t size : subspace_sizes) {
+    if (size == kNotClassified) {
       ++report.unclassified_items;
       if (policy == UnclassifiedPolicy::kCompareAll) {
         report.reduced_pairs += report.local_size;
@@ -67,16 +92,9 @@ LinkingSpaceReport LinkingSpaceAnalyzer::Analyze(
       continue;
     }
     ++report.classified_items;
-    std::unordered_set<rdf::TermId> subspace;
-    for (const ClassPrediction& prediction : predictions) {
-      for (rdf::TermId instance :
-           local_index_->TransitiveExtent(prediction.cls)) {
-        subspace.insert(instance);
-      }
-    }
-    report.reduced_pairs += subspace.size();
+    report.reduced_pairs += size;
     if (report.local_size > 0) {
-      fraction_sum += static_cast<double>(subspace.size()) /
+      fraction_sum += static_cast<double>(size) /
                       static_cast<double>(report.local_size);
     }
   }

@@ -53,10 +53,15 @@ class LinkingSpaceAnalyzer {
   std::vector<rdf::TermId> Candidates(const Item& item,
                                       double min_confidence) const;
 
-  // Aggregates over a whole external source.
+  // Aggregates over a whole external source. The per-item classification
+  // and subspace-union work is partitioned across `num_threads` workers
+  // (0 = hardware concurrency, 1 = serial); the floating-point aggregation
+  // is then reduced serially in item order, so the report is bit-identical
+  // at every thread count.
   LinkingSpaceReport Analyze(const std::vector<Item>& external,
                              double min_confidence,
-                             UnclassifiedPolicy policy) const;
+                             UnclassifiedPolicy policy,
+                             std::size_t num_threads = 0) const;
 
  private:
   const RuleClassifier* classifier_;

@@ -7,6 +7,7 @@
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace rulelink::eval {
 namespace {
@@ -42,7 +43,8 @@ Table1Evaluator::Table1Evaluator(const core::RuleSet* rules,
 
 Table1Result Table1Evaluator::Evaluate(
     const core::TrainingSet& ts,
-    const std::vector<double>& band_bounds) const {
+    const std::vector<double>& band_bounds,
+    std::size_t num_threads) const {
   RL_CHECK(!band_bounds.empty());
   RL_CHECK(std::is_sorted(band_bounds.rbegin(), band_bounds.rend()))
       << "band bounds must be strictly decreasing";
@@ -83,44 +85,75 @@ Table1Result Table1Evaluator::Evaluate(
   }
   result.frequent_classes = frequent.size();
 
-  // Decisions: best applicable rule per item.
+  // Decisions: best applicable rule per item. The sweep over TS is sharded
+  // across workers into per-chunk integer counters merged in chunk order
+  // (see the header's determinism note). The classifier is shared: it is
+  // const and only reads the borrowed rule set and segmenter.
   const core::RuleClassifier classifier(rules_, segmenter_);
   const double lowest_bound = band_bounds.back();
-  for (const core::TrainingExample& example : ts.examples()) {
-    const bool classifiable = std::any_of(
-        example.classes.begin(), example.classes.end(),
-        [&](ontology::ClassId c) { return frequent.count(c) > 0; });
-    if (classifiable) ++result.classifiable_items;
+  const auto& examples = ts.examples();
+  struct SweepShard {
+    std::vector<std::size_t> decisions;  // per band
+    std::vector<std::size_t> correct;    // per band
+    std::size_t classifiable = 0;
+    std::size_t undecided = 0;
+  };
+  const std::size_t num_shards =
+      util::ParallelChunks(num_threads, examples.size());
+  std::vector<SweepShard> shards(std::max<std::size_t>(1, num_shards));
+  for (SweepShard& shard : shards) {
+    shard.decisions.assign(band_bounds.size(), 0);
+    shard.correct.assign(band_bounds.size(), 0);
+  }
+  util::ParallelFor(
+      num_threads, examples.size(),
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        SweepShard& shard = shards[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          const core::TrainingExample& example = examples[i];
+          const bool classifiable = std::any_of(
+              example.classes.begin(), example.classes.end(),
+              [&](ontology::ClassId c) { return frequent.count(c) > 0; });
+          if (classifiable) ++shard.classifiable;
 
-    core::Item item;
-    item.iri = example.external_iri;
-    for (const auto& [property, value] : example.facts) {
-      item.facts.push_back(
-          core::PropertyValue{ts.properties().name(property), value});
-    }
-    const auto predictions = classifier.Classify(item, lowest_bound);
-    if (predictions.empty()) {
-      ++result.undecided_items;
-      continue;
-    }
-    const core::ClassPrediction& best = predictions.front();
-    std::size_t band = band_bounds.size();
+          core::Item item;
+          item.iri = example.external_iri;
+          for (const auto& [property, value] : example.facts) {
+            item.facts.push_back(
+                core::PropertyValue{ts.properties().name(property), value});
+          }
+          const auto predictions = classifier.Classify(item, lowest_bound);
+          if (predictions.empty()) {
+            ++shard.undecided;
+            continue;
+          }
+          const core::ClassPrediction& best = predictions.front();
+          std::size_t band = band_bounds.size();
+          for (std::size_t b = 0; b < band_bounds.size(); ++b) {
+            if (best.confidence >= result.rows[b].band_lo &&
+                best.confidence < result.rows[b].band_hi) {
+              band = b;
+              break;
+            }
+          }
+          if (band == band_bounds.size()) {
+            ++shard.undecided;
+            continue;
+          }
+          ++shard.decisions[band];
+          const bool correct =
+              std::find(example.classes.begin(), example.classes.end(),
+                        best.cls) != example.classes.end();
+          if (correct) ++shard.correct[band];
+        }
+      });
+  for (const SweepShard& shard : shards) {
+    result.classifiable_items += shard.classifiable;
+    result.undecided_items += shard.undecided;
     for (std::size_t b = 0; b < band_bounds.size(); ++b) {
-      if (best.confidence >= result.rows[b].band_lo &&
-          best.confidence < result.rows[b].band_hi) {
-        band = b;
-        break;
-      }
+      result.rows[b].decisions += shard.decisions[b];
+      result.rows[b].correct += shard.correct[b];
     }
-    if (band == band_bounds.size()) {
-      ++result.undecided_items;
-      continue;
-    }
-    ++result.rows[band].decisions;
-    const bool correct =
-        std::find(example.classes.begin(), example.classes.end(),
-                  best.cls) != example.classes.end();
-    if (correct) ++result.rows[band].correct;
   }
 
   // Band precision plus the paper's cumulative precision/recall columns.

@@ -62,9 +62,17 @@ class Table1Evaluator {
 
   // `band_bounds` must be strictly decreasing confidence lower bounds; the
   // default reproduces the paper's rows {1, 0.8, 0.6, 0.4}.
+  //
+  // The per-item classification sweep behind the per-band columns is
+  // partitioned across `num_threads` workers (0 = hardware concurrency,
+  // 1 = serial). Workers accumulate per-band counters over disjoint
+  // example ranges which are summed in chunk order; since every column is
+  // integer-counted before the final division, the result is identical at
+  // every thread count.
   Table1Result Evaluate(
       const core::TrainingSet& ts,
-      const std::vector<double>& band_bounds = {1.0, 0.8, 0.6, 0.4}) const;
+      const std::vector<double>& band_bounds = {1.0, 0.8, 0.6, 0.4},
+      std::size_t num_threads = 0) const;
 
  private:
   const core::RuleSet* rules_;

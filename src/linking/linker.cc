@@ -1,12 +1,24 @@
 #include "linking/linker.h"
 
 #include <algorithm>
-#include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace rulelink::linking {
+namespace {
+
+// Per-worker scoring results over one contiguous chunk of the sorted
+// candidate list. Merged on the calling thread in chunk order.
+struct ScoreShard {
+  std::vector<Link> links;  // kAllAboveThreshold: links in candidate order
+  std::unordered_map<std::size_t, Link> best;  // kBestPerExternal
+  std::size_t comparisons = 0;
+};
+
+}  // namespace
 
 Linker::Linker(const ItemMatcher* matcher, double threshold,
                Strategy strategy)
@@ -19,37 +31,56 @@ std::vector<Link> Linker::Run(
     const std::vector<core::Item>& external,
     const std::vector<core::Item>& local,
     const std::vector<blocking::CandidatePair>& candidates,
-    LinkerStats* stats) const {
-  const std::set<blocking::CandidatePair> unique(candidates.begin(),
-                                                 candidates.end());
+    LinkerStats* stats, std::size_t num_threads) const {
+  // Deduplicate into (external, local) order; chunks of this list are then
+  // themselves sorted, which the tie-break merge below relies on.
+  std::vector<blocking::CandidatePair> unique(candidates.begin(),
+                                              candidates.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  const std::size_t num_shards =
+      util::ParallelChunks(num_threads, unique.size());
+  std::vector<ScoreShard> shards(std::max<std::size_t>(1, num_shards));
+  util::ParallelFor(
+      num_threads, unique.size(),
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        ScoreShard& shard = shards[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          const blocking::CandidatePair& pair = unique[i];
+          RL_DCHECK(pair.external_index < external.size());
+          RL_DCHECK(pair.local_index < local.size());
+          const double score = matcher_->Score(external[pair.external_index],
+                                               local[pair.local_index]);
+          ++shard.comparisons;
+          if (score < threshold_) continue;
+          const Link link{pair.external_index, pair.local_index, score};
+          if (strategy_ == Strategy::kAllAboveThreshold) {
+            shard.links.push_back(link);
+          } else {
+            auto [it, inserted] = shard.best.try_emplace(
+                pair.external_index, link);
+            if (!inserted && score > it->second.score) it->second = link;
+          }
+        }
+      });
+
   std::size_t comparisons = 0;
   std::vector<Link> links;
-
   if (strategy_ == Strategy::kAllAboveThreshold) {
-    for (const auto& pair : unique) {
-      RL_DCHECK(pair.external_index < external.size());
-      RL_DCHECK(pair.local_index < local.size());
-      const double score = matcher_->Score(external[pair.external_index],
-                                           local[pair.local_index]);
-      ++comparisons;
-      if (score >= threshold_) {
-        links.push_back(Link{pair.external_index, pair.local_index, score});
-      }
+    for (const ScoreShard& shard : shards) {
+      comparisons += shard.comparisons;
+      links.insert(links.end(), shard.links.begin(), shard.links.end());
     }
   } else {
+    // Chunk-order merge keeps the serial tie-break: an equal score never
+    // displaces the link found earlier in candidate order.
     std::unordered_map<std::size_t, Link> best;
-    for (const auto& pair : unique) {
-      RL_DCHECK(pair.external_index < external.size());
-      RL_DCHECK(pair.local_index < local.size());
-      const double score = matcher_->Score(external[pair.external_index],
-                                           local[pair.local_index]);
-      ++comparisons;
-      if (score < threshold_) continue;
-      auto [it, inserted] = best.try_emplace(
-          pair.external_index,
-          Link{pair.external_index, pair.local_index, score});
-      if (!inserted && score > it->second.score) {
-        it->second = Link{pair.external_index, pair.local_index, score};
+    for (ScoreShard& shard : shards) {
+      comparisons += shard.comparisons;
+      for (const auto& [external_index, link] : shard.best) {
+        auto [it, inserted] = best.try_emplace(external_index, link);
+        if (!inserted && link.score > it->second.score) it->second = link;
       }
     }
     links.reserve(best.size());

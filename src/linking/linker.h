@@ -42,10 +42,18 @@ class Linker {
 
   // Scores the given candidate pairs and emits links. Candidates may be
   // unsorted and may contain duplicates (scored once).
+  //
+  // Scoring is partitioned across `num_threads` workers (0 = hardware
+  // concurrency, 1 = serial) over the deduplicated, sorted candidate list;
+  // per-worker results are merged in chunk order, so the emitted links,
+  // their order and the stats are identical at every thread count. Ties in
+  // the best-per-external strategy resolve to the earliest pair in
+  // candidate order, exactly as in the serial path.
   std::vector<Link> Run(const std::vector<core::Item>& external,
                         const std::vector<core::Item>& local,
                         const std::vector<blocking::CandidatePair>& candidates,
-                        LinkerStats* stats = nullptr) const;
+                        LinkerStats* stats = nullptr,
+                        std::size_t num_threads = 0) const;
 
  private:
   const ItemMatcher* matcher_;

@@ -1,0 +1,132 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace rulelink::util {
+
+std::size_t ResolveNumThreads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  const std::size_t n = std::max<std::size_t>(1, num_workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr e = first_exception_;
+    first_exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n, const ChunkBody& body) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(num_workers(), n);
+  if (chunks <= 1) {
+    body(0, 0, n);
+    return;
+  }
+
+  struct ForState {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::vector<std::exception_ptr> errors;
+  };
+  ForState state;
+  state.remaining = chunks;
+  state.errors.resize(chunks);
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * n / chunks;
+    const std::size_t end = (c + 1) * n / chunks;
+    Submit([&state, &body, c, begin, end] {
+      try {
+        body(c, begin, end);
+      } catch (...) {
+        state.errors[c] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (--state.remaining == 0) state.done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.remaining == 0; });
+  for (const std::exception_ptr& error : state.errors) {
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (first_exception_ == nullptr) {
+        first_exception_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+std::size_t ParallelChunks(std::size_t num_threads, std::size_t n) {
+  if (n == 0) return 0;
+  return std::max<std::size_t>(
+      1, std::min(ResolveNumThreads(num_threads), n));
+}
+
+void ParallelFor(std::size_t num_threads, std::size_t n,
+                 const ChunkBody& body) {
+  const std::size_t chunks = ParallelChunks(num_threads, n);
+  if (chunks == 0) return;
+  if (chunks == 1) {
+    body(0, 0, n);
+    return;
+  }
+  ThreadPool pool(chunks);
+  pool.ParallelFor(n, body);
+}
+
+}  // namespace rulelink::util

@@ -1,0 +1,99 @@
+// A small fixed-size worker pool plus a deterministic ParallelFor used by
+// the learner, classifier, linker and evaluator hot paths.
+//
+// Design constraints (see DESIGN.md §"Parallel execution model"):
+//   * static chunking: [0, n) is split into min(workers, n) contiguous
+//     chunks, so the work distribution is a pure function of (n, workers)
+//     and never of scheduling order;
+//   * callers shard into per-chunk accumulators and merge them in chunk
+//     order, which keeps every parallel entry point byte-identical to the
+//     serial path;
+//   * num_threads <= 1 (after resolution) runs the body inline on the
+//     calling thread with no pool, no locks and no extra allocation — that
+//     is the legacy serial code path, kept reachable so differential tests
+//     can compare it against the sharded one;
+//   * exceptions thrown by chunk bodies are captured and rethrown on the
+//     calling thread, lowest chunk index first, so failure behaviour is
+//     deterministic too.
+#ifndef RULELINK_UTIL_THREAD_POOL_H_
+#define RULELINK_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rulelink::util {
+
+// Resolves a user-facing thread-count option: 0 means "use the hardware",
+// i.e. std::thread::hardware_concurrency() (at least 1); any other value
+// is returned unchanged.
+std::size_t ResolveNumThreads(std::size_t requested);
+
+// Chunk body: half-open index range [begin, end) plus the chunk ordinal,
+// which callers use to index per-chunk accumulators.
+using ChunkBody =
+    std::function<void(std::size_t chunk, std::size_t begin, std::size_t end)>;
+
+class ThreadPool {
+ public:
+  // Spawns max(1, num_workers) worker threads.
+  explicit ThreadPool(std::size_t num_workers);
+
+  // Drains the queue (pending tasks still run), then joins the workers.
+  // Exceptions captured from tasks but never collected via Wait() are
+  // dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+  // Enqueues a task. Safe to call from inside a running task (nested
+  // submission): the nested task is queued like any other and Wait()
+  // keeps waiting until it has run too.
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no task is running, then rethrows
+  // the first exception captured from a submitted task, if any.
+  void Wait();
+
+  // Splits [0, n) into min(num_workers(), n) contiguous chunks, runs
+  // body(chunk, begin, end) for each on the pool and blocks until all
+  // complete. Chunk exceptions are rethrown lowest-chunk-first. Must not
+  // be called from inside a pool task (the caller blocks on the pool).
+  void ParallelFor(std::size_t n, const ChunkBody& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;  // signalled when work is queued
+  std::condition_variable idle_;        // signalled when the pool drains
+  std::size_t active_ = 0;              // tasks currently running
+  bool stopping_ = false;
+  std::exception_ptr first_exception_;  // from Submit()ed tasks
+};
+
+// One-shot helper for code with a num_threads option: resolves the option
+// (0 = hardware concurrency), clamps to n, and either runs the single
+// chunk body(0, 0, n) inline — the exact serial path — or stands up a
+// transient pool for the call. The pool setup cost (~tens of µs) is noise
+// for the corpus-sized loops this library parallelizes.
+void ParallelFor(std::size_t num_threads, std::size_t n,
+                 const ChunkBody& body);
+
+// The number of chunks ParallelFor(num_threads, n, ...) will use; callers
+// size their per-chunk accumulator vectors with this.
+std::size_t ParallelChunks(std::size_t num_threads, std::size_t n);
+
+}  // namespace rulelink::util
+
+#endif  // RULELINK_UTIL_THREAD_POOL_H_

@@ -1,9 +1,14 @@
 // Randomized property tests: invariants that must hold on ANY corpus the
-// generator can produce, swept across seeds. These catch interactions the
-// hand-built unit corpora cannot.
+// generator can produce, swept across seeds — and, since the parallel
+// execution layer, also across thread counts: every invariant below is
+// checked both on the serial path (num_threads=1) and on the sharded
+// parallel path, which must be indistinguishable.
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <set>
+#include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -36,21 +41,49 @@ datagen::DatasetConfig PropertyConfig(std::uint64_t seed) {
   return config;
 }
 
-class CorpusProperty : public ::testing::TestWithParam<std::uint64_t> {
+struct PropertyCorpus {
+  std::unique_ptr<datagen::Dataset> dataset;
+  std::unique_ptr<core::TrainingSet> ts;
+};
+
+// The corpus depends only on the seed, not the thread count; cache it so
+// the thread-count sweep does not regenerate it.
+const PropertyCorpus& GetPropertyCorpus(std::uint64_t seed) {
+  static std::map<std::uint64_t, PropertyCorpus>* cache =
+      new std::map<std::uint64_t, PropertyCorpus>();
+  auto it = cache->find(seed);
+  if (it == cache->end()) {
+    auto dataset =
+        datagen::DatasetGenerator(PropertyConfig(seed)).Generate();
+    RL_CHECK(dataset.ok()) << dataset.status();
+    PropertyCorpus corpus;
+    corpus.dataset =
+        std::make_unique<datagen::Dataset>(std::move(dataset).value());
+    corpus.ts = std::make_unique<core::TrainingSet>(
+        datagen::BuildTrainingSet(*corpus.dataset));
+    it = cache->emplace(seed, std::move(corpus)).first;
+  }
+  return it->second;
+}
+
+// (seed, num_threads): every invariant runs on the serial path (1) and on
+// the parallel path (4 shards regardless of host core count).
+class CorpusProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
  protected:
   CorpusProperty() {
-    auto dataset = datagen::DatasetGenerator(PropertyConfig(GetParam()))
-                       .Generate();
-    RL_CHECK(dataset.ok()) << dataset.status();
-    dataset_ = std::make_unique<datagen::Dataset>(std::move(dataset).value());
-    ts_ = std::make_unique<core::TrainingSet>(
-        datagen::BuildTrainingSet(*dataset_));
+    const PropertyCorpus& corpus = GetPropertyCorpus(std::get<0>(GetParam()));
+    dataset_ = corpus.dataset.get();
+    ts_ = corpus.ts.get();
   }
+
+  std::size_t threads() const { return std::get<1>(GetParam()); }
 
   core::RuleSet Learn(double threshold) {
     core::LearnerOptions options;
     options.support_threshold = threshold;
     options.segmenter = &segmenter_;
+    options.num_threads = threads();
     auto rules = core::RuleLearner(options).Learn(*ts_);
     RL_CHECK(rules.ok()) << rules.status();
     return std::move(rules).value();
@@ -66,8 +99,8 @@ class CorpusProperty : public ::testing::TestWithParam<std::uint64_t> {
     return item;
   }
 
-  std::unique_ptr<datagen::Dataset> dataset_;
-  std::unique_ptr<core::TrainingSet> ts_;
+  const datagen::Dataset* dataset_ = nullptr;
+  const core::TrainingSet* ts_ = nullptr;
   text::SeparatorSegmenter segmenter_;
 };
 
@@ -114,6 +147,22 @@ TEST_P(CorpusProperty, ConfidenceOneRulesArePerfectOnTs) {
 TEST_P(CorpusProperty, ClassifierIsDeterministicAndOrdered) {
   const core::RuleSet rules = Learn(0.01);
   const core::RuleClassifier classifier(&rules, &segmenter_);
+  // The batch entry point at the swept thread count must agree with the
+  // per-item one.
+  std::vector<core::Item> items;
+  for (std::size_t i = 0; i < 50 && i < ts_->size(); ++i) {
+    items.push_back(ItemOf(ts_->examples()[i]));
+  }
+  const auto batch = classifier.ClassifyBatch(items, 0.0, threads());
+  ASSERT_EQ(batch.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto single = classifier.Classify(items[i]);
+    ASSERT_EQ(batch[i].size(), single.size()) << "item " << i;
+    for (std::size_t k = 0; k < single.size(); ++k) {
+      EXPECT_EQ(batch[i][k].cls, single[k].cls);
+      EXPECT_EQ(batch[i][k].rule_index, single[k].rule_index);
+    }
+  }
   for (std::size_t i = 0; i < 50 && i < ts_->size(); ++i) {
     const core::Item item = ItemOf(ts_->examples()[i]);
     const auto a = classifier.Classify(item);
@@ -174,7 +223,8 @@ TEST_P(CorpusProperty, RuleIoRoundTripsLearnedRules) {
 TEST_P(CorpusProperty, Table1ColumnsAreMonotone) {
   const core::RuleSet rules = Learn(0.01);
   const eval::Table1Evaluator evaluator(&rules, &segmenter_, 0.01);
-  const auto result = evaluator.Evaluate(*ts_);
+  const auto result =
+      evaluator.Evaluate(*ts_, {1.0, 0.8, 0.6, 0.4}, threads());
   std::size_t decided = 0;
   for (std::size_t b = 0; b < result.rows.size(); ++b) {
     const auto& row = result.rows[b];
@@ -204,8 +254,10 @@ TEST_P(CorpusProperty, GoldLinksAreWellFormed) {
   EXPECT_EQ(dataset_->links.size(), dataset_->external_items.size());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, CorpusProperty,
-                         ::testing::Values(1, 7, 42, 99, 12345, 777777));
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByThreads, CorpusProperty,
+    ::testing::Combine(::testing::Values(1, 7, 42, 99, 12345, 777777),
+                       ::testing::Values(1, 4)));
 
 }  // namespace
 }  // namespace rulelink

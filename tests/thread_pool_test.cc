@@ -1,0 +1,180 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rulelink::util {
+namespace {
+
+TEST(ResolveNumThreadsTest, ZeroMeansHardwareAtLeastOne) {
+  EXPECT_GE(ResolveNumThreads(0), 1u);
+}
+
+TEST(ResolveNumThreadsTest, ExplicitValuesPassThrough) {
+  EXPECT_EQ(ResolveNumThreads(1), 1u);
+  EXPECT_EQ(ResolveNumThreads(7), 7u);
+}
+
+TEST(ParallelChunksTest, ClampsToRangeAndThreads) {
+  EXPECT_EQ(ParallelChunks(4, 0), 0u);
+  EXPECT_EQ(ParallelChunks(1, 100), 1u);
+  EXPECT_EQ(ParallelChunks(4, 3), 3u);
+  EXPECT_EQ(ParallelChunks(4, 100), 4u);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverCallsBody) {
+  std::atomic<int> calls{0};
+  ParallelFor(4, 0, [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInlineOnCaller) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::size_t calls = 0;
+  ParallelFor(1, 10, [&](std::size_t chunk, std::size_t begin,
+                         std::size_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(chunk, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ParallelForTest, ChunksPartitionTheRangeExactly) {
+  for (std::size_t threads : {2u, 3u, 5u, 8u}) {
+    for (std::size_t n : {1u, 2u, 7u, 16u, 100u}) {
+      std::mutex mutex;
+      std::vector<int> hits(n, 0);
+      std::set<std::size_t> chunks_seen;
+      ParallelFor(threads, n,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    EXPECT_LT(begin, end);
+                    chunks_seen.insert(chunk);
+                    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                  });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i], 1) << "threads=" << threads << " n=" << n
+                              << " index=" << i;
+      }
+      EXPECT_EQ(chunks_seen.size(), std::min(threads, n));
+    }
+  }
+}
+
+TEST(ParallelForTest, RangeSmallerThanWorkerCount) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  std::mutex mutex;
+  std::set<std::pair<std::size_t, std::size_t>> ranges;
+  pool.ParallelFor(3, [&](std::size_t, std::size_t begin, std::size_t end) {
+    ++calls;
+    std::lock_guard<std::mutex> lock(mutex);
+    ranges.insert({begin, end});
+  });
+  // One chunk per item, not per worker.
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(ranges, (std::set<std::pair<std::size_t, std::size_t>>{
+                        {0, 1}, {1, 2}, {2, 3}}));
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromWorker) {
+  EXPECT_THROW(
+      ParallelFor(4, 100,
+                  [](std::size_t chunk, std::size_t, std::size_t) {
+                    if (chunk == 2) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, RethrowsLowestChunkFirst) {
+  try {
+    ParallelFor(4, 100, [](std::size_t chunk, std::size_t, std::size_t) {
+      if (chunk == 1) throw std::runtime_error("chunk-1");
+      if (chunk == 3) throw std::runtime_error("chunk-3");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk-1");
+  }
+}
+
+TEST(ParallelForTest, PoolSurvivesAFailedLoop) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [](std::size_t, std::size_t, std::size_t) {
+                                  throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool is still usable afterwards.
+  std::atomic<int> sum{0};
+  pool.ParallelFor(8, [&](std::size_t, std::size_t begin, std::size_t end) {
+    sum += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(sum.load(), 8);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, NestedSubmitIsSafeAndWaited) {
+  ThreadPool pool(2);
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&pool, &outer, &inner] {
+      ++outer;
+      pool.Submit([&inner] { ++inner; });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(outer.load(), 10);
+  EXPECT_EQ(inner.load(), 10);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskExceptionOnce) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The exception is consumed; a subsequent Wait succeeds.
+  pool.Submit([] {});
+  EXPECT_NO_THROW(pool.Wait());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ++ran; });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace rulelink::util
