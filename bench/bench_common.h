@@ -31,9 +31,12 @@ struct ThreadSweepPoint {
 // working directory (git-ignored), so successive runs on different
 // hardware can be compared: {"bench": ..., "hardware_concurrency": ...,
 // "points": [{"threads": t, "ms": m, "speedup_vs_1": s}, ...]}.
+// `extra_sections`, when non-empty, is spliced verbatim as additional
+// top-level JSON members (e.g. "\"interning\": {...},\n").
 inline void WriteThreadSweepJson(const std::string& bench_name,
                                  const std::string& workload,
-                                 const std::vector<ThreadSweepPoint>& points) {
+                                 const std::vector<ThreadSweepPoint>& points,
+                                 const std::string& extra_sections = "") {
   const std::string path = "BENCH_" + bench_name + ".json";
   std::ofstream out(path);
   if (!out) return;
@@ -43,7 +46,8 @@ inline void WriteThreadSweepJson(const std::string& bench_name,
   }
   out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"workload\": \""
       << workload << "\",\n  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n  \"points\": [\n";
+      << std::thread::hardware_concurrency() << ",\n" << extra_sections
+      << "  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const ThreadSweepPoint& p = points[i];
     out << "    {\"threads\": " << p.num_threads << ", \"ms\": "

@@ -5,11 +5,13 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
 #include "core/incremental.h"
+#include "core/reference_learner.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -132,11 +134,73 @@ void PrintIncrementalReport() {
   std::cout << table.ToText() << "\n";
 }
 
+// Interned vs string-keyed learning on the paper-scale corpus. The
+// reference learner is the seed pipeline preserved verbatim (segments
+// every value three times, hashes (property, segment-string) pairs); the
+// production learner segments once into a StringInterner and counts over
+// dense ids. Same rules byte-for-byte (see interned_differential_test);
+// this section records the wall-time and symbol-table footprint of the
+// trade, and its JSON lands in BENCH_learning.json next to the sweep.
+std::string PrintInterningReport() {
+  std::cout << "=== E5d: interned vs string-keyed learner (|TS| = "
+            << PaperTrainingSet().size() << ") ===\n";
+  const auto options = PaperLearnerOptions();
+  const auto best_of_3 = [&](auto&& learn) {
+    double best_ms = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      util::Stopwatch timer;
+      auto rules = learn();
+      const double ms = timer.ElapsedMillis();
+      RL_CHECK(rules.ok());
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    return best_ms;
+  };
+  // Warm both paths once (corpus caches, allocator), then time.
+  core::LearnStats stats;
+  RL_CHECK(core::RuleLearner(options).Learn(PaperTrainingSet(), &stats).ok());
+  const double interned_ms = best_of_3(
+      [&] { return core::RuleLearner(options).Learn(PaperTrainingSet()); });
+  const double reference_ms = best_of_3(
+      [&] { return core::ReferenceLearn(options, PaperTrainingSet()); });
+  const double speedup =
+      interned_ms > 0.0 ? reference_ms / interned_ms : 0.0;
+
+  util::TextTable table({"pipeline", "learn time (ms)", "intern symbols",
+                         "arena KiB", "segment occurrences"});
+  table.AddRow({"string-keyed (reference)",
+                util::FormatDouble(reference_ms, 1), "-", "-",
+                std::to_string(stats.segment_occurrences)});
+  table.AddRow({"interned (SegmentId)", util::FormatDouble(interned_ms, 1),
+                std::to_string(stats.interner_symbols),
+                util::FormatDouble(
+                    static_cast<double>(stats.interner_bytes) / 1024.0, 1),
+                std::to_string(stats.segment_occurrences)});
+  std::cout << table.ToText() << "speedup: "
+            << util::FormatDouble(speedup, 2)
+            << "x (identical rules; differential-tested)\n\n";
+
+  std::string json = "  \"interning\": {\n";
+  json += "    \"intern_symbols\": " +
+          std::to_string(stats.interner_symbols) + ",\n";
+  json += "    \"intern_arena_bytes\": " +
+          std::to_string(stats.interner_bytes) + ",\n";
+  json += "    \"segment_occurrences\": " +
+          std::to_string(stats.segment_occurrences) + ",\n";
+  json += "    \"reference_ms\": " + util::FormatDouble(reference_ms, 3) +
+          ",\n";
+  json += "    \"interned_ms\": " + util::FormatDouble(interned_ms, 3) +
+          ",\n";
+  json += "    \"speedup_vs_reference\": " + util::FormatDouble(speedup, 3) +
+          "\n  },\n";
+  return json;
+}
+
 // Thread-count sweep over the paper-scale corpus: the speedup trajectory
 // of the sharded counting passes, recorded to BENCH_learning.json. On a
 // single-core host the parallel points only measure the sharding/merge
 // overhead; the trajectory becomes a speedup curve on multi-core hardware.
-void PrintThreadSweepReport() {
+void PrintThreadSweepReport(const std::string& interning_json) {
   std::cout << "=== E5c: learner thread-count sweep (|TS| = "
             << PaperTrainingSet().size() << ", hardware_concurrency = "
             << std::thread::hardware_concurrency() << ") ===\n";
@@ -169,7 +233,7 @@ void PrintThreadSweepReport() {
                   std::to_string(stats.num_rules)});
   }
   WriteThreadSweepJson("learning", "Learn on the paper-scale corpus",
-                       points);
+                       points, interning_json);
   std::cout << table.ToText()
             << "(identical rules at every thread count; trajectory written "
                "to BENCH_learning.json)\n\n";
@@ -259,7 +323,9 @@ BENCHMARK(BM_LearnThreads)
 int main(int argc, char** argv) {
   rulelink::bench::PrintScalingReport();
   rulelink::bench::PrintIncrementalReport();
-  rulelink::bench::PrintThreadSweepReport();
+  const std::string interning_json =
+      rulelink::bench::PrintInterningReport();
+  rulelink::bench::PrintThreadSweepReport(interning_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

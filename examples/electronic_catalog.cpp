@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   std::cout << "Top rules:\n";
   for (std::size_t i = 0; i < rules.size() && i < 8; ++i) {
     const auto& rule = rules.rules()[i];
-    std::cout << "  " << core::RuleToString(rule, rules.properties(),
+    std::cout << "  " << core::RuleToString(rule, rules,
                                             dataset.ontology())
               << "  [conf=" << rule.confidence << " lift=" << rule.lift
               << " support=" << rule.support << "]\n";

@@ -70,7 +70,7 @@ int main() {
 
   std::cout << "Learned " << rules.size() << " toponym rules:\n";
   for (const auto& rule : rules.rules()) {
-    std::cout << "  " << core::RuleToString(rule, rules.properties(), onto)
+    std::cout << "  " << core::RuleToString(rule, rules, onto)
               << "  [confidence=" << rule.confidence
               << " lift=" << rule.lift << "]\n";
   }

@@ -118,7 +118,7 @@ int main() {
   std::cout << "  rules after batch 2: " << rules->size() << "\n";
   for (const auto& rule : rules->rules()) {
     std::cout << "    "
-              << core::RuleToString(rule, rules->properties(), onto)
+              << core::RuleToString(rule, *rules, onto)
               << "  [conf=" << rule.confidence << "]\n";
   }
 

@@ -117,7 +117,7 @@ int main() {
 
   std::cout << "\nLearned " << rules.size() << " classification rules:\n";
   for (const auto& rule : rules.rules()) {
-    std::cout << "  " << core::RuleToString(rule, rules.properties(), onto)
+    std::cout << "  " << core::RuleToString(rule, rules, onto)
               << "  [support=" << rule.support
               << " confidence=" << rule.confidence << " lift=" << rule.lift
               << "]\n";

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
-#include <unordered_map>
+#include <vector>
 
 #include "text/similarity.h"
+#include "util/interner.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -59,25 +59,33 @@ std::vector<std::string> BigramBlocker::SublistKeys(
 std::vector<CandidatePair> BigramBlocker::Generate(
     const std::vector<core::Item>& external,
     const std::vector<core::Item>& local) const {
-  std::unordered_map<std::string, std::vector<std::size_t>> index;
+  // Sublist keys are interned to dense ids: the index becomes a flat
+  // vector-of-vectors, and the probe side resolves keys read-only.
+  util::StringInterner keys;
+  std::vector<std::vector<std::size_t>> index;  // by sublist-key id
   for (std::size_t l = 0; l < local.size(); ++l) {
     const std::string value = BlockingKey(local[l], property_, 0);
     if (value.empty()) continue;
-    for (std::string& key : SublistKeys(value)) {
-      index[std::move(key)].push_back(l);
+    for (const std::string& key : SublistKeys(value)) {
+      const util::SymbolId id = keys.Intern(key);
+      if (id == index.size()) index.emplace_back();
+      index[id].push_back(l);
     }
   }
-  std::set<CandidatePair> pairs;
+  std::vector<CandidatePair> pairs;
   for (std::size_t e = 0; e < external.size(); ++e) {
     const std::string value = BlockingKey(external[e], property_, 0);
     if (value.empty()) continue;
     for (const std::string& key : SublistKeys(value)) {
-      auto it = index.find(key);
-      if (it == index.end()) continue;
-      for (std::size_t l : it->second) pairs.insert(CandidatePair{e, l});
+      const util::SymbolId id = keys.Find(key);
+      if (id == util::kInvalidSymbolId) continue;
+      for (std::size_t l : index[id]) pairs.push_back(CandidatePair{e, l});
     }
   }
-  return {pairs.begin(), pairs.end()};
+  // Same sorted-unique pair list the old std::set produced.
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
 }
 
 std::string BigramBlocker::name() const {

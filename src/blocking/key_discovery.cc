@@ -1,35 +1,45 @@
 #include "blocking/key_discovery.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <limits>
+#include <vector>
+
+#include "util/interner.h"
 
 namespace rulelink::blocking {
 
 std::vector<PropertyKeyness> DiscoverKeys(
     const std::vector<core::Item>& items) {
+  // Property names intern to dense ids (tallies are then a flat vector);
+  // each tally counts distinct values with its own interner instead of a
+  // std::unordered_set<std::string>.
   struct Tally {
     std::size_t items_with_value = 0;
-    std::unordered_set<std::string> values;
+    std::size_t last_item = std::numeric_limits<std::size_t>::max();
+    util::StringInterner values;
   };
-  std::unordered_map<std::string, Tally> tallies;
-  for (const core::Item& item : items) {
-    std::unordered_set<std::string> seen_properties;
-    for (const core::PropertyValue& pv : item.facts) {
-      Tally& tally = tallies[pv.property];
-      if (seen_properties.insert(pv.property).second) {
+  util::StringInterner property_names;
+  std::vector<Tally> tallies;  // by property id
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (const core::PropertyValue& pv : items[i].facts) {
+      const util::SymbolId id = property_names.Intern(pv.property);
+      if (id == tallies.size()) tallies.emplace_back();
+      Tally& tally = tallies[id];
+      if (tally.last_item != i) {
+        tally.last_item = i;
         ++tally.items_with_value;
       }
-      tally.values.insert(pv.value);
+      tally.values.Intern(pv.value);
     }
   }
 
   std::vector<PropertyKeyness> out;
   out.reserve(tallies.size());
   const double total = static_cast<double>(items.size());
-  for (auto& [property, tally] : tallies) {
+  for (util::SymbolId id = 0; id < tallies.size(); ++id) {
+    const Tally& tally = tallies[id];
     PropertyKeyness keyness;
-    keyness.property = property;
+    keyness.property = std::string(property_names.View(id));
     keyness.items_with_value = tally.items_with_value;
     keyness.distinct_values = tally.values.size();
     if (tally.items_with_value > 0) {

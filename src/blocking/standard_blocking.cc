@@ -1,7 +1,9 @@
 #include "blocking/standard_blocking.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <vector>
+
+#include "util/interner.h"
 
 namespace rulelink::blocking {
 
@@ -12,18 +14,25 @@ StandardBlocker::StandardBlocker(std::string property,
 std::vector<CandidatePair> StandardBlocker::Generate(
     const std::vector<core::Item>& external,
     const std::vector<core::Item>& local) const {
-  std::unordered_map<std::string, std::vector<std::size_t>> local_blocks;
+  // Keys are interned to dense ids; the block index is then a flat
+  // vector-of-vectors instead of a string-keyed hash map, and the probe
+  // side never allocates map nodes (Find is read-only).
+  util::StringInterner keys;
+  std::vector<std::vector<std::size_t>> blocks;  // by key id
   for (std::size_t l = 0; l < local.size(); ++l) {
-    std::string key = BlockingKey(local[l], property_, prefix_length_);
-    if (!key.empty()) local_blocks[std::move(key)].push_back(l);
+    const std::string key = BlockingKey(local[l], property_, prefix_length_);
+    if (key.empty()) continue;
+    const util::SymbolId id = keys.Intern(key);
+    if (id == blocks.size()) blocks.emplace_back();
+    blocks[id].push_back(l);
   }
   std::vector<CandidatePair> pairs;
   for (std::size_t e = 0; e < external.size(); ++e) {
     const std::string key = BlockingKey(external[e], property_, prefix_length_);
     if (key.empty()) continue;
-    auto it = local_blocks.find(key);
-    if (it == local_blocks.end()) continue;
-    for (std::size_t l : it->second) pairs.push_back(CandidatePair{e, l});
+    const util::SymbolId id = keys.Find(key);
+    if (id == util::kInvalidSymbolId) continue;
+    for (std::size_t l : blocks[id]) pairs.push_back(CandidatePair{e, l});
   }
   std::sort(pairs.begin(), pairs.end());
   return pairs;

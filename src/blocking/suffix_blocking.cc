@@ -1,9 +1,10 @@
 #include "blocking/suffix_blocking.h"
 
 #include <algorithm>
-#include <set>
-#include <unordered_map>
+#include <string_view>
+#include <vector>
 
+#include "util/interner.h"
 #include "util/logging.h"
 
 namespace rulelink::blocking {
@@ -29,15 +30,22 @@ SuffixBlocker::SuffixBlocker(std::string property,
 std::vector<CandidatePair> SuffixBlocker::Generate(
     const std::vector<core::Item>& external,
     const std::vector<core::Item>& local) const {
-  std::unordered_map<std::string, SuffixBlock> blocks;
+  // Every suffix is a view into the key string and interns without a
+  // per-suffix allocation (the old map allocated a std::string node per
+  // distinct suffix); blocks live in a flat vector indexed by suffix id.
+  util::StringInterner suffixes;
+  std::vector<SuffixBlock> blocks;  // by suffix id
   const auto add = [&](const std::vector<core::Item>& items,
                        bool is_external) {
     for (std::size_t i = 0; i < items.size(); ++i) {
       const std::string key = BlockingKey(items[i], property_, 0);
       if (key.size() < min_suffix_length_) continue;
+      const std::string_view key_view = key;
       for (std::size_t start = 0;
            start + min_suffix_length_ <= key.size(); ++start) {
-        SuffixBlock& block = blocks[key.substr(start)];
+        const util::SymbolId id = suffixes.Intern(key_view.substr(start));
+        if (id == blocks.size()) blocks.emplace_back();
+        SuffixBlock& block = blocks[id];
         (is_external ? block.external : block.local).push_back(i);
       }
     }
@@ -45,18 +53,21 @@ std::vector<CandidatePair> SuffixBlocker::Generate(
   add(external, true);
   add(local, false);
 
-  std::set<CandidatePair> pairs;
-  for (const auto& [suffix, block] : blocks) {
+  std::vector<CandidatePair> pairs;
+  for (const SuffixBlock& block : blocks) {
     if (block.external.size() + block.local.size() > max_block_size_) {
       continue;  // non-discriminating suffix
     }
     for (std::size_t e : block.external) {
       for (std::size_t l : block.local) {
-        pairs.insert(CandidatePair{e, l});
+        pairs.push_back(CandidatePair{e, l});
       }
     }
   }
-  return {pairs.begin(), pairs.end()};
+  // Same sorted-unique pair list the old std::set produced.
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
 }
 
 std::string SuffixBlocker::name() const {

@@ -1,10 +1,11 @@
 #include "core/classifier.h"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
-#include "util/hash.h"
+#include "util/interner.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -19,24 +20,39 @@ RuleClassifier::RuleClassifier(const RuleSet* rules,
 
 std::vector<ClassPrediction> RuleClassifier::Classify(
     const Item& item, double min_confidence) const {
-  // Distinct (property, segment) premises the item satisfies.
-  std::unordered_set<std::pair<PropertyId, std::string>, util::PairHash>
-      premises;
+  // Distinct (property, segment) premises the item satisfies, as packed
+  // (PropertyId, SegmentId) keys. Segments are resolved read-only against
+  // the RuleSet's compact interner: a segment it has never seen cannot
+  // fire any rule, so unknown segments are skipped (and the shared
+  // interner is never mutated — concurrent Classify calls stay safe).
+  const util::StringInterner& segments = rules_->segments();
+  std::vector<std::uint64_t> premises;
+  std::vector<std::string_view> seg_scratch;
   for (const auto& pv : item.facts) {
     const PropertyId property = rules_->properties().Find(pv.property);
     if (property == kInvalidPropertyId) continue;
-    for (std::string& seg : segmenter_->Segment(pv.value)) {
-      premises.emplace(property, std::move(seg));
+    seg_scratch.clear();
+    segmenter_->SegmentViews(pv.value, &seg_scratch);
+    for (std::string_view seg : seg_scratch) {
+      const SegmentId seg_id = segments.Find(seg);
+      if (seg_id == kInvalidSegmentId) continue;
+      premises.push_back(util::PackSymbolPair(property, seg_id));
     }
   }
+  // Sorted-unique premise order makes the scan (and therefore the
+  // rule_index chosen on exact (confidence, lift) ties) deterministic,
+  // where the old string pipeline depended on hash iteration order.
+  std::sort(premises.begin(), premises.end());
+  premises.erase(std::unique(premises.begin(), premises.end()),
+                 premises.end());
 
   // Fire rules; keep only the best rule per predicted class so identical
   // subspaces are not ranked twice.
   std::unordered_map<ontology::ClassId, ClassPrediction> best_per_class;
   const auto& all_rules = rules_->rules();
-  for (const auto& premise : premises) {
+  for (const std::uint64_t premise : premises) {
     for (std::size_t rule_index :
-         rules_->RulesFor(premise.first, premise.second)) {
+         rules_->RulesFor(util::PackedHi(premise), util::PackedLo(premise))) {
       const ClassificationRule& rule = all_rules[rule_index];
       if (rule.confidence < min_confidence) continue;
       ClassPrediction prediction{rule.cls, rule.confidence, rule.lift,

@@ -1,15 +1,23 @@
 #include "core/generalizer.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "util/hash.h"
+#include "util/interner.h"
 
 namespace rulelink::core {
 namespace {
 
-using PremiseKey = std::pair<PropertyId, std::string>;
+// Packed (PropertyId, SegmentId) premise key (see util::PackSymbolPair).
+struct PackedHash {
+  std::size_t operator()(std::uint64_t key) const {
+    return static_cast<std::size_t>(util::Mix64(key));
+  }
+};
 
 // Ancestor-or-self classes of an example's most-specific classes, capped at
 // `max_levels_up` levels above any asserted class.
@@ -49,22 +57,29 @@ util::Result<RuleSet> LearnGeneralizedRules(
     return static_cast<double>(count) > options.support_threshold * total;
   };
 
-  // Per-example premises and widened class sets (materialized once).
-  std::vector<std::vector<PremiseKey>> example_premises(ts.size());
+  // Per-example premises (packed keys over a call-local interner) and
+  // widened class sets, materialized once.
+  util::StringInterner segments;
+  std::vector<std::vector<std::uint64_t>> example_premises(ts.size());
   std::vector<std::vector<ontology::ClassId>> example_classes(ts.size());
-  std::unordered_map<PremiseKey, std::size_t, util::PairHash> premise_count;
+  std::unordered_map<std::uint64_t, std::size_t, PackedHash> premise_count;
   std::unordered_map<ontology::ClassId, std::size_t> widened_class_count;
 
+  std::vector<text::SegmentId> seg_scratch;
   for (std::size_t i = 0; i < ts.size(); ++i) {
     const TrainingExample& example = ts.examples()[i];
-    std::unordered_set<PremiseKey, util::PairHash> premises;
+    std::vector<std::uint64_t>& premises = example_premises[i];
     for (const auto& [property, value] : example.facts) {
-      for (std::string& seg : options.segmenter->Segment(value)) {
-        premises.emplace(property, std::move(seg));
+      seg_scratch.clear();
+      options.segmenter->SegmentInto(value, &segments, &seg_scratch);
+      for (const text::SegmentId seg : seg_scratch) {
+        premises.push_back(util::PackSymbolPair(property, seg));
       }
     }
-    example_premises[i].assign(premises.begin(), premises.end());
-    for (const PremiseKey& key : example_premises[i]) ++premise_count[key];
+    std::sort(premises.begin(), premises.end());
+    premises.erase(std::unique(premises.begin(), premises.end()),
+                   premises.end());
+    for (const std::uint64_t key : premises) ++premise_count[key];
 
     example_classes[i] =
         WidenedClasses(onto, example.classes, options.max_levels_up);
@@ -72,12 +87,12 @@ util::Result<RuleSet> LearnGeneralizedRules(
   }
 
   // Joint counts restricted to frequent premises.
-  std::unordered_map<PremiseKey,
+  std::unordered_map<std::uint64_t,
                      std::unordered_map<ontology::ClassId, std::size_t>,
-                     util::PairHash>
+                     PackedHash>
       joint;
   for (std::size_t i = 0; i < ts.size(); ++i) {
-    for (const PremiseKey& key : example_premises[i]) {
+    for (const std::uint64_t key : example_premises[i]) {
       auto it = premise_count.find(key);
       if (it == premise_count.end() || !is_frequent(it->second)) continue;
       auto& per_class = joint[key];
@@ -93,8 +108,8 @@ util::Result<RuleSet> LearnGeneralizedRules(
     for (const auto& [cls, joint_count] : per_class) {
       if (!is_frequent(joint_count)) continue;
       ClassificationRule rule;
-      rule.property = key.first;
-      rule.segment = key.second;
+      rule.property = util::PackedHi(key);
+      rule.segment = util::PackedLo(key);
       rule.cls = cls;
       rule.counts.premise_count = premise_count.at(key);
       rule.counts.class_count = widened_class_count.at(cls);
@@ -114,7 +129,7 @@ util::Result<RuleSet> LearnGeneralizedRules(
     }
   }
 
-  return RuleSet(std::move(rules), ts.properties());
+  return RuleSet(std::move(rules), ts.properties(), segments);
 }
 
 }  // namespace rulelink::core

@@ -1,6 +1,9 @@
 #include "core/incremental.h"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
 
 #include "util/logging.h"
 
@@ -20,8 +23,11 @@ void IncrementalRuleLearner::AddExample(
     const Item& external, const std::vector<ontology::ClassId>& classes) {
   ++num_examples_;
 
-  // Distinct (property, segment) premises of this example.
-  std::unordered_set<PremiseKey, util::PairHash> premises;
+  // One segmentation pass: every occurrence is interned and recorded as a
+  // packed (property, segment) key; occurrences count every repetition,
+  // the sorted-unique pass below gives the distinct-per-example premises.
+  std::vector<std::uint64_t> keys;
+  std::vector<SegmentId> seg_scratch;
   for (const PropertyValue& pv : external.facts) {
     if (!selected_properties_.empty() &&
         std::find(selected_properties_.begin(), selected_properties_.end(),
@@ -29,32 +35,23 @@ void IncrementalRuleLearner::AddExample(
       continue;
     }
     const PropertyId property = properties_.Intern(pv.property);
-    for (std::string& seg : segmenter_->Segment(pv.value)) {
-      ++total_occurrences_;
-      distinct_segments_.insert(seg);
-      // Raw occurrences are tracked per premise as well, so the selected-
-      // occurrence statistic matches the batch learner.
-      premises.emplace(property, std::move(seg));
+    seg_scratch.clear();
+    segmenter_->SegmentInto(pv.value, &segments_, &seg_scratch);
+    for (const SegmentId seg : seg_scratch) {
+      keys.push_back(util::PackSymbolPair(property, seg));
     }
   }
-  // Second tally for occurrences per premise (the set above deduplicated).
-  for (const PropertyValue& pv : external.facts) {
-    if (!selected_properties_.empty() &&
-        std::find(selected_properties_.begin(), selected_properties_.end(),
-                  pv.property) == selected_properties_.end()) {
-      continue;
-    }
-    const PropertyId property = properties_.Intern(pv.property);
-    for (const std::string& seg : segmenter_->Segment(pv.value)) {
-      ++premises_[{property, seg}].occurrences;
-    }
-  }
+  total_occurrences_ += keys.size();
+  for (const std::uint64_t key : keys) ++premises_[key].occurrences;
+
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
 
   const std::vector<ontology::ClassId> most_specific =
       onto_->MostSpecific(classes);
   for (ontology::ClassId c : most_specific) ++class_counts_[c];
 
-  for (const PremiseKey& key : premises) {
+  for (const std::uint64_t key : keys) {
     PremiseStat& stat = premises_[key];
     ++stat.example_count;
     for (ontology::ClassId c : most_specific) ++stat.joint[c];
@@ -93,8 +90,8 @@ util::Result<RuleSet> IncrementalRuleLearner::BuildRules(
       auto freq_it = frequent_classes.find(cls);
       if (freq_it == frequent_classes.end()) continue;
       ClassificationRule rule;
-      rule.property = key.first;
-      rule.segment = key.second;
+      rule.property = util::PackedHi(key);
+      rule.segment = util::PackedLo(key);
       rule.cls = cls;
       rule.counts.premise_count = stat.example_count;
       rule.counts.class_count = freq_it->second;
@@ -109,15 +106,19 @@ util::Result<RuleSet> IncrementalRuleLearner::BuildRules(
 
   if (stats != nullptr) {
     stats->num_examples = num_examples_;
-    stats->distinct_segments = distinct_segments_.size();
+    stats->distinct_segments = segments_.size();
     stats->segment_occurrences = total_occurrences_;
     stats->selected_segment_occurrences = selected_occurrences;
     stats->frequent_premises = frequent_premises;
     stats->frequent_classes = frequent_classes.size();
     stats->num_rules = rules.size();
     stats->classes_with_rules = conclusion_classes.size();
+    stats->interner_symbols = segments_.size();
+    stats->interner_bytes = segments_.arena_bytes();
   }
-  return RuleSet(std::move(rules), properties_);
+  // RuleSet re-interns compactly, so the returned set does not pin this
+  // learner's (growing) symbol table.
+  return RuleSet(std::move(rules), properties_, segments_);
 }
 
 }  // namespace rulelink::core

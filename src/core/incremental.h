@@ -5,12 +5,17 @@
 // the rule set at any point is a pass over the (much smaller) count tables
 // and yields exactly what the batch RuleLearner would produce on the same
 // examples.
+//
+// Segments are interned into an owned StringInterner as examples arrive;
+// the count tables are keyed by packed (PropertyId, SegmentId) uint64
+// composites, so ingesting an example hashes fixed-width integers instead
+// of (property, string) pairs.
 #ifndef RULELINK_CORE_INCREMENTAL_H_
 #define RULELINK_CORE_INCREMENTAL_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/item.h"
@@ -19,6 +24,7 @@
 #include "ontology/ontology.h"
 #include "text/segmenter.h"
 #include "util/hash.h"
+#include "util/interner.h"
 
 namespace rulelink::core {
 
@@ -47,12 +53,16 @@ class IncrementalRuleLearner {
                                    LearnStats* stats = nullptr) const;
 
  private:
-  using PremiseKey = std::pair<PropertyId, std::string>;
-
   struct PremiseStat {
     std::size_t example_count = 0;
     std::size_t occurrences = 0;
     std::unordered_map<ontology::ClassId, std::size_t> joint;
+  };
+
+  struct PackedHash {
+    std::size_t operator()(std::uint64_t key) const {
+      return static_cast<std::size_t>(util::Mix64(key));
+    }
   };
 
   const ontology::Ontology* onto_;
@@ -61,9 +71,10 @@ class IncrementalRuleLearner {
 
   PropertyCatalog properties_;
   std::size_t num_examples_ = 0;
-  std::unordered_map<PremiseKey, PremiseStat, util::PairHash> premises_;
+  util::StringInterner segments_;  // all distinct segments ever ingested
+  // Keyed by PackSymbolPair(property, segment).
+  std::unordered_map<std::uint64_t, PremiseStat, PackedHash> premises_;
   std::unordered_map<ontology::ClassId, std::size_t> class_counts_;
-  std::unordered_set<std::string> distinct_segments_;
   std::size_t total_occurrences_ = 0;
 };
 

@@ -1,37 +1,45 @@
 #include "core/learner.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "util/hash.h"
+#include "util/interner.h"
 #include "util/thread_pool.h"
 
 namespace rulelink::core {
 namespace {
 
-using PremiseKey = std::pair<PropertyId, std::string>;
+// Dense id of a distinct (property, segment) premise, local to one Learn()
+// call. The counting passes index flat vectors with it instead of hashing
+// string keys.
+using PremiseId = std::uint32_t;
 
-struct PremiseStat {
-  std::size_t example_count = 0;  // distinct examples whose value contains a
-  std::size_t occurrences = 0;    // raw segment occurrences
+// Hash for the packed (property, segment) composite during premise-id
+// assignment; Mix64 because both halves are dense low-entropy ids.
+struct PackedHash {
+  std::size_t operator()(std::uint64_t key) const {
+    return static_cast<std::size_t>(util::Mix64(key));
+  }
 };
 
-// Per-worker accumulators of the counting passes. Each worker owns one
-// shard and only ever writes to it; shards are merged additively on the
-// calling thread, in chunk order, so every count (and therefore every
-// rule, measure and statistic) is independent of the thread count.
-struct PremiseShard {
-  std::unordered_map<PremiseKey, PremiseStat, util::PairHash> premise_stats;
-  std::unordered_set<std::string> distinct_segments;
-  std::size_t total_occurrences = 0;
-};
+// The one-shot segmentation pass: every fact value is segmented exactly
+// once (the string pipeline segmented each value three times), segments
+// are interned to dense SegmentIds, and (property, segment) pairs to dense
+// PremiseIds. Everything the counting passes need afterwards is the flat
+// occurrence array below — no strings survive past this point.
+struct SegmentedCorpus {
+  util::StringInterner segments;       // all distinct segments (stat 7842)
+  std::vector<std::uint64_t> premise_keys;  // PremiseId -> packed (p, a)
+  std::vector<PremiseId> occurrences;  // concatenated per-example streams
+  std::vector<std::size_t> offsets;    // example i: [offsets[i], offsets[i+1])
 
-using ClassCountMap = std::unordered_map<ontology::ClassId, std::size_t>;
-using JointCountMap =
-    std::unordered_map<PremiseKey, ClassCountMap, util::PairHash>;
+  std::size_t num_premises() const { return premise_keys.size(); }
+};
 
 }  // namespace
 
@@ -74,101 +82,95 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
 
   const auto& examples = ts.examples();
   const std::size_t num_examples = examples.size();
+
+  // ---- Phase 0 (serial): segment + intern every selected fact value
+  // once. Serial interning keeps SegmentId/PremiseId assignment a pure
+  // function of the corpus, so every later pass — at any thread count —
+  // sees identical ids.
+  SegmentedCorpus corpus;
+  std::unordered_map<std::uint64_t, PremiseId, PackedHash> premise_index;
+  {
+    std::vector<std::string_view> seg_scratch;
+    corpus.offsets.reserve(num_examples + 1);
+    corpus.offsets.push_back(0);
+    for (const TrainingExample& example : examples) {
+      for (const auto& [property, value] : example.facts) {
+        if (!property_selected(property)) continue;
+        seg_scratch.clear();
+        options_.segmenter->SegmentViews(value, &seg_scratch);
+        for (std::string_view seg : seg_scratch) {
+          const text::SegmentId seg_id = corpus.segments.Intern(seg);
+          const std::uint64_t key = util::PackSymbolPair(property, seg_id);
+          auto [it, inserted] = premise_index.try_emplace(
+              key, static_cast<PremiseId>(corpus.premise_keys.size()));
+          if (inserted) corpus.premise_keys.push_back(key);
+          corpus.occurrences.push_back(it->second);
+        }
+      }
+      corpus.offsets.push_back(corpus.occurrences.size());
+    }
+  }
+  const std::size_t num_premises = corpus.num_premises();
   const std::size_t num_shards =
       util::ParallelChunks(options_.num_threads, num_examples);
 
-  // Gathers the distinct (p, segment) premises of one example into `out`.
-  const auto collect_example_premises =
-      [&](const TrainingExample& example,
-          std::unordered_set<PremiseKey, util::PairHash>* out) {
-        out->clear();
-        for (const auto& [property, value] : example.facts) {
-          if (!property_selected(property)) continue;
-          for (std::string& seg : options_.segmenter->Segment(value)) {
-            out->emplace(property, std::move(seg));
-          }
-        }
-      };
-
-  // ---- Pass 1: premise frequencies and segment statistics, sharded over
-  // contiguous example ranges. ----
-  std::vector<PremiseShard> shards(num_shards);
+  // ---- Pass 1: per-premise example counts (distinct per example, as the
+  // logical reading of the premise requires) and raw occurrence counts,
+  // sharded over contiguous example ranges into flat per-shard vectors
+  // that merge additively in any order.
+  std::vector<std::vector<std::uint32_t>> example_count_shards(
+      num_shards, std::vector<std::uint32_t>(num_premises, 0));
+  std::vector<std::vector<std::uint32_t>> occurrence_shards(
+      num_shards, std::vector<std::uint32_t>(num_premises, 0));
   util::ParallelFor(
       options_.num_threads, num_examples,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        PremiseShard& shard = shards[chunk];
-        // Reused per-example scratch: which (p, segment) pairs it has.
-        std::unordered_set<PremiseKey, util::PairHash> example_premises;
+        auto& example_count = example_count_shards[chunk];
+        auto& occurrence_count = occurrence_shards[chunk];
+        std::vector<PremiseId> distinct;  // reused per-example scratch
         for (std::size_t i = begin; i < end; ++i) {
-          example_premises.clear();
-          for (const auto& [property, value] : examples[i].facts) {
-            if (!property_selected(property)) continue;
-            for (std::string& seg : options_.segmenter->Segment(value)) {
-              ++shard.total_occurrences;
-              shard.distinct_segments.insert(seg);
-              example_premises.emplace(property, std::move(seg));
-            }
-          }
-          for (const PremiseKey& key : example_premises) {
-            ++shard.premise_stats[key].example_count;
-          }
+          const auto first = corpus.occurrences.begin() +
+                             static_cast<std::ptrdiff_t>(corpus.offsets[i]);
+          const auto last = corpus.occurrences.begin() +
+                            static_cast<std::ptrdiff_t>(corpus.offsets[i + 1]);
+          for (auto it = first; it != last; ++it) ++occurrence_count[*it];
+          distinct.assign(first, last);
+          std::sort(distinct.begin(), distinct.end());
+          distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                         distinct.end());
+          for (PremiseId id : distinct) ++example_count[id];
         }
       });
-
-  std::unordered_map<PremiseKey, PremiseStat, util::PairHash> premise_stats =
-      std::move(shards[0].premise_stats);
-  std::unordered_set<std::string> distinct_segment_strings =
-      std::move(shards[0].distinct_segments);
-  std::size_t total_occurrences = shards[0].total_occurrences;
+  std::vector<std::uint32_t> premise_example_count =
+      std::move(example_count_shards[0]);
+  std::vector<std::uint32_t> premise_occurrences =
+      std::move(occurrence_shards[0]);
   for (std::size_t s = 1; s < num_shards; ++s) {
-    for (auto& [key, stat] : shards[s].premise_stats) {
-      PremiseStat& merged = premise_stats[key];
-      merged.example_count += stat.example_count;
-      merged.occurrences += stat.occurrences;
-    }
-    distinct_segment_strings.merge(shards[s].distinct_segments);
-    total_occurrences += shards[s].total_occurrences;
-  }
-  shards.clear();
-
-  // Raw occurrence counts per premise (for the "selected occurrences"
-  // statistic) need a second tally because example_premises deduplicates.
-  std::vector<std::unordered_map<PremiseKey, std::size_t, util::PairHash>>
-      occurrence_shards(num_shards);
-  util::ParallelFor(
-      options_.num_threads, num_examples,
-      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        auto& occurrences = occurrence_shards[chunk];
-        for (std::size_t i = begin; i < end; ++i) {
-          for (const auto& [property, value] : examples[i].facts) {
-            if (!property_selected(property)) continue;
-            for (std::string& seg : options_.segmenter->Segment(value)) {
-              ++occurrences[PremiseKey(property, std::move(seg))];
-            }
-          }
-        }
-      });
-  for (auto& occurrences : occurrence_shards) {
-    for (const auto& [key, count] : occurrences) {
-      auto it = premise_stats.find(key);
-      if (it != premise_stats.end()) it->second.occurrences += count;
+    for (std::size_t p = 0; p < num_premises; ++p) {
+      premise_example_count[p] += example_count_shards[s][p];
+      premise_occurrences[p] += occurrence_shards[s][p];
     }
   }
+  example_count_shards.clear();
   occurrence_shards.clear();
 
-  // Frequent premises.
-  std::unordered_map<PremiseKey, std::size_t, util::PairHash>
-      frequent_premise_count;
+  // Frequent premises, remapped to a dense frequent-id space so the joint
+  // pass can count into a flat (frequent premise) x (frequent class) grid.
+  constexpr std::uint32_t kNotFrequent = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> frequent_id(num_premises, kNotFrequent);
+  std::vector<PremiseId> frequent_premises;  // frequent id -> premise id
   std::size_t selected_occurrences = 0;
-  for (const auto& [key, stat] : premise_stats) {
-    if (is_frequent(stat.example_count)) {
-      frequent_premise_count.emplace(key, stat.example_count);
-      selected_occurrences += stat.occurrences;
+  for (std::size_t p = 0; p < num_premises; ++p) {
+    if (is_frequent(premise_example_count[p])) {
+      frequent_id[p] = static_cast<std::uint32_t>(frequent_premises.size());
+      frequent_premises.push_back(static_cast<PremiseId>(p));
+      selected_occurrences += premise_occurrences[p];
     }
   }
 
   // ---- Class frequencies (most-specific classes only, already reduced by
   // TrainingSet). ----
+  using ClassCountMap = std::unordered_map<ontology::ClassId, std::size_t>;
   std::vector<ClassCountMap> class_shards(num_shards);
   util::ParallelFor(
       options_.num_threads, num_examples,
@@ -186,79 +188,101 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
   }
   class_shards.clear();
 
-  ClassCountMap frequent_class_count;
+  // Frequent classes, dense-remapped (sorted by ClassId so the remap is
+  // deterministic; the additive joint counts never depend on it anyway).
+  std::vector<std::pair<ontology::ClassId, std::size_t>> frequent_classes;
   for (const auto& [cls, count] : class_count) {
-    if (is_frequent(count)) frequent_class_count.emplace(cls, count);
+    if (is_frequent(count)) frequent_classes.emplace_back(cls, count);
   }
+  std::sort(frequent_classes.begin(), frequent_classes.end());
+  std::unordered_map<ontology::ClassId, std::uint32_t> class_to_dense;
+  class_to_dense.reserve(frequent_classes.size());
+  for (std::size_t c = 0; c < frequent_classes.size(); ++c) {
+    class_to_dense.emplace(frequent_classes[c].first,
+                           static_cast<std::uint32_t>(c));
+  }
+  const std::size_t num_frequent_premises = frequent_premises.size();
+  const std::size_t num_frequent_classes = frequent_classes.size();
 
-  // ---- Pass 2: joint counts for frequent premises x frequent classes. ----
-  std::vector<JointCountMap> joint_shards(num_shards);
+  // ---- Pass 2: joint counts over the flat frequent grid. ----
+  std::vector<std::vector<std::uint32_t>> joint_shards(
+      num_shards, std::vector<std::uint32_t>(
+                      num_frequent_premises * num_frequent_classes, 0));
   util::ParallelFor(
       options_.num_threads, num_examples,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        JointCountMap& joint = joint_shards[chunk];
-        std::unordered_set<PremiseKey, util::PairHash> example_premises;
+        auto& joint = joint_shards[chunk];
+        std::vector<PremiseId> distinct;
+        std::vector<std::uint32_t> dense_classes;
         for (std::size_t i = begin; i < end; ++i) {
-          collect_example_premises(examples[i], &example_premises);
-          for (const PremiseKey& key : example_premises) {
-            if (frequent_premise_count.find(key) ==
-                frequent_premise_count.end()) {
-              continue;
-            }
-            auto& per_class = joint[key];
-            for (ontology::ClassId c : examples[i].classes) {
-              if (frequent_class_count.find(c) !=
-                  frequent_class_count.end()) {
-                ++per_class[c];
-              }
-            }
+          dense_classes.clear();
+          for (ontology::ClassId c : examples[i].classes) {
+            auto it = class_to_dense.find(c);
+            if (it != class_to_dense.end()) dense_classes.push_back(it->second);
+          }
+          if (dense_classes.empty()) continue;
+          const auto first = corpus.occurrences.begin() +
+                             static_cast<std::ptrdiff_t>(corpus.offsets[i]);
+          const auto last = corpus.occurrences.begin() +
+                            static_cast<std::ptrdiff_t>(corpus.offsets[i + 1]);
+          distinct.assign(first, last);
+          std::sort(distinct.begin(), distinct.end());
+          distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                         distinct.end());
+          for (PremiseId id : distinct) {
+            const std::uint32_t fid = frequent_id[id];
+            if (fid == kNotFrequent) continue;
+            const std::size_t row = fid * num_frequent_classes;
+            for (std::uint32_t cid : dense_classes) ++joint[row + cid];
           }
         }
       });
-  JointCountMap joint_count = std::move(joint_shards[0]);
+  std::vector<std::uint32_t> joint_count = std::move(joint_shards[0]);
   for (std::size_t s = 1; s < num_shards; ++s) {
-    for (auto& [key, per_class] : joint_shards[s]) {
-      ClassCountMap& merged = joint_count[key];
-      for (const auto& [cls, count] : per_class) merged[cls] += count;
+    for (std::size_t j = 0; j < joint_count.size(); ++j) {
+      joint_count[j] += joint_shards[s][j];
     }
   }
   joint_shards.clear();
 
-  // ---- Rule construction. ---- (Serial: the rule count is tiny compared
-  // to the counting passes, and RuleSet's total order makes the final
-  // ordering independent of map iteration order anyway.)
+  // ---- Rule construction over the flat grid (serial; tiny vs counting).
   std::vector<ClassificationRule> rules;
   std::unordered_set<ontology::ClassId> conclusion_classes;
-  for (const auto& [key, per_class] : joint_count) {
-    for (const auto& [cls, joint] : per_class) {
+  for (std::size_t f = 0; f < num_frequent_premises; ++f) {
+    const PremiseId premise = frequent_premises[f];
+    const std::uint64_t key = corpus.premise_keys[premise];
+    for (std::size_t c = 0; c < num_frequent_classes; ++c) {
+      const std::uint32_t joint = joint_count[f * num_frequent_classes + c];
       if (!is_frequent(joint)) continue;
       ClassificationRule rule;
-      rule.property = key.first;
-      rule.segment = key.second;
-      rule.cls = cls;
-      rule.counts.premise_count = frequent_premise_count.at(key);
-      rule.counts.class_count = frequent_class_count.at(cls);
+      rule.property = util::PackedHi(key);
+      rule.segment = util::PackedLo(key);
+      rule.cls = frequent_classes[c].first;
+      rule.counts.premise_count = premise_example_count[premise];
+      rule.counts.class_count = frequent_classes[c].second;
       rule.counts.joint_count = joint;
       rule.counts.total = ts.size();
       rule.ComputeMeasures();
       if (rule.confidence < options_.min_confidence) continue;
-      conclusion_classes.insert(cls);
+      conclusion_classes.insert(rule.cls);
       rules.push_back(std::move(rule));
     }
   }
 
   if (stats != nullptr) {
     stats->num_examples = ts.size();
-    stats->distinct_segments = distinct_segment_strings.size();
-    stats->segment_occurrences = total_occurrences;
+    stats->distinct_segments = corpus.segments.size();
+    stats->segment_occurrences = corpus.occurrences.size();
     stats->selected_segment_occurrences = selected_occurrences;
-    stats->frequent_premises = frequent_premise_count.size();
-    stats->frequent_classes = frequent_class_count.size();
+    stats->frequent_premises = num_frequent_premises;
+    stats->frequent_classes = num_frequent_classes;
     stats->num_rules = rules.size();
     stats->classes_with_rules = conclusion_classes.size();
+    stats->interner_symbols = corpus.segments.size();
+    stats->interner_bytes = corpus.segments.arena_bytes();
   }
 
-  return RuleSet(std::move(rules), ts.properties());
+  return RuleSet(std::move(rules), ts.properties(), corpus.segments);
 }
 
 }  // namespace rulelink::core

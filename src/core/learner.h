@@ -57,6 +57,10 @@ struct LearnStats {
   std::size_t frequent_classes = 0;         // classes above th
   std::size_t num_rules = 0;
   std::size_t classes_with_rules = 0;       // distinct rule conclusions
+  // Interned-pipeline internals (bench/diagnostics): symbol-table size and
+  // arena footprint of the corpus segment interner built in phase 0.
+  std::size_t interner_symbols = 0;
+  std::size_t interner_bytes = 0;
 };
 
 class RuleLearner {

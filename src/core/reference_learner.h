@@ -1,0 +1,27 @@
+// The original string-keyed rule learner, preserved verbatim (modulo the
+// RuleSet construction API) as a differential oracle for the interned
+// pipeline in learner.cc. The rewrite's acceptance bar is byte-identical
+// rules, measures and statistics against this implementation at every
+// thread count; the benchmark also uses it as the before/after baseline.
+// It is intentionally NOT optimised — it re-segments every value three
+// times and hashes (property, segment-string) pairs, exactly like the
+// seed pipeline did.
+#ifndef RULELINK_CORE_REFERENCE_LEARNER_H_
+#define RULELINK_CORE_REFERENCE_LEARNER_H_
+
+#include "core/learner.h"
+#include "core/rule.h"
+#include "core/training_set.h"
+#include "util/status.h"
+
+namespace rulelink::core {
+
+// Same contract as RuleLearner::Learn (same options, same validation, same
+// stats up to the interner_* fields, which it leaves zero).
+util::Result<RuleSet> ReferenceLearn(const LearnerOptions& options,
+                                     const TrainingSet& ts,
+                                     LearnStats* stats = nullptr);
+
+}  // namespace rulelink::core
+
+#endif  // RULELINK_CORE_REFERENCE_LEARNER_H_

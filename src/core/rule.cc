@@ -11,38 +11,58 @@ void ClassificationRule::ComputeMeasures() {
 }
 
 bool ClassificationRule::BetterThan(const ClassificationRule& a,
-                                    const ClassificationRule& b) {
+                                    const ClassificationRule& b,
+                                    const util::StringInterner& segments) {
   if (a.confidence != b.confidence) return a.confidence > b.confidence;
   if (a.lift != b.lift) return a.lift > b.lift;
   if (a.property != b.property) return a.property < b.property;
-  if (a.segment != b.segment) return a.segment < b.segment;
+  if (a.segment != b.segment) {
+    // Ids are first-occurrence ordered; the public ordering contract is
+    // lexical on the segment string, independent of intern order.
+    return segments.View(a.segment) < segments.View(b.segment);
+  }
   return a.cls < b.cls;
 }
 
-std::string RuleToString(const ClassificationRule& rule,
-                         const PropertyCatalog& properties,
+std::string RuleToString(const ClassificationRule& rule, const RuleSet& set,
                          const ontology::Ontology& onto) {
-  const std::string& prop = properties.name(rule.property);
+  const std::string& prop = set.properties().name(rule.property);
   const std::string cls = onto.label(rule.cls).empty()
                               ? onto.iri(rule.cls)
                               : onto.label(rule.cls);
-  return prop + "(X,Y) ∧ subsegment(Y,\"" + rule.segment + "\") ⇒ " + cls +
-         "(X)";
+  return prop + "(X,Y) ∧ subsegment(Y,\"" +
+         std::string(set.segment_text(rule)) + "\") ⇒ " + cls + "(X)";
 }
 
 RuleSet::RuleSet(std::vector<ClassificationRule> rules,
-                 PropertyCatalog properties)
+                 PropertyCatalog properties,
+                 const util::StringInterner& segments)
     : rules_(std::move(rules)), properties_(std::move(properties)) {
-  std::sort(rules_.begin(), rules_.end(), ClassificationRule::BetterThan);
+  segments_.Reserve(rules_.size());
+  for (ClassificationRule& rule : rules_) {
+    rule.segment = segments_.Intern(segments.View(rule.segment));
+  }
+  std::sort(rules_.begin(), rules_.end(),
+            [this](const ClassificationRule& a, const ClassificationRule& b) {
+              return ClassificationRule::BetterThan(a, b, segments_);
+            });
   for (std::size_t i = 0; i < rules_.size(); ++i) {
-    by_premise_[{rules_[i].property, rules_[i].segment}].push_back(i);
+    by_premise_[util::PackSymbolPair(rules_[i].property, rules_[i].segment)]
+        .push_back(i);
   }
 }
 
-const std::vector<std::size_t>& RuleSet::RulesFor(
-    PropertyId property, const std::string& segment) const {
-  auto it = by_premise_.find({property, segment});
+const std::vector<std::size_t>& RuleSet::RulesFor(PropertyId property,
+                                                  SegmentId segment) const {
+  auto it = by_premise_.find(util::PackSymbolPair(property, segment));
   return it == by_premise_.end() ? empty_ : it->second;
+}
+
+const std::vector<std::size_t>& RuleSet::RulesFor(
+    PropertyId property, std::string_view segment) const {
+  const SegmentId id = segments_.Find(segment);
+  if (id == kInvalidSegmentId) return empty_;
+  return RulesFor(property, id);
 }
 
 std::vector<const ClassificationRule*> RuleSet::WithMinConfidence(

@@ -2,23 +2,36 @@
 //     p(X,Y) ∧ subsegment(Y,a) ⇒ c(X)
 // and the RuleSet container with the ordering the paper prescribes
 // (confidence first, lift as tie-break).
+//
+// Rules carry the segment `a` as a dense SegmentId into a
+// util::StringInterner rather than an owned std::string; the string is
+// materialized only at I/O boundaries (RuleToString, rule_io). A RuleSet
+// owns a compact interner holding exactly its rules' segments, so the
+// classifier's premise lookups and the premise index below are pure
+// integer operations.
 #ifndef RULELINK_CORE_RULE_H_
 #define RULELINK_CORE_RULE_H_
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "core/measures.h"
 #include "core/training_set.h"
 #include "ontology/ontology.h"
+#include "text/segmenter.h"
 #include "util/hash.h"
+#include "util/interner.h"
 
 namespace rulelink::core {
 
+using text::SegmentId;
+using text::kInvalidSegmentId;
+
 struct ClassificationRule {
   PropertyId property = kInvalidPropertyId;  // p
-  std::string segment;                       // a
+  SegmentId segment = kInvalidSegmentId;     // a (id into an interner)
   ontology::ClassId cls = ontology::kInvalidClassId;  // c
 
   RuleCounts counts;
@@ -31,20 +44,29 @@ struct ClassificationRule {
 
   // Ordering used everywhere: confidence desc, then lift desc (higher lift
   // = smaller class = smaller subspace first), then deterministic
-  // tie-breaks (property, segment, class).
+  // tie-breaks (property, segment STRING — resolved through `segments`,
+  // since ids follow first-occurrence order, not lexical — then class).
   static bool BetterThan(const ClassificationRule& a,
-                         const ClassificationRule& b);
+                         const ClassificationRule& b,
+                         const util::StringInterner& segments);
 };
 
+class RuleSet;
+
 // Renders "partNumber(X,Y) ∧ subsegment(Y,\"ohm\") ⇒ FixedFilmResistor(X)".
-std::string RuleToString(const ClassificationRule& rule,
-                         const PropertyCatalog& properties,
+// `set` supplies the property names and the segment symbol table.
+std::string RuleToString(const ClassificationRule& rule, const RuleSet& set,
                          const ontology::Ontology& onto);
 
 class RuleSet {
  public:
   RuleSet() = default;
-  RuleSet(std::vector<ClassificationRule> rules, PropertyCatalog properties);
+
+  // `rules` segment ids must refer to `segments`; the constructor
+  // re-interns just the rule segments into a compact owned interner and
+  // remaps the ids, so a RuleSet never pins a full corpus symbol table.
+  RuleSet(std::vector<ClassificationRule> rules, PropertyCatalog properties,
+          const util::StringInterner& segments);
 
   const std::vector<ClassificationRule>& rules() const { return rules_; }
   std::size_t size() const { return rules_.size(); }
@@ -52,10 +74,21 @@ class RuleSet {
 
   const PropertyCatalog& properties() const { return properties_; }
 
+  // The owned symbol table the rules' segment ids index into.
+  const util::StringInterner& segments() const { return segments_; }
+
+  // The segment string of `rule` (which must belong to this set).
+  std::string_view segment_text(const ClassificationRule& rule) const {
+    return segments_.View(rule.segment);
+  }
+
   // Rules whose premise is exactly (property, segment), best first. Empty
-  // when no rule mentions that pair.
+  // when no rule mentions that pair. The id overload is the hot path; the
+  // string overload resolves through the interner first.
   const std::vector<std::size_t>& RulesFor(PropertyId property,
-                                           const std::string& segment) const;
+                                           SegmentId segment) const;
+  const std::vector<std::size_t>& RulesFor(PropertyId property,
+                                           std::string_view segment) const;
 
   // Rules with confidence >= threshold, best first.
   std::vector<const ClassificationRule*> WithMinConfidence(
@@ -67,11 +100,11 @@ class RuleSet {
                                                           double hi) const;
 
  private:
-  using PremiseKey = std::pair<PropertyId, std::string>;
-
   std::vector<ClassificationRule> rules_;  // kept sorted, best first
   PropertyCatalog properties_;
-  std::unordered_map<PremiseKey, std::vector<std::size_t>, util::PairHash>
+  util::StringInterner segments_;  // compact: exactly the rules' segments
+  // Keyed by PackSymbolPair(property, segment).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>>
       by_premise_;
   std::vector<std::size_t> empty_;
 };

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/measures.h"
+#include "util/interner.h"
 #include "util/string_util.h"
 
 namespace rulelink::core {
@@ -11,7 +12,7 @@ namespace {
 
 // Segments may contain anything but tabs/newlines; escape those plus the
 // escape character itself.
-std::string EscapeField(const std::string& s) {
+std::string EscapeField(std::string_view s) {
   std::string out;
   for (char c : s) {
     switch (c) {
@@ -54,7 +55,7 @@ std::string WriteRules(const RuleSet& rules,
      << "# property\tsegment\tclass\tpremise\tclass_count\tjoint\ttotal\n";
   for (const ClassificationRule& rule : rules.rules()) {
     os << EscapeField(rules.properties().name(rule.property)) << '\t'
-       << EscapeField(rule.segment) << '\t'
+       << EscapeField(rules.segment_text(rule)) << '\t'
        << EscapeField(onto.iri(rule.cls)) << '\t'
        << rule.counts.premise_count << '\t' << rule.counts.class_count
        << '\t' << rule.counts.joint_count << '\t' << rule.counts.total
@@ -76,6 +77,7 @@ util::Status WriteRulesToFile(const RuleSet& rules,
 util::Result<RuleSet> ReadRules(const std::string& content,
                                 const ontology::Ontology& onto) {
   PropertyCatalog properties;
+  util::StringInterner segments;
   std::vector<ClassificationRule> rules;
   std::size_t line_no = 0;
   std::size_t start = 0;
@@ -118,7 +120,7 @@ util::Result<RuleSet> ReadRules(const std::string& content,
     }
     ClassificationRule rule;
     rule.property = properties.Intern(*property);
-    rule.segment = std::move(segment).value();
+    rule.segment = segments.Intern(*segment);
     rule.cls = cls;
     rule.counts.premise_count = static_cast<std::size_t>(counts[0]);
     rule.counts.class_count = static_cast<std::size_t>(counts[1]);
@@ -131,7 +133,7 @@ util::Result<RuleSet> ReadRules(const std::string& content,
     rules.push_back(std::move(rule));
     if (end == content.size()) break;
   }
-  return RuleSet(std::move(rules), std::move(properties));
+  return RuleSet(std::move(rules), std::move(properties), segments);
 }
 
 util::Result<RuleSet> ReadRulesFromFile(const std::string& path,

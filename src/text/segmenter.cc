@@ -5,6 +5,24 @@
 
 namespace rulelink::text {
 
+void Segmenter::SegmentInto(std::string_view value,
+                            util::StringInterner* interner,
+                            std::vector<SegmentId>* out) const {
+  // Small inline scratch would need per-call state; a local vector's heap
+  // buffer is reused by callers that hold their own scratch and call
+  // SegmentViews directly. This wrapper favors simplicity.
+  std::vector<std::string_view> views;
+  SegmentViews(value, &views);
+  out->reserve(out->size() + views.size());
+  for (std::string_view view : views) out->push_back(interner->Intern(view));
+}
+
+std::vector<std::string> Segmenter::Segment(std::string_view value) const {
+  std::vector<std::string_view> views;
+  SegmentViews(value, &views);
+  return {views.begin(), views.end()};
+}
+
 SeparatorSegmenter::SeparatorSegmenter(std::string separators)
     : separators_(std::move(separators)) {}
 
@@ -13,59 +31,62 @@ bool SeparatorSegmenter::IsSeparator(char c) const {
   return separators_.find(c) != std::string::npos;
 }
 
-std::vector<std::string> SeparatorSegmenter::Segment(
-    std::string_view value) const {
-  std::vector<std::string> segments;
+void SeparatorSegmenter::SegmentViews(
+    std::string_view value, std::vector<std::string_view>* out) const {
   std::size_t start = 0;
   for (std::size_t i = 0; i <= value.size(); ++i) {
     if (i == value.size() || IsSeparator(value[i])) {
-      if (i > start) segments.emplace_back(value.substr(start, i - start));
+      if (i > start) out->push_back(value.substr(start, i - start));
       start = i + 1;
     }
   }
-  return segments;
 }
 
 NGramSegmenter::NGramSegmenter(std::size_t n) : n_(n) {
   RL_CHECK(n > 0) << "n-gram size must be positive";
 }
 
-std::vector<std::string> NGramSegmenter::Segment(
-    std::string_view value) const {
-  std::vector<std::string> segments;
-  if (value.empty()) return segments;
+void NGramSegmenter::SegmentViews(std::string_view value,
+                                  std::vector<std::string_view>* out) const {
+  if (value.empty()) return;
   if (value.size() <= n_) {
-    segments.emplace_back(value);
-    return segments;
+    out->push_back(value);
+    return;
   }
-  segments.reserve(value.size() - n_ + 1);
+  out->reserve(out->size() + value.size() - n_ + 1);
   for (std::size_t i = 0; i + n_ <= value.size(); ++i) {
-    segments.emplace_back(value.substr(i, n_));
+    out->push_back(value.substr(i, n_));
   }
-  return segments;
 }
 
 std::string NGramSegmenter::name() const {
   return "ngram(" + std::to_string(n_) + ")";
 }
 
-std::vector<std::string> AlphaDigitSegmenter::Segment(
-    std::string_view value) const {
+void AlphaDigitSegmenter::SegmentViews(
+    std::string_view value, std::vector<std::string_view>* out) const {
   const SeparatorSegmenter outer;
-  std::vector<std::string> segments;
-  for (const std::string& token : outer.Segment(value)) {
+  const std::size_t first_token = out->size();
+  outer.SegmentViews(value, out);
+  const std::size_t last_token = out->size();
+  // Split each separator token at alpha/digit boundaries; the intermediate
+  // separator tokens are then replaced by the full run sequence.
+  std::vector<std::string_view> runs;
+  for (std::size_t t = first_token; t < last_token; ++t) {
+    const std::string_view token = (*out)[t];
     std::size_t start = 0;
     for (std::size_t i = 1; i <= token.size(); ++i) {
       const bool boundary =
           i == token.size() ||
           util::IsAsciiDigit(token[i]) != util::IsAsciiDigit(token[i - 1]);
       if (boundary) {
-        segments.push_back(token.substr(start, i - start));
+        runs.push_back(token.substr(start, i - start));
         start = i;
       }
     }
   }
-  return segments;
+  out->resize(first_token);
+  out->insert(out->end(), runs.begin(), runs.end());
 }
 
 PrefixEnrichedSegmenter::PrefixEnrichedSegmenter(
@@ -75,19 +96,17 @@ PrefixEnrichedSegmenter::PrefixEnrichedSegmenter(
   RL_CHECK(min_prefix_ > 0);
 }
 
-std::vector<std::string> PrefixEnrichedSegmenter::Segment(
-    std::string_view value) const {
-  std::vector<std::string> segments = base_->Segment(value);
-  const std::size_t original = segments.size();
-  for (std::size_t i = 0; i < original; ++i) {
-    // Copy: push_back below may reallocate and invalidate references into
-    // the vector.
-    const std::string seg = segments[i];
+void PrefixEnrichedSegmenter::SegmentViews(
+    std::string_view value, std::vector<std::string_view>* out) const {
+  const std::size_t first = out->size();
+  base_->SegmentViews(value, out);
+  const std::size_t original = out->size();
+  for (std::size_t i = first; i < original; ++i) {
+    const std::string_view seg = (*out)[i];  // copy: push_back reallocates
     for (std::size_t len = min_prefix_; len < seg.size(); ++len) {
-      segments.push_back(seg.substr(0, len));
+      out->push_back(seg.substr(0, len));
     }
   }
-  return segments;
 }
 
 std::string PrefixEnrichedSegmenter::name() const {

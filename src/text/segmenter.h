@@ -2,6 +2,16 @@
 // that appear in classification rules p(X,Y) ∧ subsegment(Y,a) ⇒ c(X).
 // The paper lets a domain expert choose the scheme — separation characters
 // or n-grams — so the scheme is an interface with several implementations.
+//
+// Two call styles:
+//   * SegmentViews appends string_views into `value` — every scheme here
+//     emits substrings (or prefixes of substrings) of the input, so no
+//     segment ever needs its own allocation. The views are valid only
+//     while `value`'s bytes are.
+//   * SegmentInto resolves those views through a util::StringInterner and
+//     appends dense SegmentIds — the form the learning core counts with.
+// The legacy Segment() (vector of owned strings) wraps SegmentViews and
+// remains for I/O-boundary callers and tests.
 #ifndef RULELINK_TEXT_SEGMENTER_H_
 #define RULELINK_TEXT_SEGMENTER_H_
 
@@ -10,16 +20,32 @@
 #include <string_view>
 #include <vector>
 
+#include "util/interner.h"
+
 namespace rulelink::text {
+
+// Dense id of an interned segment string (see util::StringInterner).
+using SegmentId = util::SymbolId;
+inline constexpr SegmentId kInvalidSegmentId = util::kInvalidSymbolId;
 
 class Segmenter {
  public:
   virtual ~Segmenter() = default;
 
-  // Splits `value` into segments. May return duplicates if a segment occurs
-  // several times in the value; callers that need per-item distinct
-  // semantics (the learner's support counting) deduplicate themselves.
-  virtual std::vector<std::string> Segment(std::string_view value) const = 0;
+  // Appends the segments of `value` to `*out` as views into `value`. May
+  // emit duplicates if a segment occurs several times; callers that need
+  // per-item distinct semantics (the learner's support counting)
+  // deduplicate themselves. `*out` is NOT cleared.
+  virtual void SegmentViews(std::string_view value,
+                            std::vector<std::string_view>* out) const = 0;
+
+  // Appends the SegmentIds of `value` to `*out`, interning each segment
+  // into `*interner`. Allocation-free apart from interner/out growth.
+  void SegmentInto(std::string_view value, util::StringInterner* interner,
+                   std::vector<SegmentId>* out) const;
+
+  // Splits `value` into owned segment strings (I/O-boundary convenience).
+  std::vector<std::string> Segment(std::string_view value) const;
 
   // Human-readable scheme name for reports ("separator", "ngram(3)", ...).
   virtual std::string name() const = 0;
@@ -35,7 +61,8 @@ class SeparatorSegmenter : public Segmenter {
   // Explicit separator set, e.g. ":-; ".
   explicit SeparatorSegmenter(std::string separators);
 
-  std::vector<std::string> Segment(std::string_view value) const override;
+  void SegmentViews(std::string_view value,
+                    std::vector<std::string_view>* out) const override;
   std::string name() const override { return "separator"; }
 
  private:
@@ -50,7 +77,8 @@ class NGramSegmenter : public Segmenter {
  public:
   explicit NGramSegmenter(std::size_t n);
 
-  std::vector<std::string> Segment(std::string_view value) const override;
+  void SegmentViews(std::string_view value,
+                    std::vector<std::string_view>* out) const override;
   std::string name() const override;
 
   std::size_t n() const { return n_; }
@@ -66,7 +94,8 @@ class AlphaDigitSegmenter : public Segmenter {
  public:
   AlphaDigitSegmenter() = default;
 
-  std::vector<std::string> Segment(std::string_view value) const override;
+  void SegmentViews(std::string_view value,
+                    std::vector<std::string_view>* out) const override;
   std::string name() const override { return "alpha-digit"; }
 };
 
@@ -78,7 +107,8 @@ class PrefixEnrichedSegmenter : public Segmenter {
   PrefixEnrichedSegmenter(std::unique_ptr<Segmenter> base,
                           std::size_t min_prefix);
 
-  std::vector<std::string> Segment(std::string_view value) const override;
+  void SegmentViews(std::string_view value,
+                    std::vector<std::string_view>* out) const override;
   std::string name() const override;
 
  private:

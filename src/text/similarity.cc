@@ -102,18 +102,77 @@ double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
   return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
 }
 
-double JaccardTokenSimilarity(std::string_view a, std::string_view b) {
-  const auto ta = util::SplitAny(a, " \t\n\r");
-  const auto tb = util::SplitAny(b, " \t\n\r");
-  if (ta.empty() && tb.empty()) return 1.0;
-  std::unordered_map<std::string, int> seen;
-  for (const auto& t : ta) seen[std::string(t)] |= 1;
-  for (const auto& t : tb) seen[std::string(t)] |= 2;
-  std::size_t inter = 0;
-  for (const auto& [token, mask] : seen) {
-    if (mask == 3) ++inter;
+namespace {
+
+// Sorted-unique view of `v` in place.
+void SortUnique(std::vector<std::string_view>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+// |a ∩ b| of two sorted-unique ranges (classic merge — no hashing, no
+// per-call string allocations; counts are integers, so every measure
+// built on them is bit-identical to the old hash-map formulation).
+std::size_t SortedIntersectionSize(const std::vector<std::string_view>& a,
+                                   const std::vector<std::string_view>& b) {
+  std::size_t inter = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
   }
-  return static_cast<double>(inter) / static_cast<double>(seen.size());
+  return inter;
+}
+
+// Multiset overlap sum(min(count_a, count_b)) of two sorted ranges.
+std::size_t SortedMultisetOverlap(const std::vector<std::string_view>& a,
+                                  const std::vector<std::string_view>& b) {
+  std::size_t overlap = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++overlap;
+      ++i;
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+// The character n-grams of `s` as views (a string shorter than n yields
+// itself), appended to *out.
+void NGramViews(std::string_view s, std::size_t n,
+                std::vector<std::string_view>* out) {
+  if (s.size() < n) {
+    if (!s.empty()) out->push_back(s);
+    return;
+  }
+  out->reserve(out->size() + s.size() - n + 1);
+  for (std::size_t i = 0; i + n <= s.size(); ++i) {
+    out->push_back(s.substr(i, n));
+  }
+}
+
+}  // namespace
+
+double JaccardTokenSimilarity(std::string_view a, std::string_view b) {
+  std::vector<std::string_view> ta = util::SplitAny(a, " \t\n\r");
+  std::vector<std::string_view> tb = util::SplitAny(b, " \t\n\r");
+  if (ta.empty() && tb.empty()) return 1.0;
+  SortUnique(&ta);
+  SortUnique(&tb);
+  const std::size_t inter = SortedIntersectionSize(ta, tb);
+  return static_cast<double>(inter) /
+         static_cast<double>(ta.size() + tb.size() - inter);
 }
 
 std::vector<std::string> CharacterBigrams(std::string_view s) {
@@ -130,54 +189,31 @@ std::vector<std::string> CharacterBigrams(std::string_view s) {
 }
 
 double DiceBigramSimilarity(std::string_view a, std::string_view b) {
-  const auto ga = CharacterBigrams(a);
-  const auto gb = CharacterBigrams(b);
+  std::vector<std::string_view> ga, gb;
+  NGramViews(a, 2, &ga);
+  NGramViews(b, 2, &gb);
   if (ga.empty() && gb.empty()) return 1.0;
   if (ga.empty() || gb.empty()) return 0.0;
-  std::unordered_map<std::string, std::size_t> counts;
-  for (const auto& g : ga) ++counts[g];
-  std::size_t overlap = 0;
-  for (const auto& g : gb) {
-    auto it = counts.find(g);
-    if (it != counts.end() && it->second > 0) {
-      --it->second;
-      ++overlap;
-    }
-  }
-  return 2.0 * static_cast<double>(overlap) /
-         static_cast<double>(ga.size() + gb.size());
+  const std::size_t total = ga.size() + gb.size();
+  std::sort(ga.begin(), ga.end());
+  std::sort(gb.begin(), gb.end());
+  const std::size_t overlap = SortedMultisetOverlap(ga, gb);
+  return 2.0 * static_cast<double>(overlap) / static_cast<double>(total);
 }
 
 double NGramOverlapSimilarity(std::string_view a, std::string_view b,
                               std::size_t n) {
   RL_CHECK(n > 0);
-  const auto grams = [n](std::string_view s) {
-    std::vector<std::string> out;
-    if (s.size() < n) {
-      if (!s.empty()) out.emplace_back(s);
-      return out;
-    }
-    for (std::size_t i = 0; i + n <= s.size(); ++i) {
-      out.emplace_back(s.substr(i, n));
-    }
-    return out;
-  };
-  const auto ga = grams(a);
-  const auto gb = grams(b);
+  std::vector<std::string_view> ga, gb;
+  NGramViews(a, n, &ga);
+  NGramViews(b, n, &gb);
   if (ga.empty() && gb.empty()) return 1.0;
   if (ga.empty() || gb.empty()) return 0.0;
-  std::unordered_map<std::string, std::size_t> counts;
-  for (const auto& g : ga) ++counts[g];
-  std::size_t overlap = 0;
-  for (const auto& g : gb) {
-    auto it = counts.find(g);
-    if (it != counts.end() && it->second > 0) {
-      --it->second;
-      ++overlap;
-    }
-  }
-  return static_cast<double>(overlap) /
-         static_cast<double>(std::min(ga.size(), gb.size()));
+  const std::size_t smaller = std::min(ga.size(), gb.size());
+  std::sort(ga.begin(), ga.end());
+  std::sort(gb.begin(), gb.end());
+  const std::size_t overlap = SortedMultisetOverlap(ga, gb);
+  return static_cast<double>(overlap) / static_cast<double>(smaller);
 }
 
 double MongeElkanSimilarity(std::string_view a, std::string_view b) {
@@ -199,21 +235,27 @@ double MongeElkanSimilarity(std::string_view a, std::string_view b) {
 void TfIdfCosine::AddDocument(const std::vector<std::string>& tokens) {
   RL_CHECK(!finalized_) << "AddDocument after Finalize";
   ++num_documents_;
-  std::unordered_map<std::string, bool> seen;
+  // Intern, then dedupe ids (sorted-unique) instead of hashing strings.
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
   for (const auto& t : tokens) {
-    if (!seen.emplace(t, true).second) continue;
-    ++document_frequency_[t];
+    const TokenId id = tokens_.Intern(t);
+    if (id == document_frequency_.size()) document_frequency_.push_back(0);
+    ids.push_back(id);
   }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (const TokenId id : ids) ++document_frequency_[id];
 }
 
 void TfIdfCosine::Finalize() { finalized_ = true; }
 
-double TfIdfCosine::Idf(const std::string& token) const {
-  auto it = document_frequency_.find(token);
-  const double df = it == document_frequency_.end()
+double TfIdfCosine::Idf(TokenId id) const {
+  // Smoothed IDF; corpus-unseen tokens (kInvalidSymbolId) get the maximum
+  // weight.
+  const double df = id == util::kInvalidSymbolId
                         ? 0.0
-                        : static_cast<double>(it->second);
-  // Smoothed IDF; unseen tokens get the maximum weight.
+                        : static_cast<double>(document_frequency_[id]);
   return std::log((1.0 + static_cast<double>(num_documents_)) / (1.0 + df)) +
          1.0;
 }
@@ -223,23 +265,66 @@ double TfIdfCosine::Similarity(const std::vector<std::string>& a,
   RL_CHECK(finalized_) << "Similarity before Finalize";
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
-  const auto vectorize = [this](const std::vector<std::string>& tokens) {
-    std::unordered_map<std::string, double> v;
-    for (const auto& t : tokens) v[t] += 1.0;
-    double norm = 0.0;
-    for (auto& [token, tf] : v) {
-      tf *= Idf(token);
-      norm += tf * tf;
+  // A document's sparse TF-IDF vector: one weighted entry per distinct
+  // token. Vocabulary tokens are resolved read-only to TokenIds;
+  // corpus-unseen tokens keep their string_view as the coordinate, so two
+  // distinct unknown tokens stay distinct and matching unknowns (present
+  // in both documents) still align. Entries sort by (id, view), making
+  // the accumulation order deterministic rather than hash-dependent.
+  struct Entry {
+    TokenId id;             // kInvalidSymbolId for corpus-unseen tokens
+    std::string_view view;  // coordinate tie-break among unseen tokens
+    double weight;          // tf (then tf*idf)
+
+    bool SameToken(const Entry& o) const {
+      return id == o.id && (id != util::kInvalidSymbolId || view == o.view);
     }
-    return std::make_pair(std::move(v), std::sqrt(norm));
+    bool operator<(const Entry& o) const {
+      if (id != o.id) return id < o.id;
+      return view < o.view;
+    }
   };
-  const auto [va, na] = vectorize(a);
-  const auto [vb, nb] = vectorize(b);
+  const auto vectorize = [this](const std::vector<std::string>& tokens,
+                                std::vector<Entry>* v) {
+    v->reserve(tokens.size());
+    for (const auto& t : tokens) {
+      v->push_back(Entry{tokens_.Find(t), t, 1.0});
+    }
+    std::sort(v->begin(), v->end());
+    // Collapse duplicates (term frequency), then weight by IDF.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < v->size();) {
+      std::size_t j = i + 1;
+      while (j < v->size() && (*v)[j].SameToken((*v)[i])) ++j;
+      (*v)[out] = (*v)[i];
+      (*v)[out].weight = static_cast<double>(j - i);
+      ++out;
+      i = j;
+    }
+    v->resize(out);
+    double norm = 0.0;
+    for (Entry& e : *v) {
+      e.weight *= Idf(e.id);
+      norm += e.weight * e.weight;
+    }
+    return std::sqrt(norm);
+  };
+  std::vector<Entry> va, vb;
+  const double na = vectorize(a, &va);
+  const double nb = vectorize(b, &vb);
   if (na == 0.0 || nb == 0.0) return 0.0;
   double dot = 0.0;
-  for (const auto& [token, wa] : va) {
-    auto it = vb.find(token);
-    if (it != vb.end()) dot += wa * it->second;
+  std::size_t i = 0, j = 0;
+  while (i < va.size() && j < vb.size()) {
+    if (va[i].SameToken(vb[j])) {
+      dot += va[i].weight * vb[j].weight;
+      ++i;
+      ++j;
+    } else if (va[i] < vb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
   }
   return dot / (na * nb);
 }

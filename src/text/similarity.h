@@ -7,10 +7,14 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "util/interner.h"
+
 namespace rulelink::text {
+
+// Dense id of an interned token (TfIdfCosine's corpus vocabulary).
+using TokenId = util::SymbolId;
 
 // Levenshtein edit distance (insert/delete/substitute, unit costs).
 std::size_t LevenshteinDistance(std::string_view a, std::string_view b);
@@ -47,7 +51,11 @@ double MongeElkanSimilarity(std::string_view a, std::string_view b);
 std::vector<std::string> CharacterBigrams(std::string_view s);
 
 // TF-IDF cosine similarity over a token corpus. Build once over the local
-// source, then score pairs.
+// source, then score pairs. The vocabulary is interned once: document
+// frequencies live in a flat vector keyed by TokenId, and Similarity
+// resolves tokens read-only against the vocabulary (no per-call
+// string-keyed hash maps; corpus-unseen tokens still participate, matched
+// by string among themselves, with the maximum smoothed IDF).
 class TfIdfCosine {
  public:
   TfIdfCosine() = default;
@@ -65,10 +73,14 @@ class TfIdfCosine {
 
   std::size_t num_documents() const { return num_documents_; }
 
- private:
-  double Idf(const std::string& token) const;
+  // Vocabulary size (distinct corpus tokens).
+  std::size_t vocabulary_size() const { return tokens_.size(); }
 
-  std::unordered_map<std::string, std::size_t> document_frequency_;
+ private:
+  double Idf(TokenId id) const;
+
+  util::StringInterner tokens_;                   // corpus vocabulary
+  std::vector<std::size_t> document_frequency_;   // by TokenId
   std::size_t num_documents_ = 0;
   bool finalized_ = false;
 };

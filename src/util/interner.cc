@@ -1,0 +1,79 @@
+#include "util/interner.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rulelink::util {
+namespace {
+
+// First block size; blocks double up to the cap so huge symbol tables do
+// not pay one allocation per few strings.
+constexpr std::size_t kMinBlockBytes = std::size_t{1} << 12;   // 4 KiB
+constexpr std::size_t kMaxBlockBytes = std::size_t{1} << 20;   // 1 MiB
+
+}  // namespace
+
+StringInterner::StringInterner(const StringInterner& other) {
+  Reserve(other.size());
+  for (std::string_view view : other.views_) {
+    const std::string_view stored = StoreInArena(view);
+    views_.push_back(stored);
+    index_.emplace(stored, static_cast<SymbolId>(views_.size() - 1));
+  }
+}
+
+StringInterner& StringInterner::operator=(const StringInterner& other) {
+  if (this != &other) {
+    StringInterner copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+std::string_view StringInterner::StoreInArena(std::string_view s) {
+  if (blocks_.empty() || blocks_.back().capacity - blocks_.back().used <
+                             s.size()) {
+    std::size_t capacity =
+        blocks_.empty() ? kMinBlockBytes
+                        : std::min(blocks_.back().capacity * 2,
+                                   kMaxBlockBytes);
+    capacity = std::max(capacity, s.size());
+    Block block;
+    block.data = std::make_unique<char[]>(capacity);
+    block.capacity = capacity;
+    blocks_.push_back(std::move(block));
+  }
+  Block& block = blocks_.back();
+  char* dest = block.data.get() + block.used;
+  if (!s.empty()) std::memcpy(dest, s.data(), s.size());
+  block.used += s.size();
+  return std::string_view(dest, s.size());
+}
+
+SymbolId StringInterner::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const std::string_view stored = StoreInArena(s);
+  const SymbolId id = static_cast<SymbolId>(views_.size());
+  views_.push_back(stored);
+  index_.emplace(stored, id);
+  return id;
+}
+
+SymbolId StringInterner::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kInvalidSymbolId : it->second;
+}
+
+std::size_t StringInterner::arena_bytes() const {
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.capacity;
+  return total;
+}
+
+void StringInterner::Reserve(std::size_t expected_symbols) {
+  views_.reserve(expected_symbols);
+  index_.reserve(expected_symbols);
+}
+
+}  // namespace rulelink::util

@@ -5,10 +5,18 @@
 #include <gtest/gtest.h>
 
 #include "text/segmenter.h"
+#include "util/interner.h"
 #include "util/logging.h"
 
 namespace rulelink::core {
 namespace {
+
+// Shared symbol table for hand-built test rules; RuleSet re-interns
+// compactly, so sharing ids across fixtures is harmless.
+util::StringInterner& TestSegments() {
+  static util::StringInterner* interner = new util::StringInterner();
+  return *interner;
+}
 
 ClassificationRule MakeRule(PropertyId property, const std::string& segment,
                             ontology::ClassId cls, std::size_t premise,
@@ -16,7 +24,7 @@ ClassificationRule MakeRule(PropertyId property, const std::string& segment,
                             std::size_t total) {
   ClassificationRule rule;
   rule.property = property;
-  rule.segment = segment;
+  rule.segment = TestSegments().Intern(segment);
   rule.cls = cls;
   rule.counts = RuleCounts{premise, class_count, joint, total};
   rule.ComputeMeasures();
@@ -32,7 +40,8 @@ class ClassifierTest : public ::testing::Test {
     rules.push_back(MakeRule(0, "OHM", 2, 20, 25, 15, 100));    // conf .75
     rules.push_back(MakeRule(0, "MIX", 1, 20, 10, 10, 100));    // conf .5 -> 1
     rules.push_back(MakeRule(0, "MIX", 3, 20, 40, 8, 100));     // conf .4 -> 3
-    set_ = std::make_unique<RuleSet>(std::move(rules), properties_);
+    set_ = std::make_unique<RuleSet>(std::move(rules), properties_,
+                                     TestSegments());
     classifier_ = std::make_unique<RuleClassifier>(set_.get(), &segmenter_);
   }
 
@@ -106,7 +115,7 @@ TEST_F(ClassifierTest, RuleIndexPointsToFiredRule) {
   const auto predictions = classifier_->Classify(MakeItem("OHM-1"));
   ASSERT_EQ(predictions.size(), 1u);
   const auto& rule = set_->rules()[predictions[0].rule_index];
-  EXPECT_EQ(rule.segment, "OHM");
+  EXPECT_EQ(set_->segment_text(rule), "OHM");
   EXPECT_EQ(rule.cls, predictions[0].cls);
 }
 

@@ -53,7 +53,9 @@ class GeneralizerTest : public ::testing::Test {
                                      const std::string& segment,
                                      ontology::ClassId cls) {
     for (const auto& rule : rules.rules()) {
-      if (rule.segment == segment && rule.cls == cls) return &rule;
+      if (rules.segment_text(rule) == segment && rule.cls == cls) {
+        return &rule;
+      }
     }
     return nullptr;
   }

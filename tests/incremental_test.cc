@@ -62,7 +62,8 @@ TEST_F(IncrementalTest, MatchesBatchLearnerExactly) {
   const auto keys = [](const RuleSet& rules) {
     std::set<Key> out;
     for (const auto& rule : rules.rules()) {
-      out.insert({rules.properties().name(rule.property), rule.segment,
+      out.insert({rules.properties().name(rule.property),
+                  std::string(rules.segment_text(rule)),
                   rule.cls, rule.counts.premise_count,
                   rule.counts.joint_count, rule.counts.class_count});
     }
@@ -146,7 +147,7 @@ TEST_F(IncrementalTest, RulesAppearAsSupportGrows) {
   rules = learner.BuildRules(0.5);
   ASSERT_TRUE(rules.ok());
   ASSERT_EQ(rules->size(), 1u);
-  EXPECT_EQ(rules->rules()[0].segment, "SIG");
+  EXPECT_EQ(rules->segment_text(rules->rules()[0]), "SIG");
   EXPECT_EQ(rules->rules()[0].counts.premise_count, 5u);
   EXPECT_EQ(rules->rules()[0].counts.total, 8u);
 }
@@ -171,7 +172,7 @@ TEST_F(IncrementalTest, PropertySelection) {
   auto rules = learner.BuildRules(0.4);
   ASSERT_TRUE(rules.ok());
   for (const auto& rule : rules->rules()) {
-    EXPECT_NE(rule.segment, "ACME");
+    EXPECT_NE(rules->segment_text(rule), "ACME");
   }
 }
 

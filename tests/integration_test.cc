@@ -116,11 +116,13 @@ TEST_F(IntegrationTest, TrainingSetsAgreeAcrossRepresentations) {
   std::set<std::tuple<std::string, std::string, std::size_t, std::size_t>>
       direct_set, rdf_set;
   for (const auto& rule : direct_rules->rules()) {
-    direct_set.insert({rule.segment, dataset_->ontology().iri(rule.cls),
+    direct_set.insert({std::string(direct_rules->segment_text(rule)),
+                       dataset_->ontology().iri(rule.cls),
                        rule.counts.premise_count, rule.counts.joint_count});
   }
   for (const auto& rule : rdf_rules->rules()) {
-    rdf_set.insert({rule.segment, onto_or->iri(rule.cls),
+    rdf_set.insert({std::string(rdf_rules->segment_text(rule)),
+                    onto_or->iri(rule.cls),
                     rule.counts.premise_count, rule.counts.joint_count});
   }
   EXPECT_EQ(direct_set, rdf_set);

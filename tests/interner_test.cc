@@ -1,0 +1,171 @@
+#include "util/interner.h"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rulelink::util {
+namespace {
+
+TEST(StringInternerTest, AssignsDenseFirstOccurrenceIds) {
+  StringInterner interner;
+  EXPECT_TRUE(interner.empty());
+  EXPECT_EQ(interner.Intern("alpha"), 0u);
+  EXPECT_EQ(interner.Intern("beta"), 1u);
+  EXPECT_EQ(interner.Intern("gamma"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+  EXPECT_EQ(interner.View(0), "alpha");
+  EXPECT_EQ(interner.View(1), "beta");
+  EXPECT_EQ(interner.View(2), "gamma");
+}
+
+TEST(StringInternerTest, DuplicateInternReturnsSameId) {
+  StringInterner interner;
+  const SymbolId a = interner.Intern("dup");
+  EXPECT_EQ(interner.Intern("dup"), a);
+  EXPECT_EQ(interner.Intern(std::string("dup")), a);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(StringInternerTest, EmptyStringIsAValidSymbol) {
+  StringInterner interner;
+  const SymbolId empty = interner.Intern("");
+  EXPECT_EQ(empty, 0u);
+  EXPECT_EQ(interner.Intern(""), empty);
+  EXPECT_EQ(interner.View(empty), "");
+  EXPECT_EQ(interner.Find(""), empty);
+  // The empty symbol must not collide with anything else.
+  EXPECT_NE(interner.Intern("x"), empty);
+}
+
+TEST(StringInternerTest, FindNeverInterns) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Find("missing"), kInvalidSymbolId);
+  EXPECT_TRUE(interner.empty());
+  interner.Intern("present");
+  EXPECT_EQ(interner.Find("present"), 0u);
+  EXPECT_EQ(interner.Find("missing"), kInvalidSymbolId);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(StringInternerTest, ViewsStayValidAcrossGrowth) {
+  // Views point into arena blocks that are never reallocated, so handing
+  // out a view and then interning thousands more symbols must not
+  // invalidate it.
+  StringInterner interner;
+  const std::string_view first = interner.View(interner.Intern("anchor"));
+  const char* data_before = first.data();
+  for (int i = 0; i < 50000; ++i) {
+    interner.Intern("sym-" + std::to_string(i));
+  }
+  EXPECT_EQ(first.data(), data_before);
+  EXPECT_EQ(first, "anchor");
+  EXPECT_EQ(interner.View(0), "anchor");
+}
+
+TEST(StringInternerTest, CopyPreservesIdsAndOwnsItsArena) {
+  StringInterner interner;
+  interner.Intern("a");
+  interner.Intern("bb");
+  interner.Intern("ccc");
+  const StringInterner copy(interner);
+  ASSERT_EQ(copy.size(), 3u);
+  for (SymbolId id = 0; id < 3; ++id) {
+    EXPECT_EQ(copy.View(id), interner.View(id));
+    // Deep copy: the bytes live in the copy's own arena.
+    EXPECT_NE(copy.View(id).data(), interner.View(id).data());
+  }
+  EXPECT_EQ(copy.Find("bb"), 1u);
+}
+
+TEST(StringInternerTest, MoveKeepsViewsValid) {
+  StringInterner interner;
+  const SymbolId id = interner.Intern("survivor");
+  const std::string_view view = interner.View(id);
+  StringInterner moved(std::move(interner));
+  EXPECT_EQ(moved.View(id), "survivor");
+  EXPECT_EQ(moved.View(id).data(), view.data());
+  EXPECT_EQ(moved.Find("survivor"), id);
+}
+
+TEST(StringInternerTest, MillionSymbolStress) {
+  StringInterner interner;
+  interner.Reserve(1000000);
+  for (std::size_t i = 0; i < 1000000; ++i) {
+    ASSERT_EQ(interner.Intern("k" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(interner.size(), 1000000u);
+  EXPECT_GT(interner.arena_bytes(), 0u);
+  // Spot-check id stability and lookup at the extremes and in the middle.
+  EXPECT_EQ(interner.View(0), "k0");
+  EXPECT_EQ(interner.View(499999), "k499999");
+  EXPECT_EQ(interner.View(999999), "k999999");
+  EXPECT_EQ(interner.Find("k777777"), 777777u);
+  // Re-interning is idempotent even at this size.
+  EXPECT_EQ(interner.Intern("k31337"), 31337u);
+  EXPECT_EQ(interner.size(), 1000000u);
+}
+
+TEST(StringInternerTest, SnapshotReadersRaceNothingWhileWriterInterns) {
+  // The concurrency contract: a Snapshot taken at symbol count N can be
+  // read from any number of threads while the owning interner keeps
+  // interning on another thread. Run under TSan this test proves the
+  // snapshot shares no mutable state with the growing interner.
+  StringInterner interner;
+  constexpr std::size_t kInitial = 4096;
+  for (std::size_t i = 0; i < kInitial; ++i) {
+    interner.Intern("base-" + std::to_string(i));
+  }
+  const StringInterner::Snapshot snapshot = interner.MakeSnapshot();
+  ASSERT_EQ(snapshot.size(), kInitial);
+
+  std::vector<std::thread> readers;
+  std::vector<std::size_t> checksums(4, 0);
+  for (std::size_t t = 0; t < 4; ++t) {
+    readers.emplace_back([&snapshot, &checksums, t] {
+      std::size_t sum = 0;
+      for (int pass = 0; pass < 50; ++pass) {
+        for (SymbolId id = 0; id < snapshot.size(); ++id) {
+          sum += snapshot.View(id).size();
+        }
+      }
+      checksums[t] = sum;
+    });
+  }
+  // Writer thread grows the interner concurrently with the readers.
+  std::thread writer([&interner] {
+    for (std::size_t i = 0; i < 20000; ++i) {
+      interner.Intern("grow-" + std::to_string(i));
+    }
+  });
+  for (std::thread& reader : readers) reader.join();
+  writer.join();
+
+  for (std::size_t t = 1; t < checksums.size(); ++t) {
+    EXPECT_EQ(checksums[t], checksums[0]);
+  }
+  EXPECT_EQ(interner.size(), kInitial + 20000);
+  // The snapshot still sees exactly the prefix it was taken at.
+  EXPECT_EQ(snapshot.size(), kInitial);
+  EXPECT_EQ(snapshot.View(0), "base-0");
+}
+
+TEST(SymbolPackingTest, RoundTripsAndOrders) {
+  const std::uint64_t packed = PackSymbolPair(7, 42);
+  EXPECT_EQ(PackedHi(packed), 7u);
+  EXPECT_EQ(PackedLo(packed), 42u);
+  EXPECT_EQ(PackSymbolPair(0, 0), 0u);
+  const std::uint64_t max = PackSymbolPair(0xFFFFFFFFu, 0xFFFFFFFFu);
+  EXPECT_EQ(PackedHi(max), 0xFFFFFFFFu);
+  EXPECT_EQ(PackedLo(max), 0xFFFFFFFFu);
+  // Packed order is (hi, lo) lexicographic on the id pair.
+  EXPECT_LT(PackSymbolPair(1, 99), PackSymbolPair(2, 0));
+  EXPECT_LT(PackSymbolPair(2, 0), PackSymbolPair(2, 1));
+}
+
+}  // namespace
+}  // namespace rulelink::util

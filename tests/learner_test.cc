@@ -55,7 +55,9 @@ class LearnerTest : public ::testing::Test {
                                      const std::string& segment,
                                      ontology::ClassId cls) {
     for (const auto& rule : rules.rules()) {
-      if (rule.segment == segment && rule.cls == cls) return &rule;
+      if (rules.segment_text(rule) == segment && rule.cls == cls) {
+        return &rule;
+      }
     }
     return nullptr;
   }
@@ -107,7 +109,8 @@ TEST_F(LearnerTest, ThresholdIsStrict) {
 TEST_F(LearnerTest, SerialsNeverBecomeRules) {
   const RuleSet rules = Learn(0.15);
   for (const auto& rule : rules.rules()) {
-    EXPECT_NE(rule.segment.substr(0, 1), "S") << rule.segment;
+    const std::string_view segment = rules.segment_text(rule);
+    EXPECT_NE(segment.substr(0, 1), "S") << segment;
   }
 }
 
@@ -162,7 +165,7 @@ TEST_F(LearnerTest, DuplicateSegmentInOneValueCountsOnce) {
   ASSERT_TRUE(rules.ok());
   const ClassificationRule* x = nullptr;
   for (const auto& rule : rules->rules()) {
-    if (rule.segment == "X") x = &rule;
+    if (rules->segment_text(rule) == "X") x = &rule;
   }
   ASSERT_NE(x, nullptr);
   EXPECT_EQ(x->counts.premise_count, 2u);  // two examples, not four
@@ -186,7 +189,7 @@ TEST_F(LearnerTest, MultiValuedPropertyCountsOncePerExample) {
   auto rules = RuleLearner(options).Learn(ts);
   ASSERT_TRUE(rules.ok());
   for (const auto& rule : rules->rules()) {
-    if (rule.segment == "X") {
+    if (rules->segment_text(rule) == "X") {
       EXPECT_EQ(rule.counts.premise_count, 2u);
     }
   }
@@ -209,7 +212,7 @@ TEST_F(LearnerTest, PropertySelectionRestrictsP) {
   ASSERT_TRUE(rules.ok());
   // "ACME" would be a perfect premise but lives on an unselected property.
   for (const auto& rule : rules->rules()) {
-    EXPECT_NE(rule.segment, "ACME");
+    EXPECT_NE(rules->segment_text(rule), "ACME");
     EXPECT_EQ(rules->properties().name(rule.property), "pn");
   }
   // Without selection, the manufacturer rule appears.
@@ -217,7 +220,9 @@ TEST_F(LearnerTest, PropertySelectionRestrictsP) {
   auto all = RuleLearner(options).Learn(ts);
   ASSERT_TRUE(all.ok());
   bool saw_acme = false;
-  for (const auto& rule : all->rules()) saw_acme |= rule.segment == "ACME";
+  for (const auto& rule : all->rules()) {
+    saw_acme |= all->segment_text(rule) == "ACME";
+  }
   EXPECT_TRUE(saw_acme);
 }
 

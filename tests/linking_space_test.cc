@@ -6,17 +6,25 @@
 
 #include "rdf/turtle.h"
 #include "text/segmenter.h"
+#include "util/interner.h"
 #include "util/logging.h"
 
 namespace rulelink::core {
 namespace {
+
+// Shared symbol table for hand-built test rules; RuleSet re-interns
+// compactly, so sharing ids across fixtures is harmless.
+util::StringInterner& TestSegments() {
+  static util::StringInterner* interner = new util::StringInterner();
+  return *interner;
+}
 
 ClassificationRule MakeRule(PropertyId property, const std::string& segment,
                             ontology::ClassId cls, double confidence_num,
                             double confidence_den) {
   ClassificationRule rule;
   rule.property = property;
-  rule.segment = segment;
+  rule.segment = TestSegments().Intern(segment);
   rule.cls = cls;
   rule.counts = RuleCounts{static_cast<std::size_t>(confidence_den),
                            10, static_cast<std::size_t>(confidence_num),
@@ -51,7 +59,8 @@ class LinkingSpaceTest : public ::testing::Test {
     std::vector<ClassificationRule> rules;
     rules.push_back(MakeRule(0, "AAA", onto_.FindByIri("http://e/A"), 10, 10));
     rules.push_back(MakeRule(0, "BBB", onto_.FindByIri("http://e/B"), 8, 10));
-    set_ = std::make_unique<RuleSet>(std::move(rules), properties_);
+    set_ = std::make_unique<RuleSet>(std::move(rules), properties_,
+                                     TestSegments());
     classifier_ = std::make_unique<RuleClassifier>(set_.get(), &segmenter_);
     analyzer_ = std::make_unique<LinkingSpaceAnalyzer>(classifier_.get(),
                                                        index_.get());

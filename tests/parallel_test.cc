@@ -79,7 +79,8 @@ void ExpectRulesIdentical(const core::RuleSet& serial,
     const core::ClassificationRule& a = serial.rules()[i];
     const core::ClassificationRule& b = parallel.rules()[i];
     EXPECT_EQ(a.property, b.property) << "rule " << i;
-    EXPECT_EQ(a.segment, b.segment) << "rule " << i;
+    EXPECT_EQ(serial.segment_text(a), parallel.segment_text(b))
+        << "rule " << i;
     EXPECT_EQ(a.cls, b.cls) << "rule " << i;
     EXPECT_EQ(a.counts.premise_count, b.counts.premise_count) << "rule " << i;
     EXPECT_EQ(a.counts.class_count, b.counts.class_count) << "rule " << i;

@@ -126,8 +126,8 @@ TEST_P(CorpusProperty, LearnerInvariants) {
   }
   // Sorted best-first.
   for (std::size_t i = 1; i < rules.size(); ++i) {
-    EXPECT_FALSE(core::ClassificationRule::BetterThan(rules.rules()[i],
-                                                      rules.rules()[i - 1]));
+    EXPECT_FALSE(core::ClassificationRule::BetterThan(
+        rules.rules()[i], rules.rules()[i - 1], rules.segments()));
   }
 }
 
@@ -195,12 +195,12 @@ TEST_P(CorpusProperty, IncrementalMatchesBatch) {
                          std::size_t>;
   std::set<Key> a, b;
   for (const auto& rule : online->rules()) {
-    a.insert({rule.segment, rule.cls, rule.counts.premise_count,
-              rule.counts.joint_count});
+    a.insert({std::string(online->segment_text(rule)), rule.cls,
+              rule.counts.premise_count, rule.counts.joint_count});
   }
   for (const auto& rule : batch.rules()) {
-    b.insert({rule.segment, rule.cls, rule.counts.premise_count,
-              rule.counts.joint_count});
+    b.insert({std::string(batch.segment_text(rule)), rule.cls,
+              rule.counts.premise_count, rule.counts.joint_count});
   }
   EXPECT_EQ(a, b);
 }
@@ -213,7 +213,8 @@ TEST_P(CorpusProperty, RuleIoRoundTripsLearnedRules) {
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   ASSERT_EQ(loaded->size(), rules.size());
   for (std::size_t i = 0; i < rules.size(); ++i) {
-    EXPECT_EQ(loaded->rules()[i].segment, rules.rules()[i].segment);
+    EXPECT_EQ(loaded->segment_text(loaded->rules()[i]),
+              rules.segment_text(rules.rules()[i]));
     EXPECT_EQ(loaded->rules()[i].cls, rules.rules()[i].cls);
     EXPECT_DOUBLE_EQ(loaded->rules()[i].confidence,
                      rules.rules()[i].confidence);

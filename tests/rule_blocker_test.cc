@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "text/segmenter.h"
+#include "util/interner.h"
 #include "util/logging.h"
 
 namespace rulelink::blocking {
@@ -25,20 +26,22 @@ class RuleBlockerTest : public ::testing::Test {
 
     properties_.Intern("pn");
     std::vector<core::ClassificationRule> rules;
+    util::StringInterner segments;
     core::ClassificationRule ra;
     ra.property = 0;
-    ra.segment = "AAA";
+    ra.segment = segments.Intern("AAA");
     ra.cls = a_;
     ra.counts = core::RuleCounts{10, 10, 10, 100};
     ra.ComputeMeasures();
     rules.push_back(ra);
     core::ClassificationRule rb = ra;
-    rb.segment = "BBB";
+    rb.segment = segments.Intern("BBB");
     rb.cls = b_;
     rb.counts = core::RuleCounts{10, 12, 8, 100};  // confidence 0.8
     rb.ComputeMeasures();
     rules.push_back(rb);
-    set_ = std::make_unique<core::RuleSet>(std::move(rules), properties_);
+    set_ = std::make_unique<core::RuleSet>(std::move(rules), properties_,
+                                           segments);
     classifier_ =
         std::make_unique<core::RuleClassifier>(set_.get(), &segmenter_);
 

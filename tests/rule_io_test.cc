@@ -6,10 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include "util/interner.h"
 #include "util/logging.h"
 
 namespace rulelink::core {
 namespace {
+
+util::StringInterner& TestSegments() {
+  static util::StringInterner* interner = new util::StringInterner();
+  return *interner;
+}
 
 class RuleIoTest : public ::testing::Test {
  protected:
@@ -25,7 +31,8 @@ class RuleIoTest : public ::testing::Test {
     rules.push_back(Make(0, "CRCW0805", a_, 40, 50, 40, 1000));
     rules.push_back(Make(0, "with\ttab and \\slash", b_, 30, 60, 24, 1000));
     rules.push_back(Make(1, "ohm", a_, 100, 50, 45, 1000));
-    set_ = std::make_unique<RuleSet>(std::move(rules), properties);
+    set_ = std::make_unique<RuleSet>(std::move(rules), properties,
+                                     TestSegments());
   }
 
   static ClassificationRule Make(PropertyId property,
@@ -35,7 +42,7 @@ class RuleIoTest : public ::testing::Test {
                                  std::size_t total) {
     ClassificationRule rule;
     rule.property = property;
-    rule.segment = segment;
+    rule.segment = TestSegments().Intern(segment);
     rule.cls = cls;
     rule.counts = RuleCounts{premise, class_count, joint, total};
     rule.ComputeMeasures();
@@ -57,7 +64,7 @@ TEST_F(RuleIoTest, RoundTripPreservesEverything) {
     const ClassificationRule& copy = loaded->rules()[i];
     EXPECT_EQ(loaded->properties().name(copy.property),
               set_->properties().name(original.property));
-    EXPECT_EQ(copy.segment, original.segment);
+    EXPECT_EQ(loaded->segment_text(copy), set_->segment_text(original));
     EXPECT_EQ(copy.cls, original.cls);
     EXPECT_EQ(copy.counts.premise_count, original.counts.premise_count);
     EXPECT_DOUBLE_EQ(copy.confidence, original.confidence);

@@ -4,18 +4,20 @@
 
 #include <gtest/gtest.h>
 
+#include "util/interner.h"
 #include "util/logging.h"
 
 namespace rulelink::core {
 namespace {
 
-ClassificationRule MakeRule(PropertyId property, const std::string& segment,
+ClassificationRule MakeRule(util::StringInterner* segments,
+                            PropertyId property, const std::string& segment,
                             ontology::ClassId cls, std::size_t premise,
                             std::size_t class_count, std::size_t joint,
                             std::size_t total) {
   ClassificationRule rule;
   rule.property = property;
-  rule.segment = segment;
+  rule.segment = segments->Intern(segment);
   rule.cls = cls;
   rule.counts = RuleCounts{premise, class_count, joint, total};
   rule.ComputeMeasures();
@@ -28,18 +30,20 @@ class RuleSetTest : public ::testing::Test {
     properties_.Intern("pn");  // PropertyId 0
     std::vector<ClassificationRule> rules;
     // conf 1.0, lift 10.
-    rules.push_back(MakeRule(0, "PURE", 1, 10, 10, 10, 100));
+    rules.push_back(MakeRule(&segments_, 0, "PURE", 1, 10, 10, 10, 100));
     // conf 1.0, lift 5 (bigger class) -- same confidence, lower lift.
-    rules.push_back(MakeRule(0, "PURE2", 2, 20, 20, 20, 100));
+    rules.push_back(MakeRule(&segments_, 0, "PURE2", 2, 20, 20, 20, 100));
     // conf 0.5 on segment MIX, two conclusions.
-    rules.push_back(MakeRule(0, "MIX", 1, 20, 10, 10, 100));
-    rules.push_back(MakeRule(0, "MIX", 2, 20, 20, 10, 100));
+    rules.push_back(MakeRule(&segments_, 0, "MIX", 1, 20, 10, 10, 100));
+    rules.push_back(MakeRule(&segments_, 0, "MIX", 2, 20, 20, 10, 100));
     // conf 0.7.
-    rules.push_back(MakeRule(0, "MID", 3, 10, 30, 7, 100));
-    set_ = std::make_unique<RuleSet>(std::move(rules), properties_);
+    rules.push_back(MakeRule(&segments_, 0, "MID", 3, 10, 30, 7, 100));
+    set_ = std::make_unique<RuleSet>(std::move(rules), properties_,
+                                     segments_);
   }
 
   PropertyCatalog properties_;
+  util::StringInterner segments_;
   std::unique_ptr<RuleSet> set_;
 };
 
@@ -47,11 +51,12 @@ TEST_F(RuleSetTest, SortedBestFirst) {
   const auto& rules = set_->rules();
   ASSERT_EQ(rules.size(), 5u);
   for (std::size_t i = 1; i < rules.size(); ++i) {
-    EXPECT_FALSE(ClassificationRule::BetterThan(rules[i], rules[i - 1]));
+    EXPECT_FALSE(ClassificationRule::BetterThan(rules[i], rules[i - 1],
+                                                set_->segments()));
   }
   EXPECT_DOUBLE_EQ(rules[0].confidence, 1.0);
-  EXPECT_EQ(rules[0].segment, "PURE");  // lift 10 beats lift 5
-  EXPECT_EQ(rules[1].segment, "PURE2");
+  EXPECT_EQ(set_->segment_text(rules[0]), "PURE");  // lift 10 beats lift 5
+  EXPECT_EQ(set_->segment_text(rules[1]), "PURE2");
 }
 
 TEST_F(RuleSetTest, RulesForPremise) {
@@ -59,10 +64,25 @@ TEST_F(RuleSetTest, RulesForPremise) {
   ASSERT_EQ(mix.size(), 2u);
   // Indexes point into the sorted rule vector.
   for (std::size_t idx : mix) {
-    EXPECT_EQ(set_->rules()[idx].segment, "MIX");
+    EXPECT_EQ(set_->segment_text(set_->rules()[idx]), "MIX");
   }
   EXPECT_TRUE(set_->RulesFor(0, "NOPE").empty());
   EXPECT_TRUE(set_->RulesFor(7, "MIX").empty());
+}
+
+TEST_F(RuleSetTest, RulesForPremiseById) {
+  // The id overload must agree with the string overload once the segment
+  // is resolved against the set's own interner.
+  const SegmentId mix_id = set_->segments().Find("MIX");
+  ASSERT_NE(mix_id, kInvalidSegmentId);
+  EXPECT_EQ(set_->RulesFor(0, mix_id), set_->RulesFor(0, "MIX"));
+  EXPECT_EQ(set_->segments().Find("NOPE"), kInvalidSegmentId);
+}
+
+TEST_F(RuleSetTest, OwnsCompactInterner) {
+  // The set's interner holds exactly the distinct rule segments, not the
+  // (potentially huge) corpus table the learner built.
+  EXPECT_EQ(set_->segments().size(), 4u);  // PURE PURE2 MIX MID
 }
 
 TEST_F(RuleSetTest, WithMinConfidence) {
@@ -90,25 +110,44 @@ TEST_F(RuleSetTest, BandsPartitionRules) {
 }
 
 TEST(RuleOrderingTest, ConfidenceDominatesLift) {
-  const auto high_conf = MakeRule(0, "A", 1, 10, 50, 9, 100);   // conf .9
-  const auto high_lift = MakeRule(0, "B", 2, 10, 5, 5, 100);    // conf .5, lift 10
-  EXPECT_TRUE(ClassificationRule::BetterThan(high_conf, high_lift));
+  util::StringInterner segments;
+  const auto high_conf = MakeRule(&segments, 0, "A", 1, 10, 50, 9, 100);
+  const auto high_lift = MakeRule(&segments, 0, "B", 2, 10, 5, 5, 100);
+  EXPECT_TRUE(
+      ClassificationRule::BetterThan(high_conf, high_lift, segments));
 }
 
 TEST(RuleOrderingTest, LiftBreaksConfidenceTies) {
-  const auto small_class = MakeRule(0, "A", 1, 10, 10, 10, 100);  // lift 10
-  const auto big_class = MakeRule(0, "B", 2, 50, 50, 50, 100);    // lift 2
+  util::StringInterner segments;
+  const auto small_class =
+      MakeRule(&segments, 0, "A", 1, 10, 10, 10, 100);  // lift 10
+  const auto big_class =
+      MakeRule(&segments, 0, "B", 2, 50, 50, 50, 100);  // lift 2
   EXPECT_DOUBLE_EQ(small_class.confidence, big_class.confidence);
   // Higher lift = smaller subspace first (§4.4).
-  EXPECT_TRUE(ClassificationRule::BetterThan(small_class, big_class));
+  EXPECT_TRUE(
+      ClassificationRule::BetterThan(small_class, big_class, segments));
 }
 
 TEST(RuleOrderingTest, DeterministicFinalTieBreak) {
-  const auto a = MakeRule(0, "A", 1, 10, 10, 10, 100);
-  const auto b = MakeRule(0, "B", 1, 10, 10, 10, 100);
-  EXPECT_TRUE(ClassificationRule::BetterThan(a, b) ||
-              ClassificationRule::BetterThan(b, a));
-  EXPECT_FALSE(ClassificationRule::BetterThan(a, a));
+  util::StringInterner segments;
+  const auto a = MakeRule(&segments, 0, "A", 1, 10, 10, 10, 100);
+  const auto b = MakeRule(&segments, 0, "B", 1, 10, 10, 10, 100);
+  EXPECT_TRUE(ClassificationRule::BetterThan(a, b, segments) ||
+              ClassificationRule::BetterThan(b, a, segments));
+  EXPECT_FALSE(ClassificationRule::BetterThan(a, a, segments));
+}
+
+TEST(RuleOrderingTest, SegmentTieBreakIsLexicalNotIdOrder) {
+  // Intern in reverse lexical order: the ordering contract is on the
+  // segment STRING, so "A" must still beat "B" even though B's id is
+  // smaller.
+  util::StringInterner segments;
+  const auto b = MakeRule(&segments, 0, "B", 1, 10, 10, 10, 100);  // id 0
+  const auto a = MakeRule(&segments, 0, "A", 1, 10, 10, 10, 100);  // id 1
+  EXPECT_GT(a.segment, b.segment);
+  EXPECT_TRUE(ClassificationRule::BetterThan(a, b, segments));
+  EXPECT_FALSE(ClassificationRule::BetterThan(b, a, segments));
 }
 
 TEST(RuleToStringTest, RendersPaperSyntax) {
@@ -117,8 +156,11 @@ TEST(RuleToStringTest, RendersPaperSyntax) {
   RL_CHECK_OK(onto.Finalize());
   PropertyCatalog properties;
   properties.Intern("partNumber");
-  const auto rule = MakeRule(0, "ohm", cls, 10, 10, 10, 100);
-  const std::string s = RuleToString(rule, properties, onto);
+  util::StringInterner segments;
+  std::vector<ClassificationRule> rules;
+  rules.push_back(MakeRule(&segments, 0, "ohm", cls, 10, 10, 10, 100));
+  const RuleSet set(std::move(rules), properties, segments);
+  const std::string s = RuleToString(set.rules()[0], set, onto);
   EXPECT_NE(s.find("partNumber(X,Y)"), std::string::npos);
   EXPECT_NE(s.find("subsegment(Y,\"ohm\")"), std::string::npos);
   EXPECT_NE(s.find("Fixed film resistance(X)"), std::string::npos);

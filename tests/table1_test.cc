@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "text/segmenter.h"
+#include "util/interner.h"
 #include "util/logging.h"
 
 namespace rulelink::eval {
@@ -15,13 +16,20 @@ using core::PropertyCatalog;
 using core::RuleCounts;
 using core::RuleSet;
 
+// Shared symbol table for hand-built test rules; RuleSet re-interns
+// compactly, so sharing ids across fixtures is harmless.
+rulelink::util::StringInterner& TestSegments() {
+  static rulelink::util::StringInterner* interner = new rulelink::util::StringInterner();
+  return *interner;
+}
+
 ClassificationRule MakeRule(const std::string& segment,
                             ontology::ClassId cls, std::size_t premise,
                             std::size_t class_count, std::size_t joint,
                             std::size_t total) {
   ClassificationRule rule;
   rule.property = 0;
-  rule.segment = segment;
+  rule.segment = TestSegments().Intern(segment);
   rule.cls = cls;
   rule.counts = RuleCounts{premise, class_count, joint, total};
   rule.ComputeMeasures();
@@ -52,7 +60,8 @@ class Table1Test : public ::testing::Test {
     std::vector<ClassificationRule> rules;
     rules.push_back(MakeRule("AAA", a_, 6, 6, 6, 12));   // conf 1
     rules.push_back(MakeRule("BBB", b_, 5, 4, 4, 12));   // conf 0.8
-    set_ = std::make_unique<RuleSet>(std::move(rules), properties);
+    set_ = std::make_unique<RuleSet>(std::move(rules), properties,
+                                     TestSegments());
   }
 
   void Add(const std::string& pn, ontology::ClassId cls) {

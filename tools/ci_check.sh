@@ -29,11 +29,16 @@ run_config() {
   echo "=== ${sanitizer} sanitizer: configure + build (${build_dir}) ==="
   # Benchmarks and examples are not needed to validate the library under a
   # sanitizer, and skipping them roughly halves the instrumented build.
+  local launcher_args=()
+  if command -v ccache >/dev/null 2>&1; then
+    launcher_args+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+  fi
   cmake -B "${build_dir}" -S "${ROOT}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DRULELINK_SANITIZE="${sanitizer}" \
     -DRULELINK_BUILD_BENCHMARKS=OFF \
-    -DRULELINK_BUILD_EXAMPLES=OFF
+    -DRULELINK_BUILD_EXAMPLES=OFF \
+    "${launcher_args[@]}"
   cmake --build "${build_dir}" -j "${JOBS}"
 
   echo "=== ${sanitizer} sanitizer: ctest ==="
