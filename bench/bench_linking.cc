@@ -1,0 +1,339 @@
+// Experiment E6: the linking hot path. The paper's rules shrink the
+// comparison space; this bench measures what each surviving comparison
+// costs. The reference path (ItemMatcher::Score) re-tokenizes and
+// re-bigrams both value strings for every candidate pair; the cached
+// pipeline builds per-source FeatureCaches once and streams the
+// candidates through ItemMatcher::ScoreCached — sort-merge token measures
+// over dense ids, measure dispatch hoisted out of the pair loop, and a
+// per-worker (value, value, measure) memo that exploits how heavily
+// catalog values repeat. Links are byte-identical by construction (see
+// linking_cached_differential_test); this binary records the wall-time
+// and memo economics to BENCH_linking.json.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "blocking/standard_blocking.h"
+#include "linking/evaluation.h"
+#include "linking/feature_cache.h"
+#include "linking/linker.h"
+#include "linking/matcher.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace rulelink::bench {
+namespace {
+
+constexpr double kThreshold = 0.6;
+
+// The matcher the cache is built for: token and bigram measures on the
+// part number (sort-merges over dense ids once cached), Monge-Elkan and
+// Jaro-Winkler on the manufacturer name, whose values repeat across the
+// catalog and so hit the score memo, and an exact check that collapses to
+// a value-id comparison.
+linking::ItemMatcher PipelineMatcher() {
+  return linking::ItemMatcher({
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kJaccardTokens, 2.0},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kDiceBigram, 1.5},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kExact, 1.0},
+      {datagen::props::kManufacturer, datagen::props::kManufacturer,
+       linking::SimilarityMeasure::kMongeElkan, 1.0},
+      {datagen::props::kManufacturer, datagen::props::kManufacturer,
+       linking::SimilarityMeasure::kJaroWinkler, 0.5},
+  });
+}
+
+struct Fixture {
+  const datagen::Dataset* dataset = nullptr;
+  linking::ItemMatcher matcher;
+  std::vector<blocking::CandidatePair> candidates;
+
+  Fixture() : matcher(PipelineMatcher()) {
+    dataset = &PaperDataset();
+    const blocking::StandardBlocker blocker(datagen::props::kPartNumber,
+                                            /*prefix_length=*/4);
+    candidates =
+        blocker.Generate(dataset->external_items, dataset->catalog_items);
+  }
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+struct CachedTimings {
+  double build_ms = 0.0;  // dictionary + both caches
+  double run_ms = 0.0;    // RunCached over the candidates
+  double total_ms() const { return build_ms + run_ms; }
+  linking::ScoreMemoStats memo;
+  linking::LinkerStats stats;
+  std::size_t links = 0;
+  std::size_t distinct_values = 0;
+  std::size_t dictionary_symbols = 0;
+  std::size_t dictionary_bytes = 0;
+};
+
+CachedTimings TimeCachedOnce(const Fixture& fixture,
+                             std::size_t num_threads) {
+  CachedTimings timings;
+  util::Stopwatch build_timer;
+  linking::FeatureDictionary dict;
+  const auto external = linking::FeatureCache::Build(
+      fixture.dataset->external_items, fixture.matcher,
+      linking::FeatureCache::Side::kExternal, &dict, num_threads);
+  const auto local = linking::FeatureCache::Build(
+      fixture.dataset->catalog_items, fixture.matcher,
+      linking::FeatureCache::Side::kLocal, &dict, num_threads);
+  timings.build_ms = build_timer.ElapsedMillis();
+  timings.distinct_values = dict.num_values();
+  timings.dictionary_symbols = dict.num_symbols();
+  timings.dictionary_bytes = dict.memory_bytes();
+
+  const linking::Linker linker(&fixture.matcher, kThreshold);
+  util::Stopwatch run_timer;
+  const auto links =
+      linker.RunCached(external, local, fixture.candidates, &timings.stats,
+                       num_threads, &timings.memo);
+  timings.run_ms = run_timer.ElapsedMillis();
+  timings.links = links.size();
+  return timings;
+}
+
+// The headline comparison: reference string-path Run vs cache build +
+// RunCached, single-threaded (the per-comparison economics, not the
+// parallel scaling — that is the sweep below). Warm-up once, then
+// best-of-3, matching the learner bench protocol.
+std::string PrintCachedPipelineReport() {
+  const Fixture& fixture = GetFixture();
+  const linking::Linker linker(&fixture.matcher, kThreshold);
+  std::cout << "=== E6: cached vs reference linking pipeline ("
+            << fixture.dataset->external_items.size() << " external x "
+            << fixture.dataset->catalog_items.size() << " catalog, "
+            << fixture.candidates.size() << " candidates) ===\n";
+
+  linking::LinkerStats ref_stats;
+  auto reference_links =
+      linker.Run(fixture.dataset->external_items,
+                 fixture.dataset->catalog_items, fixture.candidates,
+                 &ref_stats, /*num_threads=*/1);  // warm-up
+  double reference_ms = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    util::Stopwatch timer;
+    reference_links =
+        linker.Run(fixture.dataset->external_items,
+                   fixture.dataset->catalog_items, fixture.candidates,
+                   &ref_stats, /*num_threads=*/1);
+    const double ms = timer.ElapsedMillis();
+    if (rep == 0 || ms < reference_ms) reference_ms = ms;
+  }
+
+  CachedTimings cached = TimeCachedOnce(fixture, 1);  // warm-up
+  for (int rep = 0; rep < 3; ++rep) {
+    const CachedTimings t = TimeCachedOnce(fixture, 1);
+    if (t.total_ms() < cached.total_ms()) cached = t;
+  }
+  RL_CHECK(cached.links == reference_links.size());
+  RL_CHECK(cached.stats.comparisons == ref_stats.comparisons);
+
+  const double speedup =
+      cached.total_ms() > 0.0 ? reference_ms / cached.total_ms() : 0.0;
+  util::TextTable table({"pipeline", "time (ms)", "comparisons", "links",
+                         "memo hit rate"});
+  table.AddRow({"reference (string path)",
+                util::FormatDouble(reference_ms, 1),
+                std::to_string(ref_stats.comparisons),
+                std::to_string(reference_links.size()), "-"});
+  table.AddRow({"cached (build + fused run)",
+                util::FormatDouble(cached.total_ms(), 1),
+                std::to_string(cached.stats.comparisons),
+                std::to_string(cached.links),
+                util::FormatDouble(cached.memo.hit_rate() * 100.0, 1) +
+                    "%"});
+  std::cout << table.ToText() << "cache build: "
+            << util::FormatDouble(cached.build_ms, 1) << " ms ("
+            << cached.distinct_values << " distinct values, "
+            << cached.dictionary_symbols << " symbols, "
+            << util::FormatDouble(
+                   static_cast<double>(cached.dictionary_bytes) / 1024.0, 1)
+            << " KiB); speedup: " << util::FormatDouble(speedup, 2)
+            << "x (identical links; differential-tested)\n\n";
+
+  std::string json = "  \"pipeline\": {\n";
+  json += "    \"candidates\": " +
+          std::to_string(fixture.candidates.size()) + ",\n";
+  json += "    \"comparisons\": " +
+          std::to_string(cached.stats.comparisons) + ",\n";
+  json += "    \"links\": " + std::to_string(cached.links) + ",\n";
+  json += "    \"reference_ms\": " + util::FormatDouble(reference_ms, 3) +
+          ",\n";
+  json += "    \"cache_build_ms\": " +
+          util::FormatDouble(cached.build_ms, 3) + ",\n";
+  json += "    \"cached_run_ms\": " + util::FormatDouble(cached.run_ms, 3) +
+          ",\n";
+  json += "    \"cached_total_ms\": " +
+          util::FormatDouble(cached.total_ms(), 3) + ",\n";
+  json += "    \"speedup_vs_reference\": " +
+          util::FormatDouble(speedup, 3) + ",\n";
+  json += "    \"memo_lookups\": " + std::to_string(cached.memo.lookups) +
+          ",\n";
+  json += "    \"memo_hits\": " + std::to_string(cached.memo.hits) + ",\n";
+  json += "    \"memo_hit_rate\": " +
+          util::FormatDouble(cached.memo.hit_rate(), 4) + ",\n";
+  json += "    \"distinct_values\": " +
+          std::to_string(cached.distinct_values) + ",\n";
+  json += "    \"dictionary_symbols\": " +
+          std::to_string(cached.dictionary_symbols) + ",\n";
+  json += "    \"dictionary_bytes\": " +
+          std::to_string(cached.dictionary_bytes) + "\n  },\n";
+  return json;
+}
+
+// Thread-count sweep of the full cached pipeline (cache build included),
+// recorded to BENCH_linking.json. Resolved worker counts clamp to the
+// hardware, so on a 1-core host every point beyond 1 measures the same
+// serial path plus sharding overhead.
+void PrintThreadSweepReport(const std::string& pipeline_json) {
+  const Fixture& fixture = GetFixture();
+  std::cout << "=== E6b: cached pipeline thread-count sweep ("
+            << fixture.candidates.size()
+            << " candidates, hardware_concurrency = "
+            << std::thread::hardware_concurrency() << ") ===\n";
+  util::TextTable table(
+      {"threads", "total (ms)", "build (ms)", "run (ms)", "speedup vs 1"});
+  std::vector<ThreadSweepPoint> points;
+  double serial_ms = 0.0;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    CachedTimings best = TimeCachedOnce(fixture, threads);  // warm-up
+    for (int rep = 0; rep < 3; ++rep) {
+      const CachedTimings t = TimeCachedOnce(fixture, threads);
+      if (t.total_ms() < best.total_ms()) best = t;
+    }
+    if (threads == 1) serial_ms = best.total_ms();
+    points.push_back({threads, best.total_ms()});
+    table.AddRow({std::to_string(threads),
+                  util::FormatDouble(best.total_ms(), 1),
+                  util::FormatDouble(best.build_ms, 1),
+                  util::FormatDouble(best.run_ms, 1),
+                  serial_ms > 0.0
+                      ? util::FormatDouble(serial_ms / best.total_ms(), 2) +
+                            "x"
+                      : "-"});
+  }
+  WriteThreadSweepJson("linking",
+                       "Cached linking pipeline on the paper-scale corpus",
+                       points, pipeline_json);
+  std::cout << table.ToText()
+            << "(identical links at every thread count; trajectory written "
+               "to BENCH_linking.json)\n\n";
+}
+
+void BM_ScoreReferencePair(benchmark::State& state) {
+  const Fixture& fixture = GetFixture();
+  const auto& candidates = fixture.candidates;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& pair = candidates[i % candidates.size()];
+    benchmark::DoNotOptimize(fixture.matcher.Score(
+        fixture.dataset->external_items[pair.external_index],
+        fixture.dataset->catalog_items[pair.local_index]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScoreReferencePair);
+
+void BM_ScoreCachedPair(benchmark::State& state) {
+  const Fixture& fixture = GetFixture();
+  const bool use_memo = state.range(0) != 0;
+  linking::FeatureDictionary dict;
+  const auto external = linking::FeatureCache::Build(
+      fixture.dataset->external_items, fixture.matcher,
+      linking::FeatureCache::Side::kExternal, &dict, 1);
+  const auto local = linking::FeatureCache::Build(
+      fixture.dataset->catalog_items, fixture.matcher,
+      linking::FeatureCache::Side::kLocal, &dict, 1);
+  linking::ScoreMemo memo;
+  const auto& candidates = fixture.candidates;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& pair = candidates[i % candidates.size()];
+    benchmark::DoNotOptimize(fixture.matcher.ScoreCached(
+        external, pair.external_index, local, pair.local_index,
+        use_memo ? &memo : nullptr));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScoreCachedPair)
+    ->Arg(0)   // no memo: pure dense-id scoring
+    ->Arg(1);  // with memo: steady-state catalog-value reuse
+
+void BM_CacheBuild(benchmark::State& state) {
+  const Fixture& fixture = GetFixture();
+  for (auto _ : state) {
+    linking::FeatureDictionary dict;
+    const auto external = linking::FeatureCache::Build(
+        fixture.dataset->external_items, fixture.matcher,
+        linking::FeatureCache::Side::kExternal, &dict, 1);
+    const auto local = linking::FeatureCache::Build(
+        fixture.dataset->catalog_items, fixture.matcher,
+        linking::FeatureCache::Side::kLocal, &dict, 1);
+    benchmark::DoNotOptimize(local.num_items());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(fixture.dataset->external_items.size() +
+                                fixture.dataset->catalog_items.size()));
+}
+BENCHMARK(BM_CacheBuild)->Unit(benchmark::kMillisecond);
+
+void BM_RunCachedThreads(benchmark::State& state) {
+  const Fixture& fixture = GetFixture();
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  linking::FeatureDictionary dict;
+  const auto external = linking::FeatureCache::Build(
+      fixture.dataset->external_items, fixture.matcher,
+      linking::FeatureCache::Side::kExternal, &dict, 1);
+  const auto local = linking::FeatureCache::Build(
+      fixture.dataset->catalog_items, fixture.matcher,
+      linking::FeatureCache::Side::kLocal, &dict, 1);
+  const linking::Linker linker(&fixture.matcher, kThreshold);
+  for (auto _ : state) {
+    const auto links =
+        linker.RunCached(external, local, fixture.candidates, nullptr,
+                         threads);
+    benchmark::DoNotOptimize(links.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(fixture.candidates.size()));
+}
+BENCHMARK(BM_RunCachedThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rulelink::bench
+
+int main(int argc, char** argv) {
+  const std::string pipeline_json =
+      rulelink::bench::PrintCachedPipelineReport();
+  rulelink::bench::PrintThreadSweepReport(pipeline_json);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "util/interner.h"
@@ -16,6 +15,11 @@ RuleClassifier::RuleClassifier(const RuleSet* rules,
     : rules_(rules), segmenter_(segmenter) {
   RL_CHECK(rules_ != nullptr);
   RL_CHECK(segmenter_ != nullptr);
+  for (const ClassificationRule& rule : rules_->rules()) {
+    RL_DCHECK(rule.cls != ontology::kInvalidClassId);
+    num_class_slots_ =
+        std::max(num_class_slots_, static_cast<std::size_t>(rule.cls) + 1);
+  }
 }
 
 std::vector<ClassPrediction> RuleClassifier::Classify(
@@ -47,32 +51,47 @@ std::vector<ClassPrediction> RuleClassifier::Classify(
                  premises.end());
 
   // Fire rules; keep only the best rule per predicted class so identical
-  // subspaces are not ranked twice.
-  std::unordered_map<ontology::ClassId, ClassPrediction> best_per_class;
+  // subspaces are not ranked twice. ClassIds are dense (interned by the
+  // ontology), so best-per-class lives in a flat scratch vector indexed
+  // by ClassId instead of a hash map — no hashing per fired rule, and the
+  // scratch is reused across calls on the same thread. `touched` records
+  // which slots were written so the reset is O(fired classes), not
+  // O(num_class_slots_).
+  struct ClassifyScratch {
+    std::vector<ClassPrediction> best;        // slot c: best rule for class c
+    std::vector<ontology::ClassId> touched;   // slots to reset afterwards
+  };
+  thread_local ClassifyScratch scratch;
+  if (scratch.best.size() < num_class_slots_) {
+    scratch.best.resize(num_class_slots_);
+  }
+  scratch.touched.clear();
+
   const auto& all_rules = rules_->rules();
   for (const std::uint64_t premise : premises) {
     for (std::size_t rule_index :
          rules_->RulesFor(util::PackedHi(premise), util::PackedLo(premise))) {
       const ClassificationRule& rule = all_rules[rule_index];
       if (rule.confidence < min_confidence) continue;
-      ClassPrediction prediction{rule.cls, rule.confidence, rule.lift,
-                                 rule_index};
-      auto [it, inserted] = best_per_class.try_emplace(rule.cls, prediction);
-      if (!inserted) {
-        const ClassPrediction& cur = it->second;
-        if (prediction.confidence > cur.confidence ||
-            (prediction.confidence == cur.confidence &&
-             prediction.lift > cur.lift)) {
-          it->second = prediction;
-        }
+      ClassPrediction& cur = scratch.best[rule.cls];
+      if (cur.cls == ontology::kInvalidClassId) {
+        cur = ClassPrediction{rule.cls, rule.confidence, rule.lift,
+                              rule_index};
+        scratch.touched.push_back(rule.cls);
+      } else if (rule.confidence > cur.confidence ||
+                 (rule.confidence == cur.confidence &&
+                  rule.lift > cur.lift)) {
+        cur = ClassPrediction{rule.cls, rule.confidence, rule.lift,
+                              rule_index};
       }
     }
   }
 
   std::vector<ClassPrediction> predictions;
-  predictions.reserve(best_per_class.size());
-  for (const auto& [cls, prediction] : best_per_class) {
-    predictions.push_back(prediction);
+  predictions.reserve(scratch.touched.size());
+  for (const ontology::ClassId cls : scratch.touched) {
+    predictions.push_back(scratch.best[cls]);
+    scratch.best[cls] = ClassPrediction{};  // restore the sentinel
   }
   std::sort(predictions.begin(), predictions.end(),
             [](const ClassPrediction& a, const ClassPrediction& b) {

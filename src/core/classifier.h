@@ -55,6 +55,10 @@ class RuleClassifier {
  private:
   const RuleSet* rules_;
   const text::Segmenter* segmenter_;
+  // One scratch slot per dense ClassId a rule can predict (max cls + 1),
+  // so Classify can keep best-per-class in a flat vector instead of a
+  // hash map. Computed once here; the borrowed RuleSet is immutable.
+  std::size_t num_class_slots_ = 0;
 };
 
 }  // namespace rulelink::core

@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "linking/feature_cache.h"
+
 namespace rulelink::linking {
 
 LinkageQuality EvaluateLinks(
@@ -31,6 +33,36 @@ LinkageQuality EvaluateLinks(
                  (quality.precision + quality.recall);
   }
   return quality;
+}
+
+LinkagePipelineResult RunCachedLinkagePipeline(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local,
+    const blocking::CandidateGenerator& generator, const ItemMatcher& matcher,
+    double threshold, Linker::Strategy strategy,
+    const std::vector<blocking::CandidatePair>* gold,
+    std::size_t num_threads) {
+  FeatureDictionary dict;
+  const FeatureCache external_features = FeatureCache::Build(
+      external, matcher, FeatureCache::Side::kExternal, &dict, num_threads);
+  const FeatureCache local_features = FeatureCache::Build(
+      local, matcher, FeatureCache::Side::kLocal, &dict, num_threads);
+
+  const std::vector<blocking::CandidatePair> candidates =
+      generator.Generate(external, local);
+
+  LinkagePipelineResult result;
+  result.num_candidates = candidates.size();
+  result.distinct_values = dict.num_values();
+  result.dictionary_symbols = dict.num_symbols();
+  result.dictionary_bytes = dict.memory_bytes();
+
+  const Linker linker(&matcher, threshold, strategy);
+  result.links = linker.RunCached(external_features, local_features,
+                                  candidates, &result.stats, num_threads,
+                                  &result.memo);
+  if (gold != nullptr) result.quality = EvaluateLinks(result.links, *gold);
+  return result;
 }
 
 }  // namespace rulelink::linking

@@ -22,6 +22,35 @@ struct LinkageQuality {
 LinkageQuality EvaluateLinks(const std::vector<Link>& links,
                              const std::vector<blocking::CandidatePair>& gold);
 
+// Everything the fused cached pipeline produces in one pass.
+struct LinkagePipelineResult {
+  std::vector<Link> links;
+  LinkerStats stats;
+  ScoreMemoStats memo;      // aggregated over the linker's workers
+  LinkageQuality quality;   // zero-initialized unless `gold` was given
+  std::size_t num_candidates = 0;
+  std::size_t distinct_values = 0;     // dictionary build statistics
+  std::size_t dictionary_symbols = 0;  // values + tokens + bigrams
+  std::size_t dictionary_bytes = 0;
+};
+
+// The fused linking pipeline over any candidate generator (the classic
+// blockers or the paper's RuleBlocker): builds one shared
+// FeatureDictionary and both per-source FeatureCaches up front (parallel,
+// `num_threads` workers), generates candidates, streams them through
+// Linker::RunCached, and — when `gold` is non-null — evaluates the links.
+// Links, order and LinkerStats are byte-identical to generating the
+// candidates and calling Linker::Run with the same strategy/threshold at
+// every thread count.
+LinkagePipelineResult RunCachedLinkagePipeline(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local,
+    const blocking::CandidateGenerator& generator, const ItemMatcher& matcher,
+    double threshold,
+    Linker::Strategy strategy = Linker::Strategy::kBestPerExternal,
+    const std::vector<blocking::CandidatePair>* gold = nullptr,
+    std::size_t num_threads = 0);
+
 }  // namespace rulelink::linking
 
 #endif  // RULELINK_LINKING_EVALUATION_H_

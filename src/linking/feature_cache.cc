@@ -1,0 +1,238 @@
+#include "linking/feature_cache.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace rulelink::linking {
+namespace {
+
+// The separators JaccardTokenSimilarity and MongeElkanSimilarity split on;
+// the cached measures are only byte-identical if tokenization matches.
+constexpr char kTokenSeparators[] = " \t\n\r";
+
+}  // namespace
+
+void FeatureDictionary::EnsureSlot(ValueId id) {
+  if (id >= spans_.size()) spans_.resize(id + 1);
+}
+
+std::uint32_t FeatureDictionary::AppendSorted(
+    const std::vector<text::TokenId>& ids, std::vector<text::TokenId>* pool) {
+  const std::size_t begin = pool->size();
+  pool->insert(pool->end(), ids.begin(), ids.end());
+  std::sort(pool->begin() + begin, pool->end());
+  std::uint32_t unique = 0;
+  for (std::size_t i = begin; i < pool->size(); ++i) {
+    if (i == begin || (*pool)[i] != (*pool)[i - 1]) ++unique;
+  }
+  return unique;
+}
+
+void FeatureDictionary::BuildFeatures(ValueId id) {
+  const std::string_view value = strings_.View(id);
+
+  std::vector<text::TokenId> token_ids;
+  {
+    const auto token_views = util::SplitAny(value, kTokenSeparators);
+    token_ids.reserve(token_views.size());
+    for (std::string_view token : token_views) {
+      token_ids.push_back(strings_.Intern(token));
+    }
+  }
+  std::vector<text::TokenId> bigram_ids;
+  {
+    std::vector<std::string_view> gram_views;
+    text::CharacterBigramViews(value, &gram_views);
+    bigram_ids.reserve(gram_views.size());
+    for (std::string_view gram : gram_views) {
+      bigram_ids.push_back(strings_.Intern(gram));
+    }
+  }
+
+  RL_CHECK(ordered_tokens_.size() + token_ids.size() <
+           std::numeric_limits<std::uint32_t>::max());
+  RL_CHECK(sorted_bigrams_.size() + bigram_ids.size() <
+           std::numeric_limits<std::uint32_t>::max());
+
+  // Interning the tokens/bigrams may have grown the symbol table past the
+  // spans table; re-establish the slot before writing through it.
+  EnsureSlot(id);
+  Spans& spans = spans_[id];
+  spans.tok_begin = static_cast<std::uint32_t>(ordered_tokens_.size());
+  ordered_tokens_.insert(ordered_tokens_.end(), token_ids.begin(),
+                         token_ids.end());
+  spans.tok_end = static_cast<std::uint32_t>(ordered_tokens_.size());
+  spans.tok_unique = AppendSorted(token_ids, &sorted_tokens_);
+  spans.big_begin = static_cast<std::uint32_t>(sorted_bigrams_.size());
+  AppendSorted(bigram_ids, &sorted_bigrams_);
+  spans.big_end = static_cast<std::uint32_t>(sorted_bigrams_.size());
+  spans.built = true;
+  ++num_values_;
+}
+
+ValueId FeatureDictionary::AddValue(std::string_view value) {
+  const ValueId id = strings_.Intern(value);
+  EnsureSlot(id);
+  if (spans_[id].built) {
+    ++values_reused_;
+    return id;
+  }
+  BuildFeatures(id);
+  return id;
+}
+
+FeatureDictionary::ValueFeatures FeatureDictionary::Features(
+    ValueId id) const {
+  RL_DCHECK(id < spans_.size() && spans_[id].built)
+      << "Features() of a symbol that is not a built value";
+  const Spans& spans = spans_[id];
+  ValueFeatures features;
+  features.text = strings_.View(id);
+  features.ordered_tokens = ordered_tokens_.data() + spans.tok_begin;
+  features.sorted_tokens = sorted_tokens_.data() + spans.tok_begin;
+  features.num_tokens = spans.tok_end - spans.tok_begin;
+  features.num_unique_tokens = spans.tok_unique;
+  features.sorted_bigrams = sorted_bigrams_.data() + spans.big_begin;
+  features.num_bigrams = spans.big_end - spans.big_begin;
+  return features;
+}
+
+std::vector<ValueId> FeatureDictionary::Absorb(
+    const FeatureDictionary& local) {
+  std::vector<ValueId> remap(local.strings_.size(), util::kInvalidSymbolId);
+  for (ValueId id = 0; id < local.strings_.size(); ++id) {
+    remap[id] = strings_.Intern(local.strings_.View(id));
+  }
+  std::vector<text::TokenId> scratch;
+  for (ValueId id = 0; id < local.spans_.size(); ++id) {
+    const Spans& src = local.spans_[id];
+    if (!src.built) continue;
+    const ValueId global = remap[id];
+    EnsureSlot(global);
+    if (spans_[global].built) {
+      ++values_reused_;
+      continue;
+    }
+    // Re-state the value's features in this dictionary's id universe. The
+    // sorted sequences must be re-sorted because the remap does not
+    // preserve id order; cardinalities (all any scorer reads from them)
+    // are unaffected.
+    Spans& dst = spans_[global];
+    dst.tok_begin = static_cast<std::uint32_t>(ordered_tokens_.size());
+    scratch.clear();
+    for (std::uint32_t i = src.tok_begin; i < src.tok_end; ++i) {
+      scratch.push_back(remap[local.ordered_tokens_[i]]);
+    }
+    ordered_tokens_.insert(ordered_tokens_.end(), scratch.begin(),
+                           scratch.end());
+    dst.tok_end = static_cast<std::uint32_t>(ordered_tokens_.size());
+    dst.tok_unique = AppendSorted(scratch, &sorted_tokens_);
+    scratch.clear();
+    for (std::uint32_t i = src.big_begin; i < src.big_end; ++i) {
+      scratch.push_back(remap[local.sorted_bigrams_[i]]);
+    }
+    dst.big_begin = static_cast<std::uint32_t>(sorted_bigrams_.size());
+    AppendSorted(scratch, &sorted_bigrams_);
+    dst.big_end = static_cast<std::uint32_t>(sorted_bigrams_.size());
+    dst.built = true;
+    ++num_values_;
+  }
+  return remap;
+}
+
+std::size_t FeatureDictionary::memory_bytes() const {
+  return strings_.arena_bytes() + spans_.capacity() * sizeof(Spans) +
+         (ordered_tokens_.capacity() + sorted_tokens_.capacity() +
+          sorted_bigrams_.capacity()) *
+             sizeof(text::TokenId);
+}
+
+FeatureCache FeatureCache::Build(const std::vector<core::Item>& items,
+                                 const ItemMatcher& matcher, Side side,
+                                 FeatureDictionary* dict,
+                                 std::size_t num_threads) {
+  RL_CHECK(dict != nullptr);
+  const auto& rules = matcher.rules();
+  std::vector<const std::string*> properties;
+  properties.reserve(rules.size());
+  for (const AttributeRule& rule : rules) {
+    properties.push_back(side == Side::kExternal ? &rule.external_property
+                                                 : &rule.local_property);
+  }
+
+  FeatureCache cache;
+  cache.dict_ = dict;
+  cache.num_items_ = items.size();
+  cache.num_rules_ = rules.size();
+  cache.offsets_.reserve(items.size() * rules.size() + 1);
+  cache.offsets_.push_back(0);
+
+  // One slot per (item, rule): append the ids of the item's values under
+  // that rule's property. `emit` flushes one slot's ids into the cache.
+  const auto finish_slot = [&cache] {
+    RL_CHECK(cache.value_ids_.size() <
+             std::numeric_limits<std::uint32_t>::max());
+    cache.offsets_.push_back(
+        static_cast<std::uint32_t>(cache.value_ids_.size()));
+  };
+
+  const std::size_t chunks = util::ParallelChunks(num_threads, items.size());
+  if (chunks <= 1) {
+    // Serial path: intern straight into the shared dictionary.
+    for (const core::Item& item : items) {
+      for (const std::string* property : properties) {
+        for (const core::PropertyValue& fact : item.facts) {
+          if (fact.property != *property) continue;
+          cache.value_ids_.push_back(dict->AddValue(fact.value));
+        }
+        finish_slot();
+      }
+    }
+    return cache;
+  }
+
+  // Parallel path: each chunk builds into a private dictionary (interning
+  // is not thread-safe), then the chunks are folded into the shared one in
+  // chunk order — the same merge discipline as the learner's sharded
+  // counting (DESIGN.md §5b).
+  struct Shard {
+    FeatureDictionary dict;
+    std::vector<ValueId> ids;           // slot-major, chunk-local ids
+    std::vector<std::uint32_t> counts;  // ids per slot
+  };
+  std::vector<Shard> shards(chunks);
+  util::ParallelFor(
+      num_threads, items.size(),
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        Shard& shard = shards[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          for (const std::string* property : properties) {
+            std::uint32_t count = 0;
+            for (const core::PropertyValue& fact : items[i].facts) {
+              if (fact.property != *property) continue;
+              shard.ids.push_back(shard.dict.AddValue(fact.value));
+              ++count;
+            }
+            shard.counts.push_back(count);
+          }
+        }
+      });
+  for (Shard& shard : shards) {
+    const std::vector<ValueId> remap = dict->Absorb(shard.dict);
+    std::size_t next = 0;
+    for (const std::uint32_t count : shard.counts) {
+      for (std::uint32_t k = 0; k < count; ++k) {
+        cache.value_ids_.push_back(remap[shard.ids[next++]]);
+      }
+      finish_slot();
+    }
+  }
+  RL_CHECK(cache.offsets_.size() == items.size() * rules.size() + 1);
+  return cache;
+}
+
+}  // namespace rulelink::linking

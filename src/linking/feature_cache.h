@@ -1,0 +1,166 @@
+// Precomputed per-item features for the linking hot path.
+//
+// ItemMatcher::Score re-tokenizes and re-bigrams both raw value strings
+// for every candidate pair, so an item scored against k candidates pays
+// its string-preparation cost k times. The feature cache moves that work
+// to a build phase that runs once per item (in parallel via
+// util::ParallelFor): for every distinct property value it interns the
+// value itself plus its whitespace tokens and character bigrams through a
+// shared util::StringInterner, and stores the token/bigram id sequences
+// the cached scorer needs. Part catalogs repeat values heavily, so the
+// dictionary doubles as a build-time memo: a value seen before costs one
+// hash lookup, not a re-tokenization.
+//
+// Ownership and lifetime (see DESIGN.md §5d):
+//   * FeatureDictionary owns the StringInterner and the pooled feature
+//     arrays. It is append-only and shared by every cache scored against
+//     the same matcher, so value ids are comparable across sources (the
+//     kExact measure and the scoring memo key on them).
+//   * FeatureCache borrows the dictionary and indexes it per (item, rule)
+//     slot. It holds no string data of its own; the backing item vector
+//     may be destroyed after Build returns.
+//   * Both are immutable once built. They never observe later mutations
+//     of the item vectors: edit the items (or the matcher's rules) and
+//     the caches must be rebuilt.
+//
+// Determinism: the parallel build gives worker chunks their own local
+// dictionary and merges them into the shared one in chunk order. Id
+// *numbering* therefore depends on the thread count, but every score is a
+// pure function of the underlying strings (ids are only compared for
+// equality or sort-merged, and set/multiset intersection cardinalities are
+// invariant under any consistent renumbering), so cached scores — and the
+// links built from them — are byte-identical to the string path at every
+// thread count.
+#ifndef RULELINK_LINKING_FEATURE_CACHE_H_
+#define RULELINK_LINKING_FEATURE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/item.h"
+#include "linking/matcher.h"
+#include "text/similarity.h"
+#include "util/interner.h"
+
+namespace rulelink::linking {
+
+// Dense id of an interned property value (a util::SymbolId in the
+// dictionary's symbol universe, which also contains tokens and bigrams).
+using ValueId = util::SymbolId;
+
+class FeatureDictionary {
+ public:
+  // Read-only view of one distinct value's precomputed features. Pointers
+  // alias the dictionary pools and stay valid for its lifetime.
+  struct ValueFeatures {
+    std::string_view text;                  // the value string itself
+    const text::TokenId* ordered_tokens = nullptr;  // occurrence order
+    const text::TokenId* sorted_tokens = nullptr;   // sorted by id
+    std::uint32_t num_tokens = 0;
+    std::uint32_t num_unique_tokens = 0;
+    const text::TokenId* sorted_bigrams = nullptr;  // sorted by id
+    std::uint32_t num_bigrams = 0;
+  };
+
+  FeatureDictionary() = default;
+  FeatureDictionary(const FeatureDictionary&) = delete;
+  FeatureDictionary& operator=(const FeatureDictionary&) = delete;
+  FeatureDictionary(FeatureDictionary&&) noexcept = default;
+  FeatureDictionary& operator=(FeatureDictionary&&) noexcept = default;
+
+  // Interns `value` and builds its features on first sight; a repeated
+  // value is a single hash lookup (the build-time memo).
+  ValueId AddValue(std::string_view value);
+
+  // Features of a value previously returned by AddValue/Absorb.
+  ValueFeatures Features(ValueId id) const;
+
+  // The value string for `id`.
+  std::string_view View(ValueId id) const { return strings_.View(id); }
+
+  // Merges every symbol of `local` into this dictionary and returns the
+  // id remap (local id -> id here). Values keep their features (token and
+  // bigram ids are remapped and re-sorted); already-known values are
+  // reused. Used by FeatureCache::Build to fold per-chunk dictionaries
+  // together in chunk order.
+  std::vector<ValueId> Absorb(const FeatureDictionary& local);
+
+  // Distinct symbols (values + tokens + bigrams).
+  std::size_t num_symbols() const { return strings_.size(); }
+  // Distinct values with built features.
+  std::size_t num_values() const { return num_values_; }
+  // AddValue calls answered by the build-time memo.
+  std::size_t values_reused() const { return values_reused_; }
+  // Memory held by the interner arena plus the feature pools.
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Spans {
+    std::uint32_t tok_begin = 0;
+    std::uint32_t tok_end = 0;
+    std::uint32_t tok_unique = 0;
+    std::uint32_t big_begin = 0;
+    std::uint32_t big_end = 0;
+    bool built = false;
+  };
+
+  // Grows spans_ to cover `id`.
+  void EnsureSlot(ValueId id);
+  // Tokenizes/bigrams the value behind `id` and records its spans.
+  void BuildFeatures(ValueId id);
+  // Appends `ids` sorted (and returns the unique count when asked).
+  std::uint32_t AppendSorted(const std::vector<text::TokenId>& ids,
+                             std::vector<text::TokenId>* pool);
+
+  util::StringInterner strings_;  // values, tokens and bigrams together
+  std::vector<Spans> spans_;      // by symbol id; built only for values
+  std::vector<text::TokenId> ordered_tokens_;  // per value, occurrence order
+  std::vector<text::TokenId> sorted_tokens_;   // same spans, sorted by id
+  std::vector<text::TokenId> sorted_bigrams_;  // per value, sorted by id
+  std::size_t num_values_ = 0;
+  std::size_t values_reused_ = 0;
+};
+
+// Per-source index: for every (item, attribute-rule) slot, the ids of the
+// item's values under that rule's property on this cache's side.
+class FeatureCache {
+ public:
+  enum class Side { kExternal, kLocal };
+
+  // Precomputes features for `items` against `matcher`'s rules, reading
+  // rule.external_property or rule.local_property according to `side`.
+  // Work is partitioned across `num_threads` workers (0 = hardware,
+  // 1 = serial); per-chunk dictionaries are merged into `dict` in chunk
+  // order. `dict` must outlive the returned cache; `items` may not.
+  static FeatureCache Build(const std::vector<core::Item>& items,
+                            const ItemMatcher& matcher, Side side,
+                            FeatureDictionary* dict,
+                            std::size_t num_threads = 0);
+
+  // The value ids of item `item` under rule slot `rule` (positional:
+  // slot r corresponds to matcher.rules()[r]). Empty when the property is
+  // missing on the item.
+  const ValueId* Values(std::size_t item, std::size_t rule,
+                        std::size_t* count) const {
+    const std::size_t slot = item * num_rules_ + rule;
+    const std::uint32_t begin = offsets_[slot];
+    *count = offsets_[slot + 1] - begin;
+    return value_ids_.data() + begin;
+  }
+
+  const FeatureDictionary& dict() const { return *dict_; }
+  std::size_t num_items() const { return num_items_; }
+  std::size_t num_rules() const { return num_rules_; }
+
+ private:
+  const FeatureDictionary* dict_ = nullptr;
+  std::size_t num_items_ = 0;
+  std::size_t num_rules_ = 0;
+  std::vector<std::uint32_t> offsets_;  // num_items * num_rules + 1 edges
+  std::vector<ValueId> value_ids_;      // pooled per-slot value ids
+};
+
+}  // namespace rulelink::linking
+
+#endif  // RULELINK_LINKING_FEATURE_CACHE_H_

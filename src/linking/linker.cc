@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "linking/feature_cache.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -17,6 +18,15 @@ struct ScoreShard {
   std::unordered_map<std::size_t, Link> best;  // kBestPerExternal
   std::size_t comparisons = 0;
 };
+
+// True when `candidates` is strictly ascending in (external, local) order,
+// i.e. sorted with no duplicates — the CandidateGenerator contract.
+bool IsSortedUnique(const std::vector<blocking::CandidatePair>& candidates) {
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (!(candidates[i - 1] < candidates[i])) return false;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -97,6 +107,99 @@ std::vector<Link> Linker::Run(
     stats->comparisons = comparisons;
     stats->links_emitted = links.size();
   }
+  return links;
+}
+
+std::vector<Link> Linker::RunCached(
+    const FeatureCache& external_features, const FeatureCache& local_features,
+    const std::vector<blocking::CandidatePair>& candidates,
+    LinkerStats* stats, std::size_t num_threads,
+    ScoreMemoStats* memo_stats) const {
+  RL_DCHECK(&external_features.dict() == &local_features.dict());
+
+  // Stream the caller's vector when it already satisfies the generator
+  // contract; only an unsorted/duplicated list is materialized again.
+  const std::vector<blocking::CandidatePair>* pairs = &candidates;
+  std::vector<blocking::CandidatePair> sorted_storage;
+  if (!IsSortedUnique(candidates)) {
+    sorted_storage.assign(candidates.begin(), candidates.end());
+    std::sort(sorted_storage.begin(), sorted_storage.end());
+    sorted_storage.erase(
+        std::unique(sorted_storage.begin(), sorted_storage.end()),
+        sorted_storage.end());
+    pairs = &sorted_storage;
+  }
+
+  struct CachedShard {
+    std::vector<Link> links;  // sorted by (external, local) within a shard
+    std::size_t comparisons = 0;
+    ScoreMemoStats memo;
+  };
+  const std::size_t num_shards = util::ParallelChunks(num_threads,
+                                                      pairs->size());
+  std::vector<CachedShard> shards(std::max<std::size_t>(1, num_shards));
+  const bool keep_all = strategy_ == Strategy::kAllAboveThreshold;
+  util::ParallelFor(
+      num_threads, pairs->size(),
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        CachedShard& shard = shards[chunk];
+        ScoreMemo memo;
+        Link best;
+        bool best_set = false;
+        std::size_t run_external = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const blocking::CandidatePair& pair = (*pairs)[i];
+          RL_DCHECK(pair.external_index < external_features.num_items());
+          RL_DCHECK(pair.local_index < local_features.num_items());
+          if (!keep_all && best_set && pair.external_index != run_external) {
+            shard.links.push_back(best);
+            best_set = false;
+          }
+          run_external = pair.external_index;
+          const double score =
+              matcher_->ScoreCached(external_features, pair.external_index,
+                                    local_features, pair.local_index, &memo);
+          ++shard.comparisons;
+          if (score < threshold_) continue;
+          const Link link{pair.external_index, pair.local_index, score};
+          if (keep_all) {
+            shard.links.push_back(link);
+          } else if (!best_set || score > best.score) {
+            // Strict >: an equal score never displaces the link found
+            // earlier in candidate order, matching the serial tie-break.
+            best = link;
+            best_set = true;
+          }
+        }
+        if (best_set) shard.links.push_back(best);
+        shard.memo = memo.stats();
+      });
+
+  // Candidate order is (external, local) order, so shard outputs
+  // concatenate into the exact order Run's final sort produces. For
+  // best-per-external, an external whose run straddles a chunk boundary
+  // appears once per shard; folding adjacent equal-external links in
+  // chunk order reproduces the serial argmax and tie-break.
+  std::size_t comparisons = 0;
+  std::vector<Link> links;
+  ScoreMemoStats memo_total;
+  for (const CachedShard& shard : shards) {
+    comparisons += shard.comparisons;
+    memo_total.Add(shard.memo);
+    for (const Link& link : shard.links) {
+      if (!keep_all && !links.empty() &&
+          links.back().external_index == link.external_index) {
+        if (link.score > links.back().score) links.back() = link;
+      } else {
+        links.push_back(link);
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->comparisons = comparisons;
+    stats->links_emitted = links.size();
+  }
+  if (memo_stats != nullptr) memo_stats->Add(memo_total);
   return links;
 }
 

@@ -55,6 +55,27 @@ class Linker {
                         LinkerStats* stats = nullptr,
                         std::size_t num_threads = 0) const;
 
+  // Cached-scorer variant of Run: emits the same links in the same order
+  // with the same stats at every thread count, but every pair goes through
+  // ItemMatcher::ScoreCached over feature caches built up front (both
+  // against this linker's matcher, sharing one FeatureDictionary).
+  //
+  // When `candidates` is already sorted and duplicate-free — the
+  // CandidateGenerator contract — the vector is streamed through the
+  // workers chunk by chunk with no copy; otherwise it is sorted/deduped
+  // first, exactly like Run. Because chunks of the sorted list group by
+  // external index, the best-per-external reduction runs over contiguous
+  // runs and merges shard boundaries in chunk order: no per-pair hash maps
+  // anywhere on the cached path. Each worker keeps a private ScoreMemo;
+  // `memo_stats`, when non-null, accumulates their counters (these depend
+  // on the chunking, unlike links/stats, so they stay out of LinkerStats).
+  std::vector<Link> RunCached(
+      const FeatureCache& external_features,
+      const FeatureCache& local_features,
+      const std::vector<blocking::CandidatePair>& candidates,
+      LinkerStats* stats = nullptr, std::size_t num_threads = 0,
+      ScoreMemoStats* memo_stats = nullptr) const;
+
  private:
   const ItemMatcher* matcher_;
   double threshold_;

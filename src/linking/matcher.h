@@ -4,13 +4,18 @@
 #ifndef RULELINK_LINKING_MATCHER_H_
 #define RULELINK_LINKING_MATCHER_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/item.h"
 
 namespace rulelink::linking {
+
+class FeatureCache;  // feature_cache.h; broken include cycle
 
 enum class SimilarityMeasure {
   kExact,
@@ -21,6 +26,8 @@ enum class SimilarityMeasure {
   kDiceBigram,
   kMongeElkan,
 };
+
+inline constexpr std::size_t kNumSimilarityMeasures = 7;
 
 // Dispatches to the text:: similarity functions; kExact returns 1.0 on
 // equality and 0.0 otherwise.
@@ -38,6 +45,54 @@ struct AttributeRule {
   double weight = 1.0;
 };
 
+// Counters of the cached-score memo (see ScoreMemo below). These depend
+// on how work was chunked across workers — unlike the scores themselves —
+// so they live outside LinkerStats and are reported by benchmarks only.
+struct ScoreMemoStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+
+  void Add(const ScoreMemoStats& other) {
+    lookups += other.lookups;
+    hits += other.hits;
+  }
+  double hit_rate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+// Memo table for the cached-score path, keyed by (value-id, value-id,
+// measure). Part catalogs repeat values heavily, so the same value pair is
+// scored over and over across candidate pairs; an entry is a pure function
+// of the two strings, so replaying it is always exact. Only the
+// character-level measures (Levenshtein, Jaro, Jaro-Winkler, Monge-Elkan)
+// consult it: their O(|a|*|b|) cost dwarfs a hash probe, whereas the
+// id-based set measures are already cheaper than the probe itself.
+// Not thread-safe: each linker worker keeps its own memo.
+class ScoreMemo {
+ public:
+  void Clear() {
+    for (auto& map : by_measure_) map.clear();
+    stats_ = ScoreMemoStats();
+  }
+  const ScoreMemoStats& stats() const { return stats_; }
+
+  // Internal accessors for the cached scorer; not meant for callers.
+  std::unordered_map<std::uint64_t, double>& map_for(
+      std::size_t measure_index) {
+    return by_measure_[measure_index];
+  }
+  ScoreMemoStats& mutable_stats() { return stats_; }
+
+ private:
+  std::array<std::unordered_map<std::uint64_t, double>,
+             kNumSimilarityMeasures>
+      by_measure_;
+  ScoreMemoStats stats_;
+};
+
 class ItemMatcher {
  public:
   explicit ItemMatcher(std::vector<AttributeRule> rules);
@@ -46,6 +101,19 @@ class ItemMatcher {
   // Rules whose property is missing on either side are skipped and the
   // weights renormalized; if every rule is skipped the score is 0.
   double Score(const core::Item& external, const core::Item& local) const;
+
+  // The same score computed from precomputed features: byte-identical to
+  // Score() on the items the caches were built from, but measure dispatch
+  // is hoisted out of the value-pair loop, token measures run as
+  // sort-merges over dense ids instead of re-tokenizing strings, and
+  // `memo` (optional) short-circuits repeated (value, value, measure)
+  // triples. Both caches must have been built against this matcher and
+  // share one FeatureDictionary.
+  double ScoreCached(const FeatureCache& external_features,
+                     std::size_t external_index,
+                     const FeatureCache& local_features,
+                     std::size_t local_index,
+                     ScoreMemo* memo = nullptr) const;
 
   const std::vector<AttributeRule>& rules() const { return rules_; }
 

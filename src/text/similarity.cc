@@ -188,6 +188,11 @@ std::vector<std::string> CharacterBigrams(std::string_view s) {
   return grams;
 }
 
+void CharacterBigramViews(std::string_view s,
+                          std::vector<std::string_view>* out) {
+  NGramViews(s, 2, out);
+}
+
 double DiceBigramSimilarity(std::string_view a, std::string_view b) {
   std::vector<std::string_view> ga, gb;
   NGramViews(a, 2, &ga);

@@ -50,6 +50,12 @@ double MongeElkanSimilarity(std::string_view a, std::string_view b);
 // < 2 yields the string itself. Shared by Dice and the bi-gram blocker.
 std::vector<std::string> CharacterBigrams(std::string_view s);
 
+// Appends the same gram sequence as views into `s` (no allocation per
+// gram). Exactly the multiset DiceBigramSimilarity compares, exposed so
+// the linking feature cache can intern it once per distinct value.
+void CharacterBigramViews(std::string_view s,
+                          std::vector<std::string_view>* out);
+
 // TF-IDF cosine similarity over a token corpus. Build once over the local
 // source, then score pairs. The vocabulary is interned once: document
 // frequencies live in a flat vector keyed by TokenId, and Similarity

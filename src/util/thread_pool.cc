@@ -5,9 +5,16 @@
 namespace rulelink::util {
 
 std::size_t ResolveNumThreads(std::size_t requested) {
-  if (requested != 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  const unsigned hw_reported = std::thread::hardware_concurrency();
+  const std::size_t hw =
+      hw_reported == 0 ? 1 : static_cast<std::size_t>(hw_reported);
+  if (requested == 0) return hw;
+  // Oversubscribing a CPU-bound static partition only adds contention:
+  // with more workers than cores the chunks time-slice instead of running
+  // concurrently, and the measured sweeps regress (BENCH_learning.json
+  // showed 4 and 8 threads slower than 1 on a 1-core host). Explicit
+  // requests therefore cap at the hardware.
+  return std::min(requested, hw);
 }
 
 ThreadPool::ThreadPool(std::size_t num_workers) {

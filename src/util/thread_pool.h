@@ -30,8 +30,11 @@
 namespace rulelink::util {
 
 // Resolves a user-facing thread-count option: 0 means "use the hardware",
-// i.e. std::thread::hardware_concurrency() (at least 1); any other value
-// is returned unchanged.
+// i.e. std::thread::hardware_concurrency() (at least 1); an explicit
+// request is clamped to that same hardware concurrency — oversubscribed
+// static chunking is never faster, only noisier. Every ParallelFor-based
+// entry point resolves through here; constructing a ThreadPool directly
+// spawns exactly what was asked (tests use that to force contention).
 std::size_t ResolveNumThreads(std::size_t requested);
 
 // Chunk body: half-open index range [begin, end) plus the chunk ordinal,

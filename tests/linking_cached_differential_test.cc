@@ -1,0 +1,276 @@
+// Differential tests for the cached linking pipeline: Linker::RunCached
+// over precomputed feature caches must be byte-identical to the preserved
+// string-path Linker::Run — same links, same order, same scores, same
+// LinkerStats — over generated corpora, at every thread count, for both
+// strategies, and whether the candidates arrive sorted (the streaming
+// path) or unsorted (the sort/dedup path). This is the acceptance bar for
+// the feature-cache tentpole: caching changes where the string work
+// happens, never the output.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/rule_blocker.h"
+#include "blocking/standard_blocking.h"
+#include "core/learner.h"
+#include "datagen/generator.h"
+#include "linking/evaluation.h"
+#include "linking/feature_cache.h"
+#include "linking/linker.h"
+#include "linking/matcher.h"
+#include "text/segmenter.h"
+#include "util/logging.h"
+
+namespace rulelink {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+constexpr double kThreshold = 0.6;
+
+datagen::DatasetConfig DifferentialConfig(std::uint64_t seed) {
+  datagen::DatasetConfig config;
+  config.seed = seed;
+  config.num_classes = 50;
+  config.num_leaves = 20;
+  config.catalog_size = 700;
+  config.num_links = 320;
+  config.num_signal_classes = 5;
+  config.num_other_frequent_classes = 5;
+  config.signal_class_min_links = 20;
+  config.signal_class_max_links = 40;
+  config.frequent_class_min_links = 6;
+  config.frequent_class_max_links = 11;
+  config.tail_class_cap_links = 4;
+  return config;
+}
+
+const datagen::Dataset& GetCorpus(std::uint64_t seed) {
+  static std::map<std::uint64_t, std::unique_ptr<datagen::Dataset>>* cache =
+      new std::map<std::uint64_t, std::unique_ptr<datagen::Dataset>>();
+  auto it = cache->find(seed);
+  if (it == cache->end()) {
+    auto dataset =
+        datagen::DatasetGenerator(DifferentialConfig(seed)).Generate();
+    RL_CHECK(dataset.ok()) << dataset.status();
+    it = cache
+             ->emplace(seed, std::make_unique<datagen::Dataset>(
+                                 std::move(dataset).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+// A matcher that exercises every cached code path at once: token
+// sort-merge measures and character measures on the part number, exact
+// and Monge-Elkan (ordered float summation) on the manufacturer, where
+// values repeat across the catalog and feed the memo.
+linking::ItemMatcher MixedMatcher() {
+  return linking::ItemMatcher({
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kJaroWinkler, 3.0},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kJaccardTokens, 1.5},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kDiceBigram, 1.0},
+      {datagen::props::kManufacturer, datagen::props::kManufacturer,
+       linking::SimilarityMeasure::kExact, 0.5},
+      {datagen::props::kManufacturer, datagen::props::kManufacturer,
+       linking::SimilarityMeasure::kMongeElkan, 0.5},
+  });
+}
+
+// Gold pairs plus pseudo-random distractors, unsorted, with every third
+// pair duplicated — exercises RunCached's sort/dedup entrance.
+std::vector<blocking::CandidatePair> UnsortedCandidates(
+    const datagen::Dataset& dataset) {
+  const std::size_t num_catalog = dataset.catalog_items.size();
+  std::vector<blocking::CandidatePair> candidates;
+  for (const datagen::GoldLink& link : dataset.links) {
+    candidates.push_back({link.external_index, link.catalog_index});
+  }
+  for (std::size_t e = 0; e < dataset.external_items.size(); ++e) {
+    candidates.push_back({e, (e * 7 + 3) % num_catalog});
+    candidates.push_back({e, (e * 13 + 11) % num_catalog});
+    if (e % 3 == 0) candidates.push_back({e, (e * 7 + 3) % num_catalog});
+  }
+  return candidates;
+}
+
+struct Caches {
+  linking::FeatureDictionary dict;
+  linking::FeatureCache external;
+  linking::FeatureCache local;
+
+  Caches(const datagen::Dataset& dataset,
+         const linking::ItemMatcher& matcher, std::size_t num_threads) {
+    external = linking::FeatureCache::Build(
+        dataset.external_items, matcher,
+        linking::FeatureCache::Side::kExternal, &dict, num_threads);
+    local = linking::FeatureCache::Build(
+        dataset.catalog_items, matcher, linking::FeatureCache::Side::kLocal,
+        &dict, num_threads);
+  }
+};
+
+void ExpectLinksIdentical(const std::vector<linking::Link>& actual,
+                          const std::vector<linking::Link>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].external_index, expected[i].external_index) << i;
+    EXPECT_EQ(actual[i].local_index, expected[i].local_index) << i;
+    // Bit-identical scores, not approximately equal.
+    EXPECT_EQ(actual[i].score, expected[i].score) << i;
+  }
+}
+
+class CachedLinkingDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  const datagen::Dataset& corpus() const { return GetCorpus(GetParam()); }
+};
+
+TEST_P(CachedLinkingDifferential, RunCachedMatchesRunAtEveryThreadCount) {
+  const datagen::Dataset& dataset = corpus();
+  const linking::ItemMatcher matcher = MixedMatcher();
+  const auto candidates = UnsortedCandidates(dataset);
+
+  for (linking::Linker::Strategy strategy :
+       {linking::Linker::Strategy::kBestPerExternal,
+        linking::Linker::Strategy::kAllAboveThreshold}) {
+    const linking::Linker linker(&matcher, kThreshold, strategy);
+    linking::LinkerStats ref_stats;
+    const auto reference =
+        linker.Run(dataset.external_items, dataset.catalog_items, candidates,
+                   &ref_stats, /*num_threads=*/1);
+    ASSERT_GT(reference.size(), 0u);
+
+    for (std::size_t threads : kThreadCounts) {
+      SCOPED_TRACE(threads);
+      // The caches are rebuilt per thread count on purpose: id numbering
+      // differs across builds, the links must not.
+      const Caches caches(dataset, matcher, threads);
+      linking::LinkerStats stats;
+      linking::ScoreMemoStats memo;
+      const auto cached = linker.RunCached(caches.external, caches.local,
+                                           candidates, &stats, threads,
+                                           &memo);
+      ExpectLinksIdentical(cached, reference);
+      EXPECT_EQ(stats.comparisons, ref_stats.comparisons);
+      EXPECT_EQ(stats.links_emitted, ref_stats.links_emitted);
+      EXPECT_GT(memo.lookups, 0u);
+      EXPECT_LE(memo.hits, memo.lookups);
+    }
+  }
+}
+
+TEST_P(CachedLinkingDifferential, SortedCandidatesStreamWithoutACopy) {
+  const datagen::Dataset& dataset = corpus();
+  const linking::ItemMatcher matcher = MixedMatcher();
+  auto candidates = UnsortedCandidates(dataset);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  const linking::Linker linker(&matcher, kThreshold);
+  linking::LinkerStats ref_stats;
+  const auto reference =
+      linker.Run(dataset.external_items, dataset.catalog_items, candidates,
+                 &ref_stats, /*num_threads=*/1);
+  const Caches caches(dataset, matcher, /*num_threads=*/1);
+  for (std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    linking::LinkerStats stats;
+    const auto cached = linker.RunCached(caches.external, caches.local,
+                                         candidates, &stats, threads);
+    ExpectLinksIdentical(cached, reference);
+    EXPECT_EQ(stats.comparisons, ref_stats.comparisons);
+    EXPECT_EQ(stats.links_emitted, ref_stats.links_emitted);
+  }
+}
+
+TEST_P(CachedLinkingDifferential, PipelineMatchesManualGenerateAndRun) {
+  const datagen::Dataset& dataset = corpus();
+  const linking::ItemMatcher matcher = MixedMatcher();
+  const blocking::StandardBlocker blocker(datagen::props::kPartNumber,
+                                          /*prefix_length=*/3);
+
+  const auto candidates =
+      blocker.Generate(dataset.external_items, dataset.catalog_items);
+  ASSERT_GT(candidates.size(), 0u);
+  const linking::Linker linker(&matcher, kThreshold);
+  linking::LinkerStats ref_stats;
+  const auto reference =
+      linker.Run(dataset.external_items, dataset.catalog_items, candidates,
+                 &ref_stats, /*num_threads=*/1);
+
+  std::vector<blocking::CandidatePair> gold;
+  for (const datagen::GoldLink& link : dataset.links) {
+    gold.push_back({link.external_index, link.catalog_index});
+  }
+
+  for (std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    const auto result = linking::RunCachedLinkagePipeline(
+        dataset.external_items, dataset.catalog_items, blocker, matcher,
+        kThreshold, linking::Linker::Strategy::kBestPerExternal, &gold,
+        threads);
+    ExpectLinksIdentical(result.links, reference);
+    EXPECT_EQ(result.stats.comparisons, ref_stats.comparisons);
+    EXPECT_EQ(result.stats.links_emitted, ref_stats.links_emitted);
+    EXPECT_EQ(result.num_candidates, candidates.size());
+    EXPECT_GT(result.distinct_values, 0u);
+    EXPECT_GE(result.dictionary_symbols, result.distinct_values);
+    EXPECT_GT(result.dictionary_bytes, 0u);
+    // The quality numbers come from the same links, so they match the
+    // manual evaluation exactly.
+    const auto ref_quality = linking::EvaluateLinks(reference, gold);
+    EXPECT_EQ(result.quality.correct, ref_quality.correct);
+    EXPECT_EQ(result.quality.precision, ref_quality.precision);
+    EXPECT_EQ(result.quality.recall, ref_quality.recall);
+    EXPECT_EQ(result.quality.f1, ref_quality.f1);
+  }
+}
+
+TEST_P(CachedLinkingDifferential, PipelineMatchesOverRuleBlocker) {
+  const datagen::Dataset& dataset = corpus();
+  const core::TrainingSet ts = datagen::BuildTrainingSet(dataset);
+  const text::SeparatorSegmenter segmenter;
+
+  core::LearnerOptions options;
+  options.support_threshold = 0.01;
+  options.segmenter = &segmenter;
+  options.num_threads = 1;
+  auto rules = core::RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  const core::RuleClassifier classifier(&*rules, &segmenter);
+  const blocking::RuleBlocker blocker(&classifier, &dataset.ontology(),
+                                      &dataset.catalog_classes,
+                                      /*min_confidence=*/0.4);
+
+  const linking::ItemMatcher matcher = MixedMatcher();
+  const auto candidates =
+      blocker.Generate(dataset.external_items, dataset.catalog_items);
+  ASSERT_GT(candidates.size(), 0u);
+  const linking::Linker linker(&matcher, kThreshold);
+  const auto reference =
+      linker.Run(dataset.external_items, dataset.catalog_items, candidates,
+                 nullptr, /*num_threads=*/1);
+
+  for (std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    const auto result = linking::RunCachedLinkagePipeline(
+        dataset.external_items, dataset.catalog_items, blocker, matcher,
+        kThreshold, linking::Linker::Strategy::kBestPerExternal,
+        /*gold=*/nullptr, threads);
+    ExpectLinksIdentical(result.links, reference);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachedLinkingDifferential,
+                         ::testing::Values(23, 509, 8089));
+
+}  // namespace
+}  // namespace rulelink

@@ -12,20 +12,31 @@
 namespace rulelink::util {
 namespace {
 
+// The hardware concurrency ResolveNumThreads clamps against.
+std::size_t Hardware() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
 TEST(ResolveNumThreadsTest, ZeroMeansHardwareAtLeastOne) {
+  EXPECT_EQ(ResolveNumThreads(0), Hardware());
   EXPECT_GE(ResolveNumThreads(0), 1u);
 }
 
-TEST(ResolveNumThreadsTest, ExplicitValuesPassThrough) {
+TEST(ResolveNumThreadsTest, ExplicitValuesCapAtHardware) {
   EXPECT_EQ(ResolveNumThreads(1), 1u);
-  EXPECT_EQ(ResolveNumThreads(7), 7u);
+  // Within the hardware budget requests pass through; beyond it they
+  // clamp — oversubscribed static chunks only contend.
+  EXPECT_EQ(ResolveNumThreads(Hardware()), Hardware());
+  EXPECT_EQ(ResolveNumThreads(7), std::min<std::size_t>(7, Hardware()));
+  EXPECT_EQ(ResolveNumThreads(Hardware() + 5), Hardware());
 }
 
-TEST(ParallelChunksTest, ClampsToRangeAndThreads) {
+TEST(ParallelChunksTest, ClampsToRangeAndThreadsAndHardware) {
   EXPECT_EQ(ParallelChunks(4, 0), 0u);
   EXPECT_EQ(ParallelChunks(1, 100), 1u);
-  EXPECT_EQ(ParallelChunks(4, 3), 3u);
-  EXPECT_EQ(ParallelChunks(4, 100), 4u);
+  EXPECT_EQ(ParallelChunks(4, 3), std::min<std::size_t>(3, Hardware()));
+  EXPECT_EQ(ParallelChunks(4, 100), std::min<std::size_t>(4, Hardware()));
 }
 
 TEST(ParallelForTest, EmptyRangeNeverCallsBody) {
@@ -65,7 +76,7 @@ TEST(ParallelForTest, ChunksPartitionTheRangeExactly) {
         EXPECT_EQ(hits[i], 1) << "threads=" << threads << " n=" << n
                               << " index=" << i;
       }
-      EXPECT_EQ(chunks_seen.size(), std::min(threads, n));
+      EXPECT_EQ(chunks_seen.size(), std::min(ResolveNumThreads(threads), n));
     }
   }
 }
@@ -87,17 +98,21 @@ TEST(ParallelForTest, RangeSmallerThanWorkerCount) {
 }
 
 TEST(ParallelForTest, PropagatesExceptionFromWorker) {
+  // Chunk 0 always exists, whatever the resolved worker count.
   EXPECT_THROW(
       ParallelFor(4, 100,
                   [](std::size_t chunk, std::size_t, std::size_t) {
-                    if (chunk == 2) throw std::runtime_error("boom");
+                    if (chunk == 0) throw std::runtime_error("boom");
                   }),
       std::runtime_error);
 }
 
 TEST(ParallelForTest, RethrowsLowestChunkFirst) {
+  // A directly-constructed pool is not hardware-clamped, so the four
+  // chunks (and the chunk-order rethrow) exist even on a 1-core host.
+  ThreadPool pool(4);
   try {
-    ParallelFor(4, 100, [](std::size_t chunk, std::size_t, std::size_t) {
+    pool.ParallelFor(100, [](std::size_t chunk, std::size_t, std::size_t) {
       if (chunk == 1) throw std::runtime_error("chunk-1");
       if (chunk == 3) throw std::runtime_error("chunk-3");
     });
