@@ -92,7 +92,7 @@ void PrintComparison() {
             << f.dataset->external_items.size()
             << ", local=" << f.dataset->catalog_items.size() << ") ===\n";
   util::TextTable table({"method", "candidates", "RR", "PC", "PQ",
-                         "link P", "link R", "link F1", "comparisons"});
+                         "link P", "link R", "link F1", "pairs scored"});
   const linking::ItemMatcher matcher(
       {{datagen::props::kPartNumber, datagen::props::kPartNumber,
         linking::SimilarityMeasure::kJaroWinkler, 3.0},
@@ -117,7 +117,7 @@ void PrintComparison() {
                   util::FormatPercent(linkage.precision),
                   util::FormatPercent(linkage.recall),
                   util::FormatPercent(linkage.f1),
-                  std::to_string(stats.comparisons)});
+                  std::to_string(stats.pairs_scored)});
   }
   std::cout << table.ToText()
             << "(RR = reduction ratio, PC = pairs completeness, PQ = pairs "

@@ -30,7 +30,9 @@ struct ThreadSweepPoint {
 // Records a thread-count speedup trajectory as BENCH_<name>.json in the
 // working directory (git-ignored), so successive runs on different
 // hardware can be compared: {"bench": ..., "hardware_concurrency": ...,
-// "points": [{"threads": t, "ms": m, "speedup_vs_1": s}, ...]}.
+// "points": [{"threads": t, "ms": m, "speedup_vs_1": s}, ...]}. Points
+// whose thread count exceeds the hardware get "oversubscribed": true so
+// downstream tooling can drop them from scaling fits.
 // `extra_sections`, when non-empty, is spliced verbatim as additional
 // top-level JSON members (e.g. "\"interning\": {...},\n").
 inline void WriteThreadSweepJson(const std::string& bench_name,
@@ -55,6 +57,9 @@ inline void WriteThreadSweepJson(const std::string& bench_name,
     if (serial_ms > 0.0 && p.millis > 0.0) {
       out << ", \"speedup_vs_1\": "
           << util::FormatDouble(serial_ms / p.millis, 3);
+    }
+    if (p.num_threads > std::thread::hardware_concurrency()) {
+      out << ", \"oversubscribed\": true";
     }
     out << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }

@@ -23,6 +23,7 @@
 #include "linking/feature_cache.h"
 #include "linking/linker.h"
 #include "linking/matcher.h"
+#include "linking/streaming_linker.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -143,18 +144,23 @@ std::string PrintCachedPipelineReport() {
     if (t.total_ms() < cached.total_ms()) cached = t;
   }
   RL_CHECK(cached.links == reference_links.size());
-  RL_CHECK(cached.stats.comparisons == ref_stats.comparisons);
+  // Both paths score every candidate pair; the cached path runs fewer
+  // kernels because memo hits replay stored results.
+  RL_CHECK(cached.stats.pairs_scored == ref_stats.pairs_scored);
+  RL_CHECK(cached.stats.comparisons <= ref_stats.comparisons);
 
   const double speedup =
       cached.total_ms() > 0.0 ? reference_ms / cached.total_ms() : 0.0;
-  util::TextTable table({"pipeline", "time (ms)", "comparisons", "links",
-                         "memo hit rate"});
+  util::TextTable table({"pipeline", "time (ms)", "pairs scored",
+                         "kernels run", "links", "memo hit rate"});
   table.AddRow({"reference (string path)",
                 util::FormatDouble(reference_ms, 1),
+                std::to_string(ref_stats.pairs_scored),
                 std::to_string(ref_stats.comparisons),
                 std::to_string(reference_links.size()), "-"});
   table.AddRow({"cached (build + fused run)",
                 util::FormatDouble(cached.total_ms(), 1),
+                std::to_string(cached.stats.pairs_scored),
                 std::to_string(cached.stats.comparisons),
                 std::to_string(cached.links),
                 util::FormatDouble(cached.memo.hit_rate() * 100.0, 1) +
@@ -171,6 +177,8 @@ std::string PrintCachedPipelineReport() {
   std::string json = "  \"pipeline\": {\n";
   json += "    \"candidates\": " +
           std::to_string(fixture.candidates.size()) + ",\n";
+  json += "    \"pairs_scored\": " +
+          std::to_string(cached.stats.pairs_scored) + ",\n";
   json += "    \"comparisons\": " +
           std::to_string(cached.stats.comparisons) + ",\n";
   json += "    \"links\": " + std::to_string(cached.links) + ",\n";
@@ -195,6 +203,140 @@ std::string PrintCachedPipelineReport() {
           std::to_string(cached.dictionary_symbols) + ",\n";
   json += "    \"dictionary_bytes\": " +
           std::to_string(cached.dictionary_bytes) + "\n  },\n";
+  return json;
+}
+
+// The matcher the streaming comparison is built for: a heavily weighted
+// Levenshtein rule on the part number (length bound + capped bit-parallel
+// probe), Dice/Jaccard/exact rules the count and id filters bound, and a
+// Monge-Elkan rule on the manufacturer that has no cheap bound — the
+// cascade treats it optimistically, and skipping its kernel is where a
+// prune saves the most work.
+linking::ItemMatcher StreamingMatcher() {
+  return linking::ItemMatcher({
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kLevenshtein, 3.0},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kDiceBigram, 1.5},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kExact, 1.0},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kJaccardTokens, 0.5},
+      {datagen::props::kManufacturer, datagen::props::kManufacturer,
+       linking::SimilarityMeasure::kMongeElkan, 0.5},
+  });
+}
+
+// E6c: streaming (inverted index + filter cascade) vs cached (materialize
+// + RunCached), single-threaded, sharing one pair of feature caches so
+// the difference is purely candidate handling and pruned kernel work.
+// Links are byte-identical (differential-tested; re-checked here).
+std::string PrintStreamingReport() {
+  const datagen::Dataset& dataset = PaperDataset();
+  const linking::ItemMatcher matcher = StreamingMatcher();
+  const blocking::StandardBlocker blocker(datagen::props::kPartNumber,
+                                          /*prefix_length=*/4);
+  std::cout << "=== E6c: streaming filter cascade vs cached linking ===\n";
+
+  linking::FeatureDictionary dict;
+  const auto external = linking::FeatureCache::Build(
+      dataset.external_items, matcher, linking::FeatureCache::Side::kExternal,
+      &dict, 1);
+  const auto local = linking::FeatureCache::Build(
+      dataset.catalog_items, matcher, linking::FeatureCache::Side::kLocal,
+      &dict, 1);
+
+  const linking::Linker cached_linker(&matcher, kThreshold);
+  const linking::StreamingLinker streaming(&matcher, kThreshold);
+
+  double cached_ms = 0.0;
+  linking::LinkerStats cached_stats;
+  std::vector<linking::Link> cached_links;
+  for (int rep = -1; rep < 3; ++rep) {  // rep -1 is the warm-up
+    util::Stopwatch timer;
+    const auto candidates =
+        blocker.Generate(dataset.external_items, dataset.catalog_items);
+    auto links = cached_linker.RunCached(external, local, candidates,
+                                         &cached_stats, /*num_threads=*/1);
+    const double ms = timer.ElapsedMillis();
+    if (rep < 0) continue;
+    if (rep == 0 || ms < cached_ms) cached_ms = ms;
+    cached_links = std::move(links);
+  }
+
+  double streaming_ms = 0.0;
+  linking::LinkerStats streaming_stats;
+  std::vector<linking::Link> streaming_links;
+  for (int rep = -1; rep < 3; ++rep) {
+    util::Stopwatch timer;
+    const auto index =
+        blocker.BuildIndex(dataset.external_items, dataset.catalog_items);
+    auto links = streaming.Run(*index, external, local, &streaming_stats,
+                               /*num_threads=*/1);
+    const double ms = timer.ElapsedMillis();
+    if (rep < 0) continue;
+    if (rep == 0 || ms < streaming_ms) streaming_ms = ms;
+    streaming_links = std::move(links);
+  }
+
+  RL_CHECK(streaming_links.size() == cached_links.size());
+  for (std::size_t i = 0; i < cached_links.size(); ++i) {
+    RL_CHECK(streaming_links[i].external_index ==
+                 cached_links[i].external_index &&
+             streaming_links[i].local_index == cached_links[i].local_index &&
+             streaming_links[i].score == cached_links[i].score);
+  }
+  RL_CHECK(streaming_stats.pairs_pruned_by_filter > 0);
+  RL_CHECK(streaming_stats.pairs_scored +
+               streaming_stats.pairs_pruned_by_filter ==
+           cached_stats.pairs_scored);
+
+  const double speedup = streaming_ms > 0.0 ? cached_ms / streaming_ms : 0.0;
+  util::TextTable table({"pipeline", "time (ms)", "pairs scored",
+                         "pruned", "kernels run", "links"});
+  table.AddRow({"cached (materialize + RunCached)",
+                util::FormatDouble(cached_ms, 1),
+                std::to_string(cached_stats.pairs_scored), "0",
+                std::to_string(cached_stats.comparisons),
+                std::to_string(cached_links.size())});
+  table.AddRow({"streaming (index + cascade)",
+                util::FormatDouble(streaming_ms, 1),
+                std::to_string(streaming_stats.pairs_scored),
+                std::to_string(streaming_stats.pairs_pruned_by_filter),
+                std::to_string(streaming_stats.comparisons),
+                std::to_string(streaming_links.size())});
+  std::cout << table.ToText() << "prunes by filter: length="
+            << streaming_stats.pruned_by_length
+            << ", token count=" << streaming_stats.pruned_by_token_count
+            << ", exact=" << streaming_stats.pruned_by_exact
+            << ", distance cap=" << streaming_stats.pruned_by_distance_cap
+            << "; peak candidate run=" << streaming_stats.peak_candidate_run
+            << "\nspeedup: " << util::FormatDouble(speedup, 2)
+            << "x (identical links; differential-tested)\n\n";
+
+  std::string json = "  \"streaming\": {\n";
+  json += "    \"candidates\": " +
+          std::to_string(cached_stats.pairs_scored) + ",\n";
+  json += "    \"pairs_scored\": " +
+          std::to_string(streaming_stats.pairs_scored) + ",\n";
+  json += "    \"pairs_pruned_by_filter\": " +
+          std::to_string(streaming_stats.pairs_pruned_by_filter) + ",\n";
+  json += "    \"pruned_by_length\": " +
+          std::to_string(streaming_stats.pruned_by_length) + ",\n";
+  json += "    \"pruned_by_token_count\": " +
+          std::to_string(streaming_stats.pruned_by_token_count) + ",\n";
+  json += "    \"pruned_by_exact\": " +
+          std::to_string(streaming_stats.pruned_by_exact) + ",\n";
+  json += "    \"pruned_by_distance_cap\": " +
+          std::to_string(streaming_stats.pruned_by_distance_cap) + ",\n";
+  json += "    \"peak_candidate_run\": " +
+          std::to_string(streaming_stats.peak_candidate_run) + ",\n";
+  json += "    \"links\": " + std::to_string(streaming_links.size()) + ",\n";
+  json += "    \"cached_ms\": " + util::FormatDouble(cached_ms, 3) + ",\n";
+  json += "    \"streaming_ms\": " + util::FormatDouble(streaming_ms, 3) +
+          ",\n";
+  json += "    \"speedup_vs_cached\": " + util::FormatDouble(speedup, 3) +
+          "\n  },\n";
   return json;
 }
 
@@ -325,12 +467,46 @@ BENCHMARK(BM_RunCachedThreads)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// Same workload as BM_RunCachedThreads through the streaming path: the
+// blocker's inverted index replaces the materialized candidate vector and
+// the filter cascade runs ahead of the scorer.
+void BM_RunStreamingThreads(benchmark::State& state) {
+  const Fixture& fixture = GetFixture();
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  linking::FeatureDictionary dict;
+  const auto external = linking::FeatureCache::Build(
+      fixture.dataset->external_items, fixture.matcher,
+      linking::FeatureCache::Side::kExternal, &dict, 1);
+  const auto local = linking::FeatureCache::Build(
+      fixture.dataset->catalog_items, fixture.matcher,
+      linking::FeatureCache::Side::kLocal, &dict, 1);
+  const blocking::StandardBlocker blocker(datagen::props::kPartNumber,
+                                          /*prefix_length=*/4);
+  const auto index = blocker.BuildIndex(fixture.dataset->external_items,
+                                        fixture.dataset->catalog_items);
+  const linking::StreamingLinker streaming(&fixture.matcher, kThreshold);
+  for (auto _ : state) {
+    const auto links =
+        streaming.Run(*index, external, local, nullptr, threads);
+    benchmark::DoNotOptimize(links.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(fixture.candidates.size()));
+}
+BENCHMARK(BM_RunStreamingThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace rulelink::bench
 
 int main(int argc, char** argv) {
-  const std::string pipeline_json =
-      rulelink::bench::PrintCachedPipelineReport();
+  std::string pipeline_json = rulelink::bench::PrintCachedPipelineReport();
+  pipeline_json += rulelink::bench::PrintStreamingReport();
   rulelink::bench::PrintThreadSweepReport(pipeline_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

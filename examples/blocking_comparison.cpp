@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
     const auto links = linker.Run(dataset.external_items,
                                   dataset.catalog_items, candidates, &stats);
     const auto linkage = linking::EvaluateLinks(links, gold);
-    std::cout << "    end-to-end: comparisons=" << stats.comparisons
+    std::cout << "    end-to-end: pairs scored=" << stats.pairs_scored
               << " links=" << linkage.emitted << " P=" << linkage.precision
               << " R=" << linkage.recall << " F1=" << linkage.f1
               << " time=" << timer.ElapsedSeconds() << "s\n";

@@ -1,8 +1,74 @@
 #include "blocking/blocker.h"
 
+#include <algorithm>
+
 #include "util/string_util.h"
 
 namespace rulelink::blocking {
+namespace {
+
+// The fallback index for generators without an inverted structure of their
+// own: Generate's sorted pair list in CSR form. Still O(candidates) memory
+// at build time, but the streaming consumer keeps its per-run interface.
+class MaterializedCandidateIndex : public CandidateIndex {
+ public:
+  MaterializedCandidateIndex(std::vector<CandidatePair> pairs,
+                             std::size_t num_external)
+      : offsets_(num_external + 1, 0) {
+    locals_.reserve(pairs.size());
+    for (const CandidatePair& pair : pairs) {
+      ++offsets_[pair.external_index + 1];
+      locals_.push_back(pair.local_index);
+    }
+    for (std::size_t e = 1; e < offsets_.size(); ++e) {
+      offsets_[e] += offsets_[e - 1];
+    }
+  }
+
+  void CandidatesOf(std::size_t external_index,
+                    std::vector<std::size_t>* out) const override {
+    out->assign(locals_.begin() + offsets_[external_index],
+                locals_.begin() + offsets_[external_index + 1]);
+  }
+  std::size_t num_external() const override { return offsets_.size() - 1; }
+
+ private:
+  std::vector<std::size_t> offsets_;  // by external index
+  std::vector<std::size_t> locals_;
+};
+
+class CartesianCandidateIndex : public CandidateIndex {
+ public:
+  CartesianCandidateIndex(std::size_t num_external, std::size_t num_local)
+      : num_external_(num_external), num_local_(num_local) {}
+
+  void CandidatesOf(std::size_t,
+                    std::vector<std::size_t>* out) const override {
+    out->resize(num_local_);
+    for (std::size_t l = 0; l < num_local_; ++l) (*out)[l] = l;
+  }
+  std::size_t num_external() const override { return num_external_; }
+
+ private:
+  std::size_t num_external_;
+  std::size_t num_local_;
+};
+
+}  // namespace
+
+std::unique_ptr<CandidateIndex> CandidateGenerator::BuildIndex(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local) const {
+  return std::make_unique<MaterializedCandidateIndex>(
+      Generate(external, local), external.size());
+}
+
+std::unique_ptr<CandidateIndex> CartesianBlocker::BuildIndex(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local) const {
+  return std::make_unique<CartesianCandidateIndex>(external.size(),
+                                                   local.size());
+}
 
 std::vector<CandidatePair> CartesianBlocker::Generate(
     const std::vector<core::Item>& external,

@@ -6,6 +6,7 @@
 #define RULELINK_BLOCKING_BLOCKER_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,27 @@ struct CandidatePair {
   }
 };
 
+// A per-external view of the candidate space. Instead of materializing
+// every (external, local) pair into one O(candidates) vector, an index
+// answers "which locals should external item e be compared against?" one
+// run at a time, so a streaming consumer's working set is bounded by the
+// largest single run. Indexes are immutable once built and safe to probe
+// from multiple threads concurrently.
+class CandidateIndex {
+ public:
+  virtual ~CandidateIndex() = default;
+
+  // Replaces `out` with the local candidates of `external_index`, in
+  // ascending order with no duplicates — the same locals Generate pairs
+  // with that external item.
+  virtual void CandidatesOf(std::size_t external_index,
+                            std::vector<std::size_t>* out) const = 0;
+
+  // Number of external items the index was built over; CandidatesOf
+  // accepts indexes in [0, num_external()).
+  virtual std::size_t num_external() const = 0;
+};
+
 class CandidateGenerator {
  public:
   virtual ~CandidateGenerator() = default;
@@ -38,6 +60,17 @@ class CandidateGenerator {
       const std::vector<core::Item>& external,
       const std::vector<core::Item>& local) const = 0;
 
+  // Builds a candidate index equivalent to Generate: for every e,
+  // CandidatesOf(e) returns exactly the locals Generate would pair with e.
+  // The base implementation materializes Generate's output into CSR form
+  // (correct for any generator, but still O(candidates) memory once);
+  // blockers that already hold an inverted structure override it to answer
+  // runs directly. Item vectors may be borrowed by the returned index and
+  // must outlive it.
+  virtual std::unique_ptr<CandidateIndex> BuildIndex(
+      const std::vector<core::Item>& external,
+      const std::vector<core::Item>& local) const;
+
   virtual std::string name() const = 0;
 };
 
@@ -45,6 +78,10 @@ class CandidateGenerator {
 class CartesianBlocker : public CandidateGenerator {
  public:
   std::vector<CandidatePair> Generate(
+      const std::vector<core::Item>& external,
+      const std::vector<core::Item>& local) const override;
+  // Every run is 0..|local|-1; nothing to materialize.
+  std::unique_ptr<CandidateIndex> BuildIndex(
       const std::vector<core::Item>& external,
       const std::vector<core::Item>& local) const override;
   std::string name() const override { return "cartesian"; }

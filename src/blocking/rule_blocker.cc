@@ -75,6 +75,82 @@ std::vector<CandidatePair> RuleBlocker::Generate(
   return pairs;
 }
 
+namespace {
+
+class RuleBlockIndex : public CandidateIndex {
+ public:
+  RuleBlockIndex(
+      const core::RuleClassifier* classifier, const ontology::Ontology* onto,
+      std::unordered_map<ontology::ClassId, std::vector<std::size_t>> extents,
+      const std::vector<core::Item>* external, std::size_t num_local,
+      double min_confidence, bool compare_all_when_unclassified)
+      : classifier_(classifier),
+        onto_(onto),
+        extents_(std::move(extents)),
+        external_(external),
+        num_local_(num_local),
+        min_confidence_(min_confidence),
+        compare_all_when_unclassified_(compare_all_when_unclassified) {}
+
+  void CandidatesOf(std::size_t external_index,
+                    std::vector<std::size_t>* out) const override {
+    out->clear();
+    const auto predictions =
+        classifier_->Classify((*external_)[external_index], min_confidence_);
+    if (predictions.empty()) {
+      if (compare_all_when_unclassified_) {
+        out->resize(num_local_);
+        for (std::size_t l = 0; l < num_local_; ++l) (*out)[l] = l;
+      }
+      return;
+    }
+    const auto absorb = [&](ontology::ClassId c) {
+      auto it = extents_.find(c);
+      if (it == extents_.end()) return;
+      out->insert(out->end(), it->second.begin(), it->second.end());
+    };
+    for (const core::ClassPrediction& prediction : predictions) {
+      absorb(prediction.cls);
+      for (ontology::ClassId d : onto_->Descendants(prediction.cls)) {
+        absorb(d);
+      }
+    }
+    // Predicted classes can overlap through the hierarchy; sort + unique
+    // yields the same set Generate's in_subspace bitmap deduplicates.
+    std::sort(out->begin(), out->end());
+    out->erase(std::unique(out->begin(), out->end()), out->end());
+  }
+  std::size_t num_external() const override { return external_->size(); }
+
+ private:
+  const core::RuleClassifier* classifier_;
+  const ontology::Ontology* onto_;
+  const std::unordered_map<ontology::ClassId, std::vector<std::size_t>>
+      extents_;
+  const std::vector<core::Item>* external_;
+  std::size_t num_local_;
+  double min_confidence_;
+  bool compare_all_when_unclassified_;
+};
+
+}  // namespace
+
+std::unique_ptr<CandidateIndex> RuleBlocker::BuildIndex(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local) const {
+  RL_CHECK(local_classes_->size() == local.size())
+      << "local_classes must parallel the local item list";
+  std::unordered_map<ontology::ClassId, std::vector<std::size_t>> extents;
+  for (std::size_t l = 0; l < local.size(); ++l) {
+    const ontology::ClassId c = (*local_classes_)[l];
+    if (c != ontology::kInvalidClassId) extents[c].push_back(l);
+  }
+  return std::make_unique<RuleBlockIndex>(classifier_, onto_,
+                                          std::move(extents), &external,
+                                          local.size(), min_confidence_,
+                                          compare_all_when_unclassified_);
+}
+
 std::string RuleBlocker::name() const {
   return "rule-classifier(minconf=" +
          util::FormatDouble(min_confidence_, 2) +

@@ -29,6 +29,13 @@ class RuleBlocker : public CandidateGenerator {
   std::vector<CandidatePair> Generate(
       const std::vector<core::Item>& external,
       const std::vector<core::Item>& local) const override;
+  // Keeps the class extents and classifies each external item on demand,
+  // so no pair list is ever materialized. The returned index borrows
+  // `external` (items are re-classified per probe) and this blocker's
+  // classifier/ontology; all must outlive it.
+  std::unique_ptr<CandidateIndex> BuildIndex(
+      const std::vector<core::Item>& external,
+      const std::vector<core::Item>& local) const override;
   std::string name() const override;
 
  private:

@@ -38,6 +38,59 @@ std::vector<CandidatePair> StandardBlocker::Generate(
   return pairs;
 }
 
+namespace {
+
+class StandardBlockIndex : public CandidateIndex {
+ public:
+  StandardBlockIndex(std::vector<std::vector<std::size_t>> blocks,
+                     std::vector<util::SymbolId> external_key)
+      : blocks_(std::move(blocks)), external_key_(std::move(external_key)) {}
+
+  void CandidatesOf(std::size_t external_index,
+                    std::vector<std::size_t>* out) const override {
+    const util::SymbolId id = external_key_[external_index];
+    if (id == util::kInvalidSymbolId) {
+      out->clear();
+      return;
+    }
+    // Locals were inserted in ascending order, so each block already is a
+    // sorted-unique run.
+    out->assign(blocks_[id].begin(), blocks_[id].end());
+  }
+  std::size_t num_external() const override { return external_key_.size(); }
+
+ private:
+  std::vector<std::vector<std::size_t>> blocks_;  // by key id
+  std::vector<util::SymbolId> external_key_;      // by external index
+};
+
+}  // namespace
+
+std::unique_ptr<CandidateIndex> StandardBlocker::BuildIndex(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local) const {
+  // Same block construction as Generate, but instead of expanding the
+  // cross product we keep the blocks and each external item's key id.
+  util::StringInterner keys;
+  std::vector<std::vector<std::size_t>> blocks;  // by key id
+  for (std::size_t l = 0; l < local.size(); ++l) {
+    const std::string key = BlockingKey(local[l], property_, prefix_length_);
+    if (key.empty()) continue;
+    const util::SymbolId id = keys.Intern(key);
+    if (id == blocks.size()) blocks.emplace_back();
+    blocks[id].push_back(l);
+  }
+  std::vector<util::SymbolId> external_key(external.size(),
+                                           util::kInvalidSymbolId);
+  for (std::size_t e = 0; e < external.size(); ++e) {
+    const std::string key = BlockingKey(external[e], property_, prefix_length_);
+    if (key.empty()) continue;
+    external_key[e] = keys.Find(key);
+  }
+  return std::make_unique<StandardBlockIndex>(std::move(blocks),
+                                              std::move(external_key));
+}
+
 std::string StandardBlocker::name() const {
   return "standard(" + property_ + "," + std::to_string(prefix_length_) + ")";
 }

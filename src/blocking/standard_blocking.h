@@ -20,6 +20,12 @@ class StandardBlocker : public CandidateGenerator {
   std::vector<CandidatePair> Generate(
       const std::vector<core::Item>& external,
       const std::vector<core::Item>& local) const override;
+  // The block structure already is an inverted index over keys, so the
+  // index stores it directly (plus each external item's resolved key id)
+  // instead of materializing the pair list. Borrows nothing.
+  std::unique_ptr<CandidateIndex> BuildIndex(
+      const std::vector<core::Item>& external,
+      const std::vector<core::Item>& local) const override;
   std::string name() const override;
 
  private:

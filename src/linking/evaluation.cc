@@ -3,6 +3,7 @@
 #include <set>
 
 #include "linking/feature_cache.h"
+#include "linking/streaming_linker.h"
 
 namespace rulelink::linking {
 
@@ -61,6 +62,35 @@ LinkagePipelineResult RunCachedLinkagePipeline(
   result.links = linker.RunCached(external_features, local_features,
                                   candidates, &result.stats, num_threads,
                                   &result.memo);
+  if (gold != nullptr) result.quality = EvaluateLinks(result.links, *gold);
+  return result;
+}
+
+LinkagePipelineResult RunStreamingLinkagePipeline(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local,
+    const blocking::CandidateGenerator& generator, const ItemMatcher& matcher,
+    double threshold, Linker::Strategy strategy,
+    const std::vector<blocking::CandidatePair>* gold,
+    std::size_t num_threads) {
+  FeatureDictionary dict;
+  const FeatureCache external_features = FeatureCache::Build(
+      external, matcher, FeatureCache::Side::kExternal, &dict, num_threads);
+  const FeatureCache local_features = FeatureCache::Build(
+      local, matcher, FeatureCache::Side::kLocal, &dict, num_threads);
+
+  const auto index = generator.BuildIndex(external, local);
+
+  LinkagePipelineResult result;
+  result.distinct_values = dict.num_values();
+  result.dictionary_symbols = dict.num_symbols();
+  result.dictionary_bytes = dict.memory_bytes();
+
+  const StreamingLinker linker(&matcher, threshold, strategy);
+  result.links = linker.Run(*index, external_features, local_features,
+                            &result.stats, num_threads, &result.memo);
+  result.num_candidates =
+      result.stats.pairs_scored + result.stats.pairs_pruned_by_filter;
   if (gold != nullptr) result.quality = EvaluateLinks(result.links, *gold);
   return result;
 }

@@ -51,6 +51,20 @@ LinkagePipelineResult RunCachedLinkagePipeline(
     const std::vector<blocking::CandidatePair>* gold = nullptr,
     std::size_t num_threads = 0);
 
+// Same pipeline through the streaming path: the generator's BuildIndex
+// replaces the materialized candidate vector and StreamingLinker fuses the
+// filter cascade with cached scoring. Links are byte-identical to
+// RunCachedLinkagePipeline; num_candidates is reconstructed as
+// pairs_scored + pairs_pruned_by_filter (runs are never materialized).
+LinkagePipelineResult RunStreamingLinkagePipeline(
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local,
+    const blocking::CandidateGenerator& generator, const ItemMatcher& matcher,
+    double threshold,
+    Linker::Strategy strategy = Linker::Strategy::kBestPerExternal,
+    const std::vector<blocking::CandidatePair>* gold = nullptr,
+    std::size_t num_threads = 0);
+
 }  // namespace rulelink::linking
 
 #endif  // RULELINK_LINKING_EVALUATION_H_

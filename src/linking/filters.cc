@@ -1,0 +1,250 @@
+#include "linking/filters.h"
+
+#include <algorithm>
+
+#include "text/similarity.h"
+#include "util/logging.h"
+
+namespace rulelink::linking {
+namespace {
+
+// Safety slack for stage B only. The stage-A bound is *exactly* at least
+// the score ScoreCached computes (each per-rule bound dominates the best
+// value-pair similarity as a double, both sides accumulate in the same
+// rule order, and IEEE +,*,/ are monotone per argument), so stage A needs
+// no slack. Stage B derives a per-rule similarity floor through a
+// subtraction and a division whose rounding is not aligned with the
+// scorer's; the slack (1e-9, about five orders above the accumulated
+// rounding noise and far below any similarity step 1/maxlen) keeps every
+// borderline pair on the "score it" side.
+constexpr double kStageBSlack = 1e-9;
+
+// Upper bound on the best Levenshtein similarity over the value-id cross
+// product, from lengths alone: the distance is at least |len(a)-len(b)|.
+// Shares LevenshteinSimilarityFromDistance with the real measure so the
+// bound is the same expression, just with a smaller distance.
+double LevenshteinLengthBound(const FeatureDictionary& dict,
+                              const ValueId* ext, std::size_t num_ext,
+                              const ValueId* loc, std::size_t num_loc) {
+  double bound = 0.0;
+  for (std::size_t i = 0; i < num_ext; ++i) {
+    const std::size_t la = dict.View(ext[i]).size();
+    for (std::size_t j = 0; j < num_loc; ++j) {
+      const std::size_t lb = dict.View(loc[j]).size();
+      const std::size_t longest = std::max(la, lb);
+      bound = std::max(bound, text::LevenshteinSimilarityFromDistance(
+                                  longest - std::min(la, lb), longest));
+    }
+  }
+  return bound;
+}
+
+// Upper bound on the best CachedJaccard: the intersection can be at most
+// min(|unique(a)|, |unique(b)|). Same division expression as the measure.
+double JaccardCountBound(const FeatureDictionary& dict, const ValueId* ext,
+                         std::size_t num_ext, const ValueId* loc,
+                         std::size_t num_loc) {
+  double bound = 0.0;
+  for (std::size_t i = 0; i < num_ext; ++i) {
+    const auto fa = dict.Features(ext[i]);
+    for (std::size_t j = 0; j < num_loc; ++j) {
+      const auto fb = dict.Features(loc[j]);
+      if (fa.num_tokens == 0 && fb.num_tokens == 0) return 1.0;
+      const std::size_t mn =
+          std::min(fa.num_unique_tokens, fb.num_unique_tokens);
+      bound = std::max(
+          bound, static_cast<double>(mn) /
+                     static_cast<double>(fa.num_unique_tokens +
+                                         fb.num_unique_tokens - mn));
+    }
+  }
+  return bound;
+}
+
+// Upper bound on the best CachedDice: the multiset overlap can be at most
+// min(|bigrams(a)|, |bigrams(b)|).
+double DiceCountBound(const FeatureDictionary& dict, const ValueId* ext,
+                      std::size_t num_ext, const ValueId* loc,
+                      std::size_t num_loc) {
+  double bound = 0.0;
+  for (std::size_t i = 0; i < num_ext; ++i) {
+    const auto fa = dict.Features(ext[i]);
+    for (std::size_t j = 0; j < num_loc; ++j) {
+      const auto fb = dict.Features(loc[j]);
+      if (fa.num_bigrams == 0 && fb.num_bigrams == 0) return 1.0;
+      const std::size_t mn = std::min(fa.num_bigrams, fb.num_bigrams);
+      bound = std::max(bound,
+                       2.0 * static_cast<double>(mn) /
+                           static_cast<double>(fa.num_bigrams +
+                                               fb.num_bigrams));
+    }
+  }
+  return bound;
+}
+
+// kExact over value ids is already cheaper than any bound, so the
+// "filter" computes the measure itself: 1.0 on any shared id, else 0.0.
+double ExactValue(const ValueId* ext, std::size_t num_ext,
+                  const ValueId* loc, std::size_t num_loc) {
+  for (std::size_t i = 0; i < num_ext; ++i) {
+    for (std::size_t j = 0; j < num_loc; ++j) {
+      if (ext[i] == loc[j]) return 1.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+FilterCascade::FilterCascade(const ItemMatcher* matcher, double threshold)
+    : matcher_(matcher), threshold_(threshold) {
+  RL_CHECK(matcher_ != nullptr);
+  RL_CHECK(threshold_ >= 0.0 && threshold_ <= 1.0);
+  plans_.reserve(matcher_->rules().size());
+  for (const AttributeRule& rule : matcher_->rules()) {
+    Plan plan;
+    plan.weight = rule.weight;
+    switch (rule.measure) {
+      case SimilarityMeasure::kLevenshtein:
+        plan.kind = Kind::kLevenshtein;
+        any_levenshtein_ = true;
+        break;
+      case SimilarityMeasure::kJaccardTokens:
+        plan.kind = Kind::kJaccard;
+        break;
+      case SimilarityMeasure::kDiceBigram:
+        plan.kind = Kind::kDice;
+        break;
+      case SimilarityMeasure::kExact:
+        plan.kind = Kind::kExact;
+        break;
+      default:
+        plan.kind = Kind::kOptimistic;
+        break;
+    }
+    plans_.push_back(plan);
+  }
+}
+
+bool FilterCascade::Prune(const FeatureCache& external_features,
+                          std::size_t external_index,
+                          const FeatureCache& local_features,
+                          std::size_t local_index,
+                          FilterStats* stats) const {
+  const FeatureDictionary& dict = external_features.dict();
+
+  // Stage A: accumulate the per-rule bounds exactly the way ScoreCached
+  // accumulates the per-rule bests (same order, same skip-and-renormalize
+  // treatment of missing properties), so bound_sum >= weighted_sum holds
+  // as computed doubles, not just in real arithmetic.
+  double bound_sum = 0.0;
+  double weight_total = 0.0;
+  bool length_participated = false;
+  bool token_participated = false;
+  bool exact_participated = false;
+  bool any_levenshtein_active = false;
+  for (std::size_t r = 0; r < plans_.size(); ++r) {
+    std::size_t num_ext = 0, num_loc = 0;
+    const ValueId* ext = external_features.Values(external_index, r, &num_ext);
+    const ValueId* loc = local_features.Values(local_index, r, &num_loc);
+    if (num_ext == 0 || num_loc == 0) continue;
+    const Plan& plan = plans_[r];
+    double bound = 1.0;
+    switch (plan.kind) {
+      case Kind::kOptimistic:
+        break;
+      case Kind::kLevenshtein:
+        bound = LevenshteinLengthBound(dict, ext, num_ext, loc, num_loc);
+        any_levenshtein_active = true;
+        if (bound < 1.0) length_participated = true;
+        break;
+      case Kind::kJaccard:
+        bound = JaccardCountBound(dict, ext, num_ext, loc, num_loc);
+        if (bound < 1.0) token_participated = true;
+        break;
+      case Kind::kDice:
+        bound = DiceCountBound(dict, ext, num_ext, loc, num_loc);
+        if (bound < 1.0) token_participated = true;
+        break;
+      case Kind::kExact:
+        bound = ExactValue(ext, num_ext, loc, num_loc);
+        if (bound < 1.0) exact_participated = true;
+        break;
+    }
+    bound_sum += plan.weight * bound;
+    weight_total += plan.weight;
+  }
+
+  const auto record = [&](bool distance_cap) {
+    if (stats == nullptr) return;
+    ++stats->pairs_pruned;
+    if (length_participated) ++stats->by_length;
+    if (token_participated) ++stats->by_token_count;
+    if (exact_participated) ++stats->by_exact;
+    if (distance_cap) ++stats->by_distance_cap;
+  };
+
+  if (weight_total == 0.0) {
+    // Every rule inactive: the scorer returns 0.0, below any positive
+    // threshold. (With threshold 0 the pair would still be emitted.)
+    if (threshold_ <= 0.0) return false;
+    record(false);
+    return true;
+  }
+  if (bound_sum / weight_total < threshold_) {
+    record(false);
+    return true;
+  }
+
+  // Stage B: the length bound survived, but a capped bit-parallel probe
+  // may still prove every Levenshtein value pair sits below the similarity
+  // floor that rule would need for the aggregate to reach the threshold.
+  if (!any_levenshtein_active || threshold_ <= 0.0) return false;
+  const double threshold_weight = threshold_ * weight_total;
+  for (std::size_t r = 0; r < plans_.size(); ++r) {
+    if (plans_[r].kind != Kind::kLevenshtein) continue;
+    std::size_t num_ext = 0, num_loc = 0;
+    const ValueId* ext = external_features.Values(external_index, r, &num_ext);
+    const ValueId* loc = local_features.Values(local_index, r, &num_loc);
+    if (num_ext == 0 || num_loc == 0) continue;
+    // Bound on every other rule's contribution = stage A's sum minus this
+    // rule's own term; the subtraction's rounding is what kStageBSlack is
+    // for.
+    const double own =
+        plans_[r].weight *
+        LevenshteinLengthBound(dict, ext, num_ext, loc, num_loc);
+    const double floor =
+        (threshold_weight - (bound_sum - own)) / plans_[r].weight;
+    const double floor_cap = floor - kStageBSlack;
+    if (floor_cap <= 0.0) continue;  // any similarity could suffice
+    double best = -1.0;
+    for (std::size_t i = 0; i < num_ext; ++i) {
+      const std::string_view va = dict.View(ext[i]);
+      for (std::size_t j = 0; j < num_loc; ++j) {
+        const std::string_view vb = dict.View(loc[j]);
+        const std::size_t longest = std::max(va.size(), vb.size());
+        if (longest == 0) {
+          best = std::max(best, 1.0);
+          continue;
+        }
+        // Distances above this cap put the pair's similarity strictly
+        // below floor_cap (the +1 absorbs the product's rounding).
+        double allowed = (1.0 - floor_cap) * static_cast<double>(longest);
+        if (allowed < 0.0) allowed = 0.0;
+        const std::size_t cap = static_cast<std::size_t>(allowed) + 1;
+        const std::size_t d = text::BoundedLevenshteinDistance(va, vb, cap);
+        if (d <= cap) {
+          best = std::max(
+              best, text::LevenshteinSimilarityFromDistance(d, longest));
+        }
+      }
+    }
+    if (best < floor_cap) {
+      record(true);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rulelink::linking

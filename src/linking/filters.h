@@ -1,0 +1,80 @@
+// Threshold-aware filter cascade for the streaming linker: cheap, *sound*
+// upper bounds on the aggregate match score, evaluated on FeatureCache
+// data before any similarity kernel runs. A pair is pruned only when the
+// bound proves its score would land below the linker threshold, so the
+// surviving pairs — and therefore the emitted links — are exactly the
+// ones the unfiltered scorer produces (the soundness argument, including
+// why IEEE rounding cannot flip a decision, is in DESIGN.md §5e).
+#ifndef RULELINK_LINKING_FILTERS_H_
+#define RULELINK_LINKING_FILTERS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linking/feature_cache.h"
+#include "linking/matcher.h"
+
+namespace rulelink::linking {
+
+// Prune counters. A pruned pair increments every filter whose bound was
+// below the optimistic 1.0 for some active rule, so the per-filter
+// counters can sum to more than `pairs_pruned`. Folded into LinkerStats
+// by the streaming linker.
+struct FilterStats {
+  std::uint64_t pairs_pruned = 0;
+  std::uint64_t by_length = 0;        // Levenshtein length-difference bound
+  std::uint64_t by_token_count = 0;   // Jaccard/Dice token/bigram counts
+  std::uint64_t by_exact = 0;         // kExact id mismatch
+  std::uint64_t by_distance_cap = 0;  // capped bit-parallel probe (stage B)
+
+  void Add(const FilterStats& other) {
+    pairs_pruned += other.pairs_pruned;
+    by_length += other.by_length;
+    by_token_count += other.by_token_count;
+    by_exact += other.by_exact;
+    by_distance_cap += other.by_distance_cap;
+  }
+};
+
+class FilterCascade {
+ public:
+  // `matcher` is borrowed and must outlive the cascade; `threshold` is the
+  // linker's decision threshold in [0, 1].
+  FilterCascade(const ItemMatcher* matcher, double threshold);
+
+  // True when the pair's aggregate score is provably below the threshold.
+  // Stage A combines per-rule upper bounds (length gap for Levenshtein,
+  // count bounds for Jaccard/Dice, the exact id scan for kExact, 1.0 for
+  // everything else) with the matcher's weight renormalization; stage B
+  // spends a capped bit-parallel Levenshtein probe per surviving
+  // Levenshtein rule. Thread-safe: no mutable state.
+  bool Prune(const FeatureCache& external_features,
+             std::size_t external_index,
+             const FeatureCache& local_features, std::size_t local_index,
+             FilterStats* stats) const;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  enum class Kind : std::uint8_t {
+    kOptimistic,   // no cheap bound: assume 1.0
+    kLevenshtein,  // length-difference bound + capped probe
+    kJaccard,      // unique-token count bound
+    kDice,         // bigram count bound
+    kExact,        // evaluated exactly on value ids
+  };
+  struct Plan {
+    Kind kind = Kind::kOptimistic;
+    double weight = 1.0;
+  };
+
+  const ItemMatcher* matcher_;
+  double threshold_;
+  std::vector<Plan> plans_;  // positional, parallel to matcher_->rules()
+  bool any_levenshtein_ = false;
+};
+
+}  // namespace rulelink::linking
+
+#endif  // RULELINK_LINKING_FILTERS_H_

@@ -1,6 +1,7 @@
 #include "linking/linker.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -16,7 +17,8 @@ namespace {
 struct ScoreShard {
   std::vector<Link> links;  // kAllAboveThreshold: links in candidate order
   std::unordered_map<std::size_t, Link> best;  // kBestPerExternal
-  std::size_t comparisons = 0;
+  std::size_t pairs_scored = 0;
+  std::uint64_t measures_computed = 0;
 };
 
 // True when `candidates` is strictly ascending in (external, local) order,
@@ -60,9 +62,11 @@ std::vector<Link> Linker::Run(
           const blocking::CandidatePair& pair = unique[i];
           RL_DCHECK(pair.external_index < external.size());
           RL_DCHECK(pair.local_index < local.size());
-          const double score = matcher_->Score(external[pair.external_index],
-                                               local[pair.local_index]);
-          ++shard.comparisons;
+          const double score =
+              matcher_->Score(external[pair.external_index],
+                              local[pair.local_index],
+                              &shard.measures_computed);
+          ++shard.pairs_scored;
           if (score < threshold_) continue;
           const Link link{pair.external_index, pair.local_index, score};
           if (strategy_ == Strategy::kAllAboveThreshold) {
@@ -75,11 +79,13 @@ std::vector<Link> Linker::Run(
         }
       });
 
-  std::size_t comparisons = 0;
+  std::size_t pairs_scored = 0;
+  std::uint64_t measures_computed = 0;
   std::vector<Link> links;
   if (strategy_ == Strategy::kAllAboveThreshold) {
     for (const ScoreShard& shard : shards) {
-      comparisons += shard.comparisons;
+      pairs_scored += shard.pairs_scored;
+      measures_computed += shard.measures_computed;
       links.insert(links.end(), shard.links.begin(), shard.links.end());
     }
   } else {
@@ -87,7 +93,8 @@ std::vector<Link> Linker::Run(
     // displaces the link found earlier in candidate order.
     std::unordered_map<std::size_t, Link> best;
     for (ScoreShard& shard : shards) {
-      comparisons += shard.comparisons;
+      pairs_scored += shard.pairs_scored;
+      measures_computed += shard.measures_computed;
       for (const auto& [external_index, link] : shard.best) {
         auto [it, inserted] = best.try_emplace(external_index, link);
         if (!inserted && link.score > it->second.score) it->second = link;
@@ -104,7 +111,8 @@ std::vector<Link> Linker::Run(
     return a.local_index < b.local_index;
   });
   if (stats != nullptr) {
-    stats->comparisons = comparisons;
+    stats->pairs_scored = pairs_scored;
+    stats->comparisons = measures_computed;
     stats->links_emitted = links.size();
   }
   return links;
@@ -132,7 +140,8 @@ std::vector<Link> Linker::RunCached(
 
   struct CachedShard {
     std::vector<Link> links;  // sorted by (external, local) within a shard
-    std::size_t comparisons = 0;
+    std::size_t pairs_scored = 0;
+    std::uint64_t measures_computed = 0;
     ScoreMemoStats memo;
   };
   const std::size_t num_shards = util::ParallelChunks(num_threads,
@@ -156,10 +165,10 @@ std::vector<Link> Linker::RunCached(
             best_set = false;
           }
           run_external = pair.external_index;
-          const double score =
-              matcher_->ScoreCached(external_features, pair.external_index,
-                                    local_features, pair.local_index, &memo);
-          ++shard.comparisons;
+          const double score = matcher_->ScoreCached(
+              external_features, pair.external_index, local_features,
+              pair.local_index, &memo, &shard.measures_computed);
+          ++shard.pairs_scored;
           if (score < threshold_) continue;
           const Link link{pair.external_index, pair.local_index, score};
           if (keep_all) {
@@ -180,11 +189,13 @@ std::vector<Link> Linker::RunCached(
   // best-per-external, an external whose run straddles a chunk boundary
   // appears once per shard; folding adjacent equal-external links in
   // chunk order reproduces the serial argmax and tie-break.
-  std::size_t comparisons = 0;
+  std::size_t pairs_scored = 0;
+  std::uint64_t measures_computed = 0;
   std::vector<Link> links;
   ScoreMemoStats memo_total;
   for (const CachedShard& shard : shards) {
-    comparisons += shard.comparisons;
+    pairs_scored += shard.pairs_scored;
+    measures_computed += shard.measures_computed;
     memo_total.Add(shard.memo);
     for (const Link& link : shard.links) {
       if (!keep_all && !links.empty() &&
@@ -196,7 +207,8 @@ std::vector<Link> Linker::RunCached(
     }
   }
   if (stats != nullptr) {
-    stats->comparisons = comparisons;
+    stats->pairs_scored = pairs_scored;
+    stats->comparisons = measures_computed;
     stats->links_emitted = links.size();
   }
   if (memo_stats != nullptr) memo_stats->Add(memo_total);

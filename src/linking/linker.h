@@ -5,6 +5,7 @@
 #ifndef RULELINK_LINKING_LINKER_H_
 #define RULELINK_LINKING_LINKER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "blocking/blocker.h"
@@ -25,8 +26,27 @@ struct Link {
 };
 
 struct LinkerStats {
-  std::size_t comparisons = 0;       // pairs actually scored
+  // Candidate pairs the scorer evaluated (after dedup, minus any pruned by
+  // the streaming filter cascade). Identical at every thread count.
+  std::size_t pairs_scored = 0;
+  // Similarity kernels actually executed — memo hits are replays, not
+  // computations, so they do not count. On the cached paths this depends
+  // on how pairs chunked across per-worker memos (a consequence of the
+  // memo-hit exclusion; the scores themselves never vary).
+  std::uint64_t comparisons = 0;
   std::size_t links_emitted = 0;
+  // Streaming-path (StreamingLinker) filter cascade counters; zero for
+  // Run/RunCached. A pruned pair increments every filter whose bound was
+  // below the optimistic 1.0, so the per-filter counters can sum to more
+  // than pairs_pruned_by_filter. All identical at every thread count.
+  std::size_t pairs_pruned_by_filter = 0;
+  std::size_t pruned_by_length = 0;       // Levenshtein length gap
+  std::size_t pruned_by_token_count = 0;  // Jaccard/Dice count bounds
+  std::size_t pruned_by_exact = 0;        // kExact id mismatch
+  std::size_t pruned_by_distance_cap = 0; // capped Levenshtein probe
+  // Longest per-external candidate run the streaming path buffered — the
+  // peak working-set size that replaces the materialized candidate vector.
+  std::size_t peak_candidate_run = 0;
 };
 
 class Linker {

@@ -53,8 +53,8 @@ ItemMatcher::ItemMatcher(std::vector<AttributeRule> rules)
   }
 }
 
-double ItemMatcher::Score(const core::Item& external,
-                          const core::Item& local) const {
+double ItemMatcher::Score(const core::Item& external, const core::Item& local,
+                          std::uint64_t* measures_computed) const {
   double weighted_sum = 0.0;
   double weight_total = 0.0;
   for (const AttributeRule& rule : rules_) {
@@ -66,6 +66,9 @@ double ItemMatcher::Score(const core::Item& external,
       for (const std::string& lv : local_values) {
         best = std::max(best, ComputeSimilarity(rule.measure, ev, lv));
       }
+    }
+    if (measures_computed != nullptr) {
+      *measures_computed += ext_values.size() * local_values.size();
     }
     weighted_sum += rule.weight * best;
     weight_total += rule.weight;
@@ -165,6 +168,7 @@ template <typename PairSimilarity>
 double BestCachedPair(const ValueId* ext, std::size_t num_ext,
                       const ValueId* loc, std::size_t num_loc,
                       std::size_t measure_index, ScoreMemo* memo,
+                      std::uint64_t* measures_computed,
                       const PairSimilarity& pair_similarity) {
   auto* map = memo != nullptr ? &memo->map_for(measure_index) : nullptr;
   double best = 0.0;
@@ -177,12 +181,14 @@ double BestCachedPair(const ValueId* ext, std::size_t num_ext,
         const auto [it, inserted] = map->try_emplace(key, 0.0);
         if (inserted) {
           it->second = pair_similarity(ext[i], loc[j]);
+          if (measures_computed != nullptr) ++*measures_computed;
         } else {
           ++memo->mutable_stats().hits;
         }
         similarity = it->second;
       } else {
         similarity = pair_similarity(ext[i], loc[j]);
+        if (measures_computed != nullptr) ++*measures_computed;
       }
       best = std::max(best, similarity);
     }
@@ -195,8 +201,8 @@ double BestCachedPair(const ValueId* ext, std::size_t num_ext,
 double ItemMatcher::ScoreCached(const FeatureCache& external_features,
                                 std::size_t external_index,
                                 const FeatureCache& local_features,
-                                std::size_t local_index,
-                                ScoreMemo* memo) const {
+                                std::size_t local_index, ScoreMemo* memo,
+                                std::uint64_t* measures_computed) const {
   RL_DCHECK(&external_features.dict() == &local_features.dict())
       << "caches must share one FeatureDictionary";
   RL_DCHECK(external_features.num_rules() == rules_.size());
@@ -219,6 +225,7 @@ double ItemMatcher::ScoreCached(const FeatureCache& external_features,
         // Identical strings share one value id; no memo needed.
         for (std::size_t i = 0; i < num_ext && best == 0.0; ++i) {
           for (std::size_t j = 0; j < num_loc; ++j) {
+            if (measures_computed != nullptr) ++*measures_computed;
             if (ext[i] == loc[j]) {
               best = 1.0;
               break;
@@ -228,6 +235,7 @@ double ItemMatcher::ScoreCached(const FeatureCache& external_features,
         break;
       case SimilarityMeasure::kLevenshtein:
         best = BestCachedPair(ext, num_ext, loc, num_loc, mi, memo,
+                              measures_computed,
                               [&dict](ValueId a, ValueId b) {
                                 return text::LevenshteinSimilarity(
                                     dict.View(a), dict.View(b));
@@ -235,6 +243,7 @@ double ItemMatcher::ScoreCached(const FeatureCache& external_features,
         break;
       case SimilarityMeasure::kJaro:
         best = BestCachedPair(ext, num_ext, loc, num_loc, mi, memo,
+                              measures_computed,
                               [&dict](ValueId a, ValueId b) {
                                 return text::JaroSimilarity(dict.View(a),
                                                             dict.View(b));
@@ -242,6 +251,7 @@ double ItemMatcher::ScoreCached(const FeatureCache& external_features,
         break;
       case SimilarityMeasure::kJaroWinkler:
         best = BestCachedPair(ext, num_ext, loc, num_loc, mi, memo,
+                              measures_computed,
                               [&dict](ValueId a, ValueId b) {
                                 return text::JaroWinklerSimilarity(
                                     dict.View(a), dict.View(b));
@@ -253,6 +263,7 @@ double ItemMatcher::ScoreCached(const FeatureCache& external_features,
         // mostly-distinct values like part numbers the memo is all
         // misses, and every miss grows the table).
         best = BestCachedPair(ext, num_ext, loc, num_loc, mi, nullptr,
+                              measures_computed,
                               [&dict](ValueId a, ValueId b) {
                                 return CachedJaccard(dict.Features(a),
                                                      dict.Features(b));
@@ -260,6 +271,7 @@ double ItemMatcher::ScoreCached(const FeatureCache& external_features,
         break;
       case SimilarityMeasure::kDiceBigram:
         best = BestCachedPair(ext, num_ext, loc, num_loc, mi, nullptr,
+                              measures_computed,
                               [&dict](ValueId a, ValueId b) {
                                 return CachedDice(dict.Features(a),
                                                   dict.Features(b));
@@ -267,7 +279,7 @@ double ItemMatcher::ScoreCached(const FeatureCache& external_features,
         break;
       case SimilarityMeasure::kMongeElkan:
         best = BestCachedPair(
-            ext, num_ext, loc, num_loc, mi, memo,
+            ext, num_ext, loc, num_loc, mi, memo, measures_computed,
             [&dict](ValueId a, ValueId b) {
               const ValueFeatures fa = dict.Features(a);
               const ValueFeatures fb = dict.Features(b);

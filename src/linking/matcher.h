@@ -100,7 +100,10 @@ class ItemMatcher {
   // Weighted mean over attribute rules of the best value-pair similarity.
   // Rules whose property is missing on either side are skipped and the
   // weights renormalized; if every rule is skipped the score is 0.
-  double Score(const core::Item& external, const core::Item& local) const;
+  // `measures_computed` (optional) is incremented once per similarity
+  // kernel actually executed (one per value pair per active rule).
+  double Score(const core::Item& external, const core::Item& local,
+               std::uint64_t* measures_computed = nullptr) const;
 
   // The same score computed from precomputed features: byte-identical to
   // Score() on the items the caches were built from, but measure dispatch
@@ -109,11 +112,16 @@ class ItemMatcher {
   // `memo` (optional) short-circuits repeated (value, value, measure)
   // triples. Both caches must have been built against this matcher and
   // share one FeatureDictionary.
+  // `measures_computed` counts kernels actually run: memo hits are replays,
+  // not computations, so they do not count (which makes the counter depend
+  // on memo state, unlike the score itself); kExact counts the id pairs it
+  // examined before short-circuiting.
   double ScoreCached(const FeatureCache& external_features,
                      std::size_t external_index,
                      const FeatureCache& local_features,
                      std::size_t local_index,
-                     ScoreMemo* memo = nullptr) const;
+                     ScoreMemo* memo = nullptr,
+                     std::uint64_t* measures_computed = nullptr) const;
 
   const std::vector<AttributeRule>& rules() const { return rules_; }
 

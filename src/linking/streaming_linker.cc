@@ -1,0 +1,107 @@
+#include "linking/streaming_linker.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "linking/feature_cache.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace rulelink::linking {
+
+StreamingLinker::StreamingLinker(const ItemMatcher* matcher, double threshold,
+                                 Linker::Strategy strategy)
+    : matcher_(matcher),
+      threshold_(threshold),
+      strategy_(strategy),
+      cascade_(matcher, threshold) {
+  RL_CHECK(matcher_ != nullptr);
+  RL_CHECK(threshold_ >= 0.0 && threshold_ <= 1.0);
+}
+
+std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
+                                       const FeatureCache& external_features,
+                                       const FeatureCache& local_features,
+                                       LinkerStats* stats,
+                                       std::size_t num_threads,
+                                       ScoreMemoStats* memo_stats) const {
+  RL_DCHECK(&external_features.dict() == &local_features.dict());
+  RL_CHECK(index.num_external() == external_features.num_items())
+      << "candidate index and external feature cache disagree";
+  const std::size_t num_external = index.num_external();
+
+  struct StreamShard {
+    std::vector<Link> links;
+    std::size_t pairs_scored = 0;
+    std::uint64_t measures_computed = 0;
+    std::size_t peak_run = 0;
+    FilterStats filters;
+    ScoreMemoStats memo;
+  };
+  const std::size_t num_shards =
+      util::ParallelChunks(num_threads, num_external);
+  std::vector<StreamShard> shards(std::max<std::size_t>(1, num_shards));
+  const bool keep_all = strategy_ == Linker::Strategy::kAllAboveThreshold;
+  // Chunks partition external items, not pairs, so every per-external run
+  // lives entirely inside one shard: the serial best-per-external logic
+  // applies locally and shard outputs concatenate without folding.
+  util::ParallelFor(
+      num_threads, num_external,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        StreamShard& shard = shards[chunk];
+        ScoreMemo memo;
+        std::vector<std::size_t> run;  // reused per external item
+        for (std::size_t e = begin; e < end; ++e) {
+          index.CandidatesOf(e, &run);
+          shard.peak_run = std::max(shard.peak_run, run.size());
+          Link best;
+          bool best_set = false;
+          for (const std::size_t l : run) {
+            RL_DCHECK(l < local_features.num_items());
+            if (cascade_.Prune(external_features, e, local_features, l,
+                               &shard.filters)) {
+              continue;
+            }
+            const double score =
+                matcher_->ScoreCached(external_features, e, local_features, l,
+                                      &memo, &shard.measures_computed);
+            ++shard.pairs_scored;
+            if (score < threshold_) continue;
+            const Link link{e, l, score};
+            if (keep_all) {
+              shard.links.push_back(link);
+            } else if (!best_set || score > best.score) {
+              // Strict >: ties keep the earliest local in run order,
+              // matching Linker's serial tie-break.
+              best = link;
+              best_set = true;
+            }
+          }
+          if (best_set) shard.links.push_back(best);
+        }
+        shard.memo = memo.stats();
+      });
+
+  std::vector<Link> links;
+  LinkerStats total;
+  ScoreMemoStats memo_total;
+  for (const StreamShard& shard : shards) {
+    total.pairs_scored += shard.pairs_scored;
+    total.comparisons += shard.measures_computed;
+    total.pairs_pruned_by_filter += shard.filters.pairs_pruned;
+    total.pruned_by_length += shard.filters.by_length;
+    total.pruned_by_token_count += shard.filters.by_token_count;
+    total.pruned_by_exact += shard.filters.by_exact;
+    total.pruned_by_distance_cap += shard.filters.by_distance_cap;
+    total.peak_candidate_run =
+        std::max(total.peak_candidate_run, shard.peak_run);
+    memo_total.Add(shard.memo);
+    links.insert(links.end(), shard.links.begin(), shard.links.end());
+  }
+  total.links_emitted = links.size();
+  if (stats != nullptr) *stats = total;
+  if (memo_stats != nullptr) memo_stats->Add(memo_total);
+  return links;
+}
+
+}  // namespace rulelink::linking

@@ -1,0 +1,57 @@
+// Streaming linker: fuses candidate generation and cached scoring. Where
+// Linker::RunCached consumes one materialized O(candidates) pair vector,
+// StreamingLinker walks a blocking::CandidateIndex external item by
+// external item, holds only the current per-external candidate run, and
+// pushes each run through a threshold-aware FilterCascade before the
+// cached scorer sees it. Links are byte-identical to RunCached over the
+// same candidate space at every thread count — the cascade is a set of
+// sound bounds, never a heuristic (DESIGN.md §5e).
+#ifndef RULELINK_LINKING_STREAMING_LINKER_H_
+#define RULELINK_LINKING_STREAMING_LINKER_H_
+
+#include <vector>
+
+#include "blocking/blocker.h"
+#include "linking/filters.h"
+#include "linking/linker.h"
+#include "linking/matcher.h"
+
+namespace rulelink::linking {
+
+class StreamingLinker {
+ public:
+  // `matcher` is borrowed and must outlive the linker. Threshold and
+  // strategy have Linker semantics.
+  StreamingLinker(const ItemMatcher* matcher, double threshold,
+                  Linker::Strategy strategy = Linker::Strategy::kBestPerExternal);
+
+  // Streams the index's per-external candidate runs into the filter
+  // cascade and the cached scorer. Both caches must have been built
+  // against this linker's matcher and share one FeatureDictionary, and
+  // the index must cover exactly the cache's external items.
+  //
+  // External items are partitioned across `num_threads` workers (0 =
+  // hardware concurrency, 1 = serial); a per-external run never straddles
+  // a chunk boundary, so per-worker links concatenate in chunk order with
+  // no boundary folding and the output is identical at every thread
+  // count. Each worker keeps a private ScoreMemo; `memo_stats`
+  // accumulates their counters (chunking-dependent, like RunCached's).
+  // `stats` additionally reports the cascade's prune counters and
+  // peak_candidate_run, all thread-count invariant.
+  std::vector<Link> Run(const blocking::CandidateIndex& index,
+                        const FeatureCache& external_features,
+                        const FeatureCache& local_features,
+                        LinkerStats* stats = nullptr,
+                        std::size_t num_threads = 0,
+                        ScoreMemoStats* memo_stats = nullptr) const;
+
+ private:
+  const ItemMatcher* matcher_;
+  double threshold_;
+  Linker::Strategy strategy_;
+  FilterCascade cascade_;
+};
+
+}  // namespace rulelink::linking
+
+#endif  // RULELINK_LINKING_STREAMING_LINKER_H_

@@ -1,14 +1,16 @@
 #include "text/similarity.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
 
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace rulelink::text {
 
-std::size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+std::size_t LevenshteinDistanceDP(std::string_view a, std::string_view b) {
   if (a.size() > b.size()) std::swap(a, b);
   // Single-row dynamic program over the shorter string.
   std::vector<std::size_t> row(a.size() + 1);
@@ -25,6 +27,138 @@ std::size_t LevenshteinDistance(std::string_view a, std::string_view b) {
     }
   }
   return row[a.size()];
+}
+
+namespace {
+
+// Sentinel cap meaning "compute the exact distance, never exit early".
+constexpr std::size_t kNoCap = static_cast<std::size_t>(-1);
+
+// Myers' bit-parallel Levenshtein (Hyyrö's formulation) for patterns of
+// at most 64 bytes. Pv/Mv hold the vertical +1/-1 deltas of the current
+// DP column; `score` tracks D[m][j] via the horizontal delta at the
+// pattern's last row. `(Ph << 1) | 1` encodes the D[0][j] = j boundary.
+// With a finite `cap`, returns cap + 1 as soon as even the remaining
+// columns (one unit of decrease each, at best) cannot bring the final
+// distance back under the cap.
+std::size_t MyersDistance64(std::string_view a, std::string_view b,
+                            std::size_t cap) {
+  // Per-byte match masks, reset after use so only touched entries cost.
+  static thread_local std::array<std::uint64_t, 256> peq{};
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(a[i])] |= std::uint64_t{1} << i;
+  }
+  const std::uint64_t last_row = std::uint64_t{1} << (m - 1);
+  std::uint64_t pv = ~std::uint64_t{0};
+  std::uint64_t mv = 0;
+  std::size_t score = m;
+  std::size_t result = kNoCap;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t eq = peq[static_cast<unsigned char>(b[j])];
+    const std::uint64_t xv = eq | mv;
+    const std::uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    std::uint64_t ph = mv | ~(xh | pv);
+    std::uint64_t mh = pv & xh;
+    if (ph & last_row) ++score;
+    if (mh & last_row) --score;
+    ph = (ph << 1) | 1;
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+    if (cap != kNoCap && score > cap + (n - 1 - j)) {
+      result = cap + 1;
+      break;
+    }
+  }
+  if (result == kNoCap) result = score;
+  for (std::size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(a[i])] = 0;
+  }
+  return result;
+}
+
+// The blocked variant for patterns longer than 64 bytes: one Pv/Mv word
+// per 64-byte block, horizontal deltas carried block to block through
+// `hin`/`hout` in {-1, 0, +1}. Padding bits above the last pattern row
+// are harmless: information only flows upward within a column (carry and
+// left-shift), and the score is read at bit (m-1) % 64 of the last block
+// before the shift.
+std::size_t MyersDistanceBlocked(std::string_view a, std::string_view b,
+                                 std::size_t cap) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  const std::size_t w = (m + 63) / 64;
+  std::vector<std::uint64_t> peq(w * 256, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    peq[(i / 64) * 256 + static_cast<unsigned char>(a[i])] |=
+        std::uint64_t{1} << (i % 64);
+  }
+  std::vector<std::uint64_t> pv(w, ~std::uint64_t{0});
+  std::vector<std::uint64_t> mv(w, 0);
+  const std::uint64_t block_top = std::uint64_t{1} << 63;
+  const std::uint64_t last_row = std::uint64_t{1} << ((m - 1) % 64);
+  std::size_t score = m;
+  for (std::size_t j = 0; j < n; ++j) {
+    const unsigned char c = static_cast<unsigned char>(b[j]);
+    int hin = 1;  // the D[0][j] = j boundary enters block 0 as +1
+    for (std::size_t blk = 0; blk < w; ++blk) {
+      const std::uint64_t pv_b = pv[blk];
+      const std::uint64_t mv_b = mv[blk];
+      const std::uint64_t eq = peq[blk * 256 + c];
+      // A -1 carried in acts like a match in the block's first row.
+      const std::uint64_t eq_in = hin < 0 ? eq | 1 : eq;
+      const std::uint64_t xv = eq | mv_b;
+      const std::uint64_t xh = (((eq_in & pv_b) + pv_b) ^ pv_b) | eq_in;
+      std::uint64_t ph = mv_b | ~(xh | pv_b);
+      std::uint64_t mh = pv_b & xh;
+      if (blk == w - 1) {
+        if (ph & last_row) ++score;
+        if (mh & last_row) --score;
+      }
+      const int hout = (ph & block_top) ? 1 : ((mh & block_top) ? -1 : 0);
+      ph <<= 1;
+      mh <<= 1;
+      if (hin > 0) ph |= 1;
+      if (hin < 0) mh |= 1;
+      pv[blk] = mh | ~(xv | ph);
+      mv[blk] = ph & xv;
+      hin = hout;
+    }
+    if (cap != kNoCap && score > cap + (n - 1 - j)) return cap + 1;
+  }
+  return score;
+}
+
+std::size_t MyersDistance(std::string_view a, std::string_view b,
+                          std::size_t cap) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return b.size();
+  if (a.size() <= 64) return MyersDistance64(a, b, cap);
+  return MyersDistanceBlocked(a, b, cap);
+}
+
+}  // namespace
+
+std::size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  return MyersDistance(a, b, kNoCap);
+}
+
+std::size_t BoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                                       std::size_t cap) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  // |len(a)-len(b)| insertions are unavoidable.
+  if (n - m > cap) return cap + 1;
+  if (cap == 0) return a == b ? 0 : 1;
+  if (m == 0) return n;  // n <= cap here, so this is the exact distance
+  // Clamp so the early-exit arithmetic in the kernels cannot overflow; a
+  // cap >= m + n can never fire anyway (the distance is at most n).
+  cap = std::min(cap, m + n);
+  if (m <= 64) return MyersDistance64(a, b, cap);
+  return MyersDistanceBlocked(a, b, cap);
 }
 
 std::size_t DamerauLevenshteinDistance(std::string_view a,
@@ -49,10 +183,8 @@ std::size_t DamerauLevenshteinDistance(std::string_view a,
 }
 
 double LevenshteinSimilarity(std::string_view a, std::string_view b) {
-  const std::size_t longest = std::max(a.size(), b.size());
-  if (longest == 0) return 1.0;
-  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
-                   static_cast<double>(longest);
+  return LevenshteinSimilarityFromDistance(LevenshteinDistance(a, b),
+                                           std::max(a.size(), b.size()));
 }
 
 double JaroSimilarity(std::string_view a, std::string_view b) {

@@ -17,7 +17,32 @@ namespace rulelink::text {
 using TokenId = util::SymbolId;
 
 // Levenshtein edit distance (insert/delete/substitute, unit costs).
+// Computed with Myers' bit-parallel algorithm (64-bit blocks); byte-wise,
+// so it agrees exactly with the dynamic-programming reference below even
+// on multi-byte UTF-8 input.
 std::size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+// The single-row dynamic-programming formulation, kept as the differential
+// oracle for the bit-parallel kernel. Not used on any hot path.
+std::size_t LevenshteinDistanceDP(std::string_view a, std::string_view b);
+
+// Threshold-capped Levenshtein: returns the exact distance when it is
+// <= cap, and some value > cap otherwise (the kernel stops as soon as the
+// distance provably exceeds the cap). Lets filter cascades test "within a
+// distance budget" without paying for the full distance.
+std::size_t BoundedLevenshteinDistance(std::string_view a, std::string_view b,
+                                       std::size_t cap);
+
+// The similarity LevenshteinSimilarity derives from an already-known
+// distance: 1 - distance / longest (1.0 when longest == 0). Exposed so
+// callers that computed the distance themselves reproduce the exact same
+// double, bit for bit.
+inline double LevenshteinSimilarityFromDistance(std::size_t distance,
+                                                std::size_t longest) {
+  if (longest == 0) return 1.0;
+  return 1.0 -
+         static_cast<double>(distance) / static_cast<double>(longest);
+}
 
 // Damerau-Levenshtein (adds adjacent transposition), restricted variant.
 std::size_t DamerauLevenshteinDistance(std::string_view a,

@@ -118,6 +118,8 @@ TEST_F(LinkerTest, BestPerExternalKeepsArgmax) {
   EXPECT_DOUBLE_EQ(links[0].score, 1.0);
   EXPECT_EQ(links[1].external_index, 1u);
   EXPECT_EQ(links[1].local_index, 2u);
+  EXPECT_EQ(stats.pairs_scored, 8u);
+  // One rule, single-valued items: one kernel per pair.
   EXPECT_EQ(stats.comparisons, 8u);
   EXPECT_EQ(stats.links_emitted, 2u);
 }
@@ -140,13 +142,14 @@ TEST_F(LinkerTest, DuplicateCandidatesScoredOnce) {
   const Linker linker(&matcher_, 0.5);
   LinkerStats stats;
   linker.Run(external_, local_, duplicated, &stats);
-  EXPECT_EQ(stats.comparisons, 1u);
+  EXPECT_EQ(stats.pairs_scored, 1u);
 }
 
 TEST_F(LinkerTest, NoCandidatesNoLinks) {
   const Linker linker(&matcher_, 0.5);
   LinkerStats stats;
   EXPECT_TRUE(linker.Run(external_, local_, {}, &stats).empty());
+  EXPECT_EQ(stats.pairs_scored, 0u);
   EXPECT_EQ(stats.comparisons, 0u);
 }
 

@@ -1,0 +1,296 @@
+// Differential tests for the streaming linker: StreamingLinker over a
+// blocker's CandidateIndex must be byte-identical to Linker::RunCached
+// over the same blocker's materialized candidate list — same links, same
+// order, same scores — at every thread count, for both strategies, over
+// StandardBlocker, RuleBlocker and the default (materializing) BuildIndex.
+// The filter cascade is additionally checked directly: a pruned pair's
+// real cached score must sit below the threshold, i.e. the bounds are
+// sound, never heuristic. This is the acceptance bar for the streaming
+// tentpole.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/rule_blocker.h"
+#include "blocking/standard_blocking.h"
+#include "core/learner.h"
+#include "datagen/generator.h"
+#include "linking/evaluation.h"
+#include "linking/feature_cache.h"
+#include "linking/filters.h"
+#include "linking/linker.h"
+#include "linking/matcher.h"
+#include "linking/streaming_linker.h"
+#include "text/segmenter.h"
+#include "util/logging.h"
+
+namespace rulelink {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+constexpr double kThreshold = 0.6;
+
+datagen::DatasetConfig DifferentialConfig(std::uint64_t seed) {
+  datagen::DatasetConfig config;
+  config.seed = seed;
+  config.num_classes = 50;
+  config.num_leaves = 20;
+  config.catalog_size = 700;
+  config.num_links = 320;
+  config.num_signal_classes = 5;
+  config.num_other_frequent_classes = 5;
+  config.signal_class_min_links = 20;
+  config.signal_class_max_links = 40;
+  config.frequent_class_min_links = 6;
+  config.frequent_class_max_links = 11;
+  config.tail_class_cap_links = 4;
+  return config;
+}
+
+const datagen::Dataset& GetCorpus(std::uint64_t seed) {
+  static std::map<std::uint64_t, std::unique_ptr<datagen::Dataset>>* cache =
+      new std::map<std::uint64_t, std::unique_ptr<datagen::Dataset>>();
+  auto it = cache->find(seed);
+  if (it == cache->end()) {
+    auto dataset =
+        datagen::DatasetGenerator(DifferentialConfig(seed)).Generate();
+    RL_CHECK(dataset.ok()) << dataset.status();
+    it = cache
+             ->emplace(seed, std::make_unique<datagen::Dataset>(
+                                 std::move(dataset).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+// Exercises every filter in the cascade at once: a Levenshtein rule
+// (length bound + capped probe), Jaccard and Dice (count bounds), kExact
+// (id short-circuit), plus Monge-Elkan as an unboundable measure the
+// cascade must treat optimistically.
+linking::ItemMatcher FilteredMatcher() {
+  return linking::ItemMatcher({
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kLevenshtein, 2.5},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kJaccardTokens, 1.5},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kDiceBigram, 1.0},
+      {datagen::props::kManufacturer, datagen::props::kManufacturer,
+       linking::SimilarityMeasure::kExact, 0.5},
+      {datagen::props::kManufacturer, datagen::props::kManufacturer,
+       linking::SimilarityMeasure::kMongeElkan, 0.5},
+  });
+}
+
+struct Caches {
+  linking::FeatureDictionary dict;
+  linking::FeatureCache external;
+  linking::FeatureCache local;
+
+  Caches(const datagen::Dataset& dataset,
+         const linking::ItemMatcher& matcher, std::size_t num_threads) {
+    external = linking::FeatureCache::Build(
+        dataset.external_items, matcher,
+        linking::FeatureCache::Side::kExternal, &dict, num_threads);
+    local = linking::FeatureCache::Build(
+        dataset.catalog_items, matcher, linking::FeatureCache::Side::kLocal,
+        &dict, num_threads);
+  }
+};
+
+void ExpectLinksIdentical(const std::vector<linking::Link>& actual,
+                          const std::vector<linking::Link>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].external_index, expected[i].external_index) << i;
+    EXPECT_EQ(actual[i].local_index, expected[i].local_index) << i;
+    // Bit-identical scores, not approximately equal.
+    EXPECT_EQ(actual[i].score, expected[i].score) << i;
+  }
+}
+
+// Runs the streaming linker against the RunCached reference over the same
+// generator, for both strategies and every thread count, and checks that
+// the thread-invariant stats really are invariant.
+void RunDifferential(const datagen::Dataset& dataset,
+                     const linking::ItemMatcher& matcher,
+                     const blocking::CandidateGenerator& generator) {
+  const auto candidates =
+      generator.Generate(dataset.external_items, dataset.catalog_items);
+  ASSERT_GT(candidates.size(), 0u);
+  const auto index =
+      generator.BuildIndex(dataset.external_items, dataset.catalog_items);
+  ASSERT_EQ(index->num_external(), dataset.external_items.size());
+
+  for (linking::Linker::Strategy strategy :
+       {linking::Linker::Strategy::kBestPerExternal,
+        linking::Linker::Strategy::kAllAboveThreshold}) {
+    SCOPED_TRACE(static_cast<int>(strategy));
+    const linking::Linker cached_linker(&matcher, kThreshold, strategy);
+    const linking::StreamingLinker streaming(&matcher, kThreshold, strategy);
+    const Caches ref_caches(dataset, matcher, /*num_threads=*/1);
+    linking::LinkerStats ref_stats;
+    const auto reference =
+        cached_linker.RunCached(ref_caches.external, ref_caches.local,
+                                candidates, &ref_stats, /*num_threads=*/1);
+
+    linking::LinkerStats serial_stats;
+    for (std::size_t threads : kThreadCounts) {
+      SCOPED_TRACE(threads);
+      // Caches are rebuilt per thread count on purpose: id numbering
+      // differs across builds, the links must not.
+      const Caches caches(dataset, matcher, threads);
+      linking::LinkerStats stats;
+      linking::ScoreMemoStats memo;
+      const auto links =
+          streaming.Run(*index, caches.external, caches.local, &stats,
+                        threads, &memo);
+      ExpectLinksIdentical(links, reference);
+      EXPECT_EQ(stats.links_emitted, ref_stats.links_emitted);
+      // Every candidate either reached the scorer or was pruned by a
+      // provably-below-threshold bound; nothing is dropped silently.
+      EXPECT_EQ(stats.pairs_scored + stats.pairs_pruned_by_filter,
+                candidates.size());
+      EXPECT_LE(stats.pairs_scored, ref_stats.pairs_scored);
+      EXPECT_GT(stats.peak_candidate_run, 0u);
+      EXPECT_LE(stats.peak_candidate_run, dataset.catalog_items.size());
+      if (threads == kThreadCounts[0]) {
+        serial_stats = stats;
+      } else {
+        // The cascade's decisions are per-pair, so every prune counter is
+        // thread-count invariant (only memo-dependent `comparisons` may
+        // vary across thread counts).
+        EXPECT_EQ(stats.pairs_scored, serial_stats.pairs_scored);
+        EXPECT_EQ(stats.pairs_pruned_by_filter,
+                  serial_stats.pairs_pruned_by_filter);
+        EXPECT_EQ(stats.pruned_by_length, serial_stats.pruned_by_length);
+        EXPECT_EQ(stats.pruned_by_token_count,
+                  serial_stats.pruned_by_token_count);
+        EXPECT_EQ(stats.pruned_by_exact, serial_stats.pruned_by_exact);
+        EXPECT_EQ(stats.pruned_by_distance_cap,
+                  serial_stats.pruned_by_distance_cap);
+        EXPECT_EQ(stats.peak_candidate_run, serial_stats.peak_candidate_run);
+      }
+    }
+  }
+}
+
+class StreamingLinkerDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  const datagen::Dataset& corpus() const { return GetCorpus(GetParam()); }
+};
+
+TEST_P(StreamingLinkerDifferential, MatchesRunCachedOverStandardBlocker) {
+  const blocking::StandardBlocker blocker(datagen::props::kPartNumber,
+                                          /*prefix_length=*/3);
+  RunDifferential(corpus(), FilteredMatcher(), blocker);
+}
+
+TEST_P(StreamingLinkerDifferential, MatchesRunCachedOverRuleBlocker) {
+  const datagen::Dataset& dataset = corpus();
+  const core::TrainingSet ts = datagen::BuildTrainingSet(dataset);
+  const text::SeparatorSegmenter segmenter;
+
+  core::LearnerOptions options;
+  options.support_threshold = 0.01;
+  options.segmenter = &segmenter;
+  options.num_threads = 1;
+  auto rules = core::RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  const core::RuleClassifier classifier(&*rules, &segmenter);
+  const blocking::RuleBlocker blocker(&classifier, &dataset.ontology(),
+                                      &dataset.catalog_classes,
+                                      /*min_confidence=*/0.4);
+  RunDifferential(dataset, FilteredMatcher(), blocker);
+}
+
+TEST_P(StreamingLinkerDifferential, MatchesOverDefaultMaterializedIndex) {
+  // A generator that does not override BuildIndex exercises the base
+  // class's CSR materialization path.
+  class PlainGenerator : public blocking::CandidateGenerator {
+   public:
+    std::vector<blocking::CandidatePair> Generate(
+        const std::vector<core::Item>& external,
+        const std::vector<core::Item>& local) const override {
+      return inner_.Generate(external, local);
+    }
+    std::string name() const override { return "plain"; }
+
+   private:
+    blocking::StandardBlocker inner_{datagen::props::kPartNumber, 3};
+  };
+  RunDifferential(corpus(), FilteredMatcher(), PlainGenerator());
+}
+
+TEST_P(StreamingLinkerDifferential, CascadeNeverPrunesAThresholdPair) {
+  // Soundness, checked against ground truth: every pair the cascade
+  // prunes must score strictly below the threshold under ScoreCached.
+  const datagen::Dataset& dataset = corpus();
+  const linking::ItemMatcher matcher = FilteredMatcher();
+  const blocking::StandardBlocker blocker(datagen::props::kPartNumber,
+                                          /*prefix_length=*/3);
+  const auto candidates =
+      blocker.Generate(dataset.external_items, dataset.catalog_items);
+  const Caches caches(dataset, matcher, /*num_threads=*/1);
+  const linking::FilterCascade cascade(&matcher, kThreshold);
+
+  linking::FilterStats stats;
+  std::size_t pruned = 0;
+  for (const blocking::CandidatePair& pair : candidates) {
+    if (cascade.Prune(caches.external, pair.external_index, caches.local,
+                      pair.local_index, &stats)) {
+      ++pruned;
+      const double score =
+          matcher.ScoreCached(caches.external, pair.external_index,
+                              caches.local, pair.local_index);
+      ASSERT_LT(score, kThreshold)
+          << "pruned pair (" << pair.external_index << ", "
+          << pair.local_index << ") actually reaches the threshold";
+    }
+  }
+  EXPECT_EQ(stats.pairs_pruned, pruned);
+  // The corpus is adversarial enough that the cascade must catch
+  // something, and the per-filter counters attribute every prune.
+  EXPECT_GT(pruned, 0u);
+  EXPECT_GE(stats.by_length + stats.by_token_count + stats.by_exact +
+                stats.by_distance_cap,
+            stats.pairs_pruned);
+}
+
+TEST_P(StreamingLinkerDifferential, StreamingPipelineMatchesCachedPipeline) {
+  const datagen::Dataset& dataset = corpus();
+  const linking::ItemMatcher matcher = FilteredMatcher();
+  const blocking::StandardBlocker blocker(datagen::props::kPartNumber,
+                                          /*prefix_length=*/3);
+  std::vector<blocking::CandidatePair> gold;
+  for (const datagen::GoldLink& link : dataset.links) {
+    gold.push_back({link.external_index, link.catalog_index});
+  }
+  const auto reference = linking::RunCachedLinkagePipeline(
+      dataset.external_items, dataset.catalog_items, blocker, matcher,
+      kThreshold, linking::Linker::Strategy::kBestPerExternal, &gold,
+      /*num_threads=*/1);
+  for (std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    const auto result = linking::RunStreamingLinkagePipeline(
+        dataset.external_items, dataset.catalog_items, blocker, matcher,
+        kThreshold, linking::Linker::Strategy::kBestPerExternal, &gold,
+        threads);
+    ExpectLinksIdentical(result.links, reference.links);
+    EXPECT_EQ(result.num_candidates, reference.num_candidates);
+    EXPECT_EQ(result.quality.correct, reference.quality.correct);
+    EXPECT_EQ(result.quality.precision, reference.quality.precision);
+    EXPECT_EQ(result.quality.recall, reference.quality.recall);
+    EXPECT_EQ(result.quality.f1, reference.quality.f1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingLinkerDifferential,
+                         ::testing::Values(23, 509, 8089));
+
+}  // namespace
+}  // namespace rulelink
