@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "core/incremental.h"
 #include "core/reference_learner.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -239,6 +240,24 @@ void PrintThreadSweepReport(const std::string& interning_json) {
                "to BENCH_learning.json)\n\n";
 }
 
+// One instrumented Learn over the paper-scale corpus; the snapshot (phase
+// timings, corpus counters, the per-example segment histogram) lands in
+// BENCH_learning_metrics.json next to the sweep JSON.
+void WriteLearnerMetricsSnapshot() {
+  obs::MetricsRegistry registry;
+  auto rules = core::RuleLearner(PaperLearnerOptions())
+                   .Learn(PaperTrainingSet(), nullptr, &registry);
+  RL_CHECK(rules.ok());
+  if (auto s = registry.Snapshot().WriteJsonFile(
+          "BENCH_learning_metrics.json");
+      !s.ok()) {
+    std::cerr << "metrics snapshot: " << s << "\n";
+  } else {
+    std::cout << "(learner metrics snapshot written to "
+                 "BENCH_learning_metrics.json)\n\n";
+  }
+}
+
 void BM_IncrementalAddExample(benchmark::State& state) {
   const auto& dataset = PaperDataset();
   const auto& ts = PaperTrainingSet();
@@ -326,6 +345,7 @@ int main(int argc, char** argv) {
   const std::string interning_json =
       rulelink::bench::PrintInterningReport();
   rulelink::bench::PrintThreadSweepReport(interning_json);
+  rulelink::bench::WriteLearnerMetricsSnapshot();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

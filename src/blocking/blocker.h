@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/item.h"
+#include "obs/metrics.h"
 
 namespace rulelink::blocking {
 
@@ -92,6 +93,24 @@ class CartesianBlocker : public CandidateGenerator {
 // ASCII-lowercased. Shared by the key-based blockers.
 std::string BlockingKey(const core::Item& item, const std::string& property,
                         std::size_t prefix_length);
+
+// Instrumented candidate generation: runs generator.Generate under the
+// "blocking/generate" stage and records the item/candidate counters.
+// With a null `metrics` this is exactly generator.Generate — the linkage
+// pipeline drivers route through these two wrappers so every blocker is
+// observable without widening the virtual interface.
+std::vector<CandidatePair> GenerateWithMetrics(
+    const CandidateGenerator& generator,
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local, obs::MetricsRegistry* metrics);
+
+// Instrumented BuildIndex under the "blocking/build_index" stage with the
+// same item counters (run sizes are observed downstream by the streaming
+// linker, which sees every run exactly once).
+std::unique_ptr<CandidateIndex> BuildIndexWithMetrics(
+    const CandidateGenerator& generator,
+    const std::vector<core::Item>& external,
+    const std::vector<core::Item>& local, obs::MetricsRegistry* metrics);
 
 }  // namespace rulelink::blocking
 

@@ -47,7 +47,9 @@ RuleLearner::RuleLearner(LearnerOptions options)
     : options_(std::move(options)) {}
 
 util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
-                                         LearnStats* stats) const {
+                                         LearnStats* stats,
+                                         obs::MetricsRegistry* metrics) const {
+  const obs::MetricsRegistry::StageScope learn_stage(metrics, "learn");
   if (options_.segmenter == nullptr) {
     return util::InvalidArgumentError("LearnerOptions.segmenter is null");
   }
@@ -89,7 +91,9 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
   // sees identical ids.
   SegmentedCorpus corpus;
   std::unordered_map<std::uint64_t, PremiseId, PackedHash> premise_index;
+  obs::Histogram segments_per_example;
   {
+    const obs::MetricsRegistry::StageScope stage(metrics, "learn/segment");
     std::vector<std::string_view> seg_scratch;
     corpus.offsets.reserve(num_examples + 1);
     corpus.offsets.push_back(0);
@@ -107,6 +111,10 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
           corpus.occurrences.push_back(it->second);
         }
       }
+      if (metrics != nullptr) {
+        segments_per_example.Observe(corpus.occurrences.size() -
+                                     corpus.offsets.back());
+      }
       corpus.offsets.push_back(corpus.occurrences.size());
     }
   }
@@ -118,6 +126,7 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
   // logical reading of the premise requires) and raw occurrence counts,
   // sharded over contiguous example ranges into flat per-shard vectors
   // that merge additively in any order.
+  util::Stopwatch phase_timer;  // re-armed at every phase boundary below
   std::vector<std::vector<std::uint32_t>> example_count_shards(
       num_shards, std::vector<std::uint32_t>(num_premises, 0));
   std::vector<std::vector<std::uint32_t>> occurrence_shards(
@@ -167,6 +176,10 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
       selected_occurrences += premise_occurrences[p];
     }
   }
+  if (metrics != nullptr) {
+    metrics->RecordStage("learn/count_premises", phase_timer.ElapsedMillis());
+    phase_timer.Restart();
+  }
 
   // ---- Class frequencies (most-specific classes only, already reduced by
   // TrainingSet). ----
@@ -203,6 +216,10 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
   }
   const std::size_t num_frequent_premises = frequent_premises.size();
   const std::size_t num_frequent_classes = frequent_classes.size();
+  if (metrics != nullptr) {
+    metrics->RecordStage("learn/count_classes", phase_timer.ElapsedMillis());
+    phase_timer.Restart();
+  }
 
   // ---- Pass 2: joint counts over the flat frequent grid. ----
   std::vector<std::vector<std::uint32_t>> joint_shards(
@@ -244,6 +261,10 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
     }
   }
   joint_shards.clear();
+  if (metrics != nullptr) {
+    metrics->RecordStage("learn/count_joint", phase_timer.ElapsedMillis());
+    phase_timer.Restart();
+  }
 
   // ---- Rule construction over the flat grid (serial; tiny vs counting).
   std::vector<ClassificationRule> rules;
@@ -267,6 +288,23 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
       conclusion_classes.insert(rule.cls);
       rules.push_back(std::move(rule));
     }
+  }
+
+  if (metrics != nullptr) {
+    metrics->RecordStage("learn/emit_rules", phase_timer.ElapsedMillis());
+    metrics->AddCounter("learn/examples", ts.size());
+    metrics->AddCounter("learn/distinct_segments", corpus.segments.size());
+    metrics->AddCounter("learn/segment_occurrences",
+                        corpus.occurrences.size());
+    metrics->AddCounter("learn/selected_segment_occurrences",
+                        selected_occurrences);
+    metrics->AddCounter("learn/frequent_premises", num_frequent_premises);
+    metrics->AddCounter("learn/frequent_classes", num_frequent_classes);
+    metrics->AddCounter("learn/rules_emitted", rules.size());
+    metrics->AddCounter("learn/classes_with_rules",
+                        conclusion_classes.size());
+    metrics->MergeHistogram("learn/segments_per_example",
+                            segments_per_example);
   }
 
   if (stats != nullptr) {

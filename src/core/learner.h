@@ -18,6 +18,7 @@
 
 #include "core/rule.h"
 #include "core/training_set.h"
+#include "obs/metrics.h"
 #include "text/segmenter.h"
 #include "util/status.h"
 
@@ -68,9 +69,15 @@ class RuleLearner {
   explicit RuleLearner(LearnerOptions options);
 
   // Mines the rule set. Fails on an empty training set, a missing
-  // segmenter, or a threshold outside (0, 1).
+  // segmenter, or a threshold outside (0, 1). `metrics`, when non-null,
+  // gets the learner phase stages ("learn/segment", "learn/count_*",
+  // "learn/emit_rules"), the corpus counters mirroring LearnStats and a
+  // log2 histogram of per-example segment occurrences — all
+  // thread-invariant, so snapshots are byte-identical at every
+  // num_threads (DESIGN.md §5f).
   util::Result<RuleSet> Learn(const TrainingSet& ts,
-                              LearnStats* stats = nullptr) const;
+                              LearnStats* stats = nullptr,
+                              obs::MetricsRegistry* metrics = nullptr) const;
 
   const LearnerOptions& options() const { return options_; }
 

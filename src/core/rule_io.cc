@@ -1,5 +1,6 @@
 #include "core/rule_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -51,15 +52,17 @@ util::Result<std::string> UnescapeField(std::string_view s) {
 std::string WriteRules(const RuleSet& rules,
                        const ontology::Ontology& onto) {
   std::ostringstream os;
-  os << "# rulelink classification rules v1\n"
-     << "# property\tsegment\tclass\tpremise\tclass_count\tjoint\ttotal\n";
+  os << "# rulelink classification rules v2\n"
+     << "# property\tsegment\tclass\tpremise\tclass_count\tjoint\ttotal"
+        "\tconfidence\tlift\n";
   for (const ClassificationRule& rule : rules.rules()) {
     os << EscapeField(rules.properties().name(rule.property)) << '\t'
        << EscapeField(rules.segment_text(rule)) << '\t'
        << EscapeField(onto.iri(rule.cls)) << '\t'
        << rule.counts.premise_count << '\t' << rule.counts.class_count
        << '\t' << rule.counts.joint_count << '\t' << rule.counts.total
-       << '\n';
+       << '\t' << util::FormatDoubleRoundTrip(rule.confidence) << '\t'
+       << util::FormatDoubleRoundTrip(rule.lift) << '\n';
   }
   return os.str();
 }
@@ -81,6 +84,7 @@ util::Result<RuleSet> ReadRules(const std::string& content,
   std::vector<ClassificationRule> rules;
   std::size_t line_no = 0;
   std::size_t start = 0;
+  int version = 1;  // headerless files are read as v1
   while (start <= content.size()) {
     std::size_t end = content.find('\n', start);
     if (end == std::string::npos) end = content.size();
@@ -89,6 +93,7 @@ util::Result<RuleSet> ReadRules(const std::string& content,
     start = end + 1;
     const std::string_view line = util::StripAsciiWhitespace(raw);
     if (line.empty() || line[0] == '#') {
+      if (line == "# rulelink classification rules v2") version = 2;
       if (end == content.size()) break;
       continue;
     }
@@ -96,9 +101,11 @@ util::Result<RuleSet> ReadRules(const std::string& content,
       return util::InvalidArgumentError(
           "rule file line " + std::to_string(line_no) + ": " + what);
     };
+    const std::size_t expected_fields = version == 2 ? 9u : 7u;
     const auto fields = util::Split(line, '\t');
-    if (fields.size() != 7) {
-      return error("expected 7 tab-separated fields, got " +
+    if (fields.size() != expected_fields) {
+      return error("expected " + std::to_string(expected_fields) +
+                   " tab-separated fields, got " +
                    std::to_string(fields.size()));
     }
     auto property = UnescapeField(fields[0]);
@@ -129,7 +136,26 @@ util::Result<RuleSet> ReadRules(const std::string& content,
     if (!CountsAreConsistent(rule.counts)) {
       return error("inconsistent rule counts");
     }
+    // Support is an exact division of the counts either way; v2 restores
+    // confidence and lift bit-for-bit from the stored shortest-round-trip
+    // doubles, v1 recomputes them.
     rule.ComputeMeasures();
+    if (version == 2) {
+      double confidence = 0.0;
+      double lift = 0.0;
+      if (!util::ParseDouble(fields[7], &confidence) ||
+          !util::ParseDouble(fields[8], &lift)) {
+        return error("bad measure field");
+      }
+      if (!(confidence >= 0.0 && confidence <= 1.0)) {
+        return error("confidence out of [0, 1]");
+      }
+      if (!std::isfinite(lift) || lift < 0.0) {
+        return error("negative or non-finite lift");
+      }
+      rule.confidence = confidence;
+      rule.lift = lift;
+    }
     rules.push_back(std::move(rule));
     if (end == content.size()) break;
   }

@@ -2,9 +2,17 @@
 // base learnt once from the expert links can be shipped with the catalog
 // and reloaded when new provider documents arrive (§3's workflow).
 //
-// Format (tab-separated, '#' comments, one rule per line):
+// Format v2 (tab-separated, '#' comments, one rule per line):
 //   property-IRI  segment  class-IRI  premise  class_count  joint  total
-// Measures are recomputed on load, so files stay minimal and consistent.
+//   confidence  lift
+// The two measure columns are shortest-round-trip doubles
+// (util::FormatDoubleRoundTrip), so save -> load -> save is byte-identical
+// and external tooling can consume the measures without recomputing them.
+// Support is recomputed from the counts on load (an exact division).
+//
+// v1 files (7 columns, measures recomputed from the counts) still load;
+// the version is taken from the "# rulelink classification rules vN"
+// header line, defaulting to v1 when absent.
 #ifndef RULELINK_CORE_RULE_IO_H_
 #define RULELINK_CORE_RULE_IO_H_
 

@@ -44,10 +44,12 @@ Table1Evaluator::Table1Evaluator(const core::RuleSet* rules,
 Table1Result Table1Evaluator::Evaluate(
     const core::TrainingSet& ts,
     const std::vector<double>& band_bounds,
-    std::size_t num_threads) const {
+    std::size_t num_threads,
+    obs::MetricsRegistry* metrics) const {
   RL_CHECK(!band_bounds.empty());
   RL_CHECK(std::is_sorted(band_bounds.rbegin(), band_bounds.rend()))
       << "band bounds must be strictly decreasing";
+  const obs::MetricsRegistry::StageScope stage(metrics, "eval/table1");
 
   Table1Result result;
   result.rows.resize(band_bounds.size());
@@ -154,6 +156,20 @@ Table1Result Table1Evaluator::Evaluate(
       result.rows[b].decisions += shard.decisions[b];
       result.rows[b].correct += shard.correct[b];
     }
+  }
+
+  if (metrics != nullptr) {
+    std::size_t decisions = 0;
+    std::size_t correct = 0;
+    for (const Table1Row& row : result.rows) {
+      decisions += row.decisions;
+      correct += row.correct;
+    }
+    metrics->AddCounter("eval/decisions", decisions);
+    metrics->AddCounter("eval/correct", correct);
+    metrics->AddCounter("eval/undecided", result.undecided_items);
+    metrics->AddCounter("eval/classifiable", result.classifiable_items);
+    metrics->AddCounter("eval/frequent_classes", result.frequent_classes);
   }
 
   // Band precision plus the paper's cumulative precision/recall columns.

@@ -28,6 +28,7 @@
 #include "core/classifier.h"
 #include "core/rule.h"
 #include "core/training_set.h"
+#include "obs/metrics.h"
 #include "text/segmenter.h"
 
 namespace rulelink::eval {
@@ -69,10 +70,17 @@ class Table1Evaluator {
   // example ranges which are summed in chunk order; since every column is
   // integer-counted before the final division, the result is identical at
   // every thread count.
+  //
+  // A non-null `metrics` records the sweep under the "eval/table1" stage
+  // with the decision counters (eval/decisions, eval/correct,
+  // eval/undecided, eval/classifiable, eval/frequent_classes) — all
+  // integer-summed in chunk order, so snapshots stay byte-identical at
+  // every thread count.
   Table1Result Evaluate(
       const core::TrainingSet& ts,
       const std::vector<double>& band_bounds = {1.0, 0.8, 0.6, 0.4},
-      std::size_t num_threads = 0) const;
+      std::size_t num_threads = 0,
+      obs::MetricsRegistry* metrics = nullptr) const;
 
  private:
   const core::RuleSet* rules_;

@@ -20,6 +20,7 @@ util::Result<CsvTable> ParseCsv(std::string_view content,
   bool in_quotes = false;
   bool field_started = false;  // any char consumed for the current record
   std::size_t line_no = 1;
+  std::size_t quote_open_line = 0;  // line of the last unmatched opening quote
 
   const auto end_field = [&] {
     record.push_back(std::move(field));
@@ -50,12 +51,16 @@ util::Result<CsvTable> ParseCsv(std::string_view content,
     }
     if (c == '"') {
       in_quotes = true;
+      quote_open_line = line_no;
       field_started = true;
     } else if (c == options.separator) {
       end_field();
       field_started = true;
-    } else if (c == '\r') {
-      // swallow; the following \n ends the record
+    } else if (c == '\r' && i + 1 < content.size() &&
+               content[i + 1] == '\n') {
+      // CRLF: the \r is part of the record terminator, not of the field;
+      // the \n that follows ends the record. A \r NOT followed by \n is
+      // ordinary field data and falls through to the default branch.
     } else if (c == '\n') {
       ++line_no;
       if (field_started || !field.empty() || !record.empty()) {
@@ -67,9 +72,12 @@ util::Result<CsvTable> ParseCsv(std::string_view content,
     }
   }
   if (in_quotes) {
+    // Report where the offending quote opened, not the line the scan ended
+    // on — a quoted field may span many physical lines, and the EOF line
+    // number points nowhere near the actual mistake.
     return util::InvalidArgumentError(
-        "CSV: unterminated quoted field (opened before line " +
-        std::to_string(line_no) + ")");
+        "CSV: unterminated quoted field (opened on line " +
+        std::to_string(quote_open_line) + ")");
   }
   if (field_started || !field.empty() || !record.empty()) {
     end_record();

@@ -1,26 +1,63 @@
 #include "linking/evaluation.h"
 
-#include <set>
+#include <algorithm>
 
 #include "linking/feature_cache.h"
 #include "linking/streaming_linker.h"
 
 namespace rulelink::linking {
+namespace {
+
+// Records the pipeline-level outcome common to both drivers: dictionary
+// gauges plus — when a gold standard was evaluated — the quality counters
+// and derived gauges. Dictionary sizes and quality counts are functions of
+// the input alone (never of the chunking), so they belong in the
+// deterministic snapshot.
+void RecordPipelineMetrics(const LinkagePipelineResult& result, bool has_gold,
+                           obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->AddCounter("pipeline/candidates", result.num_candidates);
+  metrics->AddCounter("pipeline/links", result.links.size());
+  metrics->SetGauge("linking/dict/distinct_values",
+                    static_cast<double>(result.distinct_values));
+  metrics->SetGauge("linking/dict/symbols",
+                    static_cast<double>(result.dictionary_symbols));
+  metrics->SetGauge("linking/dict/bytes",
+                    static_cast<double>(result.dictionary_bytes));
+  if (has_gold) {
+    metrics->AddCounter("quality/emitted", result.quality.emitted);
+    metrics->AddCounter("quality/correct", result.quality.correct);
+    metrics->AddCounter("quality/gold", result.quality.gold);
+    metrics->SetGauge("quality/precision", result.quality.precision);
+    metrics->SetGauge("quality/recall", result.quality.recall);
+    metrics->SetGauge("quality/f1", result.quality.f1);
+  }
+}
+
+}  // namespace
 
 LinkageQuality EvaluateLinks(
     const std::vector<Link>& links,
     const std::vector<blocking::CandidatePair>& gold) {
   LinkageQuality quality;
-  const std::set<blocking::CandidatePair> gold_set(gold.begin(), gold.end());
-  quality.gold = gold_set.size();
+  // Sorted + deduplicated gold with binary-search probes: one O(g log g)
+  // sort instead of a node-based std::set (one allocation per pair), and
+  // the probe loop touches contiguous memory.
+  std::vector<blocking::CandidatePair> gold_sorted(gold);
+  std::sort(gold_sorted.begin(), gold_sorted.end());
+  gold_sorted.erase(std::unique(gold_sorted.begin(), gold_sorted.end()),
+                    gold_sorted.end());
+  quality.gold = gold_sorted.size();
   quality.emitted = links.size();
   for (const Link& link : links) {
-    if (gold_set.count(
-            blocking::CandidatePair{link.external_index, link.local_index}) >
-        0) {
+    if (std::binary_search(
+            gold_sorted.begin(), gold_sorted.end(),
+            blocking::CandidatePair{link.external_index, link.local_index})) {
       ++quality.correct;
     }
   }
+  // Guarded divisions: every measure is exactly 0.0 — never NaN — when its
+  // denominator is empty.
   if (quality.emitted > 0) {
     quality.precision = static_cast<double>(quality.correct) /
                         static_cast<double>(quality.emitted);
@@ -42,15 +79,18 @@ LinkagePipelineResult RunCachedLinkagePipeline(
     const blocking::CandidateGenerator& generator, const ItemMatcher& matcher,
     double threshold, Linker::Strategy strategy,
     const std::vector<blocking::CandidatePair>* gold,
-    std::size_t num_threads) {
+    std::size_t num_threads, obs::MetricsRegistry* metrics) {
+  const obs::MetricsRegistry::StageScope stage(metrics, "pipeline/cached");
   FeatureDictionary dict;
-  const FeatureCache external_features = FeatureCache::Build(
-      external, matcher, FeatureCache::Side::kExternal, &dict, num_threads);
-  const FeatureCache local_features = FeatureCache::Build(
-      local, matcher, FeatureCache::Side::kLocal, &dict, num_threads);
+  const FeatureCache external_features =
+      FeatureCache::Build(external, matcher, FeatureCache::Side::kExternal,
+                          &dict, num_threads, metrics);
+  const FeatureCache local_features =
+      FeatureCache::Build(local, matcher, FeatureCache::Side::kLocal, &dict,
+                          num_threads, metrics);
 
   const std::vector<blocking::CandidatePair> candidates =
-      generator.Generate(external, local);
+      blocking::GenerateWithMetrics(generator, external, local, metrics);
 
   LinkagePipelineResult result;
   result.num_candidates = candidates.size();
@@ -59,10 +99,25 @@ LinkagePipelineResult RunCachedLinkagePipeline(
   result.dictionary_bytes = dict.memory_bytes();
 
   const Linker linker(&matcher, threshold, strategy);
-  result.links = linker.RunCached(external_features, local_features,
-                                  candidates, &result.stats, num_threads,
-                                  &result.memo);
-  if (gold != nullptr) result.quality = EvaluateLinks(result.links, *gold);
+  {
+    const obs::MetricsRegistry::StageScope run_stage(metrics,
+                                                     "linking/run_cached");
+    result.links = linker.RunCached(external_features, local_features,
+                                    candidates, &result.stats, num_threads,
+                                    &result.memo);
+    if (metrics != nullptr) {
+      metrics->AddCounter("linking/cached/pairs_scored",
+                          result.stats.pairs_scored);
+      metrics->AddCounter("linking/cached/links_emitted",
+                          result.stats.links_emitted);
+    }
+  }
+  if (gold != nullptr) {
+    const obs::MetricsRegistry::StageScope eval_stage(metrics,
+                                                      "pipeline/evaluate");
+    result.quality = EvaluateLinks(result.links, *gold);
+  }
+  RecordPipelineMetrics(result, gold != nullptr, metrics);
   return result;
 }
 
@@ -72,14 +127,18 @@ LinkagePipelineResult RunStreamingLinkagePipeline(
     const blocking::CandidateGenerator& generator, const ItemMatcher& matcher,
     double threshold, Linker::Strategy strategy,
     const std::vector<blocking::CandidatePair>* gold,
-    std::size_t num_threads) {
+    std::size_t num_threads, obs::MetricsRegistry* metrics) {
+  const obs::MetricsRegistry::StageScope stage(metrics, "pipeline/streaming");
   FeatureDictionary dict;
-  const FeatureCache external_features = FeatureCache::Build(
-      external, matcher, FeatureCache::Side::kExternal, &dict, num_threads);
-  const FeatureCache local_features = FeatureCache::Build(
-      local, matcher, FeatureCache::Side::kLocal, &dict, num_threads);
+  const FeatureCache external_features =
+      FeatureCache::Build(external, matcher, FeatureCache::Side::kExternal,
+                          &dict, num_threads, metrics);
+  const FeatureCache local_features =
+      FeatureCache::Build(local, matcher, FeatureCache::Side::kLocal, &dict,
+                          num_threads, metrics);
 
-  const auto index = generator.BuildIndex(external, local);
+  const auto index =
+      blocking::BuildIndexWithMetrics(generator, external, local, metrics);
 
   LinkagePipelineResult result;
   result.distinct_values = dict.num_values();
@@ -88,10 +147,15 @@ LinkagePipelineResult RunStreamingLinkagePipeline(
 
   const StreamingLinker linker(&matcher, threshold, strategy);
   result.links = linker.Run(*index, external_features, local_features,
-                            &result.stats, num_threads, &result.memo);
+                            &result.stats, num_threads, &result.memo, metrics);
   result.num_candidates =
       result.stats.pairs_scored + result.stats.pairs_pruned_by_filter;
-  if (gold != nullptr) result.quality = EvaluateLinks(result.links, *gold);
+  if (gold != nullptr) {
+    const obs::MetricsRegistry::StageScope eval_stage(metrics,
+                                                      "pipeline/evaluate");
+    result.quality = EvaluateLinks(result.links, *gold);
+  }
+  RecordPipelineMetrics(result, gold != nullptr, metrics);
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "blocking/blocker.h"
 #include "linking/linker.h"
+#include "obs/metrics.h"
 
 namespace rulelink::linking {
 
@@ -13,12 +14,14 @@ struct LinkageQuality {
   std::size_t emitted = 0;
   std::size_t correct = 0;
   std::size_t gold = 0;
-  double precision = 0.0;  // correct / emitted
-  double recall = 0.0;     // correct / gold
-  double f1 = 0.0;
+  double precision = 0.0;  // correct / emitted; exactly 0.0 when emitted == 0
+  double recall = 0.0;     // correct / gold; exactly 0.0 when gold == 0
+  double f1 = 0.0;         // exactly 0.0 when precision + recall == 0
 };
 
-// `gold` lists the true (external, local) matches.
+// `gold` lists the true (external, local) matches; duplicates are counted
+// once. All three quality measures are exactly 0.0 (never NaN) on empty
+// links and/or empty gold.
 LinkageQuality EvaluateLinks(const std::vector<Link>& links,
                              const std::vector<blocking::CandidatePair>& gold);
 
@@ -42,6 +45,12 @@ struct LinkagePipelineResult {
 // Links, order and LinkerStats are byte-identical to generating the
 // candidates and calling Linker::Run with the same strategy/threshold at
 // every thread count.
+//
+// A non-null `metrics` traces the whole run under the "pipeline/cached"
+// stage (cache build, blocking, scoring and evaluation sub-stages) and
+// records the pipeline counters and gauges (see DESIGN.md §5f). Every
+// recorded quantity is thread-invariant, so the deterministic snapshot is
+// byte-identical at every `num_threads`.
 LinkagePipelineResult RunCachedLinkagePipeline(
     const std::vector<core::Item>& external,
     const std::vector<core::Item>& local,
@@ -49,13 +58,16 @@ LinkagePipelineResult RunCachedLinkagePipeline(
     double threshold,
     Linker::Strategy strategy = Linker::Strategy::kBestPerExternal,
     const std::vector<blocking::CandidatePair>* gold = nullptr,
-    std::size_t num_threads = 0);
+    std::size_t num_threads = 0, obs::MetricsRegistry* metrics = nullptr);
 
 // Same pipeline through the streaming path: the generator's BuildIndex
 // replaces the materialized candidate vector and StreamingLinker fuses the
 // filter cascade with cached scoring. Links are byte-identical to
 // RunCachedLinkagePipeline; num_candidates is reconstructed as
 // pairs_scored + pairs_pruned_by_filter (runs are never materialized).
+// `metrics` works as above under the "pipeline/streaming" stage, with the
+// streaming linker contributing the per-filter prune counters and the
+// candidate-run-length histogram.
 LinkagePipelineResult RunStreamingLinkagePipeline(
     const std::vector<core::Item>& external,
     const std::vector<core::Item>& local,
@@ -63,7 +75,7 @@ LinkagePipelineResult RunStreamingLinkagePipeline(
     double threshold,
     Linker::Strategy strategy = Linker::Strategy::kBestPerExternal,
     const std::vector<blocking::CandidatePair>* gold = nullptr,
-    std::size_t num_threads = 0);
+    std::size_t num_threads = 0, obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace rulelink::linking
 

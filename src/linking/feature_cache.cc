@@ -154,8 +154,19 @@ std::size_t FeatureDictionary::memory_bytes() const {
 FeatureCache FeatureCache::Build(const std::vector<core::Item>& items,
                                  const ItemMatcher& matcher, Side side,
                                  FeatureDictionary* dict,
-                                 std::size_t num_threads) {
+                                 std::size_t num_threads,
+                                 obs::MetricsRegistry* metrics) {
   RL_CHECK(dict != nullptr);
+  const obs::MetricsRegistry::StageScope stage(metrics,
+                                               "linking/cache_build");
+  if (metrics != nullptr) {
+    // `values_reused` and the dictionary's id numbering depend on the
+    // chunking, so only thread-invariant quantities are recorded here.
+    metrics->AddCounter(side == Side::kExternal
+                            ? "linking/cache/external_items"
+                            : "linking/cache/local_items",
+                        items.size());
+  }
   const auto& rules = matcher.rules();
   std::vector<const std::string*> properties;
   properties.reserve(rules.size());

@@ -40,6 +40,7 @@
 
 #include "core/item.h"
 #include "linking/matcher.h"
+#include "obs/metrics.h"
 #include "text/similarity.h"
 #include "util/interner.h"
 
@@ -133,10 +134,13 @@ class FeatureCache {
   // Work is partitioned across `num_threads` workers (0 = hardware,
   // 1 = serial); per-chunk dictionaries are merged into `dict` in chunk
   // order. `dict` must outlive the returned cache; `items` may not.
+  // `metrics`, when non-null, gets the "linking/cache_build" stage plus
+  // thread-invariant item/slot counters (DESIGN.md §5f).
   static FeatureCache Build(const std::vector<core::Item>& items,
                             const ItemMatcher& matcher, Side side,
                             FeatureDictionary* dict,
-                            std::size_t num_threads = 0);
+                            std::size_t num_threads = 0,
+                            obs::MetricsRegistry* metrics = nullptr);
 
   // The value ids of item `item` under rule slot `rule` (positional:
   // slot r corresponds to matcher.rules()[r]). Empty when the property is

@@ -24,10 +24,13 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
                                        const FeatureCache& local_features,
                                        LinkerStats* stats,
                                        std::size_t num_threads,
-                                       ScoreMemoStats* memo_stats) const {
+                                       ScoreMemoStats* memo_stats,
+                                       obs::MetricsRegistry* metrics) const {
   RL_DCHECK(&external_features.dict() == &local_features.dict());
   RL_CHECK(index.num_external() == external_features.num_items())
       << "candidate index and external feature cache disagree";
+  const obs::MetricsRegistry::StageScope stage(metrics, "linking/stream");
+  const bool observe = metrics != nullptr;
   const std::size_t num_external = index.num_external();
 
   struct StreamShard {
@@ -37,6 +40,7 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
     std::size_t peak_run = 0;
     FilterStats filters;
     ScoreMemoStats memo;
+    obs::Histogram run_lengths;  // one observation per external item
   };
   const std::size_t num_shards =
       util::ParallelChunks(num_threads, num_external);
@@ -54,6 +58,7 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
         for (std::size_t e = begin; e < end; ++e) {
           index.CandidatesOf(e, &run);
           shard.peak_run = std::max(shard.peak_run, run.size());
+          if (observe) shard.run_lengths.Observe(run.size());
           Link best;
           bool best_set = false;
           for (const std::size_t l : run) {
@@ -85,7 +90,9 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
   std::vector<Link> links;
   LinkerStats total;
   ScoreMemoStats memo_total;
+  obs::Histogram run_lengths;  // shards fold in chunk order
   for (const StreamShard& shard : shards) {
+    if (observe) run_lengths.Merge(shard.run_lengths);
     total.pairs_scored += shard.pairs_scored;
     total.comparisons += shard.measures_computed;
     total.pairs_pruned_by_filter += shard.filters.pairs_pruned;
@@ -99,6 +106,23 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
     links.insert(links.end(), shard.links.begin(), shard.links.end());
   }
   total.links_emitted = links.size();
+  if (metrics != nullptr) {
+    // Only thread-invariant quantities: `comparisons` (kernels run) and
+    // the memo counters depend on the chunking, so they stay out of the
+    // deterministic snapshot.
+    metrics->AddCounter("linking/stream/external_items", num_external);
+    metrics->AddCounter("linking/stream/pairs_scored", total.pairs_scored);
+    metrics->AddCounter("linking/stream/links_emitted", total.links_emitted);
+    metrics->AddCounter("linking/filter/pairs_pruned",
+                        total.pairs_pruned_by_filter);
+    metrics->AddCounter("linking/filter/by_length", total.pruned_by_length);
+    metrics->AddCounter("linking/filter/by_token_count",
+                        total.pruned_by_token_count);
+    metrics->AddCounter("linking/filter/by_exact", total.pruned_by_exact);
+    metrics->AddCounter("linking/filter/by_distance_cap",
+                        total.pruned_by_distance_cap);
+    metrics->MergeHistogram("linking/stream/run_length", run_lengths);
+  }
   if (stats != nullptr) *stats = total;
   if (memo_stats != nullptr) memo_stats->Add(memo_total);
   return links;

@@ -15,6 +15,7 @@
 #include "linking/filters.h"
 #include "linking/linker.h"
 #include "linking/matcher.h"
+#include "obs/metrics.h"
 
 namespace rulelink::linking {
 
@@ -38,12 +39,21 @@ class StreamingLinker {
   // accumulates their counters (chunking-dependent, like RunCached's).
   // `stats` additionally reports the cascade's prune counters and
   // peak_candidate_run, all thread-count invariant.
+  //
+  // `metrics`, when non-null, gets the "linking/stream" stage, the
+  // thread-invariant pair/prune/link counters (the per-filter cascade
+  // counters live here under "linking/filter/*") and a log2 histogram of
+  // per-external candidate run lengths. Workers observe into shard-local
+  // histograms that merge in chunk order, so the recorded metrics are
+  // byte-identical at every thread count; the chunking-dependent memo and
+  // kernel counters stay out (DESIGN.md §5f).
   std::vector<Link> Run(const blocking::CandidateIndex& index,
                         const FeatureCache& external_features,
                         const FeatureCache& local_features,
                         LinkerStats* stats = nullptr,
                         std::size_t num_threads = 0,
-                        ScoreMemoStats* memo_stats = nullptr) const;
+                        ScoreMemoStats* memo_stats = nullptr,
+                        obs::MetricsRegistry* metrics = nullptr) const;
 
  private:
   const ItemMatcher* matcher_;

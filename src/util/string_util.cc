@@ -1,6 +1,9 @@
 #include "util/string_util.h"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <system_error>
 
 namespace rulelink::util {
 
@@ -123,6 +126,25 @@ std::string FormatDouble(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
   return buf;
+}
+
+std::string FormatDoubleRoundTrip(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value < 0 ? "-inf" : "inf";
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, result.ptr);
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  double value = 0.0;
+  const auto result = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (result.ec != std::errc() || result.ptr != s.data() + s.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
 }
 
 std::string FormatPercent(double ratio, int digits) {

@@ -45,6 +45,16 @@ std::string ReplaceAll(std::string_view input, std::string_view from,
 // Formats a double with `digits` digits after the decimal point.
 std::string FormatDouble(double value, int digits);
 
+// Formats a double as the shortest decimal string that parses back to
+// exactly the same value (std::to_chars round-trip semantics). Locale
+// independent; non-finite values render as "inf"/"-inf"/"nan".
+std::string FormatDoubleRoundTrip(double value);
+
+// Parses a base-10 floating-point literal (the full string, no trailing
+// junk); returns false on malformed input. Round-trips the output of
+// FormatDoubleRoundTrip bit-exactly.
+bool ParseDouble(std::string_view s, double* out);
+
 // Formats a ratio as a percentage string, e.g. 0.969 -> "96.9%".
 std::string FormatPercent(double ratio, int digits = 1);
 

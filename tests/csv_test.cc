@@ -37,6 +37,44 @@ TEST(CsvTest, CrLfLineEndings) {
   EXPECT_EQ(table->rows[1][1], "4");
 }
 
+// Regression: a \r NOT followed by \n is field data, not a line ending.
+// The parser used to swallow every unquoted \r, silently corrupting
+// fields containing a bare carriage return ("a\rb" became "ab").
+TEST(CsvTest, LoneCarriageReturnIsData) {
+  auto table = ParseCsv("a,b\nx\ry,2\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][0], "x\ry");
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+// Regression: only the \r of a \r\n pair is stripped; a trailing \r with
+// no newline after it stays in the final field.
+TEST(CsvTest, TrailingCarriageReturnWithoutNewline) {
+  auto table = ParseCsv("a,b\n1,2\r");
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][1], "2\r");
+}
+
+// Mixed endings in one file: CRLF records and LF records agree.
+TEST(CsvTest, MixedLineEndings) {
+  auto table = ParseCsv("a,b\r\n1,2\n3,4\r\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0][1], "2");
+  EXPECT_EQ(table->rows[1][0], "3");
+}
+
+// A quoted field keeps \r\n verbatim — terminator stripping only applies
+// outside quotes.
+TEST(CsvTest, QuotedCrLfPreserved) {
+  auto table = ParseCsv("a,b\n1,\"x\r\ny\"\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][1], "x\r\ny");
+}
+
 TEST(CsvTest, NoTrailingNewline) {
   auto table = ParseCsv("a,b\n1,2");
   ASSERT_TRUE(table.ok());
@@ -87,6 +125,16 @@ TEST(CsvTest, NoHeaderMode) {
 
 TEST(CsvTest, UnterminatedQuoteIsError) {
   EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+// Regression: the unterminated-quote error names the line the quote
+// OPENED on. The old message used the line count at end-of-scan, which
+// for a quote spanning trailing lines pointed at the EOF line instead.
+TEST(CsvTest, UnterminatedQuoteReportsOpeningLine) {
+  const auto status = ParseCsv("a\nok\n\"oops\nmore\nlines\n").status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.message();
 }
 
 TEST(CsvTest, EmptyContent) {

@@ -1,3 +1,5 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "linking/evaluation.h"
@@ -178,6 +180,42 @@ TEST(EvaluationTest, EmptyCases) {
   EXPECT_DOUBLE_EQ(q.precision, 0.0);
   EXPECT_DOUBLE_EQ(q.recall, 0.0);
   EXPECT_DOUBLE_EQ(q.f1, 0.0);
+}
+
+// Each empty side alone must also yield exact zeros, never NaN — these
+// are the division-by-zero guards, checked one denominator at a time.
+TEST(EvaluationTest, EmptyLinksAgainstNonEmptyGold) {
+  const std::vector<blocking::CandidatePair> gold = {{0, 0}, {1, 1}};
+  const auto q = EvaluateLinks({}, gold);
+  EXPECT_EQ(q.emitted, 0u);
+  EXPECT_EQ(q.gold, 2u);
+  EXPECT_EQ(q.precision, 0.0);
+  EXPECT_EQ(q.recall, 0.0);
+  EXPECT_EQ(q.f1, 0.0);
+  EXPECT_FALSE(std::isnan(q.precision) || std::isnan(q.recall) ||
+               std::isnan(q.f1));
+}
+
+TEST(EvaluationTest, NonEmptyLinksAgainstEmptyGold) {
+  const std::vector<Link> links = {{0, 0, 1.0}};
+  const auto q = EvaluateLinks(links, {});
+  EXPECT_EQ(q.emitted, 1u);
+  EXPECT_EQ(q.gold, 0u);
+  EXPECT_EQ(q.correct, 0u);
+  EXPECT_EQ(q.precision, 0.0);
+  EXPECT_EQ(q.recall, 0.0);
+  EXPECT_EQ(q.f1, 0.0);
+}
+
+// Duplicate gold pairs count once: the sorted gold vector is deduplicated
+// before probing, so recall's denominator is the distinct match count.
+TEST(EvaluationTest, DuplicateGoldPairsCountOnce) {
+  const std::vector<Link> links = {{0, 0, 1.0}};
+  const std::vector<blocking::CandidatePair> gold = {{0, 0}, {0, 0}, {1, 1}};
+  const auto q = EvaluateLinks(links, gold);
+  EXPECT_EQ(q.gold, 2u);
+  EXPECT_EQ(q.correct, 1u);
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #include "core/rule_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <random>
 
 #include <gtest/gtest.h>
 
@@ -90,6 +92,87 @@ TEST_F(RuleIoTest, CommentsAndBlankLinesIgnored) {
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_EQ(loaded->size(), 1u);
   EXPECT_DOUBLE_EQ(loaded->rules()[0].confidence, 1.0);
+}
+
+// Regression for the v2 measure columns: save -> load -> save must be
+// byte-identical, including the shortest-round-trip doubles, across rule
+// counts chosen to produce awkward fractions (1/3, 1/7, ...). A fixed
+// seed keeps the test deterministic.
+TEST_F(RuleIoTest, RandomizedSaveLoadSaveIsByteIdentical) {
+  std::mt19937 rng(20260805u);
+  std::uniform_int_distribution<std::size_t> count_dist(1, 997);
+  PropertyCatalog properties;
+  properties.Intern("http://s/pn");
+  properties.Intern("http://s/label");
+  std::vector<ClassificationRule> rules;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t total = 1000;
+    std::size_t premise = count_dist(rng);
+    std::size_t class_count = count_dist(rng);
+    const std::size_t joint =
+        std::uniform_int_distribution<std::size_t>(
+            1, std::min({premise, class_count}))(rng);
+    rules.push_back(Make(i % 2, "seg-" + std::to_string(i), i % 2 ? b_ : a_,
+                         premise, class_count, joint, total));
+  }
+  const RuleSet original(std::move(rules), properties, TestSegments());
+
+  const std::string first = WriteRules(original, onto_);
+  auto loaded = ReadRules(first, onto_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const std::string second = WriteRules(*loaded, onto_);
+  EXPECT_EQ(first, second);
+  // Bit-exact measures, not just approximately equal.
+  ASSERT_EQ(loaded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->rules()[i].confidence, original.rules()[i].confidence);
+    EXPECT_EQ(loaded->rules()[i].lift, original.rules()[i].lift);
+  }
+}
+
+// v1 files (7 columns, no version header or a v1 header) still load, with
+// measures recomputed from the counts.
+TEST_F(RuleIoTest, ReadsLegacyV1Format) {
+  auto loaded = ReadRules(
+      "# rulelink classification rules v1\n"
+      "http://s/pn\tT83\thttp://e/A\t10\t20\t10\t100\n",
+      onto_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded->rules()[0].confidence, 1.0);
+}
+
+TEST_F(RuleIoTest, WriterEmitsV2Header) {
+  EXPECT_NE(WriteRules(*set_, onto_).find(
+                "# rulelink classification rules v2"),
+            std::string::npos);
+}
+
+TEST_F(RuleIoTest, RejectsBadV2MeasureFields) {
+  const std::string header = "# rulelink classification rules v2\n";
+  // Unparsable confidence.
+  EXPECT_FALSE(
+      ReadRules(header +
+                    "http://s/pn\tT83\thttp://e/A\t10\t20\t10\t100\tx\t2\n",
+                onto_)
+          .ok());
+  // Confidence outside [0, 1].
+  EXPECT_FALSE(
+      ReadRules(header +
+                    "http://s/pn\tT83\thttp://e/A\t10\t20\t10\t100\t1.5\t2\n",
+                onto_)
+          .ok());
+  // Non-finite lift.
+  EXPECT_FALSE(ReadRules(
+                   header +
+                       "http://s/pn\tT83\thttp://e/A\t10\t20\t10\t100\t1\tnan\n",
+                   onto_)
+                   .ok());
+  // v2 requires 9 fields.
+  EXPECT_FALSE(
+      ReadRules(header + "http://s/pn\tT83\thttp://e/A\t10\t20\t10\t100\n",
+                onto_)
+          .ok());
 }
 
 TEST_F(RuleIoTest, RejectsUnknownClass) {

@@ -28,6 +28,7 @@
 #include "eval/table1.h"
 #include "io/item_loader.h"
 #include "linking/dedup.h"
+#include "obs/metrics.h"
 #include "ontology/instance_index.h"
 #include "rdf/ntriples.h"
 #include "rdf/sparql.h"
@@ -59,7 +60,9 @@ void PrintUsage() {
       "  dedup     (--external F | --external-csv F --id-column NAME)\n"
       "            [--key-property IRI] [--similarity 0.95]\n"
       "--threads N uses N workers (0 = hardware concurrency, 1 = serial);\n"
-      "results are identical at every thread count.\n";
+      "results are identical at every thread count.\n"
+      "--metrics-out F (any command) writes a metrics snapshot — stage\n"
+      "timings, pipeline trace, counters and histograms — as JSON to F.\n";
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -130,7 +133,7 @@ std::vector<rulelink::core::Item> ItemsFromGraph(
   return items;
 }
 
-int RunLearn(const Args& args) {
+int RunLearn(const Args& args, rulelink::obs::MetricsRegistry* metrics) {
   rulelink::rdf::Graph local, external, links;
   for (const auto& [key, graph] :
        std::initializer_list<std::pair<const char*, rulelink::rdf::Graph*>>{
@@ -170,7 +173,8 @@ int RunLearn(const Args& args) {
   options.properties = args.properties;
   options.num_threads = Threads(args);
   rulelink::core::LearnStats stats;
-  auto rules = rulelink::core::RuleLearner(options).Learn(*ts, &stats);
+  auto rules =
+      rulelink::core::RuleLearner(options).Learn(*ts, &stats, metrics);
   if (!rules.ok()) {
     std::cerr << "learner: " << rules.status() << "\n";
     return 1;
@@ -190,7 +194,7 @@ int RunLearn(const Args& args) {
   return 0;
 }
 
-int RunClassify(const Args& args) {
+int RunClassify(const Args& args, rulelink::obs::MetricsRegistry* metrics) {
   rulelink::rdf::Graph local;
   if (auto s = LoadRdf(Opt(args, "local"), &local); !s.ok()) {
     std::cerr << "local: " << s << "\n";
@@ -224,8 +228,20 @@ int RunClassify(const Args& args) {
 
   // Classification runs as one parallel batch; output order stays the
   // input item order regardless of the thread count.
-  const auto batch =
-      classifier.ClassifyBatch(items, min_confidence, Threads(args));
+  std::vector<std::vector<rulelink::core::ClassPrediction>> batch;
+  {
+    const rulelink::obs::MetricsRegistry::StageScope stage(metrics,
+                                                           "cli/classify");
+    batch = classifier.ClassifyBatch(items, min_confidence, Threads(args));
+  }
+  if (metrics != nullptr) {
+    std::size_t unclassified = 0;
+    for (const auto& predictions : batch) {
+      if (predictions.empty()) ++unclassified;
+    }
+    metrics->AddCounter("classify/items", items.size());
+    metrics->AddCounter("classify/unclassified", unclassified);
+  }
   for (std::size_t item_index = 0; item_index < items.size(); ++item_index) {
     const auto& item = items[item_index];
     const auto& predictions = batch[item_index];
@@ -250,7 +266,7 @@ int RunClassify(const Args& args) {
   return 0;
 }
 
-int RunEvaluate(const Args& args) {
+int RunEvaluate(const Args& args, rulelink::obs::MetricsRegistry* metrics) {
   rulelink::rdf::Graph local, external, links;
   for (const auto& [key, graph] :
        std::initializer_list<std::pair<const char*, rulelink::rdf::Graph*>>{
@@ -281,7 +297,8 @@ int RunEvaluate(const Args& args) {
   options.properties = args.properties;
   options.num_threads = num_threads;
   rulelink::core::LearnStats stats;
-  auto rules = rulelink::core::RuleLearner(options).Learn(*ts, &stats);
+  auto rules =
+      rulelink::core::RuleLearner(options).Learn(*ts, &stats, metrics);
   if (!rules.ok()) {
     std::cerr << rules.status() << "\n";
     return 1;
@@ -290,7 +307,8 @@ int RunEvaluate(const Args& args) {
   const rulelink::eval::Table1Evaluator evaluator(&*rules, &segmenter,
                                                   threshold);
   std::cout << rulelink::eval::FormatTable1(
-      evaluator.Evaluate(*ts, {1.0, 0.8, 0.6, 0.4}, num_threads), true);
+      evaluator.Evaluate(*ts, {1.0, 0.8, 0.6, 0.4}, num_threads, metrics),
+      true);
   return 0;
 }
 
@@ -314,7 +332,7 @@ Status LoadExternalItems(const Args& args,
   return rulelink::util::OkStatus();
 }
 
-int RunDedup(const Args& args) {
+int RunDedup(const Args& args, rulelink::obs::MetricsRegistry* metrics) {
   std::vector<rulelink::core::Item> items;
   if (auto s = LoadExternalItems(args, &items); !s.ok()) {
     std::cerr << s << "\n";
@@ -333,8 +351,20 @@ int RunDedup(const Args& args) {
   const rulelink::blocking::StandardBlocker blocker(key, 5);
   const rulelink::linking::ItemMatcher matcher(
       {{key, key, rulelink::linking::SimilarityMeasure::kJaroWinkler, 1.0}});
-  const auto result =
-      rulelink::linking::Deduplicate(items, blocker, matcher, threshold);
+  rulelink::linking::DedupResult result;
+  {
+    const rulelink::obs::MetricsRegistry::StageScope stage(metrics,
+                                                           "cli/dedup");
+    result = rulelink::linking::Deduplicate(items, blocker, matcher,
+                                            threshold);
+  }
+  if (metrics != nullptr) {
+    metrics->AddCounter("dedup/items", items.size());
+    metrics->AddCounter("dedup/duplicate_clusters",
+                        result.duplicate_clusters.size());
+    metrics->AddCounter("dedup/survivors", result.survivors.size());
+    metrics->AddCounter("dedup/comparisons", result.comparisons);
+  }
   for (const auto& cluster : result.duplicate_clusters) {
     for (std::size_t i = 0; i < cluster.size(); ++i) {
       if (i) std::cout << "\t";
@@ -349,17 +379,20 @@ int RunDedup(const Args& args) {
   return 0;
 }
 
-int RunQuery(const Args& args) {
+int RunQuery(const Args& args, rulelink::obs::MetricsRegistry* metrics) {
   rulelink::rdf::Graph data;
   if (auto s = LoadRdf(Opt(args, "data"), &data); !s.ok()) {
     std::cerr << "data: " << s << "\n";
     return 1;
   }
+  const rulelink::obs::MetricsRegistry::StageScope stage(metrics,
+                                                         "cli/query");
   auto rows = rulelink::rdf::RunSparql(data, Opt(args, "sparql"));
   if (!rows.ok()) {
     std::cerr << rows.status() << "\n";
     return 1;
   }
+  if (metrics != nullptr) metrics->AddCounter("query/rows", rows->size());
   for (const auto& row : *rows) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i) std::cout << "\t";
@@ -379,11 +412,43 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
-  if (args.command == "learn") return RunLearn(args);
-  if (args.command == "classify") return RunClassify(args);
-  if (args.command == "evaluate") return RunEvaluate(args);
-  if (args.command == "query") return RunQuery(args);
-  if (args.command == "dedup") return RunDedup(args);
-  PrintUsage();
-  return 2;
+  // Instrumentation is armed only when a snapshot was requested; a null
+  // registry keeps every command on the uninstrumented path.
+  const std::string metrics_out = Opt(args, "metrics-out");
+  rulelink::obs::MetricsRegistry registry;
+  rulelink::obs::MetricsRegistry* metrics =
+      metrics_out.empty() ? nullptr : &registry;
+
+  int exit_code = 2;
+  bool known = true;
+  {
+    const rulelink::obs::MetricsRegistry::StageScope stage(
+        metrics, "cli/" + args.command);
+    if (args.command == "learn") {
+      exit_code = RunLearn(args, metrics);
+    } else if (args.command == "classify") {
+      exit_code = RunClassify(args, metrics);
+    } else if (args.command == "evaluate") {
+      exit_code = RunEvaluate(args, metrics);
+    } else if (args.command == "query") {
+      exit_code = RunQuery(args, metrics);
+    } else if (args.command == "dedup") {
+      exit_code = RunDedup(args, metrics);
+    } else {
+      known = false;
+    }
+  }
+  if (!known) {
+    PrintUsage();
+    return 2;
+  }
+  if (metrics != nullptr) {
+    if (auto s = registry.Snapshot().WriteJsonFile(metrics_out); !s.ok()) {
+      std::cerr << "metrics: " << s << "\n";
+      if (exit_code == 0) exit_code = 1;
+    } else {
+      std::cerr << "wrote metrics snapshot to " << metrics_out << "\n";
+    }
+  }
+  return exit_code;
 }
