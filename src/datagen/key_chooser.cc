@@ -1,0 +1,303 @@
+#include "datagen/key_chooser.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace rulelink::datagen {
+namespace {
+
+// --- Uniform. ---
+class UniformChooser final : public KeyChooser {
+ public:
+  explicit UniformChooser(std::uint64_t n) : KeyChooser(n) {}
+  std::uint64_t Next(util::Rng* rng) const override {
+    return rng->UniformUint64(num_keys_);
+  }
+  Distribution distribution() const override {
+    return Distribution::kUniform;
+  }
+};
+
+// --- Zipfian (Gray et al., "Quickly generating billion-record synthetic
+// databases"; the YCSB generator). Rank r is drawn with probability
+// proportional to 1/(r+1)^theta in O(1) per draw after an O(n) zeta
+// precomputation, so a million-key chooser costs one pass to build and
+// three flops per draw — no O(n) CDF table. ---
+class ZipfianChooser final : public KeyChooser {
+ public:
+  ZipfianChooser(std::uint64_t n, double theta)
+      : KeyChooser(n), theta_(theta) {
+    double zetan = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      zetan += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    }
+    zetan_ = zetan;
+    const double zeta2 = n >= 2 ? 1.0 + std::pow(0.5, theta) : 1.0;
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+    head_ = 1.0 + std::pow(0.5, theta);
+  }
+
+  std::uint64_t Next(util::Rng* rng) const override {
+    const double u = rng->UniformDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (num_keys_ >= 2 && uz < head_) return 1;
+    const double rank =
+        static_cast<double>(num_keys_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    const auto key = static_cast<std::uint64_t>(rank);
+    return key >= num_keys_ ? num_keys_ - 1 : key;
+  }
+
+  Distribution distribution() const override {
+    return Distribution::kZipfian;
+  }
+
+ private:
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double head_;  // zeta(2, theta): the cumulative mass of ranks 0 and 1
+};
+
+// --- Scrambled zipfian: zipfian popularity, but the popular ranks are
+// scattered across the keyspace by a bijective mixer, so skew does not
+// concentrate on low key ids (YCSB's GEN_XZIPFIAN). ---
+class ScrambledZipfianChooser final : public KeyChooser {
+ public:
+  ScrambledZipfianChooser(std::uint64_t n, double theta)
+      : KeyChooser(n), zipf_(n, theta) {}
+
+  std::uint64_t Next(util::Rng* rng) const override {
+    return util::Mix64(zipf_.Next(rng)) % num_keys_;
+  }
+
+  Distribution distribution() const override {
+    return Distribution::kScrambledZipfian;
+  }
+
+ private:
+  ZipfianChooser zipf_;
+};
+
+// --- Hotset: keys [0, hot_keys) receive hot_op_fraction of the draws. ---
+class HotsetChooser final : public KeyChooser {
+ public:
+  HotsetChooser(std::uint64_t n, double hot_fraction, double hot_op_fraction)
+      : KeyChooser(n),
+        hot_keys_(std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   hot_fraction * static_cast<double>(n)))),
+        hot_op_fraction_(hot_op_fraction) {}
+
+  std::uint64_t Next(util::Rng* rng) const override {
+    if (hot_keys_ >= num_keys_ || rng->Bernoulli(hot_op_fraction_)) {
+      return rng->UniformUint64(std::min(hot_keys_, num_keys_));
+    }
+    return hot_keys_ + rng->UniformUint64(num_keys_ - hot_keys_);
+  }
+
+  Distribution distribution() const override {
+    return Distribution::kHotset;
+  }
+
+ private:
+  std::uint64_t hot_keys_;
+  double hot_op_fraction_;
+};
+
+// --- Latest: zipfian over the distance from the newest key, so the most
+// recently generated catalog items (highest indexes — generation order is
+// insertion order) are the most popular. ---
+class LatestChooser final : public KeyChooser {
+ public:
+  LatestChooser(std::uint64_t n, double theta)
+      : KeyChooser(n), zipf_(n, theta) {}
+
+  std::uint64_t Next(util::Rng* rng) const override {
+    return num_keys_ - 1 - zipf_.Next(rng);
+  }
+
+  Distribution distribution() const override {
+    return Distribution::kLatest;
+  }
+
+ private:
+  ZipfianChooser zipf_;
+};
+
+// --- Exponential decay from key 0: `percentile` of the mass inside the
+// first `fraction` of the keyspace. Draws beyond the keyspace are
+// rejected and redrawn (probability (1-percentile)^(1/fraction), i.e.
+// negligible for sane parameters). ---
+class ExponentialChooser final : public KeyChooser {
+ public:
+  ExponentialChooser(std::uint64_t n, double percentile, double fraction)
+      : KeyChooser(n),
+        gamma_(-std::log(1.0 - percentile) /
+               (fraction * static_cast<double>(n))) {}
+
+  std::uint64_t Next(util::Rng* rng) const override {
+    for (;;) {
+      double u = rng->UniformDouble();
+      if (u < 1e-300) u = 1e-300;  // -log(0) guard
+      const double v = -std::log(u) / gamma_;
+      if (v < static_cast<double>(num_keys_)) {
+        return static_cast<std::uint64_t>(v);
+      }
+    }
+  }
+
+  Distribution distribution() const override {
+    return Distribution::kExponential;
+  }
+
+ private:
+  double gamma_;
+};
+
+// --- Histogram: equal-width keyspace buckets drawn by weight via a
+// precomputed CDF (binary search), uniform within the chosen bucket. ---
+class HistogramChooser final : public KeyChooser {
+ public:
+  HistogramChooser(std::uint64_t n, const std::vector<double>& weights)
+      : KeyChooser(n) {
+    cdf_.reserve(weights.size());
+    double total = 0.0;
+    for (const double w : weights) {
+      total += w;
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::uint64_t Next(util::Rng* rng) const override {
+    const double u = rng->UniformDouble();
+    const std::size_t bucket = static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    const std::uint64_t k = cdf_.size();
+    const std::uint64_t lo = bucket * num_keys_ / k;
+    const std::uint64_t hi =
+        std::max(lo + 1, (bucket + 1) * num_keys_ / k);
+    return lo + rng->UniformUint64(hi - lo);
+  }
+
+  Distribution distribution() const override {
+    return Distribution::kHistogram;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+const char* DistributionName(Distribution distribution) {
+  switch (distribution) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kZipfian: return "zipfian";
+    case Distribution::kScrambledZipfian: return "scrambled_zipfian";
+    case Distribution::kHotset: return "hotset";
+    case Distribution::kLatest: return "latest";
+    case Distribution::kExponential: return "exponential";
+    case Distribution::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+util::Result<std::unique_ptr<KeyChooser>> MakeKeyChooser(
+    const KeyChooserConfig& config) {
+  const std::uint64_t n = config.num_keys;
+  if (n == 0) {
+    return util::InvalidArgumentError("KeyChooser requires num_keys > 0");
+  }
+  switch (config.distribution) {
+    case Distribution::kUniform:
+      return std::unique_ptr<KeyChooser>(new UniformChooser(n));
+    case Distribution::kZipfian:
+    case Distribution::kScrambledZipfian:
+    case Distribution::kLatest: {
+      if (config.zipf_theta <= 0.0 || config.zipf_theta >= 1.0) {
+        return util::InvalidArgumentError("zipf_theta must be in (0, 1)");
+      }
+      if (config.distribution == Distribution::kZipfian) {
+        return std::unique_ptr<KeyChooser>(
+            new ZipfianChooser(n, config.zipf_theta));
+      }
+      if (config.distribution == Distribution::kScrambledZipfian) {
+        return std::unique_ptr<KeyChooser>(
+            new ScrambledZipfianChooser(n, config.zipf_theta));
+      }
+      return std::unique_ptr<KeyChooser>(
+          new LatestChooser(n, config.zipf_theta));
+    }
+    case Distribution::kHotset:
+      if (config.hot_fraction <= 0.0 || config.hot_fraction > 1.0 ||
+          config.hot_op_fraction < 0.0 || config.hot_op_fraction > 1.0) {
+        return util::InvalidArgumentError(
+            "hotset requires hot_fraction in (0, 1] and hot_op_fraction "
+            "in [0, 1]");
+      }
+      return std::unique_ptr<KeyChooser>(new HotsetChooser(
+          n, config.hot_fraction, config.hot_op_fraction));
+    case Distribution::kExponential:
+      if (config.exp_percentile <= 0.0 || config.exp_percentile >= 1.0 ||
+          config.exp_fraction <= 0.0 || config.exp_fraction > 1.0) {
+        return util::InvalidArgumentError(
+            "exponential requires exp_percentile in (0, 1) and "
+            "exp_fraction in (0, 1]");
+      }
+      return std::unique_ptr<KeyChooser>(new ExponentialChooser(
+          n, config.exp_percentile, config.exp_fraction));
+    case Distribution::kHistogram: {
+      if (config.histogram_weights.empty()) {
+        return util::InvalidArgumentError(
+            "histogram requires at least one bucket weight");
+      }
+      double total = 0.0;
+      for (const double w : config.histogram_weights) {
+        if (w < 0.0) {
+          return util::InvalidArgumentError(
+              "histogram weights must be non-negative");
+        }
+        total += w;
+      }
+      if (total <= 0.0) {
+        return util::InvalidArgumentError(
+            "histogram weights must have a positive sum");
+      }
+      if (config.histogram_weights.size() > n) {
+        return util::InvalidArgumentError(
+            "histogram has more buckets than keys");
+      }
+      return std::unique_ptr<KeyChooser>(
+          new HistogramChooser(n, config.histogram_weights));
+    }
+  }
+  return util::InvalidArgumentError("unknown distribution");
+}
+
+std::vector<std::uint64_t> GenerateKeyStream(const KeyChooser& chooser,
+                                             std::uint64_t seed,
+                                             std::size_t count,
+                                             std::size_t num_threads) {
+  std::vector<std::uint64_t> keys(count);
+  util::ParallelFor(num_threads, count,
+                    [&](std::size_t /*chunk*/, std::size_t begin,
+                        std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        util::Rng rng = util::Rng::ForStream(seed, i);
+                        keys[i] = chooser.Next(&rng);
+                      }
+                    });
+  return keys;
+}
+
+}  // namespace rulelink::datagen

@@ -1,0 +1,98 @@
+// Skewed key-selection distributions for the workload-generator suite —
+// the YCSB-style taxonomy (zipfian, scrambled-zipfian, hotset, latest,
+// exponential, histogram, uniform) behind one KeyChooser interface. A
+// chooser maps a stream of uniform randomness to catalog keys in
+// [0, num_keys); the provider query-stream generator and the request-
+// replay bench (bench_workloads) drive every skew regime through it.
+//
+// Determinism contract. A chooser holds only immutable precomputed state
+// (zeta sums, CDF tables); every draw reads randomness exclusively from
+// the caller's Rng. GenerateKeyStream derives draw i's generator from
+// (seed, i) alone — util::Rng::ForStream — so the emitted key stream is
+// bit-identical at every thread count and any partition of the work, the
+// same counter-based discipline the catalog synthesizer uses.
+#ifndef RULELINK_DATAGEN_KEY_CHOOSER_H_
+#define RULELINK_DATAGEN_KEY_CHOOSER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rulelink::datagen {
+
+enum class Distribution {
+  kUniform,            // every key equally likely
+  kZipfian,            // key 0 the most popular (Gray et al. / YCSB)
+  kScrambledZipfian,   // zipfian popularity scattered across the keyspace
+  kHotset,             // a hot fraction of keys takes most operations
+  kLatest,             // recency skew: the newest keys are the most popular
+  kExponential,        // exponential decay from key 0
+  kHistogram,          // piecewise-uniform over weighted keyspace buckets
+};
+
+// Stable lower-case name ("zipfian", "scrambled_zipfian", ...), used in
+// BENCH_workloads.json and test diagnostics.
+const char* DistributionName(Distribution distribution);
+
+struct KeyChooserConfig {
+  Distribution distribution = Distribution::kZipfian;
+  std::uint64_t num_keys = 0;  // required: > 0
+
+  // Zipfian family (kZipfian, kScrambledZipfian, kLatest): the skew
+  // exponent theta in (0, 1). 0.99 is the YCSB default.
+  double zipf_theta = 0.99;
+
+  // kHotset: `hot_fraction` of the keyspace receives `hot_op_fraction` of
+  // the draws, uniformly within each set.
+  double hot_fraction = 0.2;
+  double hot_op_fraction = 0.8;
+
+  // kExponential: `exp_percentile` of the probability mass falls inside
+  // the first `exp_fraction` of the keyspace.
+  double exp_percentile = 0.95;
+  double exp_fraction = 0.3;
+
+  // kHistogram: relative weights of equal-width keyspace buckets, uniform
+  // within a bucket. Must be non-empty with a positive sum.
+  std::vector<double> histogram_weights;
+};
+
+class KeyChooser {
+ public:
+  virtual ~KeyChooser() = default;
+
+  // The next key in [0, num_keys()), drawn with `rng`'s randomness only —
+  // choosers are immutable and safe to share across threads.
+  virtual std::uint64_t Next(util::Rng* rng) const = 0;
+
+  virtual Distribution distribution() const = 0;
+  const char* name() const { return DistributionName(distribution()); }
+  std::uint64_t num_keys() const { return num_keys_; }
+
+ protected:
+  explicit KeyChooser(std::uint64_t num_keys) : num_keys_(num_keys) {}
+  const std::uint64_t num_keys_;
+};
+
+// Builds the configured chooser; fails on num_keys == 0, theta outside
+// (0, 1), degenerate hotset/exponential parameters, or an empty/zero
+// histogram.
+util::Result<std::unique_ptr<KeyChooser>> MakeKeyChooser(
+    const KeyChooserConfig& config);
+
+// Draws `count` keys, draw i from util::Rng::ForStream(seed, i). Work is
+// partitioned across `num_threads` workers (0 = hardware, 1 = serial);
+// because each draw's generator depends only on (seed, i), the stream is
+// bit-identical at every thread count.
+std::vector<std::uint64_t> GenerateKeyStream(const KeyChooser& chooser,
+                                             std::uint64_t seed,
+                                             std::size_t count,
+                                             std::size_t num_threads = 0);
+
+}  // namespace rulelink::datagen
+
+#endif  // RULELINK_DATAGEN_KEY_CHOOSER_H_

@@ -1,5 +1,8 @@
 #include "datagen/typo.h"
 
+#include <cstddef>
+#include <vector>
+
 namespace rulelink::datagen {
 namespace {
 constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
@@ -7,6 +10,26 @@ constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
 char RandomChar(util::Rng* rng) {
   return kAlphabet[rng->UniformUint64(sizeof(kAlphabet) - 1)];
 }
+
+// Byte offsets of the UTF-8 code-point starts of `s`, plus s.size() as a
+// sentinel. A byte is a start unless it is a continuation byte (10xxxxxx).
+// Malformed input (leading continuation bytes) degrades to byte units, so
+// the editor never loops on garbage; for ASCII this is exactly the byte
+// positions, which keeps the typo channel's draw sequence — and therefore
+// every seeded corpus — identical to the pre-UTF-8 implementation.
+std::vector<std::size_t> CodePointStarts(const std::string& s) {
+  std::vector<std::size_t> starts;
+  starts.reserve(s.size() + 1);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if ((static_cast<unsigned char>(s[i]) & 0xC0) != 0x80) starts.push_back(i);
+  }
+  if (starts.empty()) {
+    for (std::size_t i = 0; i < s.size(); ++i) starts.push_back(i);
+  }
+  starts.push_back(s.size());
+  return starts;
+}
+
 }  // namespace
 
 std::string ApplyTypo(const std::string& s, util::Rng* rng) {
@@ -15,26 +38,39 @@ std::string ApplyTypo(const std::string& s, util::Rng* rng) {
     out.push_back(RandomChar(rng));
     return out;
   }
+  // All edits operate on whole code points so a multi-byte character is
+  // never split: positions index code points, and substitution/deletion/
+  // transposition move the full byte span of each one.
+  const std::vector<std::size_t> starts = CodePointStarts(out);
+  const std::size_t num_cps = starts.size() - 1;
   const std::uint64_t kind =
-      out.size() >= 2 ? rng->UniformUint64(4) : rng->UniformUint64(2);
-  const std::size_t pos = rng->UniformUint64(out.size());
+      num_cps >= 2 ? rng->UniformUint64(4) : rng->UniformUint64(2);
+  const std::size_t pos = rng->UniformUint64(num_cps);
+  const auto cp_begin = [&](std::size_t cp) { return starts[cp]; };
+  const auto cp_len = [&](std::size_t cp) {
+    return starts[cp + 1] - starts[cp];
+  };
   switch (kind) {
     case 0: {  // substitution (force a change)
       char c = RandomChar(rng);
-      while (c == out[pos]) c = RandomChar(rng);
-      out[pos] = c;
+      if (cp_len(pos) == 1) {
+        while (c == out[cp_begin(pos)]) c = RandomChar(rng);
+      }
+      out.replace(cp_begin(pos), cp_len(pos), 1, c);
       break;
     }
-    case 1:  // insertion
-      out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+    case 1:  // insertion, at a code-point boundary
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(cp_begin(pos)),
                  RandomChar(rng));
       break;
-    case 2:  // deletion
-      out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+    case 2:  // deletion of a whole code point
+      out.erase(cp_begin(pos), cp_len(pos));
       break;
-    case 3: {  // adjacent transposition
-      const std::size_t i = pos + 1 < out.size() ? pos : pos - 1;
-      std::swap(out[i], out[i + 1]);
+    case 3: {  // adjacent code-point transposition
+      const std::size_t i = pos + 1 < num_cps ? pos : pos - 1;
+      const std::string left = out.substr(cp_begin(i), cp_len(i));
+      const std::string right = out.substr(cp_begin(i + 1), cp_len(i + 1));
+      out.replace(cp_begin(i), left.size() + right.size(), right + left);
       break;
     }
   }

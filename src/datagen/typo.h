@@ -12,7 +12,11 @@ namespace rulelink::datagen {
 
 // Applies exactly one random edit to `s` (substitution, deletion,
 // insertion, or adjacent transposition of an alphanumeric character).
-// Strings of length < 2 only receive substitutions/insertions.
+// Strings of fewer than 2 code points only receive substitutions/
+// insertions. Edits operate on whole UTF-8 code points — a valid UTF-8
+// input stays valid UTF-8 (accented or CJK part names are never split
+// mid-character); for pure-ASCII input the behaviour and draw sequence
+// are identical to the byte-level editor, so seeded corpora are stable.
 std::string ApplyTypo(const std::string& s, util::Rng* rng);
 
 }  // namespace rulelink::datagen

@@ -1,0 +1,288 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "datagen/typo.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace rulelink::datagen {
+namespace {
+
+constexpr char kSeparators[] = {'-', '.', ' ', '/', '_'};
+constexpr std::size_t kNumSeparators = sizeof(kSeparators);
+
+// Same shape as the paper generator's series codes: 1-4 uppercase letters
+// followed by 2-4 digits ("CRCW0805", "T83").
+std::string MakeSeriesCode(util::Rng* rng) {
+  static constexpr char kLetters[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  static constexpr char kDigits[] = "0123456789";
+  std::string code;
+  const std::size_t letters = 1 + rng->UniformUint64(4);
+  const std::size_t digits = 2 + rng->UniformUint64(3);
+  for (std::size_t i = 0; i < letters; ++i) {
+    code.push_back(kLetters[rng->UniformUint64(26)]);
+  }
+  for (std::size_t i = 0; i < digits; ++i) {
+    code.push_back(kDigits[rng->UniformUint64(10)]);
+  }
+  return code;
+}
+
+std::string RenderPartNumber(const std::vector<std::string>& tokens,
+                             char separator) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out.push_back(separator);
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::vector<std::string> SplitPartNumber(const std::string& part_number,
+                                         char separator) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= part_number.size(); ++i) {
+    if (i == part_number.size() || part_number[i] == separator) {
+      if (i > start) tokens.push_back(part_number.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return tokens;
+}
+
+std::string AsciiLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace
+
+util::Result<WorkloadCatalog> GenerateWorkloadCatalog(
+    const WorkloadConfig& cfg, std::size_t num_threads) {
+  if (cfg.catalog_size == 0) {
+    return util::InvalidArgumentError("catalog_size must be > 0");
+  }
+  if (cfg.num_epochs == 0) {
+    return util::InvalidArgumentError("num_epochs must be >= 1");
+  }
+  if (cfg.drift_leaf_fraction < 0.0 || cfg.drift_leaf_fraction >= 1.0) {
+    return util::InvalidArgumentError(
+        "drift_leaf_fraction must be in [0, 1)");
+  }
+  if (cfg.series_per_leaf == 0 || cfg.serial_pool_size == 0 ||
+      cfg.num_manufacturers == 0) {
+    return util::InvalidArgumentError(
+        "series_per_leaf, serial_pool_size and num_manufacturers must be "
+        "positive");
+  }
+
+  // --- Serial phase: taxonomy, pools, per-epoch popularity samplers. ---
+  util::Rng rng(cfg.seed);
+  WorkloadCatalog catalog;
+  catalog.config = cfg;
+  RL_ASSIGN_OR_RETURN(
+      catalog.taxonomy,
+      GenerateOntology(cfg.num_classes, cfg.num_leaves, &rng));
+  const std::vector<ontology::ClassId>& leaves = catalog.taxonomy.leaves;
+  const std::size_t num_leaves = leaves.size();
+
+  // Drift plan: a shuffled prefix of the leaves first appears in epoch
+  // >= 1, spread round-robin over the later epochs.
+  std::vector<std::size_t> leaf_order(num_leaves);
+  for (std::size_t i = 0; i < num_leaves; ++i) leaf_order[i] = i;
+  rng.Shuffle(&leaf_order);
+  const std::size_t num_drift =
+      cfg.num_epochs > 1
+          ? std::min(num_leaves - 1,
+                     static_cast<std::size_t>(cfg.drift_leaf_fraction *
+                                              static_cast<double>(num_leaves)))
+          : 0;
+  catalog.first_epoch_of_leaf.assign(num_leaves, 0);
+  for (std::size_t k = 0; k < num_drift; ++k) {
+    catalog.first_epoch_of_leaf[leaf_order[k]] =
+        1 + static_cast<std::uint32_t>(k % (cfg.num_epochs - 1));
+  }
+
+  // Series tokens, globally unique across leaves.
+  catalog.series_of_leaf.resize(num_leaves);
+  std::unordered_set<std::string> used_codes;
+  for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+    auto& codes = catalog.series_of_leaf[leaf];
+    while (codes.size() < cfg.series_per_leaf) {
+      std::string code = MakeSeriesCode(&rng);
+      if (used_codes.insert(code).second) codes.push_back(std::move(code));
+    }
+  }
+
+  std::vector<std::string> serial_pool;
+  serial_pool.reserve(cfg.serial_pool_size);
+  {
+    std::unordered_set<std::string> seen;
+    while (serial_pool.size() < cfg.serial_pool_size) {
+      std::string s = rng.AlnumString(4 + rng.UniformUint64(3));
+      if (seen.insert(s).second) serial_pool.push_back(std::move(s));
+    }
+  }
+  std::vector<std::string> manufacturers;
+  manufacturers.reserve(cfg.num_manufacturers);
+  {
+    std::unordered_set<std::string> seen;
+    while (manufacturers.size() < cfg.num_manufacturers) {
+      std::string name = "Mfr" + rng.AlnumString(3);
+      if (seen.insert(name).second) manufacturers.push_back(std::move(name));
+    }
+  }
+
+  // Per-epoch eligible leaves, newest introductions first: a freshly
+  // launched part series immediately takes the head of the popularity
+  // skew, the regime that starves a stale batch learner.
+  std::vector<std::vector<std::size_t>> eligible(cfg.num_epochs);
+  std::vector<util::ZipfSampler> leaf_sampler;
+  leaf_sampler.reserve(cfg.num_epochs);
+  for (std::uint32_t e = 0; e < cfg.num_epochs; ++e) {
+    for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+      if (catalog.first_epoch_of_leaf[leaf] <= e) {
+        eligible[e].push_back(leaf);
+      }
+    }
+    std::stable_sort(eligible[e].begin(), eligible[e].end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return catalog.first_epoch_of_leaf[a] >
+                              catalog.first_epoch_of_leaf[b];
+                     });
+    RL_CHECK(!eligible[e].empty());
+    leaf_sampler.emplace_back(eligible[e].size(), cfg.leaf_zipf_exponent);
+  }
+
+  // --- Parallel phase: item i from Rng::ForStream(seed, i) only. ---
+  const std::size_t n = cfg.catalog_size;
+  catalog.items.resize(n);
+  catalog.classes.resize(n);
+  catalog.epochs.resize(n);
+  catalog.separators.resize(n);
+  util::ParallelFor(
+      num_threads, n,
+      [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        std::vector<std::string> tokens;
+        for (std::size_t i = begin; i < end; ++i) {
+          util::Rng item_rng = util::Rng::ForStream(cfg.seed, i);
+          const auto epoch = static_cast<std::uint32_t>(
+              (i * cfg.num_epochs) / n);
+          const std::size_t leaf =
+              eligible[epoch][leaf_sampler[epoch].Sample(&item_rng)];
+
+          tokens.clear();
+          if (item_rng.Bernoulli(cfg.series_in_partnumber_prob)) {
+            tokens.push_back(item_rng.Pick(catalog.series_of_leaf[leaf]));
+          }
+          tokens.push_back(item_rng.Pick(serial_pool));
+          if (item_rng.Bernoulli(cfg.second_serial_prob)) {
+            tokens.push_back(item_rng.Pick(serial_pool));
+          }
+          const char separator =
+              kSeparators[item_rng.UniformUint64(kNumSeparators)];
+          const std::string& manufacturer =
+              manufacturers[item_rng.UniformUint64(manufacturers.size())];
+
+          core::Item& item = catalog.items[i];
+          item.iri = std::string(ns::kCatalog) + "W" + std::to_string(i);
+          item.facts.push_back(core::PropertyValue{
+              props::kPartNumber, RenderPartNumber(tokens, separator)});
+          item.facts.push_back(
+              core::PropertyValue{props::kManufacturer, manufacturer});
+          item.facts.push_back(core::PropertyValue{
+              props::kLabel,
+              manufacturer + " " +
+                  catalog.taxonomy.ontology.label(leaves[leaf])});
+          catalog.classes[i] = leaves[leaf];
+          catalog.epochs[i] = epoch;
+          catalog.separators[i] = separator;
+        }
+      });
+  return catalog;
+}
+
+util::Result<QueryStream> GenerateQueryStream(const WorkloadCatalog& catalog,
+                                              const QueryStreamConfig& cfg,
+                                              std::size_t num_threads) {
+  if (cfg.num_providers == 0) {
+    return util::InvalidArgumentError("num_providers must be > 0");
+  }
+  KeyChooserConfig chooser_config = cfg.chooser;
+  chooser_config.num_keys = catalog.items.size();
+  RL_ASSIGN_OR_RETURN(const std::unique_ptr<KeyChooser> chooser,
+                      MakeKeyChooser(chooser_config));
+
+  // Provider rendering styles (the schema-variation axis): preferred
+  // separator plus an optional lower-cased rendering.
+  struct ProviderStyle {
+    char separator = '-';
+    bool lowercase = false;
+  };
+  std::vector<ProviderStyle> styles(cfg.num_providers);
+  util::Rng style_rng(cfg.seed);
+  for (ProviderStyle& style : styles) {
+    style.separator = kSeparators[style_rng.UniformUint64(kNumSeparators)];
+    style.lowercase = style_rng.Bernoulli(0.5);
+  }
+
+  QueryStream stream;
+  const std::size_t n = cfg.num_queries;
+  stream.queries.resize(n);
+  stream.gold.resize(n);
+  util::ParallelFor(
+      num_threads, n,
+      [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        for (std::size_t j = begin; j < end; ++j) {
+          util::Rng rng = util::Rng::ForStream(cfg.seed, j);
+          const auto target =
+              static_cast<std::size_t>(chooser->Next(&rng));
+          const ProviderStyle& style =
+              styles[rng.UniformUint64(styles.size())];
+
+          const core::Item& product = catalog.items[target];
+          std::vector<std::string> tokens = SplitPartNumber(
+              product.facts[0].value, catalog.separators[target]);
+          for (std::string& token : tokens) {
+            if (rng.Bernoulli(cfg.typo_prob)) {
+              token = ApplyTypo(token, &rng);
+            }
+          }
+          const char separator = rng.Bernoulli(cfg.reformat_prob)
+                                     ? style.separator
+                                     : catalog.separators[target];
+          std::string part_number = RenderPartNumber(tokens, separator);
+          if (part_number.size() > cfg.min_truncated_length &&
+              rng.Bernoulli(cfg.truncate_prob)) {
+            const std::size_t cut =
+                cfg.min_truncated_length +
+                rng.UniformUint64(part_number.size() -
+                                  cfg.min_truncated_length);
+            part_number.resize(cut);
+          }
+          std::string manufacturer = product.facts[1].value;
+          if (style.lowercase) {
+            part_number = AsciiLower(std::move(part_number));
+            manufacturer = AsciiLower(std::move(manufacturer));
+          }
+
+          core::Item& query = stream.queries[j];
+          query.iri = std::string(ns::kProvider) + "Q" + std::to_string(j);
+          query.facts.push_back(core::PropertyValue{
+              props::kPartNumber, std::move(part_number)});
+          query.facts.push_back(core::PropertyValue{
+              props::kManufacturer, std::move(manufacturer)});
+          stream.gold[j] = GoldLink{j, target};
+        }
+      });
+  return stream;
+}
+
+}  // namespace rulelink::datagen

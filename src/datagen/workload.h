@@ -1,0 +1,127 @@
+// Million-scale workload synthesis: the scale-out companion to the
+// paper-calibrated DatasetGenerator. Where generator.h reproduces the
+// Thales corpus statistics at ~10k links, this layer produces arbitrarily
+// large catalogs plus skewed provider query streams for the request-replay
+// bench (bench/bench_workloads.cc) and the scale differential tests:
+//
+//   * WorkloadCatalog — catalog items with class-correlated part-number
+//     series tokens, generated over "catalog time": item index is
+//     insertion order, split into epochs, and a configurable fraction of
+//     part series first appears in later epochs (temporal drift, the
+//     regime src/core/incremental exists for).
+//   * QueryStream — one provider document per request, its target drawn
+//     from any KeyChooser distribution (zipfian, hotset, latest, ...),
+//     rendered through a per-provider schema style (separator, casing)
+//     and a dirty-data regime (typos, truncated part numbers).
+//
+// Determinism contract. Both generators run a cheap serial phase (pools,
+// taxonomy, per-epoch samplers) from Rng(seed), then derive item/query
+// i's generator from util::Rng::ForStream(seed, i) inside a ParallelFor —
+// output is bit-identical at every thread count (locked down by
+// tests/workload_gen_test.cc).
+#ifndef RULELINK_DATAGEN_WORKLOAD_H_
+#define RULELINK_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/item.h"
+#include "datagen/dataset.h"
+#include "datagen/key_chooser.h"
+#include "datagen/ontology_gen.h"
+#include "util/status.h"
+
+namespace rulelink::datagen {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 42;
+  std::size_t catalog_size = 100000;
+
+  // Taxonomy shape (small relative to the catalog: scale lives in the
+  // item count, not the class count).
+  std::size_t num_classes = 120;
+  std::size_t num_leaves = 60;
+
+  // Part-number structure: every leaf owns `series_per_leaf` unique series
+  // tokens; a product of the leaf carries one with this probability.
+  std::size_t series_per_leaf = 3;
+  double series_in_partnumber_prob = 0.9;
+  // Probability of a second serial segment (lot/date code).
+  double second_serial_prob = 0.25;
+  std::size_t serial_pool_size = 20000;
+  std::size_t num_manufacturers = 64;
+
+  // Class popularity skew across eligible leaves (Zipf exponent).
+  double leaf_zipf_exponent = 1.0;
+
+  // --- Temporal drift. Generation order is insertion order; the catalog
+  // is split into `num_epochs` equal index ranges. `drift_leaf_fraction`
+  // of the leaves are "new part series": their series tokens first appear
+  // in epoch >= 1 (spread round-robin over the later epochs), and within
+  // an epoch newly introduced leaves are the most popular — new product
+  // lines sell, which is exactly the regime that starves a batch learner
+  // trained on an earlier epoch. ---
+  std::size_t num_epochs = 1;
+  double drift_leaf_fraction = 0.0;
+};
+
+struct WorkloadCatalog {
+  WorkloadConfig config;
+  GeneratedOntology taxonomy;
+
+  std::vector<core::Item> items;
+  std::vector<ontology::ClassId> classes;  // leaf of each item (parallel)
+  std::vector<std::uint32_t> epochs;       // epoch of each item, non-decreasing
+  std::vector<char> separators;            // part-number separator per item
+
+  // Per leaf (indexed like taxonomy.leaves): the epoch its series tokens
+  // first appear in, and the tokens themselves — the generator's ground
+  // truth for the drift tests.
+  std::vector<std::uint32_t> first_epoch_of_leaf;
+  std::vector<std::vector<std::string>> series_of_leaf;
+
+  const ontology::Ontology& ontology() const { return taxonomy.ontology; }
+};
+
+// Synthesizes the catalog. `num_threads` partitions the item loop
+// (0 = hardware, 1 = serial); output is identical at every thread count.
+util::Result<WorkloadCatalog> GenerateWorkloadCatalog(
+    const WorkloadConfig& config, std::size_t num_threads = 0);
+
+struct QueryStreamConfig {
+  std::uint64_t seed = 7;
+  std::size_t num_queries = 10000;
+
+  // Target-key skew over the catalog; `chooser.num_keys` is filled in from
+  // the catalog by GenerateQueryStream.
+  KeyChooserConfig chooser;
+
+  // Multi-provider schema variation: each query is attributed to one of
+  // `num_providers` synthetic providers with a fixed rendering style
+  // (preferred separator, lower-casing).
+  std::size_t num_providers = 4;
+  // Probability the provider re-renders with its own separator.
+  double reformat_prob = 0.3;
+
+  // Dirty-data regime.
+  double typo_prob = 0.05;      // per-segment random edit
+  double truncate_prob = 0.0;   // truncated part numbers
+  std::size_t min_truncated_length = 4;
+};
+
+struct QueryStream {
+  std::vector<core::Item> queries;  // provider documents, one per request
+  std::vector<GoldLink> gold;       // query j -> catalog index (may repeat)
+};
+
+// Generates the skewed provider query stream against `catalog`. Query j
+// is derived from Rng::ForStream(seed, j): identical at every thread
+// count. Fails on an invalid chooser configuration or num_providers == 0.
+util::Result<QueryStream> GenerateQueryStream(const WorkloadCatalog& catalog,
+                                              const QueryStreamConfig& config,
+                                              std::size_t num_threads = 0);
+
+}  // namespace rulelink::datagen
+
+#endif  // RULELINK_DATAGEN_WORKLOAD_H_

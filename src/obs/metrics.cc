@@ -77,6 +77,34 @@ void Histogram::Merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+double Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based), then walk the buckets to the
+  // one containing it and interpolate linearly inside its value range.
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kNumHistogramBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t prev = cumulative;
+    cumulative += buckets_[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lo = static_cast<double>(BucketLowerBound(b));
+    const double hi = b + 1 < kNumHistogramBuckets
+                          ? static_cast<double>(BucketLowerBound(b + 1))
+                          : lo * 2.0;
+    const double within =
+        (target - static_cast<double>(prev)) /
+        static_cast<double>(buckets_[b]);
+    double value = lo + (hi - lo) * within;
+    if (value < static_cast<double>(min_)) value = static_cast<double>(min_);
+    if (value > static_cast<double>(max_)) value = static_cast<double>(max_);
+    return value;
+  }
+  return static_cast<double>(max_);
+}
+
 void MetricsRegistry::AddCounter(std::string_view name, std::uint64_t delta) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {

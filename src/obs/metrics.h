@@ -66,6 +66,14 @@ class Histogram {
 
   void Merge(const Histogram& other);
 
+  // The value at cumulative fraction `q` in [0, 1] (0.5 = p50, 0.999 =
+  // p999), linearly interpolated inside the containing log2 bucket and
+  // clamped to the observed min/max. 0 when the histogram is empty. The
+  // bucketing bounds the relative error by the bucket width (a factor of
+  // 2), which is what a latency-percentile report needs; exact quantiles
+  // would require retaining every observation.
+  double ValueAtQuantile(double q) const;
+
   std::uint64_t count() const { return count_; }
   std::uint64_t sum() const { return sum_; }
   // min()/max() are meaningful only when count() > 0.

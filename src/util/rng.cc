@@ -26,6 +26,14 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : state_) s = SplitMix64(&sm);
 }
 
+Rng Rng::ForStream(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream index through SplitMix64 before folding it into the
+  // seed, so consecutive streams share no low-bit structure; stream + 1
+  // keeps stream 0 distinct from the plain Rng(seed).
+  std::uint64_t sm = stream + 1;
+  return Rng(seed ^ SplitMix64(&sm));
+}
+
 std::uint64_t Rng::NextUint64() {
   const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;

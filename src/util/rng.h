@@ -16,6 +16,13 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed);
 
+  // Counter-based stream derivation: the generator for draw `stream` of a
+  // logical sequence seeded with `seed`. Depends only on (seed, stream),
+  // so parallel producers that give item i the generator ForStream(seed, i)
+  // emit bit-identical output at every thread count and any work
+  // partition — the discipline the workload generators are built on.
+  static Rng ForStream(std::uint64_t seed, std::uint64_t stream);
+
   // Uniform over the full 64-bit range.
   std::uint64_t NextUint64();
 

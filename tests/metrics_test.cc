@@ -93,6 +93,48 @@ TEST(HistogramTest, MergeIsOrderInvariant) {
   EXPECT_EQ(ab.max(), 100u);
 }
 
+TEST(HistogramTest, ValueAtQuantileEmptyAndSingleValue) {
+  obs::Histogram h;
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0.0);
+  h.Observe(42);
+  // One observation: every quantile clamps to the observed min == max.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 42.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 42.0);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 42.0);
+}
+
+TEST(HistogramTest, ValueAtQuantileWalksBuckets) {
+  obs::Histogram h;
+  // 90 observations in [64, 128), 10 in [1024, 2048): p50 must land in the
+  // first bucket's value range, p99 in the second's.
+  for (int i = 0; i < 90; ++i) h.Observe(100);
+  for (int i = 0; i < 10; ++i) h.Observe(1500);
+  const double p50 = h.ValueAtQuantile(0.5);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LT(p50, 128.0);
+  const double p99 = h.ValueAtQuantile(0.99);
+  EXPECT_GE(p99, 1024.0);
+  EXPECT_LE(p99, 1500.0);  // clamped to the observed max
+  // Monotone in q.
+  EXPECT_LE(h.ValueAtQuantile(0.25), h.ValueAtQuantile(0.75));
+  EXPECT_LE(h.ValueAtQuantile(0.9), h.ValueAtQuantile(0.999));
+  // Out-of-range q clamps instead of reading past the buckets.
+  EXPECT_EQ(h.ValueAtQuantile(-1.0), h.ValueAtQuantile(0.0));
+  EXPECT_EQ(h.ValueAtQuantile(2.0), h.ValueAtQuantile(1.0));
+}
+
+TEST(HistogramTest, ValueAtQuantileBoundedByBucketResolution) {
+  obs::Histogram h;
+  // Uniform 1..1000: the log2 bucketing bounds the relative error by 2x.
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  const double p50 = h.ValueAtQuantile(0.5);
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  const double p999 = h.ValueAtQuantile(0.999);
+  EXPECT_GE(p999, 512.0);
+  EXPECT_LE(p999, 1000.0);
+}
+
 // --- Registry -------------------------------------------------------------
 
 TEST(MetricsRegistryTest, CountersAccumulate) {

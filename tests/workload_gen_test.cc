@@ -1,0 +1,543 @@
+// Tests for the workload-generator suite (src/datagen/key_chooser,
+// src/datagen/workload, src/datagen/typo): statistical properties of every
+// KeyChooser distribution, the bit-identical-at-any-thread-count
+// determinism contract of the generators, configuration validation, and
+// UTF-8 code-point safety of the typo channel.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/key_chooser.h"
+#include "datagen/typo.h"
+#include "datagen/workload.h"
+#include "text/similarity.h"
+#include "util/rng.h"
+
+namespace rulelink {
+namespace {
+
+using datagen::Distribution;
+using datagen::KeyChooserConfig;
+
+constexpr std::size_t kDraws = 200000;
+
+std::vector<std::uint64_t> Draw(const KeyChooserConfig& config,
+                                std::size_t count = kDraws,
+                                std::uint64_t seed = 9001) {
+  auto chooser = datagen::MakeKeyChooser(config);
+  EXPECT_TRUE(chooser.ok()) << chooser.status();
+  return datagen::GenerateKeyStream(*chooser.value(), seed, count,
+                                    /*num_threads=*/1);
+}
+
+std::vector<std::size_t> Frequencies(const std::vector<std::uint64_t>& keys,
+                                     std::size_t num_keys) {
+  std::vector<std::size_t> freq(num_keys, 0);
+  for (const std::uint64_t k : keys) {
+    EXPECT_LT(k, num_keys);
+    ++freq[k];
+  }
+  return freq;
+}
+
+double Mean(const std::vector<std::uint64_t>& keys) {
+  double sum = 0.0;
+  for (const std::uint64_t k : keys) sum += static_cast<double>(k);
+  return sum / static_cast<double>(keys.size());
+}
+
+// --- Distribution statistics ----------------------------------------------
+
+TEST(KeyChooserStatTest, UniformMeanAndCoverage) {
+  KeyChooserConfig config;
+  config.distribution = Distribution::kUniform;
+  config.num_keys = 10000;
+  const auto keys = Draw(config);
+  // Mean of U[0, n-1] is (n-1)/2; the sample mean over 200k draws has a
+  // standard error of ~6.5, so 1% is a >15-sigma band.
+  EXPECT_NEAR(Mean(keys), 4999.5, 100.0);
+  const auto freq = Frequencies(keys, config.num_keys);
+  std::size_t covered = 0;
+  for (const std::size_t f : freq) covered += f > 0 ? 1 : 0;
+  EXPECT_GT(covered, 9999u * 19 / 20);  // almost every key seen
+}
+
+TEST(KeyChooserStatTest, ZipfianLogLogSlopeMatchesTheta) {
+  KeyChooserConfig config;
+  config.distribution = Distribution::kZipfian;
+  config.num_keys = 1000;
+  config.zipf_theta = 0.99;
+  const auto freq = Frequencies(Draw(config), config.num_keys);
+  // Rank-frequency least squares over the head (ranks with enough mass for
+  // a stable frequency estimate): log f(r) ~ c - theta * log(r+1).
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t m = 0;
+  for (std::size_t r = 0; r < 50; ++r) {
+    ASSERT_GT(freq[r], 0u) << "head rank " << r << " never drawn";
+    const double x = std::log(static_cast<double>(r + 1));
+    const double y = std::log(static_cast<double>(freq[r]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++m;
+  }
+  const double slope = (static_cast<double>(m) * sxy - sx * sy) /
+                       (static_cast<double>(m) * sxx - sx * sx);
+  EXPECT_NEAR(slope, -config.zipf_theta, 0.15);
+  // Monotone head: rank 0 strictly dominates.
+  EXPECT_GT(freq[0], freq[10]);
+  EXPECT_GT(freq[10], freq[200]);
+}
+
+TEST(KeyChooserStatTest, ScrambledZipfianScattersThePopularKeys) {
+  KeyChooserConfig config;
+  config.num_keys = 1000;
+  config.zipf_theta = 0.99;
+  config.distribution = Distribution::kZipfian;
+  const auto plain = Frequencies(Draw(config), config.num_keys);
+  config.distribution = Distribution::kScrambledZipfian;
+  const auto scrambled = Frequencies(Draw(config), config.num_keys);
+
+  // Same popularity profile: the hottest key's frequency matches the
+  // zipfian rank-0 frequency (both estimate the same zipf head mass).
+  const std::size_t plain_top = *std::max_element(plain.begin(), plain.end());
+  const std::size_t scrambled_top =
+      *std::max_element(scrambled.begin(), scrambled.end());
+  EXPECT_NEAR(static_cast<double>(scrambled_top),
+              static_cast<double>(plain_top),
+              0.2 * static_cast<double>(plain_top));
+
+  // ...but scattered: the top-10 hottest keys are spread over the keyspace
+  // instead of clustering at the low ids.
+  std::vector<std::pair<std::size_t, std::size_t>> by_freq;
+  for (std::size_t k = 0; k < scrambled.size(); ++k) {
+    by_freq.emplace_back(scrambled[k], k);
+  }
+  std::sort(by_freq.rbegin(), by_freq.rend());
+  std::size_t top_above_mid = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (by_freq[i].second >= config.num_keys / 2) ++top_above_mid;
+  }
+  EXPECT_GE(top_above_mid, 2u);  // P(all 10 land low) ~ 2^-10 per mixer
+}
+
+TEST(KeyChooserStatTest, HotsetHitRatioWithinOnePercent) {
+  KeyChooserConfig config;
+  config.distribution = Distribution::kHotset;
+  config.num_keys = 10000;
+  config.hot_fraction = 0.2;
+  config.hot_op_fraction = 0.8;
+  const auto keys = Draw(config);
+  std::size_t hot = 0;
+  for (const std::uint64_t k : keys) {
+    if (k < 2000) ++hot;
+  }
+  // Binomial(200k, 0.8) has sigma ~ 179 draws = 0.09%; +-1% is ~11 sigma.
+  const double ratio =
+      static_cast<double>(hot) / static_cast<double>(keys.size());
+  EXPECT_NEAR(ratio, 0.8, 0.01);
+}
+
+TEST(KeyChooserStatTest, LatestSkewsTowardTheNewestKeys) {
+  KeyChooserConfig config;
+  config.distribution = Distribution::kLatest;
+  config.num_keys = 10000;
+  config.zipf_theta = 0.99;
+  const auto keys = Draw(config);
+  std::size_t newest_decile = 0;
+  for (const std::uint64_t k : keys) {
+    if (k >= 9000) ++newest_decile;
+  }
+  // Zipf(0.99) over distance-from-newest puts ~74% of the mass on the
+  // newest 10% of the keyspace.
+  EXPECT_GT(static_cast<double>(newest_decile) /
+                static_cast<double>(keys.size()),
+            0.6);
+  EXPECT_GT(Mean(keys), 0.75 * static_cast<double>(config.num_keys));
+}
+
+TEST(KeyChooserStatTest, ExponentialMeanMatchesParameterization) {
+  KeyChooserConfig config;
+  config.distribution = Distribution::kExponential;
+  config.num_keys = 10000;
+  config.exp_percentile = 0.95;
+  config.exp_fraction = 0.3;
+  const auto keys = Draw(config);
+  // gamma = -ln(1 - 0.95) / (0.3 * 10000); the (truncated) mean is ~1/gamma
+  // ~= 1001. Sample std error is ~2.2, so 5% is a wide band.
+  const double expected_mean =
+      0.3 * 10000.0 / std::log(1.0 / (1.0 - 0.95));
+  EXPECT_NEAR(Mean(keys), expected_mean, 0.05 * expected_mean);
+  // The parameterization itself: ~95% of draws inside the first 30%.
+  std::size_t inside = 0;
+  for (const std::uint64_t k : keys) {
+    if (k < 3000) ++inside;
+  }
+  EXPECT_NEAR(static_cast<double>(inside) / static_cast<double>(keys.size()),
+              0.95, 0.01);
+}
+
+TEST(KeyChooserStatTest, HistogramChiSquareAgainstConfiguredWeights) {
+  KeyChooserConfig config;
+  config.distribution = Distribution::kHistogram;
+  config.num_keys = 8000;
+  config.histogram_weights = {4.0, 3.0, 2.0, 1.0};
+  const auto keys = Draw(config);
+  const std::size_t bucket_width = 2000;
+  std::vector<std::size_t> observed(4, 0);
+  for (const std::uint64_t k : keys) ++observed[k / bucket_width];
+  const double expected[] = {0.4, 0.3, 0.2, 0.1};
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < 4; ++b) {
+    const double e = expected[b] * static_cast<double>(keys.size());
+    const double d = static_cast<double>(observed[b]) - e;
+    chi2 += d * d / e;
+  }
+  // dof = 3; the 99.9th percentile of chi-square(3) is 16.3.
+  EXPECT_LT(chi2, 20.0);
+  // Uniform within a bucket: the two halves of the heaviest bucket split
+  // its draws evenly.
+  std::size_t low_half = 0;
+  for (const std::uint64_t k : keys) {
+    if (k < bucket_width / 2) ++low_half;
+  }
+  EXPECT_NEAR(static_cast<double>(low_half) /
+                  static_cast<double>(observed[0]),
+              0.5, 0.02);
+}
+
+// --- Determinism ----------------------------------------------------------
+
+TEST(KeyChooserDeterminismTest, StreamsBitIdenticalAcrossThreadCounts) {
+  for (const Distribution distribution :
+       {Distribution::kUniform, Distribution::kZipfian,
+        Distribution::kScrambledZipfian, Distribution::kHotset,
+        Distribution::kLatest, Distribution::kExponential,
+        Distribution::kHistogram}) {
+    KeyChooserConfig config;
+    config.distribution = distribution;
+    config.num_keys = 5000;
+    config.histogram_weights = {2.0, 1.0, 1.0};
+    auto chooser = datagen::MakeKeyChooser(config);
+    ASSERT_TRUE(chooser.ok()) << chooser.status();
+    const auto serial =
+        datagen::GenerateKeyStream(*chooser.value(), 42, 20000, 1);
+    for (const std::size_t threads : {2u, 8u}) {
+      const auto parallel =
+          datagen::GenerateKeyStream(*chooser.value(), 42, 20000, threads);
+      EXPECT_EQ(serial, parallel)
+          << chooser.value()->name() << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(KeyChooserDeterminismTest, DistinctSeedsGiveDistinctStreams) {
+  KeyChooserConfig config;
+  config.distribution = Distribution::kZipfian;
+  config.num_keys = 5000;
+  auto chooser = datagen::MakeKeyChooser(config);
+  ASSERT_TRUE(chooser.ok()) << chooser.status();
+  const auto a = datagen::GenerateKeyStream(*chooser.value(), 1, 10000, 1);
+  const auto b = datagen::GenerateKeyStream(*chooser.value(), 2, 10000, 1);
+  EXPECT_NE(a, b);
+}
+
+bool ItemsEqual(const core::Item& a, const core::Item& b) {
+  if (a.iri != b.iri || a.facts.size() != b.facts.size()) return false;
+  for (std::size_t i = 0; i < a.facts.size(); ++i) {
+    if (a.facts[i].property != b.facts[i].property ||
+        a.facts[i].value != b.facts[i].value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(WorkloadCatalogTest, GenerationBitIdenticalAcrossThreadCounts) {
+  datagen::WorkloadConfig config;
+  config.catalog_size = 20000;
+  config.num_epochs = 3;
+  config.drift_leaf_fraction = 0.3;
+  auto serial = datagen::GenerateWorkloadCatalog(config, 1);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  for (const std::size_t threads : {2u, 8u}) {
+    auto parallel = datagen::GenerateWorkloadCatalog(config, threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ASSERT_EQ(serial.value().items.size(), parallel.value().items.size());
+    for (std::size_t i = 0; i < serial.value().items.size(); ++i) {
+      ASSERT_TRUE(
+          ItemsEqual(serial.value().items[i], parallel.value().items[i]))
+          << "item " << i << " at " << threads << " threads";
+    }
+    EXPECT_EQ(serial.value().classes, parallel.value().classes);
+    EXPECT_EQ(serial.value().epochs, parallel.value().epochs);
+    EXPECT_EQ(serial.value().separators, parallel.value().separators);
+  }
+}
+
+TEST(WorkloadCatalogTest, EpochsAndDriftStructure) {
+  datagen::WorkloadConfig config;
+  config.catalog_size = 12000;
+  config.num_leaves = 30;
+  config.num_classes = 60;
+  config.num_epochs = 3;
+  config.drift_leaf_fraction = 0.4;
+  auto result = datagen::GenerateWorkloadCatalog(config, 0);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const datagen::WorkloadCatalog& catalog = result.value();
+
+  // Epochs are non-decreasing in insertion order and cover all of
+  // [0, num_epochs).
+  for (std::size_t i = 1; i < catalog.epochs.size(); ++i) {
+    EXPECT_LE(catalog.epochs[i - 1], catalog.epochs[i]);
+  }
+  EXPECT_EQ(catalog.epochs.front(), 0u);
+  EXPECT_EQ(catalog.epochs.back(), config.num_epochs - 1);
+
+  // The drift plan took effect: some leaves first appear in epoch >= 1,
+  // and no item of a drifted leaf is generated before its first epoch.
+  std::size_t drifted = 0;
+  for (const std::uint32_t e : catalog.first_epoch_of_leaf) {
+    if (e > 0) ++drifted;
+  }
+  EXPECT_GT(drifted, 0u);
+  EXPECT_LT(drifted, catalog.first_epoch_of_leaf.size());
+  std::map<ontology::ClassId, std::size_t> leaf_index;
+  for (std::size_t l = 0; l < catalog.taxonomy.leaves.size(); ++l) {
+    leaf_index[catalog.taxonomy.leaves[l]] = l;
+  }
+  for (std::size_t i = 0; i < catalog.items.size(); ++i) {
+    const std::size_t leaf = leaf_index.at(catalog.classes[i]);
+    EXPECT_GE(catalog.epochs[i], catalog.first_epoch_of_leaf[leaf])
+        << "item " << i << " predates its leaf's first epoch";
+  }
+}
+
+TEST(QueryStreamTest, GenerationBitIdenticalAcrossThreadCounts) {
+  datagen::WorkloadConfig catalog_config;
+  catalog_config.catalog_size = 10000;
+  auto catalog = datagen::GenerateWorkloadCatalog(catalog_config, 0);
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+
+  datagen::QueryStreamConfig config;
+  config.num_queries = 8000;
+  config.chooser.distribution = Distribution::kHotset;
+  config.typo_prob = 0.1;
+  config.truncate_prob = 0.05;
+  auto serial = datagen::GenerateQueryStream(catalog.value(), config, 1);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  for (const std::size_t threads : {2u, 8u}) {
+    auto parallel =
+        datagen::GenerateQueryStream(catalog.value(), config, threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ASSERT_EQ(serial.value().queries.size(), parallel.value().queries.size());
+    for (std::size_t j = 0; j < serial.value().queries.size(); ++j) {
+      ASSERT_TRUE(ItemsEqual(serial.value().queries[j],
+                             parallel.value().queries[j]))
+          << "query " << j << " at " << threads << " threads";
+      EXPECT_EQ(serial.value().gold[j].catalog_index,
+                parallel.value().gold[j].catalog_index);
+    }
+  }
+  // Gold targets are in range and the skew reached the stream: the hot
+  // fifth of the catalog receives most of the queries.
+  std::size_t hot = 0;
+  for (const datagen::GoldLink& g : serial.value().gold) {
+    ASSERT_LT(g.catalog_index, catalog.value().items.size());
+    if (g.catalog_index < 2000) ++hot;
+  }
+  EXPECT_GT(hot, serial.value().queries.size() / 2);
+}
+
+// --- Configuration validation ---------------------------------------------
+
+TEST(KeyChooserConfigTest, RejectsInvalidConfigurations) {
+  KeyChooserConfig config;
+  config.num_keys = 0;
+  EXPECT_FALSE(datagen::MakeKeyChooser(config).ok());
+
+  config.num_keys = 100;
+  config.distribution = Distribution::kZipfian;
+  config.zipf_theta = 1.5;
+  EXPECT_FALSE(datagen::MakeKeyChooser(config).ok());
+  config.zipf_theta = 0.0;
+  EXPECT_FALSE(datagen::MakeKeyChooser(config).ok());
+
+  config = KeyChooserConfig();
+  config.num_keys = 100;
+  config.distribution = Distribution::kHotset;
+  config.hot_fraction = 0.0;
+  EXPECT_FALSE(datagen::MakeKeyChooser(config).ok());
+  config.hot_fraction = 0.2;
+  config.hot_op_fraction = 1.5;
+  EXPECT_FALSE(datagen::MakeKeyChooser(config).ok());
+
+  config = KeyChooserConfig();
+  config.num_keys = 100;
+  config.distribution = Distribution::kExponential;
+  config.exp_percentile = 1.0;
+  EXPECT_FALSE(datagen::MakeKeyChooser(config).ok());
+
+  config = KeyChooserConfig();
+  config.num_keys = 100;
+  config.distribution = Distribution::kHistogram;
+  EXPECT_FALSE(datagen::MakeKeyChooser(config).ok());  // empty weights
+  config.histogram_weights = {1.0, -1.0};
+  EXPECT_FALSE(datagen::MakeKeyChooser(config).ok());
+  config.histogram_weights = {0.0, 0.0};
+  EXPECT_FALSE(datagen::MakeKeyChooser(config).ok());
+  config.histogram_weights.assign(101, 1.0);
+  EXPECT_FALSE(datagen::MakeKeyChooser(config).ok());
+
+  config.histogram_weights = {3.0, 1.0};
+  auto ok = datagen::MakeKeyChooser(config);
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+// --- UTF-8 typo channel ---------------------------------------------------
+
+bool IsValidUtf8(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const auto b = static_cast<unsigned char>(s[i]);
+    std::size_t len = 0;
+    if (b < 0x80) {
+      len = 1;
+    } else if ((b & 0xE0) == 0xC0) {
+      len = 2;
+    } else if ((b & 0xF0) == 0xE0) {
+      len = 3;
+    } else if ((b & 0xF8) == 0xF0) {
+      len = 4;
+    } else {
+      return false;
+    }
+    if (i + len > s.size()) return false;
+    for (std::size_t k = 1; k < len; ++k) {
+      if ((static_cast<unsigned char>(s[i + k]) & 0xC0) != 0x80) return false;
+    }
+    i += len;
+  }
+  return true;
+}
+
+std::size_t CountCodePoints(const std::string& s) {
+  std::size_t n = 0;
+  for (const char c : s) {
+    if ((static_cast<unsigned char>(c) & 0xC0) != 0x80) ++n;
+  }
+  return n;
+}
+
+TEST(TypoUtf8Test, AccentedPartNamesStayValidUtf8) {
+  const std::string original = "R\xC3\x89SISTANCE-47\xCE\xA9";  // RÉSISTANCE-47Ω
+  ASSERT_TRUE(IsValidUtf8(original));
+  const std::size_t cps = CountCodePoints(original);
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    util::Rng rng(seed);
+    const std::string mutated = datagen::ApplyTypo(original, &rng);
+    EXPECT_TRUE(IsValidUtf8(mutated)) << "seed " << seed << ": " << mutated;
+    const std::size_t mutated_cps = CountCodePoints(mutated);
+    EXPECT_LE(mutated_cps, cps + 1) << "seed " << seed;
+    EXPECT_GE(mutated_cps + 1, cps) << "seed " << seed;
+  }
+}
+
+TEST(TypoUtf8Test, CjkPartNamesStayValidUtf8) {
+  const std::string original =
+      "\xE6\x8A\xB5\xE6\x8A\x97\xE5\x99\xA8-100";  // 抵抗器-100
+  ASSERT_TRUE(IsValidUtf8(original));
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    util::Rng rng(seed);
+    const std::string mutated = datagen::ApplyTypo(original, &rng);
+    EXPECT_TRUE(IsValidUtf8(mutated)) << "seed " << seed << ": " << mutated;
+  }
+}
+
+TEST(TypoUtf8Test, SingleMultiByteCodePointNeverSplit) {
+  const std::string original = "\xCE\xA9";  // Ω: 1 code point, 2 bytes
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::Rng rng(seed);
+    const std::string mutated = datagen::ApplyTypo(original, &rng);
+    EXPECT_TRUE(IsValidUtf8(mutated)) << "seed " << seed;
+    EXPECT_FALSE(mutated.empty());  // < 2 cps: no deletions
+  }
+}
+
+// The byte-level editor the UTF-8 implementation replaced. For pure-ASCII
+// input ApplyTypo must consume the same draws and produce the same bytes,
+// or every seeded corpus (and the calibrated bench numbers) would shift.
+std::string ByteLevelReferenceTypo(const std::string& s, util::Rng* rng) {
+  static constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  const auto random_char = [&] {
+    return kAlphabet[rng->UniformUint64(sizeof(kAlphabet) - 1)];
+  };
+  std::string out = s;
+  if (out.empty()) {
+    out.push_back(random_char());
+    return out;
+  }
+  const std::uint64_t kind =
+      out.size() >= 2 ? rng->UniformUint64(4) : rng->UniformUint64(2);
+  const std::size_t pos = rng->UniformUint64(out.size());
+  switch (kind) {
+    case 0: {
+      char c = random_char();
+      while (c == out[pos]) c = random_char();
+      out[pos] = c;
+      break;
+    }
+    case 1:
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                 random_char());
+      break;
+    case 2:
+      out.erase(pos, 1);
+      break;
+    case 3: {
+      const std::size_t i = pos + 1 < out.size() ? pos : pos - 1;
+      std::swap(out[i], out[i + 1]);
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(TypoUtf8Test, AsciiDrawSequenceMatchesByteLevelReference) {
+  const std::string inputs[] = {"CRCW0805", "T83", "A", "10K5-RC", "XY"};
+  for (const std::string& input : inputs) {
+    for (std::uint64_t seed = 0; seed < 300; ++seed) {
+      util::Rng actual_rng(seed);
+      util::Rng reference_rng(seed);
+      const std::string actual = datagen::ApplyTypo(input, &actual_rng);
+      const std::string reference =
+          ByteLevelReferenceTypo(input, &reference_rng);
+      ASSERT_EQ(actual, reference)
+          << "input " << input << " seed " << seed;
+      // The generators stay in lockstep afterwards, too.
+      ASSERT_EQ(actual_rng.NextUint64(), reference_rng.NextUint64())
+          << "input " << input << " seed " << seed;
+    }
+  }
+}
+
+TEST(TypoUtf8Test, AsciiEditsStaySingleDamerauEdit) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    util::Rng rng(seed);
+    const std::string original = "CRCW0805";
+    const std::string mutated = datagen::ApplyTypo(original, &rng);
+    EXPECT_NE(mutated, original) << "seed " << seed;
+    EXPECT_LE(text::DamerauLevenshteinDistance(original, mutated), 1u)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rulelink
