@@ -6,6 +6,7 @@
 #define RULELINK_BENCH_BENCH_COMMON_H_
 
 #include <cstddef>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -18,21 +19,37 @@
 #include "text/segmenter.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace rulelink::bench {
 
-// One measured point of a thread-count sweep.
+// Honours RULELINK_PIN_THREADS=1: pins pool workers to cores for the rest
+// of the process (same semantics as the CLI's --pin-threads). Call before
+// the first parallel region.
+inline void ApplyPinningFromEnv() {
+  const char* env = std::getenv("RULELINK_PIN_THREADS");
+  if (env != nullptr && env[0] == '1' && env[1] == '\0') {
+    util::SetThreadPinning(true);
+  }
+}
+
+// One measured point of a thread-count sweep, with the scheduler-counter
+// delta (morsels, steals, busy time) observed during the best-of run.
 struct ThreadSweepPoint {
   std::size_t num_threads = 0;
   double millis = 0.0;
+  util::SchedulerTotals scheduler;
 };
 
 // Records a thread-count speedup trajectory as BENCH_<name>.json in the
 // working directory (git-ignored), so successive runs on different
 // hardware can be compared: {"bench": ..., "hardware_concurrency": ...,
-// "points": [{"threads": t, "ms": m, "speedup_vs_1": s}, ...]}. Points
-// whose thread count exceeds the hardware get "oversubscribed": true so
-// downstream tooling can drop them from scaling fits.
+// "points": [{"threads": t, "ms": m, "speedup_vs_1": s,
+// "scheduler": {...}}, ...]}. Points whose thread count exceeds the
+// hardware get "oversubscribed": true so downstream tooling can drop them
+// from scaling fits; the per-point "scheduler" object (loop/morsel/steal
+// counts from the global pool) makes scaling regressions diagnosable from
+// the artifact alone.
 // `extra_sections`, when non-empty, is spliced verbatim as additional
 // top-level JSON members (e.g. "\"interning\": {...},\n").
 inline void WriteThreadSweepJson(const std::string& bench_name,
@@ -48,8 +65,9 @@ inline void WriteThreadSweepJson(const std::string& bench_name,
   }
   out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"workload\": \""
       << workload << "\",\n  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n" << extra_sections
-      << "  \"points\": [\n";
+      << std::thread::hardware_concurrency() << ",\n  \"pinned\": "
+      << (util::GlobalSchedulerStats().pinned ? "true" : "false") << ",\n"
+      << extra_sections << "  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const ThreadSweepPoint& p = points[i];
     out << "    {\"threads\": " << p.num_threads << ", \"ms\": "
@@ -61,6 +79,11 @@ inline void WriteThreadSweepJson(const std::string& bench_name,
     if (p.num_threads > std::thread::hardware_concurrency()) {
       out << ", \"oversubscribed\": true";
     }
+    out << ", \"scheduler\": {\"loops\": " << p.scheduler.loops
+        << ", \"morsels\": " << p.scheduler.morsels
+        << ", \"steals\": " << p.scheduler.steals
+        << ", \"steal_failures\": " << p.scheduler.steal_failures
+        << ", \"busy_micros\": " << p.scheduler.busy_micros << "}";
     out << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

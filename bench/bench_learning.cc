@@ -218,6 +218,7 @@ void PrintThreadSweepReport(const std::string& interning_json) {
     auto warm = learner.Learn(PaperTrainingSet(), &stats);
     RL_CHECK(warm.ok());
     double best_ms = 0.0;
+    const util::SchedulerTotals sched_before = util::GlobalSchedulerTotals();
     for (int rep = 0; rep < 3; ++rep) {
       util::Stopwatch timer;
       auto rules = learner.Learn(PaperTrainingSet());
@@ -225,8 +226,10 @@ void PrintThreadSweepReport(const std::string& interning_json) {
       RL_CHECK(rules.ok());
       if (rep == 0 || ms < best_ms) best_ms = ms;
     }
+    const util::SchedulerTotals sched =
+        util::GlobalSchedulerTotals().Minus(sched_before);
     if (threads == 1) serial_ms = best_ms;
-    points.push_back({threads, best_ms});
+    points.push_back({threads, best_ms, sched});
     table.AddRow({std::to_string(threads), util::FormatDouble(best_ms, 1),
                   serial_ms > 0.0
                       ? util::FormatDouble(serial_ms / best_ms, 2) + "x"
@@ -340,6 +343,7 @@ BENCHMARK(BM_LearnThreads)
 }  // namespace rulelink::bench
 
 int main(int argc, char** argv) {
+  rulelink::bench::ApplyPinningFromEnv();
   rulelink::bench::PrintScalingReport();
   rulelink::bench::PrintIncrementalReport();
   const std::string interning_json =

@@ -128,6 +128,7 @@ void PrintThreadSweepReport() {
                                     threads);
     benchmark::DoNotOptimize(warm);
     double best_ms = 0.0;
+    const util::SchedulerTotals sched_before = util::GlobalSchedulerTotals();
     for (int rep = 0; rep < 3; ++rep) {
       util::Stopwatch timer;
       const auto report = f.analyzer->Analyze(
@@ -137,8 +138,10 @@ void PrintThreadSweepReport() {
       benchmark::DoNotOptimize(report);
       if (rep == 0 || ms < best_ms) best_ms = ms;
     }
+    const util::SchedulerTotals sched =
+        util::GlobalSchedulerTotals().Minus(sched_before);
     if (threads == 1) serial_ms = best_ms;
-    points.push_back({threads, best_ms});
+    points.push_back({threads, best_ms, sched});
     table.AddRow({std::to_string(threads), util::FormatDouble(best_ms, 1),
                   serial_ms > 0.0
                       ? util::FormatDouble(serial_ms / best_ms, 2) + "x"
@@ -209,6 +212,7 @@ BENCHMARK(BM_AnalyzeThreads)
 }  // namespace rulelink::bench
 
 int main(int argc, char** argv) {
+  rulelink::bench::ApplyPinningFromEnv();
   rulelink::bench::PrintConfidenceFloorSweep();
   rulelink::bench::PrintLiftVsSubspace();
   rulelink::bench::PrintThreadSweepReport();

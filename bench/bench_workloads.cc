@@ -364,6 +364,7 @@ BENCHMARK(BM_GenerateWorkloadCatalog)->Arg(1)->Arg(8)
 }  // namespace rulelink::bench
 
 int main(int argc, char** argv) {
+  rulelink::bench::ApplyPinningFromEnv();
   rulelink::bench::RunSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

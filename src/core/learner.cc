@@ -119,8 +119,15 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
     }
   }
   const std::size_t num_premises = corpus.num_premises();
-  const std::size_t num_shards =
-      util::ParallelChunks(options_.num_threads, num_examples);
+  // One accumulator shard per morsel slot (slot-order merge below replays
+  // the serial order). Coarse explicit morsels: every shard is an
+  // O(num_premises) flat vector (and an O(premises x classes) grid in
+  // pass 2), so the default ~16-slots-per-worker heuristic would make the
+  // serial merge the dominant cost. Per-example work is uniform, so a few
+  // hundred examples per morsel still balances well under stealing.
+  constexpr std::size_t kExamplesPerMorsel = 512;
+  const std::size_t num_shards = util::ParallelSlots(
+      options_.num_threads, num_examples, kExamplesPerMorsel);
 
   // ---- Pass 1: per-premise example counts (distinct per example, as the
   // logical reading of the premise requires) and raw occurrence counts,
@@ -149,7 +156,8 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
                          distinct.end());
           for (PremiseId id : distinct) ++example_count[id];
         }
-      });
+      },
+      kExamplesPerMorsel);
   std::vector<std::uint32_t> premise_example_count =
       std::move(example_count_shards[0]);
   std::vector<std::uint32_t> premise_occurrences =
@@ -192,7 +200,8 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
         for (std::size_t i = begin; i < end; ++i) {
           for (ontology::ClassId c : examples[i].classes) ++counts[c];
         }
-      });
+      },
+      kExamplesPerMorsel);
   ClassCountMap class_count = std::move(class_shards[0]);
   for (std::size_t s = 1; s < num_shards; ++s) {
     for (const auto& [cls, count] : class_shards[s]) {
@@ -253,7 +262,8 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
             for (std::uint32_t cid : dense_classes) ++joint[row + cid];
           }
         }
-      });
+      },
+      kExamplesPerMorsel);
   std::vector<std::uint32_t> joint_count = std::move(joint_shards[0]);
   for (std::size_t s = 1; s < num_shards; ++s) {
     for (std::size_t j = 0; j < joint_count.size(); ++j) {

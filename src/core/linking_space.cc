@@ -80,7 +80,10 @@ LinkingSpaceReport LinkingSpaceAnalyzer::Analyze(
           }
           subspace_sizes[i] = subspace.size();
         }
-      });
+      },
+      // Per-item cost is dominated by classification + extent union and
+      // varies wildly with fan-out; fine morsels let the skew self-balance.
+      /*items_per_morsel=*/16);
 
   double fraction_sum = 0.0;
   for (std::size_t size : subspace_sizes) {

@@ -70,8 +70,13 @@ util::Result<RuleSet> ReferenceLearn(const LearnerOptions& options,
 
   const auto& examples = ts.examples();
   const std::size_t num_examples = examples.size();
-  const std::size_t num_shards =
-      util::ParallelChunks(options.num_threads, num_examples);
+  // One map shard per morsel slot, merged in slot order after each pass.
+  // Coarse explicit morsels: each shard carries whole string-keyed count
+  // maps, so the merge cost scales with the slot count — same reasoning
+  // as the interned learner's kExamplesPerMorsel.
+  constexpr std::size_t kExamplesPerMorsel = 512;
+  const std::size_t num_shards = util::ParallelSlots(
+      options.num_threads, num_examples, kExamplesPerMorsel);
 
   const auto collect_example_premises =
       [&](const TrainingExample& example,
@@ -106,7 +111,8 @@ util::Result<RuleSet> ReferenceLearn(const LearnerOptions& options,
             ++shard.premise_stats[key].example_count;
           }
         }
-      });
+      },
+      kExamplesPerMorsel);
 
   std::unordered_map<PremiseKey, PremiseStat, util::PairHash> premise_stats =
       std::move(shards[0].premise_stats);
@@ -139,7 +145,8 @@ util::Result<RuleSet> ReferenceLearn(const LearnerOptions& options,
             }
           }
         }
-      });
+      },
+      kExamplesPerMorsel);
   for (auto& occurrences : occurrence_shards) {
     for (const auto& [key, count] : occurrences) {
       auto it = premise_stats.find(key);
@@ -167,7 +174,8 @@ util::Result<RuleSet> ReferenceLearn(const LearnerOptions& options,
         for (std::size_t i = begin; i < end; ++i) {
           for (ontology::ClassId c : examples[i].classes) ++counts[c];
         }
-      });
+      },
+      kExamplesPerMorsel);
   ClassCountMap class_count = std::move(class_shards[0]);
   for (std::size_t s = 1; s < num_shards; ++s) {
     for (const auto& [cls, count] : class_shards[s]) {
@@ -204,7 +212,8 @@ util::Result<RuleSet> ReferenceLearn(const LearnerOptions& options,
             }
           }
         }
-      });
+      },
+      kExamplesPerMorsel);
   JointCountMap joint_count = std::move(joint_shards[0]);
   for (std::size_t s = 1; s < num_shards; ++s) {
     for (auto& [key, per_class] : joint_shards[s]) {

@@ -296,7 +296,8 @@ std::vector<std::uint64_t> GenerateKeyStream(const KeyChooser& chooser,
                         util::Rng rng = util::Rng::ForStream(seed, i);
                         keys[i] = chooser.Next(&rng);
                       }
-                    });
+                    },
+                    /*items_per_morsel=*/1024);
   return keys;
 }
 

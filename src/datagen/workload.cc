@@ -205,7 +205,10 @@ util::Result<WorkloadCatalog> GenerateWorkloadCatalog(
           catalog.epochs[i] = epoch;
           catalog.separators[i] = separator;
         }
-      });
+      },
+      // Counter-based streams write by index: item cost is uniform and
+      // tiny, so morsels only need to amortize the loop dispatch.
+      /*items_per_morsel=*/1024);
   return catalog;
 }
 
@@ -281,7 +284,8 @@ util::Result<QueryStream> GenerateQueryStream(const WorkloadCatalog& catalog,
               props::kManufacturer, std::move(manufacturer)});
           stream.gold[j] = GoldLink{j, target};
         }
-      });
+      },
+      /*items_per_morsel=*/1024);
   return stream;
 }
 

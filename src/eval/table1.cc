@@ -100,8 +100,9 @@ Table1Result Table1Evaluator::Evaluate(
     std::size_t classifiable = 0;
     std::size_t undecided = 0;
   };
+  // Per-slot shards are a handful of band counters; heuristic granularity.
   const std::size_t num_shards =
-      util::ParallelChunks(num_threads, examples.size());
+      util::ParallelSlots(num_threads, examples.size());
   std::vector<SweepShard> shards(std::max<std::size_t>(1, num_shards));
   for (SweepShard& shard : shards) {
     shard.decisions.assign(band_bounds.size(), 0);

@@ -191,7 +191,12 @@ FeatureCache FeatureCache::Build(const std::vector<core::Item>& items,
         static_cast<std::uint32_t>(cache.value_ids_.size()));
   };
 
-  const std::size_t chunks = util::ParallelChunks(num_threads, items.size());
+  // Each slot carries a private FeatureDictionary (interner + arena), so
+  // morsels are deliberately coarse: fewer, bigger slots amortize the
+  // dictionary cost and keep the Absorb merge short.
+  constexpr std::size_t kItemsPerMorsel = 4096;
+  const std::size_t chunks =
+      util::ParallelSlots(num_threads, items.size(), kItemsPerMorsel);
   if (chunks <= 1) {
     // Serial path: intern straight into the shared dictionary.
     for (const core::Item& item : items) {
@@ -231,7 +236,8 @@ FeatureCache FeatureCache::Build(const std::vector<core::Item>& items,
             shard.counts.push_back(count);
           }
         }
-      });
+      },
+      kItemsPerMorsel);
   for (Shard& shard : shards) {
     const std::vector<ValueId> remap = dict->Absorb(shard.dict);
     std::size_t next = 0;

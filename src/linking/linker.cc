@@ -51,8 +51,11 @@ std::vector<Link> Linker::Run(
   std::sort(unique.begin(), unique.end());
   unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
 
+  // Uncached scoring is expensive per pair but uniform; medium morsels
+  // bound the shard count while leaving room for stealing.
+  constexpr std::size_t kPairsPerMorsel = 512;
   const std::size_t num_shards =
-      util::ParallelChunks(num_threads, unique.size());
+      util::ParallelSlots(num_threads, unique.size(), kPairsPerMorsel);
   std::vector<ScoreShard> shards(std::max<std::size_t>(1, num_shards));
   util::ParallelFor(
       num_threads, unique.size(),
@@ -77,7 +80,8 @@ std::vector<Link> Linker::Run(
             if (!inserted && score > it->second.score) it->second = link;
           }
         }
-      });
+      },
+      kPairsPerMorsel);
 
   std::size_t pairs_scored = 0;
   std::uint64_t measures_computed = 0;
@@ -144,8 +148,11 @@ std::vector<Link> Linker::RunCached(
     std::uint64_t measures_computed = 0;
     ScoreMemoStats memo;
   };
-  const std::size_t num_shards = util::ParallelChunks(num_threads,
-                                                      pairs->size());
+  // Each slot owns a private ScoreMemo whose hit rate grows with slot
+  // size, so morsels are coarse here — few big slots beat many cold memos.
+  constexpr std::size_t kPairsPerMorsel = 8192;
+  const std::size_t num_shards =
+      util::ParallelSlots(num_threads, pairs->size(), kPairsPerMorsel);
   std::vector<CachedShard> shards(std::max<std::size_t>(1, num_shards));
   const bool keep_all = strategy_ == Strategy::kAllAboveThreshold;
   util::ParallelFor(
@@ -182,7 +189,8 @@ std::vector<Link> Linker::RunCached(
         }
         if (best_set) shard.links.push_back(best);
         shard.memo = memo.stats();
-      });
+      },
+      kPairsPerMorsel);
 
   // Candidate order is (external, local) order, so shard outputs
   // concatenate into the exact order Run's final sort produces. For

@@ -42,8 +42,12 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
     ScoreMemoStats memo;
     obs::Histogram run_lengths;  // one observation per external item
   };
+  // Run lengths are exactly the skew the morsel scheduler exists for: one
+  // hot external with a huge candidate run no longer serializes its whole
+  // static chunk. Memo + histogram per slot keeps the hint moderate.
+  constexpr std::size_t kExternalsPerMorsel = 256;
   const std::size_t num_shards =
-      util::ParallelChunks(num_threads, num_external);
+      util::ParallelSlots(num_threads, num_external, kExternalsPerMorsel);
   std::vector<StreamShard> shards(std::max<std::size_t>(1, num_shards));
   const bool keep_all = strategy_ == Linker::Strategy::kAllAboveThreshold;
   // Chunks partition external items, not pairs, so every per-external run
@@ -85,7 +89,8 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
           if (best_set) shard.links.push_back(best);
         }
         shard.memo = memo.stats();
-      });
+      },
+      kExternalsPerMorsel);
 
   std::vector<Link> links;
   LinkerStats total;

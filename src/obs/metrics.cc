@@ -33,6 +33,14 @@ void AppendJsonString(std::string_view s, std::string* out) {
   out->push_back('"');
 }
 
+void AppendSchedulerWorkerJson(const util::SchedulerWorkerStats& w,
+                               std::string* out) {
+  *out += "{\"morsels\": " + std::to_string(w.morsels) +
+          ", \"steals\": " + std::to_string(w.steals) +
+          ", \"steal_failures\": " + std::to_string(w.steal_failures) +
+          ", \"busy_micros\": " + std::to_string(w.busy_micros) + "}";
+}
+
 void AppendHistogramJson(const Histogram& h, std::string* out) {
   *out += "{\"count\": " + std::to_string(h.count());
   *out += ", \"sum\": " + std::to_string(h.sum());
@@ -159,6 +167,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   snapshot.histograms.insert(histograms_.begin(), histograms_.end());
   snapshot.stages.insert(stages_.begin(), stages_.end());
   snapshot.trace = trace_;
+  snapshot.scheduler = util::GlobalSchedulerStats();
   return snapshot;
 }
 
@@ -247,6 +256,27 @@ std::string MetricsSnapshot::ToJson(bool include_timings) const {
              ", \"ms\": " + util::FormatDoubleRoundTrip(span.millis) + "}";
     }
     out += first ? "]" : "\n  ]";
+
+    // Scheduler counters are timing-dependent (steal order, busy time),
+    // which is exactly why they live here and not in DeterministicJson.
+    out += ",\n  \"scheduler\": {\"workers\": " +
+           std::to_string(scheduler.workers) +
+           ", \"pinned\": " + (scheduler.pinned ? "true" : "false") +
+           ", \"loops\": " + std::to_string(scheduler.loops) +
+           ", \"uptime_micros\": " + std::to_string(scheduler.uptime_micros) +
+           ", \"utilization\": " +
+           util::FormatDoubleRoundTrip(scheduler.Utilization());
+    out += ",\n    \"external\": ";
+    AppendSchedulerWorkerJson(scheduler.external, &out);
+    out += ",\n    \"per_worker\": [";
+    first = true;
+    for (const util::SchedulerWorkerStats& w : scheduler.per_worker) {
+      out += first ? "\n      " : ",\n      ";
+      first = false;
+      AppendSchedulerWorkerJson(w, &out);
+    }
+    out += first ? "]" : "\n    ]";
+    out += "\n  }";
   }
   out += "\n}\n";
   return out;

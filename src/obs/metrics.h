@@ -36,6 +36,7 @@
 
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace rulelink::obs {
 
@@ -114,15 +115,22 @@ struct MetricsSnapshot {
   std::map<std::string, Histogram> histograms;
   std::map<std::string, StageTiming> stages;
   std::vector<TraceSpan> trace;
+  // The process-wide morsel scheduler's counters at snapshot time
+  // (workers, loops, per-worker morsels/steals/busy time — DESIGN.md §5g).
+  // Thread-variant by nature: steal counts depend on timing, so this
+  // section renders only in the full document, never the deterministic
+  // one.
+  util::SchedulerStats scheduler;
 
   // Full document: {"counters": {...}, "gauges": {...},
-  // "histograms": {...}, "stages": {...}, "trace": [...]}. Doubles are
-  // written with shortest round-trip formatting, histogram buckets as
-  // [lower_bound, count] pairs for the non-empty buckets only.
+  // "histograms": {...}, "stages": {...}, "trace": [...],
+  // "scheduler": {...}}. Doubles are written with shortest round-trip
+  // formatting, histogram buckets as [lower_bound, count] pairs for the
+  // non-empty buckets only.
   std::string ToJson(bool include_timings = true) const;
 
-  // The thread-invariant sections only (no stages/trace) — byte-identical
-  // at every thread count for the same input.
+  // The thread-invariant sections only (no stages/trace/scheduler) —
+  // byte-identical at every thread count for the same input.
   std::string DeterministicJson() const { return ToJson(false); }
 
   util::Status WriteJsonFile(const std::string& path,

@@ -4,6 +4,7 @@
 // instrumented pipeline is byte-identical at every thread count.
 #include "obs/metrics.h"
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -20,6 +21,7 @@
 #include "linking/matcher.h"
 #include "text/segmenter.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace rulelink {
 namespace {
@@ -51,7 +53,9 @@ TEST(Log2BucketTest, LowerBoundsRoundTrip) {
   for (std::size_t b = 0; b < obs::kNumHistogramBuckets; ++b) {
     const std::uint64_t lo = obs::BucketLowerBound(b);
     EXPECT_EQ(obs::Log2Bucket(lo), b) << "bucket " << b;
-    if (b > 1) EXPECT_EQ(obs::Log2Bucket(lo - 1), b - 1) << "bucket " << b;
+    if (b > 1) {
+      EXPECT_EQ(obs::Log2Bucket(lo - 1), b - 1) << "bucket " << b;
+    }
   }
 }
 
@@ -193,6 +197,30 @@ TEST(MetricsSnapshotTest, DeterministicJsonOmitsTimings) {
   EXPECT_EQ(det.find("\"stages\""), std::string::npos);
   EXPECT_EQ(det.find("\"trace\""), std::string::npos);
   EXPECT_NE(det.find("\"c\": 7"), std::string::npos) << det;
+  // The scheduler counters are thread-variant (steal order, busy time):
+  // present in the full document, never in the deterministic one.
+  EXPECT_NE(full.find("\"scheduler\""), std::string::npos);
+  EXPECT_NE(full.find("\"per_worker\""), std::string::npos);
+  EXPECT_EQ(det.find("\"scheduler\""), std::string::npos);
+  EXPECT_EQ(det.find("\"steals\""), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, SchedulerSectionReflectsPoolActivity) {
+  // Run a scheduled loop, then snapshot: the section must report the
+  // global pool's workers and a non-zero morsel count.
+  std::atomic<std::uint64_t> sum{0};
+  util::ParallelFor(2, 256,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      sum.fetch_add(end - begin, std::memory_order_relaxed);
+                    });
+  ASSERT_EQ(sum.load(), 256u);
+  obs::MetricsRegistry registry;
+  const auto snapshot = registry.Snapshot();
+  EXPECT_GE(snapshot.scheduler.workers, 1u);
+  EXPECT_GT(snapshot.scheduler.loops, 0u);
+  EXPECT_GT(snapshot.scheduler.Totals().morsels, 0u);
+  const std::string full = snapshot.ToJson();
+  EXPECT_NE(full.find("\"utilization\""), std::string::npos);
 }
 
 // --- Cross-thread determinism of a fully instrumented pipeline -----------

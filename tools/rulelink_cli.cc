@@ -12,6 +12,7 @@
 // Local files ending in .ttl are parsed as Turtle, everything else as
 // N-Triples. The local file must contain the ontology (owl:Class /
 // rdfs:subClassOf) and the typed catalog instances.
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -35,6 +36,7 @@
 #include "rdf/turtle.h"
 #include "text/segmenter.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -61,6 +63,8 @@ void PrintUsage() {
       "            [--key-property IRI] [--similarity 0.95]\n"
       "--threads N uses N workers (0 = hardware concurrency, 1 = serial);\n"
       "results are identical at every thread count.\n"
+      "--pin-threads (any command; or RULELINK_PIN_THREADS=1) pins pool\n"
+      "workers to cores — a scheduling hint only, results are unchanged.\n"
       "--metrics-out F (any command) writes a metrics snapshot — stage\n"
       "timings, pipeline trace, counters and histograms — as JSON to F.\n";
 }
@@ -72,7 +76,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::string flag = argv[i];
     if (flag.rfind("--", 0) != 0) return false;
     flag = flag.substr(2);
-    if (flag == "candidates") {
+    if (flag == "candidates" || flag == "pin-threads") {
       args->options[flag] = "true";
       continue;
     }
@@ -411,6 +415,15 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     PrintUsage();
     return 2;
+  }
+  // Pinning must be decided before the first parallel region spawns pool
+  // workers; it only affects where workers run, never what they compute.
+  if (Opt(args, "pin-threads") == "true" ||
+      [] {
+        const char* env = std::getenv("RULELINK_PIN_THREADS");
+        return env != nullptr && env[0] == '1' && env[1] == '\0';
+      }()) {
+    rulelink::util::SetThreadPinning(true);
   }
   // Instrumentation is armed only when a snapshot was requested; a null
   // registry keeps every command on the uninstrumented path.
