@@ -18,6 +18,7 @@
 #include "datagen/generator.h"
 #include "text/segmenter.h"
 #include "util/logging.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -34,22 +35,26 @@ inline void ApplyPinningFromEnv() {
 }
 
 // One measured point of a thread-count sweep, with the scheduler-counter
-// delta (morsels, steals, busy time) observed during the best-of run.
+// delta (morsels, steals, busy time) and the SIMD batch-counter delta
+// (cascade/kernel pairs taken batched vs per-pair) observed during the
+// best-of run.
 struct ThreadSweepPoint {
   std::size_t num_threads = 0;
   double millis = 0.0;
   util::SchedulerTotals scheduler;
+  util::SimdTotals simd;
 };
 
 // Records a thread-count speedup trajectory as BENCH_<name>.json in the
 // working directory (git-ignored), so successive runs on different
 // hardware can be compared: {"bench": ..., "hardware_concurrency": ...,
 // "points": [{"threads": t, "ms": m, "speedup_vs_1": s,
-// "scheduler": {...}}, ...]}. Points whose thread count exceeds the
-// hardware get "oversubscribed": true so downstream tooling can drop them
-// from scaling fits; the per-point "scheduler" object (loop/morsel/steal
-// counts from the global pool) makes scaling regressions diagnosable from
-// the artifact alone.
+// "scheduler": {...}, "simd": {...}}, ...]}. Points whose thread count
+// exceeds the hardware get "oversubscribed": true so downstream tooling
+// can drop them from scaling fits; the per-point "scheduler" object
+// (loop/morsel/steal counts from the global pool) and "simd" object
+// (batched vs per-pair cascade/kernel counts) make scaling regressions
+// diagnosable from the artifact alone.
 // `extra_sections`, when non-empty, is spliced verbatim as additional
 // top-level JSON members (e.g. "\"interning\": {...},\n").
 inline void WriteThreadSweepJson(const std::string& bench_name,
@@ -84,6 +89,11 @@ inline void WriteThreadSweepJson(const std::string& bench_name,
         << ", \"steals\": " << p.scheduler.steals
         << ", \"steal_failures\": " << p.scheduler.steal_failures
         << ", \"busy_micros\": " << p.scheduler.busy_micros << "}";
+    out << ", \"simd\": {\"cascade_batched_pairs\": "
+        << p.simd.cascade_batched_pairs << ", \"cascade_remainder_pairs\": "
+        << p.simd.cascade_remainder_pairs << ", \"kernel_batched_pairs\": "
+        << p.simd.kernel_batched_pairs << ", \"kernel_remainder_pairs\": "
+        << p.simd.kernel_remainder_pairs << "}";
     out << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -22,10 +23,13 @@
 #include "blocking/standard_blocking.h"
 #include "linking/evaluation.h"
 #include "linking/feature_cache.h"
+#include "linking/filters.h"
 #include "linking/linker.h"
 #include "linking/matcher.h"
 #include "linking/streaming_linker.h"
 #include "obs/metrics.h"
+#include "text/similarity.h"
+#include "util/simd.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -378,6 +382,282 @@ std::string PrintStreamingReport() {
   return json;
 }
 
+// Shared fixture for the batched-cascade report and the kernel
+// microbenches below: StreamingMatcher feature caches and the blocker's
+// inverted index over the paper corpus, plus the total candidate-pair
+// count the throughput numbers divide by.
+struct StreamingFixture {
+  linking::ItemMatcher matcher;
+  linking::FeatureDictionary dict;
+  linking::FeatureCache external;
+  linking::FeatureCache local;
+  std::unique_ptr<blocking::CandidateIndex> index;
+  std::size_t candidate_pairs = 0;
+
+  StreamingFixture() : matcher(StreamingMatcher()) {
+    const datagen::Dataset& dataset = PaperDataset();
+    external = linking::FeatureCache::Build(
+        dataset.external_items, matcher,
+        linking::FeatureCache::Side::kExternal, &dict, 1);
+    local = linking::FeatureCache::Build(dataset.catalog_items, matcher,
+                                         linking::FeatureCache::Side::kLocal,
+                                         &dict, 1);
+    const blocking::StandardBlocker blocker(datagen::props::kPartNumber,
+                                            /*prefix_length=*/4);
+    index =
+        blocker.BuildIndex(dataset.external_items, dataset.catalog_items);
+    std::vector<std::size_t> run;
+    for (std::size_t e = 0; e < index->num_external(); ++e) {
+      index->CandidatesOf(e, &run);
+      candidate_pairs += run.size();
+    }
+  }
+};
+
+const StreamingFixture& GetStreamingFixture() {
+  static const StreamingFixture* fixture = new StreamingFixture();
+  return *fixture;
+}
+
+// Stage-B-shaped probe workload for the bounded-Levenshtein kernel
+// microbench: the part-number strings of every blocked candidate pair,
+// capped at about a third of the longest string — the tight caps the
+// cascade typically derives. Each external's value is stored once and
+// every probe of its run points at that one copy, mirroring how the
+// cascade stages probes from the feature cache (one external value per
+// candidate run); this is what lets the batch entry form shared-pattern
+// segments. Real strings, real length mix; the roofline numbers in
+// EXPERIMENTS.md come from this set.
+struct ProbeSet {
+  std::vector<std::string> a_storage, b_storage;
+  std::vector<std::size_t> a_of;  // per probe: index into a_storage
+  std::vector<std::string_view> a, b;
+  std::vector<std::size_t> caps;
+  std::size_t bytes = 0;
+
+  ProbeSet() {
+    const datagen::Dataset& dataset = PaperDataset();
+    const StreamingFixture& fixture = GetStreamingFixture();
+    constexpr std::size_t kMaxPairs = 60000;
+    std::vector<std::size_t> run;
+    for (std::size_t e = 0;
+         e < fixture.index->num_external() && b_storage.size() < kMaxPairs;
+         ++e) {
+      const auto external_values =
+          dataset.external_items[e].ValuesOf(datagen::props::kPartNumber);
+      if (external_values.empty()) continue;
+      fixture.index->CandidatesOf(e, &run);
+      bool stored = false;
+      for (const std::size_t local : run) {
+        if (b_storage.size() >= kMaxPairs) break;
+        const auto local_values = dataset.catalog_items[local].ValuesOf(
+            datagen::props::kPartNumber);
+        if (local_values.empty()) continue;
+        if (!stored) {
+          a_storage.push_back(external_values.front());
+          stored = true;
+        }
+        a_of.push_back(a_storage.size() - 1);
+        b_storage.push_back(local_values.front());
+      }
+    }
+    a.reserve(b_storage.size());
+    b.reserve(b_storage.size());
+    caps.reserve(b_storage.size());
+    for (std::size_t i = 0; i < b_storage.size(); ++i) {
+      a.emplace_back(a_storage[a_of[i]]);
+      b.emplace_back(b_storage[i]);
+      caps.push_back(std::max(a[i].size(), b[i].size()) / 3 + 1);
+      bytes += a[i].size() + b[i].size();
+    }
+  }
+};
+
+const ProbeSet& GetProbeSet() {
+  static const ProbeSet* probes = new ProbeSet();
+  return *probes;
+}
+
+// E6d: the batched SIMD cascade (DESIGN.md §5h) vs the per-pair scalar
+// streaming path, links byte-identical by construction (differential-
+// tested; re-checked every rep here). "scalar" is RULELINK_SIMD=off — the
+// per-pair cascade the batch path replaced — so speedup_vs_scalar is the
+// end-to-end gain of SoA lanes + vectorized bounds + interleaved probes
+// on the streaming hot path. The baseline-ISA leg (batch layout compiled
+// without wide registers) splits the layout gain from the SIMD gain. The
+// kernel microbench on harvested stage-B probes answers the
+// EXPERIMENTS.md roofline question: pairs/sec and bytes touched per pair,
+// scalar vs batched.
+std::string PrintBatchedReport() {
+  const StreamingFixture& fixture = GetStreamingFixture();
+  const linking::StreamingLinker streaming(&fixture.matcher, kThreshold);
+  const util::SimdMode active = util::ActiveSimdMode();
+  std::cout << "=== E6d: batched SIMD filter cascade ("
+            << fixture.candidate_pairs << " candidate pairs, dispatch "
+            << util::SimdModeName(active) << ", stage-A width "
+            << util::SimdBatchWidth(active) << ") ===\n";
+
+  struct ModeTiming {
+    double ms = 0.0;
+    util::SimdTotals simd;
+    linking::LinkerStats stats;
+  };
+  std::vector<linking::Link> reference;
+  const auto time_mode = [&](util::SimdMode mode) {
+    const util::ScopedSimdMode scoped(mode);
+    ModeTiming best;
+    for (int rep = -1; rep < 5; ++rep) {  // rep -1 is the warm-up
+      const util::SimdTotals before = util::GlobalSimdTotals();
+      linking::LinkerStats stats;
+      util::Stopwatch timer;
+      const auto links =
+          streaming.Run(*fixture.index, fixture.external, fixture.local,
+                        &stats, /*num_threads=*/1);
+      const double ms = timer.ElapsedMillis();
+      if (reference.empty()) {
+        reference = links;
+      } else {
+        RL_CHECK(links.size() == reference.size());
+        for (std::size_t i = 0; i < links.size(); ++i) {
+          RL_CHECK(links[i].external_index == reference[i].external_index &&
+                   links[i].local_index == reference[i].local_index &&
+                   links[i].score == reference[i].score);
+        }
+      }
+      if (rep < 0) continue;
+      if (rep == 0 || ms < best.ms) {
+        best.ms = ms;
+        best.simd = util::GlobalSimdTotals().Minus(before);
+        best.stats = stats;
+      }
+    }
+    return best;
+  };
+
+  const ModeTiming scalar = time_mode(util::SimdMode::kOff);
+  const ModeTiming layout = time_mode(util::SimdMode::kScalar);
+  const ModeTiming batched = time_mode(active);
+  const auto pairs_per_sec = [&](double ms) {
+    return ms > 0.0
+               ? static_cast<double>(fixture.candidate_pairs) / (ms / 1000.0)
+               : 0.0;
+  };
+  const double speedup = batched.ms > 0.0 ? scalar.ms / batched.ms : 0.0;
+
+  util::TextTable table({"cascade", "time (ms)", "Mpairs/s",
+                         "batched pairs", "remainder"});
+  const auto row = [&](const char* name, const ModeTiming& t) {
+    table.AddRow({name, util::FormatDouble(t.ms, 2),
+                  util::FormatDouble(pairs_per_sec(t.ms) / 1e6, 2),
+                  std::to_string(t.simd.cascade_batched_pairs),
+                  std::to_string(t.simd.cascade_remainder_pairs)});
+  };
+  row("scalar (per-pair, RULELINK_SIMD=off)", scalar);
+  row("batch layout (baseline ISA)", layout);
+  row("batched (active dispatch)", batched);
+  std::cout << table.ToText() << "streaming speedup vs scalar: "
+            << util::FormatDouble(speedup, 2)
+            << "x (identical links at every mode; differential-tested)\n";
+
+  // Kernel microbench: the same probe set through the single-pair kernel
+  // and through the batch entry point under the active dispatch.
+  const ProbeSet& probes = GetProbeSet();
+  std::vector<std::size_t> out(probes.a.size());
+  double kernel_scalar_ms = 0.0;
+  for (int rep = -1; rep < 5; ++rep) {
+    util::Stopwatch timer;
+    std::size_t checksum = 0;
+    for (std::size_t i = 0; i < probes.a.size(); ++i) {
+      checksum += text::BoundedLevenshteinDistance(probes.a[i], probes.b[i],
+                                                   probes.caps[i]);
+    }
+    benchmark::DoNotOptimize(checksum);
+    const double ms = timer.ElapsedMillis();
+    if (rep < 0) continue;
+    if (rep == 0 || ms < kernel_scalar_ms) kernel_scalar_ms = ms;
+  }
+  double kernel_batched_ms = 0.0;
+  for (int rep = -1; rep < 5; ++rep) {
+    util::Stopwatch timer;
+    text::BoundedLevenshteinDistanceBatch(probes.a.data(), probes.b.data(),
+                                          probes.caps.data(),
+                                          probes.a.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+    const double ms = timer.ElapsedMillis();
+    if (rep < 0) continue;
+    if (rep == 0 || ms < kernel_batched_ms) kernel_batched_ms = ms;
+  }
+  for (std::size_t i = 0; i < probes.a.size(); ++i) {
+    RL_CHECK(out[i] == text::BoundedLevenshteinDistance(
+                           probes.a[i], probes.b[i], probes.caps[i]));
+  }
+  const double bytes_per_pair =
+      probes.a.empty() ? 0.0
+                       : static_cast<double>(probes.bytes) /
+                             static_cast<double>(probes.a.size());
+  const auto kernel_pairs_per_sec = [&](double ms) {
+    return ms > 0.0 ? static_cast<double>(probes.a.size()) / (ms / 1000.0)
+                    : 0.0;
+  };
+  const double kernel_speedup =
+      kernel_batched_ms > 0.0 ? kernel_scalar_ms / kernel_batched_ms : 0.0;
+  std::cout << "levenshtein kernel: " << probes.a.size()
+            << " stage-B probes, "
+            << util::FormatDouble(bytes_per_pair, 1) << " bytes/pair; "
+            << util::FormatDouble(kernel_pairs_per_sec(kernel_scalar_ms) /
+                                      1e6, 2)
+            << " Mpairs/s scalar -> "
+            << util::FormatDouble(kernel_pairs_per_sec(kernel_batched_ms) /
+                                      1e6, 2)
+            << " Mpairs/s batched ("
+            << util::FormatDouble(kernel_speedup, 2) << "x)\n\n";
+
+  std::string json = "  \"batched\": {\n";
+  json += "    \"dispatch\": \"" +
+          std::string(util::SimdModeName(active)) + "\",\n";
+  json += "    \"batch_width\": " +
+          std::to_string(util::SimdBatchWidth(active)) + ",\n";
+  json += "    \"candidates\": " + std::to_string(fixture.candidate_pairs) +
+          ",\n";
+  json += "    \"links\": " + std::to_string(reference.size()) + ",\n";
+  json += "    \"scalar_ms\": " + util::FormatDouble(scalar.ms, 3) + ",\n";
+  json += "    \"batch_baseline_isa_ms\": " +
+          util::FormatDouble(layout.ms, 3) + ",\n";
+  json += "    \"batched_ms\": " + util::FormatDouble(batched.ms, 3) + ",\n";
+  json += "    \"pairs_per_sec_scalar\": " +
+          util::FormatDouble(pairs_per_sec(scalar.ms), 1) + ",\n";
+  json += "    \"pairs_per_sec_batched\": " +
+          util::FormatDouble(pairs_per_sec(batched.ms), 1) + ",\n";
+  json += "    \"speedup_vs_scalar\": " + util::FormatDouble(speedup, 3) +
+          ",\n";
+  json += "    \"cascade_batched_pairs\": " +
+          std::to_string(batched.simd.cascade_batched_pairs) + ",\n";
+  json += "    \"cascade_remainder_pairs\": " +
+          std::to_string(batched.simd.cascade_remainder_pairs) + ",\n";
+  json += "    \"kernel_batched_pairs\": " +
+          std::to_string(batched.simd.kernel_batched_pairs) + ",\n";
+  json += "    \"kernel_remainder_pairs\": " +
+          std::to_string(batched.simd.kernel_remainder_pairs) + ",\n";
+  json += "    \"kernel\": {\n";
+  json += "      \"probe_pairs\": " + std::to_string(probes.a.size()) +
+          ",\n";
+  json += "      \"bytes_per_pair\": " +
+          util::FormatDouble(bytes_per_pair, 2) + ",\n";
+  json += "      \"scalar_ms\": " + util::FormatDouble(kernel_scalar_ms, 3) +
+          ",\n";
+  json += "      \"batched_ms\": " +
+          util::FormatDouble(kernel_batched_ms, 3) + ",\n";
+  json += "      \"pairs_per_sec_scalar\": " +
+          util::FormatDouble(kernel_pairs_per_sec(kernel_scalar_ms), 1) +
+          ",\n";
+  json += "      \"pairs_per_sec_batched\": " +
+          util::FormatDouble(kernel_pairs_per_sec(kernel_batched_ms), 1) +
+          ",\n";
+  json += "      \"speedup_vs_scalar\": " +
+          util::FormatDouble(kernel_speedup, 3) + "\n    }\n  },\n";
+  return json;
+}
+
 // Thread-count sweep of the full cached pipeline (cache build included),
 // recorded to BENCH_linking.json. Oversubscribed points (beyond the
 // hardware) are flagged in the JSON; the morsel scheduler keeps them
@@ -395,14 +675,18 @@ void PrintThreadSweepReport(const std::string& pipeline_json) {
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     CachedTimings best = TimeCachedOnce(fixture, threads);  // warm-up
     const util::SchedulerTotals sched_before = util::GlobalSchedulerTotals();
+    const util::SimdTotals simd_before = util::GlobalSimdTotals();
     for (int rep = 0; rep < 3; ++rep) {
       const CachedTimings t = TimeCachedOnce(fixture, threads);
       if (t.total_ms() < best.total_ms()) best = t;
     }
     const util::SchedulerTotals sched =
         util::GlobalSchedulerTotals().Minus(sched_before);
+    // All-zero on this sweep by design: the batch cascade is a streaming
+    // feature, so a nonzero count here would flag a layering regression.
+    const util::SimdTotals simd = util::GlobalSimdTotals().Minus(simd_before);
     if (threads == 1) serial_ms = best.total_ms();
-    points.push_back({threads, best.total_ms(), sched});
+    points.push_back({threads, best.total_ms(), sched, simd});
     table.AddRow({std::to_string(threads),
                   util::FormatDouble(best.total_ms(), 1),
                   util::FormatDouble(best.build_ms, 1),
@@ -542,6 +826,70 @@ BENCHMARK(BM_RunStreamingThreads)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// The filter cascade over every candidate run: arg 0 is the per-pair
+// scalar Prune loop, arg 1 the batched PruneBatch under the active
+// dispatch. Items = candidate pairs, bytes untouched (the cascade reads
+// SoA lanes, not strings — that asymmetry is the point).
+void BM_FilterCascade(benchmark::State& state) {
+  const StreamingFixture& fixture = GetStreamingFixture();
+  const linking::FilterCascade cascade(&fixture.matcher, kThreshold);
+  const bool batch = state.range(0) != 0;
+  const util::ScopedSimdMode scoped(batch ? util::ActiveSimdMode()
+                                          : util::SimdMode::kOff);
+  linking::FilterBatchScratch scratch;
+  std::vector<std::size_t> run;
+  for (auto _ : state) {
+    linking::FilterStats stats;
+    for (std::size_t e = 0; e < fixture.index->num_external(); ++e) {
+      fixture.index->CandidatesOf(e, &run);
+      if (run.empty()) continue;
+      if (batch) {
+        cascade.PruneBatch(fixture.external, e, fixture.local, run.data(),
+                           run.size(), &stats, &scratch);
+      } else {
+        for (const std::size_t local : run) {
+          cascade.Prune(fixture.external, e, fixture.local, local, &stats);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(stats.pairs_pruned);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(fixture.candidate_pairs));
+}
+BENCHMARK(BM_FilterCascade)
+    ->Arg(0)   // per-pair scalar cascade
+    ->Arg(1)   // batched SoA cascade, active dispatch
+    ->Unit(benchmark::kMillisecond);
+
+// The bounded-Levenshtein probe kernel on the harvested stage-B probe
+// set: arg 0 runs the batch entry point with batching off (single-pair
+// Myers per probe), arg 1 under the active dispatch (interleaved lanes).
+// bytes_per_second is the roofline axis: bytes actually read per probe.
+void BM_BoundedLevenshteinBatch(benchmark::State& state) {
+  const ProbeSet& probes = GetProbeSet();
+  const util::ScopedSimdMode scoped(state.range(0) != 0
+                                        ? util::ActiveSimdMode()
+                                        : util::SimdMode::kOff);
+  std::vector<std::size_t> out(probes.a.size());
+  for (auto _ : state) {
+    text::BoundedLevenshteinDistanceBatch(probes.a.data(), probes.b.data(),
+                                          probes.caps.data(),
+                                          probes.a.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(probes.a.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(probes.bytes));
+}
+BENCHMARK(BM_BoundedLevenshteinBatch)
+    ->Arg(0)   // single-pair Myers per probe
+    ->Arg(1)   // interleaved lanes, active dispatch
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace rulelink::bench
 
@@ -549,6 +897,7 @@ int main(int argc, char** argv) {
   rulelink::bench::ApplyPinningFromEnv();
   std::string pipeline_json = rulelink::bench::PrintCachedPipelineReport();
   pipeline_json += rulelink::bench::PrintStreamingReport();
+  pipeline_json += rulelink::bench::PrintBatchedReport();
   rulelink::bench::PrintThreadSweepReport(pipeline_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

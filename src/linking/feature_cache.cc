@@ -208,6 +208,7 @@ FeatureCache FeatureCache::Build(const std::vector<core::Item>& items,
         finish_slot();
       }
     }
+    cache.BuildLanes(num_threads);
     return cache;
   }
 
@@ -249,7 +250,58 @@ FeatureCache FeatureCache::Build(const std::vector<core::Item>& items,
     }
   }
   RL_CHECK(cache.offsets_.size() == items.size() * rules.size() + 1);
+  cache.BuildLanes(num_threads);
   return cache;
+}
+
+void FeatureCache::BuildLanes(std::size_t num_threads) {
+  const std::size_t slots = num_items_ * num_rules_;
+  lane_lengths_.assign(slots, 0);
+  lane_unique_tokens_.assign(slots, 0);
+  lane_bigrams_.assign(slots, 0);
+  lane_value_ids_.assign(slots, util::kInvalidSymbolId);
+  simple_.assign(num_items_, 1);
+  if (slots == 0) return;
+  const FeatureDictionary& dict = *dict_;
+  // Pure replication of already-built per-value features into flat
+  // arrays: every write targets this item's own slots, and the dictionary
+  // is only read, so items parallelize freely.
+  util::ParallelFor(
+      num_threads, num_items_,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t item = begin; item < end; ++item) {
+          for (std::size_t r = 0; r < num_rules_; ++r) {
+            const std::size_t slot = item * num_rules_ + r;
+            const std::uint32_t lo = offsets_[slot];
+            const std::uint32_t hi = offsets_[slot + 1];
+            if (hi == lo) continue;  // missing property: lanes stay empty
+            if (hi - lo > 1) {
+              // Multi-valued slot: the cross-product bounds need the
+              // per-pair path, so the whole item opts out of the lanes.
+              simple_[item] = 0;
+              continue;
+            }
+            const ValueId id = value_ids_[lo];
+            const FeatureDictionary::ValueFeatures features =
+                dict.Features(id);
+            lane_lengths_[slot] =
+                static_cast<std::uint32_t>(features.text.size());
+            lane_unique_tokens_[slot] = features.num_unique_tokens;
+            lane_bigrams_[slot] = features.num_bigrams;
+            lane_value_ids_[slot] = id;
+          }
+        }
+      });
+}
+
+std::size_t FeatureCache::memory_bytes() const {
+  return offsets_.capacity() * sizeof(std::uint32_t) +
+         value_ids_.capacity() * sizeof(ValueId) +
+         (lane_lengths_.capacity() + lane_unique_tokens_.capacity() +
+          lane_bigrams_.capacity()) *
+             sizeof(std::uint32_t) +
+         lane_value_ids_.capacity() * sizeof(ValueId) +
+         simple_.capacity() * sizeof(std::uint8_t);
 }
 
 }  // namespace rulelink::linking

@@ -157,12 +157,47 @@ class FeatureCache {
   std::size_t num_items() const { return num_items_; }
   std::size_t num_rules() const { return num_rules_; }
 
+  // --- SoA stage-A lanes (DESIGN.md §5h) --------------------------------
+  // Contiguous per-slot arrays of exactly the scalars the filter
+  // cascade's stage A consumes — byte length, unique-token count, bigram
+  // count and value id — so the batched cascade reads four flat arrays
+  // instead of chasing Spans structs and interner offsets per pair. Slots
+  // are indexed item * num_rules() + rule, the same addressing as
+  // Values(). Lanes carry real data only for items where simple(item) is
+  // true (every slot holds at most one value — the overwhelmingly common
+  // shape); an empty slot's id lane is util::kInvalidSymbolId and its
+  // other lanes are 0, and multi-valued items take the per-pair fallback.
+  bool simple(std::size_t item) const { return simple_[item] != 0; }
+  const std::uint32_t* lane_byte_lengths() const {
+    return lane_lengths_.data();
+  }
+  const std::uint32_t* lane_unique_tokens() const {
+    return lane_unique_tokens_.data();
+  }
+  const std::uint32_t* lane_bigrams() const { return lane_bigrams_.data(); }
+  const ValueId* lane_value_ids() const { return lane_value_ids_.data(); }
+
+  // Memory held by the CSR index plus the SoA lanes (the dictionary
+  // reports its own pools separately).
+  std::size_t memory_bytes() const;
+
  private:
+  // Fills the SoA lanes and the per-item simple flags from the finished
+  // CSR index (pure function of the data: safe to run in parallel, reads
+  // the dictionary const-only).
+  void BuildLanes(std::size_t num_threads);
+
   const FeatureDictionary* dict_ = nullptr;
   std::size_t num_items_ = 0;
   std::size_t num_rules_ = 0;
   std::vector<std::uint32_t> offsets_;  // num_items * num_rules + 1 edges
   std::vector<ValueId> value_ids_;      // pooled per-slot value ids
+  // SoA lanes, one entry per (item, rule) slot; see the accessors above.
+  std::vector<std::uint32_t> lane_lengths_;
+  std::vector<std::uint32_t> lane_unique_tokens_;
+  std::vector<std::uint32_t> lane_bigrams_;
+  std::vector<ValueId> lane_value_ids_;
+  std::vector<std::uint8_t> simple_;  // per item: all slots have <= 1 value
 };
 
 }  // namespace rulelink::linking

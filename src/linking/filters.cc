@@ -4,6 +4,15 @@
 
 #include "text/similarity.h"
 #include "util/logging.h"
+#include "util/simd.h"
+
+// Stage A's elementwise kernels are compiled once per ISA via per-function
+// target attributes; only x86 has the multi-versioned clones.
+#if defined(__x86_64__) || defined(__i386__)
+#define RULELINK_SIMD_TARGETS 1
+#else
+#define RULELINK_SIMD_TARGETS 0
+#endif
 
 namespace rulelink::linking {
 namespace {
@@ -93,6 +102,169 @@ double ExactValue(const ValueId* ext, std::size_t num_ext,
   }
   return 0.0;
 }
+
+// --- Batched stage A (DESIGN.md §5h) -----------------------------------
+//
+// One elementwise pass per rule over the whole candidate run, reading the
+// FeatureCache SoA lanes. Every lane evaluates the very expression the
+// per-pair helpers above evaluate for a single-valued slot — same integer
+// widths in the denominators, same comparison order — so the accumulated
+// bound_sum/weight_total are bit-identical to Prune's locals. Inactive
+// lanes (missing local property, i.e. an invalid id) contribute +0.0,
+// which is an IEEE identity here because the accumulators start at +0.0
+// and only ever add non-negative products.
+
+// Participation bits, folded into FilterStats when a pair is pruned.
+constexpr std::uint8_t kFlagLength = 1;
+constexpr std::uint8_t kFlagToken = 2;
+constexpr std::uint8_t kFlagExact = 4;
+
+// Mirrors FilterCascade::Kind (private) for the free-function kernels.
+enum StageAKind : int {
+  kStageAOptimistic = 0,
+  kStageALevenshtein,
+  kStageAJaccard,
+  kStageADice,
+  kStageAExact,
+};
+
+struct StageAArgs {
+  int kind = kStageAOptimistic;
+  double weight = 1.0;
+  std::uint32_t ext_scalar = 0;  // length / unique tokens / bigrams
+  ValueId ext_id = util::kInvalidSymbolId;
+  const std::uint32_t* loc_scalar = nullptr;  // gathered, one per pair
+  const ValueId* loc_id = nullptr;            // gathered, one per pair
+  std::size_t n = 0;
+  double* bound_sum = nullptr;
+  double* weight_total = nullptr;
+  double* lev_bound = nullptr;  // this rule's row; only for kLevenshtein
+  std::uint8_t* flags = nullptr;
+};
+
+// The shared elementwise body; always_inline so each target-attributed
+// wrapper below compiles its own copy at its own ISA.
+__attribute__((always_inline)) inline void StageARuleImpl(
+    const StageAArgs& a) {
+  switch (a.kind) {
+    case kStageAOptimistic:
+      for (std::size_t i = 0; i < a.n; ++i) {
+        const bool active = a.loc_id[i] != util::kInvalidSymbolId;
+        // bound = 1.0, and weight * 1.0 == weight exactly.
+        a.bound_sum[i] += active ? a.weight : 0.0;
+        a.weight_total[i] += active ? a.weight : 0.0;
+      }
+      break;
+    case kStageALevenshtein:
+      for (std::size_t i = 0; i < a.n; ++i) {
+        const bool active = a.loc_id[i] != util::kInvalidSymbolId;
+        const std::uint32_t la = a.ext_scalar;
+        const std::uint32_t lb = a.loc_scalar[i];
+        const std::uint32_t longest = std::max(la, lb);
+        // LevenshteinSimilarityFromDistance(longest - min, longest).
+        const double bound =
+            longest == 0 ? 1.0
+                         : 1.0 - static_cast<double>(
+                                     longest - std::min(la, lb)) /
+                                     static_cast<double>(longest);
+        if (active && bound < 1.0) a.flags[i] |= kFlagLength;
+        a.lev_bound[i] = active ? bound : -1.0;
+        a.bound_sum[i] += active ? a.weight * bound : 0.0;
+        a.weight_total[i] += active ? a.weight : 0.0;
+      }
+      break;
+    case kStageAJaccard:
+      for (std::size_t i = 0; i < a.n; ++i) {
+        const bool active = a.loc_id[i] != util::kInvalidSymbolId;
+        const std::uint32_t ua = a.ext_scalar;
+        const std::uint32_t ub = a.loc_scalar[i];
+        double bound = 1.0;  // both token sets empty (== no tokens at all)
+        if (ua != 0 || ub != 0) {
+          const std::size_t mn = std::min(ua, ub);
+          bound = static_cast<double>(mn) /
+                  static_cast<double>(ua + ub - mn);
+        }
+        if (active && bound < 1.0) a.flags[i] |= kFlagToken;
+        a.bound_sum[i] += active ? a.weight * bound : 0.0;
+        a.weight_total[i] += active ? a.weight : 0.0;
+      }
+      break;
+    case kStageADice:
+      for (std::size_t i = 0; i < a.n; ++i) {
+        const bool active = a.loc_id[i] != util::kInvalidSymbolId;
+        const std::uint32_t ba = a.ext_scalar;
+        const std::uint32_t bb = a.loc_scalar[i];
+        double bound = 1.0;  // both bigram multisets empty
+        if (ba != 0 || bb != 0) {
+          const std::size_t mn = std::min(ba, bb);
+          bound = 2.0 * static_cast<double>(mn) /
+                  static_cast<double>(ba + bb);
+        }
+        if (active && bound < 1.0) a.flags[i] |= kFlagToken;
+        a.bound_sum[i] += active ? a.weight * bound : 0.0;
+        a.weight_total[i] += active ? a.weight : 0.0;
+      }
+      break;
+    case kStageAExact:
+      for (std::size_t i = 0; i < a.n; ++i) {
+        const bool active = a.loc_id[i] != util::kInvalidSymbolId;
+        const double bound = a.loc_id[i] == a.ext_id ? 1.0 : 0.0;
+        if (active && bound < 1.0) a.flags[i] |= kFlagExact;
+        a.bound_sum[i] += active ? a.weight * bound : 0.0;
+        a.weight_total[i] += active ? a.weight : 0.0;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void StageARuleBaseline(const StageAArgs& a) { StageARuleImpl(a); }
+
+#if RULELINK_SIMD_TARGETS
+__attribute__((target("sse4.2"))) void StageARuleSse42(const StageAArgs& a) {
+  StageARuleImpl(a);
+}
+
+__attribute__((target("avx2"))) void StageARuleAvx2(const StageAArgs& a) {
+  StageARuleImpl(a);
+}
+#endif  // RULELINK_SIMD_TARGETS
+
+using StageAKernel = void (*)(const StageAArgs&);
+
+StageAKernel PickStageAKernel(util::SimdMode mode) {
+#if RULELINK_SIMD_TARGETS
+  switch (mode) {
+    case util::SimdMode::kAVX2:
+      return StageARuleAvx2;
+    case util::SimdMode::kSSE42:
+      return StageARuleSse42;
+    default:
+      return StageARuleBaseline;
+  }
+#else
+  (void)mode;
+  return StageARuleBaseline;
+#endif
+}
+
+// Prune's `record` lambda, replayed from a pair's participation bits.
+void RecordPruned(FilterStats* stats, std::uint8_t flags,
+                  bool distance_cap) {
+  if (stats == nullptr) return;
+  ++stats->pairs_pruned;
+  if (flags & kFlagLength) ++stats->by_length;
+  if (flags & kFlagToken) ++stats->by_token_count;
+  if (flags & kFlagExact) ++stats->by_exact;
+  if (distance_cap) ++stats->by_distance_cap;
+}
+
+// FilterBatchScratch::state values.
+constexpr std::uint8_t kStateUndecided = 0;
+constexpr std::uint8_t kStatePruned = 1;
+constexpr std::uint8_t kStateKeep = 2;
+constexpr std::uint8_t kStateFallback = 3;  // decided by per-pair Prune
 
 }  // namespace
 
@@ -245,6 +417,225 @@ bool FilterCascade::Prune(const FeatureCache& external_features,
     }
   }
   return false;
+}
+
+void FilterCascade::PruneBatch(const FeatureCache& external_features,
+                               std::size_t external_index,
+                               const FeatureCache& local_features,
+                               const std::size_t* candidates,
+                               std::size_t count, FilterStats* stats,
+                               FilterBatchScratch* scratch) const {
+  RL_DCHECK(scratch != nullptr);
+  scratch->pruned.assign(count, 0);
+  if (count == 0) return;
+
+  // A multi-valued external item needs the cross-product bounds on every
+  // rule: the whole run takes the per-pair path.
+  if (!external_features.simple(external_index)) {
+    for (std::size_t i = 0; i < count; ++i) {
+      scratch->pruned[i] = Prune(external_features, external_index,
+                                 local_features, candidates[i], stats)
+                               ? 1
+                               : 0;
+    }
+    scratch->remainder_pairs += count;
+    return;
+  }
+
+  const FeatureDictionary& dict = external_features.dict();
+  const std::size_t num_rules = plans_.size();
+  std::size_t num_lev = 0;
+  for (const Plan& plan : plans_) {
+    if (plan.kind == Kind::kLevenshtein) ++num_lev;
+  }
+
+  scratch->bound_sum.assign(count, 0.0);
+  scratch->weight_total.assign(count, 0.0);
+  scratch->flags.assign(count, 0);
+  scratch->state.assign(count, kStateUndecided);
+  scratch->lev_bound.assign(num_lev * count, -1.0);
+  scratch->lane_scalar.resize(count);
+  scratch->lane_id.resize(count);
+
+  // Multi-valued locals are decided by per-pair Prune right away; their
+  // lanes still flow through the kernels below but every result is
+  // ignored (state == kStateFallback).
+  std::size_t fallback = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (local_features.simple(candidates[i])) continue;
+    scratch->state[i] = kStateFallback;
+    scratch->pruned[i] = Prune(external_features, external_index,
+                               local_features, candidates[i], stats)
+                             ? 1
+                             : 0;
+    ++fallback;
+  }
+  scratch->remainder_pairs += fallback;
+  scratch->batched_pairs += count - fallback;
+  if (fallback == count) return;
+
+  const ValueId* ext_ids = external_features.lane_value_ids();
+  const std::uint32_t* ext_lengths = external_features.lane_byte_lengths();
+  const std::uint32_t* ext_tokens = external_features.lane_unique_tokens();
+  const std::uint32_t* ext_bigrams = external_features.lane_bigrams();
+  const ValueId* loc_ids = local_features.lane_value_ids();
+  const std::uint32_t* loc_lengths = local_features.lane_byte_lengths();
+  const std::uint32_t* loc_tokens = local_features.lane_unique_tokens();
+  const std::uint32_t* loc_bigrams = local_features.lane_bigrams();
+  const StageAKernel kernel = PickStageAKernel(util::ActiveSimdMode());
+
+  // Stage A, rule-outer: gather the local lanes this rule's bound reads
+  // into contiguous scratch, then one elementwise kernel pass. Rules run
+  // in plan order, so each lane's accumulators see the exact addition
+  // sequence Prune's scalar locals see.
+  std::size_t lev_row = 0;
+  for (std::size_t r = 0; r < num_rules; ++r) {
+    const Plan& plan = plans_[r];
+    const std::size_t row =
+        plan.kind == Kind::kLevenshtein ? lev_row++ : 0;
+    const std::size_t ext_slot = external_index * num_rules + r;
+    const ValueId ext_id = ext_ids[ext_slot];
+    if (ext_id == util::kInvalidSymbolId) continue;  // property missing
+
+    StageAArgs args;
+    args.weight = plan.weight;
+    args.ext_id = ext_id;
+    args.n = count;
+    args.bound_sum = scratch->bound_sum.data();
+    args.weight_total = scratch->weight_total.data();
+    args.flags = scratch->flags.data();
+    args.loc_scalar = scratch->lane_scalar.data();
+    args.loc_id = scratch->lane_id.data();
+    const std::uint32_t* gather_from = nullptr;
+    switch (plan.kind) {
+      case Kind::kOptimistic:
+        args.kind = kStageAOptimistic;
+        break;
+      case Kind::kLevenshtein:
+        args.kind = kStageALevenshtein;
+        args.ext_scalar = ext_lengths[ext_slot];
+        args.lev_bound = scratch->lev_bound.data() + row * count;
+        gather_from = loc_lengths;
+        break;
+      case Kind::kJaccard:
+        args.kind = kStageAJaccard;
+        args.ext_scalar = ext_tokens[ext_slot];
+        gather_from = loc_tokens;
+        break;
+      case Kind::kDice:
+        args.kind = kStageADice;
+        args.ext_scalar = ext_bigrams[ext_slot];
+        gather_from = loc_bigrams;
+        break;
+      case Kind::kExact:
+        args.kind = kStageAExact;
+        break;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t slot = candidates[i] * num_rules + r;
+      scratch->lane_id[i] = loc_ids[slot];
+      if (gather_from != nullptr) {
+        scratch->lane_scalar[i] = gather_from[slot];
+      }
+    }
+    kernel(args);
+  }
+
+  // Stage-A decision, exactly Prune's: all-inactive pairs score 0.0, and
+  // a renormalized bound below the threshold proves the pair out.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (scratch->state[i] != kStateUndecided) continue;
+    if (scratch->weight_total[i] == 0.0) {
+      if (threshold_ <= 0.0) {
+        scratch->state[i] = kStateKeep;
+        continue;
+      }
+      scratch->pruned[i] = 1;
+      scratch->state[i] = kStatePruned;
+      RecordPruned(stats, scratch->flags[i], false);
+      continue;
+    }
+    if (scratch->bound_sum[i] / scratch->weight_total[i] < threshold_) {
+      scratch->pruned[i] = 1;
+      scratch->state[i] = kStatePruned;
+      RecordPruned(stats, scratch->flags[i], false);
+    }
+  }
+
+  // Stage B: per Levenshtein rule in plan order, derive each surviving
+  // pair's similarity floor (same subtraction/division/slack as Prune)
+  // and batch the capped probes through the interleaved kernel. A pair
+  // pruned by an earlier rule skips the later ones, like Prune's early
+  // return.
+  if (!any_levenshtein_ || threshold_ <= 0.0) return;
+  lev_row = 0;
+  for (std::size_t r = 0; r < num_rules; ++r) {
+    if (plans_[r].kind != Kind::kLevenshtein) continue;
+    const std::size_t row = lev_row++;
+    const ValueId ext_id = ext_ids[external_index * num_rules + r];
+    if (ext_id == util::kInvalidSymbolId) continue;
+    const std::string_view va = dict.View(ext_id);
+    const double weight = plans_[r].weight;
+    const double* lev_bounds = scratch->lev_bound.data() + row * count;
+    scratch->probe_a.clear();
+    scratch->probe_b.clear();
+    scratch->probe_cap.clear();
+    scratch->probe_pair.clear();
+    scratch->probe_longest.clear();
+    scratch->probe_floor.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (scratch->state[i] != kStateUndecided) continue;
+      const double own_bound = lev_bounds[i];
+      if (own_bound < 0.0) continue;  // rule inactive for this pair
+      const double own = weight * own_bound;
+      const double floor = (threshold_ * scratch->weight_total[i] -
+                            (scratch->bound_sum[i] - own)) /
+                           weight;
+      const double floor_cap = floor - kStageBSlack;
+      if (floor_cap <= 0.0) continue;
+      const ValueId loc_id = loc_ids[candidates[i] * num_rules + r];
+      const std::string_view vb = dict.View(loc_id);
+      const std::size_t longest = std::max(va.size(), vb.size());
+      if (longest == 0) {
+        // best = 1.0 without a probe; prune only if even that is below
+        // the floor (a floor above 1 is unreachable by any value pair).
+        if (1.0 < floor_cap) {
+          scratch->pruned[i] = 1;
+          scratch->state[i] = kStatePruned;
+          RecordPruned(stats, scratch->flags[i], true);
+        }
+        continue;
+      }
+      double allowed = (1.0 - floor_cap) * static_cast<double>(longest);
+      if (allowed < 0.0) allowed = 0.0;
+      const std::size_t cap = static_cast<std::size_t>(allowed) + 1;
+      scratch->probe_a.push_back(va);
+      scratch->probe_b.push_back(vb);
+      scratch->probe_cap.push_back(cap);
+      scratch->probe_pair.push_back(i);
+      scratch->probe_longest.push_back(longest);
+      scratch->probe_floor.push_back(floor_cap);
+    }
+    if (scratch->probe_a.empty()) continue;
+    scratch->probe_out.resize(scratch->probe_a.size());
+    text::BoundedLevenshteinDistanceBatch(
+        scratch->probe_a.data(), scratch->probe_b.data(),
+        scratch->probe_cap.data(), scratch->probe_a.size(),
+        scratch->probe_out.data());
+    for (std::size_t p = 0; p < scratch->probe_a.size(); ++p) {
+      const std::size_t i = scratch->probe_pair[p];
+      double best = -1.0;
+      if (scratch->probe_out[p] <= scratch->probe_cap[p]) {
+        best = text::LevenshteinSimilarityFromDistance(
+            scratch->probe_out[p], scratch->probe_longest[p]);
+      }
+      if (best < scratch->probe_floor[p]) {
+        scratch->pruned[i] = 1;
+        scratch->state[i] = kStatePruned;
+        RecordPruned(stats, scratch->flags[i], true);
+      }
+    }
+  }
 }
 
 }  // namespace rulelink::linking

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "linking/feature_cache.h"
@@ -37,6 +38,39 @@ struct FilterStats {
   }
 };
 
+// Reusable per-worker scratch for FilterCascade::PruneBatch: accumulator
+// lanes, gather buffers and stage-B probe staging, plus the output bitmap.
+// Owned by the caller (one per streaming shard) so a run's batch pass
+// allocates nothing after warm-up. `pruned[i]` is 1 when candidate i of
+// the last PruneBatch call was pruned. The batched/remainder counters
+// accumulate across calls (candidate pairs through the SoA lane path vs
+// the per-pair fallback) for the "simd" observability section; the caller
+// folds them into util::AddSimdCascadePairs once per run.
+struct FilterBatchScratch {
+  // Per-candidate stage-A accumulators (exactly Prune's locals, as lanes).
+  std::vector<double> bound_sum;
+  std::vector<double> weight_total;
+  std::vector<double> lev_bound;  // num-Levenshtein-rules rows of n lanes
+  std::vector<std::uint8_t> flags;  // participation bits for FilterStats
+  std::vector<std::uint8_t> state;  // 0 undecided / 1 pruned / 2 keep
+  // Gathered local-side lanes for the rule being evaluated.
+  std::vector<std::uint32_t> lane_scalar;
+  std::vector<ValueId> lane_id;
+  // Stage-B probe staging for BoundedLevenshteinDistanceBatch.
+  std::vector<std::string_view> probe_a;
+  std::vector<std::string_view> probe_b;
+  std::vector<std::size_t> probe_cap;
+  std::vector<std::size_t> probe_out;
+  std::vector<std::size_t> probe_pair;     // candidate index per probe
+  std::vector<std::size_t> probe_longest;  // max value length per probe
+  std::vector<double> probe_floor;         // floor_cap per probe
+  // Output bitmap of the last call.
+  std::vector<std::uint8_t> pruned;
+  // Cascade pair counters, caller-folded into the process totals.
+  std::uint64_t batched_pairs = 0;
+  std::uint64_t remainder_pairs = 0;
+};
+
 class FilterCascade {
  public:
   // `matcher` is borrowed and must outlive the cascade; `threshold` is the
@@ -53,6 +87,23 @@ class FilterCascade {
              std::size_t external_index,
              const FeatureCache& local_features, std::size_t local_index,
              FilterStats* stats) const;
+
+  // Batched Prune over one external item's whole candidate run: fills
+  // scratch->pruned[i] with Prune(ext, e, loc, candidates[i], stats) for
+  // every i < count, updating `stats` exactly as the per-pair calls would
+  // (same decisions, same counters — the arithmetic per lane is the very
+  // expression Prune evaluates, so the results are byte-identical; see
+  // DESIGN.md §5h). Pairs whose items carry multi-valued slots take the
+  // per-pair path internally. Stage A runs over the FeatureCache SoA
+  // lanes through an ISA-dispatched elementwise kernel
+  // (util::ActiveSimdMode()); stage B collects its capped probes into
+  // text::BoundedLevenshteinDistanceBatch. Thread-safe as long as each
+  // worker owns its scratch.
+  void PruneBatch(const FeatureCache& external_features,
+                  std::size_t external_index,
+                  const FeatureCache& local_features,
+                  const std::size_t* candidates, std::size_t count,
+                  FilterStats* stats, FilterBatchScratch* scratch) const;
 
   double threshold() const { return threshold_; }
 

@@ -5,6 +5,7 @@
 
 #include "linking/feature_cache.h"
 #include "util/logging.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace rulelink::linking {
@@ -41,7 +42,15 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
     FilterStats filters;
     ScoreMemoStats memo;
     obs::Histogram run_lengths;  // one observation per external item
+    std::uint64_t cascade_batched = 0;    // pairs through PruneBatch lanes
+    std::uint64_t cascade_remainder = 0;  // per-pair fallback pairs
   };
+  // The batch cascade runs unless dispatch is off ("off" keeps the
+  // per-pair legacy path reachable: the speedup baseline and the
+  // differential tests' reference). Both paths produce byte-identical
+  // prune decisions and FilterStats (DESIGN.md §5h).
+  const bool batch_cascade =
+      util::ActiveSimdMode() != util::SimdMode::kOff;
   // Run lengths are exactly the skew the morsel scheduler exists for: one
   // hot external with a huge candidate run no longer serializes its whole
   // static chunk. Memo + histogram per slot keeps the hint moderate.
@@ -58,17 +67,26 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         StreamShard& shard = shards[chunk];
         ScoreMemo memo;
-        std::vector<std::size_t> run;  // reused per external item
+        FilterBatchScratch scratch;     // reused per external item
+        std::vector<std::size_t> run;   // reused per external item
         for (std::size_t e = begin; e < end; ++e) {
           index.CandidatesOf(e, &run);
           shard.peak_run = std::max(shard.peak_run, run.size());
           if (observe) shard.run_lengths.Observe(run.size());
+          if (batch_cascade && !run.empty()) {
+            cascade_.PruneBatch(external_features, e, local_features,
+                                run.data(), run.size(), &shard.filters,
+                                &scratch);
+          }
           Link best;
           bool best_set = false;
-          for (const std::size_t l : run) {
+          for (std::size_t idx = 0; idx < run.size(); ++idx) {
+            const std::size_t l = run[idx];
             RL_DCHECK(l < local_features.num_items());
-            if (cascade_.Prune(external_features, e, local_features, l,
-                               &shard.filters)) {
+            if (batch_cascade
+                    ? scratch.pruned[idx] != 0
+                    : cascade_.Prune(external_features, e, local_features,
+                                     l, &shard.filters)) {
               continue;
             }
             const double score =
@@ -89,6 +107,8 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
           if (best_set) shard.links.push_back(best);
         }
         shard.memo = memo.stats();
+        shard.cascade_batched = scratch.batched_pairs;
+        shard.cascade_remainder = scratch.remainder_pairs;
       },
       kExternalsPerMorsel);
 
@@ -96,7 +116,11 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
   LinkerStats total;
   ScoreMemoStats memo_total;
   obs::Histogram run_lengths;  // shards fold in chunk order
+  std::uint64_t cascade_batched = 0;
+  std::uint64_t cascade_remainder = 0;
   for (const StreamShard& shard : shards) {
+    cascade_batched += shard.cascade_batched;
+    cascade_remainder += shard.cascade_remainder;
     if (observe) run_lengths.Merge(shard.run_lengths);
     total.pairs_scored += shard.pairs_scored;
     total.comparisons += shard.measures_computed;
@@ -111,6 +135,10 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
     links.insert(links.end(), shard.links.begin(), shard.links.end());
   }
   total.links_emitted = links.size();
+  // One atomic fold per Run into the process-wide SIMD counters (the
+  // "simd" section of the full MetricsSnapshot; dispatch-variant, so it
+  // stays out of the deterministic snapshot).
+  util::AddSimdCascadePairs(cascade_batched, cascade_remainder);
   if (metrics != nullptr) {
     // Only thread-invariant quantities: `comparisons` (kernels run) and
     // the memo counters depend on the chunking, so they stay out of the

@@ -1,0 +1,105 @@
+// Runtime SIMD dispatch for the batched linking hot path (DESIGN.md §5h).
+//
+// The batch kernels (FilterCascade::PruneBatch's stage-A lanes and the
+// interleaved Myers Levenshtein in text/similarity.cc) are compiled three
+// times — baseline ISA, SSE4.2 and AVX2 via per-function target
+// attributes — and one of them is picked at runtime from CPUID. The mode
+// only selects *which compiled copy of the same elementwise arithmetic*
+// runs; every copy performs the identical IEEE operations per pair, so
+// links and FilterStats are byte-identical across modes (the contract
+// tests/filter_batch_differential_test.cc enforces).
+//
+// Override order: ScopedSimdMode (tests/benches, in-process) beats the
+// RULELINK_SIMD environment variable ("off", "scalar", "sse4.2", "avx2",
+// "native"; unset = "native") beats CPU detection. A requested ISA the
+// CPU lacks is clamped down to what it supports. "off" disables the batch
+// entry points entirely — callers fall back to the per-pair code, which
+// is how the legacy path stays reachable for differential testing and
+// the speedup baseline.
+//
+// The process-wide counters here mirror the scheduler's observability
+// discipline: hot paths accumulate into shard-local plain integers and
+// fold them in with one atomic add per run, and the totals are
+// timing/dispatch-variant, so they render only in the full
+// MetricsSnapshot ("simd" section), never in DeterministicJson.
+#ifndef RULELINK_UTIL_SIMD_H_
+#define RULELINK_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rulelink::util {
+
+enum class SimdMode : std::uint8_t {
+  kOff,     // batch entry points disabled; per-pair legacy paths run
+  kScalar,  // batch layout and loops, compiled at the baseline ISA
+  kSSE42,   // 128-bit lanes
+  kAVX2,    // 256-bit lanes
+};
+
+// The best mode this CPU supports (never kOff).
+SimdMode DetectCpuSimdMode();
+
+// The mode the batch entry points should use right now:
+// ScopedSimdMode override > RULELINK_SIMD env > DetectCpuSimdMode(),
+// clamped to the CPU's capability. Cheap (one relaxed load after the
+// first call).
+SimdMode ActiveSimdMode();
+
+// "off", "scalar", "sse4.2" or "avx2".
+const char* SimdModeName(SimdMode mode);
+
+// 32-bit lanes per stage-A tile: 8 (AVX2), 4 (SSE4.2), 1 (scalar/off).
+std::size_t SimdBatchWidth(SimdMode mode);
+
+// Forces every ActiveSimdMode() in scope to `mode` (clamped to the CPU),
+// restoring the previous override on destruction. Like ScopedMorselItems:
+// not itself thread-safe — install before spawning the loops under test.
+class ScopedSimdMode {
+ public:
+  explicit ScopedSimdMode(SimdMode mode);
+  ~ScopedSimdMode();
+  ScopedSimdMode(const ScopedSimdMode&) = delete;
+  ScopedSimdMode& operator=(const ScopedSimdMode&) = delete;
+
+ private:
+  std::int16_t previous_;  // -1 = no override was installed
+};
+
+// --- Observability ------------------------------------------------------
+
+// Cumulative process-wide batch/remainder pair counts, subtractable so
+// benches can report per-measurement deltas (like SchedulerTotals).
+// "cascade" counts candidate pairs through FilterCascade: batched = the
+// SoA lane path, remainder = per-pair fallbacks (multi-valued slots or
+// batching off). "kernel" counts bounded-Levenshtein probes: batched =
+// lanes of the interleaved Myers kernel, remainder = single-pair calls.
+struct SimdTotals {
+  std::uint64_t cascade_batched_pairs = 0;
+  std::uint64_t cascade_remainder_pairs = 0;
+  std::uint64_t kernel_batched_pairs = 0;
+  std::uint64_t kernel_remainder_pairs = 0;
+
+  SimdTotals Minus(const SimdTotals& earlier) const;
+};
+
+// Snapshot for the MetricsSnapshot "simd" section: the active dispatch
+// target plus the lifetime counters.
+struct SimdStats {
+  SimdMode mode = SimdMode::kScalar;
+  const char* dispatch = "scalar";
+  std::size_t batch_width = 1;
+  SimdTotals totals;
+};
+
+SimdTotals GlobalSimdTotals();
+SimdStats GlobalSimdStats();
+
+// Fold shard-local counts into the process totals (one atomic add each;
+// call once per run/batch, never per pair).
+void AddSimdCascadePairs(std::uint64_t batched, std::uint64_t remainder);
+void AddSimdKernelPairs(std::uint64_t batched, std::uint64_t remainder);
+
+}  // namespace rulelink::util
+
+#endif  // RULELINK_UTIL_SIMD_H_

@@ -1,0 +1,277 @@
+// Differential tests for the batched SIMD filter cascade (DESIGN.md §5h):
+// StreamingLinker must emit byte-identical links and identical
+// FilterStats under every SIMD dispatch mode — "off" (the per-pair legacy
+// cascade), "scalar" (the batch layout at the baseline ISA), SSE4.2 and
+// AVX2 — at every thread count, down to 1-item morsels, on the
+// paper-shaped corpus AND a dirty 50k workload catalog. PruneBatch is
+// additionally pinned pair-for-pair against Prune. Modes the CPU lacks
+// clamp down, so the suite runs (possibly redundantly) everywhere.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/standard_blocking.h"
+#include "datagen/generator.h"
+#include "datagen/workload.h"
+#include "linking/feature_cache.h"
+#include "linking/filters.h"
+#include "linking/linker.h"
+#include "linking/matcher.h"
+#include "linking/streaming_linker.h"
+#include "util/logging.h"
+#include "util/simd.h"
+#include "util/thread_pool.h"
+
+namespace rulelink {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+constexpr double kThreshold = 0.6;
+constexpr util::SimdMode kModes[] = {
+    util::SimdMode::kOff,    // per-pair legacy cascade: the reference
+    util::SimdMode::kScalar, // batch layout, baseline ISA
+    util::SimdMode::kSSE42,  // 128-bit lanes (clamped where unavailable)
+    util::SimdMode::kAVX2,   // 256-bit lanes (clamped where unavailable)
+};
+
+// Exercises every filter in the cascade at once, like the streaming
+// differential suite: Levenshtein (length bound + capped probe), Jaccard
+// and Dice (count bounds), kExact (id equality) and Monge-Elkan as the
+// unboundable measure the cascade treats optimistically.
+linking::ItemMatcher FilteredMatcher() {
+  return linking::ItemMatcher({
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kLevenshtein, 2.5},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kJaccardTokens, 1.5},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kDiceBigram, 1.0},
+      {datagen::props::kManufacturer, datagen::props::kManufacturer,
+       linking::SimilarityMeasure::kExact, 0.5},
+      {datagen::props::kManufacturer, datagen::props::kManufacturer,
+       linking::SimilarityMeasure::kMongeElkan, 0.5},
+  });
+}
+
+const datagen::Dataset& PaperCorpus() {
+  static datagen::Dataset* corpus = [] {
+    datagen::DatasetConfig config;
+    config.seed = 23;
+    config.num_classes = 50;
+    config.num_leaves = 20;
+    config.catalog_size = 700;
+    config.num_links = 320;
+    config.num_signal_classes = 5;
+    config.num_other_frequent_classes = 5;
+    config.signal_class_min_links = 20;
+    config.signal_class_max_links = 40;
+    config.frequent_class_min_links = 6;
+    config.frequent_class_max_links = 11;
+    config.tail_class_cap_links = 4;
+    auto dataset = datagen::DatasetGenerator(config).Generate();
+    RL_CHECK(dataset.ok()) << dataset.status();
+    return new datagen::Dataset(std::move(dataset).value());
+  }();
+  return *corpus;
+}
+
+struct Workload {
+  datagen::WorkloadCatalog catalog;
+  datagen::QueryStream stream;
+};
+
+// Dirty 50k regime from the workload differential suite: Zipf-skewed
+// queries with typos and truncations against a 50k-item catalog.
+const Workload& DirtyWorkload() {
+  static Workload* workload = [] {
+    datagen::WorkloadConfig catalog_config;
+    catalog_config.seed = 77;
+    catalog_config.catalog_size = 50000;
+    auto catalog = datagen::GenerateWorkloadCatalog(catalog_config);
+    RL_CHECK(catalog.ok()) << catalog.status();
+
+    datagen::QueryStreamConfig query_config;
+    query_config.seed = 78;
+    query_config.num_queries = 800;
+    query_config.chooser.distribution = datagen::Distribution::kZipfian;
+    query_config.typo_prob = 0.1;
+    query_config.truncate_prob = 0.05;
+    auto stream =
+        datagen::GenerateQueryStream(catalog.value(), query_config);
+    RL_CHECK(stream.ok()) << stream.status();
+
+    auto* w = new Workload();
+    w->catalog = std::move(catalog).value();
+    w->stream = std::move(stream).value();
+    return w;
+  }();
+  return *workload;
+}
+
+struct Caches {
+  linking::FeatureDictionary dict;
+  linking::FeatureCache external;
+  linking::FeatureCache local;
+
+  Caches(const std::vector<core::Item>& external_items,
+         const std::vector<core::Item>& local_items,
+         const linking::ItemMatcher& matcher, std::size_t num_threads) {
+    external = linking::FeatureCache::Build(
+        external_items, matcher, linking::FeatureCache::Side::kExternal,
+        &dict, num_threads);
+    local = linking::FeatureCache::Build(local_items, matcher,
+                                         linking::FeatureCache::Side::kLocal,
+                                         &dict, num_threads);
+  }
+};
+
+void ExpectLinksIdentical(const std::vector<linking::Link>& actual,
+                          const std::vector<linking::Link>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].external_index, expected[i].external_index) << i;
+    EXPECT_EQ(actual[i].local_index, expected[i].local_index) << i;
+    EXPECT_EQ(actual[i].score, expected[i].score) << i;  // bit-identical
+  }
+}
+
+void ExpectFilterStatsIdentical(const linking::LinkerStats& actual,
+                                const linking::LinkerStats& expected) {
+  EXPECT_EQ(actual.pairs_scored, expected.pairs_scored);
+  EXPECT_EQ(actual.pairs_pruned_by_filter, expected.pairs_pruned_by_filter);
+  EXPECT_EQ(actual.pruned_by_length, expected.pruned_by_length);
+  EXPECT_EQ(actual.pruned_by_token_count, expected.pruned_by_token_count);
+  EXPECT_EQ(actual.pruned_by_exact, expected.pruned_by_exact);
+  EXPECT_EQ(actual.pruned_by_distance_cap, expected.pruned_by_distance_cap);
+  EXPECT_EQ(actual.links_emitted, expected.links_emitted);
+}
+
+// Streaming links and FilterStats under every mode x thread count must be
+// byte-identical to the "off" (legacy per-pair) serial run.
+void RunModeDifferential(const std::vector<core::Item>& external_items,
+                         const std::vector<core::Item>& local_items,
+                         std::size_t blocker_prefix,
+                         bool one_item_morsels) {
+  const linking::ItemMatcher matcher = FilteredMatcher();
+  const blocking::StandardBlocker blocker(datagen::props::kPartNumber,
+                                          blocker_prefix);
+  const auto index = blocker.BuildIndex(external_items, local_items);
+  ASSERT_EQ(index->num_external(), external_items.size());
+  const linking::StreamingLinker streaming(&matcher, kThreshold);
+
+  std::vector<linking::Link> reference;
+  linking::LinkerStats reference_stats;
+  bool have_reference = false;
+  for (const std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    // Caches are rebuilt per thread count on purpose: id numbering
+    // differs across builds, the links must not. Modes share one build —
+    // dispatch cannot touch the cache contents.
+    const Caches caches(external_items, local_items, matcher, threads);
+    for (const util::SimdMode mode : kModes) {
+      SCOPED_TRACE(util::SimdModeName(mode));
+      const util::ScopedSimdMode scoped(mode);
+      std::unique_ptr<util::ScopedMorselItems> morsels;
+      if (one_item_morsels) {
+        morsels = std::make_unique<util::ScopedMorselItems>(1);
+      }
+      const util::SimdTotals before = util::GlobalSimdTotals();
+      linking::LinkerStats stats;
+      const auto links = streaming.Run(*index, caches.external,
+                                       caches.local, &stats, threads);
+      const util::SimdTotals delta =
+          util::GlobalSimdTotals().Minus(before);
+      if (mode == util::SimdMode::kOff) {
+        // The legacy path must not touch the batch counters.
+        EXPECT_EQ(delta.cascade_batched_pairs, 0u);
+        EXPECT_EQ(delta.cascade_remainder_pairs, 0u);
+      } else {
+        // The batch cascade really engaged (single-valued part items
+        // dominate both corpora).
+        EXPECT_GT(delta.cascade_batched_pairs, 0u);
+      }
+      if (!have_reference) {
+        reference = links;
+        reference_stats = stats;
+        have_reference = true;
+        continue;
+      }
+      ExpectLinksIdentical(links, reference);
+      ExpectFilterStatsIdentical(stats, reference_stats);
+    }
+  }
+}
+
+TEST(FilterBatchDifferential, PaperCorpusAllModesAllThreadCounts) {
+  const datagen::Dataset& dataset = PaperCorpus();
+  RunModeDifferential(dataset.external_items, dataset.catalog_items,
+                      /*blocker_prefix=*/3, /*one_item_morsels=*/false);
+}
+
+TEST(FilterBatchDifferential, PaperCorpusOneItemMorsels) {
+  // 1-item morsels maximize stealing and put every external item's run in
+  // its own scratch epoch — the adversarial chunking for the batch path.
+  const datagen::Dataset& dataset = PaperCorpus();
+  RunModeDifferential(dataset.external_items, dataset.catalog_items,
+                      /*blocker_prefix=*/3, /*one_item_morsels=*/true);
+}
+
+TEST(FilterBatchDifferential, DirtyWorkloadAllModesAllThreadCounts) {
+  const Workload& workload = DirtyWorkload();
+  RunModeDifferential(workload.stream.queries, workload.catalog.items,
+                      /*blocker_prefix=*/4, /*one_item_morsels=*/false);
+}
+
+// PruneBatch pinned pair-for-pair against Prune, per mode: decisions and
+// FilterStats must replicate the per-pair cascade exactly, run by run.
+TEST(FilterBatchDifferential, PruneBatchMatchesPrunePairwise) {
+  const datagen::Dataset& dataset = PaperCorpus();
+  const linking::ItemMatcher matcher = FilteredMatcher();
+  const Caches caches(dataset.external_items, dataset.catalog_items,
+                      matcher, /*num_threads=*/1);
+  const blocking::StandardBlocker blocker(datagen::props::kPartNumber,
+                                          /*prefix_length=*/3);
+  const auto index =
+      blocker.BuildIndex(dataset.external_items, dataset.catalog_items);
+  const linking::FilterCascade cascade(&matcher, kThreshold);
+
+  for (const util::SimdMode mode :
+       {util::SimdMode::kScalar, util::SimdMode::kSSE42,
+        util::SimdMode::kAVX2}) {
+    SCOPED_TRACE(util::SimdModeName(mode));
+    const util::ScopedSimdMode scoped(mode);
+    linking::FilterBatchScratch scratch;
+    linking::FilterStats batch_stats;
+    linking::FilterStats pair_stats;
+    std::vector<std::size_t> run;
+    std::size_t runs_checked = 0;
+    for (std::size_t e = 0; e < index->num_external(); ++e) {
+      index->CandidatesOf(e, &run);
+      if (run.empty()) continue;
+      cascade.PruneBatch(caches.external, e, caches.local, run.data(),
+                         run.size(), &batch_stats, &scratch);
+      ASSERT_EQ(scratch.pruned.size(), run.size());
+      for (std::size_t i = 0; i < run.size(); ++i) {
+        const bool pruned = cascade.Prune(caches.external, e, caches.local,
+                                          run[i], &pair_stats);
+        ASSERT_EQ(scratch.pruned[i] != 0, pruned)
+            << "external=" << e << " local=" << run[i];
+      }
+      ++runs_checked;
+    }
+    EXPECT_GT(runs_checked, 0u);
+    EXPECT_EQ(batch_stats.pairs_pruned, pair_stats.pairs_pruned);
+    EXPECT_EQ(batch_stats.by_length, pair_stats.by_length);
+    EXPECT_EQ(batch_stats.by_token_count, pair_stats.by_token_count);
+    EXPECT_EQ(batch_stats.by_exact, pair_stats.by_exact);
+    EXPECT_EQ(batch_stats.by_distance_cap, pair_stats.by_distance_cap);
+    EXPECT_GT(batch_stats.pairs_pruned, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rulelink

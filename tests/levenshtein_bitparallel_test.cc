@@ -13,6 +13,7 @@
 
 #include "text/similarity.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace rulelink::text {
 namespace {
@@ -148,6 +149,151 @@ TEST(LevenshteinBitParallel, BoundedEdgeCases) {
   // cap exactly at the distance: exact value comes back.
   EXPECT_EQ(BoundedLevenshteinDistance("kitten", "sitting", 3), 3u);
   EXPECT_GT(BoundedLevenshteinDistance("kitten", "sitting", 2), 2u);
+}
+
+TEST(LevenshteinBitParallel, BoundedSingleByteEdgeCases) {
+  // Single-byte patterns drive last_row down to bit 0, the smallest mask
+  // the word kernel ever uses; these are the stage-B probe shapes for
+  // one-character part numbers.
+  EXPECT_EQ(BoundedLevenshteinDistance("a", "a", 0), 0u);
+  EXPECT_GT(BoundedLevenshteinDistance("a", "b", 0), 0u);
+  EXPECT_EQ(BoundedLevenshteinDistance("a", "b", 1), 1u);
+  EXPECT_EQ(BoundedLevenshteinDistance("a", "", 1), 1u);
+  EXPECT_EQ(BoundedLevenshteinDistance("", "a", 1), 1u);
+  EXPECT_GT(BoundedLevenshteinDistance("", "a", 0), 0u);
+  EXPECT_EQ(BoundedLevenshteinDistance("a", "ab", 1), 1u);
+  EXPECT_EQ(BoundedLevenshteinDistance("a", "bbbb", 4), 4u);
+  EXPECT_GT(BoundedLevenshteinDistance("a", "bbbb", 3), 3u);
+  // A cap far beyond both lengths is clamped internally before the
+  // kernel's early-exit arithmetic; the exact distance still comes back.
+  EXPECT_EQ(BoundedLevenshteinDistance(
+                "a", "b", static_cast<std::size_t>(-2)),
+            1u);
+}
+
+// The batch entry point must return, pair for pair, exactly what the
+// single-pair function returns — including the cap+1 early-exit values —
+// at every lane width the dispatcher can pick. Modes the CPU lacks clamp
+// down, so this runs (possibly redundantly) everywhere.
+TEST(LevenshteinBitParallel, BatchMatchesSinglePairAtEveryLaneWidth) {
+  util::Rng rng(0xB10C5EEDu);
+  std::vector<std::string> as, bs;
+  std::vector<std::size_t> caps;
+  for (int iter = 0; iter < 400; ++iter) {
+    // Mixed shapes: short/short (interleaved kernel), >64-byte patterns
+    // (blocked fallback), empties and equal strings (prologue).
+    const std::size_t la = rng.UniformUint64(90);
+    const std::size_t lb = rng.UniformUint64(90);
+    as.push_back(RandomString(rng, la, iter % 3));
+    if (rng.Bernoulli(0.25)) {
+      bs.push_back(as.back());  // equal pair: prologue cap==0 shape
+    } else {
+      bs.push_back(RandomString(rng, lb, (iter + 1) % 3));
+    }
+    caps.push_back(rng.UniformUint64(12));
+  }
+  std::vector<std::string_view> va(as.begin(), as.end());
+  std::vector<std::string_view> vb(bs.begin(), bs.end());
+  std::vector<std::size_t> expected(va.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    expected[i] = BoundedLevenshteinDistance(va[i], vb[i], caps[i]);
+  }
+  for (const util::SimdMode mode :
+       {util::SimdMode::kOff, util::SimdMode::kScalar,
+        util::SimdMode::kSSE42, util::SimdMode::kAVX2}) {
+    const util::ScopedSimdMode scoped(mode);
+    std::vector<std::size_t> out(va.size(), ~std::size_t{0});
+    BoundedLevenshteinDistanceBatch(va.data(), vb.data(), caps.data(),
+                                    va.size(), out.data());
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      ASSERT_EQ(out[i], expected[i])
+          << "mode=" << util::SimdModeName(mode) << " i=" << i
+          << " cap=" << caps[i] << " |a|=" << va[i].size()
+          << " |b|=" << vb[i].size();
+    }
+  }
+}
+
+// The cascade's shape: runs of probes sharing one a-side value, which
+// the batch entry turns into shared-pattern segments for the interleaved
+// kernels. Covers segment lengths that pad the final lane group, pattern
+// lengths at the word-kernel extremes (1 and 64 bytes), texts shorter
+// AND longer than the shared pattern (the segment path never swaps), and
+// a singleton segment between two real ones (the per-pair fallback).
+TEST(LevenshteinBitParallel, BatchSharedPatternSegments) {
+  util::Rng rng(0x5E6A5EEDu);
+  std::vector<std::string> pattern_storage, text_storage;
+  std::vector<std::size_t> segment_lengths;
+  const std::size_t pattern_lengths[] = {1, 3, 7, 12, 33, 64};
+  for (const std::size_t pm : pattern_lengths) {
+    // 1..9 spans partial, exact and multi-group segments at widths 2/4.
+    for (std::size_t len = 1; len <= 9; ++len) {
+      pattern_storage.push_back(RandomString(rng, pm, 0));
+      segment_lengths.push_back(len);
+    }
+  }
+  std::vector<std::string_view> va, vb;
+  std::vector<std::size_t> caps;
+  std::size_t probe = 0;
+  for (std::size_t s = 0; s < pattern_storage.size(); ++s) {
+    text_storage.reserve(text_storage.size() + segment_lengths[s]);
+    for (std::size_t i = 0; i < segment_lengths[s]; ++i) {
+      const std::size_t ln = 1 + rng.UniformUint64(80);
+      text_storage.push_back(RandomString(rng, ln, probe++ % 3));
+    }
+  }
+  std::size_t t = 0;
+  for (std::size_t s = 0; s < pattern_storage.size(); ++s) {
+    for (std::size_t i = 0; i < segment_lengths[s]; ++i) {
+      va.emplace_back(pattern_storage[s]);  // one shared view per segment
+      vb.emplace_back(text_storage[t++]);
+      caps.push_back(rng.UniformUint64(15));
+    }
+  }
+  std::vector<std::size_t> expected(va.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    expected[i] = BoundedLevenshteinDistance(va[i], vb[i], caps[i]);
+  }
+  for (const util::SimdMode mode :
+       {util::SimdMode::kOff, util::SimdMode::kScalar,
+        util::SimdMode::kSSE42, util::SimdMode::kAVX2}) {
+    const util::ScopedSimdMode scoped(mode);
+    std::vector<std::size_t> out(va.size(), ~std::size_t{0});
+    BoundedLevenshteinDistanceBatch(va.data(), vb.data(), caps.data(),
+                                    va.size(), out.data());
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      ASSERT_EQ(out[i], expected[i])
+          << "mode=" << util::SimdModeName(mode) << " i=" << i
+          << " cap=" << caps[i] << " |a|=" << va[i].size()
+          << " |b|=" << vb[i].size();
+    }
+  }
+}
+
+// Partial final groups (count not a multiple of the lane width) and
+// segment-of-one patterns take the single-pair remainder path; make sure
+// every count near the width boundaries round-trips.
+TEST(LevenshteinBitParallel, BatchRemainderCounts) {
+  util::Rng rng(0x5EEDCAFEu);
+  for (std::size_t count = 0; count <= 9; ++count) {
+    std::vector<std::string> as, bs;
+    std::vector<std::size_t> caps;
+    for (std::size_t i = 0; i < count; ++i) {
+      as.push_back(RandomString(rng, 1 + rng.UniformUint64(20), 0));
+      bs.push_back(RandomString(rng, 1 + rng.UniformUint64(20), 0));
+      caps.push_back(rng.UniformUint64(6));
+    }
+    std::vector<std::string_view> va(as.begin(), as.end());
+    std::vector<std::string_view> vb(bs.begin(), bs.end());
+    std::vector<std::size_t> out(count, ~std::size_t{0});
+    BoundedLevenshteinDistanceBatch(va.data(), vb.data(), caps.data(),
+                                    count, out.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(out[i],
+                BoundedLevenshteinDistance(va[i], vb[i], caps[i]))
+          << "count=" << count << " i=" << i;
+    }
+  }
 }
 
 }  // namespace
