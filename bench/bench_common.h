@@ -88,7 +88,16 @@ inline void WriteThreadSweepJson(const std::string& bench_name,
         << ", \"morsels\": " << p.scheduler.morsels
         << ", \"steals\": " << p.scheduler.steals
         << ", \"steal_failures\": " << p.scheduler.steal_failures
-        << ", \"busy_micros\": " << p.scheduler.busy_micros << "}";
+        << ", \"busy_micros\": " << p.scheduler.busy_micros;
+    if (p.scheduler.hw.valid) {
+      // Per-point hardware-counter delta (pool workers with live
+      // perf_event groups): tells memory-bound scaling regressions (LLC
+      // misses growing with threads) from compute-bound ones.
+      out << ", \"hw\": {\"cycles\": " << p.scheduler.hw.cycles
+          << ", \"instructions\": " << p.scheduler.hw.instructions
+          << ", \"llc_misses\": " << p.scheduler.hw.llc_misses << "}";
+    }
+    out << "}";
     out << ", \"simd\": {\"cascade_batched_pairs\": "
         << p.simd.cascade_batched_pairs << ", \"cascade_remainder_pairs\": "
         << p.simd.cascade_remainder_pairs << ", \"kernel_batched_pairs\": "

@@ -54,6 +54,22 @@ class CartesianCandidateIndex : public CandidateIndex {
   std::size_t num_local_;
 };
 
+class CartesianItemIndex : public ItemCandidateIndex {
+ public:
+  explicit CartesianItemIndex(std::size_t num_local)
+      : num_local_(num_local) {}
+
+  void CandidatesOfItem(const core::Item&, std::string*,
+                        std::vector<std::size_t>* out) const override {
+    out->resize(num_local_);
+    for (std::size_t l = 0; l < num_local_; ++l) (*out)[l] = l;
+  }
+  std::size_t num_local() const override { return num_local_; }
+
+ private:
+  std::size_t num_local_;
+};
+
 }  // namespace
 
 std::unique_ptr<CandidateIndex> CandidateGenerator::BuildIndex(
@@ -63,11 +79,24 @@ std::unique_ptr<CandidateIndex> CandidateGenerator::BuildIndex(
       Generate(external, local), external.size());
 }
 
+std::unique_ptr<ItemCandidateIndex> CandidateGenerator::BuildItemIndex(
+    const std::vector<core::Item>&) const {
+  // Most generators resolve candidates from the external *list* (sorting,
+  // windowing, cross-item statistics) and cannot probe one unseen item;
+  // the ones that can (key-based, cartesian) override this.
+  return nullptr;
+}
+
 std::unique_ptr<CandidateIndex> CartesianBlocker::BuildIndex(
     const std::vector<core::Item>& external,
     const std::vector<core::Item>& local) const {
   return std::make_unique<CartesianCandidateIndex>(external.size(),
                                                    local.size());
+}
+
+std::unique_ptr<ItemCandidateIndex> CartesianBlocker::BuildItemIndex(
+    const std::vector<core::Item>& local) const {
+  return std::make_unique<CartesianItemIndex>(local.size());
 }
 
 std::vector<CandidatePair> CartesianBlocker::Generate(
@@ -85,16 +114,27 @@ std::vector<CandidatePair> CartesianBlocker::Generate(
 
 std::string BlockingKey(const core::Item& item, const std::string& property,
                         std::size_t prefix_length) {
+  std::string key;
+  AppendBlockingKey(item, property, prefix_length, &key);
+  return key;
+}
+
+void AppendBlockingKey(const core::Item& item, const std::string& property,
+                       std::size_t prefix_length, std::string* key) {
+  key->clear();
   for (const auto& pv : item.facts) {
-    if (pv.property == property) {
-      std::string key = util::AsciiToLower(pv.value);
-      if (prefix_length > 0 && key.size() > prefix_length) {
-        key.resize(prefix_length);
-      }
-      return key;
+    if (pv.property != property) continue;
+    // In-place equivalent of AsciiToLower + truncate: same bytes out, but
+    // the caller's buffer capacity is reused.
+    key->assign(pv.value, 0,
+                prefix_length > 0
+                    ? std::min(prefix_length, pv.value.size())
+                    : pv.value.size());
+    for (char& c : *key) {
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
     }
+    return;
   }
-  return "";
 }
 
 std::vector<CandidatePair> GenerateWithMetrics(

@@ -52,6 +52,29 @@ class CandidateIndex {
   virtual std::size_t num_external() const = 0;
 };
 
+// A local-only candidate index probed with an arbitrary query item rather
+// than a pre-registered external index — the serving engine's interface.
+// CandidateIndex precomputes each external item's key at build time, so it
+// cannot answer items it has never seen; an ItemCandidateIndex keeps the
+// inverted structure over the locals only and resolves the probe's key per
+// call. Immutable once built and safe to probe from many threads; the
+// caller passes its own key scratch so a warm probe allocates nothing.
+class ItemCandidateIndex {
+ public:
+  virtual ~ItemCandidateIndex() = default;
+
+  // Replaces `out` with the local candidates of `item`, ascending with no
+  // duplicates — exactly what BuildIndex({item}, local)->CandidatesOf(0)
+  // would return. `key_scratch` is a caller-owned reusable buffer for key
+  // extraction (contents unspecified afterwards).
+  virtual void CandidatesOfItem(const core::Item& item,
+                                std::string* key_scratch,
+                                std::vector<std::size_t>* out) const = 0;
+
+  // Number of local items the index was built over.
+  virtual std::size_t num_local() const = 0;
+};
+
 class CandidateGenerator {
  public:
   virtual ~CandidateGenerator() = default;
@@ -72,6 +95,13 @@ class CandidateGenerator {
       const std::vector<core::Item>& external,
       const std::vector<core::Item>& local) const;
 
+  // Builds a probe-by-item index over `local` (see ItemCandidateIndex).
+  // Returns null when this generator cannot probe item-at-a-time (the
+  // base behaviour); key-based blockers override it. `local` may be
+  // borrowed by the returned index and must outlive it.
+  virtual std::unique_ptr<ItemCandidateIndex> BuildItemIndex(
+      const std::vector<core::Item>& local) const;
+
   virtual std::string name() const = 0;
 };
 
@@ -85,6 +115,8 @@ class CartesianBlocker : public CandidateGenerator {
   std::unique_ptr<CandidateIndex> BuildIndex(
       const std::vector<core::Item>& external,
       const std::vector<core::Item>& local) const override;
+  std::unique_ptr<ItemCandidateIndex> BuildItemIndex(
+      const std::vector<core::Item>& local) const override;
   std::string name() const override { return "cartesian"; }
 };
 
@@ -93,6 +125,12 @@ class CartesianBlocker : public CandidateGenerator {
 // ASCII-lowercased. Shared by the key-based blockers.
 std::string BlockingKey(const core::Item& item, const std::string& property,
                         std::size_t prefix_length);
+
+// BlockingKey into a caller-owned buffer (cleared first, capacity reused):
+// the allocation-free form the per-query probe path uses. *key is empty
+// when the item has no value under `property`.
+void AppendBlockingKey(const core::Item& item, const std::string& property,
+                       std::size_t prefix_length, std::string* key);
 
 // Instrumented candidate generation: runs generator.Generate under the
 // "blocking/generate" stage and records the item/candidate counters.

@@ -64,6 +64,43 @@ class StandardBlockIndex : public CandidateIndex {
   std::vector<util::SymbolId> external_key_;      // by external index
 };
 
+class StandardItemIndex : public ItemCandidateIndex {
+ public:
+  StandardItemIndex(std::string property, std::size_t prefix_length,
+                    util::StringInterner keys,
+                    std::vector<std::vector<std::size_t>> blocks,
+                    std::size_t num_local)
+      : property_(std::move(property)),
+        prefix_length_(prefix_length),
+        keys_(std::move(keys)),
+        blocks_(std::move(blocks)),
+        num_local_(num_local) {}
+
+  void CandidatesOfItem(const core::Item& item, std::string* key_scratch,
+                        std::vector<std::size_t>* out) const override {
+    AppendBlockingKey(item, property_, prefix_length_, key_scratch);
+    if (key_scratch->empty()) {
+      out->clear();
+      return;
+    }
+    // Find never mutates the interner, so concurrent probes are safe.
+    const util::SymbolId id = keys_.Find(*key_scratch);
+    if (id == util::kInvalidSymbolId) {
+      out->clear();
+      return;
+    }
+    out->assign(blocks_[id].begin(), blocks_[id].end());
+  }
+  std::size_t num_local() const override { return num_local_; }
+
+ private:
+  std::string property_;
+  std::size_t prefix_length_;
+  util::StringInterner keys_;
+  std::vector<std::vector<std::size_t>> blocks_;  // by key id
+  std::size_t num_local_;
+};
+
 }  // namespace
 
 std::unique_ptr<CandidateIndex> StandardBlocker::BuildIndex(
@@ -89,6 +126,24 @@ std::unique_ptr<CandidateIndex> StandardBlocker::BuildIndex(
   }
   return std::make_unique<StandardBlockIndex>(std::move(blocks),
                                               std::move(external_key));
+}
+
+std::unique_ptr<ItemCandidateIndex> StandardBlocker::BuildItemIndex(
+    const std::vector<core::Item>& local) const {
+  // The local half of BuildIndex, kept probe-ready: the interner resolves
+  // any query item's key with a read-only Find at serve time.
+  util::StringInterner keys;
+  std::vector<std::vector<std::size_t>> blocks;  // by key id
+  for (std::size_t l = 0; l < local.size(); ++l) {
+    const std::string key = BlockingKey(local[l], property_, prefix_length_);
+    if (key.empty()) continue;
+    const util::SymbolId id = keys.Intern(key);
+    if (id == blocks.size()) blocks.emplace_back();
+    blocks[id].push_back(l);
+  }
+  return std::make_unique<StandardItemIndex>(property_, prefix_length_,
+                                             std::move(keys),
+                                             std::move(blocks), local.size());
 }
 
 std::string StandardBlocker::name() const {

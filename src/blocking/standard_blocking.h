@@ -26,6 +26,12 @@ class StandardBlocker : public CandidateGenerator {
   std::unique_ptr<CandidateIndex> BuildIndex(
       const std::vector<core::Item>& external,
       const std::vector<core::Item>& local) const override;
+  // Probe-by-item form: keeps the blocks plus the key interner and
+  // resolves each query item's key at probe time with a read-only Find —
+  // no allocation beyond the caller's key scratch. Runs are identical to
+  // BuildIndex's for the same item.
+  std::unique_ptr<ItemCandidateIndex> BuildItemIndex(
+      const std::vector<core::Item>& local) const override;
   std::string name() const override;
 
  private:

@@ -16,8 +16,41 @@ constexpr char kTokenSeparators[] = " \t\n\r";
 
 }  // namespace
 
-void FeatureDictionary::EnsureSlot(ValueId id) {
-  if (id >= spans_.size()) spans_.resize(id + 1);
+FeatureDictionary::FeatureDictionary(const FeatureDictionary* base)
+    : base_(base),
+      base_offset_(static_cast<ValueId>(base->num_symbols())) {
+  RL_CHECK(base != nullptr);
+}
+
+void FeatureDictionary::EnsureSlot(ValueId local) {
+  if (local >= spans_.size()) spans_.resize(local + 1);
+}
+
+ValueId FeatureDictionary::FindSymbol(std::string_view s) const {
+  if (base_ != nullptr) {
+    const ValueId found = base_->FindSymbol(s);
+    if (found != util::kInvalidSymbolId) return found;
+  }
+  const ValueId local = strings_.Find(s);
+  return local == util::kInvalidSymbolId ? util::kInvalidSymbolId
+                                         : local + base_offset_;
+}
+
+bool FeatureDictionary::IsBuiltValue(ValueId id) const {
+  if (base_ != nullptr && id < base_offset_) return base_->IsBuiltValue(id);
+  const ValueId local = id - base_offset_;
+  return local < spans_.size() && spans_[local].built;
+}
+
+text::TokenId FeatureDictionary::InternSymbol(std::string_view s) {
+  if (base_ != nullptr) {
+    // Any symbol kind will do for tokens/bigrams — only equality and sort
+    // order matter downstream, and the base's id is the canonical one for
+    // this string in the combined universe.
+    const ValueId found = base_->FindSymbol(s);
+    if (found != util::kInvalidSymbolId) return found;
+  }
+  return strings_.Intern(s) + base_offset_;
 }
 
 std::uint32_t FeatureDictionary::AppendSorted(
@@ -32,15 +65,15 @@ std::uint32_t FeatureDictionary::AppendSorted(
   return unique;
 }
 
-void FeatureDictionary::BuildFeatures(ValueId id) {
-  const std::string_view value = strings_.View(id);
+void FeatureDictionary::BuildFeatures(ValueId local) {
+  const std::string_view value = strings_.View(local);
 
   std::vector<text::TokenId> token_ids;
   {
     const auto token_views = util::SplitAny(value, kTokenSeparators);
     token_ids.reserve(token_views.size());
     for (std::string_view token : token_views) {
-      token_ids.push_back(strings_.Intern(token));
+      token_ids.push_back(InternSymbol(token));
     }
   }
   std::vector<text::TokenId> bigram_ids;
@@ -49,7 +82,7 @@ void FeatureDictionary::BuildFeatures(ValueId id) {
     text::CharacterBigramViews(value, &gram_views);
     bigram_ids.reserve(gram_views.size());
     for (std::string_view gram : gram_views) {
-      bigram_ids.push_back(strings_.Intern(gram));
+      bigram_ids.push_back(InternSymbol(gram));
     }
   }
 
@@ -60,8 +93,8 @@ void FeatureDictionary::BuildFeatures(ValueId id) {
 
   // Interning the tokens/bigrams may have grown the symbol table past the
   // spans table; re-establish the slot before writing through it.
-  EnsureSlot(id);
-  Spans& spans = spans_[id];
+  EnsureSlot(local);
+  Spans& spans = spans_[local];
   spans.tok_begin = static_cast<std::uint32_t>(ordered_tokens_.size());
   ordered_tokens_.insert(ordered_tokens_.end(), token_ids.begin(),
                          token_ids.end());
@@ -75,23 +108,36 @@ void FeatureDictionary::BuildFeatures(ValueId id) {
 }
 
 ValueId FeatureDictionary::AddValue(std::string_view value) {
-  const ValueId id = strings_.Intern(value);
-  EnsureSlot(id);
-  if (spans_[id].built) {
-    ++values_reused_;
-    return id;
+  if (base_ != nullptr) {
+    // Reuse the base's id only when it carries built features there; a
+    // base symbol that is merely a token/bigram gets a fresh overlay value
+    // id instead (no base built value shares its string, so id equality
+    // still implies string equality across the union).
+    const ValueId found = base_->FindSymbol(value);
+    if (found != util::kInvalidSymbolId && base_->IsBuiltValue(found)) {
+      ++values_reused_;
+      return found;
+    }
   }
-  BuildFeatures(id);
-  return id;
+  const ValueId local = strings_.Intern(value);
+  EnsureSlot(local);
+  if (spans_[local].built) {
+    ++values_reused_;
+    return local + base_offset_;
+  }
+  BuildFeatures(local);
+  return local + base_offset_;
 }
 
 FeatureDictionary::ValueFeatures FeatureDictionary::Features(
     ValueId id) const {
-  RL_DCHECK(id < spans_.size() && spans_[id].built)
+  if (base_ != nullptr && id < base_offset_) return base_->Features(id);
+  const ValueId local = id - base_offset_;
+  RL_DCHECK(local < spans_.size() && spans_[local].built)
       << "Features() of a symbol that is not a built value";
-  const Spans& spans = spans_[id];
+  const Spans& spans = spans_[local];
   ValueFeatures features;
-  features.text = strings_.View(id);
+  features.text = strings_.View(local);
   features.ordered_tokens = ordered_tokens_.data() + spans.tok_begin;
   features.sorted_tokens = sorted_tokens_.data() + spans.tok_begin;
   features.num_tokens = spans.tok_end - spans.tok_begin;
@@ -103,6 +149,8 @@ FeatureDictionary::ValueFeatures FeatureDictionary::Features(
 
 std::vector<ValueId> FeatureDictionary::Absorb(
     const FeatureDictionary& local) {
+  RL_DCHECK(base_ == nullptr && local.base_ == nullptr)
+      << "Absorb is a root-dictionary merge; overlays never absorb";
   std::vector<ValueId> remap(local.strings_.size(), util::kInvalidSymbolId);
   for (ValueId id = 0; id < local.strings_.size(); ++id) {
     remap[id] = strings_.Intern(local.strings_.View(id));
@@ -252,6 +300,32 @@ FeatureCache FeatureCache::Build(const std::vector<core::Item>& items,
   RL_CHECK(cache.offsets_.size() == items.size() * rules.size() + 1);
   cache.BuildLanes(num_threads);
   return cache;
+}
+
+void FeatureCache::AssignSingle(const core::Item& item,
+                                const ItemMatcher& matcher, Side side,
+                                FeatureDictionary* dict) {
+  RL_CHECK(dict != nullptr);
+  const auto& rules = matcher.rules();
+  dict_ = dict;
+  num_items_ = 1;
+  num_rules_ = rules.size();
+  offsets_.clear();
+  value_ids_.clear();
+  offsets_.push_back(0);
+  for (const AttributeRule& rule : rules) {
+    const std::string& property = side == Side::kExternal
+                                      ? rule.external_property
+                                      : rule.local_property;
+    for (const core::PropertyValue& fact : item.facts) {
+      if (fact.property != property) continue;
+      value_ids_.push_back(dict->AddValue(fact.value));
+    }
+    offsets_.push_back(static_cast<std::uint32_t>(value_ids_.size()));
+  }
+  // Serial lane fill: ParallelFor at one thread runs inline with no pool,
+  // no locks and no allocation, so the whole rebuild stays on this thread.
+  BuildLanes(1);
 }
 
 void FeatureCache::BuildLanes(std::size_t num_threads) {

@@ -65,6 +65,18 @@ class FeatureDictionary {
   };
 
   FeatureDictionary() = default;
+  // Overlay over an immutable `base` (which must outlive this object and
+  // never grow while overlaid): AddValue answers from the base when it
+  // already holds the built value, and interns novel strings locally with
+  // ids offset past the base's universe — the base is never mutated. Ids
+  // from base and overlay never collide and id equality still implies
+  // string equality across the union (a locally-interned value exists in
+  // the base at most as an unbuilt token/bigram symbol, which no scorer
+  // ever uses as a value id), so every score stays a pure function of the
+  // strings. The serving engine gives each session such an overlay to
+  // feature novel query values without write-sharing the snapshot
+  // dictionary (DESIGN.md §5i).
+  explicit FeatureDictionary(const FeatureDictionary* base);
   FeatureDictionary(const FeatureDictionary&) = delete;
   FeatureDictionary& operator=(const FeatureDictionary&) = delete;
   FeatureDictionary(FeatureDictionary&&) noexcept = default;
@@ -74,11 +86,22 @@ class FeatureDictionary {
   // value is a single hash lookup (the build-time memo).
   ValueId AddValue(std::string_view value);
 
-  // Features of a value previously returned by AddValue/Absorb.
+  // Features of a value previously returned by AddValue/Absorb (resolved
+  // through the base for overlay dictionaries).
   ValueFeatures Features(ValueId id) const;
 
   // The value string for `id`.
-  std::string_view View(ValueId id) const { return strings_.View(id); }
+  std::string_view View(ValueId id) const {
+    if (base_ != nullptr && id < base_offset_) return base_->View(id);
+    return strings_.View(id - base_offset_);
+  }
+
+  // The bottom of the overlay chain (itself for a root dictionary). Two
+  // caches are scoreable against each other iff their dictionaries share a
+  // root: their ids then live in one consistent universe.
+  const FeatureDictionary& root() const {
+    return base_ != nullptr ? base_->root() : *this;
+  }
 
   // Merges every symbol of `local` into this dictionary and returns the
   // id remap (local id -> id here). Values keep their features (token and
@@ -87,8 +110,9 @@ class FeatureDictionary {
   // together in chunk order.
   std::vector<ValueId> Absorb(const FeatureDictionary& local);
 
-  // Distinct symbols (values + tokens + bigrams).
-  std::size_t num_symbols() const { return strings_.size(); }
+  // Distinct symbols (values + tokens + bigrams), including the base's
+  // for overlay dictionaries.
+  std::size_t num_symbols() const { return base_offset_ + strings_.size(); }
   // Distinct values with built features.
   std::size_t num_values() const { return num_values_; }
   // AddValue calls answered by the build-time memo.
@@ -106,16 +130,30 @@ class FeatureDictionary {
     bool built = false;
   };
 
-  // Grows spans_ to cover `id`.
-  void EnsureSlot(ValueId id);
-  // Tokenizes/bigrams the value behind `id` and records its spans.
-  void BuildFeatures(ValueId id);
+  // Grows spans_ to cover local index `local`.
+  void EnsureSlot(ValueId local);
+  // Tokenizes/bigrams the value at local index `local` and records its
+  // spans.
+  void BuildFeatures(ValueId local);
+  // Resolves `s` to an id in the combined universe: the base's id when it
+  // knows the string (any symbol kind), else a locally-interned offset id.
+  text::TokenId InternSymbol(std::string_view s);
+  // Public id of `s` anywhere in the chain, or util::kInvalidSymbolId.
+  // Read-only: never allocates.
+  ValueId FindSymbol(std::string_view s) const;
+  // Whether public id `id` resolves to a value with built features.
+  bool IsBuiltValue(ValueId id) const;
   // Appends `ids` sorted (and returns the unique count when asked).
   std::uint32_t AppendSorted(const std::vector<text::TokenId>& ids,
                              std::vector<text::TokenId>* pool);
 
+  // Overlay state. For root dictionaries base_ is null and base_offset_ 0,
+  // so local indices equal public ids and every path below is unchanged.
+  const FeatureDictionary* base_ = nullptr;
+  ValueId base_offset_ = 0;  // public id = local index + base_offset_
+
   util::StringInterner strings_;  // values, tokens and bigrams together
-  std::vector<Spans> spans_;      // by symbol id; built only for values
+  std::vector<Spans> spans_;      // by local index; built only for values
   std::vector<text::TokenId> ordered_tokens_;  // per value, occurrence order
   std::vector<text::TokenId> sorted_tokens_;   // same spans, sorted by id
   std::vector<text::TokenId> sorted_bigrams_;  // per value, sorted by id
@@ -141,6 +179,14 @@ class FeatureCache {
                             FeatureDictionary* dict,
                             std::size_t num_threads = 0,
                             obs::MetricsRegistry* metrics = nullptr);
+
+  // Rebuilds this cache in place over exactly one item — the serving
+  // engine's per-query external cache. Serial, and allocation-free at
+  // steady state: the index and lane vectors reuse their capacity and
+  // dict->AddValue of an already-known value is one hash lookup (only a
+  // never-seen value string allocates, in the overlay dictionary).
+  void AssignSingle(const core::Item& item, const ItemMatcher& matcher,
+                    Side side, FeatureDictionary* dict);
 
   // The value ids of item `item` under rule slot `rule` (positional:
   // slot r corresponds to matcher.rules()[r]). Empty when the property is

@@ -203,8 +203,8 @@ double ItemMatcher::ScoreCached(const FeatureCache& external_features,
                                 const FeatureCache& local_features,
                                 std::size_t local_index, ScoreMemo* memo,
                                 std::uint64_t* measures_computed) const {
-  RL_DCHECK(&external_features.dict() == &local_features.dict())
-      << "caches must share one FeatureDictionary";
+  RL_DCHECK(&external_features.dict().root() == &local_features.dict().root())
+      << "caches must share one FeatureDictionary root";
   RL_DCHECK(external_features.num_rules() == rules_.size());
   RL_DCHECK(local_features.num_rules() == rules_.size());
   const FeatureDictionary& dict = external_features.dict();

@@ -1,0 +1,98 @@
+#include "linking/serve_engine.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rulelink::linking {
+
+ServeSnapshot::ServeSnapshot(std::vector<core::Item> catalog,
+                             ItemMatcher matcher, double threshold,
+                             Linker::Strategy strategy,
+                             const blocking::CandidateGenerator& blocker,
+                             std::size_t num_threads,
+                             obs::MetricsRegistry* metrics)
+    : items_(std::move(catalog)),
+      matcher_(std::move(matcher)),
+      threshold_(threshold),
+      strategy_(strategy),
+      local_features_(FeatureCache::Build(items_, matcher_,
+                                          FeatureCache::Side::kLocal, &dict_,
+                                          num_threads, metrics)),
+      index_(blocker.BuildItemIndex(items_)),
+      linker_(&matcher_, threshold, strategy) {
+  RL_CHECK(index_ != nullptr)
+      << "blocker '" << blocker.name()
+      << "' cannot build a probe-by-item index (BuildItemIndex returned "
+         "null); serving needs a key-based or cartesian blocker";
+}
+
+ServeEngine::~ServeEngine() {
+  ServeSnapshot* last = current_.exchange(nullptr, std::memory_order_acq_rel);
+  delete last;
+  // epochs_ destructor drains whatever is still in limbo.
+}
+
+std::uint64_t ServeEngine::Publish(std::unique_ptr<ServeSnapshot> snapshot) {
+  RL_CHECK(snapshot != nullptr);
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  snapshot->generation_ = ++next_generation_;
+  const std::uint64_t generation = snapshot->generation_;
+  // The exchange is the linearization point: a reader's acquire-load sees
+  // either the old snapshot (fully published earlier) or this one (fully
+  // constructed above — release ordering covers its initialization).
+  ServeSnapshot* old =
+      current_.exchange(snapshot.release(), std::memory_order_acq_rel);
+  if (old != nullptr) {
+    epochs_.Retire(
+        old, +[](void* p) { delete static_cast<ServeSnapshot*>(p); });
+  }
+  return generation;
+}
+
+ServeEngine::Session::Session(ServeEngine* engine)
+    : engine_(engine), slot_(engine->epochs_.RegisterReader()) {}
+
+ServeEngine::Session::~Session() {
+  engine_->epochs_.UnregisterReader(slot_);
+}
+
+std::uint64_t ServeEngine::Session::Query(const core::Item& item,
+                                          std::vector<Link>* links,
+                                          std::size_t external_index) {
+  // Pin for the whole query: every pointer read below (snapshot, its
+  // dictionary, caches, index) stays valid until the guard drops, even if
+  // a writer publishes and retires mid-query.
+  const util::EpochDomain::Guard guard(&engine_->epochs_, slot_);
+  const ServeSnapshot* snapshot =
+      engine_->current_.load(std::memory_order_acquire);
+  RL_CHECK(snapshot != nullptr) << "Query before the first Publish";
+
+  if (snapshot->generation() != generation_seen_) {
+    // New generation: value ids renumber, so the overlay universe and the
+    // id-keyed score memo restart. This path may allocate — swaps are rare
+    // and the steady state (same generation) never comes here.
+    generation_seen_ = snapshot->generation();
+    overlay_ = FeatureDictionary(&snapshot->dict());
+    scratch_.InvalidateMemo();
+  }
+
+  query_features_.AssignSingle(item, snapshot->matcher(),
+                               FeatureCache::Side::kExternal, &overlay_);
+  snapshot->index().CandidatesOfItem(item, &key_scratch_, &scratch_.run);
+  staged_links_.clear();
+  snapshot->linker().QueryRun(query_features_, 0, snapshot->local_features(),
+                              &scratch_, &filters_, &measures_computed_,
+                              &pairs_scored_, &staged_links_);
+  // QueryRun stamped the single-item cache's index (0); rewrite to the
+  // caller's query ordinal so served answers compare byte-identically
+  // against a batch run over the full query list.
+  links->clear();
+  for (Link link : staged_links_) {
+    link.external_index = external_index;
+    links->push_back(link);
+  }
+  return generation_seen_;
+}
+
+}  // namespace rulelink::linking

@@ -1,0 +1,181 @@
+// Resident serving engine: lock-free snapshot queries over a live catalog
+// (DESIGN.md §5i).
+//
+// Every pipeline before this one was batch — build caches, stream
+// candidates, exit. ServeEngine keeps an immutable ServeSnapshot (owned
+// catalog + FeatureDictionary + FeatureCache + ItemCandidateIndex +
+// rule set/matcher + filter cascade) resident behind a single atomic
+// pointer, guarded by epoch-based reclamation (util::EpochDomain):
+//
+//   * Readers (Session::Query) pin an epoch, load the snapshot pointer
+//     with one acquire-load, answer entirely from that snapshot, and
+//     unpin. No lock, no reference count, no write to any shared line
+//     except the session's own epoch slot.
+//   * A writer (Publish) installs a rebuilt snapshot with one
+//     release-exchange and retires the old one into the epoch domain; it
+//     is freed only after every pinned reader epoch has advanced past the
+//     swap, so an in-flight query keeps dereferencing the snapshot it
+//     loaded. Queries racing a swap are answered entirely from exactly
+//     one generation — old until the pin that loaded old ends, new after.
+//
+// The per-query path reuses the streaming machinery end to end —
+// ItemCandidateIndex run -> FilterCascade::PruneBatch (SIMD) ->
+// ItemMatcher::ScoreCached — with per-session scratch (QueryScratch, an
+// overlay FeatureDictionary for novel query values, the single-item query
+// FeatureCache, the blocking-key buffer) allocated once and reused, so the
+// steady-state query path performs zero heap allocations (asserted by the
+// serve differential test). Served answers are byte-identical to batch
+// StreamingLinker::Run over the same snapshot.
+#ifndef RULELINK_LINKING_SERVE_ENGINE_H_
+#define RULELINK_LINKING_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "blocking/blocker.h"
+#include "core/item.h"
+#include "linking/feature_cache.h"
+#include "linking/linker.h"
+#include "linking/matcher.h"
+#include "linking/query_scratch.h"
+#include "linking/streaming_linker.h"
+#include "obs/metrics.h"
+#include "util/epoch.h"
+
+namespace rulelink::linking {
+
+// One immutable serving generation. Construction is the expensive batch
+// phase (feature build parallelized like any batch pipeline); after
+// Publish the snapshot is read-only forever and freed by the engine's
+// epoch domain. Not movable: sessions hold interior pointers (dictionary,
+// caches, index) for the engine's lifetime.
+class ServeSnapshot {
+ public:
+  // Takes ownership of `catalog` and a copy of the rule set. `blocker`
+  // must support BuildItemIndex (key-based and cartesian blockers do).
+  // `threshold`/`strategy` have Linker semantics and are part of the
+  // snapshot: a republish can change rules and policy atomically.
+  ServeSnapshot(std::vector<core::Item> catalog, ItemMatcher matcher,
+                double threshold, Linker::Strategy strategy,
+                const blocking::CandidateGenerator& blocker,
+                std::size_t num_threads = 0,
+                obs::MetricsRegistry* metrics = nullptr);
+
+  ServeSnapshot(const ServeSnapshot&) = delete;
+  ServeSnapshot& operator=(const ServeSnapshot&) = delete;
+
+  const std::vector<core::Item>& items() const { return items_; }
+  const ItemMatcher& matcher() const { return matcher_; }
+  const FeatureDictionary& dict() const { return dict_; }
+  const FeatureCache& local_features() const { return local_features_; }
+  const blocking::ItemCandidateIndex& index() const { return *index_; }
+  const StreamingLinker& linker() const { return linker_; }
+  double threshold() const { return threshold_; }
+  Linker::Strategy strategy() const { return strategy_; }
+  // Assigned by ServeEngine::Publish; 0 until published. Monotone across
+  // publishes, so sessions detect swaps by comparing it.
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  friend class ServeEngine;
+
+  std::vector<core::Item> items_;
+  ItemMatcher matcher_;
+  double threshold_;
+  Linker::Strategy strategy_;
+  FeatureDictionary dict_;      // root universe; overlays hang off it
+  FeatureCache local_features_;
+  std::unique_ptr<blocking::ItemCandidateIndex> index_;
+  StreamingLinker linker_;      // borrows matcher_; shares the cascade
+  std::uint64_t generation_ = 0;
+};
+
+class ServeEngine {
+ public:
+  ServeEngine() = default;
+  // Deletes the current snapshot and everything still in limbo. Every
+  // Session must already be destroyed.
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  // Atomically installs `snapshot` as the serving generation (one
+  // release-exchange — readers never wait) and retires the previous one
+  // into the epoch domain. Thread-safe against concurrent Publish calls
+  // and against any number of querying sessions. Returns the generation
+  // assigned (1 for the first publish).
+  std::uint64_t Publish(std::unique_ptr<ServeSnapshot> snapshot);
+
+  // Generation currently being served; 0 before the first Publish.
+  std::uint64_t current_generation() const {
+    const ServeSnapshot* snapshot =
+        current_.load(std::memory_order_acquire);
+    return snapshot == nullptr ? 0 : snapshot->generation();
+  }
+
+  // Frees retired snapshots whose readers have all moved on. Publish does
+  // this opportunistically; benches call it to assert drainage.
+  std::size_t ReclaimRetired() { return epochs_.TryReclaim(); }
+
+  util::EpochStats epoch_stats() const { return epochs_.Stats(); }
+
+  // One worker's query context: an epoch reader slot plus all per-query
+  // scratch, allocated once and reused so steady-state queries are
+  // allocation-free. Sessions are single-threaded (one per worker) and
+  // must not outlive the engine. Any number of sessions query
+  // concurrently with each other and with Publish.
+  class Session {
+   public:
+    explicit Session(ServeEngine* engine);
+    ~Session();
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    // Answers one link query: candidates of `item` from the snapshot's
+    // index, filter cascade, cached scoring, the linker's strategy and
+    // tie-break. Replaces *links with the answer, each link's
+    // external_index stamped with `external_index` (the caller's query
+    // ordinal) so answers compare byte-identically against a batch
+    // StreamingLinker::Run. Returns the generation that answered — the
+    // whole query runs against exactly one snapshot, even mid-swap.
+    std::uint64_t Query(const core::Item& item, std::vector<Link>* links,
+                        std::size_t external_index = 0);
+
+    // Cumulative counters across this session's queries (thread-variant
+    // bookkeeping for benches; the links themselves are deterministic).
+    std::size_t pairs_scored() const { return pairs_scored_; }
+    const FilterStats& filter_stats() const { return filters_; }
+    const QueryScratch& scratch() const { return scratch_; }
+
+   private:
+    ServeEngine* engine_;
+    util::EpochDomain::ReaderSlot* slot_;
+    std::uint64_t generation_seen_ = 0;
+    // Per-generation state: value ids renumber across snapshots, so the
+    // overlay dictionary and the score memo reset on generation change
+    // (the swap path may allocate; the steady state never does).
+    FeatureDictionary overlay_;
+    FeatureCache query_features_;  // single-item cache over overlay_
+    QueryScratch scratch_;
+    std::string key_scratch_;
+    std::vector<Link> staged_links_;
+    FilterStats filters_;
+    std::size_t pairs_scored_ = 0;
+    std::uint64_t measures_computed_ = 0;
+  };
+
+ private:
+  std::atomic<ServeSnapshot*> current_{nullptr};
+  util::EpochDomain epochs_;
+  std::mutex publish_mutex_;        // serializes writers only
+  std::uint64_t next_generation_ = 0;  // guarded by publish_mutex_
+};
+
+}  // namespace rulelink::linking
+
+#endif  // RULELINK_LINKING_SERVE_ENGINE_H_

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "linking/feature_cache.h"
+#include "linking/query_scratch.h"
 #include "util/logging.h"
 #include "util/simd.h"
 #include "util/thread_pool.h"
@@ -20,6 +21,53 @@ StreamingLinker::StreamingLinker(const ItemMatcher* matcher, double threshold,
   RL_CHECK(threshold_ >= 0.0 && threshold_ <= 1.0);
 }
 
+void StreamingLinker::QueryRun(const FeatureCache& external_features,
+                               std::size_t external_index,
+                               const FeatureCache& local_features,
+                               QueryScratch* scratch, FilterStats* filters,
+                               std::uint64_t* measures_computed,
+                               std::size_t* pairs_scored,
+                               std::vector<Link>* links) const {
+  const std::vector<std::size_t>& run = scratch->run;
+  // Same dispatch rule as Run: the batch cascade unless SIMD is "off"
+  // (which keeps the per-pair legacy path reachable as the reference).
+  const bool batch_cascade =
+      util::ActiveSimdMode() != util::SimdMode::kOff;
+  if (batch_cascade && !run.empty()) {
+    cascade_.PruneBatch(external_features, external_index, local_features,
+                        run.data(), run.size(), filters, &scratch->filter);
+  }
+  const bool keep_all = strategy_ == Linker::Strategy::kAllAboveThreshold;
+  Link best;
+  bool best_set = false;
+  for (std::size_t idx = 0; idx < run.size(); ++idx) {
+    const std::size_t l = run[idx];
+    RL_DCHECK(l < local_features.num_items());
+    if (batch_cascade
+            ? scratch->filter.pruned[idx] != 0
+            : cascade_.Prune(external_features, external_index,
+                             local_features, l, filters)) {
+      continue;
+    }
+    const double score =
+        matcher_->ScoreCached(external_features, external_index,
+                              local_features, l, &scratch->memo,
+                              measures_computed);
+    ++*pairs_scored;
+    if (score < threshold_) continue;
+    const Link link{external_index, l, score};
+    if (keep_all) {
+      links->push_back(link);
+    } else if (!best_set || score > best.score) {
+      // Strict >: ties keep the earliest local in run order, matching
+      // Linker's serial tie-break.
+      best = link;
+      best_set = true;
+    }
+  }
+  if (best_set) links->push_back(best);
+}
+
 std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
                                        const FeatureCache& external_features,
                                        const FeatureCache& local_features,
@@ -27,7 +75,7 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
                                        std::size_t num_threads,
                                        ScoreMemoStats* memo_stats,
                                        obs::MetricsRegistry* metrics) const {
-  RL_DCHECK(&external_features.dict() == &local_features.dict());
+  RL_DCHECK(&external_features.dict().root() == &local_features.dict().root());
   RL_CHECK(index.num_external() == external_features.num_items())
       << "candidate index and external feature cache disagree";
   const obs::MetricsRegistry::StageScope stage(metrics, "linking/stream");
@@ -45,12 +93,6 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
     std::uint64_t cascade_batched = 0;    // pairs through PruneBatch lanes
     std::uint64_t cascade_remainder = 0;  // per-pair fallback pairs
   };
-  // The batch cascade runs unless dispatch is off ("off" keeps the
-  // per-pair legacy path reachable: the speedup baseline and the
-  // differential tests' reference). Both paths produce byte-identical
-  // prune decisions and FilterStats (DESIGN.md §5h).
-  const bool batch_cascade =
-      util::ActiveSimdMode() != util::SimdMode::kOff;
   // Run lengths are exactly the skew the morsel scheduler exists for: one
   // hot external with a huge candidate run no longer serializes its whole
   // static chunk. Memo + histogram per slot keeps the hint moderate.
@@ -58,7 +100,6 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
   const std::size_t num_shards =
       util::ParallelSlots(num_threads, num_external, kExternalsPerMorsel);
   std::vector<StreamShard> shards(std::max<std::size_t>(1, num_shards));
-  const bool keep_all = strategy_ == Linker::Strategy::kAllAboveThreshold;
   // Chunks partition external items, not pairs, so every per-external run
   // lives entirely inside one shard: the serial best-per-external logic
   // applies locally and shard outputs concatenate without folding.
@@ -66,49 +107,18 @@ std::vector<Link> StreamingLinker::Run(const blocking::CandidateIndex& index,
       num_threads, num_external,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         StreamShard& shard = shards[chunk];
-        ScoreMemo memo;
-        FilterBatchScratch scratch;     // reused per external item
-        std::vector<std::size_t> run;   // reused per external item
+        QueryScratch scratch;  // every buffer reused per external item
         for (std::size_t e = begin; e < end; ++e) {
-          index.CandidatesOf(e, &run);
-          shard.peak_run = std::max(shard.peak_run, run.size());
-          if (observe) shard.run_lengths.Observe(run.size());
-          if (batch_cascade && !run.empty()) {
-            cascade_.PruneBatch(external_features, e, local_features,
-                                run.data(), run.size(), &shard.filters,
-                                &scratch);
-          }
-          Link best;
-          bool best_set = false;
-          for (std::size_t idx = 0; idx < run.size(); ++idx) {
-            const std::size_t l = run[idx];
-            RL_DCHECK(l < local_features.num_items());
-            if (batch_cascade
-                    ? scratch.pruned[idx] != 0
-                    : cascade_.Prune(external_features, e, local_features,
-                                     l, &shard.filters)) {
-              continue;
-            }
-            const double score =
-                matcher_->ScoreCached(external_features, e, local_features, l,
-                                      &memo, &shard.measures_computed);
-            ++shard.pairs_scored;
-            if (score < threshold_) continue;
-            const Link link{e, l, score};
-            if (keep_all) {
-              shard.links.push_back(link);
-            } else if (!best_set || score > best.score) {
-              // Strict >: ties keep the earliest local in run order,
-              // matching Linker's serial tie-break.
-              best = link;
-              best_set = true;
-            }
-          }
-          if (best_set) shard.links.push_back(best);
+          index.CandidatesOf(e, &scratch.run);
+          shard.peak_run = std::max(shard.peak_run, scratch.run.size());
+          if (observe) shard.run_lengths.Observe(scratch.run.size());
+          QueryRun(external_features, e, local_features, &scratch,
+                   &shard.filters, &shard.measures_computed,
+                   &shard.pairs_scored, &shard.links);
         }
-        shard.memo = memo.stats();
-        shard.cascade_batched = scratch.batched_pairs;
-        shard.cascade_remainder = scratch.remainder_pairs;
+        shard.memo = scratch.memo.stats();
+        shard.cascade_batched = scratch.filter.batched_pairs;
+        shard.cascade_remainder = scratch.filter.remainder_pairs;
       },
       kExternalsPerMorsel);
 

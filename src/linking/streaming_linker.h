@@ -15,6 +15,7 @@
 #include "linking/filters.h"
 #include "linking/linker.h"
 #include "linking/matcher.h"
+#include "linking/query_scratch.h"
 #include "obs/metrics.h"
 
 namespace rulelink::linking {
@@ -54,6 +55,19 @@ class StreamingLinker {
                         std::size_t num_threads = 0,
                         ScoreMemoStats* memo_stats = nullptr,
                         obs::MetricsRegistry* metrics = nullptr) const;
+
+  // The per-external core both Run's workers and the serve engine's
+  // sessions execute: pushes the already-fetched candidate run in
+  // scratch->run through the cascade (batched when SIMD dispatch is on)
+  // and the cached scorer, appending this external's links to *links
+  // under the linker's strategy and tie-break. Allocation-free once
+  // `scratch` and `links` are warm. Thread-safe across callers with
+  // distinct scratches.
+  void QueryRun(const FeatureCache& external_features,
+                std::size_t external_index,
+                const FeatureCache& local_features, QueryScratch* scratch,
+                FilterStats* filters, std::uint64_t* measures_computed,
+                std::size_t* pairs_scored, std::vector<Link>* links) const;
 
  private:
   const ItemMatcher* matcher_;

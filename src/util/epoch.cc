@@ -1,0 +1,118 @@
+#include "util/epoch.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace rulelink::util {
+
+namespace {
+constexpr std::uint64_t kNoPin = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+EpochDomain::~EpochDomain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Limbo& entry : limbo_) entry.deleter(entry.object);
+  reclaimed_ += limbo_.size();
+  limbo_.clear();
+  for (ReaderSlot* slot : slots_) {
+    RL_DCHECK(!slot->in_use.load(std::memory_order_acquire))
+        << "EpochDomain destroyed with a registered reader";
+    delete slot;
+  }
+}
+
+EpochDomain::ReaderSlot* EpochDomain::RegisterReader() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (ReaderSlot* slot : slots_) {
+    if (!slot->in_use.load(std::memory_order_relaxed)) {
+      // Fold the previous owner's counters into the domain before reuse
+      // so Stats() stays monotone across reader churn.
+      drained_pins_ += slot->pins;
+      drained_pin_retries_ += slot->pin_retries;
+      slot->pins = 0;
+      slot->pin_retries = 0;
+      slot->in_use.store(true, std::memory_order_release);
+      return slot;
+    }
+  }
+  ReaderSlot* slot = new ReaderSlot();
+  slot->in_use.store(true, std::memory_order_release);
+  slots_.push_back(slot);
+  return slot;
+}
+
+void EpochDomain::UnregisterReader(ReaderSlot* slot) {
+  RL_DCHECK(slot->pinned_epoch.load(std::memory_order_acquire) == 0)
+      << "reader unregistered while pinned";
+  slot->in_use.store(false, std::memory_order_release);
+}
+
+void EpochDomain::Retire(void* object, void (*deleter)(void*)) {
+  // Advance the epoch first (seq_cst RMW): every reader that pinned the
+  // pre-advance epoch and could still hold the just-unlinked pointer now
+  // shows a pin < r, which keeps the entry in limbo below.
+  const std::uint64_t r = epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  limbo_.push_back(Limbo{object, deleter, r});
+  ++retired_;
+  ReclaimLocked(MinActivePin());
+}
+
+std::size_t EpochDomain::TryReclaim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ReclaimLocked(MinActivePin());
+}
+
+std::uint64_t EpochDomain::MinActivePin() const {
+  std::uint64_t min_pin = kNoPin;
+  for (const ReaderSlot* slot : slots_) {
+    // Scan every slot, registered or not: an unregistering reader stores
+    // quiescent before in_use=false, so a stale in_use read can only make
+    // the bound more conservative, never unsafe.
+    const std::uint64_t pinned =
+        slot->pinned_epoch.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned < min_pin) min_pin = pinned;
+  }
+  return min_pin;
+}
+
+std::size_t EpochDomain::ReclaimLocked(std::uint64_t min_pin) {
+  // An entry retired at epoch r is reachable only by readers pinned at
+  // some e < r; free it once no active pin is < r, i.e. min_pin >= r.
+  std::size_t freed = 0;
+  std::size_t kept = 0;
+  for (Limbo& entry : limbo_) {
+    if (min_pin >= entry.retire_epoch) {
+      entry.deleter(entry.object);
+      ++freed;
+    } else {
+      limbo_[kept++] = entry;
+    }
+  }
+  limbo_.resize(kept);
+  reclaimed_ += freed;
+  return freed;
+}
+
+EpochStats EpochDomain::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EpochStats stats;
+  stats.epoch = epoch_.load(std::memory_order_acquire);
+  stats.pins = drained_pins_;
+  stats.pin_retries = drained_pin_retries_;
+  for (const ReaderSlot* slot : slots_) {
+    // Owner-written counters; racy reads are fine for observability and
+    // exact once readers are unregistered (bench reads them after join).
+    stats.pins += slot->pins;
+    stats.pin_retries += slot->pin_retries;
+    if (slot->in_use.load(std::memory_order_acquire)) ++stats.readers;
+  }
+  stats.reader_blocks = 0;  // no blocking reader path exists
+  stats.retired = retired_;
+  stats.reclaimed = reclaimed_;
+  stats.limbo = limbo_.size();
+  return stats;
+}
+
+}  // namespace rulelink::util

@@ -1,0 +1,149 @@
+// Epoch-based memory reclamation for read-mostly shared structures
+// (DESIGN.md §5i). The serving engine publishes immutable snapshots with
+// one release-store; readers pin the current epoch, load the snapshot
+// pointer with one acquire-load, and never take a lock or touch a
+// reference count. A retired snapshot is freed only once every pinned
+// reader epoch has advanced past its retirement epoch, so a reader can
+// keep dereferencing the snapshot it loaded for as long as its pin lasts.
+//
+// Protocol:
+//   * The domain keeps a monotonically increasing global epoch E (>= 1; 0
+//     is the quiescent sentinel).
+//   * Reader pin: store E into the reader's slot, then re-read E and retry
+//     if it moved (the store is seq_cst, so once the re-read confirms the
+//     value, every later writer observes the pin before advancing past
+//     it). Unpin: store the quiescent sentinel with release.
+//   * Writer retire: after unlinking an object (e.g. swapping the snapshot
+//     pointer), advance E to r and tag the object with r. Any reader still
+//     holding the unlinked object pinned some epoch e < r before loading
+//     the pointer — its load preceded the swap, the swap preceded the
+//     advance — so the object stays in the limbo list while any active pin
+//     is < r.
+//   * Reclaim: free every limbo entry whose tag is <= the minimum over the
+//     active pins (quiescent slots do not constrain). Runs on the writer
+//     side only (Retire/TryReclaim/destructor); readers never block and
+//     never free.
+//
+// Readers are wait-free apart from the bounded pin-confirm loop, which
+// retries only when a writer advanced the epoch in the handful of
+// instructions between the two loads; `EpochStats::pin_retries` counts
+// those, and `reader_blocks` — waits on any writer-held resource — is
+// structurally zero (there is no code path that could increment it; the
+// counter exists so the serving bench can assert the property per run).
+#ifndef RULELINK_UTIL_EPOCH_H_
+#define RULELINK_UTIL_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace rulelink::util {
+
+// Observability snapshot of one domain; thread-variant (depends on
+// scheduling), reported by the serving engine's stats only.
+struct EpochStats {
+  std::uint64_t epoch = 0;           // current global epoch
+  std::uint64_t pins = 0;            // critical sections entered
+  std::uint64_t pin_retries = 0;     // pin-confirm loops that re-read E
+  std::uint64_t reader_blocks = 0;   // reader waits; structurally zero
+  std::uint64_t retired = 0;         // objects handed to Retire()
+  std::uint64_t reclaimed = 0;       // objects actually freed
+  std::size_t limbo = 0;             // retired, not yet reclaimable
+  std::size_t readers = 0;           // registered reader slots
+};
+
+class EpochDomain {
+ public:
+  EpochDomain() = default;
+  // Frees everything still in limbo. No reader may be registered or
+  // pinned; the owner tears readers down first.
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // One reader's pin slot, cache-line sized so concurrent readers never
+  // share a line. Obtained via RegisterReader; returned via
+  // UnregisterReader when the reader retires.
+  struct alignas(64) ReaderSlot {
+    std::atomic<std::uint64_t> pinned_epoch{0};  // 0 = quiescent
+    std::atomic<bool> in_use{false};
+    std::uint64_t pins = 0;         // owner-written, read under slot reuse
+    std::uint64_t pin_retries = 0;  // "
+  };
+
+  // Registers the calling reader, reusing a retired slot when one exists.
+  // Takes the domain mutex — do this once per worker, not per operation.
+  ReaderSlot* RegisterReader();
+  void UnregisterReader(ReaderSlot* slot);
+
+  // RAII pinned critical section. While alive, any object retired after
+  // the pin stays allocated; objects loaded inside the section stay valid
+  // until destruction.
+  class Guard {
+   public:
+    Guard(EpochDomain* domain, ReaderSlot* slot) : slot_(slot) {
+      std::uint64_t e = domain->epoch_.load(std::memory_order_acquire);
+      for (;;) {
+        // seq_cst store: totally ordered against the writer's seq_cst
+        // epoch advance, so a writer that advances to e+1 after this
+        // store must observe the pin when it scans the slots.
+        slot_->pinned_epoch.store(e, std::memory_order_seq_cst);
+        const std::uint64_t confirm =
+            domain->epoch_.load(std::memory_order_seq_cst);
+        if (confirm == e) break;
+        e = confirm;
+        ++slot_->pin_retries;
+      }
+      ++slot_->pins;
+    }
+    ~Guard() {
+      slot_->pinned_epoch.store(0, std::memory_order_release);
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    ReaderSlot* slot_;
+  };
+
+  // Writer side: advances the epoch and parks `object` in the limbo list;
+  // `deleter(object)` runs once no reader pin can precede the advance.
+  // Also opportunistically reclaims whatever became safe. Serialized
+  // internally (writers are rare; readers never enter here).
+  void Retire(void* object, void (*deleter)(void*));
+
+  // Frees every limbo entry whose retirement epoch all active pins have
+  // passed. Returns the number reclaimed.
+  std::size_t TryReclaim();
+
+  EpochStats Stats() const;
+
+ private:
+  // Minimum epoch pinned by any registered reader; ~0 when all quiescent.
+  std::uint64_t MinActivePin() const;
+  std::size_t ReclaimLocked(std::uint64_t min_pin);
+
+  std::atomic<std::uint64_t> epoch_{1};
+
+  mutable std::mutex mutex_;  // guards slots_/limbo_ and the counters below
+  // Slot storage: pointers are stable (nodes heap-allocated once, reused
+  // via in_use) so readers touch their slot without the mutex.
+  std::vector<ReaderSlot*> slots_;
+  struct Limbo {
+    void* object;
+    void (*deleter)(void*);
+    std::uint64_t retire_epoch;
+  };
+  std::vector<Limbo> limbo_;
+  std::uint64_t retired_ = 0;
+  std::uint64_t reclaimed_ = 0;
+  std::uint64_t drained_pins_ = 0;         // from unregistered slots
+  std::uint64_t drained_pin_retries_ = 0;  // "
+};
+
+}  // namespace rulelink::util
+
+#endif  // RULELINK_UTIL_EPOCH_H_

@@ -1,0 +1,121 @@
+#include "util/perf_counters.h"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define RULELINK_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#else
+#define RULELINK_HAVE_PERF_EVENT 0
+#endif
+
+#include <atomic>
+
+namespace rulelink::util {
+
+#if RULELINK_HAVE_PERF_EVENT
+
+namespace {
+
+long PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+int OpenCounter(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // leader starts disabled
+  attr.exclude_kernel = 1;                 // lowest paranoid requirement
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  attr.inherit = 0;  // this thread only — per-worker attribution
+  return static_cast<int>(
+      PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, group_fd, 0));
+}
+
+}  // namespace
+
+std::unique_ptr<ThreadPerfCounters> ThreadPerfCounters::OpenForCurrentThread() {
+  const int leader =
+      OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (leader < 0) return nullptr;
+  const int instructions =
+      OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, leader);
+  const int llc =
+      OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, leader);
+  if (instructions < 0 || llc < 0) {
+    // All-or-nothing: a partial group would skew derived ratios (IPC,
+    // misses/instruction) without signalling why.
+    if (instructions >= 0) close(instructions);
+    if (llc >= 0) close(llc);
+    close(leader);
+    return nullptr;
+  }
+  ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  auto counters = std::unique_ptr<ThreadPerfCounters>(new ThreadPerfCounters());
+  counters->leader_fd_ = leader;
+  counters->instructions_fd_ = instructions;
+  counters->llc_fd_ = llc;
+  return counters;
+}
+
+ThreadPerfCounters::~ThreadPerfCounters() {
+  if (leader_fd_ >= 0) {
+    ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    close(llc_fd_);
+    close(instructions_fd_);
+    close(leader_fd_);
+  }
+}
+
+HwCounterSample ThreadPerfCounters::Read() const {
+  HwCounterSample sample;
+  if (leader_fd_ < 0) return sample;
+  // PERF_FORMAT_GROUP layout: { nr, values[nr] } in creation order.
+  struct {
+    std::uint64_t nr;
+    std::uint64_t values[3];
+  } data;
+  const ssize_t got = read(leader_fd_, &data, sizeof(data));
+  if (got < static_cast<ssize_t>(sizeof(std::uint64_t) * 4) || data.nr != 3) {
+    return sample;
+  }
+  sample.valid = true;
+  sample.cycles = data.values[0];
+  sample.instructions = data.values[1];
+  sample.llc_misses = data.values[2];
+  return sample;
+}
+
+bool ThreadPerfCounters::Available() {
+  // Probe once: open (and immediately drop) a group on the calling thread.
+  static const bool available = [] {
+    auto probe = OpenForCurrentThread();
+    return probe != nullptr;
+  }();
+  return available;
+}
+
+#else  // !RULELINK_HAVE_PERF_EVENT
+
+std::unique_ptr<ThreadPerfCounters> ThreadPerfCounters::OpenForCurrentThread() {
+  return nullptr;
+}
+
+ThreadPerfCounters::~ThreadPerfCounters() = default;
+
+HwCounterSample ThreadPerfCounters::Read() const { return HwCounterSample{}; }
+
+bool ThreadPerfCounters::Available() { return false; }
+
+#endif  // RULELINK_HAVE_PERF_EVENT
+
+}  // namespace rulelink::util

@@ -1,0 +1,81 @@
+// Per-thread hardware performance counters (cycles, instructions,
+// last-level-cache misses) via Linux perf_event_open, for the scheduler's
+// thread-variant observability section. The counters answer the question
+// scaling sweeps keep raising: is a regression memory-bound (LLC misses
+// grow with threads) or compute-bound (instructions/cycle stays flat)?
+//
+// Availability is probed once per process: perf_event_open may be absent
+// (non-Linux), compiled out (no <linux/perf_event.h>), or denied
+// (perf_event_paranoid, seccomp — common in containers). All callers must
+// handle `nullptr` / `valid == false`; every consumer degrades to the
+// software counters silently.
+#ifndef RULELINK_UTIL_PERF_COUNTERS_H_
+#define RULELINK_UTIL_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace rulelink::util {
+
+// One snapshot of a thread's counter group. Counters are cumulative since
+// the group was opened; consumers report deltas.
+struct HwCounterSample {
+  bool valid = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+
+  HwCounterSample Minus(const HwCounterSample& earlier) const {
+    HwCounterSample delta;
+    delta.valid = valid && earlier.valid;
+    if (delta.valid) {
+      delta.cycles = cycles - earlier.cycles;
+      delta.instructions = instructions - earlier.instructions;
+      delta.llc_misses = llc_misses - earlier.llc_misses;
+    }
+    return delta;
+  }
+  void Add(const HwCounterSample& other) {
+    if (!other.valid) return;
+    valid = true;
+    cycles += other.cycles;
+    instructions += other.instructions;
+    llc_misses += other.llc_misses;
+  }
+};
+
+// A grouped counter set bound to the opening thread (cycles is the group
+// leader so all three are scheduled onto the PMU together and stay
+// mutually consistent). The fds can be read from any thread — the
+// scheduler's stats snapshotter reads every worker's group without
+// stopping the workers.
+class ThreadPerfCounters {
+ public:
+  // Opens the group for the calling thread. Returns nullptr when the
+  // kernel interface is unavailable or denied (callers fall back to
+  // software counters).
+  static std::unique_ptr<ThreadPerfCounters> OpenForCurrentThread();
+
+  // True if a probe open on this process succeeded once. Cheap after the
+  // first call; used to gate JSON sections so absent hardware counters
+  // don't render as zeros.
+  static bool Available();
+
+  ~ThreadPerfCounters();
+  ThreadPerfCounters(const ThreadPerfCounters&) = delete;
+  ThreadPerfCounters& operator=(const ThreadPerfCounters&) = delete;
+
+  // Reads the group (one read(2) on the leader). Thread-safe. Returns an
+  // invalid sample if the read fails.
+  HwCounterSample Read() const;
+
+ private:
+  ThreadPerfCounters() = default;
+  int leader_fd_ = -1;       // cycles
+  int instructions_fd_ = -1;
+  int llc_fd_ = -1;
+};
+
+}  // namespace rulelink::util
+
+#endif  // RULELINK_UTIL_PERF_COUNTERS_H_

@@ -66,6 +66,7 @@ SchedulerTotals SchedulerTotals::Minus(const SchedulerTotals& earlier) const {
   delta.steals = steals - earlier.steals;
   delta.steal_failures = steal_failures - earlier.steal_failures;
   delta.busy_micros = busy_micros - earlier.busy_micros;
+  delta.hw = hw.Minus(earlier.hw);
   return delta;
 }
 
@@ -77,6 +78,7 @@ SchedulerTotals SchedulerStats::Totals() const {
     totals.steals += w.steals;
     totals.steal_failures += w.steal_failures;
     totals.busy_micros += w.busy_micros;
+    totals.hw.Add(w.hw);
   };
   add(external);
   for (const SchedulerWorkerStats& w : per_worker) add(w);
@@ -175,7 +177,8 @@ ThreadPool::ThreadPool(std::size_t num_workers, bool pin_threads)
     : capacity_(std::max<std::size_t>(1, num_workers)),
       pin_(pin_threads),
       dynamic_pin_(false),
-      worker_stats_(new AtomicWorkerStatsRow[capacity_]) {
+      worker_stats_(new AtomicWorkerStatsRow[capacity_]),
+      hw_counters_(new std::atomic<ThreadPerfCounters*>[capacity_]()) {
   std::lock_guard<std::mutex> lock(mutex_);
   while (workers_.size() < capacity_) SpawnWorkerLocked();
 }
@@ -184,7 +187,8 @@ ThreadPool::ThreadPool(GlobalTag)
     : capacity_(kMaxParallelWorkers - 1),  // plus the participating caller
       pin_(false),
       dynamic_pin_(true),  // honour SetThreadPinning at spawn time
-      worker_stats_(new AtomicWorkerStatsRow[capacity_]) {}
+      worker_stats_(new AtomicWorkerStatsRow[capacity_]),
+      hw_counters_(new std::atomic<ThreadPerfCounters*>[capacity_]()) {}
 
 ThreadPool::~ThreadPool() {
   {
@@ -193,6 +197,9 @@ ThreadPool::~ThreadPool() {
   }
   task_ready_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    delete hw_counters_[i].load(std::memory_order_acquire);
+  }
 }
 
 ThreadPool& ThreadPool::Global() {
@@ -411,13 +418,26 @@ SchedulerStats ThreadPool::Stats() const {
   stats.external = read(external_stats_);
   stats.per_worker.reserve(stats.workers);
   for (std::size_t i = 0; i < stats.workers; ++i) {
-    stats.per_worker.push_back(read(worker_stats_[i]));
+    SchedulerWorkerStats w = read(worker_stats_[i]);
+    // perf_event fds can be read from any thread; the group is bound to
+    // the worker, so this samples its live counters without stopping it.
+    const ThreadPerfCounters* counters =
+        hw_counters_[i].load(std::memory_order_acquire);
+    if (counters != nullptr) w.hw = counters->Read();
+    stats.per_worker.push_back(w);
   }
   return stats;
 }
 
 void ThreadPool::WorkerLoop(std::size_t worker_index) {
   tls_worker_stats = &worker_stats_[worker_index];
+  // Open this worker's hardware counter group on its own thread (the
+  // events are thread-bound). Null when unavailable (gated by
+  // perf_event_paranoid / seccomp); freed by the pool destructor after
+  // the join so Stats() never races a teardown.
+  hw_counters_[worker_index].store(
+      ThreadPerfCounters::OpenForCurrentThread().release(),
+      std::memory_order_release);
   for (;;) {
     std::function<void()> task;
     {

@@ -51,6 +51,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/perf_counters.h"
+
 namespace rulelink::util {
 
 // Hard ceiling on execution contexts; far above any sane request, it only
@@ -80,6 +82,11 @@ struct SchedulerWorkerStats {
   std::uint64_t steals = 0;          // successful steals
   std::uint64_t steal_failures = 0;  // full victim scans that found nothing
   std::uint64_t busy_micros = 0;     // wall time spent inside morsel bodies
+  // Hardware counters for the worker's thread (cycles, instructions, LLC
+  // misses), read live from its perf_event group; invalid when
+  // perf_event_open is unavailable or the row is the external
+  // (non-pool-thread) aggregate.
+  HwCounterSample hw;
 };
 
 // Aggregate totals, subtractable so benches can report per-measurement
@@ -90,6 +97,7 @@ struct SchedulerTotals {
   std::uint64_t steals = 0;
   std::uint64_t steal_failures = 0;
   std::uint64_t busy_micros = 0;
+  HwCounterSample hw;  // summed over workers with live counter groups
 
   SchedulerTotals Minus(const SchedulerTotals& earlier) const;
 };
@@ -242,7 +250,11 @@ class ThreadPool {
 
   // Observability. Fixed-capacity so worker rows never move.
   // external_stats_ aggregates participation by non-pool caller threads.
+  // hw_counters_[i] is published by worker i at startup (null when
+  // perf_event_open is unavailable) and freed by the destructor after the
+  // joins, so Stats() can read a live worker's group at any time.
   std::unique_ptr<AtomicWorkerStatsRow[]> worker_stats_;
+  std::unique_ptr<std::atomic<ThreadPerfCounters*>[]> hw_counters_;
   AtomicWorkerStatsRow external_stats_;
   std::atomic<std::uint64_t> loops_{0};
   std::atomic<std::int64_t> first_spawn_micros_{-1};  // steady-clock stamp

@@ -1,0 +1,321 @@
+// linking::ServeEngine acceptance tests (DESIGN.md §5i):
+//
+//   * Differential: answers served query-at-a-time through Sessions are
+//     byte-identical to batch StreamingLinker::Run over the same catalog
+//     and query stream — both strategies, client counts {1, 2, 8}, two
+//     workload seeds. The batch reference itself is checked identical at
+//     thread counts {1, 2, 8} first.
+//   * Allocation-free steady state: a global operator-new counter proves
+//     a warmed session serves the whole stream again without a single
+//     heap allocation.
+//   * Swap stress (the TSan target): clients keep querying while a writer
+//     alternates snapshots of two different catalogs. Every answer must
+//     match the expected links of exactly the generation that served it —
+//     a query that mixed two generations would produce links matching
+//     neither — readers must never block, and every retired snapshot must
+//     be reclaimed once the clients drain.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/standard_blocking.h"
+#include "datagen/key_chooser.h"
+#include "datagen/workload.h"
+#include "linking/feature_cache.h"
+#include "linking/linker.h"
+#include "linking/matcher.h"
+#include "linking/serve_engine.h"
+#include "linking/streaming_linker.h"
+#include "util/logging.h"
+
+// Global operator-new replacement counting every heap allocation in the
+// process. The steady-state test reads the counter around a window where
+// only the test thread runs, so the delta is exact.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// Every variant must be replaced together: if, say, the nothrow form fell
+// through to the default allocator (which std::stable_sort's temporary
+// buffer uses), the matching free-based delete below would mismatch it —
+// ASan's alloc-dealloc checker rightly aborts on that.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return ::operator new(size, std::nothrow);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace rulelink {
+namespace {
+
+constexpr double kThreshold = 0.6;
+
+std::vector<linking::AttributeRule> ServeRules() {
+  return {
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kLevenshtein, 3.0},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kDiceBigram, 1.5},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kExact, 1.0},
+      {datagen::props::kPartNumber, datagen::props::kPartNumber,
+       linking::SimilarityMeasure::kJaccardTokens, 0.5},
+      {datagen::props::kManufacturer, datagen::props::kManufacturer,
+       linking::SimilarityMeasure::kMongeElkan, 0.5},
+  };
+}
+
+struct Workload {
+  std::vector<core::Item> catalog;
+  std::vector<core::Item> queries;
+};
+
+Workload MakeWorkload(std::uint64_t seed, std::size_t catalog_size,
+                      std::size_t num_queries) {
+  Workload w;
+  datagen::WorkloadConfig catalog_config;
+  catalog_config.seed = seed;
+  catalog_config.catalog_size = catalog_size;
+  auto catalog = datagen::GenerateWorkloadCatalog(catalog_config);
+  RL_CHECK(catalog.ok()) << catalog.status();
+
+  datagen::QueryStreamConfig query_config;
+  query_config.seed = seed + 1;
+  query_config.num_queries = num_queries;
+  query_config.chooser.distribution = datagen::Distribution::kZipfian;
+  query_config.typo_prob = 0.08;
+  query_config.truncate_prob = 0.05;
+  auto stream = datagen::GenerateQueryStream(catalog.value(), query_config);
+  RL_CHECK(stream.ok()) << stream.status();
+  w.queries = std::move(stream).value().queries;
+  w.catalog = std::move(catalog).value().items;
+  return w;
+}
+
+// Batch reference, scattered per query. Asserts the batch run itself is
+// identical at thread counts {1, 2, 8} along the way.
+std::vector<std::vector<linking::Link>> BatchReference(
+    const std::vector<core::Item>& catalog,
+    const std::vector<core::Item>& queries, linking::Linker::Strategy
+        strategy) {
+  const linking::ItemMatcher matcher{ServeRules()};
+  linking::FeatureDictionary dict;
+  const auto external = linking::FeatureCache::Build(
+      queries, matcher, linking::FeatureCache::Side::kExternal, &dict);
+  const auto local = linking::FeatureCache::Build(
+      catalog, matcher, linking::FeatureCache::Side::kLocal, &dict);
+  const blocking::StandardBlocker blocker(datagen::props::kPartNumber, 4);
+  const auto index = blocker.BuildIndex(queries, catalog);
+  const linking::StreamingLinker streaming(&matcher, kThreshold, strategy);
+  const auto links = streaming.Run(*index, external, local, nullptr, 1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto again =
+        streaming.Run(*index, external, local, nullptr, threads);
+    EXPECT_EQ(again.size(), links.size());
+    for (std::size_t i = 0; i < links.size() && i < again.size(); ++i) {
+      EXPECT_EQ(again[i].external_index, links[i].external_index);
+      EXPECT_EQ(again[i].local_index, links[i].local_index);
+      EXPECT_EQ(again[i].score, links[i].score);
+    }
+  }
+  std::vector<std::vector<linking::Link>> expected(queries.size());
+  for (const linking::Link& link : links) {
+    expected[link.external_index].push_back(link);
+  }
+  return expected;
+}
+
+std::unique_ptr<linking::ServeSnapshot> MakeSnapshot(
+    const std::vector<core::Item>& catalog,
+    linking::Linker::Strategy strategy) {
+  const blocking::StandardBlocker blocker(datagen::props::kPartNumber, 4);
+  return std::make_unique<linking::ServeSnapshot>(
+      catalog, linking::ItemMatcher{ServeRules()}, kThreshold, strategy,
+      blocker);
+}
+
+bool SameLinks(const std::vector<linking::Link>& a,
+               const std::vector<linking::Link>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].external_index != b[i].external_index ||
+        a[i].local_index != b[i].local_index || a[i].score != b[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ServeEngineTest, ServedAnswersMatchBatchRun) {
+  for (const std::uint64_t seed : {42u, 1337u}) {
+    const Workload w = MakeWorkload(seed, 3000, 600);
+    for (const linking::Linker::Strategy strategy :
+         {linking::Linker::Strategy::kBestPerExternal,
+          linking::Linker::Strategy::kAllAboveThreshold}) {
+      const auto expected = BatchReference(w.catalog, w.queries, strategy);
+      linking::ServeEngine engine;
+      engine.Publish(MakeSnapshot(w.catalog, strategy));
+      for (const std::size_t clients :
+           {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        std::vector<std::vector<linking::Link>> answers(w.queries.size());
+        std::atomic<std::size_t> ticket{0};
+        auto client = [&] {
+          linking::ServeEngine::Session session(&engine);
+          std::size_t q;
+          while ((q = ticket.fetch_add(1, std::memory_order_relaxed)) <
+                 w.queries.size()) {
+            const std::uint64_t generation =
+                session.Query(w.queries[q], &answers[q], q);
+            EXPECT_EQ(generation, 1u);
+          }
+        };
+        if (clients == 1) {
+          client();
+        } else {
+          std::vector<std::thread> workers;
+          for (std::size_t c = 0; c < clients; ++c) {
+            workers.emplace_back(client);
+          }
+          for (std::thread& worker : workers) worker.join();
+        }
+        std::size_t mismatches = 0;
+        for (std::size_t q = 0; q < w.queries.size(); ++q) {
+          if (!SameLinks(answers[q], expected[q])) ++mismatches;
+        }
+        EXPECT_EQ(mismatches, 0u)
+            << "seed " << seed << ", clients " << clients;
+      }
+    }
+  }
+}
+
+TEST(ServeEngineTest, SteadyStateQueriesAreAllocationFree) {
+  const Workload w = MakeWorkload(42, 2000, 400);
+  linking::ServeEngine engine;
+  engine.Publish(
+      MakeSnapshot(w.catalog, linking::Linker::Strategy::kBestPerExternal));
+  linking::ServeEngine::Session session(&engine);
+  std::vector<linking::Link> answer;
+  // Warm pass: grows every per-session buffer to its high-water mark and
+  // fills the overlay dictionary and score memo.
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    session.Query(w.queries[q], &answer, q);
+  }
+  // Steady state: the same stream again must not allocate at all.
+  const std::uint64_t before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    session.Query(w.queries[q], &answer, q);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state query path allocated " << (after - before)
+      << " times over " << w.queries.size() << " queries";
+}
+
+TEST(ServeEngineTest, ConcurrentQueriesRacingSwaps) {
+  // Two distinct catalogs alternate across generations; the queries come
+  // from catalog A. An answer must match the reference of exactly the
+  // generation that served it.
+  const Workload a = MakeWorkload(42, 2000, 400);
+  const Workload b = MakeWorkload(99, 2000, 1);
+  const auto strategy = linking::Linker::Strategy::kBestPerExternal;
+  const auto expected_a = BatchReference(a.catalog, a.queries, strategy);
+  const auto expected_b = BatchReference(b.catalog, a.queries, strategy);
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::uint64_t kSwaps = 6;
+  linking::ServeEngine engine;
+  engine.Publish(MakeSnapshot(a.catalog, strategy));  // generation 1 = A
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> served{0};
+
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      linking::ServeEngine::Session session(&engine);
+      std::vector<linking::Link> answer;
+      std::uint64_t bad = 0, count = 0;
+      while (true) {
+        const bool final_pass = done.load(std::memory_order_acquire);
+        for (std::size_t q = c; q < a.queries.size(); q += kClients) {
+          const std::uint64_t generation =
+              session.Query(a.queries[q], &answer, q);
+          // Odd generations serve catalog A, even ones catalog B. A torn
+          // query (candidates from one snapshot, scores or catalog from
+          // another) would match neither reference.
+          const auto& expected =
+              generation % 2 == 1 ? expected_a[q] : expected_b[q];
+          if (!SameLinks(answer, expected)) ++bad;
+          ++count;
+        }
+        if (final_pass) break;
+      }
+      mismatches.fetch_add(bad, std::memory_order_relaxed);
+      served.fetch_add(count, std::memory_order_relaxed);
+    });
+  }
+  for (std::uint64_t s = 0; s < kSwaps; ++s) {
+    engine.Publish(
+        MakeSnapshot(s % 2 == 0 ? b.catalog : a.catalog, strategy));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(served.load(), 0u);
+  engine.ReclaimRetired();
+  const util::EpochStats epochs = engine.epoch_stats();
+  EXPECT_EQ(epochs.retired, kSwaps);
+  EXPECT_EQ(epochs.reclaimed, kSwaps);
+  EXPECT_EQ(epochs.limbo, 0u);
+  EXPECT_EQ(epochs.reader_blocks, 0u);
+  EXPECT_EQ(engine.current_generation(), kSwaps + 1);
+}
+
+}  // namespace
+}  // namespace rulelink

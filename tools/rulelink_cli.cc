@@ -8,14 +8,26 @@
 //                     [--min-confidence 0.4] [--candidates]
 //   rulelink evaluate --local cat.ttl --external prov.nt --links ts.nt
 //                     [--threshold 0.002] [--property IRI]...
+//   rulelink serve    --local cat.nt (--external prov.nt |
+//                      --external-csv prov.csv --id-column sku)
+//                     [--key-property IRI] [--key-prefix 5]
+//                     [--property IRI]... [--threshold 0.75] [--all]
+//                     [--clients N]
+//
+// serve keeps the local catalog resident in a linking::ServeEngine
+// snapshot and answers each external item as a point query over it —
+// lock-free reads under epoch reclamation, same links as a batch run.
 //
 // Local files ending in .ttl are parsed as Turtle, everything else as
 // N-Triples. The local file must contain the ontology (owl:Class /
 // rdfs:subClassOf) and the typed catalog instances.
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/classifier.h"
@@ -29,6 +41,7 @@
 #include "eval/table1.h"
 #include "io/item_loader.h"
 #include "linking/dedup.h"
+#include "linking/serve_engine.h"
 #include "obs/metrics.h"
 #include "ontology/instance_index.h"
 #include "rdf/ntriples.h"
@@ -50,7 +63,8 @@ struct Args {
 
 void PrintUsage() {
   std::cerr <<
-      "usage: rulelink <learn|classify|evaluate|query> [options]\n"
+      "usage: rulelink <learn|classify|evaluate|query|dedup|serve>"
+      " [options]\n"
       "  learn     --local F --external F --links F --out F\n"
       "            [--threshold 0.002] [--property IRI]... [--threads N]\n"
       "  classify  --local F --rules F (--external F | --external-csv F\n"
@@ -61,6 +75,10 @@ void PrintUsage() {
       "  query     --data F --sparql 'SELECT ... WHERE { ... }'\n"
       "  dedup     (--external F | --external-csv F --id-column NAME)\n"
       "            [--key-property IRI] [--similarity 0.95]\n"
+      "  serve     --local F (--external F | --external-csv F\n"
+      "            --id-column NAME) [--key-property IRI] [--key-prefix 5]\n"
+      "            [--property IRI]... [--threshold 0.75] [--all]\n"
+      "            [--clients N]\n"
       "--threads N uses N workers (0 = hardware concurrency, 1 = serial);\n"
       "results are identical at every thread count.\n"
       "--pin-threads (any command; or RULELINK_PIN_THREADS=1) pins pool\n"
@@ -76,7 +94,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::string flag = argv[i];
     if (flag.rfind("--", 0) != 0) return false;
     flag = flag.substr(2);
-    if (flag == "candidates" || flag == "pin-threads") {
+    if (flag == "candidates" || flag == "pin-threads" || flag == "all") {
       args->options[flag] = "true";
       continue;
     }
@@ -383,6 +401,115 @@ int RunDedup(const Args& args, rulelink::obs::MetricsRegistry* metrics) {
   return 0;
 }
 
+int RunServe(const Args& args, rulelink::obs::MetricsRegistry* metrics) {
+  namespace linking = rulelink::linking;
+  rulelink::rdf::Graph local_graph;
+  if (auto s = LoadRdf(Opt(args, "local"), &local_graph); !s.ok()) {
+    std::cerr << "local: " << s << "\n";
+    return 1;
+  }
+  std::vector<rulelink::core::Item> locals = ItemsFromGraph(local_graph);
+  std::vector<rulelink::core::Item> queries;
+  if (auto s = LoadExternalItems(args, &queries); !s.ok()) {
+    std::cerr << "external: " << s << "\n";
+    return 1;
+  }
+
+  std::string key = Opt(args, "key-property");
+  if (key.empty()) {
+    key = rulelink::blocking::BestKeyProperty(locals);
+    if (key.empty()) {
+      std::cerr << "no property to block on\n";
+      return 1;
+    }
+    std::cerr << "using discovered key property: " << key << "\n";
+  }
+  const std::size_t key_prefix =
+      static_cast<std::size_t>(std::stoul(Opt(args, "key-prefix", "5")));
+  std::vector<linking::AttributeRule> rules;
+  for (const std::string& property :
+       args.properties.empty() ? std::vector<std::string>{key}
+                               : args.properties) {
+    rules.push_back({property, property,
+                     linking::SimilarityMeasure::kJaroWinkler, 1.0});
+  }
+  const double threshold = std::stod(Opt(args, "threshold", "0.75"));
+  const linking::Linker::Strategy strategy =
+      Opt(args, "all") == "true"
+          ? linking::Linker::Strategy::kAllAboveThreshold
+          : linking::Linker::Strategy::kBestPerExternal;
+  const rulelink::blocking::StandardBlocker blocker(key, key_prefix);
+
+  // The snapshot takes the catalog; keep the IRIs for printing links.
+  std::vector<std::string> local_iris;
+  local_iris.reserve(locals.size());
+  for (const auto& item : locals) local_iris.push_back(item.iri);
+
+  linking::ServeEngine engine;
+  {
+    const rulelink::obs::MetricsRegistry::StageScope stage(metrics,
+                                                           "serve/publish");
+    engine.Publish(std::make_unique<linking::ServeSnapshot>(
+        std::move(locals), linking::ItemMatcher(rules), threshold, strategy,
+        blocker, Threads(args), metrics));
+  }
+
+  const std::size_t clients = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::stoul(Opt(args, "clients", "1"))));
+  std::vector<std::vector<linking::Link>> answers(queries.size());
+  std::size_t pairs_scored = 0;
+  {
+    const rulelink::obs::MetricsRegistry::StageScope stage(metrics,
+                                                           "serve/queries");
+    std::atomic<std::size_t> ticket{0};
+    std::atomic<std::size_t> total_pairs{0};
+    auto client = [&] {
+      linking::ServeEngine::Session session(&engine);
+      std::size_t q;
+      while ((q = ticket.fetch_add(1, std::memory_order_relaxed)) <
+             queries.size()) {
+        session.Query(queries[q], &answers[q], q);
+      }
+      total_pairs.fetch_add(session.pairs_scored(),
+                            std::memory_order_relaxed);
+    };
+    if (clients == 1) {
+      client();
+    } else {
+      std::vector<std::thread> workers;
+      for (std::size_t c = 0; c < clients; ++c) workers.emplace_back(client);
+      for (std::thread& worker : workers) worker.join();
+    }
+    pairs_scored = total_pairs.load(std::memory_order_relaxed);
+  }
+
+  // Answers print in query order whatever the client count — sessions
+  // only ever fill their own tickets' slots.
+  std::size_t num_links = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (const linking::Link& link : answers[q]) {
+      ++num_links;
+      std::cout << queries[q].iri << "\t" << local_iris[link.local_index]
+                << "\t" << rulelink::util::FormatDouble(link.score, 4)
+                << "\n";
+    }
+  }
+  const rulelink::util::EpochStats epochs = engine.epoch_stats();
+  if (metrics != nullptr) {
+    metrics->AddCounter("serve/queries", queries.size());
+    metrics->AddCounter("serve/links", num_links);
+    metrics->AddCounter("serve/pairs_scored", pairs_scored);
+    metrics->AddCounter("serve/epoch_pins", epochs.pins);
+    metrics->AddCounter("serve/epoch_pin_retries", epochs.pin_retries);
+  }
+  std::cerr << queries.size() << " queries -> " << num_links << " links ("
+            << pairs_scored << " pairs scored, " << clients << " client(s), "
+            << "epoch pins " << epochs.pins << ", retries "
+            << epochs.pin_retries << ", reader blocks "
+            << epochs.reader_blocks << ")\n";
+  return 0;
+}
+
 int RunQuery(const Args& args, rulelink::obs::MetricsRegistry* metrics) {
   rulelink::rdf::Graph data;
   if (auto s = LoadRdf(Opt(args, "data"), &data); !s.ok()) {
@@ -447,6 +574,8 @@ int main(int argc, char** argv) {
       exit_code = RunQuery(args, metrics);
     } else if (args.command == "dedup") {
       exit_code = RunDedup(args, metrics);
+    } else if (args.command == "serve") {
+      exit_code = RunServe(args, metrics);
     } else {
       known = false;
     }
