@@ -289,6 +289,111 @@ double QuantileUs(const obs::Histogram& h, double q) {
   return h.ValueAtQuantile(q) / 1000.0;
 }
 
+struct PublishPoint {
+  std::size_t catalog_size = 0;
+  std::size_t delta_items = 0;
+  double full_ms = 0.0;
+  double delta_ms = 0.0;
+  std::size_t mismatches = 0;
+};
+
+// Full-vs-delta publish latency (DESIGN.md §5j). For each catalog size N:
+// a base snapshot of N items is published once, then a 1% append-only
+// delta is published `reps` times (each onto the previous generation) and
+// the best delta latency is compared against the best from-scratch
+// rebuild of N + 1% items. A from-scratch snapshot of the delta engine's
+// final catalog then serves a query subset side by side with the
+// delta-built generation — answers must be byte-identical (the
+// retirement/remap differential lives in serve_engine_test).
+PublishPoint MeasureDeltaPublish(std::size_t catalog_size,
+                                 std::size_t num_queries, int reps) {
+  PublishPoint point;
+  point.catalog_size = catalog_size;
+  const std::size_t delta_items =
+      std::max<std::size_t>(catalog_size / 100, 1);
+  point.delta_items = delta_items;
+
+  datagen::WorkloadConfig config;
+  config.catalog_size =
+      catalog_size + static_cast<std::size_t>(reps) * delta_items;
+  auto catalog_result = datagen::GenerateWorkloadCatalog(config);
+  RL_CHECK(catalog_result.ok()) << catalog_result.status();
+  datagen::WorkloadCatalog catalog = std::move(catalog_result).value();
+  datagen::QueryStreamConfig query_config;
+  query_config.num_queries = num_queries;
+  query_config.chooser.distribution = datagen::Distribution::kZipfian;
+  query_config.typo_prob = 0.08;
+  query_config.truncate_prob = 0.05;
+  auto stream_result = datagen::GenerateQueryStream(catalog, query_config);
+  RL_CHECK(stream_result.ok()) << stream_result.status();
+  const std::vector<core::Item> queries =
+      std::move(stream_result).value().queries;
+  const std::vector<core::Item>& items = catalog.items;
+  const auto strategy = linking::Linker::Strategy::kBestPerExternal;
+  const blocking::StandardBlocker blocker(datagen::props::kPartNumber,
+                                          /*prefix_length=*/4);
+
+  // Full rebuilds of the first N + 1% items, best of `reps`.
+  point.full_ms = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<core::Item> full(
+        items.begin(), items.begin() + catalog_size + delta_items);
+    util::Stopwatch timer;
+    const linking::ServeSnapshot snapshot(
+        std::move(full), linking::ItemMatcher(ServeRules()), kThreshold,
+        strategy, blocker);
+    const double ms = timer.ElapsedMillis();
+    if (rep == 0 || ms < point.full_ms) point.full_ms = ms;
+  }
+
+  // Delta publishes: 1% appended onto the resident engine's current
+  // generation. Each rep extends the previous one, so every timed publish
+  // interns new values past a frozen dictionary chain exactly as a
+  // steady-state ingest would.
+  linking::ServeEngine delta_engine;
+  {
+    std::vector<core::Item> base(items.begin(),
+                                 items.begin() + catalog_size);
+    delta_engine.Publish(std::make_unique<linking::ServeSnapshot>(
+        std::move(base), linking::ItemMatcher(ServeRules()), kThreshold,
+        strategy, blocker));
+  }
+  point.delta_ms = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    linking::CatalogDelta delta;
+    delta.appended.assign(
+        items.begin() + catalog_size + rep * delta_items,
+        items.begin() + catalog_size + (rep + 1) * delta_items);
+    util::Stopwatch timer;
+    delta_engine.PublishDelta(std::move(delta), blocker);
+    const double ms = timer.ElapsedMillis();
+    if (rep == 0 || ms < point.delta_ms) point.delta_ms = ms;
+  }
+
+  // Differential: from-scratch snapshot of the final catalog vs the
+  // delta-built chain, byte for byte over a query subset.
+  linking::ServeEngine full_engine;
+  {
+    std::vector<core::Item> final_items(
+        items.begin(),
+        items.begin() + catalog_size +
+            static_cast<std::size_t>(reps) * delta_items);
+    full_engine.Publish(std::make_unique<linking::ServeSnapshot>(
+        std::move(final_items), linking::ItemMatcher(ServeRules()),
+        kThreshold, strategy, blocker));
+  }
+  linking::ServeEngine::Session delta_session(&delta_engine);
+  linking::ServeEngine::Session full_session(&full_engine);
+  std::vector<linking::Link> delta_answer, full_answer;
+  const std::size_t check = std::min<std::size_t>(queries.size(), 500);
+  for (std::size_t q = 0; q < check; ++q) {
+    delta_session.Query(queries[q], &delta_answer, q);
+    full_session.Query(queries[q], &full_answer, q);
+    if (!SameLinks(delta_answer, full_answer)) ++point.mismatches;
+  }
+  return point;
+}
+
 std::string SchedulerJson(const util::SchedulerTotals& s) {
   std::string json = "{\"loops\": " + std::to_string(s.loops) +
                      ", \"morsels\": " + std::to_string(s.morsels) +
@@ -416,6 +521,45 @@ void RunServeSweep() {
       << "retired snapshots leaked: retired " << swap.epochs.retired
       << ", reclaimed " << swap.epochs.reclaimed;
 
+  // Delta-publish leg: full-vs-delta publish latency per catalog size.
+  std::vector<std::size_t> publish_sizes = {10000, 100000};
+  if (mode == "smoke") {
+    publish_sizes = {10000};
+  } else if (mode == "full") {
+    publish_sizes = {10000, 100000, 1000000};
+  }
+  util::TextTable publish_table({"catalog", "delta items", "full (ms)",
+                                 "delta (ms)", "speedup", "mismatches"});
+  std::string publish_json;
+  for (std::size_t i = 0; i < publish_sizes.size(); ++i) {
+    const std::size_t size = publish_sizes[i];
+    // One rep at the million-scale point: best-of-3 would triple several
+    // full feature builds for a number the 100k point already gates.
+    const PublishPoint p =
+        MeasureDeltaPublish(size, /*num_queries=*/500,
+                            /*reps=*/size >= 1000000 ? 1 : 3);
+    RL_CHECK(p.mismatches == 0)
+        << p.mismatches
+        << " delta-served answers diverged from the from-scratch snapshot";
+    const double speedup =
+        p.delta_ms > 0.0 ? p.full_ms / p.delta_ms : 0.0;
+    publish_table.AddRow({std::to_string(p.catalog_size),
+                          std::to_string(p.delta_items),
+                          util::FormatDouble(p.full_ms, 2),
+                          util::FormatDouble(p.delta_ms, 2),
+                          util::FormatDouble(speedup, 2),
+                          std::to_string(p.mismatches)});
+    publish_json += "    {\"catalog_size\": " + std::to_string(p.catalog_size) +
+                    ", \"delta_items\": " + std::to_string(p.delta_items) +
+                    ", \"full_ms\": " + util::FormatDouble(p.full_ms, 3) +
+                    ", \"delta_ms\": " + util::FormatDouble(p.delta_ms, 3) +
+                    ", \"speedup\": " + util::FormatDouble(speedup, 3) +
+                    ", \"mismatches\": " + std::to_string(p.mismatches) + "}";
+    publish_json += i + 1 < publish_sizes.size() ? ",\n" : "\n";
+  }
+  std::cout << "--- delta publish (1% append) vs full rebuild ---\n"
+            << publish_table.ToText();
+
   const util::EpochStats epochs = engine.epoch_stats();
   std::cout << table.ToText() << "swap-under-load: " << swap.swaps
             << " swaps over " << swap.queries_served << " queries ("
@@ -455,7 +599,8 @@ void RunServeSweep() {
       << ", \"retired\": " << swap.epochs.retired
       << ", \"reclaimed\": " << swap.epochs.reclaimed
       << ", \"limbo\": " << swap.epochs.limbo
-      << "},\n  \"epoch\": {\"pins\": " << epochs.pins
+      << "},\n  \"publish\": [\n"
+      << publish_json << "  ],\n  \"epoch\": {\"pins\": " << epochs.pins
       << ", \"pin_retries\": " << epochs.pin_retries
       << ", \"reader_blocks\": " << epochs.reader_blocks << "}\n}\n";
 }

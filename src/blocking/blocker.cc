@@ -87,6 +87,15 @@ std::unique_ptr<ItemCandidateIndex> CandidateGenerator::BuildItemIndex(
   return nullptr;
 }
 
+std::unique_ptr<ItemCandidateIndex> CandidateGenerator::ExtendItemIndex(
+    std::shared_ptr<const ItemCandidateIndex>,
+    const std::vector<core::Item>&) const {
+  // A generator that cannot build an item index cannot extend one either,
+  // and even an item-capable generator can only extend indexes built with
+  // its own key scheme — overrides check and fall back to null.
+  return nullptr;
+}
+
 std::unique_ptr<CandidateIndex> CartesianBlocker::BuildIndex(
     const std::vector<core::Item>& external,
     const std::vector<core::Item>& local) const {
@@ -97,6 +106,18 @@ std::unique_ptr<CandidateIndex> CartesianBlocker::BuildIndex(
 std::unique_ptr<ItemCandidateIndex> CartesianBlocker::BuildItemIndex(
     const std::vector<core::Item>& local) const {
   return std::make_unique<CartesianItemIndex>(local.size());
+}
+
+std::unique_ptr<ItemCandidateIndex> CartesianBlocker::ExtendItemIndex(
+    std::shared_ptr<const ItemCandidateIndex> base,
+    const std::vector<core::Item>& delta) const {
+  // Every local is a candidate either way; the extension is just a wider
+  // iota, so nothing of the base needs to be kept.
+  if (dynamic_cast<const CartesianItemIndex*>(base.get()) == nullptr) {
+    return nullptr;
+  }
+  return std::make_unique<CartesianItemIndex>(base->num_local() +
+                                              delta.size());
 }
 
 std::vector<CandidatePair> CartesianBlocker::Generate(

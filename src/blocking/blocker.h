@@ -102,6 +102,21 @@ class CandidateGenerator {
   virtual std::unique_ptr<ItemCandidateIndex> BuildItemIndex(
       const std::vector<core::Item>& local) const;
 
+  // Extends `base` — an index this generator previously built — with
+  // `delta` items logically appended after the base's locals, without
+  // re-inverting the base catalog: the returned index answers with
+  // global indices, the base's candidates first and then the delta's
+  // (delta locals are numbered base->num_local() + j, so the combined
+  // run stays ascending and duplicate-free). Returns null when `base`
+  // was built by a different generator or with different key parameters
+  // (the base behaviour — extension would be unsound). The returned
+  // index shares ownership of `base` and copies what it needs from
+  // `delta`; `delta` is not borrowed. This is the serving engine's
+  // delta publish path (DESIGN.md §5j).
+  virtual std::unique_ptr<ItemCandidateIndex> ExtendItemIndex(
+      std::shared_ptr<const ItemCandidateIndex> base,
+      const std::vector<core::Item>& delta) const;
+
   virtual std::string name() const = 0;
 };
 
@@ -117,6 +132,9 @@ class CartesianBlocker : public CandidateGenerator {
       const std::vector<core::Item>& local) const override;
   std::unique_ptr<ItemCandidateIndex> BuildItemIndex(
       const std::vector<core::Item>& local) const override;
+  std::unique_ptr<ItemCandidateIndex> ExtendItemIndex(
+      std::shared_ptr<const ItemCandidateIndex> base,
+      const std::vector<core::Item>& delta) const override;
   std::string name() const override { return "cartesian"; }
 };
 

@@ -93,11 +93,57 @@ class StandardItemIndex : public ItemCandidateIndex {
   }
   std::size_t num_local() const override { return num_local_; }
 
+  const std::string& property() const { return property_; }
+  std::size_t prefix_length() const { return prefix_length_; }
+
  private:
   std::string property_;
   std::size_t prefix_length_;
   util::StringInterner keys_;
   std::vector<std::vector<std::size_t>> blocks_;  // by key id
+  std::size_t num_local_;
+};
+
+// One delta layer over a shared base index: the base answers first (its
+// indices are all < base->num_local()), then this layer appends its own
+// postings, which carry global indices past the base's — so the combined
+// run is ascending and duplicate-free by construction. Probing re-derives
+// the key per layer (AppendBlockingKey into the caller's scratch), which
+// keeps layers independent of each other's interner numbering.
+class DeltaStandardItemIndex : public ItemCandidateIndex {
+ public:
+  DeltaStandardItemIndex(std::shared_ptr<const ItemCandidateIndex> base,
+                         std::string property, std::size_t prefix_length,
+                         util::StringInterner keys,
+                         std::vector<std::vector<std::size_t>> blocks,
+                         std::size_t num_local)
+      : base_(std::move(base)),
+        property_(std::move(property)),
+        prefix_length_(prefix_length),
+        keys_(std::move(keys)),
+        blocks_(std::move(blocks)),
+        num_local_(num_local) {}
+
+  void CandidatesOfItem(const core::Item& item, std::string* key_scratch,
+                        std::vector<std::size_t>* out) const override {
+    base_->CandidatesOfItem(item, key_scratch, out);
+    AppendBlockingKey(item, property_, prefix_length_, key_scratch);
+    if (key_scratch->empty()) return;
+    const util::SymbolId id = keys_.Find(*key_scratch);
+    if (id == util::kInvalidSymbolId) return;
+    out->insert(out->end(), blocks_[id].begin(), blocks_[id].end());
+  }
+  std::size_t num_local() const override { return num_local_; }
+
+  const std::string& property() const { return property_; }
+  std::size_t prefix_length() const { return prefix_length_; }
+
+ private:
+  std::shared_ptr<const ItemCandidateIndex> base_;
+  std::string property_;
+  std::size_t prefix_length_;
+  util::StringInterner keys_;
+  std::vector<std::vector<std::size_t>> blocks_;  // by key id, global indices
   std::size_t num_local_;
 };
 
@@ -144,6 +190,43 @@ std::unique_ptr<ItemCandidateIndex> StandardBlocker::BuildItemIndex(
   return std::make_unique<StandardItemIndex>(property_, prefix_length_,
                                              std::move(keys),
                                              std::move(blocks), local.size());
+}
+
+std::unique_ptr<ItemCandidateIndex> StandardBlocker::ExtendItemIndex(
+    std::shared_ptr<const ItemCandidateIndex> base,
+    const std::vector<core::Item>& delta) const {
+  if (base == nullptr) return nullptr;
+  // Only an index built with this exact key scheme can be extended: the
+  // delta layer must block on the same (property, prefix) or the combined
+  // index would mix incompatible keys.
+  const std::string* base_property = nullptr;
+  std::size_t base_prefix = 0;
+  if (const auto* flat = dynamic_cast<const StandardItemIndex*>(base.get())) {
+    base_property = &flat->property();
+    base_prefix = flat->prefix_length();
+  } else if (const auto* layered =
+                 dynamic_cast<const DeltaStandardItemIndex*>(base.get())) {
+    base_property = &layered->property();
+    base_prefix = layered->prefix_length();
+  } else {
+    return nullptr;
+  }
+  if (*base_property != property_ || base_prefix != prefix_length_) {
+    return nullptr;
+  }
+  const std::size_t offset = base->num_local();
+  util::StringInterner keys;
+  std::vector<std::vector<std::size_t>> blocks;  // by key id
+  for (std::size_t j = 0; j < delta.size(); ++j) {
+    const std::string key = BlockingKey(delta[j], property_, prefix_length_);
+    if (key.empty()) continue;
+    const util::SymbolId id = keys.Intern(key);
+    if (id == blocks.size()) blocks.emplace_back();
+    blocks[id].push_back(offset + j);
+  }
+  return std::make_unique<DeltaStandardItemIndex>(
+      std::move(base), property_, prefix_length_, std::move(keys),
+      std::move(blocks), offset + delta.size());
 }
 
 std::string StandardBlocker::name() const {

@@ -32,6 +32,15 @@ class StandardBlocker : public CandidateGenerator {
   // BuildIndex's for the same item.
   std::unique_ptr<ItemCandidateIndex> BuildItemIndex(
       const std::vector<core::Item>& local) const override;
+  // Extends a BuildItemIndex/ExtendItemIndex result of a StandardBlocker
+  // with the same (property, prefix) key scheme: the delta items get their
+  // own small key interner + blocks keyed with global indices past the
+  // base's locals, and probes answer base-then-delta. Chains freely — the
+  // K-th delta publish probes K small delta layers plus the original
+  // inverted index. Returns null for a foreign or key-mismatched base.
+  std::unique_ptr<ItemCandidateIndex> ExtendItemIndex(
+      std::shared_ptr<const ItemCandidateIndex> base,
+      const std::vector<core::Item>& delta) const override;
   std::string name() const override;
 
  private:

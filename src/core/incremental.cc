@@ -17,6 +17,12 @@ IncrementalRuleLearner::IncrementalRuleLearner(
       selected_properties_(std::move(properties)) {
   RL_CHECK(onto_ != nullptr);
   RL_CHECK(segmenter_ != nullptr);
+  // Intern the expert's P once: AddExample then resolves each fact's
+  // property with one read-only Find instead of a linear scan over the
+  // selected names per fact.
+  for (const std::string& name : selected_properties_) {
+    properties_.Intern(name);
+  }
 }
 
 void IncrementalRuleLearner::AddExample(
@@ -29,12 +35,15 @@ void IncrementalRuleLearner::AddExample(
   std::vector<std::uint64_t> keys;
   std::vector<SegmentId> seg_scratch;
   for (const PropertyValue& pv : external.facts) {
-    if (!selected_properties_.empty() &&
-        std::find(selected_properties_.begin(), selected_properties_.end(),
-                  pv.property) == selected_properties_.end()) {
-      continue;
+    PropertyId property;
+    if (selected_properties_.empty()) {
+      property = properties_.Intern(pv.property);
+    } else {
+      // P was interned at construction, so membership is the same hash
+      // lookup that resolves the id.
+      property = properties_.Find(pv.property);
+      if (property == kInvalidPropertyId) continue;
     }
-    const PropertyId property = properties_.Intern(pv.property);
     seg_scratch.clear();
     segmenter_->SegmentInto(pv.value, &segments_, &seg_scratch);
     for (const SegmentId seg : seg_scratch) {
@@ -67,9 +76,10 @@ util::Result<RuleSet> IncrementalRuleLearner::BuildRules(
   if (num_examples_ == 0) {
     return util::InvalidArgumentError("no examples ingested");
   }
-  const double total = static_cast<double>(num_examples_);
+  // The shared strict-'>' predicate (IsFrequentCount) keeps this learner
+  // bit-identical to the batch RuleLearner at the support boundary.
   const auto is_frequent = [&](std::size_t count) {
-    return static_cast<double>(count) > support_threshold * total;
+    return IsFrequentCount(count, support_threshold, num_examples_);
   };
 
   std::unordered_map<ontology::ClassId, std::size_t> frequent_classes;

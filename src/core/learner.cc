@@ -62,10 +62,10 @@ util::Result<RuleSet> RuleLearner::Learn(const TrainingSet& ts,
     return util::InvalidArgumentError("empty training set");
   }
 
-  const double total = static_cast<double>(ts.size());
-  // Strict '>' per the paper: count/|TS| > th  <=>  count > th*|TS|.
+  // Strict '>' per the paper, via the shared predicate so every learner
+  // agrees bit-for-bit at the boundary (see IsFrequentCount).
   const auto is_frequent = [&](std::size_t count) {
-    return static_cast<double>(count) > options_.support_threshold * total;
+    return IsFrequentCount(count, options_.support_threshold, ts.size());
   };
 
   // Property selection P: empty means all.

@@ -24,6 +24,19 @@
 
 namespace rulelink::core {
 
+// The one frequency predicate every learner shares: a conjunction seen in
+// `count` of `total` examples is frequent iff count / total > th — strict,
+// matching the paper's "frequency greater than th". Stated as
+// count > th * total (one multiply, no division) and kept in a single
+// place so the batch, reference and incremental learners cannot drift at
+// the boundary: count == th * total exactly (e.g. 2 of 8 at th = 0.25) is
+// NOT frequent for all of them, bit-for-bit.
+inline bool IsFrequentCount(std::size_t count, double support_threshold,
+                            std::size_t total) {
+  return static_cast<double>(count) >
+         support_threshold * static_cast<double>(total);
+}
+
 struct LearnerOptions {
   // Support threshold th (relative to |TS|). The paper uses 0.002.
   double support_threshold = 0.002;

@@ -50,9 +50,8 @@ util::Result<RuleSet> ReferenceLearn(const LearnerOptions& options,
     return util::InvalidArgumentError("empty training set");
   }
 
-  const double total = static_cast<double>(ts.size());
   const auto is_frequent = [&](std::size_t count) {
-    return static_cast<double>(count) > options.support_threshold * total;
+    return IsFrequentCount(count, options.support_threshold, ts.size());
   };
 
   std::unordered_set<PropertyId> selected_properties;

@@ -36,6 +36,23 @@ ValueId FeatureDictionary::FindSymbol(std::string_view s) const {
                                          : local + base_offset_;
 }
 
+ValueId FeatureDictionary::FindBuiltValue(std::string_view s) const {
+  // Deepest-first: the level closest to the root that built the value is
+  // the id every cache over this chain agreed on when it was built (and at
+  // most one level holds a given string as a built value, since building
+  // at level k implies no level below k had built it).
+  if (base_ != nullptr) {
+    const ValueId found = base_->FindBuiltValue(s);
+    if (found != util::kInvalidSymbolId) return found;
+  }
+  const ValueId local = strings_.Find(s);
+  if (local != util::kInvalidSymbolId && local < spans_.size() &&
+      spans_[local].built) {
+    return local + base_offset_;
+  }
+  return util::kInvalidSymbolId;
+}
+
 bool FeatureDictionary::IsBuiltValue(ValueId id) const {
   if (base_ != nullptr && id < base_offset_) return base_->IsBuiltValue(id);
   const ValueId local = id - base_offset_;
@@ -109,12 +126,15 @@ void FeatureDictionary::BuildFeatures(ValueId local) {
 
 ValueId FeatureDictionary::AddValue(std::string_view value) {
   if (base_ != nullptr) {
-    // Reuse the base's id only when it carries built features there; a
-    // base symbol that is merely a token/bigram gets a fresh overlay value
-    // id instead (no base built value shares its string, so id equality
-    // still implies string equality across the union).
-    const ValueId found = base_->FindSymbol(value);
-    if (found != util::kInvalidSymbolId && base_->IsBuiltValue(found)) {
+    // Reuse a chain id only where it carries built features; a chain
+    // symbol that is merely a token/bigram gets a fresh overlay value id
+    // instead (no built value anywhere in the chain shares its string, so
+    // id equality still implies string equality across the union). The
+    // search must be by built-value, not FindSymbol: with stacked overlays
+    // a string can be an unbuilt token at the root and a built value at a
+    // middle level, and FindSymbol would surface the root token id.
+    const ValueId found = base_->FindBuiltValue(value);
+    if (found != util::kInvalidSymbolId) {
       ++values_reused_;
       return found;
     }
@@ -302,6 +322,77 @@ FeatureCache FeatureCache::Build(const std::vector<core::Item>& items,
   return cache;
 }
 
+FeatureCache FeatureCache::ExtendFrom(const FeatureCache& base,
+                                      const std::vector<core::Item>& delta_items,
+                                      const ItemMatcher& matcher, Side side,
+                                      FeatureDictionary* dict,
+                                      obs::MetricsRegistry* metrics) {
+  RL_CHECK(dict != nullptr);
+  // The new dictionary must extend the base cache's own dictionary (not
+  // merely share its root): the copied value ids were issued by
+  // base.dict(), and only a direct overlay (or the same still-growing
+  // root) keeps every one of them resolvable without collisions.
+  RL_CHECK(dict == &base.dict() || dict->base() == &base.dict())
+      << "ExtendFrom needs base.dict() itself or a direct overlay over it";
+  const obs::MetricsRegistry::StageScope stage(metrics,
+                                               "linking/cache_extend");
+  if (metrics != nullptr) {
+    metrics->AddCounter(side == Side::kExternal
+                            ? "linking/cache/external_delta_items"
+                            : "linking/cache/local_delta_items",
+                        delta_items.size());
+  }
+  const auto& rules = matcher.rules();
+  RL_CHECK(rules.size() == base.num_rules_)
+      << "ExtendFrom cannot change the rule slot layout";
+  std::vector<const std::string*> properties;
+  properties.reserve(rules.size());
+  for (const AttributeRule& rule : rules) {
+    properties.push_back(side == Side::kExternal ? &rule.external_property
+                                                 : &rule.local_property);
+  }
+
+  FeatureCache cache;
+  cache.dict_ = dict;
+  cache.num_items_ = base.num_items_ + delta_items.size();
+  cache.num_rules_ = base.num_rules_;
+  // Flat copies of the predecessor's CSR index and SoA lanes — O(catalog)
+  // memcpy, no re-tokenization, no dictionary traffic.
+  cache.offsets_ = base.offsets_;
+  cache.value_ids_ = base.value_ids_;
+  cache.lane_lengths_ = base.lane_lengths_;
+  cache.lane_unique_tokens_ = base.lane_unique_tokens_;
+  cache.lane_bigrams_ = base.lane_bigrams_;
+  cache.lane_value_ids_ = base.lane_value_ids_;
+  cache.simple_ = base.simple_;
+
+  // Append the delta items' slots, interning serially through `dict` (the
+  // same discipline as Build's serial path; deltas are small by design).
+  for (const core::Item& item : delta_items) {
+    for (const std::string* property : properties) {
+      for (const core::PropertyValue& fact : item.facts) {
+        if (fact.property != *property) continue;
+        cache.value_ids_.push_back(dict->AddValue(fact.value));
+      }
+      RL_CHECK(cache.value_ids_.size() <
+               std::numeric_limits<std::uint32_t>::max());
+      cache.offsets_.push_back(
+          static_cast<std::uint32_t>(cache.value_ids_.size()));
+    }
+  }
+  RL_CHECK(cache.offsets_.size() ==
+           cache.num_items_ * cache.num_rules_ + 1);
+
+  const std::size_t slots = cache.num_items_ * cache.num_rules_;
+  cache.lane_lengths_.resize(slots, 0);
+  cache.lane_unique_tokens_.resize(slots, 0);
+  cache.lane_bigrams_.resize(slots, 0);
+  cache.lane_value_ids_.resize(slots, util::kInvalidSymbolId);
+  cache.simple_.resize(cache.num_items_, 1);
+  cache.FillLanes(base.num_items_, cache.num_items_);
+  return cache;
+}
+
 void FeatureCache::AssignSingle(const core::Item& item,
                                 const ItemMatcher& matcher, Side side,
                                 FeatureDictionary* dict) {
@@ -336,36 +427,37 @@ void FeatureCache::BuildLanes(std::size_t num_threads) {
   lane_value_ids_.assign(slots, util::kInvalidSymbolId);
   simple_.assign(num_items_, 1);
   if (slots == 0) return;
-  const FeatureDictionary& dict = *dict_;
   // Pure replication of already-built per-value features into flat
   // arrays: every write targets this item's own slots, and the dictionary
   // is only read, so items parallelize freely.
-  util::ParallelFor(
-      num_threads, num_items_,
-      [&](std::size_t, std::size_t begin, std::size_t end) {
-        for (std::size_t item = begin; item < end; ++item) {
-          for (std::size_t r = 0; r < num_rules_; ++r) {
-            const std::size_t slot = item * num_rules_ + r;
-            const std::uint32_t lo = offsets_[slot];
-            const std::uint32_t hi = offsets_[slot + 1];
-            if (hi == lo) continue;  // missing property: lanes stay empty
-            if (hi - lo > 1) {
-              // Multi-valued slot: the cross-product bounds need the
-              // per-pair path, so the whole item opts out of the lanes.
-              simple_[item] = 0;
-              continue;
-            }
-            const ValueId id = value_ids_[lo];
-            const FeatureDictionary::ValueFeatures features =
-                dict.Features(id);
-            lane_lengths_[slot] =
-                static_cast<std::uint32_t>(features.text.size());
-            lane_unique_tokens_[slot] = features.num_unique_tokens;
-            lane_bigrams_[slot] = features.num_bigrams;
-            lane_value_ids_[slot] = id;
-          }
-        }
-      });
+  util::ParallelFor(num_threads, num_items_,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      FillLanes(begin, end);
+                    });
+}
+
+void FeatureCache::FillLanes(std::size_t begin, std::size_t end) {
+  const FeatureDictionary& dict = *dict_;
+  for (std::size_t item = begin; item < end; ++item) {
+    for (std::size_t r = 0; r < num_rules_; ++r) {
+      const std::size_t slot = item * num_rules_ + r;
+      const std::uint32_t lo = offsets_[slot];
+      const std::uint32_t hi = offsets_[slot + 1];
+      if (hi == lo) continue;  // missing property: lanes stay empty
+      if (hi - lo > 1) {
+        // Multi-valued slot: the cross-product bounds need the per-pair
+        // path, so the whole item opts out of the lanes.
+        simple_[item] = 0;
+        continue;
+      }
+      const ValueId id = value_ids_[lo];
+      const FeatureDictionary::ValueFeatures features = dict.Features(id);
+      lane_lengths_[slot] = static_cast<std::uint32_t>(features.text.size());
+      lane_unique_tokens_[slot] = features.num_unique_tokens;
+      lane_bigrams_[slot] = features.num_bigrams;
+      lane_value_ids_[slot] = id;
+    }
+  }
 }
 
 std::size_t FeatureCache::memory_bytes() const {

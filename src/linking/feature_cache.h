@@ -66,16 +66,18 @@ class FeatureDictionary {
 
   FeatureDictionary() = default;
   // Overlay over an immutable `base` (which must outlive this object and
-  // never grow while overlaid): AddValue answers from the base when it
-  // already holds the built value, and interns novel strings locally with
-  // ids offset past the base's universe — the base is never mutated. Ids
-  // from base and overlay never collide and id equality still implies
+  // never grow while overlaid): AddValue answers from the base chain when
+  // any level already built the value, and interns novel strings locally
+  // with ids offset past the base's universe — the base is never mutated.
+  // Ids from base and overlay never collide and id equality still implies
   // string equality across the union (a locally-interned value exists in
-  // the base at most as an unbuilt token/bigram symbol, which no scorer
+  // the chain at most as an unbuilt token/bigram symbol, which no scorer
   // ever uses as a value id), so every score stays a pure function of the
-  // strings. The serving engine gives each session such an overlay to
-  // feature novel query values without write-sharing the snapshot
-  // dictionary (DESIGN.md §5i).
+  // strings. Overlays stack: the serving engine chains one per delta
+  // publish (DESIGN.md §5j) and hangs each session's private overlay off
+  // the current snapshot's dictionary (§5i). At most one level of a chain
+  // ever holds a given string as a *built value*, so the reuse lookup is
+  // unambiguous.
   explicit FeatureDictionary(const FeatureDictionary* base);
   FeatureDictionary(const FeatureDictionary&) = delete;
   FeatureDictionary& operator=(const FeatureDictionary&) = delete;
@@ -102,6 +104,9 @@ class FeatureDictionary {
   const FeatureDictionary& root() const {
     return base_ != nullptr ? base_->root() : *this;
   }
+
+  // The immediate base of an overlay (null for a root dictionary).
+  const FeatureDictionary* base() const { return base_; }
 
   // Merges every symbol of `local` into this dictionary and returns the
   // id remap (local id -> id here). Values keep their features (token and
@@ -141,6 +146,11 @@ class FeatureDictionary {
   // Public id of `s` anywhere in the chain, or util::kInvalidSymbolId.
   // Read-only: never allocates.
   ValueId FindSymbol(std::string_view s) const;
+  // Public id of `s` where it is a *built value*, searching the whole
+  // chain deepest-first, or util::kInvalidSymbolId. Distinct from
+  // FindSymbol: a string can be an unbuilt token at one level and a built
+  // value at a shallower one, and value reuse must find the built id.
+  ValueId FindBuiltValue(std::string_view s) const;
   // Whether public id `id` resolves to a value with built features.
   bool IsBuiltValue(ValueId id) const;
   // Appends `ids` sorted (and returns the unique count when asked).
@@ -179,6 +189,21 @@ class FeatureCache {
                             FeatureDictionary* dict,
                             std::size_t num_threads = 0,
                             obs::MetricsRegistry* metrics = nullptr);
+
+  // Builds a cache over `base`'s items plus `delta_items` appended after
+  // them, without re-featurizing the base: the CSR index and SoA lanes are
+  // flat-copied and only the delta items' slots are built, interning their
+  // values through `dict`. `dict` must be an overlay directly over
+  // `base.dict()` (or `&base.dict()` itself, for a root that may still
+  // grow) so every copied id stays resolvable and novel delta values
+  // intern past the base universe — this is the serving engine's delta
+  // publish path (DESIGN.md §5j). Serial over the delta (deltas are small
+  // by design); `metrics` gets the "linking/cache_extend" stage.
+  static FeatureCache ExtendFrom(const FeatureCache& base,
+                                 const std::vector<core::Item>& delta_items,
+                                 const ItemMatcher& matcher, Side side,
+                                 FeatureDictionary* dict,
+                                 obs::MetricsRegistry* metrics = nullptr);
 
   // Rebuilds this cache in place over exactly one item — the serving
   // engine's per-query external cache. Serial, and allocation-free at
@@ -232,6 +257,11 @@ class FeatureCache {
   // CSR index (pure function of the data: safe to run in parallel, reads
   // the dictionary const-only).
   void BuildLanes(std::size_t num_threads);
+  // Fills lanes for items in [begin, end). The lane vectors must already
+  // be sized and default-initialized for those items; writes stay inside
+  // the range, so disjoint ranges run in parallel (ExtendFrom uses this
+  // to fill only the appended delta items' slots).
+  void FillLanes(std::size_t begin, std::size_t end);
 
   const FeatureDictionary* dict_ = nullptr;
   std::size_t num_items_ = 0;

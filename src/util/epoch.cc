@@ -28,10 +28,10 @@ EpochDomain::ReaderSlot* EpochDomain::RegisterReader() {
     if (!slot->in_use.load(std::memory_order_relaxed)) {
       // Fold the previous owner's counters into the domain before reuse
       // so Stats() stays monotone across reader churn.
-      drained_pins_ += slot->pins;
-      drained_pin_retries_ += slot->pin_retries;
-      slot->pins = 0;
-      slot->pin_retries = 0;
+      drained_pins_ += slot->pins.load(std::memory_order_relaxed);
+      drained_pin_retries_ += slot->pin_retries.load(std::memory_order_relaxed);
+      slot->pins.store(0, std::memory_order_relaxed);
+      slot->pin_retries.store(0, std::memory_order_relaxed);
       slot->in_use.store(true, std::memory_order_release);
       return slot;
     }
@@ -102,10 +102,10 @@ EpochStats EpochDomain::Stats() const {
   stats.pins = drained_pins_;
   stats.pin_retries = drained_pin_retries_;
   for (const ReaderSlot* slot : slots_) {
-    // Owner-written counters; racy reads are fine for observability and
-    // exact once readers are unregistered (bench reads them after join).
-    stats.pins += slot->pins;
-    stats.pin_retries += slot->pin_retries;
+    // Owner-written counters; relaxed reads may lag a live reader by a
+    // few increments and are exact once readers are unregistered.
+    stats.pins += slot->pins.load(std::memory_order_relaxed);
+    stats.pin_retries += slot->pin_retries.load(std::memory_order_relaxed);
     if (slot->in_use.load(std::memory_order_acquire)) ++stats.readers;
   }
   stats.reader_blocks = 0;  // no blocking reader path exists

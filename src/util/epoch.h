@@ -70,8 +70,10 @@ class EpochDomain {
   struct alignas(64) ReaderSlot {
     std::atomic<std::uint64_t> pinned_epoch{0};  // 0 = quiescent
     std::atomic<bool> in_use{false};
-    std::uint64_t pins = 0;         // owner-written, read under slot reuse
-    std::uint64_t pin_retries = 0;  // "
+    // Owner-written with relaxed increments; Stats() may read them while
+    // the owner is live, so they must be atomic (counts, not ordering).
+    std::atomic<std::uint64_t> pins{0};
+    std::atomic<std::uint64_t> pin_retries{0};
   };
 
   // Registers the calling reader, reusing a retired slot when one exists.
@@ -95,9 +97,9 @@ class EpochDomain {
             domain->epoch_.load(std::memory_order_seq_cst);
         if (confirm == e) break;
         e = confirm;
-        ++slot_->pin_retries;
+        slot_->pin_retries.fetch_add(1, std::memory_order_relaxed);
       }
-      ++slot_->pins;
+      slot_->pins.fetch_add(1, std::memory_order_relaxed);
     }
     ~Guard() {
       slot_->pinned_epoch.store(0, std::memory_order_release);

@@ -7,11 +7,28 @@
 #include <gtest/gtest.h>
 
 #include "core/learner.h"
+#include "core/reference_learner.h"
 #include "datagen/generator.h"
 #include "util/logging.h"
 
 namespace rulelink::core {
 namespace {
+
+// Order-free rule fingerprint: (property name, segment text, class,
+// premise/joint/class counts). Two learners agree iff these sets match.
+using RuleKey = std::tuple<std::string, std::string, ontology::ClassId,
+                           std::size_t, std::size_t, std::size_t>;
+
+std::set<RuleKey> RuleKeys(const RuleSet& rules) {
+  std::set<RuleKey> out;
+  for (const auto& rule : rules.rules()) {
+    out.insert({rules.properties().name(rule.property),
+                std::string(rules.segment_text(rule)), rule.cls,
+                rule.counts.premise_count, rule.counts.joint_count,
+                rule.counts.class_count});
+  }
+  return out;
+}
 
 class IncrementalTest : public ::testing::Test {
  protected:
@@ -57,19 +74,7 @@ TEST_F(IncrementalTest, MatchesBatchLearnerExactly) {
   auto online = incremental.BuildRules(0.15);
   ASSERT_TRUE(online.ok()) << online.status();
 
-  using Key = std::tuple<std::string, std::string, ontology::ClassId,
-                         std::size_t, std::size_t, std::size_t>;
-  const auto keys = [](const RuleSet& rules) {
-    std::set<Key> out;
-    for (const auto& rule : rules.rules()) {
-      out.insert({rules.properties().name(rule.property),
-                  std::string(rules.segment_text(rule)),
-                  rule.cls, rule.counts.premise_count,
-                  rule.counts.joint_count, rule.counts.class_count});
-    }
-    return out;
-  };
-  EXPECT_EQ(keys(*batch), keys(*online));
+  EXPECT_EQ(RuleKeys(*batch), RuleKeys(*online));
 }
 
 TEST_F(IncrementalTest, MatchesBatchOnGeneratedCorpus) {
@@ -174,6 +179,92 @@ TEST_F(IncrementalTest, PropertySelection) {
   for (const auto& rule : rules->rules()) {
     EXPECT_NE(rules->segment_text(rule), "ACME");
   }
+}
+
+// Pins the shared support boundary (IsFrequentCount): a conjunction seen
+// in count == th * |TS| examples EXACTLY is not frequent — strict '>',
+// for all three learners identically. th = 0.25 over 8 examples puts the
+// boundary at count == 2 with the product exactly representable, so any
+// learner that drifts to '>=' (or recomputes the ratio with a division)
+// admits the EDGE premise and the (J, a) joint and diverges here.
+TEST_F(IncrementalTest, SupportBoundaryMatchesBatchExactly) {
+  const std::vector<std::pair<std::string, ontology::ClassId>> corpus = {
+      {"EDGE KEEP", a_}, {"EDGE KEEP", a_}, {"KEEP", a_}, {"J", a_},
+      {"J", a_},         {"J", b_},         {"U1", b_},   {"U2", b_},
+  };
+  // Premise counts: EDGE = 2 (== 0.25 * 8, boundary -> excluded),
+  // KEEP = 3 (frequent), J = 3 (frequent). Joints: (KEEP, a) = 3
+  // (frequent), (J, a) = 2 (boundary -> excluded), (J, b) = 1. Classes:
+  // a = 5, b = 3 (both frequent). Exactly one rule survives.
+  TrainingSet ts(onto_);
+  IncrementalRuleLearner incremental(&onto_, &segmenter_);
+  for (const auto& [pn, cls] : corpus) {
+    ts.AddExample(MakeItem(pn), "local:x", {cls});
+    incremental.AddExample(MakeItem(pn), {cls});
+  }
+
+  LearnerOptions options;
+  options.support_threshold = 0.25;
+  options.segmenter = &segmenter_;
+  auto batch = RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(batch.ok());
+  auto reference = ReferenceLearn(options, ts);
+  ASSERT_TRUE(reference.ok());
+  auto online = incremental.BuildRules(0.25);
+  ASSERT_TRUE(online.ok());
+
+  EXPECT_EQ(RuleKeys(*batch), RuleKeys(*online));
+  EXPECT_EQ(RuleKeys(*reference), RuleKeys(*online));
+  ASSERT_EQ(online->size(), 1u);
+  const ClassificationRule& rule = online->rules()[0];
+  EXPECT_EQ(online->segment_text(rule), "KEEP");
+  EXPECT_EQ(rule.cls, a_);
+  EXPECT_EQ(rule.counts.premise_count, 3u);
+  EXPECT_EQ(rule.counts.joint_count, 3u);
+  EXPECT_EQ(rule.counts.class_count, 5u);
+}
+
+// Differential for the interned property-selection fast path: with a
+// multi-property corpus and P = {pn, mfr}, the incremental learner (which
+// now resolves membership via its pre-interned catalog) must produce the
+// same rules as the batch learner's name-set filter — selected properties
+// contribute, the unselected one never does.
+TEST_F(IncrementalTest, MultiPropertySelectionMatchesBatch) {
+  TrainingSet ts(onto_);
+  IncrementalRuleLearner incremental(&onto_, &segmenter_, {"pn", "mfr"});
+  for (int i = 0; i < 8; ++i) {
+    Item item;
+    item.iri = "ext:x";
+    item.facts.push_back(PropertyValue{
+        "pn", i < 3 ? "PNSEG" : "UNIQP" + std::to_string(i)});
+    item.facts.push_back(PropertyValue{
+        "mfr", i < 4 ? "ACME" : "UNIQM" + std::to_string(i)});
+    item.facts.push_back(PropertyValue{"desc", "DESCSEG"});
+    const ontology::ClassId cls = i < 4 ? a_ : b_;
+    ts.AddExample(item, "local:x", {cls});
+    incremental.AddExample(item, {cls});
+  }
+
+  LearnerOptions options;
+  options.support_threshold = 0.25;
+  options.segmenter = &segmenter_;
+  options.properties = {"pn", "mfr"};
+  auto batch = RuleLearner(options).Learn(ts);
+  ASSERT_TRUE(batch.ok());
+  auto online = incremental.BuildRules(0.25);
+  ASSERT_TRUE(online.ok());
+
+  EXPECT_EQ(RuleKeys(*batch), RuleKeys(*online));
+  bool saw_pn = false, saw_mfr = false;
+  for (const auto& rule : online->rules()) {
+    // DESCSEG occurs in all 8 examples — frequent by count, but its
+    // property is outside P, so it must never surface.
+    EXPECT_NE(online->segment_text(rule), "DESCSEG");
+    saw_pn = saw_pn || online->segment_text(rule) == "PNSEG";
+    saw_mfr = saw_mfr || online->segment_text(rule) == "ACME";
+  }
+  EXPECT_TRUE(saw_pn);
+  EXPECT_TRUE(saw_mfr);
 }
 
 TEST_F(IncrementalTest, Errors) {

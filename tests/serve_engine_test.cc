@@ -24,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include "blocking/blocker.h"
 #include "blocking/standard_blocking.h"
 #include "datagen/key_chooser.h"
 #include "datagen/workload.h"
@@ -136,11 +137,14 @@ Workload MakeWorkload(std::uint64_t seed, std::size_t catalog_size,
 }
 
 // Batch reference, scattered per query. Asserts the batch run itself is
-// identical at thread counts {1, 2, 8} along the way.
+// identical at thread counts {1, 2, 8} along the way. The catalog is
+// always a from-scratch single universe here — delta tests compact the
+// served catalog down to its live items before comparing.
 std::vector<std::vector<linking::Link>> BatchReference(
     const std::vector<core::Item>& catalog,
-    const std::vector<core::Item>& queries, linking::Linker::Strategy
-        strategy) {
+    const std::vector<core::Item>& queries,
+    linking::Linker::Strategy strategy, double threshold = kThreshold,
+    const blocking::CandidateGenerator* generator = nullptr) {
   const linking::ItemMatcher matcher{ServeRules()};
   linking::FeatureDictionary dict;
   const auto external = linking::FeatureCache::Build(
@@ -148,8 +152,9 @@ std::vector<std::vector<linking::Link>> BatchReference(
   const auto local = linking::FeatureCache::Build(
       catalog, matcher, linking::FeatureCache::Side::kLocal, &dict);
   const blocking::StandardBlocker blocker(datagen::props::kPartNumber, 4);
-  const auto index = blocker.BuildIndex(queries, catalog);
-  const linking::StreamingLinker streaming(&matcher, kThreshold, strategy);
+  const auto index = (generator != nullptr ? *generator : blocker)
+                         .BuildIndex(queries, catalog);
+  const linking::StreamingLinker streaming(&matcher, threshold, strategy);
   const auto links = streaming.Run(*index, external, local, nullptr, 1);
   for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
     const auto again =
@@ -187,6 +192,38 @@ bool SameLinks(const std::vector<linking::Link>& a,
     }
   }
   return true;
+}
+
+// Builds the global-index -> compacted-index map over `num_items` items
+// with `retired` tombstoned, and the compacted catalog itself (live items
+// in index order — the order-preserving remap under which a delta-built
+// snapshot must answer identically to a from-scratch one).
+struct CompactedCatalog {
+  std::vector<std::size_t> remap;  // SIZE_MAX for retired indices
+  std::vector<core::Item> items;
+};
+
+CompactedCatalog Compact(const std::vector<core::Item>& catalog,
+                         const std::vector<std::size_t>& retired) {
+  std::vector<bool> dead(catalog.size(), false);
+  for (const std::size_t index : retired) dead[index] = true;
+  CompactedCatalog out;
+  out.remap.assign(catalog.size(), static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (dead[i]) continue;
+    out.remap[i] = out.items.size();
+    out.items.push_back(catalog[i]);
+  }
+  return out;
+}
+
+// Rewrites served (global) local indices into the compacted universe. A
+// served link to a retired item maps to SIZE_MAX and fails the compare
+// loudly.
+std::vector<linking::Link> RemapLocals(std::vector<linking::Link> links,
+                                       const std::vector<std::size_t>& remap) {
+  for (linking::Link& link : links) link.local_index = remap[link.local_index];
+  return links;
 }
 
 TEST(ServeEngineTest, ServedAnswersMatchBatchRun) {
@@ -315,6 +352,243 @@ TEST(ServeEngineTest, ConcurrentQueriesRacingSwaps) {
   EXPECT_EQ(epochs.limbo, 0u);
   EXPECT_EQ(epochs.reader_blocks, 0u);
   EXPECT_EQ(engine.current_generation(), kSwaps + 1);
+}
+
+// The delta-publish acceptance differential (ISSUE 10): a snapshot
+// reached via K = 3 delta publishes — mixed appends, retirements (from
+// both the original catalog and an earlier delta's appended range), and a
+// final policy hot-swap (threshold + rule set) — answers every query
+// byte-identically to a from-scratch snapshot of the same final catalog
+// and policy, across 2 seeds x both strategies x clients {1, 2, 8}.
+TEST(ServeEngineTest, DeltaPublishesMatchFromScratchSnapshot) {
+  const blocking::StandardBlocker blocker(datagen::props::kPartNumber, 4);
+  constexpr std::size_t kN0 = 2400, kN1 = 2700, kN = 3000;
+  const std::vector<std::size_t> kRetired = {3, 100, 771, 5, 2500, 2950};
+  const double final_threshold = kThreshold + 0.1;
+  for (const std::uint64_t seed : {42u, 1337u}) {
+    const Workload w = MakeWorkload(seed, kN, 600);
+    for (const linking::Linker::Strategy strategy :
+         {linking::Linker::Strategy::kBestPerExternal,
+          linking::Linker::Strategy::kAllAboveThreshold}) {
+      linking::ServeEngine engine;
+      std::vector<core::Item> base(w.catalog.begin(), w.catalog.begin() + kN0);
+      engine.Publish(std::make_unique<linking::ServeSnapshot>(
+          std::move(base), linking::ItemMatcher{ServeRules()}, kThreshold,
+          strategy, blocker));
+
+      linking::CatalogDelta d1;
+      d1.appended.assign(w.catalog.begin() + kN0, w.catalog.begin() + kN1);
+      d1.retired = {3, 100, 771};
+      EXPECT_EQ(engine.PublishDelta(std::move(d1), blocker), 2u);
+
+      linking::CatalogDelta d2;  // 2500 retires out of delta 1's appends
+      d2.appended.assign(w.catalog.begin() + kN1, w.catalog.end());
+      d2.retired = {5, 2500};
+      EXPECT_EQ(engine.PublishDelta(std::move(d2), blocker), 3u);
+
+      // Pure hot-swap: no appends, one retirement, new threshold and an
+      // attached rule set — all riding one generation stamp.
+      const auto rules = std::make_shared<const core::RuleSet>();
+      linking::ServePolicy policy;
+      policy.threshold = final_threshold;
+      policy.strategy = strategy;
+      policy.rules = rules;
+      linking::CatalogDelta d3;
+      d3.retired = {2950};
+      EXPECT_EQ(engine.PublishDelta(std::move(d3), blocker, &policy), 4u);
+      EXPECT_EQ(engine.current_rules().get(), rules.get());
+
+      const CompactedCatalog compacted = Compact(w.catalog, kRetired);
+      const auto expected = BatchReference(compacted.items, w.queries,
+                                           strategy, final_threshold);
+      for (const std::size_t clients :
+           {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        std::vector<std::vector<linking::Link>> answers(w.queries.size());
+        std::atomic<std::size_t> ticket{0};
+        auto client = [&] {
+          linking::ServeEngine::Session session(&engine);
+          std::size_t q;
+          while ((q = ticket.fetch_add(1, std::memory_order_relaxed)) <
+                 w.queries.size()) {
+            const std::uint64_t generation =
+                session.Query(w.queries[q], &answers[q], q);
+            EXPECT_EQ(generation, 4u);
+          }
+        };
+        if (clients == 1) {
+          client();
+        } else {
+          std::vector<std::thread> workers;
+          for (std::size_t c = 0; c < clients; ++c) {
+            workers.emplace_back(client);
+          }
+          for (std::thread& worker : workers) worker.join();
+        }
+        std::size_t mismatches = 0;
+        for (std::size_t q = 0; q < w.queries.size(); ++q) {
+          if (!SameLinks(RemapLocals(answers[q], compacted.remap),
+                         expected[q])) {
+            ++mismatches;
+          }
+        }
+        EXPECT_EQ(mismatches, 0u)
+            << "seed " << seed << ", clients " << clients;
+      }
+      engine.ReclaimRetired();
+      const util::EpochStats epochs = engine.epoch_stats();
+      EXPECT_EQ(epochs.retired, 3u);
+      EXPECT_EQ(epochs.reclaimed, 3u);
+      EXPECT_EQ(epochs.limbo, 0u);
+      EXPECT_EQ(epochs.reader_blocks, 0u);
+    }
+  }
+}
+
+// Same differential through the CartesianBlocker's extension path (the
+// other ExtendItemIndex implementation).
+TEST(ServeEngineTest, CartesianDeltaChainMatchesFromScratch) {
+  const blocking::CartesianBlocker blocker;
+  const Workload w = MakeWorkload(7, 300, 100);
+  const auto strategy = linking::Linker::Strategy::kBestPerExternal;
+  linking::ServeEngine engine;
+  std::vector<core::Item> base(w.catalog.begin(), w.catalog.begin() + 200);
+  engine.Publish(std::make_unique<linking::ServeSnapshot>(
+      std::move(base), linking::ItemMatcher{ServeRules()}, kThreshold,
+      strategy, blocker));
+  linking::CatalogDelta d1;
+  d1.appended.assign(w.catalog.begin() + 200, w.catalog.end());
+  d1.retired = {10, 199};
+  EXPECT_EQ(engine.PublishDelta(std::move(d1), blocker), 2u);
+  linking::CatalogDelta d2;
+  d2.retired = {40, 250};
+  EXPECT_EQ(engine.PublishDelta(std::move(d2), blocker), 3u);
+
+  const CompactedCatalog compacted = Compact(w.catalog, {10, 199, 40, 250});
+  const auto expected = BatchReference(compacted.items, w.queries, strategy,
+                                       kThreshold, &blocker);
+  linking::ServeEngine::Session session(&engine);
+  std::vector<linking::Link> answer;
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    EXPECT_EQ(session.Query(w.queries[q], &answer, q), 3u);
+    EXPECT_TRUE(SameLinks(RemapLocals(answer, compacted.remap), expected[q]))
+        << "query " << q;
+  }
+}
+
+// Satellite: one session across delta publishes. The overlay dictionary
+// and score memo must rebase on every generation change — a delta
+// generation's dictionary interns past exactly the universe the session's
+// overlay extended, so stale overlay ids would alias the delta's new
+// value ids and corrupt exact-match scoring. The cumulative counters
+// (pairs_scored, FilterStats) are pinned: they double when the same
+// stream replays within one generation and keep accumulating (never
+// reset) across swaps.
+TEST(ServeEngineTest, SessionOverlayAndCountersAcrossDeltaPublishes) {
+  const blocking::StandardBlocker blocker(datagen::props::kPartNumber, 4);
+  const Workload w = MakeWorkload(42, 2000, 300);
+  const auto strategy = linking::Linker::Strategy::kBestPerExternal;
+  linking::ServeEngine engine;
+  std::vector<core::Item> prefix(w.catalog.begin(),
+                                 w.catalog.begin() + 1500);
+  const auto expected1 = BatchReference(prefix, w.queries, strategy);
+  engine.Publish(std::make_unique<linking::ServeSnapshot>(
+      std::move(prefix), linking::ItemMatcher{ServeRules()}, kThreshold,
+      strategy, blocker));
+
+  linking::ServeEngine::Session session(&engine);
+  std::vector<linking::Link> answer;
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    EXPECT_EQ(session.Query(w.queries[q], &answer, q), 1u);
+    EXPECT_TRUE(SameLinks(answer, expected1[q])) << "query " << q;
+  }
+  const std::size_t scored1 = session.pairs_scored();
+  const std::uint64_t pruned1 = session.filter_stats().pairs_pruned;
+  ASSERT_GT(scored1, 0u);
+
+  // Same stream, same generation: every counter advances by exactly the
+  // same amount again (scored pairs are memo-independent).
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    session.Query(w.queries[q], &answer, q);
+  }
+  EXPECT_EQ(session.pairs_scored(), 2 * scored1);
+  EXPECT_EQ(session.filter_stats().pairs_pruned, 2 * pruned1);
+
+  // Delta publish: the remaining 500 items appear (the zipfian stream
+  // queries them, so answers change) and two items retire.
+  linking::CatalogDelta delta;
+  delta.appended.assign(w.catalog.begin() + 1500, w.catalog.end());
+  delta.retired = {7, 1600};
+  EXPECT_EQ(engine.PublishDelta(std::move(delta), blocker), 2u);
+
+  const CompactedCatalog compacted = Compact(w.catalog, {7, 1600});
+  const auto expected2 = BatchReference(compacted.items, w.queries, strategy);
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    EXPECT_EQ(session.Query(w.queries[q], &answer, q), 2u);
+    EXPECT_TRUE(SameLinks(RemapLocals(answer, compacted.remap), expected2[q]))
+        << "query " << q;
+  }
+  // Counters accumulated across the swap — monotone, never reset.
+  EXPECT_GT(session.pairs_scored(), 2 * scored1);
+  EXPECT_GE(session.filter_stats().pairs_pruned, 2 * pruned1);
+}
+
+// Satellite: repeated publishes with no explicit ReclaimRetired keep
+// limbo bounded — Publish/PublishDelta attempt reclamation themselves
+// (the serve_engine.h contract). The serial phase is deterministic: with
+// no reader pinned at publish time, limbo drains to zero on every swap.
+// The concurrent phase paces the publisher two completed reader queries
+// behind: any pin active at the next publish then began after the last
+// retirement epoch, so only the just-retired snapshot can linger —
+// limbo <= 1, deterministically, even under sanizer-skewed scheduling.
+TEST(ServeEngineTest, RepeatedPublishesKeepLimboBounded) {
+  const Workload w = MakeWorkload(7, 1000, 50);
+  const auto strategy = linking::Linker::Strategy::kBestPerExternal;
+  linking::ServeEngine engine;
+  engine.Publish(MakeSnapshot(w.catalog, strategy));
+  {
+    linking::ServeEngine::Session session(&engine);
+    std::vector<linking::Link> answer;
+    for (int i = 0; i < 10; ++i) {
+      session.Query(w.queries[i % w.queries.size()], &answer, 0);
+      engine.Publish(MakeSnapshot(w.catalog, strategy));
+      const util::EpochStats stats = engine.epoch_stats();
+      EXPECT_EQ(stats.limbo, 0u) << "publish " << i;
+      EXPECT_EQ(stats.reclaimed, stats.retired);
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> queries_done{0};
+    std::thread client([&] {
+      linking::ServeEngine::Session worker(&engine);
+      std::vector<linking::Link> links;
+      std::size_t q = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        worker.Query(w.queries[q++ % w.queries.size()], &links, 0);
+        queries_done.fetch_add(1, std::memory_order_release);
+      }
+    });
+    for (int i = 0; i < 20; ++i) {
+      engine.Publish(MakeSnapshot(w.catalog, strategy));
+      EXPECT_LE(engine.epoch_stats().limbo, 1u) << "publish " << i;
+      // Two full queries after this retirement: the first may have been
+      // in flight (pinned before it), the second provably pinned after.
+      const std::uint64_t mark =
+          queries_done.load(std::memory_order_acquire);
+      while (queries_done.load(std::memory_order_acquire) < mark + 2) {
+        std::this_thread::yield();
+      }
+    }
+    stop.store(true, std::memory_order_release);
+    client.join();
+  }
+  // One more publish with every reader quiesced: the writer-side sweep
+  // must drain limbo completely, with nobody ever calling ReclaimRetired.
+  engine.Publish(MakeSnapshot(w.catalog, strategy));
+  const util::EpochStats stats = engine.epoch_stats();
+  EXPECT_EQ(stats.limbo, 0u);
+  EXPECT_EQ(stats.reclaimed, stats.retired);
+  EXPECT_EQ(stats.retired, 31u);
+  EXPECT_EQ(stats.reader_blocks, 0u);
 }
 
 }  // namespace

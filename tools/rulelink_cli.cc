@@ -12,11 +12,18 @@
 //                      --external-csv prov.csv --id-column sku)
 //                     [--key-property IRI] [--key-prefix 5]
 //                     [--property IRI]... [--threshold 0.75] [--all]
-//                     [--clients N]
+//                     [--clients N] [--delta more.nt]...
+//                     [--links ts.nt [--rules-out rules.tsv]
+//                      [--rule-threshold 0.002]]
 //
 // serve keeps the local catalog resident in a linking::ServeEngine
 // snapshot and answers each external item as a point query over it —
 // lock-free reads under epoch reclamation, same links as a batch run.
+// Each --delta file appends its items through an incremental
+// PublishDelta (dictionary, feature cache and candidate index extend the
+// predecessor generation in place of a rebuild); --links ingests
+// validated same-as links into the IncrementalRuleLearner and hot-swaps
+// the learned classification rules onto a fresh generation atomically.
 //
 // Local files ending in .ttl are parsed as Turtle, everything else as
 // N-Triples. The local file must contain the ontology (owl:Class /
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "core/classifier.h"
+#include "core/incremental.h"
 #include "core/learner.h"
 #include "core/linking_space.h"
 #include "blocking/key_discovery.h"
@@ -59,6 +67,7 @@ struct Args {
   std::string command;
   std::map<std::string, std::string> options;
   std::vector<std::string> properties;  // repeatable --property
+  std::vector<std::string> deltas;      // repeatable --delta (serve)
 };
 
 void PrintUsage() {
@@ -78,7 +87,11 @@ void PrintUsage() {
       "  serve     --local F (--external F | --external-csv F\n"
       "            --id-column NAME) [--key-property IRI] [--key-prefix 5]\n"
       "            [--property IRI]... [--threshold 0.75] [--all]\n"
-      "            [--clients N]\n"
+      "            [--clients N] [--delta F]...\n"
+      "            [--links F [--rules-out F] [--rule-threshold 0.002]]\n"
+      "--delta F (serve, repeatable) appends F's items as an incremental\n"
+      "generation; --links F learns classification rules from validated\n"
+      "links (needs RDF --external) and hot-swaps them atomically.\n"
       "--threads N uses N workers (0 = hardware concurrency, 1 = serial);\n"
       "results are identical at every thread count.\n"
       "--pin-threads (any command; or RULELINK_PIN_THREADS=1) pins pool\n"
@@ -102,6 +115,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     const std::string value = argv[++i];
     if (flag == "property") {
       args->properties.push_back(value);
+    } else if (flag == "delta") {
+      args->deltas.push_back(value);
     } else {
       args->options[flag] = value;
     }
@@ -452,6 +467,100 @@ int RunServe(const Args& args, rulelink::obs::MetricsRegistry* metrics) {
     engine.Publish(std::make_unique<linking::ServeSnapshot>(
         std::move(locals), linking::ItemMatcher(rules), threshold, strategy,
         blocker, Threads(args), metrics));
+  }
+
+  // Each --delta file becomes one incremental generation: its items are
+  // appended through PublishDelta (dictionary/feature-cache/index extend
+  // the predecessor) and serve alongside the base catalog below.
+  for (const std::string& path : args.deltas) {
+    rulelink::rdf::Graph delta_graph;
+    if (auto s = LoadRdf(path, &delta_graph); !s.ok()) {
+      std::cerr << "delta " << path << ": " << s << "\n";
+      return 1;
+    }
+    linking::CatalogDelta delta;
+    delta.appended = ItemsFromGraph(delta_graph);
+    for (const auto& item : delta.appended) local_iris.push_back(item.iri);
+    const std::uint64_t generation =
+        engine.PublishDelta(std::move(delta), blocker, nullptr, metrics);
+    std::cerr << "delta " << path << ": generation " << generation << ", "
+              << local_iris.size() << " items resident\n";
+  }
+
+  // Validated links feed the incremental learner; the learned rule set
+  // rides a fresh generation via a catalog-free delta publish, so rules
+  // and snapshot swap atomically under the one generation stamp.
+  if (const std::string links_path = Opt(args, "links");
+      !links_path.empty()) {
+    const std::string external_path = Opt(args, "external");
+    if (external_path.empty()) {
+      std::cerr << "--links needs an RDF --external describing the linked "
+                   "items\n";
+      return 2;
+    }
+    rulelink::rdf::Graph external_graph, links_graph;
+    if (auto s = LoadRdf(external_path, &external_graph); !s.ok()) {
+      std::cerr << "external: " << s << "\n";
+      return 1;
+    }
+    if (auto s = LoadRdf(links_path, &links_graph); !s.ok()) {
+      std::cerr << "links: " << s << "\n";
+      return 1;
+    }
+    auto onto = rulelink::ontology::Ontology::FromGraph(local_graph);
+    if (!onto.ok()) {
+      std::cerr << "ontology: " << onto.status() << "\n";
+      return 1;
+    }
+    const auto index =
+        rulelink::ontology::InstanceIndex::Build(local_graph, *onto);
+    std::size_t skipped = 0;
+    auto ts = rulelink::core::TrainingSet::FromGraphs(
+        external_graph, links_graph, index, &skipped);
+    if (!ts.ok()) {
+      std::cerr << "training set: " << ts.status() << "\n";
+      return 1;
+    }
+    const rulelink::text::SeparatorSegmenter segmenter;
+    rulelink::core::IncrementalRuleLearner learner(&*onto, &segmenter,
+                                                   args.properties);
+    for (const auto& example : ts->examples()) {
+      rulelink::core::Item item;
+      item.iri = example.external_iri;
+      for (const auto& [property, value] : example.facts) {
+        item.facts.push_back(rulelink::core::PropertyValue{
+            ts->properties().name(property), value});
+      }
+      learner.AddExample(item, example.classes);
+    }
+    auto learned = learner.BuildRules(
+        std::stod(Opt(args, "rule-threshold", "0.002")));
+    if (!learned.ok()) {
+      std::cerr << "incremental learner: " << learned.status() << "\n";
+      return 1;
+    }
+    std::cerr << "incremental learner: " << ts->size() << " links ("
+              << skipped << " skipped) -> " << learned->size()
+              << " rules\n";
+    if (const std::string rules_out = Opt(args, "rules-out");
+        !rules_out.empty()) {
+      if (auto s =
+              rulelink::core::WriteRulesToFile(*learned, *onto, rules_out);
+          !s.ok()) {
+        std::cerr << s << "\n";
+        return 1;
+      }
+      std::cerr << "wrote rules to " << rules_out << "\n";
+    }
+    linking::ServePolicy policy;
+    policy.threshold = threshold;
+    policy.strategy = strategy;
+    policy.rules = std::make_shared<const rulelink::core::RuleSet>(
+        std::move(*learned));
+    const std::uint64_t generation =
+        engine.PublishDelta({}, blocker, &policy, metrics);
+    std::cerr << "rule hot-swap: generation " << generation << " carries "
+              << policy.rules->size() << " classification rules\n";
   }
 
   const std::size_t clients = std::max<std::size_t>(
